@@ -1,0 +1,180 @@
+//! One benchmark per table/figure of the paper's evaluation.
+//!
+//! Each benchmark regenerates the figure's data from a shared study
+//! dataset, timing the analysis (the part a researcher iterates on; the
+//! simulation itself is benchmarked separately in `simulation.rs`).
+//! Each run also asserts the figure's headline shape so a regression in
+//! the reproduction fails the bench, not just the tests.
+//!
+//! Run with `cargo bench -p cellscope-bench --bench figures`.
+
+use cellscope_scenario::{figures, run_study, ScenarioConfig, StudyDataset};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static StudyDataset {
+    static DATASET: OnceLock<StudyDataset> = OnceLock::new();
+    DATASET.get_or_init(|| run_study(&ScenarioConfig::small(2020)))
+}
+
+fn week(series: &[(u8, Option<f64>)], w: u8) -> f64 {
+    series
+        .iter()
+        .find(|(wk, _)| *wk == w)
+        .and_then(|(_, v)| *v)
+        .expect("week present")
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("table1_geodemographic_clusters", |b| {
+        b.iter(|| {
+            let rows = figures::table1(black_box(ds));
+            assert_eq!(rows.len(), 8);
+            rows
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("fig02_home_detection_validation", |b| {
+        b.iter(|| {
+            let f = figures::fig2(black_box(ds));
+            assert!(f.fit.unwrap().r2 > 0.8, "r² regression");
+            f
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("fig03_national_mobility", |b| {
+        b.iter(|| {
+            let f = figures::fig3(black_box(ds));
+            let (_, g13, e13) = f.weekly.iter().find(|(w, _, _)| *w == 13).unwrap();
+            assert!(g13.unwrap() < -40.0, "gyration shape regression");
+            assert!(e13.unwrap() > g13.unwrap(), "entropy < gyration drop");
+            f
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("fig04_entropy_vs_cases", |b| {
+        b.iter(|| {
+            let f = figures::fig4(black_box(ds));
+            assert!(f.pre_lockdown_pearson.unwrap().abs() < 0.4);
+            f
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("fig05_regional_mobility", |b| {
+        b.iter(|| {
+            let f = figures::fig5(black_box(ds));
+            assert_eq!(f.len(), 5);
+            f
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("fig06_cluster_mobility", |b| {
+        b.iter(|| {
+            let f = figures::fig6(black_box(ds));
+            assert_eq!(f.len(), 8);
+            f
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("fig07_mobility_matrix", |b| {
+        b.iter(|| {
+            let f = figures::fig7(black_box(ds));
+            assert_eq!(f.rows[0].0, "Inner London");
+            f
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("fig08_network_kpis", |b| {
+        b.iter(|| {
+            let panels = figures::fig8(black_box(ds));
+            let dl = &panels[0];
+            let uk = &dl.lines[0].weekly_pct;
+            assert!(week(uk, 17) < -14.0, "DL wk17 shape regression");
+            panels
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("fig09_voice", |b| {
+        b.iter(|| {
+            let f = figures::fig9(black_box(ds));
+            let vol = &f.panels[0].lines[0].weekly_pct;
+            assert!(week(vol, 12) > 100.0, "voice spike regression");
+            f
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("fig10_cluster_kpis", |b| {
+        b.iter(|| {
+            let f = figures::fig10(black_box(ds));
+            assert_eq!(f.user_volume_correlation.len(), 8);
+            f
+        })
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("fig11_london_districts", |b| {
+        b.iter(|| {
+            let panels = figures::fig11(black_box(ds));
+            assert_eq!(panels[0].lines.len(), 8);
+            panels
+        })
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("fig12_london_clusters", |b| {
+        b.iter(|| {
+            let panels = figures::fig12(black_box(ds));
+            assert_eq!(panels[0].lines.len(), 3);
+            panels
+        })
+    });
+}
+
+fn bench_headline(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("headline_summary", |b| {
+        b.iter(|| figures::headline(black_box(ds)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig2, bench_fig3, bench_fig4, bench_fig5,
+        bench_fig6, bench_fig7, bench_fig8, bench_fig9, bench_fig10,
+        bench_fig11, bench_fig12, bench_headline
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! End-to-end simulation benchmarks: how long a study costs at each
+//! scale, and the two phases separately (one simulated day each).
+//!
+//! Run with `cargo bench -p cellscope-bench --bench simulation`.
+
+use cellscope_scenario::{run_study, ScenarioConfig, World};
+use cellscope_traffic::{DayLoadGrid, LoadGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_full_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_study");
+    group.sample_size(10);
+    group.bench_function("tiny_2k_subscribers_100_days", |b| {
+        b.iter(|| run_study(black_box(&ScenarioConfig::tiny(3))))
+    });
+    group.finish();
+}
+
+fn bench_world_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_build");
+    group.sample_size(10);
+    group.bench_function("small_world", |b| {
+        b.iter(|| World::build(black_box(&ScenarioConfig::small(3))))
+    });
+    group.finish();
+}
+
+fn bench_one_simulated_day(c: &mut Criterion) {
+    use cellscope_mobility::TrajectoryGenerator;
+    let config = ScenarioConfig::tiny(3);
+    let world = World::build(&config);
+    let trajgen = TrajectoryGenerator::new(
+        &world.geo,
+        &world.behavior,
+        world.clock,
+        config.seed,
+    );
+    let loadgen = LoadGenerator::default();
+    let day = 40u16;
+    let date = world.clock.date(day);
+
+    let mut group = c.benchmark_group("one_day");
+    group.bench_function("trajectories_all_subscribers", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for sub in world.population.subscribers() {
+                total += trajgen.generate(black_box(sub), day).visits.len();
+            }
+            total
+        })
+    });
+    group.bench_function("traffic_load_all_subscribers", |b| {
+        let mut grid = DayLoadGrid::new(world.topo.cells().len());
+        b.iter(|| {
+            grid.clear();
+            for sub in world.population.subscribers() {
+                let traj = trajgen.generate(sub, day);
+                loadgen.accumulate(sub, &traj, date, 1.0, 1.0, &world.topo, &mut grid);
+            }
+            grid.total_voice_mb()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_study,
+    bench_world_build,
+    bench_one_simulated_day
+);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Generate raw synthetic feeds — the artifact the real study could
+//! never release.
+//!
+//! ```sh
+//! cargo run --release -p cellscope-bench --bin feedgen -- \
+//!     --out feeds/ [--scale tiny|small|full] [--seed N] \
+//!     [--from DAY] [--days N]
+//! ```
+//!
+//! Writes, per study day:
+//!
+//! * `events_dDDD.jsonl` — the control-plane signaling stream (one
+//!   JSON object per event, the paper's Section 2.2 schema);
+//! * `kpi_dDDD.csv` — per-4G-cell hourly KPIs (Section 2.4 schema).
+//!
+//! Plus once: `topology.csv` (cell metadata + geography) and
+//! `subscribers.csv` (feed-visible attributes only: anonymized id, TAC,
+//! PLMN — no ground truth leaks into the feeds).
+
+use cellscope_mobility::TrajectoryGenerator;
+use cellscope_radio::{Rat, Scheduler, SchedulerConfig};
+use cellscope_scenario::{ScenarioConfig, World};
+use cellscope_signaling::{write_events_jsonl, EventGenerator};
+use cellscope_traffic::DayLoadGrid;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = "tiny".to_string();
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("feeds");
+    let mut from_day = 24u16; // Tue of week 9
+    let mut days = 3u16;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "--scale" => scale = next("--scale"),
+            "--seed" => seed = next("--seed").parse().expect("numeric seed"),
+            "--out" => out = PathBuf::from(next("--out")),
+            "--from" => from_day = next("--from").parse().expect("numeric day"),
+            "--days" => days = next("--days").parse().expect("numeric count"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let config = match scale.as_str() {
+        "full" => ScenarioConfig::full(seed),
+        "small" => ScenarioConfig::small(seed),
+        "tiny" => ScenarioConfig::tiny(seed),
+        other => {
+            eprintln!("unknown scale: {other}");
+            std::process::exit(2);
+        }
+    };
+
+    fs::create_dir_all(&out).expect("create output dir");
+    eprintln!("building world ({scale}, seed {seed})…");
+    let world = World::build(&config);
+    let trajgen =
+        TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
+    let eventgen = EventGenerator::new(
+        &world.topo,
+        &world.catalog,
+        world.anonymizer,
+        config.events,
+    );
+    let loadgen = cellscope_scenario::run::load_generator(&config, 1.0);
+    let scheduler = Scheduler::new(SchedulerConfig::default());
+
+    // Topology metadata (the daily-snapshot feed, static part).
+    let mut topo_csv =
+        String::from("cell,site,rat,zone,county,cluster,district,x_km,y_km,active_from,active_to\n");
+    for cell in world.topo.cells() {
+        let (county, cluster, district) = world.cell_geo[cell.id.index()];
+        writeln!(
+            topo_csv,
+            "{},{},{},{},{},{},{},{:.3},{:.3},{},{}",
+            cell.id,
+            cell.site,
+            cell.rat,
+            cell.zone,
+            county,
+            cluster,
+            district.map(|d| d.code().to_string()).unwrap_or_default(),
+            cell.location.x,
+            cell.location.y,
+            cell.active_from,
+            cell.active_to,
+        )
+        .unwrap();
+    }
+    fs::write(out.join("topology.csv"), topo_csv).expect("write topology");
+
+    // Feed-visible subscriber attributes.
+    let mut subs_csv = String::from("anon_id,tac,mcc,mnc\n");
+    for sub in world.population.subscribers() {
+        let (mcc, mnc) = eventgen.plmn_of(sub);
+        writeln!(
+            subs_csv,
+            "{:016x},{},{mcc},{mnc}",
+            world.anonymizer.anon_id(sub.id.0),
+            eventgen.tac_of(sub),
+        )
+        .unwrap();
+    }
+    fs::write(out.join("subscribers.csv"), subs_csv).expect("write subscribers");
+
+    let last = (from_day + days - 1).min(world.clock.num_days() as u16 - 1);
+    let mut grid = DayLoadGrid::new(world.topo.cells().len());
+    for day in from_day..=last {
+        let date = world.clock.date(day);
+        eprintln!("day {day} ({date})…");
+
+        // Signaling events.
+        let file = fs::File::create(out.join(format!("events_d{day:03}.jsonl")))
+            .expect("create events file");
+        let mut writer = BufWriter::new(file);
+        let mut total = 0usize;
+        for sub in world.population.subscribers() {
+            let traj = trajgen.generate(sub, day);
+            let events = eventgen.generate(sub, &traj);
+            total += events.len();
+            write_events_jsonl(&mut writer, &events).expect("write events");
+        }
+
+        // Hourly KPIs.
+        let timeline = world.behavior.timeline();
+        let intensity = timeline.intensity(date);
+        let confinement = if date >= timeline.lockdown { 1.0 } else { intensity };
+        grid.clear();
+        for sub in world.population.subscribers() {
+            let traj = trajgen.generate(sub, day);
+            loadgen.accumulate(sub, &traj, date, intensity, confinement, &world.topo, &mut grid);
+        }
+        let mut kpi_csv = String::from(
+            "cell,hour,dl_mb,ul_mb,active_dl_users,connected_users,user_dl_tput_mbps,tti_util,voice_mb,voice_users\n",
+        );
+        for cell in world.topo.cells() {
+            if cell.rat != Rat::G4 || !cell.is_active(day) {
+                continue;
+            }
+            for hour in 0..24usize {
+                let load = grid.get(cell.id.index(), hour);
+                if load.connected_users == 0.0 && load.offered_dl_mb == 0.0 {
+                    continue;
+                }
+                let kpi = scheduler.serve(cell.capacity, load);
+                writeln!(
+                    kpi_csv,
+                    "{},{hour},{:.3},{:.3},{:.4},{:.2},{:.3},{:.5},{:.4},{:.4}",
+                    cell.id,
+                    kpi.dl_volume_mb + kpi.voice_volume_mb,
+                    kpi.ul_volume_mb + kpi.voice_volume_mb,
+                    kpi.active_dl_users,
+                    kpi.connected_users,
+                    kpi.user_dl_throughput_mbps,
+                    kpi.tti_utilization,
+                    kpi.voice_volume_mb,
+                    kpi.voice_users,
+                )
+                .unwrap();
+            }
+        }
+        fs::write(out.join(format!("kpi_d{day:03}.csv")), kpi_csv).expect("write kpi");
+        eprintln!("  {total} events");
+    }
+    println!(
+        "feeds for days {from_day}..={last} written to {}",
+        out.display()
+    );
+}

@@ -1,0 +1,270 @@
+//! Regenerate every table and figure of the paper and print a
+//! paper-vs-measured summary. This is the source of EXPERIMENTS.md.
+//!
+//! Usage:
+//! `repro [--scale full|small|tiny] [--seed N] [--json DIR] [--csv DIR]
+//!        [--config FILE] [--dump-config FILE]`
+//!
+//! `--dump-config` writes the resolved scenario configuration as JSON;
+//! `--config` loads one back (every knob of the study is a plain
+//! serializable field, so experiments are fully file-reproducible).
+
+use cellscope_bench::{fmt_pct, fmt_weekly, print_panel};
+use cellscope_scenario::{figures, run_study, ScenarioConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut scale = "small".to_string();
+    let mut seed = 42u64;
+    let mut json_dir: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+    let mut config_file: Option<String> = None;
+    let mut dump_config: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().expect("--scale needs a value"),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("numeric seed")
+            }
+            "--json" => json_dir = Some(args.next().expect("--json needs a dir")),
+            "--csv" => csv_dir = Some(args.next().expect("--csv needs a dir")),
+            "--config" => config_file = Some(args.next().expect("--config needs a file")),
+            "--dump-config" => {
+                dump_config = Some(args.next().expect("--dump-config needs a file"))
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let from_file = config_file.is_some();
+    let config: ScenarioConfig = match config_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+        }
+        None => match scale.as_str() {
+            "full" => ScenarioConfig::full(seed),
+            "small" => ScenarioConfig::small(seed),
+            "tiny" => ScenarioConfig::tiny(seed),
+            other => {
+                eprintln!("unknown scale: {other}");
+                std::process::exit(2);
+            }
+        },
+    };
+    if let Some(path) = dump_config {
+        std::fs::write(&path, serde_json::to_string_pretty(&config).unwrap())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("scenario configuration written to {path}");
+    }
+
+    let label = if from_file {
+        "config-file".to_string()
+    } else {
+        format!("{scale}, seed={seed}")
+    };
+    println!(
+        "== cellscope repro: {label}, subscribers={} ==",
+        config.population.num_subscribers
+    );
+    let t0 = Instant::now();
+    let ds = run_study(&config);
+    println!(
+        "study simulated in {:.1}s: {} study users, {} homes detected, {} KPI records\n",
+        t0.elapsed().as_secs_f64(),
+        ds.study_population,
+        ds.homes_detected,
+        ds.kpi.len()
+    );
+
+    // ---- Table 1 ----
+    println!("-- Table 1: geodemographic clusters --");
+    for row in figures::table1(&ds) {
+        println!("  {:<28} cells={:<5} {}", row.name, row.cells, row.definition);
+    }
+
+    // ---- Fig 2 ----
+    let f2 = figures::fig2(&ds);
+    println!("\n-- Fig 2: home detection vs census --");
+    if let Some(fit) = f2.fit {
+        println!(
+            "  {} LADs, r^2 = {:.3} (paper: 0.955), slope = {:.6}",
+            f2.points.len(),
+            fit.r2,
+            fit.slope
+        );
+    }
+
+    // ---- Fig 3 ----
+    let f3 = figures::fig3(&ds);
+    println!("\n-- Fig 3: national mobility (weekly mean of daily deltas) --");
+    for (w, g, e) in &f3.weekly {
+        println!("  w{w:02}: gyration {:>8}  entropy {:>8}", fmt_pct(*g), fmt_pct(*e));
+    }
+
+    // ---- Fig 4 ----
+    let f4 = figures::fig4(&ds);
+    println!("\n-- Fig 4: entropy vs cumulative cases --");
+    println!(
+        "  {} points; pre-declaration Pearson r = {} (paper: no correlation); cases at declaration = {:.0}",
+        f4.points.len(),
+        f4.pre_lockdown_pearson
+            .map(|r| format!("{r:+.3}"))
+            .unwrap_or_else(|| "--".into()),
+        f4.cases_at_declaration
+    );
+
+    // ---- Fig 5 ----
+    println!("\n-- Fig 5: regional mobility (weekly, vs national wk9) --");
+    for gm in figures::fig5(&ds) {
+        let gy: Vec<(u8, Option<f64>)> =
+            gm.weekly.iter().map(|(w, g, _)| (*w, *g)).collect();
+        let en: Vec<(u8, Option<f64>)> =
+            gm.weekly.iter().map(|(w, _, e)| (*w, *e)).collect();
+        println!("  {:<20} gyr {}", gm.group, fmt_weekly(&gy));
+        println!("  {:<20} ent {}", "", fmt_weekly(&en));
+    }
+
+    // ---- Fig 6 ----
+    println!("\n-- Fig 6: geodemographic mobility (weekly, vs national wk9) --");
+    for gm in figures::fig6(&ds) {
+        let gy: Vec<(u8, Option<f64>)> =
+            gm.weekly.iter().map(|(w, g, _)| (*w, *g)).collect();
+        println!("  {:<28} gyr {}", gm.group, fmt_weekly(&gy));
+        let en: Vec<(u8, Option<f64>)> =
+            gm.weekly.iter().map(|(w, _, e)| (*w, *e)).collect();
+        println!("  {:<28} ent {}", "", fmt_weekly(&en));
+    }
+
+    // ---- Fig 7 ----
+    let f7 = figures::fig7(&ds);
+    println!("\n-- Fig 7: Inner-London mobility matrix (weekly mean of daily deltas) --");
+    for (county, row) in &f7.rows {
+        // Compact: weekly means.
+        let weekly: Vec<(u8, Option<f64>)> = (9..=19)
+            .map(|w| {
+                let days: Vec<f64> = ds
+                    .clock
+                    .days_in_week(cellscope_time::IsoWeek { year: 2020, week: w })
+                    .filter_map(|d| row[d as usize])
+                    .collect();
+                (w, cellscope_core::stats::mean(&days))
+            })
+            .collect();
+        println!("  {:<20} {}", county, fmt_weekly(&weekly));
+    }
+
+    // ---- Fig 8 ----
+    println!("\n-- Fig 8: network KPIs (weekly medians vs national wk9 median) --");
+    for panel in figures::fig8(&ds) {
+        print_panel(&panel);
+    }
+
+    // ---- Fig 9 ----
+    let f9 = figures::fig9(&ds);
+    println!("\n-- Fig 9: 4G voice (QCI 1) --");
+    for panel in &f9.panels {
+        print_panel(panel);
+    }
+    println!("  [Voice Volume p90] {}", fmt_weekly(&f9.volume_p90_weekly_pct));
+
+    // ---- Fig 10 ----
+    let f10 = figures::fig10(&ds);
+    println!("\n-- Fig 10: KPIs per geodemographic cluster --");
+    for panel in &f10.panels {
+        print_panel(panel);
+    }
+    println!("  [users ~ DL volume correlation]");
+    for (cluster, r) in &f10.user_volume_correlation {
+        println!(
+            "    {:<28} r = {}",
+            cluster,
+            r.map(|r| format!("{r:+.3}")).unwrap_or_else(|| "--".into())
+        );
+    }
+
+    // ---- Fig 11 ----
+    println!("\n-- Fig 11: Inner-London postal districts --");
+    for panel in figures::fig11(&ds) {
+        print_panel(&panel);
+    }
+
+    // ---- Fig 12 ----
+    println!("\n-- Fig 12: London clusters --");
+    for panel in figures::fig12(&ds) {
+        print_panel(&panel);
+    }
+
+    // ---- Supplementary: per-bin mobility ----
+    let bins = figures::bin_profile(&ds);
+    println!("\n-- Supplementary: gyration by 4-hour bin (wk9 -> wk15) --");
+    for (bin, base, lock, delta) in &bins.bins {
+        println!(
+            "  {:<13} {:>7.2} km -> {:>6.2} km   {}",
+            bin,
+            base,
+            lock,
+            fmt_pct(*delta)
+        );
+    }
+
+    // ---- Headline ----
+    let h = figures::headline(&ds);
+    println!("\n-- Headline: paper vs measured --");
+    let rows: Vec<(&str, String, String)> = vec![
+        ("national gyration trough", "≈ -50%".into(), fmt_pct(h.gyration_trough_pct)),
+        ("national entropy trough (smaller)", "> gyration trough".into(), fmt_pct(h.entropy_trough_pct)),
+        ("UK DL volume wk10", "+8%".into(), fmt_pct(h.dl_volume_week10_pct)),
+        ("UK DL volume wk17", "-24%".into(), fmt_pct(h.dl_volume_week17_pct)),
+        ("UK radio load wk16", "-15.1%".into(), fmt_pct(h.radio_load_week16_pct)),
+        ("voice volume peak", "+140%".into(), fmt_pct(h.voice_volume_peak_pct)),
+        ("voice DL loss peak", "> +100%".into(), fmt_pct(h.voice_dl_loss_peak_pct)),
+        ("Inner London absent from wk13", "≈ 10%".into(), fmt_pct(h.london_absent_pct)),
+        ("dwell share on 4G", "75%".into(), format!("{:.1}%", h.rat_4g_share * 100.0)),
+        ("home validation r^2", "0.955".into(), h.home_validation_r2.map(|r| format!("{r:.3}")).unwrap_or_else(|| "--".into())),
+        ("UK throughput trough", "≥ -10%".into(), fmt_pct(h.throughput_trough_pct)),
+        ("UK UL volume range", "-7%..+1.5%".into(), format!("{}..{}", fmt_pct(h.ul_volume_range_pct.0), fmt_pct(h.ul_volume_range_pct.1))),
+    ];
+    for (name, paper, measured) in rows {
+        println!("  {:<36} paper {:<18} measured {}", name, paper, measured);
+    }
+
+    // ---- JSON export ----
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(&dir).expect("create json dir");
+        let write = |name: &str, v: serde_json::Value| {
+            let path = format!("{dir}/{name}.json");
+            std::fs::write(&path, serde_json::to_string_pretty(&v).unwrap())
+                .expect("write json");
+        };
+        write("table1", serde_json::to_value(figures::table1(&ds)).unwrap());
+        write("fig2", serde_json::to_value(&f2).unwrap());
+        write("fig3", serde_json::to_value(&f3).unwrap());
+        write("fig4", serde_json::to_value(&f4).unwrap());
+        write("fig5", serde_json::to_value(figures::fig5(&ds)).unwrap());
+        write("fig6", serde_json::to_value(figures::fig6(&ds)).unwrap());
+        write("fig7", serde_json::to_value(&f7).unwrap());
+        write("fig8", serde_json::to_value(figures::fig8(&ds)).unwrap());
+        write("fig9", serde_json::to_value(&f9).unwrap());
+        write("fig10", serde_json::to_value(&f10).unwrap());
+        write("fig11", serde_json::to_value(figures::fig11(&ds)).unwrap());
+        write("fig12", serde_json::to_value(figures::fig12(&ds)).unwrap());
+        write("headline", serde_json::to_value(&h).unwrap());
+        println!("\nJSON series written to {dir}/");
+    }
+
+    // ---- CSV export (plot-ready) ----
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        cellscope_bench::csv::export_all(&dir, &ds).expect("write csv");
+        println!("CSV series written to {dir}/");
+    }
+}

@@ -1,0 +1,145 @@
+//! Plot-ready CSV export of every figure's series.
+//!
+//! Long-format files, one per figure family, so any plotting tool
+//! (pandas, gnuplot, R) can regenerate the paper's visuals directly:
+//!
+//! ```text
+//! fig2_home_validation.csv   lad,census,inferred
+//! fig3_national_mobility.csv day,date,gyration_pct,entropy_pct,gyr_p10,gyr_p50,gyr_p90
+//! fig5_fig6_mobility.csv     grouping,group,week,gyration_pct,entropy_pct
+//! fig7_matrix.csv            county,day,date,delta_pct
+//! fig8_kpis.csv              figure,metric,line,week,delta_pct
+//! fig9_voice.csv             metric,week,delta_pct
+//! fig10_correlations.csv     cluster,pearson_r
+//! ```
+
+use cellscope_scenario::{figures, StudyDataset};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+fn opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.4}")).unwrap_or_default()
+}
+
+fn write(dir: &Path, name: &str, content: String) -> io::Result<()> {
+    std::fs::write(dir.join(name), content)
+}
+
+/// Export every figure of the dataset to `dir` as CSV.
+pub fn export_all(dir: impl AsRef<Path>, ds: &StudyDataset) -> io::Result<()> {
+    let dir = dir.as_ref();
+
+    // Fig 2.
+    let f2 = figures::fig2(ds);
+    let mut out = String::from("lad,census,inferred\n");
+    for (lad, census, inferred) in &f2.points {
+        writeln!(out, "{lad},{census},{inferred}").unwrap();
+    }
+    write(dir, "fig2_home_validation.csv", out)?;
+
+    // Fig 3 (+ percentile bands).
+    let f3 = figures::fig3(ds);
+    let mut out =
+        String::from("day,date,gyration_pct,entropy_pct,gyr_p10,gyr_p50,gyr_p90\n");
+    for day in ds.clock.days() {
+        let d = day as usize;
+        let band = f3.gyration_percentiles[d];
+        writeln!(
+            out,
+            "{day},{},{},{},{},{},{}",
+            ds.clock.date(day),
+            opt(f3.gyration_daily_pct[d]),
+            opt(f3.entropy_daily_pct[d]),
+            opt(band.map(|b| b.0)),
+            opt(band.map(|b| b.1)),
+            opt(band.map(|b| b.2)),
+        )
+        .unwrap();
+    }
+    write(dir, "fig3_national_mobility.csv", out)?;
+
+    // Figs 5 & 6 (weekly, long format).
+    let mut out = String::from("grouping,group,week,gyration_pct,entropy_pct\n");
+    for (grouping, groups) in
+        [("region", figures::fig5(ds)), ("cluster", figures::fig6(ds))]
+    {
+        for g in groups {
+            for (week, gyr, ent) in &g.weekly {
+                writeln!(
+                    out,
+                    "{grouping},{},{week},{},{}",
+                    g.group,
+                    opt(*gyr),
+                    opt(*ent)
+                )
+                .unwrap();
+            }
+        }
+    }
+    write(dir, "fig5_fig6_mobility.csv", out)?;
+
+    // Fig 7 (daily, long format).
+    let f7 = figures::fig7(ds);
+    let mut out = String::from("county,day,date,delta_pct\n");
+    for (county, row) in &f7.rows {
+        for day in ds.clock.days() {
+            writeln!(
+                out,
+                "{county},{day},{},{}",
+                ds.clock.date(day),
+                opt(row[day as usize])
+            )
+            .unwrap();
+        }
+    }
+    write(dir, "fig7_matrix.csv", out)?;
+
+    // Figs 8, 10, 11, 12 — all KPI panels, long format.
+    let mut out = String::from("figure,metric,line,week,delta_pct\n");
+    for (figure, panels) in [
+        ("fig8", figures::fig8(ds)),
+        ("fig10", figures::fig10(ds).panels),
+        ("fig11", figures::fig11(ds)),
+        ("fig12", figures::fig12(ds)),
+    ] {
+        for panel in panels {
+            for line in &panel.lines {
+                for (week, v) in &line.weekly_pct {
+                    writeln!(
+                        out,
+                        "{figure},{},{},{week},{}",
+                        panel.title,
+                        line.label,
+                        opt(*v)
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+    write(dir, "fig8_kpis.csv", out)?;
+
+    // Fig 9 (UK voice panels + p90).
+    let f9 = figures::fig9(ds);
+    let mut out = String::from("metric,week,delta_pct\n");
+    for panel in &f9.panels {
+        for (week, v) in &panel.lines[0].weekly_pct {
+            writeln!(out, "{},{week},{}", panel.title, opt(*v)).unwrap();
+        }
+    }
+    for (week, v) in &f9.volume_p90_weekly_pct {
+        writeln!(out, "Voice Volume p90,{week},{}", opt(*v)).unwrap();
+    }
+    write(dir, "fig9_voice.csv", out)?;
+
+    // Fig 10 correlations.
+    let f10 = figures::fig10(ds);
+    let mut out = String::from("cluster,pearson_r\n");
+    for (cluster, r) in &f10.user_volume_correlation {
+        writeln!(out, "{cluster},{}", opt(*r)).unwrap();
+    }
+    write(dir, "fig10_correlations.csv", out)?;
+
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+
+pub mod csv;
+
+use cellscope_scenario::figures::KpiPanel;
+
+/// Format a weekly series as `wk: value` pairs on one line.
+pub fn fmt_weekly(series: &[(u8, Option<f64>)]) -> String {
+    series
+        .iter()
+        .map(|(w, v)| match v {
+            Some(v) => format!("w{w}:{v:+.1}%"),
+            None => format!("w{w}:--"),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Print one figure panel with all its lines.
+pub fn print_panel(panel: &KpiPanel) {
+    println!("  [{}]", panel.title);
+    for line in &panel.lines {
+        println!("    {:<28} {}", line.label, fmt_weekly(&line.weekly_pct));
+    }
+}
+
+/// Format an optional percentage.
+pub fn fmt_pct(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:+.1}%")).unwrap_or_else(|| "--".into())
+}

@@ -1,0 +1,48 @@
+//! The CSV exporter must produce well-formed, complete files — they are
+//! the hand-off point to external plotting tools.
+
+use cellscope_bench::csv::export_all;
+use cellscope_scenario::{run_study, ScenarioConfig};
+
+#[test]
+fn exported_csvs_are_wellformed_and_complete() {
+    let mut cfg = ScenarioConfig::tiny(23);
+    cfg.population.num_subscribers = 800;
+    let ds = run_study(&cfg);
+    let dir = std::env::temp_dir().join("cellscope_csv_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    export_all(&dir, &ds).unwrap();
+
+    let expect_rows = |name: &str, min_rows: usize, columns: usize| {
+        let text = std::fs::read_to_string(dir.join(name)).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_else(|| panic!("{name} empty"));
+        assert_eq!(
+            header.split(',').count(),
+            columns,
+            "{name} header: {header}"
+        );
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(
+                line.split(',').count(),
+                columns,
+                "{name} ragged row: {line}"
+            );
+            rows += 1;
+        }
+        assert!(rows >= min_rows, "{name}: only {rows} rows");
+    };
+
+    expect_rows("fig2_home_validation.csv", 10, 3);
+    // 100 study days.
+    expect_rows("fig3_national_mobility.csv", 100, 7);
+    // 13 groups (5 regions + 8 clusters) × 11 weeks.
+    expect_rows("fig5_fig6_mobility.csv", 13 * 11, 5);
+    expect_rows("fig7_matrix.csv", 2 * 100, 4);
+    // 4 figures × several panels × several lines × 11 weeks.
+    expect_rows("fig8_kpis.csv", 500, 5);
+    // 4 voice panels + p90, 11 weeks each.
+    expect_rows("fig9_voice.csv", 55, 3);
+    expect_rows("fig10_correlations.csv", 8, 2);
+}

@@ -1,0 +1,155 @@
+//! Group-by daily aggregation.
+//!
+//! The mobility figures aggregate per-user daily metrics into group
+//! means: nationally (Fig. 3), per region (Fig. 5), per OAC cluster
+//! (Fig. 6). [`DailyGroupMean`] is a streaming accumulator for
+//! (group, day) → mean-of-values, so the scenario can fold millions of
+//! user-days without materializing them.
+
+use cellscope_time::SimClock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Streaming (group, day) → mean accumulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DailyGroupMean<K: Ord> {
+    num_days: usize,
+    sums: BTreeMap<K, Vec<f64>>,
+    counts: BTreeMap<K, Vec<u32>>,
+}
+
+impl<K: Ord + Clone> DailyGroupMean<K> {
+    /// New accumulator over `num_days` days.
+    pub fn new(num_days: usize) -> DailyGroupMean<K> {
+        DailyGroupMean {
+            num_days,
+            sums: BTreeMap::new(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, group: K, day: u16, value: f64) {
+        debug_assert!((day as usize) < self.num_days, "day out of range");
+        let sums = self
+            .sums
+            .entry(group.clone())
+            .or_insert_with(|| vec![0.0; self.num_days]);
+        sums[day as usize] += value;
+        let counts = self
+            .counts
+            .entry(group)
+            .or_insert_with(|| vec![0; self.num_days]);
+        counts[day as usize] += 1;
+    }
+
+    /// Mean for (group, day); `None` when unobserved.
+    pub fn mean(&self, group: &K, day: u16) -> Option<f64> {
+        let c = *self.counts.get(group)?.get(day as usize)?;
+        if c == 0 {
+            return None;
+        }
+        Some(self.sums[group][day as usize] / c as f64)
+    }
+
+    /// Count for (group, day).
+    pub fn count(&self, group: &K, day: u16) -> u32 {
+        self.counts
+            .get(group)
+            .and_then(|c| c.get(day as usize).copied())
+            .unwrap_or(0)
+    }
+
+    /// The group's daily means as a vector aligned with the clock.
+    pub fn daily_means(&self, group: &K) -> Vec<Option<f64>> {
+        (0..self.num_days as u16).map(|d| self.mean(group, d)).collect()
+    }
+
+    /// Wrap one group's series as a baseline-relative series.
+    pub fn delta_series(
+        &self,
+        group: &K,
+        clock: SimClock,
+        baseline_week: cellscope_time::IsoWeek,
+    ) -> crate::baseline::DeltaSeries {
+        crate::baseline::DeltaSeries::new(clock, self.daily_means(group), baseline_week)
+    }
+
+    /// All groups seen.
+    pub fn groups(&self) -> impl Iterator<Item = &K> {
+        self.sums.keys()
+    }
+
+    /// Merge another accumulator into this one (for parallel folds).
+    ///
+    /// # Panics
+    /// Panics if day counts differ.
+    pub fn merge(&mut self, other: DailyGroupMean<K>) {
+        assert_eq!(self.num_days, other.num_days, "mismatched day counts");
+        for (k, sums) in other.sums {
+            let entry = self
+                .sums
+                .entry(k.clone())
+                .or_insert_with(|| vec![0.0; self.num_days]);
+            for (a, b) in entry.iter_mut().zip(&sums) {
+                *a += b;
+            }
+        }
+        for (k, counts) in other.counts {
+            let entry = self
+                .counts
+                .entry(k)
+                .or_insert_with(|| vec![0; self.num_days]);
+            for (a, b) in entry.iter_mut().zip(&counts) {
+                *a += b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_and_counts() {
+        let mut agg: DailyGroupMean<&str> = DailyGroupMean::new(10);
+        agg.add("london", 0, 2.0);
+        agg.add("london", 0, 4.0);
+        agg.add("london", 3, 9.0);
+        agg.add("rural", 0, 10.0);
+        assert_eq!(agg.mean(&"london", 0), Some(3.0));
+        assert_eq!(agg.count(&"london", 0), 2);
+        assert_eq!(agg.mean(&"london", 3), Some(9.0));
+        assert_eq!(agg.mean(&"london", 1), None);
+        assert_eq!(agg.mean(&"rural", 0), Some(10.0));
+        assert_eq!(agg.mean(&"unknown", 0), None);
+    }
+
+    #[test]
+    fn daily_means_aligned() {
+        let mut agg: DailyGroupMean<u8> = DailyGroupMean::new(3);
+        agg.add(1, 1, 5.0);
+        assert_eq!(agg.daily_means(&1), vec![None, Some(5.0), None]);
+    }
+
+    #[test]
+    fn merge_combines_observations() {
+        let mut a: DailyGroupMean<u8> = DailyGroupMean::new(4);
+        let mut b: DailyGroupMean<u8> = DailyGroupMean::new(4);
+        a.add(1, 0, 2.0);
+        b.add(1, 0, 4.0);
+        b.add(2, 3, 7.0);
+        a.merge(b);
+        assert_eq!(a.mean(&1, 0), Some(3.0));
+        assert_eq!(a.mean(&2, 3), Some(7.0));
+        assert_eq!(a.groups().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched day counts")]
+    fn merge_rejects_mismatched_windows() {
+        let mut a: DailyGroupMean<u8> = DailyGroupMean::new(4);
+        a.merge(DailyGroupMean::new(5));
+    }
+}

@@ -1,0 +1,203 @@
+//! Baseline-relative delta series.
+//!
+//! Nearly every figure in the paper reports "the percentage of change in
+//! the average (or median) daily value compared to \[the\] average (or
+//! median) value in week 9". [`DeltaSeries`] packages that: a vector of
+//! daily values, a baseline window, and daily/weekly delta views.
+
+use cellscope_time::{IsoWeek, SimClock};
+use serde::{Deserialize, Serialize};
+
+/// Percentage change of `value` vs `baseline` (e.g. `-24.0` = −24%).
+///
+/// Returns `None` when the baseline is zero or non-finite.
+pub fn delta_pct(value: f64, baseline: f64) -> Option<f64> {
+    if baseline == 0.0 || !baseline.is_finite() || !value.is_finite() {
+        return None;
+    }
+    Some((value / baseline - 1.0) * 100.0)
+}
+
+/// A daily series over the study window with a baseline week.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeltaSeries {
+    clock: SimClock,
+    /// One value per simulation day; `None` = no observation.
+    values: Vec<Option<f64>>,
+    baseline_week: IsoWeek,
+}
+
+impl DeltaSeries {
+    /// Wrap a daily series. `values.len()` must equal `clock.num_days()`.
+    pub fn new(
+        clock: SimClock,
+        values: Vec<Option<f64>>,
+        baseline_week: IsoWeek,
+    ) -> DeltaSeries {
+        assert_eq!(
+            values.len(),
+            clock.num_days(),
+            "one value per simulation day"
+        );
+        DeltaSeries {
+            clock,
+            values,
+            baseline_week,
+        }
+    }
+
+    /// The raw daily value.
+    pub fn value(&self, day: u16) -> Option<f64> {
+        self.values.get(day as usize).copied().flatten()
+    }
+
+    /// Baseline: the mean of the baseline week's observed daily values.
+    pub fn baseline_mean(&self) -> Option<f64> {
+        let days: Vec<f64> = self
+            .clock
+            .days_in_week(self.baseline_week)
+            .filter_map(|d| self.value(d))
+            .collect();
+        crate::stats::mean(&days)
+    }
+
+    /// Baseline: the median of the baseline week's observed values.
+    pub fn baseline_median(&self) -> Option<f64> {
+        let days: Vec<f64> = self
+            .clock
+            .days_in_week(self.baseline_week)
+            .filter_map(|d| self.value(d))
+            .collect();
+        crate::stats::median(&days)
+    }
+
+    /// Daily Δ% vs the baseline-week mean (the mobility figures).
+    pub fn daily_delta_pct(&self) -> Vec<Option<f64>> {
+        let Some(base) = self.baseline_mean() else {
+            return vec![None; self.values.len()];
+        };
+        self.values
+            .iter()
+            .map(|v| v.and_then(|x| delta_pct(x, base)))
+            .collect()
+    }
+
+    /// Weekly Δ%: median of a week's daily values vs the baseline-week
+    /// median (the KPI figures). Returns (week, Δ%) pairs in order.
+    pub fn weekly_delta_pct(&self) -> Vec<(IsoWeek, Option<f64>)> {
+        let Some(base) = self.baseline_median() else {
+            return self.clock.weeks().into_iter().map(|w| (w, None)).collect();
+        };
+        self.clock
+            .weeks()
+            .into_iter()
+            .map(|week| {
+                let days: Vec<f64> = self
+                    .clock
+                    .days_in_week(week)
+                    .filter_map(|d| self.value(d))
+                    .collect();
+                let delta = crate::stats::median(&days).and_then(|m| delta_pct(m, base));
+                (week, delta)
+            })
+            .collect()
+    }
+
+    /// The Δ% of one specific week (None if unobserved).
+    pub fn week_delta_pct(&self, week: u8) -> Option<f64> {
+        self.weekly_delta_pct()
+            .into_iter()
+            .find(|(w, _)| w.week == week)
+            .and_then(|(_, d)| d)
+    }
+
+    /// The clock backing this series.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellscope_time::Date;
+
+    fn week(w: u8) -> IsoWeek {
+        IsoWeek { year: 2020, week: w }
+    }
+
+    fn series(f: impl Fn(u16) -> Option<f64>) -> DeltaSeries {
+        let clock = SimClock::study();
+        let values: Vec<_> = clock.days().map(f).collect();
+        DeltaSeries::new(clock, values, week(9))
+    }
+
+    #[test]
+    fn delta_pct_basics() {
+        assert_eq!(delta_pct(75.0, 100.0), Some(-25.0));
+        assert_eq!(delta_pct(150.0, 100.0), Some(50.0));
+        assert_eq!(delta_pct(100.0, 100.0), Some(0.0));
+        assert_eq!(delta_pct(1.0, 0.0), None);
+        assert_eq!(delta_pct(f64::NAN, 1.0), None);
+    }
+
+    #[test]
+    fn baseline_week_deltas_are_near_zero() {
+        let s = series(|_| Some(10.0));
+        assert_eq!(s.baseline_mean(), Some(10.0));
+        for d in s.daily_delta_pct().into_iter().flatten() {
+            assert!(d.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn halving_after_baseline_shows_minus_50() {
+        let clock = SimClock::study();
+        let lockdown = clock.day_of(Date::ymd(2020, 3, 23)).unwrap();
+        let s = series(|d| Some(if d >= lockdown { 5.0 } else { 10.0 }));
+        let deltas = s.daily_delta_pct();
+        assert!((deltas[lockdown as usize].unwrap() + 50.0).abs() < 1e-9);
+        assert!((deltas[(lockdown - 1) as usize].unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weekly_uses_medians() {
+        // Week 10 has one outlier day; median should shrug it off.
+        let clock = SimClock::study();
+        let s = series(move |d| {
+            let date = SimClock::study().date(d);
+            if date.iso_week().week == 10 && date.weekday() == cellscope_time::Weekday::Wednesday
+            {
+                Some(1000.0)
+            } else {
+                Some(10.0)
+            }
+        });
+        let _ = clock;
+        assert_eq!(s.week_delta_pct(10), Some(0.0));
+    }
+
+    #[test]
+    fn missing_days_are_skipped() {
+        let s = series(|d| if d % 2 == 0 { Some(10.0) } else { None });
+        assert_eq!(s.baseline_mean(), Some(10.0));
+        let deltas = s.daily_delta_pct();
+        assert!(deltas[1].is_none());
+        assert_eq!(deltas[0], Some(0.0));
+    }
+
+    #[test]
+    fn weeks_enumerated_in_order() {
+        let s = series(|_| Some(1.0));
+        let weeks: Vec<u8> = s.weekly_delta_pct().iter().map(|(w, _)| w.week).collect();
+        assert_eq!(weeks.first(), Some(&5));
+        assert_eq!(weeks.last(), Some(&19));
+        assert!(weeks.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per simulation day")]
+    fn wrong_length_rejected() {
+        DeltaSeries::new(SimClock::study(), vec![Some(1.0); 3], week(9));
+    }
+}

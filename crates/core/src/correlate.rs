@@ -1,0 +1,137 @@
+//! Correlation and regression.
+//!
+//! Three of the paper's claims are correlation statements: the inferred
+//! LAD populations fit census linearly with r² = 0.955 (Fig. 2);
+//! mobility does *not* correlate with case counts (Fig. 4); per-cluster
+//! connected users correlate with downlink volume (+0.973 for
+//! Cosmopolitans … −0.466 for Suburbanites, Section 4.4).
+
+use serde::{Deserialize, Serialize};
+
+/// Pearson correlation coefficient of paired samples.
+///
+/// Returns `None` for fewer than 2 pairs or zero variance on either
+/// side.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "paired samples required");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Ordinary-least-squares line fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Fit `y = slope·x + intercept`; `None` under the same degeneracies as
+/// [`pearson`].
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len(), "paired samples required");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r = pearson(xs, ys)?;
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2: r * r,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| -3.0 * x).collect();
+        assert!((pearson(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_noise_is_weak() {
+        // Deterministic pseudo-noise, decorrelated by construction.
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 0.7).sin()).collect();
+        let ys: Vec<f64> = (0..200).map(|i| (i as f64 * 1.3 + 2.0).cos()).collect();
+        let r = pearson(&xs, &ys).unwrap();
+        assert!(r.abs() < 0.2, "r = {r}");
+    }
+
+    #[test]
+    fn degenerate_cases_are_none() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None); // zero x variance
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0, 3.0]), None); // zero y variance
+        assert_eq!(linear_fit(&[], &[]), None);
+    }
+
+    #[test]
+    fn fit_recovers_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x - 2.0).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 5.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_r2_degrades_with_noise() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let clean: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+        let noisy: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 2.0 + 30.0 * ((i as f64 * 2.1).sin()))
+            .collect();
+        let r2_clean = linear_fit(&xs, &clean).unwrap().r2;
+        let r2_noisy = linear_fit(&xs, &noisy).unwrap().r2;
+        assert!(r2_clean > r2_noisy);
+        assert!(r2_noisy > 0.8); // still dominated by the trend
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn unpaired_inputs_panic() {
+        let _ = pearson(&[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-user-day tower dwell.
+//!
+//! Section 2.3: "For each user, we determine the total duration of time
+//! they spend connected to every cell tower and select the top 20
+//! towers" — the filter that isolates a person's relevant places before
+//! computing mobility metrics.
+
+use cellscope_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// Time spent at one tower during one user-day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TowerDwell {
+    /// Opaque tower key (site id in the synthetic world).
+    pub tower: u32,
+    /// Tower location (for gyration).
+    pub location: Point,
+    /// Seconds of dwell.
+    pub seconds: f64,
+}
+
+/// Dwell tagged with the 4-hour bin it happened in — Section 2.3 also
+/// computes the mobility metrics "over six disjoint 4-hour bins of the
+/// day", not only over the 24-hour window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinnedTowerDwell {
+    /// The 4-hour bin.
+    pub bin: cellscope_time::DayBin,
+    /// The dwell record.
+    pub dwell: TowerDwell,
+}
+
+/// Project binned dwell onto one 4-hour bin, ready for the metric
+/// functions (which are bin-agnostic).
+pub fn dwell_in_bin(
+    binned: &[BinnedTowerDwell],
+    bin: cellscope_time::DayBin,
+) -> Vec<TowerDwell> {
+    binned
+        .iter()
+        .filter(|b| b.bin == bin)
+        .map(|b| b.dwell)
+        .collect()
+}
+
+/// Collapse binned dwell to the 24-hour window (summing per tower).
+pub fn dwell_whole_day(binned: &[BinnedTowerDwell]) -> Vec<TowerDwell> {
+    let all: Vec<TowerDwell> = binned.iter().map(|b| b.dwell).collect();
+    top_n_towers(&all, usize::MAX)
+}
+
+/// Keep the `n` towers with the longest dwell, merging duplicates first.
+///
+/// Ties break toward the lower tower id so the selection is
+/// deterministic. Zero- and negative-duration entries are dropped.
+pub fn top_n_towers(dwell: &[TowerDwell], n: usize) -> Vec<TowerDwell> {
+    let mut merged: Vec<TowerDwell> = Vec::with_capacity(dwell.len());
+    let mut sorted = dwell.to_vec();
+    sorted.sort_by_key(|d| d.tower);
+    for d in sorted {
+        if d.seconds <= 0.0 {
+            continue;
+        }
+        match merged.last_mut() {
+            Some(last) if last.tower == d.tower => last.seconds += d.seconds,
+            _ => merged.push(d),
+        }
+    }
+    merged.sort_by(|a, b| {
+        b.seconds
+            .total_cmp(&a.seconds)
+            .then(a.tower.cmp(&b.tower))
+    });
+    merged.truncate(n);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(tower: u32, seconds: f64) -> TowerDwell {
+        TowerDwell {
+            tower,
+            location: Point::new(tower as f64, 0.0),
+            seconds,
+        }
+    }
+
+    #[test]
+    fn merges_duplicates_before_ranking() {
+        // Tower 1 appears twice summing to 100 > tower 2's 60.
+        let result = top_n_towers(&[d(2, 60.0), d(1, 40.0), d(1, 60.0)], 1);
+        assert_eq!(result.len(), 1);
+        assert_eq!(result[0].tower, 1);
+        assert_eq!(result[0].seconds, 100.0);
+    }
+
+    #[test]
+    fn keeps_top_n_by_duration() {
+        let dwell = vec![d(1, 10.0), d(2, 50.0), d(3, 30.0), d(4, 40.0)];
+        let top2 = top_n_towers(&dwell, 2);
+        assert_eq!(
+            top2.iter().map(|t| t.tower).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+    }
+
+    #[test]
+    fn drops_zero_duration_entries() {
+        let top = top_n_towers(&[d(1, 0.0), d(2, 5.0)], 20);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].tower, 2);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let top = top_n_towers(&[d(9, 10.0), d(3, 10.0), d(7, 10.0)], 2);
+        assert_eq!(top.iter().map(|t| t.tower).collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    fn n_larger_than_input_is_fine() {
+        let top = top_n_towers(&[d(1, 5.0)], 20);
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(top_n_towers(&[], 20).is_empty());
+    }
+
+    #[test]
+    fn binned_projection_and_day_collapse() {
+        use cellscope_time::DayBin;
+        let binned = vec![
+            BinnedTowerDwell { bin: DayBin::Night, dwell: d(1, 100.0) },
+            BinnedTowerDwell { bin: DayBin::Morning, dwell: d(1, 50.0) },
+            BinnedTowerDwell { bin: DayBin::Morning, dwell: d(2, 30.0) },
+        ];
+        let morning = dwell_in_bin(&binned, DayBin::Morning);
+        assert_eq!(morning.len(), 2);
+        let whole = dwell_whole_day(&binned);
+        // Tower 1's night + morning dwell merges to 150 s.
+        let t1 = whole.iter().find(|t| t.tower == 1).unwrap();
+        assert_eq!(t1.seconds, 150.0);
+        assert_eq!(whole.len(), 2);
+        // Per-bin metrics differ from the whole-day ones.
+        let e_morning = crate::entropy::mobility_entropy(&morning).unwrap();
+        let e_day = crate::entropy::mobility_entropy(&whole).unwrap();
+        assert!(e_morning > e_day, "{e_morning} vs {e_day}");
+        assert!(dwell_in_bin(&binned, DayBin::Evening).is_empty());
+    }
+}

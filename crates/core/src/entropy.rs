@@ -1,0 +1,101 @@
+//! Temporal-uncorrelated mobility entropy — Eq. (1) of the paper.
+//!
+//! `e = − Σ_j p(j) · log(p(j))` where `p(j)` is the fraction of dwell
+//! time spent at the j-th visited tower: "a measure of the randomness of
+//! the movements of an individual, and as such, a metric for the
+//! predictability of movements" (Section 2.3, after Song et al.).
+
+use crate::dwell::TowerDwell;
+
+/// Compute the temporal-uncorrelated entropy of one user-day's dwell.
+///
+/// Uses the natural logarithm. Returns `None` when total dwell is zero
+/// (unobserved user). A user seen at a single tower has entropy 0; the
+/// maximum for `N` towers is `ln N`, reached on a uniform split.
+///
+/// Entries are treated as distinct visitation outcomes: pass dwell with
+/// one entry per tower (as produced by [`crate::top_n_towers`], which
+/// merges duplicates) — duplicated tower entries would be counted as
+/// separate places.
+///
+/// ```
+/// use cellscope_core::{mobility_entropy, TowerDwell};
+/// use cellscope_geo::Point;
+///
+/// let day = vec![
+///     TowerDwell { tower: 1, location: Point::new(0.0, 0.0), seconds: 16.0 * 3600.0 },
+///     TowerDwell { tower: 2, location: Point::new(8.0, 0.0), seconds: 8.0 * 3600.0 },
+/// ];
+/// let e = mobility_entropy(&day).unwrap();
+/// // Two places at a 2:1 split: 0 < e < ln 2.
+/// assert!(e > 0.0 && e < 2f64.ln());
+/// ```
+pub fn mobility_entropy(dwell: &[TowerDwell]) -> Option<f64> {
+    let total: f64 = dwell.iter().map(|d| d.seconds.max(0.0)).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut e = 0.0;
+    for d in dwell {
+        if d.seconds > 0.0 {
+            let p = d.seconds / total;
+            e -= p * p.ln();
+        }
+    }
+    Some(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellscope_geo::Point;
+
+    fn d(tower: u32, seconds: f64) -> TowerDwell {
+        TowerDwell {
+            tower,
+            location: Point::new(0.0, 0.0),
+            seconds,
+        }
+    }
+
+    #[test]
+    fn empty_or_zero_dwell_is_none() {
+        assert_eq!(mobility_entropy(&[]), None);
+        assert_eq!(mobility_entropy(&[d(1, 0.0)]), None);
+    }
+
+    #[test]
+    fn single_tower_is_zero() {
+        assert_eq!(mobility_entropy(&[d(1, 86_400.0)]), Some(0.0));
+    }
+
+    #[test]
+    fn uniform_split_reaches_ln_n() {
+        let dwell: Vec<_> = (0..4).map(|i| d(i, 100.0)).collect();
+        let e = mobility_entropy(&dwell).unwrap();
+        assert!((e - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_reduces_entropy() {
+        let uniform = mobility_entropy(&[d(1, 50.0), d(2, 50.0)]).unwrap();
+        let skewed = mobility_entropy(&[d(1, 90.0), d(2, 10.0)]).unwrap();
+        assert!(skewed < uniform);
+        assert!(skewed > 0.0);
+    }
+
+    #[test]
+    fn scale_invariant_in_total_time() {
+        let a = mobility_entropy(&[d(1, 10.0), d(2, 30.0)]).unwrap();
+        let b = mobility_entropy(&[d(1, 1000.0), d(2, 3000.0)]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_tower_known_value() {
+        // p = (0.75, 0.25): e = -(0.75 ln 0.75 + 0.25 ln 0.25)
+        let e = mobility_entropy(&[d(1, 75.0), d(2, 25.0)]).unwrap();
+        let expected = -(0.75f64 * 0.75f64.ln() + 0.25 * 0.25f64.ln());
+        assert!((e - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Radius of gyration — Eq. (2) of the paper.
+//!
+//! `g = sqrt( (1/T) Σ_j t_j · |l_j − l_cm|² )` with
+//! `l_cm = (1/T) Σ_j t_j · l_j`: the time-weighted RMS distance of the
+//! visited towers from the trajectory's centre of mass — "a key
+//! characteristic to model travelled distance" (Section 2.3, after
+//! González et al.).
+//!
+//! Note on the formula: the paper prints `(1/N) Σ (t_j l_j − l_cm)²`
+//! with `l_cm = (1/N) Σ t_j l_j`, which is dimensionally inconsistent
+//! unless `t_j` are *normalized* dwell fractions; with normalized
+//! weights it reduces to the standard time-weighted definition
+//! implemented here (and used by the mobility literature it cites).
+
+use crate::dwell::TowerDwell;
+use cellscope_geo::coords::center_of_mass;
+
+/// Compute the radius of gyration of one user-day's dwell, in km.
+///
+/// Returns `None` when total dwell is zero. A single-tower day (or any
+/// day spent at one location) has gyration 0.
+///
+/// ```
+/// use cellscope_core::{radius_of_gyration, TowerDwell};
+/// use cellscope_geo::Point;
+///
+/// // Half the day at home, half at a workplace 10 km away: every
+/// // second sits 5 km from the centre of mass.
+/// let day = vec![
+///     TowerDwell { tower: 1, location: Point::new(0.0, 0.0), seconds: 43_200.0 },
+///     TowerDwell { tower: 2, location: Point::new(10.0, 0.0), seconds: 43_200.0 },
+/// ];
+/// assert!((radius_of_gyration(&day).unwrap() - 5.0).abs() < 1e-12);
+/// ```
+pub fn radius_of_gyration(dwell: &[TowerDwell]) -> Option<f64> {
+    let total: f64 = dwell.iter().map(|d| d.seconds.max(0.0)).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let cm = center_of_mass(
+        dwell
+            .iter()
+            .filter(|d| d.seconds > 0.0)
+            .map(|d| (d.location, d.seconds)),
+    )?;
+    let mut acc = 0.0;
+    for d in dwell {
+        if d.seconds > 0.0 {
+            acc += d.seconds * d.location.distance_sq(cm);
+        }
+    }
+    Some((acc / total).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellscope_geo::Point;
+
+    fn d(tower: u32, x: f64, y: f64, seconds: f64) -> TowerDwell {
+        TowerDwell {
+            tower,
+            location: Point::new(x, y),
+            seconds,
+        }
+    }
+
+    #[test]
+    fn empty_or_zero_dwell_is_none() {
+        assert_eq!(radius_of_gyration(&[]), None);
+        assert_eq!(radius_of_gyration(&[d(1, 5.0, 5.0, 0.0)]), None);
+    }
+
+    #[test]
+    fn single_location_is_zero() {
+        assert_eq!(radius_of_gyration(&[d(1, 3.0, 4.0, 100.0)]), Some(0.0));
+        // Two towers at the same point: still zero.
+        assert_eq!(
+            radius_of_gyration(&[d(1, 3.0, 4.0, 50.0), d(2, 3.0, 4.0, 70.0)]),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn symmetric_two_point_day() {
+        // Equal time at x=0 and x=10: cm at 5, every second is 5 km out.
+        let g = radius_of_gyration(&[d(1, 0.0, 0.0, 100.0), d(2, 10.0, 0.0, 100.0)])
+            .unwrap();
+        assert!((g - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_two_point_day() {
+        // 3/4 of time at x=0, 1/4 at x=8: cm at 2.
+        // g = sqrt(0.75·4 + 0.25·36) = sqrt(12) ≈ 3.464.
+        let g = radius_of_gyration(&[d(1, 0.0, 0.0, 300.0), d(2, 8.0, 0.0, 100.0)])
+            .unwrap();
+        assert!((g - 12.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_invariant() {
+        let base = [d(1, 0.0, 0.0, 10.0), d(2, 6.0, 8.0, 30.0)];
+        let shifted = [d(1, 100.0, -50.0, 10.0), d(2, 106.0, -42.0, 30.0)];
+        assert!(
+            (radius_of_gyration(&base).unwrap()
+                - radius_of_gyration(&shifted).unwrap())
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn spending_more_time_at_home_shrinks_gyration() {
+        let commuter = [d(1, 0.0, 0.0, 16.0), d(2, 10.0, 0.0, 8.0)];
+        let confined = [d(1, 0.0, 0.0, 23.0), d(2, 10.0, 0.0, 1.0)];
+        assert!(
+            radius_of_gyration(&confined).unwrap()
+                < radius_of_gyration(&commuter).unwrap()
+        );
+    }
+}

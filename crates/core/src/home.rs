@@ -1,0 +1,252 @@
+//! Home detection.
+//!
+//! Section 2.3: "We use the cell tower to which the user connects more
+//! time during nighttime hours (12:00 PM through 8:00 AM) for at least
+//! 14 days (not necessarily consecutive) during February 2020." The
+//! paper resolves ≈16M homes this way and validates the inferred LAD
+//! populations against census (Fig. 2, r² = 0.955).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Accumulates night-time dwell over the observation window.
+///
+/// Feed it one record per (user, night, tower) with the night-window
+/// dwell minutes; it tracks, per user, on how many distinct nights each
+/// tower was that night's maximum.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NightDwellLog {
+    /// user → (night, best tower so far, best minutes so far)
+    current_night: HashMap<u64, (u16, u32, u16)>,
+    /// user → tower → nights won
+    wins: HashMap<u64, HashMap<u32, u16>>,
+}
+
+impl NightDwellLog {
+    /// Create an empty log.
+    pub fn new() -> NightDwellLog {
+        NightDwellLog::default()
+    }
+
+    /// Record `minutes` of night-window dwell of `user` at `tower` on
+    /// `night`. Records may arrive in any per-user order across towers,
+    /// but nights must be fed in non-decreasing order per user (the
+    /// natural feed order).
+    pub fn record(&mut self, user: u64, night: u16, tower: u32, minutes: u16) {
+        if minutes == 0 {
+            return;
+        }
+        match self.current_night.get_mut(&user) {
+            Some((cur_night, best_tower, best_minutes)) if *cur_night == night => {
+                if minutes > *best_minutes {
+                    *best_tower = tower;
+                    *best_minutes = minutes;
+                }
+            }
+            Some(entry) => {
+                debug_assert!(entry.0 < night, "nights must arrive in order per user");
+                // Close the previous night.
+                let (_, won_tower, _) = *entry;
+                *self
+                    .wins
+                    .entry(user)
+                    .or_default()
+                    .entry(won_tower)
+                    .or_default() += 1;
+                *entry = (night, tower, minutes);
+            }
+            None => {
+                self.current_night.insert(user, (night, tower, minutes));
+            }
+        }
+    }
+
+    /// Close all open nights (call once after the last record).
+    pub fn finish(&mut self) {
+        for (user, (_, tower, _)) in self.current_night.drain() {
+            *self.wins.entry(user).or_default().entry(tower).or_default() += 1;
+        }
+    }
+
+    /// Merge another **finished** log (disjoint or overlapping users).
+    ///
+    /// # Panics
+    /// Panics if either log has unfinished nights (call
+    /// [`NightDwellLog::finish`] first).
+    pub fn merge(&mut self, other: NightDwellLog) {
+        assert!(
+            self.current_night.is_empty() && other.current_night.is_empty(),
+            "merge requires finished logs"
+        );
+        for (user, towers) in other.wins {
+            let entry = self.wins.entry(user).or_default();
+            for (tower, nights) in towers {
+                *entry.entry(tower).or_default() += nights;
+            }
+        }
+    }
+
+    /// Nights won per tower for one user.
+    pub fn wins_of(&self, user: u64) -> Option<&HashMap<u32, u16>> {
+        self.wins.get(&user)
+    }
+
+    /// Users observed.
+    pub fn users(&self) -> impl Iterator<Item = u64> + '_ {
+        self.wins.keys().copied()
+    }
+}
+
+/// The home-detection rule.
+///
+/// ```
+/// use cellscope_core::{HomeDetector, NightDwellLog};
+///
+/// let mut log = NightDwellLog::new();
+/// for night in 0..20 {
+///     log.record(7, night, 42, 420); // user 7 sleeps near tower 42
+///     log.record(7, night, 9, 60);   // briefly seen on a neighbour
+/// }
+/// log.finish();
+/// assert_eq!(HomeDetector::default().detect(&log, 7), Some(42));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HomeDetector {
+    /// Minimum nights a tower must win to qualify as home (paper: 14).
+    pub min_nights: u16,
+}
+
+impl Default for HomeDetector {
+    fn default() -> Self {
+        HomeDetector { min_nights: 14 }
+    }
+}
+
+impl HomeDetector {
+    /// Resolve one user's home tower, if the rule is satisfied.
+    pub fn detect(&self, log: &NightDwellLog, user: u64) -> Option<u32> {
+        let wins = log.wins_of(user)?;
+        let (&tower, &nights) = wins
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))?; // ties → lower id
+        if nights >= self.min_nights {
+            Some(tower)
+        } else {
+            None
+        }
+    }
+
+    /// Resolve every detectable user.
+    pub fn detect_all(&self, log: &NightDwellLog) -> HashMap<u64, u32> {
+        log.users()
+            .filter_map(|u| self.detect(log, u).map(|t| (u, t)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a log where `user` wins `tower` on the given nights with
+    /// the given minutes (single tower per night unless stated).
+    fn feed(log: &mut NightDwellLog, user: u64, nights: &[(u16, u32, u16)]) {
+        for &(night, tower, minutes) in nights {
+            log.record(user, night, tower, minutes);
+        }
+    }
+
+    #[test]
+    fn detects_dominant_night_tower() {
+        let mut log = NightDwellLog::new();
+        // 20 nights at tower 5, with tower 9 briefly seen each night.
+        for night in 0..20 {
+            feed(&mut log, 1, &[(night, 5, 400), (night, 9, 60)]);
+        }
+        log.finish();
+        assert_eq!(HomeDetector::default().detect(&log, 1), Some(5));
+    }
+
+    #[test]
+    fn under_threshold_is_undetected() {
+        let mut log = NightDwellLog::new();
+        for night in 0..13 {
+            feed(&mut log, 1, &[(night, 5, 400)]);
+        }
+        log.finish();
+        assert_eq!(HomeDetector::default().detect(&log, 1), None);
+        // 14 nights flips it.
+        let mut log = NightDwellLog::new();
+        for night in 0..14 {
+            feed(&mut log, 1, &[(night, 5, 400)]);
+        }
+        log.finish();
+        assert_eq!(HomeDetector::default().detect(&log, 1), Some(5));
+    }
+
+    #[test]
+    fn nights_need_not_be_consecutive() {
+        let mut log = NightDwellLog::new();
+        for i in 0..14 {
+            feed(&mut log, 1, &[(i * 2, 5, 300)]); // every other night
+        }
+        log.finish();
+        assert_eq!(HomeDetector::default().detect(&log, 1), Some(5));
+    }
+
+    #[test]
+    fn per_night_maximum_wins_not_total() {
+        let mut log = NightDwellLog::new();
+        // Tower 7 wins every night narrowly; tower 3 seen nightly too.
+        for night in 0..20 {
+            feed(&mut log, 1, &[(night, 3, 200), (night, 7, 280)]);
+        }
+        log.finish();
+        assert_eq!(HomeDetector::default().detect(&log, 1), Some(7));
+    }
+
+    #[test]
+    fn split_residences_pick_the_majority() {
+        let mut log = NightDwellLog::new();
+        for night in 0..18 {
+            feed(&mut log, 1, &[(night, 1, 300)]);
+        }
+        for night in 18..29 {
+            feed(&mut log, 1, &[(night, 2, 300)]);
+        }
+        log.finish();
+        // 18 nights at tower 1, 11 at tower 2.
+        assert_eq!(HomeDetector::default().detect(&log, 1), Some(1));
+    }
+
+    #[test]
+    fn unknown_user_is_none() {
+        let log = NightDwellLog::new();
+        assert_eq!(HomeDetector::default().detect(&log, 99), None);
+    }
+
+    #[test]
+    fn detect_all_covers_only_qualified_users() {
+        let mut log = NightDwellLog::new();
+        for night in 0..20 {
+            feed(&mut log, 1, &[(night, 5, 300)]);
+        }
+        for night in 0..5 {
+            feed(&mut log, 2, &[(night, 6, 300)]);
+        }
+        log.finish();
+        let homes = HomeDetector::default().detect_all(&log);
+        assert_eq!(homes.len(), 1);
+        assert_eq!(homes.get(&1), Some(&5));
+    }
+
+    #[test]
+    fn zero_minute_records_are_ignored() {
+        let mut log = NightDwellLog::new();
+        for night in 0..20 {
+            log.record(1, night, 5, 0);
+        }
+        log.finish();
+        assert_eq!(HomeDetector::default().detect(&log, 1), None);
+    }
+}

@@ -1,0 +1,319 @@
+//! Per-cell daily KPI records and group statistics.
+//!
+//! Section 2.4: "For all the hourly metrics, we further aggregate them
+//! per day and extract the (hourly) median value per cell. This allows
+//! to capture one single value per metric per day." [`CellDayMetrics`]
+//! is that per-cell-day record; [`KpiTable`] holds the study's worth of
+//! them and answers the questions the network-performance figures ask:
+//! median across a set of cells per day/week, as Δ% vs week 9.
+
+use crate::baseline::DeltaSeries;
+use crate::stats;
+use cellscope_time::{IsoWeek, SimClock};
+use serde::{Deserialize, Serialize};
+
+/// One hourly KPI sample, generator-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HourlyKpiSample {
+    /// Downlink volume, MB (all QCI 1–8 bearers).
+    pub dl_volume_mb: f64,
+    /// Uplink volume, MB.
+    pub ul_volume_mb: f64,
+    /// Average active DL users.
+    pub active_dl_users: f64,
+    /// Total connected users.
+    pub connected_users: f64,
+    /// Average user DL throughput, Mbit/s.
+    pub user_dl_throughput_mbps: f64,
+    /// TTI utilization, 0–1.
+    pub tti_utilization: f64,
+    /// Voice (QCI 1) volume, MB.
+    pub voice_volume_mb: f64,
+    /// Simultaneous voice users.
+    pub voice_users: f64,
+    /// Voice UL packet loss rate.
+    pub voice_ul_loss: f64,
+    /// Voice DL packet loss rate.
+    pub voice_dl_loss: f64,
+}
+
+/// One cell-day: the per-metric medians of the day's hourly samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellDayMetrics {
+    /// Cell key (cell id in the synthetic world).
+    pub cell: u32,
+    /// Study day.
+    pub day: u16,
+    /// Medians of the hourly samples (f32: the table is large).
+    pub dl_volume_mb: f32,
+    pub ul_volume_mb: f32,
+    pub active_dl_users: f32,
+    pub connected_users: f32,
+    pub user_dl_throughput_mbps: f32,
+    pub tti_utilization: f32,
+    pub voice_volume_mb: f32,
+    pub voice_users: f32,
+    pub voice_ul_loss: f32,
+    pub voice_dl_loss: f32,
+}
+
+/// Selector for one metric of [`CellDayMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KpiField {
+    /// Downlink data volume.
+    DlVolume,
+    /// Uplink data volume.
+    UlVolume,
+    /// Active downlink users.
+    ActiveDlUsers,
+    /// Total connected users.
+    ConnectedUsers,
+    /// Average user DL throughput.
+    UserDlThroughput,
+    /// Cell resource utilization (TTI).
+    TtiUtilization,
+    /// Conversational-voice volume.
+    VoiceVolume,
+    /// Simultaneous voice users.
+    VoiceUsers,
+    /// Voice uplink packet loss rate.
+    VoiceUlLoss,
+    /// Voice downlink packet loss rate.
+    VoiceDlLoss,
+}
+
+impl KpiField {
+    /// All fields, in Fig. 8/9 order.
+    pub const ALL: [KpiField; 10] = [
+        KpiField::DlVolume,
+        KpiField::UlVolume,
+        KpiField::ActiveDlUsers,
+        KpiField::ConnectedUsers,
+        KpiField::UserDlThroughput,
+        KpiField::TtiUtilization,
+        KpiField::VoiceVolume,
+        KpiField::VoiceUsers,
+        KpiField::VoiceUlLoss,
+        KpiField::VoiceDlLoss,
+    ];
+
+    /// Plot title as used in the paper's figures.
+    pub fn title(self) -> &'static str {
+        match self {
+            KpiField::DlVolume => "Downlink Data Volume",
+            KpiField::UlVolume => "Uplink Data Volume",
+            KpiField::ActiveDlUsers => "Downlink Active Users",
+            KpiField::ConnectedUsers => "Total Number of Users",
+            KpiField::UserDlThroughput => "User Downlink Throughput",
+            KpiField::TtiUtilization => "Cell Resource Utilization",
+            KpiField::VoiceVolume => "Voice Traffic Volume",
+            KpiField::VoiceUsers => "Voice Simultaneous Users",
+            KpiField::VoiceUlLoss => "Voice Uplink Packet Error Loss Rate",
+            KpiField::VoiceDlLoss => "Voice Downlink Packet Error Loss Rate",
+        }
+    }
+}
+
+impl CellDayMetrics {
+    /// Collapse one cell-day's hourly samples into the daily record
+    /// (median per metric). Returns `None` for an empty day.
+    pub fn from_hourly(cell: u32, day: u16, hours: &[HourlyKpiSample]) -> Option<CellDayMetrics> {
+        if hours.is_empty() {
+            return None;
+        }
+        let med = |f: fn(&HourlyKpiSample) -> f64| -> f32 {
+            let vals: Vec<f64> = hours.iter().map(f).collect();
+            stats::median(&vals).expect("non-empty") as f32
+        };
+        Some(CellDayMetrics {
+            cell,
+            day,
+            dl_volume_mb: med(|h| h.dl_volume_mb),
+            ul_volume_mb: med(|h| h.ul_volume_mb),
+            active_dl_users: med(|h| h.active_dl_users),
+            connected_users: med(|h| h.connected_users),
+            user_dl_throughput_mbps: med(|h| h.user_dl_throughput_mbps),
+            tti_utilization: med(|h| h.tti_utilization),
+            voice_volume_mb: med(|h| h.voice_volume_mb),
+            voice_users: med(|h| h.voice_users),
+            voice_ul_loss: med(|h| h.voice_ul_loss),
+            voice_dl_loss: med(|h| h.voice_dl_loss),
+        })
+    }
+
+    /// Read one metric.
+    pub fn get(&self, field: KpiField) -> f64 {
+        (match field {
+            KpiField::DlVolume => self.dl_volume_mb,
+            KpiField::UlVolume => self.ul_volume_mb,
+            KpiField::ActiveDlUsers => self.active_dl_users,
+            KpiField::ConnectedUsers => self.connected_users,
+            KpiField::UserDlThroughput => self.user_dl_throughput_mbps,
+            KpiField::TtiUtilization => self.tti_utilization,
+            KpiField::VoiceVolume => self.voice_volume_mb,
+            KpiField::VoiceUsers => self.voice_users,
+            KpiField::VoiceUlLoss => self.voice_ul_loss,
+            KpiField::VoiceDlLoss => self.voice_dl_loss,
+        }) as f64
+    }
+}
+
+/// The study's per-cell-day KPI table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KpiTable {
+    records: Vec<CellDayMetrics>,
+}
+
+impl KpiTable {
+    /// Empty table.
+    pub fn new() -> KpiTable {
+        KpiTable::default()
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, record: CellDayMetrics) {
+        self.records.push(record);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[CellDayMetrics] {
+        &self.records
+    }
+
+    /// Mutable access to all records (post-processing passes, e.g.
+    /// applying a network-wide daily loss component).
+    pub fn records_mut(&mut self) -> &mut [CellDayMetrics] {
+        &mut self.records
+    }
+
+    /// Append every record of another table (parallel-fold merge).
+    pub fn merge(&mut self, other: KpiTable) {
+        self.records.extend(other.records);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Daily median of `field` across the cells selected by `filter`.
+    pub fn daily_median(
+        &self,
+        field: KpiField,
+        num_days: usize,
+        mut filter: impl FnMut(u32) -> bool,
+    ) -> Vec<Option<f64>> {
+        let mut per_day: Vec<Vec<f64>> = vec![Vec::new(); num_days];
+        for r in &self.records {
+            if (r.day as usize) < num_days && filter(r.cell) {
+                per_day[r.day as usize].push(r.get(field));
+            }
+        }
+        per_day.into_iter().map(|v| stats::median(&v)).collect()
+    }
+
+    /// Daily percentile variant (for the 90th-percentile voice series).
+    pub fn daily_percentile(
+        &self,
+        field: KpiField,
+        p: f64,
+        num_days: usize,
+        mut filter: impl FnMut(u32) -> bool,
+    ) -> Vec<Option<f64>> {
+        let mut per_day: Vec<Vec<f64>> = vec![Vec::new(); num_days];
+        for r in &self.records {
+            if (r.day as usize) < num_days && filter(r.cell) {
+                per_day[r.day as usize].push(r.get(field));
+            }
+        }
+        per_day
+            .into_iter()
+            .map(|v| stats::percentile(&v, p))
+            .collect()
+    }
+
+    /// Baseline-relative series of `field` over the selected cells.
+    pub fn delta_series(
+        &self,
+        field: KpiField,
+        clock: SimClock,
+        baseline_week: IsoWeek,
+        filter: impl FnMut(u32) -> bool,
+    ) -> DeltaSeries {
+        let daily = self.daily_median(field, clock.num_days(), filter);
+        DeltaSeries::new(clock, daily, baseline_week)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(dl: f64) -> HourlyKpiSample {
+        HourlyKpiSample {
+            dl_volume_mb: dl,
+            ul_volume_mb: dl / 10.0,
+            active_dl_users: 3.0,
+            connected_users: 50.0,
+            user_dl_throughput_mbps: 6.0,
+            tti_utilization: 0.2,
+            voice_volume_mb: 1.0,
+            voice_users: 0.5,
+            voice_ul_loss: 0.001,
+            voice_dl_loss: 0.002,
+        }
+    }
+
+    #[test]
+    fn from_hourly_takes_medians() {
+        let hours: Vec<_> = (0..24).map(|h| sample(h as f64)).collect();
+        let day = CellDayMetrics::from_hourly(7, 3, &hours).unwrap();
+        assert_eq!(day.cell, 7);
+        assert_eq!(day.day, 3);
+        assert_eq!(day.dl_volume_mb, 11.5); // median of 0..=23
+        assert_eq!(day.connected_users, 50.0);
+        assert!(CellDayMetrics::from_hourly(7, 3, &[]).is_none());
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        let day = CellDayMetrics::from_hourly(1, 0, &[sample(100.0)]).unwrap();
+        assert_eq!(day.get(KpiField::DlVolume), 100.0);
+        assert_eq!(day.get(KpiField::UlVolume), 10.0);
+        assert_eq!(day.get(KpiField::TtiUtilization) as f32, 0.2);
+        for f in KpiField::ALL {
+            assert!(!f.title().is_empty());
+            let _ = day.get(f);
+        }
+    }
+
+    #[test]
+    fn daily_median_filters_cells() {
+        let mut table = KpiTable::new();
+        for (cell, dl) in [(1u32, 10.0), (2, 20.0), (3, 90.0)] {
+            table.push(CellDayMetrics::from_hourly(cell, 0, &[sample(dl)]).unwrap());
+        }
+        let all = table.daily_median(KpiField::DlVolume, 2, |_| true);
+        assert_eq!(all[0], Some(20.0));
+        assert_eq!(all[1], None);
+        let some = table.daily_median(KpiField::DlVolume, 2, |c| c != 3);
+        assert_eq!(some[0], Some(15.0));
+    }
+
+    #[test]
+    fn percentile_spans_distribution() {
+        let mut table = KpiTable::new();
+        for cell in 0..10u32 {
+            table.push(
+                CellDayMetrics::from_hourly(cell, 0, &[sample(cell as f64 * 10.0)]).unwrap(),
+            );
+        }
+        let p90 = table.daily_percentile(KpiField::DlVolume, 90.0, 1, |_| true);
+        assert_eq!(p90[0], Some(81.0));
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's measurement methodology, as a reusable library.
+//!
+//! Everything in this crate is pure analysis: it consumes feeds (dwell
+//! records, per-cell KPIs, case counts) and produces the statistics the
+//! paper reports. Nothing here knows about the synthetic generators — a
+//! downstream user could feed it records derived from a real operator's
+//! probes, which is the point.
+//!
+//! * [`stats`] — medians, percentiles, means (the paper aggregates
+//!   almost everything as medians and reports percentile bands);
+//! * [`dwell`] — per-user-day tower dwell: normalization and the
+//!   top-20-towers filter of Section 2.3;
+//! * [`entropy`] — temporal-uncorrelated mobility entropy (Eq. 1);
+//! * [`gyration`] — radius of gyration (Eq. 2);
+//! * [`home`] — night-time home detection (≥14 February nights);
+//! * [`baseline`] — "percentage of change vs. the average/median value
+//!   of week 9" series, daily and weekly;
+//! * [`aggregate`] — group-by-(region/cluster/district) daily means;
+//! * [`matrix`] — the Inner-London → counties mobility matrix (Fig. 7);
+//! * [`correlate`] — Pearson correlation and linear regression
+//!   (Fig. 2's r², Fig. 4's non-correlation, Section 4.4's
+//!   users-vs-volume correlations);
+//! * [`kpi_stats`] — per-cell daily KPI records and their group medians;
+//! * [`study`] — the assembled streaming methodology
+//!   ([`study::MobilityStudy`]): the object a downstream user drives
+//!   with their own operator feeds.
+
+pub mod aggregate;
+pub mod baseline;
+pub mod correlate;
+pub mod distribution;
+pub mod dwell;
+pub mod entropy;
+pub mod gyration;
+pub mod home;
+pub mod kpi_stats;
+pub mod matrix;
+pub mod stats;
+pub mod study;
+
+pub use aggregate::DailyGroupMean;
+pub use baseline::{delta_pct, DeltaSeries};
+pub use correlate::{linear_fit, pearson, LinearFit};
+pub use distribution::DailyGroupSamples;
+pub use dwell::{top_n_towers, TowerDwell};
+pub use entropy::mobility_entropy;
+pub use gyration::radius_of_gyration;
+pub use home::{HomeDetector, NightDwellLog};
+pub use kpi_stats::{CellDayMetrics, KpiField, KpiTable};
+pub use matrix::MobilityMatrix;
+pub use study::{MobilityStudy, StudyConfig, UserDayDwell};

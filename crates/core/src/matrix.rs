@@ -1,0 +1,192 @@
+//! The residents-abroad mobility matrix (Fig. 7).
+//!
+//! Section 3.4: for each Inner-London resident, check the counties
+//! visited each day; a resident whose day includes no visit to their
+//! home county has relocated (at least for that day). The matrix rows
+//! are destination counties, columns are days, and values are the
+//! variation vs. the week-9 median of residents present there.
+
+use crate::baseline::delta_pct;
+use cellscope_time::{IsoWeek, SimClock};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counts of tracked residents seen per (place, day).
+///
+/// `P` is the place key (county in the paper's usage).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MobilityMatrix<P: Ord> {
+    num_days: usize,
+    counts: BTreeMap<P, Vec<u32>>,
+}
+
+impl<P: Ord + Clone> MobilityMatrix<P> {
+    /// Empty matrix over `num_days` days.
+    pub fn new(num_days: usize) -> MobilityMatrix<P> {
+        MobilityMatrix {
+            num_days,
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Record that one tracked resident was seen at `place` on `day`.
+    /// Call once per (resident, place, day) — i.e. with the resident's
+    /// *set* of visited places that day.
+    pub fn record(&mut self, place: P, day: u16) {
+        debug_assert!((day as usize) < self.num_days);
+        let row = self
+            .counts
+            .entry(place)
+            .or_insert_with(|| vec![0; self.num_days]);
+        row[day as usize] += 1;
+    }
+
+    /// Residents seen at `place` on `day`.
+    pub fn count(&self, place: &P, day: u16) -> u32 {
+        self.counts
+            .get(place)
+            .and_then(|r| r.get(day as usize).copied())
+            .unwrap_or(0)
+    }
+
+    /// Median count over the baseline week for a place.
+    pub fn baseline_median(&self, place: &P, clock: &SimClock, week: IsoWeek) -> Option<f64> {
+        let row = self.counts.get(place)?;
+        let days: Vec<f64> = clock
+            .days_in_week(week)
+            .map(|d| row[d as usize] as f64)
+            .collect();
+        crate::stats::median(&days)
+    }
+
+    /// Mean count over the baseline week for a place — used for the
+    /// top-10 ranking ("according to the average in week 9") and as the
+    /// delta baseline for sparse rows whose median is zero (occasional
+    /// weekend destinations are visited on 1–2 days of the week).
+    pub fn baseline_mean(&self, place: &P, clock: &SimClock, week: IsoWeek) -> Option<f64> {
+        let row = self.counts.get(place)?;
+        let days: Vec<f64> = clock
+            .days_in_week(week)
+            .map(|d| row[d as usize] as f64)
+            .collect();
+        crate::stats::mean(&days)
+    }
+
+    /// One row of the figure: daily Δ% vs the baseline-week median
+    /// (falling back to the mean when the median is zero, see
+    /// [`MobilityMatrix::baseline_mean`]).
+    pub fn delta_row(&self, place: &P, clock: &SimClock, week: IsoWeek) -> Vec<Option<f64>> {
+        let base = match self.baseline_median(place, clock, week) {
+            Some(m) if m > 0.0 => Some(m),
+            _ => self.baseline_mean(place, clock, week).filter(|&m| m > 0.0),
+        };
+        let Some(base) = base else {
+            return vec![None; self.num_days];
+        };
+        (0..self.num_days as u16)
+            .map(|d| delta_pct(self.count(place, d) as f64, base))
+            .collect()
+    }
+
+    /// Places ranked by baseline-week median inbound count, descending —
+    /// the paper keeps "the top 10 counties in terms of receiving
+    /// inbound residents … according to the average in week 9".
+    pub fn top_places(
+        &self,
+        clock: &SimClock,
+        week: IsoWeek,
+        n: usize,
+        exclude: Option<&P>,
+    ) -> Vec<P> {
+        let mut ranked: Vec<(P, f64)> = self
+            .counts
+            .keys()
+            .filter(|p| exclude != Some(*p))
+            .filter_map(|p| {
+                self.baseline_mean(p, clock, week)
+                    .filter(|&m| m > 0.0)
+                    .map(|m| (p.clone(), m))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        ranked.truncate(n);
+        ranked.into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// All places observed.
+    pub fn places(&self) -> impl Iterator<Item = &P> {
+        self.counts.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> SimClock {
+        SimClock::study()
+    }
+
+    fn wk9() -> IsoWeek {
+        IsoWeek { year: 2020, week: 9 }
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut m: MobilityMatrix<&str> = MobilityMatrix::new(100);
+        m.record("kent", 3);
+        m.record("kent", 3);
+        m.record("kent", 4);
+        assert_eq!(m.count(&"kent", 3), 2);
+        assert_eq!(m.count(&"kent", 4), 1);
+        assert_eq!(m.count(&"kent", 5), 0);
+        assert_eq!(m.count(&"essex", 3), 0);
+    }
+
+    #[test]
+    fn delta_row_vs_baseline() {
+        let c = clock();
+        let mut m: MobilityMatrix<&str> = MobilityMatrix::new(c.num_days());
+        // 10 residents present on every week-9 day, 9 afterwards.
+        let week9_days: Vec<u16> = c.days_in_week(wk9()).collect();
+        for d in c.days() {
+            let count = if week9_days.contains(&d) { 10 } else { 9 };
+            for _ in 0..count {
+                m.record("inner", d);
+            }
+        }
+        assert_eq!(m.baseline_median(&"inner", &c, wk9()), Some(10.0));
+        let row = m.delta_row(&"inner", &c, wk9());
+        let after = week9_days.last().unwrap() + 1;
+        assert!((row[after as usize].unwrap() + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_places_ranked_and_excluding_home() {
+        let c = clock();
+        let mut m: MobilityMatrix<&str> = MobilityMatrix::new(c.num_days());
+        for d in c.days_in_week(wk9()) {
+            for _ in 0..50 {
+                m.record("inner", d);
+            }
+            for _ in 0..8 {
+                m.record("hampshire", d);
+            }
+            for _ in 0..5 {
+                m.record("kent", d);
+            }
+            m.record("essex", d);
+        }
+        let top = m.top_places(&c, wk9(), 2, Some(&"inner"));
+        assert_eq!(top, vec!["hampshire", "kent"]);
+    }
+
+    #[test]
+    fn place_with_zero_baseline_yields_none_deltas() {
+        let c = clock();
+        let mut m: MobilityMatrix<&str> = MobilityMatrix::new(c.num_days());
+        m.record("sussex", 60); // only appears long after week 9
+        let row = m.delta_row(&"sussex", &c, wk9());
+        assert!(row.iter().all(|v| v.is_none()));
+    }
+}

@@ -1,0 +1,105 @@
+//! Order statistics and means.
+//!
+//! The paper aggregates almost everything as *medians* ("we further
+//! aggregate them per day and extract the (hourly) median value per
+//! cell") and reports distribution width through percentiles (e.g. the
+//! 90th percentile of voice volume in Fig. 9). These helpers are the
+//! single implementation the whole workspace uses.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Median (interpolated for even lengths); `None` for an empty slice.
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Percentile in [0, 100] with linear interpolation between order
+/// statistics; `None` for an empty slice. NaNs are rejected by
+/// debug-assert (feeds never produce them).
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    debug_assert!(values.iter().all(|v| !v.is_nan()), "NaN in percentile input");
+    debug_assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Median of pre-sorted values (no copy). Caller guarantees order.
+pub fn median_sorted(sorted: &[f64]) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
+    if n % 2 == 1 {
+        Some(sorted[n / 2])
+    } else {
+        Some((sorted[n / 2 - 1] + sorted[n / 2]) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(percentile(&[], 90.0), None);
+        assert_eq!(median_sorted(&[]), None);
+    }
+
+    #[test]
+    fn mean_and_median_basics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), Some(10.0));
+        assert_eq!(percentile(&v, 100.0), Some(50.0));
+        assert_eq!(percentile(&v, 50.0), Some(30.0));
+        assert_eq!(percentile(&v, 25.0), Some(20.0));
+        assert_eq!(percentile(&v, 90.0), Some(46.0));
+    }
+
+    #[test]
+    fn percentile_is_order_invariant() {
+        let a: [f64; 4] = [5.0, 1.0, 9.0, 3.0];
+        let mut b = a;
+        b.sort_by(|x, y| x.total_cmp(y));
+        for p in [0.0, 10.0, 50.0, 90.0, 100.0] {
+            assert_eq!(percentile(&a, p), percentile(&b, p));
+        }
+    }
+
+    #[test]
+    fn median_sorted_matches_median() {
+        let mut v = vec![7.0, 3.0, 9.0, 1.0, 4.0, 4.0];
+        let m = median(&v);
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(median_sorted(&v), m);
+    }
+}

@@ -1,0 +1,280 @@
+//! The assembled mobility methodology: one streaming object that turns
+//! per-user-day tower dwell into everything Section 3 of the paper
+//! reports.
+//!
+//! [`MobilityStudy`] is the entry point a downstream user with *real*
+//! operator feeds would drive: feed it each user-day's dwell (already
+//! joined with tower locations — the topology feed join), tagged with
+//! the aggregation groups the user belongs to, and it maintains:
+//!
+//! * per-(group, day) mean **entropy** and **radius of gyration** over
+//!   the top-N towers (Section 2.3's top-20 filter);
+//! * the full per-user **gyration distribution** per (group, day) for
+//!   percentile statements;
+//! * the **night-dwell log** for home detection (callers decide which
+//!   days fall in the observation window — February in the paper);
+//! * per-user-day **place-presence sets** for mobility matrices.
+//!
+//! Instances merge, so feeds can be partitioned across workers in any
+//! way that keeps a (user, day) on one worker.
+
+use crate::aggregate::DailyGroupMean;
+use crate::distribution::DailyGroupSamples;
+use crate::dwell::{top_n_towers, TowerDwell};
+use crate::entropy::mobility_entropy;
+use crate::gyration::radius_of_gyration;
+use crate::home::{HomeDetector, NightDwellLog};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the mobility methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Keep this many towers per user-day (paper: 20).
+    pub top_n_towers: usize,
+    /// Home-detection rule (paper: ≥14 nights).
+    pub home_detector: HomeDetector,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            top_n_towers: 20,
+            home_detector: HomeDetector::default(),
+        }
+    }
+}
+
+/// One ingested user-day, after the caller's feed joins.
+#[derive(Debug, Clone)]
+pub struct UserDayDwell<'a> {
+    /// Anonymized user id.
+    pub user: u64,
+    /// Study day index.
+    pub day: u16,
+    /// Tower dwell with locations (any duplicates are merged).
+    pub dwell: &'a [TowerDwell],
+    /// Night-window (00:00–08:00) minutes per tower, for home
+    /// detection. Pass an empty slice outside the observation window.
+    pub night_minutes: &'a [(u32, u16)],
+}
+
+/// The streaming mobility study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MobilityStudy<G: Ord + Clone> {
+    config: StudyConfig,
+    num_days: usize,
+    gyration: DailyGroupMean<G>,
+    entropy: DailyGroupMean<G>,
+    gyration_dist: DailyGroupSamples<G>,
+    night: NightDwellLog,
+    finished: bool,
+}
+
+impl<G: Ord + Clone> MobilityStudy<G> {
+    /// New study over `num_days` days.
+    pub fn new(config: StudyConfig, num_days: usize) -> MobilityStudy<G> {
+        MobilityStudy {
+            config,
+            num_days,
+            gyration: DailyGroupMean::new(num_days),
+            entropy: DailyGroupMean::new(num_days),
+            gyration_dist: DailyGroupSamples::new(num_days),
+            night: NightDwellLog::new(),
+            finished: false,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// Ingest one user-day under the given aggregation groups (e.g.
+    /// `[National, County(X), Cluster(Y)]`). Returns the metrics that
+    /// were computed, so callers can reuse them (for matrices, masks…).
+    pub fn ingest(&mut self, input: UserDayDwell<'_>, groups: &[G]) -> Option<(f64, f64)> {
+        assert!(!self.finished, "ingest after finish");
+        let top = top_n_towers(input.dwell, self.config.top_n_towers);
+        let entropy = mobility_entropy(&top);
+        let gyration = radius_of_gyration(&top);
+        if let Some(e) = entropy {
+            for g in groups {
+                self.entropy.add(g.clone(), input.day, e);
+            }
+        }
+        if let Some(g_km) = gyration {
+            for g in groups {
+                self.gyration.add(g.clone(), input.day, g_km);
+                self.gyration_dist.add(g.clone(), input.day, g_km);
+            }
+        }
+        for &(tower, minutes) in input.night_minutes {
+            if minutes > 0 {
+                self.night.record(input.user, input.day, tower, minutes);
+            }
+        }
+        entropy.zip(gyration)
+    }
+
+    /// Close the night log (must be called once before home detection).
+    pub fn finish(&mut self) {
+        if !self.finished {
+            self.night.finish();
+            self.finished = true;
+        }
+    }
+
+    /// Merge another **finished** study (same window & config).
+    ///
+    /// # Panics
+    /// Panics on mismatched windows or unfinished inputs.
+    pub fn merge(&mut self, other: MobilityStudy<G>) {
+        assert!(self.finished && other.finished, "merge requires finished studies");
+        assert_eq!(self.num_days, other.num_days, "mismatched windows");
+        self.gyration.merge(other.gyration);
+        self.entropy.merge(other.entropy);
+        self.gyration_dist.merge(other.gyration_dist);
+        self.night.merge(other.night);
+    }
+
+    /// Detected homes (user → tower) under the configured rule.
+    pub fn detect_homes(&self) -> HashMap<u64, u32> {
+        assert!(self.finished, "finish the study before home detection");
+        self.config.home_detector.detect_all(&self.night)
+    }
+
+    /// Per-(group, day) mean gyration.
+    pub fn gyration(&self) -> &DailyGroupMean<G> {
+        &self.gyration
+    }
+
+    /// Per-(group, day) mean entropy.
+    pub fn entropy(&self) -> &DailyGroupMean<G> {
+        &self.entropy
+    }
+
+    /// Per-(group, day) gyration samples.
+    pub fn gyration_dist(&self) -> &DailyGroupSamples<G> {
+        &self.gyration_dist
+    }
+
+    /// Consume the study, returning its parts (for dataset assembly).
+    pub fn into_parts(
+        self,
+    ) -> (
+        DailyGroupMean<G>,
+        DailyGroupMean<G>,
+        DailyGroupSamples<G>,
+        NightDwellLog,
+    ) {
+        assert!(self.finished, "finish the study before dismantling it");
+        (self.gyration, self.entropy, self.gyration_dist, self.night)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellscope_geo::Point;
+
+    fn dwell(entries: &[(u32, f64, f64, f64)]) -> Vec<TowerDwell> {
+        entries
+            .iter()
+            .map(|&(tower, x, y, seconds)| TowerDwell {
+                tower,
+                location: Point::new(x, y),
+                seconds,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_accumulates_group_means() {
+        let mut study: MobilityStudy<&str> = MobilityStudy::new(StudyConfig::default(), 10);
+        // Two users, same day: one commuter, one home-body.
+        let commuter = dwell(&[(1, 0.0, 0.0, 57_600.0), (2, 10.0, 0.0, 28_800.0)]);
+        let homebody = dwell(&[(3, 5.0, 5.0, 86_400.0)]);
+        let (e1, g1) = study
+            .ingest(
+                UserDayDwell { user: 1, day: 0, dwell: &commuter, night_minutes: &[] },
+                &["national"],
+            )
+            .unwrap();
+        let (e2, g2) = study
+            .ingest(
+                UserDayDwell { user: 2, day: 0, dwell: &homebody, night_minutes: &[] },
+                &["national"],
+            )
+            .unwrap();
+        assert!(e1 > 0.0 && g1 > 0.0);
+        assert_eq!((e2, g2), (0.0, 0.0));
+        let mean = study.gyration().mean(&"national", 0).unwrap();
+        assert!((mean - g1 / 2.0).abs() < 1e-12);
+        assert_eq!(study.gyration_dist().count(&"national", 0), 2);
+    }
+
+    #[test]
+    fn top_n_filter_applies() {
+        // 25 towers with equal dwell: only the top 20 survive, so the
+        // entropy caps at ln 20 rather than ln 25.
+        let mut study: MobilityStudy<u8> =
+            MobilityStudy::new(StudyConfig::default(), 1);
+        let many: Vec<TowerDwell> = (0..25)
+            .map(|i| TowerDwell {
+                tower: i,
+                location: Point::new(i as f64, 0.0),
+                seconds: 100.0,
+            })
+            .collect();
+        let (e, _) = study
+            .ingest(UserDayDwell { user: 1, day: 0, dwell: &many, night_minutes: &[] }, &[0])
+            .unwrap();
+        assert!((e - 20f64.ln()).abs() < 1e-9, "entropy {e}");
+    }
+
+    #[test]
+    fn homes_from_night_minutes() {
+        let mut study: MobilityStudy<u8> =
+            MobilityStudy::new(StudyConfig::default(), 40);
+        let d = dwell(&[(5, 0.0, 0.0, 80_000.0)]);
+        for day in 0..20 {
+            study.ingest(
+                UserDayDwell {
+                    user: 9,
+                    day,
+                    dwell: &d,
+                    night_minutes: &[(5, 400), (6, 50)],
+                },
+                &[0],
+            );
+        }
+        study.finish();
+        let homes = study.detect_homes();
+        assert_eq!(homes.get(&9), Some(&5));
+    }
+
+    #[test]
+    fn merge_combines_partitions() {
+        let d1 = dwell(&[(1, 0.0, 0.0, 1000.0), (2, 4.0, 0.0, 1000.0)]);
+        let d2 = dwell(&[(3, 0.0, 0.0, 1000.0), (4, 8.0, 0.0, 1000.0)]);
+        let mut a: MobilityStudy<u8> = MobilityStudy::new(StudyConfig::default(), 5);
+        let mut b: MobilityStudy<u8> = MobilityStudy::new(StudyConfig::default(), 5);
+        a.ingest(UserDayDwell { user: 1, day: 2, dwell: &d1, night_minutes: &[] }, &[0]);
+        b.ingest(UserDayDwell { user: 2, day: 2, dwell: &d2, night_minutes: &[] }, &[0]);
+        a.finish();
+        b.finish();
+        a.merge(b);
+        assert_eq!(a.gyration_dist().count(&0, 2), 2);
+        // Mean of 2 km and 4 km gyration radii.
+        let mean = a.gyration().mean(&0, 2).unwrap();
+        assert!((mean - 3.0).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finish the study")]
+    fn home_detection_requires_finish() {
+        let study: MobilityStudy<u8> = MobilityStudy::new(StudyConfig::default(), 5);
+        let _ = study.detect_homes();
+    }
+}

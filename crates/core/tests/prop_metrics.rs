@@ -1,0 +1,199 @@
+//! Property tests for the analysis core: the mobility metrics and the
+//! statistics they are built on.
+
+use cellscope_core::{
+    delta_pct, mobility_entropy, pearson, radius_of_gyration, stats, top_n_towers,
+    MobilityMatrix, TowerDwell,
+};
+use cellscope_geo::Point;
+use cellscope_time::{IsoWeek, SimClock};
+use proptest::prelude::*;
+
+/// Dwell with one entry per tower (the form `top_n_towers` produces and
+/// the metrics are specified over).
+fn dwell_strategy(max_towers: usize) -> impl Strategy<Value = Vec<TowerDwell>> {
+    prop::collection::vec(
+        (
+            -500.0f64..500.0,
+            -500.0f64..500.0,
+            1.0f64..86_400.0,
+        ),
+        1..max_towers,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y, seconds))| TowerDwell {
+                tower: i as u32,
+                location: Point::new(x, y),
+                seconds,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Entropy is bounded by [0, ln N] with N distinct towers.
+    #[test]
+    fn entropy_bounds(dwell in dwell_strategy(30)) {
+        let e = mobility_entropy(&dwell).expect("positive dwell");
+        prop_assert!(e >= -1e-12, "entropy {e}");
+        let mut towers: Vec<u32> = dwell.iter().map(|d| d.tower).collect();
+        towers.sort_unstable();
+        towers.dedup();
+        let bound = (towers.len() as f64).ln();
+        prop_assert!(e <= bound + 1e-9, "entropy {e} > ln {} ", towers.len());
+    }
+
+    /// Entropy is invariant under uniform time scaling.
+    #[test]
+    fn entropy_scale_invariant(dwell in dwell_strategy(20), k in 0.01f64..100.0) {
+        let a = mobility_entropy(&dwell).unwrap();
+        let scaled: Vec<TowerDwell> = dwell
+            .iter()
+            .map(|d| TowerDwell { seconds: d.seconds * k, ..*d })
+            .collect();
+        let b = mobility_entropy(&scaled).unwrap();
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    /// Gyration is non-negative and bounded by the trajectory diameter.
+    #[test]
+    fn gyration_bounds(dwell in dwell_strategy(30)) {
+        let g = radius_of_gyration(&dwell).expect("positive dwell");
+        prop_assert!(g >= 0.0);
+        let mut diameter = 0.0f64;
+        for a in &dwell {
+            for b in &dwell {
+                diameter = diameter.max(a.location.distance_km(b.location));
+            }
+        }
+        prop_assert!(g <= diameter + 1e-9, "gyration {g} > diameter {diameter}");
+    }
+
+    /// Gyration is invariant under translation of the whole map.
+    #[test]
+    fn gyration_translation_invariant(
+        dwell in dwell_strategy(20),
+        dx in -1e4f64..1e4,
+        dy in -1e4f64..1e4,
+    ) {
+        let a = radius_of_gyration(&dwell).unwrap();
+        let moved: Vec<TowerDwell> = dwell
+            .iter()
+            .map(|d| TowerDwell { location: d.location.offset(dx, dy), ..*d })
+            .collect();
+        let b = radius_of_gyration(&moved).unwrap();
+        prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    /// The top-N filter keeps at most N towers, conserves no more than
+    /// the total time, and keeps the longest-dwelled towers.
+    #[test]
+    fn top_n_invariants(dwell in dwell_strategy(40), n in 1usize..25) {
+        let top = top_n_towers(&dwell, n);
+        prop_assert!(top.len() <= n);
+        let total_in: f64 = dwell.iter().map(|d| d.seconds).sum();
+        let total_out: f64 = top.iter().map(|d| d.seconds).sum();
+        prop_assert!(total_out <= total_in + 1e-6);
+        // Kept towers are distinct.
+        let mut ids: Vec<u32> = top.iter().map(|d| d.tower).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), top.len());
+        // The minimum kept dwell is >= the maximum dropped dwell
+        // (after merging duplicates).
+        if !top.is_empty() {
+            let min_kept = top.iter().map(|d| d.seconds).fold(f64::MAX, f64::min);
+            let mut merged: std::collections::HashMap<u32, f64> = Default::default();
+            for d in &dwell {
+                *merged.entry(d.tower).or_default() += d.seconds;
+            }
+            for (tower, seconds) in merged {
+                if !top.iter().any(|t| t.tower == tower) {
+                    prop_assert!(seconds <= min_kept + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Percentiles stay within [min, max] and are monotone in p.
+    #[test]
+    fn percentile_properties(
+        values in prop::collection::vec(-1e6f64..1e6, 1..200),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let lo = p1.min(p2);
+        let hi = p1.max(p2);
+        let a = stats::percentile(&values, lo).unwrap();
+        let b = stats::percentile(&values, hi).unwrap();
+        let min = values.iter().copied().fold(f64::MAX, f64::min);
+        let max = values.iter().copied().fold(f64::MIN, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+        prop_assert!(a <= b + 1e-9, "percentile not monotone: {a} > {b}");
+    }
+
+    /// Pearson r stays in [-1, 1] and is symmetric.
+    #[test]
+    fn pearson_properties(pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..100)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+            let r2 = pearson(&ys, &xs).unwrap();
+            prop_assert!((r - r2).abs() < 1e-12);
+        }
+    }
+
+    /// delta_pct round-trips: applying the delta to the baseline
+    /// recovers the value.
+    #[test]
+    fn delta_pct_roundtrip(value in -1e6f64..1e6, baseline in 0.001f64..1e6) {
+        let d = delta_pct(value, baseline).unwrap();
+        let recovered = baseline * (1.0 + d / 100.0);
+        prop_assert!((recovered - value).abs() < 1e-6 * value.abs().max(1.0));
+    }
+
+    /// A constant daily series has zero delta everywhere.
+    #[test]
+    fn constant_series_zero_delta(level in 0.1f64..1e6) {
+        let clock = SimClock::study();
+        let series = cellscope_core::DeltaSeries::new(
+            clock,
+            vec![Some(level); clock.num_days()],
+            IsoWeek { year: 2020, week: 9 },
+        );
+        for d in series.daily_delta_pct().into_iter().flatten() {
+            prop_assert!(d.abs() < 1e-9);
+        }
+        for (_, d) in series.weekly_delta_pct() {
+            if let Some(d) = d {
+                prop_assert!(d.abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Matrix counts conserve: the delta row reconstructs the counts.
+    #[test]
+    fn matrix_delta_row_consistent(counts in prop::collection::vec(0u32..50, 100)) {
+        let clock = SimClock::study();
+        let mut m: MobilityMatrix<u8> = MobilityMatrix::new(clock.num_days());
+        for (day, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                m.record(1, day as u16);
+            }
+        }
+        let week9 = IsoWeek { year: 2020, week: 9 };
+        if let Some(base) = m.baseline_median(&1, &clock, week9).filter(|&b| b > 0.0) {
+            let row = m.delta_row(&1, &clock, week9);
+            for (day, delta) in row.iter().enumerate() {
+                if let Some(delta) = delta {
+                    let reconstructed = base * (1.0 + delta / 100.0);
+                    prop_assert!((reconstructed - counts[day] as f64).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Synthetic cumulative confirmed-case curves.
+//!
+//! Stands in for the Public Health England "track coronavirus cases"
+//! counts the paper correlates mobility against (Fig. 4). A logistic
+//! curve is calibrated to the paper's anchors:
+//!
+//! * ≈1,000 lab-confirmed cases on the declaration day (the vertical red
+//!   line in Fig. 4 "coincid\[es\] with 1,000 confirmed cases");
+//! * ≈190k confirmed UK cases by the second week of May 2020;
+//! * London accumulated ≈27,000 cases by the end of May.
+
+use cellscope_time::Date;
+use serde::{Deserialize, Serialize};
+
+/// Logistic cumulative-case curve: `C(t) = k / (1 + exp(-r (t - t0)))`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaseCurve {
+    /// Final size (plateau) of the wave.
+    pub k: f64,
+    /// Growth rate per day.
+    pub r: f64,
+    /// Inflection date (half of `k` reached).
+    pub t0: Date,
+}
+
+impl CaseCurve {
+    /// The calibrated national UK curve for spring 2020.
+    pub fn uk_2020() -> CaseCurve {
+        CaseCurve {
+            k: 190_000.0,
+            r: 0.187,
+            t0: Date::ymd(2020, 4, 8),
+        }
+    }
+
+    /// Cumulative confirmed cases on `date`.
+    pub fn cumulative(&self, date: Date) -> f64 {
+        let t = date.days_since(self.t0) as f64;
+        self.k / (1.0 + (-self.r * t).exp())
+    }
+
+    /// New confirmed cases on `date` (daily difference).
+    pub fn daily_new(&self, date: Date) -> f64 {
+        self.cumulative(date) - self.cumulative(date.add_days(-1))
+    }
+
+    /// A scaled copy representing a sub-population holding `share` of
+    /// national cases (0–1). Severity differences across regions are
+    /// expressed through the share, chosen by the scenario from
+    /// population and urbanity.
+    pub fn scaled(&self, share: f64) -> CaseCurve {
+        debug_assert!((0.0..=1.0).contains(&share));
+        CaseCurve {
+            k: self.k * share,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_anchor_declaration_day() {
+        let c = CaseCurve::uk_2020();
+        let at_declaration = c.cumulative(Date::ymd(2020, 3, 11));
+        // ≈1,000 cases on Mar 11 (order of magnitude is what matters).
+        assert!(
+            (600.0..1_800.0).contains(&at_declaration),
+            "declaration-day cases {at_declaration}"
+        );
+    }
+
+    #[test]
+    fn calibration_anchor_may_total() {
+        let c = CaseCurve::uk_2020();
+        let mid_may = c.cumulative(Date::ymd(2020, 5, 10));
+        assert!(
+            (160_000.0..190_000.0).contains(&mid_may),
+            "mid-May cases {mid_may}"
+        );
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_bounded() {
+        let c = CaseCurve::uk_2020();
+        let mut prev = 0.0;
+        let mut d = Date::ymd(2020, 2, 1);
+        while d <= Date::ymd(2020, 6, 30) {
+            let v = c.cumulative(d);
+            assert!(v >= prev);
+            assert!(v <= c.k);
+            prev = v;
+            d = d.add_days(1);
+        }
+    }
+
+    #[test]
+    fn daily_new_peaks_near_inflection() {
+        let c = CaseCurve::uk_2020();
+        let peak_day = c.t0;
+        let at_peak = c.daily_new(peak_day);
+        assert!(at_peak > c.daily_new(peak_day.add_days(-14)));
+        assert!(at_peak > c.daily_new(peak_day.add_days(14)));
+        assert!(at_peak > 0.0);
+    }
+
+    #[test]
+    fn london_share_reproduces_27k() {
+        // London ≈ 27k of ≈190k by end of May -> share ≈ 0.145.
+        let london = CaseCurve::uk_2020().scaled(0.145);
+        let end_may = london.cumulative(Date::ymd(2020, 5, 31));
+        assert!(
+            (24_000.0..29_000.0).contains(&end_may),
+            "London end-of-May cases {end_may}"
+        );
+    }
+
+    #[test]
+    fn scaled_preserves_shape() {
+        let c = CaseCurve::uk_2020();
+        let half = c.scaled(0.5);
+        let d = Date::ymd(2020, 4, 1);
+        assert!((half.cumulative(d) - c.cumulative(d) * 0.5).abs() < 1e-9);
+    }
+}

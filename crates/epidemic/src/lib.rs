@@ -1,0 +1,21 @@
+//! UK COVID-19 context: the policy timeline and case curves.
+//!
+//! Two inputs of the study are epidemiological rather than network-side:
+//!
+//! * the **intervention timeline** — the paper dates every behavioural
+//!   shift against government actions (pandemic declared Mar 11 / week
+//!   11, work-from-home advice Mar 16 / week 12, venue closures Mar 20,
+//!   full lockdown Mar 23 / week 13, and a slow relaxation from week 15);
+//! * the **cumulative confirmed-case curve** — Fig. 4 plots mobility
+//!   entropy against Public Health England's lab-confirmed case counts to
+//!   show mobility tracked *policy*, not case counts.
+//!
+//! [`timeline`] encodes the former, [`cases`] synthesizes the latter
+//! (logistic growth calibrated to the paper's anchors: ≈1,000 confirmed
+//! cases on declaration day; ≈27k cases in London by end of May).
+
+pub mod cases;
+pub mod timeline;
+
+pub use cases::CaseCurve;
+pub use timeline::{PolicyPhase, Timeline};

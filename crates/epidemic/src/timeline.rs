@@ -1,0 +1,195 @@
+//! The UK government intervention timeline, as dated by the paper.
+
+use cellscope_time::Date;
+use serde::{Deserialize, Serialize};
+
+/// Coarse policy phase in force on a given date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PolicyPhase {
+    /// Before the pandemic declaration: life as usual.
+    PreCovid,
+    /// Pandemic declared (Mar 11, week 11) — voluntary social
+    /// distancing begins; the paper observes "people started
+    /// implementing social distancing recommendations even before
+    /// lockdown was enforced".
+    VoluntaryDistancing,
+    /// Work-from-home recommendation (Mar 16, week 12).
+    WfhAdvice,
+    /// Closure of sporting events, schools, restaurants, bars, gyms
+    /// (Mar 20, still week 12).
+    Closures,
+    /// Full stay-at-home order (from Mar 23, week 13).
+    Lockdown,
+}
+
+/// The dated intervention sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// First confirmed UK cases (Jan 31, York).
+    pub first_cases: Date,
+    /// WHO pandemic declaration (Mar 11, week 11).
+    pub pandemic_declared: Date,
+    /// Government work-from-home recommendation (Mar 16, week 12).
+    pub wfh_recommended: Date,
+    /// Closure of venues and schools (Mar 20, week 12).
+    pub closures: Date,
+    /// Nationwide stay-at-home order (Mar 23, week 13).
+    pub lockdown: Date,
+    /// Start of the slow, unofficial relaxation the paper observes
+    /// "from week 15 despite the lockdown still being enforced"
+    /// (Monday of week 15: Apr 6).
+    pub relaxation_onset: Date,
+}
+
+impl Timeline {
+    /// The 2020 UK timeline used throughout the paper.
+    pub fn uk_2020() -> Timeline {
+        Timeline {
+            first_cases: Date::ymd(2020, 1, 31),
+            pandemic_declared: Date::ymd(2020, 3, 11),
+            wfh_recommended: Date::ymd(2020, 3, 16),
+            closures: Date::ymd(2020, 3, 20),
+            lockdown: Date::ymd(2020, 3, 23),
+            relaxation_onset: Date::ymd(2020, 4, 6),
+        }
+    }
+
+    /// A counterfactual timeline in which no intervention ever happens:
+    /// every date reads as pre-COVID normality. Useful as the control
+    /// arm of what-if studies (the dates are pushed past any simulated
+    /// window).
+    pub fn no_intervention() -> Timeline {
+        let never = Date::ymd(2100, 1, 1);
+        Timeline {
+            first_cases: Date::ymd(2020, 1, 31),
+            pandemic_declared: never,
+            wfh_recommended: never.add_days(1),
+            closures: never.add_days(2),
+            lockdown: never.add_days(3),
+            relaxation_onset: never.add_days(4),
+        }
+    }
+
+    /// The phase in force on `date`.
+    pub fn phase_on(&self, date: Date) -> PolicyPhase {
+        if date >= self.lockdown {
+            PolicyPhase::Lockdown
+        } else if date >= self.closures {
+            PolicyPhase::Closures
+        } else if date >= self.wfh_recommended {
+            PolicyPhase::WfhAdvice
+        } else if date >= self.pandemic_declared {
+            PolicyPhase::VoluntaryDistancing
+        } else {
+            PolicyPhase::PreCovid
+        }
+    }
+
+    /// Restriction intensity on `date`, 0 (normal life) to 1 (full
+    /// lockdown), including the gradual voluntary build-up before the
+    /// order and the slow relaxation after week 15.
+    ///
+    /// This is the *national* schedule; regional and per-cluster
+    /// compliance modulation belongs to the mobility model.
+    pub fn intensity(&self, date: Date) -> f64 {
+        match self.phase_on(date) {
+            PolicyPhase::PreCovid => 0.0,
+            PolicyPhase::VoluntaryDistancing => {
+                // Ramps 0.05 -> 0.25 across the declaration-to-WFH window.
+                let span = self.wfh_recommended.days_since(self.pandemic_declared) as f64;
+                let t = date.days_since(self.pandemic_declared) as f64 / span.max(1.0);
+                0.05 + 0.20 * t
+            }
+            PolicyPhase::WfhAdvice => 0.40,
+            PolicyPhase::Closures => 0.60,
+            PolicyPhase::Lockdown => {
+                if date < self.relaxation_onset {
+                    1.0
+                } else {
+                    // Slight relaxation: ~1% of the restriction eases per
+                    // day, floored well above the pre-lockdown level.
+                    let days = date.days_since(self.relaxation_onset) as f64;
+                    (1.0 - 0.004 * days).max(0.80)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_in_order() {
+        let t = Timeline::uk_2020();
+        assert!(t.first_cases < t.pandemic_declared);
+        assert!(t.pandemic_declared < t.wfh_recommended);
+        assert!(t.wfh_recommended < t.closures);
+        assert!(t.closures < t.lockdown);
+        assert!(t.lockdown < t.relaxation_onset);
+    }
+
+    #[test]
+    fn paper_week_numbers() {
+        let t = Timeline::uk_2020();
+        assert_eq!(t.pandemic_declared.iso_week().week, 11);
+        assert_eq!(t.wfh_recommended.iso_week().week, 12);
+        assert_eq!(t.closures.iso_week().week, 12);
+        assert_eq!(t.lockdown.iso_week().week, 13);
+        assert_eq!(t.relaxation_onset.iso_week().week, 15);
+    }
+
+    #[test]
+    fn phase_boundaries() {
+        let t = Timeline::uk_2020();
+        assert_eq!(t.phase_on(Date::ymd(2020, 2, 15)), PolicyPhase::PreCovid);
+        assert_eq!(
+            t.phase_on(Date::ymd(2020, 3, 11)),
+            PolicyPhase::VoluntaryDistancing
+        );
+        assert_eq!(t.phase_on(Date::ymd(2020, 3, 16)), PolicyPhase::WfhAdvice);
+        assert_eq!(t.phase_on(Date::ymd(2020, 3, 20)), PolicyPhase::Closures);
+        assert_eq!(t.phase_on(Date::ymd(2020, 3, 22)), PolicyPhase::Closures);
+        assert_eq!(t.phase_on(Date::ymd(2020, 3, 23)), PolicyPhase::Lockdown);
+        assert_eq!(t.phase_on(Date::ymd(2020, 5, 10)), PolicyPhase::Lockdown);
+    }
+
+    #[test]
+    fn intensity_monotone_through_lockdown_then_eases() {
+        let t = Timeline::uk_2020();
+        // Non-decreasing from Feb through the first lockdown weeks.
+        let mut prev = -1.0;
+        let mut d = Date::ymd(2020, 2, 1);
+        while d <= Date::ymd(2020, 4, 5) {
+            let i = t.intensity(d);
+            assert!(i >= prev, "intensity dipped on {d}");
+            assert!((0.0..=1.0).contains(&i));
+            prev = i;
+            d = d.add_days(1);
+        }
+        // Peak during weeks 13-14.
+        assert_eq!(t.intensity(Date::ymd(2020, 3, 30)), 1.0);
+        // Eases afterwards but stays high.
+        let late = t.intensity(Date::ymd(2020, 5, 10));
+        assert!(late < 1.0 && late >= 0.80, "late intensity {late}");
+    }
+
+    #[test]
+    fn no_intervention_is_always_normal() {
+        let t = Timeline::no_intervention();
+        let mut d = Date::ymd(2020, 2, 1);
+        while d <= Date::ymd(2020, 5, 10) {
+            assert_eq!(t.phase_on(d), PolicyPhase::PreCovid);
+            assert_eq!(t.intensity(d), 0.0);
+            d = d.add_days(1);
+        }
+    }
+
+    #[test]
+    fn intensity_zero_before_declaration() {
+        let t = Timeline::uk_2020();
+        assert_eq!(t.intensity(Date::ymd(2020, 3, 10)), 0.0);
+        assert_eq!(t.intensity(Date::ymd(2020, 2, 24)), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the epidemic layer: the logistic case curve and
+//! the policy timeline behave sanely for arbitrary calibrations.
+
+use cellscope_epidemic::{CaseCurve, Timeline};
+use cellscope_time::Date;
+use proptest::prelude::*;
+
+proptest! {
+    /// Cumulative cases are monotone, bounded by the plateau, and the
+    /// inflection sits at half the plateau.
+    #[test]
+    fn logistic_invariants(
+        k in 1_000.0f64..1e7,
+        r in 0.01f64..0.5,
+        t0_offset in -60i64..60,
+    ) {
+        let curve = CaseCurve {
+            k,
+            r,
+            t0: Date::ymd(2020, 4, 1).add_days(t0_offset),
+        };
+        let mut prev = 0.0;
+        let mut d = Date::ymd(2020, 1, 1);
+        while d <= Date::ymd(2020, 8, 1) {
+            let c = curve.cumulative(d);
+            prop_assert!(c >= prev - 1e-9, "not monotone at {d}");
+            prop_assert!(c <= k + 1e-9);
+            prop_assert!(curve.daily_new(d) >= -1e-9);
+            prev = c;
+            d = d.add_days(7);
+        }
+        let at_inflection = curve.cumulative(curve.t0);
+        prop_assert!((at_inflection - k / 2.0).abs() < 1e-6 * k);
+    }
+
+    /// Scaling by a share scales every value proportionally.
+    #[test]
+    fn scaling_is_linear(share in 0.0f64..1.0, day_offset in 0i64..150) {
+        let national = CaseCurve::uk_2020();
+        let regional = national.scaled(share);
+        let d = Date::ymd(2020, 2, 1).add_days(day_offset);
+        let expected = national.cumulative(d) * share;
+        prop_assert!((regional.cumulative(d) - expected).abs() < 1e-6);
+    }
+
+    /// Timeline intensity is always within [0, 1] and zero before the
+    /// declaration, for arbitrary (ordered) intervention dates.
+    #[test]
+    fn intensity_bounded_for_arbitrary_timelines(
+        declared_offset in 0i64..40,
+        wfh_gap in 1i64..10,
+        closures_gap in 1i64..5,
+        lockdown_gap in 1i64..5,
+        relax_gap in 5i64..30,
+        probe_offset in 0i64..200,
+    ) {
+        let declared = Date::ymd(2020, 3, 1).add_days(declared_offset);
+        let wfh = declared.add_days(wfh_gap);
+        let closures = wfh.add_days(closures_gap);
+        let lockdown = closures.add_days(lockdown_gap);
+        let timeline = Timeline {
+            first_cases: Date::ymd(2020, 1, 31),
+            pandemic_declared: declared,
+            wfh_recommended: wfh,
+            closures,
+            lockdown,
+            relaxation_onset: lockdown.add_days(relax_gap),
+        };
+        let probe = Date::ymd(2020, 1, 1).add_days(probe_offset);
+        let i = timeline.intensity(probe);
+        prop_assert!((0.0..=1.0).contains(&i), "intensity {i} on {probe}");
+        if probe < declared {
+            prop_assert_eq!(i, 0.0);
+        }
+        if probe >= lockdown {
+            prop_assert!(i >= 0.6, "lockdown intensity {i}");
+        }
+    }
+}

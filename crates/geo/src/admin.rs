@@ -1,0 +1,223 @@
+//! Administrative geography: counties and Local Authority Districts.
+//!
+//! The paper aggregates at several administrative levels:
+//!
+//! * **counties / UTLAs** — the five high-density study regions of
+//!   Sections 3.2 and 4.3 (Inner London, Outer London, Greater
+//!   Manchester, West Midlands, West Yorkshire), and the destination
+//!   counties of the Inner-London mobility matrix (Fig. 7: Hampshire,
+//!   Kent, East Sussex, …);
+//! * **LADs** — used to validate home detection against ONS census
+//!   populations (Fig. 2).
+//!
+//! The synthetic country covers the five study regions plus the South-East
+//! commuter-belt counties that actually appear in the paper's mobility
+//! matrix, plus rural filler regions so the national aggregate includes a
+//! genuine rural component.
+
+use serde::{Deserialize, Serialize};
+
+/// County-level areas of the synthetic UK.
+///
+/// This single enum plays the role of both "region" (Section 3.2) and
+/// "county" (Section 3.4) in the paper: the five study regions are
+/// counties flagged by [`County::is_study_region`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum County {
+    InnerLondon,
+    OuterLondon,
+    GreaterManchester,
+    WestMidlands,
+    WestYorkshire,
+    Hampshire,
+    Kent,
+    EastSussex,
+    WestSussex,
+    Essex,
+    Surrey,
+    Hertfordshire,
+    Berkshire,
+    Oxfordshire,
+    Buckinghamshire,
+    RuralNorth,
+    RuralSouthWest,
+    RuralWales,
+}
+
+/// Broad character of a county, used by the world generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CountyClass {
+    /// Dense metropolitan core (Inner London).
+    MetropolitanCore,
+    /// Large conurbation (Outer London, Manchester, Birmingham, Leeds).
+    Conurbation,
+    /// Mixed shire county: towns plus countryside.
+    Shire,
+    /// Predominantly rural.
+    Rural,
+}
+
+impl County {
+    /// Every county, in a stable order.
+    pub const ALL: [County; 18] = [
+        County::InnerLondon,
+        County::OuterLondon,
+        County::GreaterManchester,
+        County::WestMidlands,
+        County::WestYorkshire,
+        County::Hampshire,
+        County::Kent,
+        County::EastSussex,
+        County::WestSussex,
+        County::Essex,
+        County::Surrey,
+        County::Hertfordshire,
+        County::Berkshire,
+        County::Oxfordshire,
+        County::Buckinghamshire,
+        County::RuralNorth,
+        County::RuralSouthWest,
+        County::RuralWales,
+    ];
+
+    /// The five regions Sections 3.2/4.3 single out (each has > 500k
+    /// users in the paper's dataset).
+    pub const STUDY_REGIONS: [County; 5] = [
+        County::InnerLondon,
+        County::OuterLondon,
+        County::GreaterManchester,
+        County::WestMidlands,
+        County::WestYorkshire,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            County::InnerLondon => "Inner London",
+            County::OuterLondon => "Outer London",
+            County::GreaterManchester => "Greater Manchester",
+            County::WestMidlands => "West Midlands",
+            County::WestYorkshire => "West Yorkshire",
+            County::Hampshire => "Hampshire",
+            County::Kent => "Kent",
+            County::EastSussex => "East Sussex",
+            County::WestSussex => "West Sussex",
+            County::Essex => "Essex",
+            County::Surrey => "Surrey",
+            County::Hertfordshire => "Hertfordshire",
+            County::Berkshire => "Berkshire",
+            County::Oxfordshire => "Oxfordshire",
+            County::Buckinghamshire => "Buckinghamshire",
+            County::RuralNorth => "Rural North",
+            County::RuralSouthWest => "Rural South West",
+            County::RuralWales => "Rural Wales",
+        }
+    }
+
+    /// Whether this county is one of the five high-density study regions.
+    pub fn is_study_region(self) -> bool {
+        County::STUDY_REGIONS.contains(&self)
+    }
+
+    /// Structural class.
+    pub fn class(self) -> CountyClass {
+        match self {
+            County::InnerLondon => CountyClass::MetropolitanCore,
+            County::OuterLondon
+            | County::GreaterManchester
+            | County::WestMidlands
+            | County::WestYorkshire => CountyClass::Conurbation,
+            County::Hampshire
+            | County::Kent
+            | County::EastSussex
+            | County::WestSussex
+            | County::Essex
+            | County::Surrey
+            | County::Hertfordshire
+            | County::Berkshire
+            | County::Oxfordshire
+            | County::Buckinghamshire => CountyClass::Shire,
+            County::RuralNorth | County::RuralSouthWest | County::RuralWales => CountyClass::Rural,
+        }
+    }
+
+    /// Stable small integer id (index into [`County::ALL`]).
+    pub fn index(self) -> usize {
+        County::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("county present in ALL")
+    }
+
+    /// Inverse of [`County::index`].
+    pub fn from_index(idx: usize) -> Option<County> {
+        County::ALL.get(idx).copied()
+    }
+}
+
+impl std::fmt::Display for County {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identifier of a synthetic Local Authority District.
+///
+/// LADs partition zones within a county; they are the granularity at
+/// which home detection is validated against census data (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LadId(pub u16);
+
+impl std::fmt::Display for LadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LAD{:03}", self.0)
+    }
+}
+
+/// A synthetic LAD: name-code, parent county and census population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lad {
+    /// Identifier, unique country-wide.
+    pub id: LadId,
+    /// Parent county.
+    pub county: County,
+    /// ONS-style census resident population (synthetic).
+    pub census_population: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_counties_distinct_and_indexed() {
+        for (i, c) in County::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(County::from_index(i), Some(*c));
+        }
+        assert_eq!(County::from_index(County::ALL.len()), None);
+    }
+
+    #[test]
+    fn study_regions_match_paper() {
+        assert_eq!(County::STUDY_REGIONS.len(), 5);
+        for r in County::STUDY_REGIONS {
+            assert!(r.is_study_region());
+        }
+        assert!(!County::Hampshire.is_study_region());
+        assert!(County::InnerLondon.is_study_region());
+    }
+
+    #[test]
+    fn classes_are_sensible() {
+        assert_eq!(County::InnerLondon.class(), CountyClass::MetropolitanCore);
+        assert_eq!(County::GreaterManchester.class(), CountyClass::Conurbation);
+        assert_eq!(County::Hampshire.class(), CountyClass::Shire);
+        assert_eq!(County::RuralWales.class(), CountyClass::Rural);
+    }
+
+    #[test]
+    fn lad_display() {
+        assert_eq!(LadId(7).to_string(), "LAD007");
+    }
+}

@@ -1,0 +1,178 @@
+//! Planar coordinates in kilometres.
+//!
+//! The synthetic country lives on a plane loosely shaped like the British
+//! National Grid (x grows east, y grows north, units are kilometres).
+//! At country scale a planar metric is what operator tooling uses anyway
+//! (cell-site coordinates are projected), so we avoid spherical
+//! trigonometry entirely.
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the synthetic map, kilometres east / north of the origin.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Kilometres east of the grid origin.
+    pub x: f64,
+    /// Kilometres north of the grid origin.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point from east/north kilometre offsets.
+    pub const fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point, in kilometres.
+    pub fn distance_km(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared distance — cheaper when only comparing.
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Component-wise addition.
+    pub fn offset(self, dx: f64, dy: f64) -> Point {
+        Point {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
+    }
+}
+
+/// Time-weighted centre of mass of a trajectory, as used by the paper's
+/// radius-of-gyration definition (Section 2.3):
+/// `l_cm = (1/T) * sum_j t_j * l_j` where `T = sum_j t_j`.
+///
+/// Returns `None` when the total weight is zero (no dwell time at all).
+pub fn center_of_mass<I>(weighted_points: I) -> Option<Point>
+where
+    I: IntoIterator<Item = (Point, f64)>,
+{
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut total = 0.0;
+    for (p, w) in weighted_points {
+        debug_assert!(w >= 0.0, "negative dwell weight");
+        sx += p.x * w;
+        sy += p.y * w;
+        total += w;
+    }
+    if total <= 0.0 {
+        None
+    } else {
+        Some(Point::new(sx / total, sy / total))
+    }
+}
+
+/// Axis-aligned bounding box, used by the spatial index in the radio
+/// crate and by map sanity checks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// South-west corner.
+    pub min: Point,
+    /// North-east corner.
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// A degenerate box containing only `p`.
+    pub fn at(p: Point) -> BoundingBox {
+        BoundingBox { min: p, max: p }
+    }
+
+    /// Smallest box containing all points; `None` for an empty iterator.
+    pub fn containing<I: IntoIterator<Item = Point>>(points: I) -> Option<BoundingBox> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut b = BoundingBox::at(first);
+        for p in it {
+            b.expand(p);
+        }
+        Some(b)
+    }
+
+    /// Grow the box to contain `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Whether `p` lies inside (inclusive of the boundary).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// East-west extent in kilometres.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// North-south extent in kilometres.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance_km(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(b.distance_km(a), 5.0);
+    }
+
+    #[test]
+    fn center_of_mass_weighted() {
+        let cm = center_of_mass([
+            (Point::new(0.0, 0.0), 3.0),
+            (Point::new(4.0, 0.0), 1.0),
+        ])
+        .unwrap();
+        assert!((cm.x - 1.0).abs() < 1e-12);
+        assert_eq!(cm.y, 0.0);
+    }
+
+    #[test]
+    fn center_of_mass_empty_or_zero_weight() {
+        assert_eq!(center_of_mass(std::iter::empty()), None);
+        assert_eq!(center_of_mass([(Point::new(1.0, 1.0), 0.0)]), None);
+    }
+
+    #[test]
+    fn center_of_mass_single_point_is_itself() {
+        let p = Point::new(7.5, -2.0);
+        let cm = center_of_mass([(p, 42.0)]).unwrap();
+        assert_eq!(cm, p);
+    }
+
+    #[test]
+    fn bbox_contains_and_extents() {
+        let b = BoundingBox::containing([
+            Point::new(1.0, 2.0),
+            Point::new(-1.0, 5.0),
+            Point::new(0.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(b.min, Point::new(-1.0, 0.0));
+        assert_eq!(b.max, Point::new(1.0, 5.0));
+        assert_eq!(b.width(), 2.0);
+        assert_eq!(b.height(), 5.0);
+        assert!(b.contains(Point::new(0.0, 3.0)));
+        assert!(!b.contains(Point::new(2.0, 3.0)));
+        assert_eq!(BoundingBox::containing(std::iter::empty()), None);
+    }
+}

@@ -1,0 +1,246 @@
+//! The queryable country: zones, LADs, and NSPL-style lookup tables.
+//!
+//! [`Geography`] is the analog of the paper's "UK Administrative and
+//! Geo-demographic Datasets" (Section 2.2): given a postcode-level zone
+//! it answers which LAD, county/UTLA, postal district and OAC cluster it
+//! belongs to, and provides ONS-style census tables for validation
+//! (Fig. 2 compares inferred residential populations per LAD against
+//! census values).
+
+use crate::admin::{County, Lad, LadId};
+use crate::coords::{BoundingBox, Point};
+use crate::oac::OacCluster;
+use crate::postcode::LondonDistrict;
+use crate::zone::{Zone, ZoneId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Census populations aggregated at each administrative level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CensusTable {
+    lad: BTreeMap<LadId, u64>,
+    county: BTreeMap<County, u64>,
+    total: u64,
+}
+
+impl CensusTable {
+    /// Census population of a LAD (0 for unknown ids).
+    pub fn lad_population(&self, lad: LadId) -> u64 {
+        self.lad.get(&lad).copied().unwrap_or(0)
+    }
+
+    /// Census population of a county.
+    pub fn county_population(&self, county: County) -> u64 {
+        self.county.get(&county).copied().unwrap_or(0)
+    }
+
+    /// National census population.
+    pub fn total_population(&self) -> u64 {
+        self.total
+    }
+
+    /// All (LAD, population) pairs, ordered by id.
+    pub fn lads(&self) -> impl Iterator<Item = (LadId, u64)> + '_ {
+        self.lad.iter().map(|(&id, &p)| (id, p))
+    }
+}
+
+/// The synthetic country: all zones plus lookup tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Geography {
+    zones: Vec<Zone>,
+    lads: Vec<Lad>,
+    census: CensusTable,
+    by_county: BTreeMap<County, Vec<ZoneId>>,
+    by_cluster: BTreeMap<OacCluster, Vec<ZoneId>>,
+    by_district: BTreeMap<LondonDistrict, Vec<ZoneId>>,
+    bounds: BoundingBox,
+}
+
+impl Geography {
+    /// Assemble a geography from generated parts (see [`crate::synth`]).
+    ///
+    /// # Panics
+    /// Panics if `zones` is empty or zone ids are not dense indices.
+    pub fn from_parts(zones: Vec<Zone>, lads: Vec<Lad>) -> Geography {
+        assert!(!zones.is_empty(), "geography needs at least one zone");
+        for (i, z) in zones.iter().enumerate() {
+            assert_eq!(z.id.index(), i, "zone ids must be dense indices");
+        }
+        let mut by_county: BTreeMap<County, Vec<ZoneId>> = BTreeMap::new();
+        let mut by_cluster: BTreeMap<OacCluster, Vec<ZoneId>> = BTreeMap::new();
+        let mut by_district: BTreeMap<LondonDistrict, Vec<ZoneId>> = BTreeMap::new();
+        let mut lad_pop: BTreeMap<LadId, u64> = BTreeMap::new();
+        let mut county_pop: BTreeMap<County, u64> = BTreeMap::new();
+        let mut total = 0u64;
+        for z in &zones {
+            by_county.entry(z.county).or_default().push(z.id);
+            by_cluster.entry(z.cluster).or_default().push(z.id);
+            if let Some(d) = z.district {
+                by_district.entry(d).or_default().push(z.id);
+            }
+            *lad_pop.entry(z.lad).or_default() += z.population as u64;
+            *county_pop.entry(z.county).or_default() += z.population as u64;
+            total += z.population as u64;
+        }
+        let bounds = BoundingBox::containing(zones.iter().map(|z| z.centroid))
+            .expect("non-empty zones");
+        Geography {
+            zones,
+            lads,
+            census: CensusTable {
+                lad: lad_pop,
+                county: county_pop,
+                total,
+            },
+            by_county,
+            by_cluster,
+            by_district,
+            bounds,
+        }
+    }
+
+    /// All zones, indexed by [`ZoneId`].
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// Look up one zone.
+    pub fn zone(&self, id: ZoneId) -> &Zone {
+        &self.zones[id.index()]
+    }
+
+    /// All LADs.
+    pub fn lads(&self) -> &[Lad] {
+        &self.lads
+    }
+
+    /// Look up one LAD.
+    pub fn lad(&self, id: LadId) -> Option<&Lad> {
+        self.lads.get(id.0 as usize)
+    }
+
+    /// Census tables (the ONS ground truth of the synthetic world).
+    pub fn census(&self) -> &CensusTable {
+        &self.census
+    }
+
+    /// Zones of a county (empty slice if the county was not generated).
+    pub fn zones_in_county(&self, county: County) -> &[ZoneId] {
+        self.by_county.get(&county).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Zones labelled with a given OAC cluster.
+    pub fn zones_in_cluster(&self, cluster: OacCluster) -> &[ZoneId] {
+        self.by_cluster
+            .get(&cluster)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Zones of an Inner-London postal district.
+    pub fn zones_in_district(&self, district: LondonDistrict) -> &[ZoneId] {
+        self.by_district
+            .get(&district)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Bounding box of all zone centroids.
+    pub fn bounds(&self) -> BoundingBox {
+        self.bounds
+    }
+
+    /// The zone whose centroid is nearest to `p` (linear scan — use the
+    /// radio crate's spatial index for hot paths).
+    pub fn nearest_zone(&self, p: Point) -> &Zone {
+        self.zones
+            .iter()
+            .min_by(|a, b| {
+                a.centroid
+                    .distance_sq(p)
+                    .total_cmp(&b.centroid.distance_sq(p))
+            })
+            .expect("non-empty zones")
+    }
+
+    /// Number of zones.
+    pub fn num_zones(&self) -> usize {
+        self.zones.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    fn geo() -> Geography {
+        SynthConfig::small(11).build()
+    }
+
+    #[test]
+    fn census_totals_are_consistent() {
+        let g = geo();
+        let county_sum: u64 = County::ALL
+            .iter()
+            .map(|&c| g.census().county_population(c))
+            .sum();
+        assert_eq!(county_sum, g.census().total_population());
+        let lad_sum: u64 = g.census().lads().map(|(_, p)| p).sum();
+        assert_eq!(lad_sum, g.census().total_population());
+    }
+
+    #[test]
+    fn lad_census_matches_lad_records() {
+        let g = geo();
+        for lad in g.lads() {
+            assert_eq!(g.census().lad_population(lad.id), lad.census_population);
+        }
+    }
+
+    #[test]
+    fn county_index_covers_all_zones() {
+        let g = geo();
+        let indexed: usize = County::ALL
+            .iter()
+            .map(|&c| g.zones_in_county(c).len())
+            .sum();
+        assert_eq!(indexed, g.num_zones());
+    }
+
+    #[test]
+    fn cluster_index_covers_all_zones() {
+        let g = geo();
+        let indexed: usize = OacCluster::ALL
+            .iter()
+            .map(|&c| g.zones_in_cluster(c).len())
+            .sum();
+        assert_eq!(indexed, g.num_zones());
+    }
+
+    #[test]
+    fn nearest_zone_is_self_at_centroid() {
+        let g = geo();
+        for z in g.zones().iter().step_by(7) {
+            let found = g.nearest_zone(z.centroid);
+            // Another zone could coincide, but distance must be 0-ish.
+            assert!(found.centroid.distance_km(z.centroid) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bounds_contain_everything() {
+        let g = geo();
+        let b = g.bounds();
+        for z in g.zones() {
+            assert!(b.contains(z.centroid));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one zone")]
+    fn empty_geography_rejected() {
+        Geography::from_parts(Vec::new(), Vec::new());
+    }
+}

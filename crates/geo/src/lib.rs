@@ -1,0 +1,40 @@
+//! Synthetic UK geography for the COVID-19 MNO study.
+//!
+//! The paper grounds every result in UK geography datasets that are either
+//! public (NSPL postcode lookup, 2011 OAC geodemographic classification,
+//! ONS census populations) or operator-internal (cell-site locations).
+//! This crate provides a deterministic synthetic equivalent with the same
+//! *structure*:
+//!
+//! * a planar coordinate system with distances in kilometres
+//!   ([`coords`]);
+//! * the eight **2011 OAC geodemographic clusters** of the paper's
+//!   Table 1, verbatim ([`oac`]);
+//! * an administrative hierarchy: postcode-level [`zone::Zone`]s grouped
+//!   into **Local Authority Districts** (LADs) and **counties**, five of
+//!   which are the paper's high-density study regions ([`admin`]);
+//! * Inner-London **postal districts** (EC, WC, N, …) used by the
+//!   London-centric analysis of Section 5 ([`postcode`]);
+//! * a deterministic generator that lays the whole country out from a
+//!   seed ([`synth`]), and the resulting queryable [`Geography`]
+//!   container with NSPL-style lookups and census tables
+//!   ([`geography`]).
+//!
+//! Everything is pure data + deterministic construction: the same seed
+//! always yields the same country.
+
+pub mod admin;
+pub mod coords;
+pub mod geography;
+pub mod oac;
+pub mod postcode;
+pub mod synth;
+pub mod zone;
+
+pub use admin::{County, CountyClass, LadId};
+pub use coords::{BoundingBox, Point};
+pub use geography::{CensusTable, Geography};
+pub use oac::OacCluster;
+pub use postcode::LondonDistrict;
+pub use synth::{CountySpec, SynthConfig};
+pub use zone::{Zone, ZoneId};

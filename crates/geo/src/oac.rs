@@ -1,0 +1,217 @@
+//! The 2011 Area Classification for Output Areas (2011 OAC) supergroups.
+//!
+//! This is the paper's Table 1, reproduced verbatim: eight geodemographic
+//! clusters that summarize "the social and physical structure of postcode
+//! areas using data from the 2011 UK Census". The paper breaks both
+//! mobility (Fig. 6) and network performance (Fig. 10, Fig. 12) down by
+//! these clusters, so they are first-class citizens here.
+//!
+//! Besides the names/definitions we also attach coarse *structural*
+//! attributes (urban density class, daytime attraction) that the
+//! synthetic world generator uses to place zones; these encode nothing
+//! about lockdown behaviour (behavioural response lives in the mobility
+//! crate).
+
+use serde::{Deserialize, Serialize};
+
+/// The eight 2011 OAC supergroups (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OacCluster {
+    /// Rural areas, low density, older and educated population.
+    RuralResidents,
+    /// Densely populated urban areas, high ethnic integration, young
+    /// adults and students.
+    Cosmopolitans,
+    /// Denser central areas of London, non-white ethnic groups, young
+    /// adults.
+    EthnicityCentral,
+    /// Urban areas in transition between centres and suburbia, high
+    /// ethnic mix.
+    MulticulturalMetropolitans,
+    /// Urban areas mainly in southern England, average ethnic mix, low
+    /// unemployment.
+    Urbanites,
+    /// Population above retirement age and parents with school age
+    /// children, low unemployment.
+    Suburbanites,
+    /// Densely populated areas, single/divorced population, higher level
+    /// of unemployment.
+    ConstrainedCityDwellers,
+    /// Urban surroundings (northern England / southern Wales), higher
+    /// rates of unemployment.
+    HardPressedLiving,
+}
+
+/// Broad density class of a cluster's typical areas; drives cell-site
+/// deployment density and anchor-place distances in the synthetic world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DensityClass {
+    /// Sparse countryside: few, far-apart cell sites; long trips.
+    Rural,
+    /// Towns and outer suburbs.
+    Suburban,
+    /// Dense city fabric.
+    Urban,
+    /// The densest central-city cores.
+    UrbanCore,
+}
+
+impl OacCluster {
+    /// All clusters in the paper's Table 1 order.
+    pub const ALL: [OacCluster; 8] = [
+        OacCluster::RuralResidents,
+        OacCluster::Cosmopolitans,
+        OacCluster::EthnicityCentral,
+        OacCluster::MulticulturalMetropolitans,
+        OacCluster::Urbanites,
+        OacCluster::Suburbanites,
+        OacCluster::ConstrainedCityDwellers,
+        OacCluster::HardPressedLiving,
+    ];
+
+    /// Human-readable name as printed in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            OacCluster::RuralResidents => "Rural Residents",
+            OacCluster::Cosmopolitans => "Cosmopolitans",
+            OacCluster::EthnicityCentral => "Ethnicity Central",
+            OacCluster::MulticulturalMetropolitans => "Multicultural Metropolitans",
+            OacCluster::Urbanites => "Urbanites",
+            OacCluster::Suburbanites => "Suburbanites",
+            OacCluster::ConstrainedCityDwellers => "Constrained City Dwellers",
+            OacCluster::HardPressedLiving => "Hard-pressed Living",
+        }
+    }
+
+    /// Definition as printed in Table 1.
+    pub fn definition(self) -> &'static str {
+        match self {
+            OacCluster::RuralResidents => {
+                "Rural areas, low density, older and educated population"
+            }
+            OacCluster::Cosmopolitans => {
+                "Densely populated urban areas, high ethnic integration, young adults and students"
+            }
+            OacCluster::EthnicityCentral => {
+                "Denser central areas of London, non-white ethnic groups, young adults"
+            }
+            OacCluster::MulticulturalMetropolitans => {
+                "Urban areas in transition between centres and suburbia, high ethnic mix"
+            }
+            OacCluster::Urbanites => {
+                "Urban areas mainly in southern England, average ethnic mix, low unemployment"
+            }
+            OacCluster::Suburbanites => {
+                "Population above retirement age and parents with school age children, low unemployment"
+            }
+            OacCluster::ConstrainedCityDwellers => {
+                "Densely populated areas, single/divorced population, higher level of unemployment"
+            }
+            OacCluster::HardPressedLiving => {
+                "Urban surroundings (northern England/southern Wales), higher rates of unemployment"
+            }
+        }
+    }
+
+    /// Typical density class of areas in this cluster.
+    pub fn density_class(self) -> DensityClass {
+        match self {
+            OacCluster::RuralResidents => DensityClass::Rural,
+            OacCluster::Cosmopolitans | OacCluster::EthnicityCentral => DensityClass::UrbanCore,
+            OacCluster::MulticulturalMetropolitans | OacCluster::ConstrainedCityDwellers => {
+                DensityClass::Urban
+            }
+            OacCluster::Urbanites
+            | OacCluster::Suburbanites
+            | OacCluster::HardPressedLiving => DensityClass::Suburban,
+        }
+    }
+
+    /// How strongly areas of this cluster attract non-resident daytime
+    /// visitors (work, commerce, education, recreation) relative to their
+    /// resident population. Central-London clusters host "many seasonal
+    /// residents (e.g. tourists), business and commercial areas"
+    /// (Section 5.1), which is why EC/WC empty out under lockdown.
+    pub fn daytime_attraction(self) -> f64 {
+        match self {
+            OacCluster::Cosmopolitans => 6.0,
+            OacCluster::EthnicityCentral => 3.0,
+            OacCluster::MulticulturalMetropolitans => 0.9,
+            OacCluster::Urbanites => 1.0,
+            OacCluster::ConstrainedCityDwellers => 0.8,
+            OacCluster::Suburbanites => 0.6,
+            OacCluster::HardPressedLiving => 0.7,
+            OacCluster::RuralResidents => 0.4,
+        }
+    }
+
+    /// Residential density (people per km²) typical of this cluster's
+    /// areas; used to size zones and place cell sites.
+    pub fn residential_density_per_km2(self) -> f64 {
+        match self.density_class() {
+            DensityClass::Rural => 60.0,
+            DensityClass::Suburban => 1_500.0,
+            DensityClass::Urban => 4_500.0,
+            DensityClass::UrbanCore => 9_000.0,
+        }
+    }
+}
+
+impl std::fmt::Display for OacCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_eight_distinct_clusters() {
+        let mut names: Vec<_> = OacCluster::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn definitions_match_paper_keywords() {
+        assert!(OacCluster::RuralResidents.definition().contains("Rural"));
+        assert!(OacCluster::Cosmopolitans
+            .definition()
+            .contains("young adults and students"));
+        assert!(OacCluster::EthnicityCentral
+            .definition()
+            .contains("central areas of London"));
+        assert!(OacCluster::HardPressedLiving
+            .definition()
+            .contains("unemployment"));
+    }
+
+    #[test]
+    fn central_london_clusters_attract_most_visitors() {
+        let cosmo = OacCluster::Cosmopolitans.daytime_attraction();
+        for c in OacCluster::ALL {
+            if c != OacCluster::Cosmopolitans {
+                assert!(c.daytime_attraction() < cosmo, "{c} should attract less");
+            }
+        }
+        assert!(
+            OacCluster::RuralResidents.daytime_attraction()
+                < OacCluster::Urbanites.daytime_attraction()
+        );
+    }
+
+    #[test]
+    fn density_ordering_is_sane() {
+        assert!(
+            OacCluster::Cosmopolitans.residential_density_per_km2()
+                > OacCluster::Suburbanites.residential_density_per_km2()
+        );
+        assert!(
+            OacCluster::Suburbanites.residential_density_per_km2()
+                > OacCluster::RuralResidents.residential_density_per_km2()
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! London postal districts and postcode-style zone labels.
+//!
+//! Section 5.1 of the paper breaks Inner London down by **postal
+//! district** (EC, WC, N, E, SE, SW, W, NW) and finds the central
+//! districts (EC, WC) collapse under lockdown — they have few residents
+//! (≈30k in EC vs ≈400k in SW) but huge daytime populations — while the
+//! Northern (N) district *gains* active users.
+
+use serde::{Deserialize, Serialize};
+
+/// Inner-London postal districts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LondonDistrict {
+    /// Eastern Central — the City and its fringe. Tiny residential
+    /// population, extreme daytime attraction.
+    EC,
+    /// Western Central — West End / Holborn. Like EC: offices, retail,
+    /// theatres, tourists.
+    WC,
+    /// Northern.
+    N,
+    /// Eastern.
+    E,
+    /// South Eastern.
+    SE,
+    /// South Western — the most populous Inner-London district
+    /// (≈400k residents per the paper).
+    SW,
+    /// Western.
+    W,
+    /// North Western.
+    NW,
+}
+
+impl LondonDistrict {
+    /// All districts, stable order.
+    pub const ALL: [LondonDistrict; 8] = [
+        LondonDistrict::EC,
+        LondonDistrict::WC,
+        LondonDistrict::N,
+        LondonDistrict::E,
+        LondonDistrict::SE,
+        LondonDistrict::SW,
+        LondonDistrict::W,
+        LondonDistrict::NW,
+    ];
+
+    /// District code as used on London postcodes ("EC", "WC", …).
+    pub fn code(self) -> &'static str {
+        match self {
+            LondonDistrict::EC => "EC",
+            LondonDistrict::WC => "WC",
+            LondonDistrict::N => "N",
+            LondonDistrict::E => "E",
+            LondonDistrict::SE => "SE",
+            LondonDistrict::SW => "SW",
+            LondonDistrict::W => "W",
+            LondonDistrict::NW => "NW",
+        }
+    }
+
+    /// The two central districts whose daytime population dwarfs their
+    /// resident population.
+    pub fn is_central(self) -> bool {
+        matches!(self, LondonDistrict::EC | LondonDistrict::WC)
+    }
+
+    /// Approximate resident population share within Inner London.
+    ///
+    /// Calibrated to the paper's figures: EC ≈ 30k residents, SW ≈ 400k;
+    /// the remaining districts sit between. Shares sum to 1.
+    pub fn resident_share(self) -> f64 {
+        match self {
+            LondonDistrict::EC => 0.015,
+            LondonDistrict::WC => 0.018,
+            LondonDistrict::N => 0.140,
+            LondonDistrict::E => 0.160,
+            LondonDistrict::SE => 0.175,
+            LondonDistrict::SW => 0.200,
+            LondonDistrict::W => 0.140,
+            LondonDistrict::NW => 0.152,
+        }
+    }
+
+    /// Daytime attraction multiplier on top of the zone-cluster level
+    /// attraction: EC/WC concentrate the commercial/business/tourist
+    /// hotspots of the capital.
+    pub fn daytime_attraction(self) -> f64 {
+        match self {
+            LondonDistrict::EC => 14.0,
+            LondonDistrict::WC => 12.0,
+            LondonDistrict::W => 2.5,
+            LondonDistrict::N => 0.5,
+            LondonDistrict::E => 0.9,
+            LondonDistrict::SE => 0.8,
+            LondonDistrict::SW => 0.9,
+            LondonDistrict::NW => 0.8,
+        }
+    }
+
+    /// Approximate offset of the district centre from the Inner-London
+    /// centroid, in kilometres (east, north).
+    pub fn offset_km(self) -> (f64, f64) {
+        match self {
+            LondonDistrict::EC => (1.5, 0.5),
+            LondonDistrict::WC => (-0.5, 0.5),
+            LondonDistrict::N => (0.0, 5.0),
+            LondonDistrict::E => (6.0, 1.0),
+            LondonDistrict::SE => (4.0, -4.5),
+            LondonDistrict::SW => (-4.0, -4.0),
+            LondonDistrict::W => (-5.5, 0.5),
+            LondonDistrict::NW => (-4.0, 4.5),
+        }
+    }
+}
+
+impl std::fmt::Display for LondonDistrict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resident_shares_sum_to_one() {
+        let total: f64 = LondonDistrict::ALL.iter().map(|d| d.resident_share()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn central_districts_small_but_attractive() {
+        for d in [LondonDistrict::EC, LondonDistrict::WC] {
+            assert!(d.is_central());
+            // Few residents…
+            assert!(d.resident_share() < 0.05);
+            // …but the strongest daytime pull.
+            for other in LondonDistrict::ALL {
+                if !other.is_central() {
+                    assert!(d.daytime_attraction() > other.daytime_attraction());
+                }
+            }
+        }
+        // SW is the most populous, matching the paper's ~400k figure.
+        let max = LondonDistrict::ALL
+            .iter()
+            .max_by(|a, b| a.resident_share().total_cmp(&b.resident_share()))
+            .unwrap();
+        assert_eq!(*max, LondonDistrict::SW);
+    }
+
+    #[test]
+    fn ec_to_sw_population_ratio_matches_paper_order_of_magnitude() {
+        // Paper: ≈30k residents in EC vs ≈400k in SW — a ratio near 13x.
+        let ratio =
+            LondonDistrict::SW.resident_share() / LondonDistrict::EC.resident_share();
+        assert!(ratio > 10.0 && ratio < 16.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<_> = LondonDistrict::ALL.iter().map(|d| d.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 8);
+    }
+}

@@ -1,0 +1,605 @@
+//! Deterministic synthetic-country generator.
+//!
+//! Builds the whole map from county specifications: for each county we
+//! generate postcode-level zones (count proportional to population),
+//! scatter them around the county centre with a density-dependent spread,
+//! label each with a 2011 OAC cluster sampled from the county's cluster
+//! mix, group zones into LADs, and derive census tables.
+//!
+//! Default county specs approximate real UK populations and the paper's
+//! structural facts (e.g. Inner London splits into postal districts with
+//! EC/WC almost empty of residents; ~45% of Inner-London postcodes are
+//! Cosmopolitans and ~50% Ethnicity Central, Section 4.4).
+
+use crate::admin::{County, CountyClass, Lad, LadId};
+use crate::coords::Point;
+use crate::geography::Geography;
+use crate::oac::OacCluster;
+use crate::postcode::LondonDistrict;
+use crate::zone::{Zone, ZoneId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Specification of one county for the generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountySpec {
+    /// Which county this spec describes.
+    pub county: County,
+    /// Centre of the county on the synthetic map (km).
+    pub center: Point,
+    /// Standard deviation of zone scatter around the centre (km).
+    pub spread_km: f64,
+    /// Total resident population of the county.
+    pub population: u64,
+    /// Cluster mix: (cluster, weight) pairs; weights need not sum to 1.
+    pub cluster_mix: Vec<(OacCluster, f64)>,
+}
+
+impl CountySpec {
+    /// The default specification set: 18 counties approximating the UK
+    /// areas the paper reports on.
+    pub fn default_uk() -> Vec<CountySpec> {
+        use County::*;
+        use OacCluster::*;
+        let spec = |county: County,
+                    center: (f64, f64),
+                    spread_km: f64,
+                    population: u64,
+                    cluster_mix: &[(OacCluster, f64)]| CountySpec {
+            county,
+            center: Point::new(center.0, center.1),
+            spread_km,
+            population,
+            cluster_mix: cluster_mix.to_vec(),
+        };
+        vec![
+            // Inner London's mix matches Section 4.4: ≈45% Cosmopolitans,
+            // ≈50% Ethnicity Central (plus a sliver of Multicultural
+            // Metropolitans). District structure is added on top.
+            spec(
+                InnerLondon,
+                (530.0, 180.0),
+                4.0,
+                3_300_000,
+                &[
+                    (Cosmopolitans, 0.45),
+                    (EthnicityCentral, 0.50),
+                    (MulticulturalMetropolitans, 0.05),
+                ],
+            ),
+            spec(
+                OuterLondon,
+                (530.0, 180.0),
+                14.0,
+                5_200_000,
+                &[
+                    (MulticulturalMetropolitans, 0.45),
+                    (Urbanites, 0.25),
+                    (Suburbanites, 0.20),
+                    (ConstrainedCityDwellers, 0.07),
+                    (Cosmopolitans, 0.03),
+                ],
+            ),
+            spec(
+                GreaterManchester,
+                (385.0, 400.0),
+                11.0,
+                2_800_000,
+                &[
+                    (MulticulturalMetropolitans, 0.30),
+                    (HardPressedLiving, 0.25),
+                    (ConstrainedCityDwellers, 0.15),
+                    (Suburbanites, 0.15),
+                    (Urbanites, 0.10),
+                    (Cosmopolitans, 0.05),
+                ],
+            ),
+            spec(
+                WestMidlands,
+                (405.0, 290.0),
+                11.0,
+                2_900_000,
+                &[
+                    (MulticulturalMetropolitans, 0.35),
+                    (HardPressedLiving, 0.22),
+                    (ConstrainedCityDwellers, 0.13),
+                    (Suburbanites, 0.15),
+                    (Urbanites, 0.10),
+                    (Cosmopolitans, 0.05),
+                ],
+            ),
+            spec(
+                WestYorkshire,
+                (430.0, 435.0),
+                10.0,
+                2_300_000,
+                &[
+                    (MulticulturalMetropolitans, 0.25),
+                    (HardPressedLiving, 0.30),
+                    (Suburbanites, 0.20),
+                    (Urbanites, 0.10),
+                    (ConstrainedCityDwellers, 0.10),
+                    (Cosmopolitans, 0.05),
+                ],
+            ),
+            spec(
+                Hampshire,
+                (450.0, 130.0),
+                22.0,
+                1_400_000,
+                &[
+                    (Urbanites, 0.35),
+                    (Suburbanites, 0.30),
+                    (RuralResidents, 0.25),
+                    (ConstrainedCityDwellers, 0.05),
+                    (HardPressedLiving, 0.05),
+                ],
+            ),
+            spec(
+                Kent,
+                (590.0, 160.0),
+                22.0,
+                1_600_000,
+                &[
+                    (Urbanites, 0.30),
+                    (Suburbanites, 0.30),
+                    (RuralResidents, 0.25),
+                    (HardPressedLiving, 0.10),
+                    (ConstrainedCityDwellers, 0.05),
+                ],
+            ),
+            spec(
+                EastSussex,
+                (555.0, 110.0),
+                16.0,
+                550_000,
+                &[
+                    (Urbanites, 0.30),
+                    (Suburbanites, 0.25),
+                    (RuralResidents, 0.35),
+                    (ConstrainedCityDwellers, 0.10),
+                ],
+            ),
+            spec(
+                WestSussex,
+                (510.0, 110.0),
+                16.0,
+                870_000,
+                &[
+                    (Urbanites, 0.30),
+                    (Suburbanites, 0.30),
+                    (RuralResidents, 0.32),
+                    (HardPressedLiving, 0.08),
+                ],
+            ),
+            spec(
+                Essex,
+                (580.0, 220.0),
+                20.0,
+                1_500_000,
+                &[
+                    (Suburbanites, 0.35),
+                    (Urbanites, 0.30),
+                    (RuralResidents, 0.20),
+                    (HardPressedLiving, 0.10),
+                    (ConstrainedCityDwellers, 0.05),
+                ],
+            ),
+            spec(
+                Surrey,
+                (510.0, 155.0),
+                14.0,
+                1_200_000,
+                &[
+                    (Suburbanites, 0.40),
+                    (Urbanites, 0.35),
+                    (RuralResidents, 0.25),
+                ],
+            ),
+            spec(
+                Hertfordshire,
+                (520.0, 215.0),
+                14.0,
+                1_200_000,
+                &[
+                    (Suburbanites, 0.40),
+                    (Urbanites, 0.35),
+                    (RuralResidents, 0.25),
+                ],
+            ),
+            spec(
+                Berkshire,
+                (475.0, 170.0),
+                13.0,
+                900_000,
+                &[
+                    (Urbanites, 0.40),
+                    (Suburbanites, 0.35),
+                    (RuralResidents, 0.25),
+                ],
+            ),
+            spec(
+                Oxfordshire,
+                (450.0, 205.0),
+                16.0,
+                700_000,
+                &[
+                    (Urbanites, 0.35),
+                    (Suburbanites, 0.25),
+                    (RuralResidents, 0.40),
+                ],
+            ),
+            spec(
+                Buckinghamshire,
+                (480.0, 200.0),
+                14.0,
+                550_000,
+                &[
+                    (Suburbanites, 0.35),
+                    (Urbanites, 0.30),
+                    (RuralResidents, 0.35),
+                ],
+            ),
+            spec(
+                RuralNorth,
+                (340.0, 540.0),
+                35.0,
+                500_000,
+                &[
+                    (RuralResidents, 0.75),
+                    (HardPressedLiving, 0.15),
+                    (Suburbanites, 0.10),
+                ],
+            ),
+            spec(
+                RuralSouthWest,
+                (290.0, 90.0),
+                35.0,
+                800_000,
+                &[
+                    (RuralResidents, 0.70),
+                    (Suburbanites, 0.15),
+                    (Urbanites, 0.10),
+                    (HardPressedLiving, 0.05),
+                ],
+            ),
+            spec(
+                RuralWales,
+                (300.0, 250.0),
+                30.0,
+                130_000,
+                &[(RuralResidents, 0.80), (HardPressedLiving, 0.20)],
+            ),
+        ]
+    }
+}
+
+/// Configuration of the synthetic-country generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// RNG seed; identical seeds produce identical countries.
+    pub seed: u64,
+    /// Target residents per zone — controls zone (postcode) granularity.
+    pub residents_per_zone: u32,
+    /// Target zones per LAD.
+    pub zones_per_lad: usize,
+    /// County specifications.
+    pub counties: Vec<CountySpec>,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            seed: 0xC0FFEE,
+            residents_per_zone: 40_000,
+            zones_per_lad: 6,
+            counties: CountySpec::default_uk(),
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A small country for fast tests: same structure, ~10x fewer zones.
+    pub fn small(seed: u64) -> SynthConfig {
+        SynthConfig {
+            seed,
+            residents_per_zone: 400_000,
+            zones_per_lad: 3,
+            counties: CountySpec::default_uk(),
+        }
+    }
+
+    /// Generate the country.
+    pub fn build(&self) -> Geography {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut zones: Vec<Zone> = Vec::new();
+        let mut lads: Vec<Lad> = Vec::new();
+
+        for spec in &self.counties {
+            self.build_county(spec, &mut rng, &mut zones, &mut lads);
+        }
+        Geography::from_parts(zones, lads)
+    }
+
+    fn build_county(
+        &self,
+        spec: &CountySpec,
+        rng: &mut StdRng,
+        zones: &mut Vec<Zone>,
+        lads: &mut Vec<Lad>,
+    ) {
+        let n_zones = ((spec.population / self.residents_per_zone as u64).max(2)) as usize;
+        // Inner London gets its postal-district structure; everywhere else
+        // zones scatter around the county centre directly.
+        let district_plan: Vec<(Option<LondonDistrict>, usize, f64)> =
+            if spec.county == County::InnerLondon {
+                LondonDistrict::ALL
+                    .iter()
+                    .map(|&d| {
+                        // At least 2 zones per district so per-district medians
+                        // are meaningful even in small test countries.
+                        let n = ((n_zones as f64 * d.resident_share()).round() as usize).max(2);
+                        (Some(d), n, d.resident_share())
+                    })
+                    .collect()
+            } else {
+                vec![(None, n_zones, 1.0)]
+            };
+
+        let mut county_zones: Vec<usize> = Vec::new();
+        for (district, n, pop_share) in district_plan {
+            let district_pop = (spec.population as f64 * pop_share) as u64;
+            let center = match district {
+                Some(d) => {
+                    let (dx, dy) = d.offset_km();
+                    spec.center.offset(dx, dy)
+                }
+                None => spec.center,
+            };
+            let spread = match district {
+                Some(_) => 1.6, // districts are compact
+                None => spec.spread_km,
+            };
+            for i in 0..n {
+                let cluster = sample_cluster(&spec.cluster_mix, district, rng);
+                // Log-normal-ish population jitter around the even split.
+                let base = district_pop as f64 / n as f64;
+                let jitter: f64 = rng.gen_range(0.6..1.4);
+                let population = (base * jitter).max(50.0) as u32;
+                let centroid = center.offset(
+                    gaussian(rng) * spread,
+                    gaussian(rng) * spread,
+                );
+                let area_km2 =
+                    (population as f64 / cluster.residential_density_per_km2()).max(0.05);
+                let mut work_attraction =
+                    population as f64 * cluster.daytime_attraction();
+                let mut leisure_attraction =
+                    population as f64 * (0.5 + 0.5 * cluster.daytime_attraction());
+                if let Some(d) = district {
+                    work_attraction *= d.daytime_attraction();
+                    leisure_attraction *= d.daytime_attraction();
+                }
+                // Shire/rural leisure pull: second homes and holiday areas
+                // make the countryside attractive for *overnight* leisure,
+                // which the relocation model draws on.
+                if matches!(spec.county.class(), CountyClass::Shire | CountyClass::Rural) {
+                    leisure_attraction *= 1.5;
+                }
+                let id = ZoneId(zones.len() as u32);
+                county_zones.push(zones.len());
+                zones.push(Zone {
+                    id,
+                    county: spec.county,
+                    lad: LadId(0), // assigned below
+                    district,
+                    cluster,
+                    centroid,
+                    population,
+                    area_km2,
+                    work_attraction,
+                    leisure_attraction,
+                });
+                let _ = i;
+            }
+        }
+
+        // Group this county's zones into LADs of ~zones_per_lad, in spatial
+        // (x, then y) order so LADs are geographically coherent.
+        county_zones.sort_by(|&a, &b| {
+            let za = &zones[a].centroid;
+            let zb = &zones[b].centroid;
+            za.x.total_cmp(&zb.x).then(za.y.total_cmp(&zb.y))
+        });
+        for chunk in county_zones.chunks(self.zones_per_lad.max(1)) {
+            let lad_id = LadId(lads.len() as u16);
+            let mut census = 0u64;
+            for &zi in chunk {
+                zones[zi].lad = lad_id;
+                census += zones[zi].population as u64;
+            }
+            lads.push(Lad {
+                id: lad_id,
+                county: spec.county,
+                census_population: census,
+            });
+        }
+    }
+}
+
+/// Sample a cluster from the county mix. Inside Inner London, the postal
+/// district biases the draw: central districts (EC/WC) are Cosmopolitans-
+/// dominated, the N district leans Multicultural Metropolitans (the paper
+/// observes exactly these two deviating in Section 5).
+fn sample_cluster(
+    mix: &[(OacCluster, f64)],
+    district: Option<LondonDistrict>,
+    rng: &mut StdRng,
+) -> OacCluster {
+    let reweight = |c: OacCluster, w: f64| -> f64 {
+        match district {
+            Some(d) if d.is_central() => match c {
+                OacCluster::Cosmopolitans => w * 8.0,
+                _ => w * 0.3,
+            },
+            Some(LondonDistrict::N) => match c {
+                OacCluster::MulticulturalMetropolitans => w * 12.0,
+                _ => w,
+            },
+            Some(LondonDistrict::W) => match c {
+                OacCluster::Cosmopolitans => w * 2.0,
+                _ => w,
+            },
+            _ => w,
+        }
+    };
+    let weights: Vec<f64> = mix.iter().map(|&(c, w)| reweight(c, w)).collect();
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "cluster mix must have positive weight");
+    let mut draw = rng.gen_range(0.0..total);
+    for (&(c, _), &w) in mix.iter().zip(&weights) {
+        if draw < w {
+            return c;
+        }
+        draw -= w;
+    }
+    mix.last().expect("non-empty mix").0
+}
+
+/// Standard-normal sample via Box–Muller (keeps us off distribution
+/// crates; two uniforms per call, second discarded for simplicity).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uk_has_all_counties_once() {
+        let specs = CountySpec::default_uk();
+        assert_eq!(specs.len(), County::ALL.len());
+        let mut seen: Vec<County> = specs.iter().map(|s| s.county).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), County::ALL.len());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = SynthConfig::small(7).build();
+        let b = SynthConfig::small(7).build();
+        assert_eq!(a.zones().len(), b.zones().len());
+        for (za, zb) in a.zones().iter().zip(b.zones()) {
+            assert_eq!(za, zb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SynthConfig::small(1).build();
+        let b = SynthConfig::small(2).build();
+        let same = a
+            .zones()
+            .iter()
+            .zip(b.zones())
+            .all(|(x, y)| x.centroid == y.centroid);
+        assert!(!same, "different seeds should move zones");
+    }
+
+    #[test]
+    fn inner_london_structure() {
+        let geo = SynthConfig::default().build();
+        let inner: Vec<_> = geo
+            .zones()
+            .iter()
+            .filter(|z| z.county == County::InnerLondon)
+            .collect();
+        assert!(!inner.is_empty());
+        // Every Inner-London zone has a district; nothing else does.
+        assert!(inner.iter().all(|z| z.district.is_some()));
+        assert!(geo
+            .zones()
+            .iter()
+            .filter(|z| z.county != County::InnerLondon)
+            .all(|z| z.district.is_none()));
+        // All eight districts are present.
+        for d in LondonDistrict::ALL {
+            assert!(
+                inner.iter().any(|z| z.district == Some(d)),
+                "missing district {d}"
+            );
+        }
+        // Only the three London clusters appear (paper Section 5.2 finds
+        // exactly three clusters map to London).
+        for z in &inner {
+            assert!(matches!(
+                z.cluster,
+                OacCluster::Cosmopolitans
+                    | OacCluster::EthnicityCentral
+                    | OacCluster::MulticulturalMetropolitans
+            ));
+        }
+    }
+
+    #[test]
+    fn central_districts_have_high_attraction_low_population() {
+        let geo = SynthConfig::default().build();
+        let attraction_per_resident = |d: LondonDistrict| -> f64 {
+            let (work, pop) = geo
+                .zones()
+                .iter()
+                .filter(|z| z.district == Some(d))
+                .fold((0.0, 0u64), |(w, p), z| {
+                    (w + z.work_attraction, p + z.population as u64)
+                });
+            work / pop.max(1) as f64
+        };
+        assert!(attraction_per_resident(LondonDistrict::EC) > 5.0 * attraction_per_resident(LondonDistrict::SE));
+    }
+
+    #[test]
+    fn populations_approximately_match_spec() {
+        let geo = SynthConfig::default().build();
+        for spec in CountySpec::default_uk() {
+            let total: u64 = geo
+                .zones()
+                .iter()
+                .filter(|z| z.county == spec.county)
+                .map(|z| z.population as u64)
+                .sum();
+            let ratio = total as f64 / spec.population as f64;
+            assert!(
+                (0.7..1.3).contains(&ratio),
+                "{}: synthesized {} vs spec {}",
+                spec.county,
+                total,
+                spec.population
+            );
+        }
+    }
+
+    #[test]
+    fn lads_partition_zones() {
+        let geo = SynthConfig::default().build();
+        // Every zone's LAD exists and belongs to the same county.
+        for z in geo.zones() {
+            let lad = geo.lad(z.lad).expect("zone LAD exists");
+            assert_eq!(lad.county, z.county, "zone {} LAD county mismatch", z.id);
+        }
+        // LAD census = sum of member zone populations.
+        for lad in geo.lads() {
+            let sum: u64 = geo
+                .zones()
+                .iter()
+                .filter(|z| z.lad == lad.id)
+                .map(|z| z.population as u64)
+                .sum();
+            assert_eq!(sum, lad.census_population);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Zones: the postcode-level unit of aggregation.
+//!
+//! The paper aggregates every feed "at postcode level or larger
+//! granularity". A [`Zone`] is our postcode-level unit: a small
+//! contiguous area with a centroid, a resident population, a 2011 OAC
+//! cluster label, and administrative parents (LAD, county, and — inside
+//! Inner London — a postal district).
+
+use crate::admin::{County, LadId};
+use crate::coords::Point;
+use crate::oac::OacCluster;
+use crate::postcode::LondonDistrict;
+use serde::{Deserialize, Serialize};
+
+/// Zone identifier: dense index into [`crate::Geography::zones`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ZoneId(pub u32);
+
+impl ZoneId {
+    /// Index into the geography's zone table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Z{:05}", self.0)
+    }
+}
+
+/// A postcode-level area of the synthetic country.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zone {
+    /// Identifier (equals its index in the geography's zone table).
+    pub id: ZoneId,
+    /// Parent county.
+    pub county: County,
+    /// Parent Local Authority District.
+    pub lad: LadId,
+    /// Postal district, for Inner-London zones only.
+    pub district: Option<LondonDistrict>,
+    /// 2011 OAC geodemographic cluster label.
+    pub cluster: OacCluster,
+    /// Zone centroid on the synthetic map.
+    pub centroid: Point,
+    /// Resident population (census-style ground truth).
+    pub population: u32,
+    /// Area in km², consistent with the cluster's typical density.
+    pub area_km2: f64,
+    /// Relative pull for work trips: how many jobs/commercial floorspace
+    /// the zone hosts compared to its residents.
+    pub work_attraction: f64,
+    /// Relative pull for leisure/shopping/tourism trips.
+    pub leisure_attraction: f64,
+}
+
+impl Zone {
+    /// Residential density in people per km².
+    pub fn density_per_km2(&self) -> f64 {
+        if self.area_km2 <= 0.0 {
+            0.0
+        } else {
+            self.population as f64 / self.area_km2
+        }
+    }
+
+    /// Postcode-style label, e.g. `"EC-00042"` for a zone in London's
+    /// Eastern Central district or `"HAM-00107"` for Hampshire.
+    pub fn postcode_label(&self) -> String {
+        let prefix = match self.district {
+            Some(d) => d.code().to_string(),
+            None => {
+                let name = self.county.name();
+                name.split_whitespace()
+                    .map(|w| &w[..1])
+                    .collect::<String>()
+                    .to_uppercase()
+                    + &name.chars().skip(1).take(2).collect::<String>().to_uppercase()
+            }
+        };
+        format!("{}-{:05}", prefix, self.id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_zone() -> Zone {
+        Zone {
+            id: ZoneId(42),
+            county: County::InnerLondon,
+            lad: LadId(3),
+            district: Some(LondonDistrict::EC),
+            cluster: OacCluster::Cosmopolitans,
+            centroid: Point::new(530.0, 180.0),
+            population: 9_000,
+            area_km2: 1.0,
+            work_attraction: 12.0,
+            leisure_attraction: 8.0,
+        }
+    }
+
+    #[test]
+    fn density_and_labels() {
+        let z = sample_zone();
+        assert_eq!(z.density_per_km2(), 9_000.0);
+        assert_eq!(z.postcode_label(), "EC-00042");
+    }
+
+    #[test]
+    fn zero_area_zone_has_zero_density() {
+        let mut z = sample_zone();
+        z.area_km2 = 0.0;
+        assert_eq!(z.density_per_km2(), 0.0);
+    }
+
+    #[test]
+    fn non_london_label_uses_county_prefix() {
+        let mut z = sample_zone();
+        z.district = None;
+        z.county = County::Hampshire;
+        assert!(z.postcode_label().starts_with('H'));
+        assert!(z.postcode_label().ends_with("00042"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the geography layer: coordinate math and the
+//! invariants every synthesized country must satisfy.
+
+use cellscope_geo::coords::center_of_mass;
+use cellscope_geo::{BoundingBox, County, OacCluster, Point, SynthConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Distance is a metric: symmetric, zero iff equal points (up to
+    /// floats), and satisfies the triangle inequality.
+    #[test]
+    fn distance_is_a_metric(
+        ax in -1e4f64..1e4, ay in -1e4f64..1e4,
+        bx in -1e4f64..1e4, by in -1e4f64..1e4,
+        cx in -1e4f64..1e4, cy in -1e4f64..1e4,
+    ) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let c = Point::new(cx, cy);
+        prop_assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+        prop_assert_eq!(a.distance_km(a), 0.0);
+        prop_assert!(a.distance_km(c) <= a.distance_km(b) + b.distance_km(c) + 1e-9);
+        prop_assert!((a.distance_km(b).powi(2) - a.distance_sq(b)).abs() < 1e-6);
+    }
+
+    /// The centre of mass lies inside the bounding box of its inputs.
+    #[test]
+    fn center_of_mass_inside_hull(
+        points in prop::collection::vec(((-1e3f64..1e3), (-1e3f64..1e3), (0.001f64..1e4)), 1..50)
+    ) {
+        let weighted: Vec<(Point, f64)> = points
+            .iter()
+            .map(|&(x, y, w)| (Point::new(x, y), w))
+            .collect();
+        let cm = center_of_mass(weighted.iter().copied()).unwrap();
+        let bbox = BoundingBox::containing(weighted.iter().map(|(p, _)| *p)).unwrap();
+        prop_assert!(bbox.min.x - 1e-9 <= cm.x && cm.x <= bbox.max.x + 1e-9);
+        prop_assert!(bbox.min.y - 1e-9 <= cm.y && cm.y <= bbox.max.y + 1e-9);
+    }
+
+    /// Every synthesized country satisfies the structural invariants the
+    /// rest of the stack relies on, for any seed and granularity.
+    #[test]
+    fn synthesized_country_invariants(seed in 0u64..50, residents_per_zone in 150_000u32..500_000) {
+        let geo = SynthConfig {
+            seed,
+            residents_per_zone,
+            zones_per_lad: 4,
+            ..SynthConfig::default()
+        }
+        .build();
+        // Dense ids.
+        for (i, z) in geo.zones().iter().enumerate() {
+            prop_assert_eq!(z.id.index(), i);
+            prop_assert!(z.population > 0);
+            prop_assert!(z.area_km2 > 0.0);
+            prop_assert!(z.work_attraction >= 0.0);
+        }
+        // Every county exists and owns at least one zone.
+        for county in County::ALL {
+            prop_assert!(
+                !geo.zones_in_county(county).is_empty(),
+                "county {county} empty"
+            );
+        }
+        // Census tables are consistent at every level.
+        let county_sum: u64 = County::ALL
+            .iter()
+            .map(|&c| geo.census().county_population(c))
+            .sum();
+        prop_assert_eq!(county_sum, geo.census().total_population());
+        for lad in geo.lads() {
+            let zone_sum: u64 = geo
+                .zones()
+                .iter()
+                .filter(|z| z.lad == lad.id)
+                .map(|z| z.population as u64)
+                .sum();
+            prop_assert_eq!(zone_sum, lad.census_population);
+        }
+        // LADs never span counties.
+        for z in geo.zones() {
+            prop_assert_eq!(geo.lad(z.lad).unwrap().county, z.county);
+        }
+        // London districts appear exactly inside Inner London, and only
+        // the three London clusters appear there.
+        for z in geo.zones() {
+            prop_assert_eq!(z.district.is_some(), z.county == County::InnerLondon);
+            if z.county == County::InnerLondon {
+                prop_assert!(matches!(
+                    z.cluster,
+                    OacCluster::Cosmopolitans
+                        | OacCluster::EthnicityCentral
+                        | OacCluster::MulticulturalMetropolitans
+                ));
+            }
+        }
+    }
+}

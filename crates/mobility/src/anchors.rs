@@ -1,0 +1,148 @@
+//! Important places.
+//!
+//! Section 2.3 notes "more than three quarters of people have between 3
+//! to 6 important places, and in general no more than 8". An
+//! [`AnchorSet`] holds those places for one subscriber: home, an optional
+//! daytime anchor (work/school), a handful of leisure anchors, plus the
+//! nearby sites the subscriber wanders across (corner shop, park, school
+//! run) that give mobility its local randomness.
+
+use cellscope_geo::{Point, ZoneId};
+use cellscope_radio::SiteId;
+use serde::{Deserialize, Serialize};
+
+/// What role a place plays in the subscriber's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnchorKind {
+    /// Primary residence.
+    Home,
+    /// Workplace or school.
+    Work,
+    /// Recurrent leisure destination (gym, relatives, pub, shops).
+    Leisure,
+    /// Distant destination for occasional weekend trips.
+    WeekendTrip,
+    /// Secondary residence (used while relocated).
+    SecondHome,
+}
+
+/// One important place: a cell site plus its geography.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Anchor {
+    /// Role of the place.
+    pub kind: AnchorKind,
+    /// Serving cell site.
+    pub site: SiteId,
+    /// Zone the site is in.
+    pub zone: ZoneId,
+    /// Site location (cached for distance computations).
+    pub location: Point,
+}
+
+/// A subscriber's set of important places.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AnchorSet {
+    /// Home place; `None` only for the default/uninitialized set.
+    pub home: Option<Anchor>,
+    /// Work/school place for segments that have one.
+    pub work: Option<Anchor>,
+    /// Leisure destinations (1–5).
+    pub leisure: Vec<Anchor>,
+    /// Distant weekend-trip destination, if the subscriber has the habit.
+    pub weekend: Option<Anchor>,
+    /// Secondary residence for subscribers with a relocation plan.
+    pub second_home: Option<Anchor>,
+    /// Nearby sites the subscriber wanders across (excludes the home
+    /// site itself). Denser areas naturally yield more of these, which
+    /// is what gives urban users their higher mobility entropy.
+    pub neighborhood: Vec<Anchor>,
+    /// Nearby sites around the second home, used while relocated.
+    pub second_neighborhood: Vec<Anchor>,
+}
+
+impl AnchorSet {
+    /// Total count of distinct important places (home + work + leisure +
+    /// weekend + second home). The paper's 3–8 rule applies to these,
+    /// not to incidental neighborhood towers.
+    pub fn num_important_places(&self) -> usize {
+        self.home.iter().count()
+            + self.work.iter().count()
+            + self.leisure.len()
+            + self.weekend.iter().count()
+            + self.second_home.iter().count()
+    }
+
+    /// The home anchor.
+    ///
+    /// # Panics
+    /// Panics when called on an uninitialized set — population synthesis
+    /// always assigns a home.
+    pub fn home(&self) -> &Anchor {
+        self.home.as_ref().expect("subscriber without home anchor")
+    }
+
+    /// All anchors, for invariant checks.
+    pub fn iter_all(&self) -> impl Iterator<Item = &Anchor> {
+        self.home
+            .iter()
+            .chain(self.work.iter())
+            .chain(self.leisure.iter())
+            .chain(self.weekend.iter())
+            .chain(self.second_home.iter())
+            .chain(self.neighborhood.iter())
+            .chain(self.second_neighborhood.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anchor(kind: AnchorKind, site: u32) -> Anchor {
+        Anchor {
+            kind,
+            site: SiteId(site),
+            zone: ZoneId(0),
+            location: Point::new(site as f64, 0.0),
+        }
+    }
+
+    #[test]
+    fn important_place_count() {
+        let mut set = AnchorSet {
+            home: Some(anchor(AnchorKind::Home, 0)),
+            work: Some(anchor(AnchorKind::Work, 1)),
+            leisure: vec![anchor(AnchorKind::Leisure, 2), anchor(AnchorKind::Leisure, 3)],
+            weekend: None,
+            second_home: None,
+            neighborhood: vec![anchor(AnchorKind::Leisure, 4); 5],
+            second_neighborhood: Vec::new(),
+        };
+        assert_eq!(set.num_important_places(), 4);
+        set.weekend = Some(anchor(AnchorKind::WeekendTrip, 9));
+        assert_eq!(set.num_important_places(), 5);
+        // Neighborhood towers don't count as important places.
+        set.neighborhood.clear();
+        assert_eq!(set.num_important_places(), 5);
+    }
+
+    #[test]
+    fn iter_all_covers_everything() {
+        let set = AnchorSet {
+            home: Some(anchor(AnchorKind::Home, 0)),
+            work: None,
+            leisure: vec![anchor(AnchorKind::Leisure, 2)],
+            weekend: Some(anchor(AnchorKind::WeekendTrip, 3)),
+            second_home: Some(anchor(AnchorKind::SecondHome, 4)),
+            neighborhood: vec![anchor(AnchorKind::Leisure, 5)],
+            second_neighborhood: vec![anchor(AnchorKind::SecondHome, 6)],
+        };
+        assert_eq!(set.iter_all().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "without home anchor")]
+    fn default_set_has_no_home() {
+        AnchorSet::default().home();
+    }
+}

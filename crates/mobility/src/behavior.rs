@@ -1,0 +1,472 @@
+//! Policy-response behaviour model.
+//!
+//! Translates the national restriction intensity (epidemic crate) into
+//! the knobs of one subscriber's day: does she commute, how much leisure
+//! time, any weekend trip, how much local wandering. Three layers of
+//! heterogeneity reproduce the paper's cross-sections:
+//!
+//! * **per-cluster profiles** ([`ClusterProfile`]) — e.g. Ethnicity
+//!   Central cuts distant trips hardest but keeps local movement
+//!   (Fig. 6: largest gyration drop, smallest entropy drop); Rural
+//!   Residents retain more movement overall;
+//! * **per-county modulation** — London and West Yorkshire relax in
+//!   weeks 18–19 while Greater Manchester and the West Midlands stay
+//!   put (Section 3.2);
+//! * **dated events** — the East Sussex escape weekend of Mar 21–22 and
+//!   the Hampshire/Kent weekend trips at the end of April (Section 3.4).
+
+use cellscope_epidemic::Timeline;
+use cellscope_geo::{County, OacCluster};
+use cellscope_time::Date;
+use serde::{Deserialize, Serialize};
+
+use crate::subscriber::{Segment, Subscriber};
+
+/// Behavioural constants of one OAC cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterProfile {
+    /// How fully the cluster's residents give up *distant* trips under
+    /// restrictions (1 = give up everything the policy asks).
+    pub trip_compliance: f64,
+    /// Fraction of local wandering retained under full restrictions.
+    /// High retention with high trip compliance = "moves less far but
+    /// still randomly", the Ethnicity Central signature.
+    pub wander_retention: f64,
+    /// Typical commute distance scale, km (lognormal-ish sigma).
+    pub commute_sigma_km: f64,
+    /// Typical leisure-anchor distance scale, km.
+    pub leisure_sigma_km: f64,
+    /// Mean number of distinct neighborhood sites wandered across on a
+    /// normal day (drives entropy; denser areas have more).
+    pub wander_sites_mean: f64,
+    /// Baseline probability of a weekend trip to another county.
+    pub weekend_trip_prob: f64,
+}
+
+impl ClusterProfile {
+    /// Profile of a cluster, calibrated against Figs. 5–6.
+    pub fn of(cluster: OacCluster) -> ClusterProfile {
+        use OacCluster::*;
+        match cluster {
+            RuralResidents => ClusterProfile {
+                trip_compliance: 0.82,
+                wander_retention: 0.62,
+                commute_sigma_km: 15.0,
+                leisure_sigma_km: 17.0,
+                wander_sites_mean: 2.0,
+                weekend_trip_prob: 0.15,
+            },
+            Cosmopolitans => ClusterProfile {
+                trip_compliance: 0.95,
+                wander_retention: 0.80,
+                commute_sigma_km: 10.0,
+                leisure_sigma_km: 11.0,
+                wander_sites_mean: 3.0,
+                weekend_trip_prob: 0.13,
+            },
+            EthnicityCentral => ClusterProfile {
+                trip_compliance: 0.97,
+                wander_retention: 0.90,
+                commute_sigma_km: 10.5,
+                leisure_sigma_km: 11.0,
+                wander_sites_mean: 2.9,
+                weekend_trip_prob: 0.10,
+            },
+            MulticulturalMetropolitans => ClusterProfile {
+                trip_compliance: 0.92,
+                wander_retention: 0.72,
+                commute_sigma_km: 11.0,
+                leisure_sigma_km: 12.0,
+                wander_sites_mean: 2.6,
+                weekend_trip_prob: 0.10,
+            },
+            Urbanites => ClusterProfile {
+                trip_compliance: 0.90,
+                wander_retention: 0.74,
+                commute_sigma_km: 12.0,
+                leisure_sigma_km: 14.0,
+                wander_sites_mean: 2.4,
+                weekend_trip_prob: 0.12,
+            },
+            Suburbanites => ClusterProfile {
+                trip_compliance: 0.90,
+                wander_retention: 0.72,
+                commute_sigma_km: 13.0,
+                leisure_sigma_km: 15.0,
+                wander_sites_mean: 2.2,
+                weekend_trip_prob: 0.12,
+            },
+            ConstrainedCityDwellers => ClusterProfile {
+                trip_compliance: 0.88,
+                wander_retention: 0.76,
+                commute_sigma_km: 10.0,
+                leisure_sigma_km: 11.0,
+                wander_sites_mean: 2.5,
+                weekend_trip_prob: 0.08,
+            },
+            HardPressedLiving => ClusterProfile {
+                trip_compliance: 0.88,
+                wander_retention: 0.76,
+                commute_sigma_km: 11.0,
+                leisure_sigma_km: 12.0,
+                wander_sites_mean: 2.3,
+                weekend_trip_prob: 0.08,
+            },
+        }
+    }
+}
+
+/// The resolved knobs for one (subscriber, day).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DayPlanParams {
+    /// Probability the subscriber attends their daytime anchor today.
+    pub work_attendance: f64,
+    /// Multiplier on leisure-anchor time (1 = normal).
+    pub leisure_factor: f64,
+    /// Probability of a trip to the distant weekend anchor today.
+    pub weekend_trip_prob: f64,
+    /// Multiplier on local wandering (distinct neighborhood sites).
+    pub wander_factor: f64,
+    /// Multiplier on the duration of each local outing. Confinement
+    /// makes the few permitted outings *longer* (the daily-exercise
+    /// hour, the single big shop), which is what keeps mobility entropy
+    /// from collapsing as fast as gyration (Section 3.1).
+    pub outing_duration_factor: f64,
+}
+
+/// The behaviour model: timeline plus regional/event modulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BehaviorModel {
+    timeline: Timeline,
+}
+
+impl BehaviorModel {
+    /// Build over a policy timeline.
+    pub fn new(timeline: Timeline) -> BehaviorModel {
+        BehaviorModel { timeline }
+    }
+
+    /// The timeline in use.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Regional modulation of restriction intensity: <1 means the county
+    /// relaxes more than the national schedule, >1 means it stays
+    /// stricter. Section 3.2: London and West Yorkshire relax in weeks
+    /// 18–19; Greater Manchester and the West Midlands do not.
+    pub fn regional_relaxation(&self, date: Date, county: County) -> f64 {
+        let week = date.iso_week().week;
+        if (18..=19).contains(&week) {
+            match county {
+                County::InnerLondon | County::OuterLondon | County::WestYorkshire => 0.78,
+                County::GreaterManchester | County::WestMidlands => 1.02,
+                _ => 0.95,
+            }
+        } else {
+            1.0
+        }
+    }
+
+    /// Dated boost on weekend-trip probability toward a destination
+    /// county. Reproduces the Mar 21–22 East Sussex escape weekend and
+    /// the late-April Hampshire (and, less so, Kent) weekends of Fig. 7.
+    pub fn weekend_destination_boost(&self, date: Date, destination: County) -> f64 {
+        let d = (date.year(), date.month().number(), date.day());
+        match destination {
+            County::EastSussex if d == (2020, 3, 21) || d == (2020, 3, 22) => 9.0,
+            County::Hampshire
+                if date >= Date::ymd(2020, 4, 24)
+                    && date <= Date::ymd(2020, 5, 4)
+                    && date.is_weekend() =>
+            {
+                3.0
+            }
+            County::Kent
+                if date >= Date::ymd(2020, 4, 24)
+                    && date <= Date::ymd(2020, 5, 4)
+                    && date.is_weekend() =>
+            {
+                1.8
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Effective restriction felt by a subscriber on a date.
+    pub fn effective_intensity(&self, date: Date, subscriber: &Subscriber, county: County) -> f64 {
+        (self.timeline.intensity(date)
+            * self.regional_relaxation(date, county)
+            * subscriber.compliance)
+            .clamp(0.0, 1.0)
+    }
+
+    /// Resolve the day's behavioural knobs.
+    ///
+    /// `cluster` is the subscriber's home-zone OAC cluster; `county`
+    /// their home county; `weekend` whether `date` is a weekend day.
+    pub fn day_plan(
+        &self,
+        date: Date,
+        subscriber: &Subscriber,
+        cluster: OacCluster,
+        county: County,
+        weekend_dest: Option<County>,
+    ) -> DayPlanParams {
+        let profile = ClusterProfile::of(cluster);
+        let e = self.effective_intensity(date, subscriber, county);
+        let trip_restriction = (e * profile.trip_compliance).clamp(0.0, 1.0);
+
+        let weekend = date.is_weekend();
+        let work_attendance = match subscriber.segment {
+            Segment::Worker { essential } if !weekend => {
+                if essential {
+                    // Essential workers keep commuting throughout.
+                    (1.0 - 0.15 * trip_restriction).max(0.85)
+                } else {
+                    // WFH-capable work collapses almost entirely.
+                    (1.0 - trip_restriction).powf(1.4)
+                }
+            }
+            Segment::Student if !weekend => {
+                // Schools closed outright on Mar 20.
+                if date >= self.timeline.closures {
+                    0.0
+                } else {
+                    1.0 - 0.3 * trip_restriction
+                }
+            }
+            _ => 0.0,
+        };
+
+        let leisure_factor = (1.0 - 0.92 * trip_restriction).max(0.0);
+
+        // Weekend trips vanish even before lockdown (weeks 11–12), so the
+        // restriction curve is harsher, then dated events can boost it.
+        let mut weekend_trip_prob = if weekend {
+            profile.weekend_trip_prob * (1.0 - trip_restriction).powi(2)
+        } else {
+            0.0
+        };
+        if let Some(dest) = weekend_dest {
+            weekend_trip_prob =
+                (weekend_trip_prob * self.weekend_destination_boost(date, dest)).min(0.9);
+        }
+
+        let wander_factor = 1.0 - e * (1.0 - profile.wander_retention);
+        let outing_duration_factor = 1.0 + 0.9 * e;
+
+        DayPlanParams {
+            work_attendance,
+            leisure_factor,
+            weekend_trip_prob,
+            wander_factor,
+            outing_duration_factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchors::AnchorSet;
+    use crate::subscriber::{DeviceClass, SubscriberId};
+    use cellscope_geo::ZoneId;
+
+    fn worker(essential: bool, compliance: f64) -> Subscriber {
+        Subscriber {
+            id: SubscriberId(0),
+            home_zone: ZoneId(0),
+            home_cluster: OacCluster::Urbanites,
+            device: DeviceClass::Smartphone,
+            native: true,
+            segment: Segment::Worker { essential },
+            compliance,
+            anchors: AnchorSet::default(),
+            relocation: None,
+        }
+    }
+
+    fn model() -> BehaviorModel {
+        BehaviorModel::new(Timeline::uk_2020())
+    }
+
+    #[test]
+    fn baseline_day_is_normal_life() {
+        let m = model();
+        let plan = m.day_plan(
+            Date::ymd(2020, 2, 26),
+            &worker(false, 0.9),
+            OacCluster::Urbanites,
+            County::Hampshire,
+            None,
+        );
+        assert_eq!(plan.work_attendance, 1.0);
+        assert_eq!(plan.leisure_factor, 1.0);
+        assert_eq!(plan.wander_factor, 1.0);
+        assert_eq!(plan.outing_duration_factor, 1.0);
+        assert_eq!(plan.weekend_trip_prob, 0.0); // weekday
+    }
+
+    #[test]
+    fn lockdown_collapses_commuting_for_non_essential() {
+        let m = model();
+        let date = Date::ymd(2020, 3, 30); // week 14, full lockdown
+        let plan = m.day_plan(
+            date,
+            &worker(false, 0.95),
+            OacCluster::Urbanites,
+            County::Hampshire,
+            None,
+        );
+        assert!(plan.work_attendance < 0.10, "{}", plan.work_attendance);
+        let essential = m.day_plan(
+            date,
+            &worker(true, 0.95),
+            OacCluster::Urbanites,
+            County::Hampshire,
+            None,
+        );
+        assert!(essential.work_attendance >= 0.85);
+    }
+
+    #[test]
+    fn students_stop_at_closures_not_lockdown() {
+        let m = model();
+        let mut s = worker(false, 0.9);
+        s.segment = Segment::Student;
+        let before = m.day_plan(
+            Date::ymd(2020, 3, 19),
+            &s,
+            OacCluster::Cosmopolitans,
+            County::InnerLondon,
+            None,
+        );
+        assert!(before.work_attendance > 0.8);
+        let after = m.day_plan(
+            Date::ymd(2020, 3, 20),
+            &s,
+            OacCluster::Cosmopolitans,
+            County::InnerLondon,
+            None,
+        );
+        assert_eq!(after.work_attendance, 0.0);
+    }
+
+    #[test]
+    fn wander_retains_more_than_trips_for_ethnicity_central() {
+        let m = model();
+        let date = Date::ymd(2020, 3, 30);
+        let s = worker(false, 1.0);
+        let plan = m.day_plan(
+            date,
+            &s,
+            OacCluster::EthnicityCentral,
+            County::InnerLondon,
+            None,
+        );
+        // Local wandering survives far better than leisure/trips.
+        assert!(plan.wander_factor > 0.8, "{}", plan.wander_factor);
+        assert!(plan.leisure_factor < 0.2, "{}", plan.leisure_factor);
+    }
+
+    #[test]
+    fn weekend_trips_vanish_by_lockdown_but_events_boost() {
+        let m = model();
+        let s = worker(false, 0.95);
+        // Normal February weekend: finite trip probability.
+        let feb = m.day_plan(
+            Date::ymd(2020, 2, 29),
+            &s,
+            OacCluster::Urbanites,
+            County::InnerLondon,
+            Some(County::Hampshire),
+        );
+        assert!(feb.weekend_trip_prob > 0.05);
+        // Lockdown weekend: essentially zero.
+        let apr = m.day_plan(
+            Date::ymd(2020, 4, 4),
+            &s,
+            OacCluster::Urbanites,
+            County::InnerLondon,
+            Some(County::Hampshire),
+        );
+        assert!(apr.weekend_trip_prob < 0.005, "{}", apr.weekend_trip_prob);
+        // East Sussex escape weekend (Mar 21): boosted relative to the
+        // same date toward an unboosted destination.
+        let sussex = m.day_plan(
+            Date::ymd(2020, 3, 21),
+            &s,
+            OacCluster::Urbanites,
+            County::InnerLondon,
+            Some(County::EastSussex),
+        );
+        let surrey = m.day_plan(
+            Date::ymd(2020, 3, 21),
+            &s,
+            OacCluster::Urbanites,
+            County::InnerLondon,
+            Some(County::Surrey),
+        );
+        assert!(sussex.weekend_trip_prob > 4.0 * surrey.weekend_trip_prob);
+    }
+
+    #[test]
+    fn regional_relaxation_weeks_18_19() {
+        let m = model();
+        let date = Date::ymd(2020, 4, 29); // week 18
+        assert!(m.regional_relaxation(date, County::InnerLondon) < 0.9);
+        assert!(m.regional_relaxation(date, County::WestYorkshire) < 0.9);
+        assert!(m.regional_relaxation(date, County::GreaterManchester) >= 1.0);
+        assert!(m.regional_relaxation(date, County::WestMidlands) >= 1.0);
+        // Outside those weeks: no modulation.
+        assert_eq!(
+            m.regional_relaxation(Date::ymd(2020, 4, 10), County::InnerLondon),
+            1.0
+        );
+    }
+
+    #[test]
+    fn compliance_scales_effect() {
+        let m = model();
+        let date = Date::ymd(2020, 3, 30);
+        let strict = m.day_plan(
+            date,
+            &worker(false, 1.0),
+            OacCluster::Urbanites,
+            County::Kent,
+            None,
+        );
+        let loose = m.day_plan(
+            date,
+            &worker(false, 0.5),
+            OacCluster::Urbanites,
+            County::Kent,
+            None,
+        );
+        assert!(loose.work_attendance > strict.work_attendance);
+        assert!(loose.leisure_factor > strict.leisure_factor);
+        assert!(loose.wander_factor > strict.wander_factor);
+    }
+
+    #[test]
+    fn cluster_profiles_cover_all_clusters() {
+        for c in OacCluster::ALL {
+            let p = ClusterProfile::of(c);
+            assert!(p.trip_compliance > 0.0 && p.trip_compliance <= 1.0);
+            assert!(p.wander_retention > 0.0 && p.wander_retention <= 1.0);
+            assert!(p.commute_sigma_km > 0.0);
+            assert!(p.wander_sites_mean > 0.0);
+        }
+        // Rural trips are longest, central-London shortest.
+        assert!(
+            ClusterProfile::of(OacCluster::RuralResidents).commute_sigma_km
+                > ClusterProfile::of(OacCluster::Cosmopolitans).commute_sigma_km
+        );
+        // Central-London wanders over more sites (entropy driver).
+        assert!(
+            ClusterProfile::of(OacCluster::Cosmopolitans).wander_sites_mean
+                > ClusterProfile::of(OacCluster::RuralResidents).wander_sites_mean
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Agent-based mobility model.
+//!
+//! The proprietary input the paper cannot share is *people*: 22M
+//! subscribers whose devices attach to towers as they live their days.
+//! This crate synthesizes that population and its behaviour:
+//!
+//! * [`subscriber`] — subscribers with segments (workers, students,
+//!   retirees, tourists), device classes (smartphone vs M2M) and
+//!   native/roamer status, so the paper's filtering steps (Section 2.3)
+//!   have something real to filter;
+//! * [`anchors`] — each subscriber's important places (home, work,
+//!   leisure), consistent with the finding that people have 3–8
+//!   important places;
+//! * [`behavior`] — how policy intensity translates into daily choices,
+//!   with per-OAC-cluster profiles (trip compliance vs. local-wandering
+//!   retention) and regional modulation (the week 18–19 relaxation in
+//!   London and West Yorkshire, the East Sussex pre-lockdown weekend);
+//! * [`relocation`] — temporary relocation of Inner-London residents to
+//!   secondary locations (Section 3.4's sustained −10%);
+//! * [`population`] — deterministic synthesis of all of the above over a
+//!   geography and topology;
+//! * [`trajectory`] — the per-(subscriber, day) dwell generator: which
+//!   towers, for how long, in which 4-hour bin;
+//! * [`rng`] — counter-based per-(user, day) seeding so trajectories are
+//!   reproducible regardless of iteration order (and parallelizable).
+
+pub mod anchors;
+pub mod behavior;
+pub mod population;
+pub mod relocation;
+pub mod rng;
+pub mod subscriber;
+pub mod trajectory;
+
+pub use anchors::{Anchor, AnchorKind, AnchorSet};
+pub use behavior::{BehaviorModel, ClusterProfile, DayPlanParams};
+pub use population::{Population, PopulationConfig};
+pub use relocation::Relocation;
+pub use subscriber::{DeviceClass, Segment, Subscriber, SubscriberId};
+pub use trajectory::{BinVisit, DayTrajectory, TrajectoryGenerator, VisitKind};

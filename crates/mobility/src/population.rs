@@ -1,0 +1,653 @@
+//! Deterministic population synthesis.
+//!
+//! Builds the MNO's subscriber base over a geography + topology:
+//! market-share sampling of homes, device classes (smartphone vs M2M),
+//! native vs roamer SIMs, behavioural segments, compliance draws,
+//! anchor places, and the Inner-London relocation plans of Section 3.4.
+
+use crate::anchors::{Anchor, AnchorKind, AnchorSet};
+use crate::behavior::ClusterProfile;
+use crate::relocation::{sample_destination, Relocation};
+use crate::rng;
+use crate::subscriber::{DeviceClass, Segment, Subscriber, SubscriberId};
+use cellscope_epidemic::Timeline;
+use cellscope_geo::{County, Geography, Point, ZoneId};
+use cellscope_radio::{SiteId, Topology};
+use cellscope_time::Date;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Population synthesis parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of SIMs to synthesize (the MNO's subscriber base at the
+    /// simulation's scale).
+    pub num_subscribers: u32,
+    /// Fraction of SIMs that are M2M devices rather than smartphones.
+    pub m2m_rate: f64,
+    /// Fraction of SIMs that are inbound international roamers.
+    pub roamer_rate: f64,
+    /// Fraction of Inner-London residents holding a usable secondary
+    /// location (second residence / family home / long-stay base).
+    pub london_second_home_rate: f64,
+    /// Of those, the fraction that actually leaves during the
+    /// pre-lockdown window. Tuned so ≈10% of Inner-London residents are
+    /// absent from week 13 onward (paper Section 3.4).
+    pub relocation_uptake: f64,
+    /// First study day of the simulation window (for converting dates).
+    pub study_start: Date,
+    /// The policy timeline relocation reacts to: departures happen
+    /// between the WFH advice and the first lockdown days. A
+    /// counterfactual timeline produces no relocation wave.
+    pub timeline: Timeline,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            seed: 0x5EED,
+            num_subscribers: 30_000,
+            m2m_rate: 0.06,
+            roamer_rate: 0.02,
+            london_second_home_rate: 0.14,
+            relocation_uptake: 0.80,
+            study_start: cellscope_time::STUDY_START,
+            timeline: Timeline::uk_2020(),
+        }
+    }
+}
+
+/// The synthesized subscriber base.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Population {
+    subscribers: Vec<Subscriber>,
+}
+
+impl Population {
+    /// All subscribers.
+    pub fn subscribers(&self) -> &[Subscriber] {
+        &self.subscribers
+    }
+
+    /// Look up one subscriber.
+    pub fn subscriber(&self, id: SubscriberId) -> &Subscriber {
+        &self.subscribers[id.index()]
+    }
+
+    /// Number of subscribers.
+    pub fn len(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.subscribers.is_empty()
+    }
+
+    /// Synthesize a population.
+    pub fn synthesize(
+        config: &PopulationConfig,
+        geo: &Geography,
+        topo: &Topology,
+    ) -> Population {
+        let mut rng = rng::rng_for(config.seed, 0, 0, 0xB0B);
+        // Cumulative zone weights proportional to resident population.
+        let mut cum: Vec<f64> = Vec::with_capacity(geo.num_zones());
+        let mut acc = 0.0;
+        for z in geo.zones() {
+            acc += z.population as f64;
+            cum.push(acc);
+        }
+        let total_weight = acc;
+
+        // Tourists live where leisure attraction dwarfs residents.
+        let tourist_prob = |zone: &cellscope_geo::Zone| -> f64 {
+            let ratio = zone.leisure_attraction / (zone.population as f64).max(1.0);
+            (0.008 * ratio).clamp(0.0, 0.5)
+        };
+
+        let mut subscribers = Vec::with_capacity(config.num_subscribers as usize);
+        for i in 0..config.num_subscribers {
+            let id = SubscriberId(i);
+            // Sample home zone by population weight.
+            let draw = rng.gen_range(0.0..total_weight);
+            let zi = cum.partition_point(|&c| c <= draw).min(geo.num_zones() - 1);
+            let home_zone = geo.zones()[zi].id;
+            let zone = geo.zone(home_zone);
+            let profile = ClusterProfile::of(zone.cluster);
+
+            // Home location: scattered within the zone.
+            let zone_radius = (zone.area_km2 / std::f64::consts::PI).sqrt();
+            let home_point = scatter(zone.centroid, zone_radius, &mut rng);
+            let home_site = topo.nearest_site(home_point);
+            let home_anchor = anchor_at(AnchorKind::Home, home_site, topo, geo);
+
+            let device = if rng.gen_bool(config.m2m_rate) {
+                DeviceClass::M2m
+            } else {
+                DeviceClass::Smartphone
+            };
+            let native = !rng.gen_bool(config.roamer_rate);
+
+            let segment = if device == DeviceClass::M2m {
+                Segment::HomeMaker // unused for M2M; they never move
+            } else if rng.gen_bool(tourist_prob(zone)) {
+                Segment::Tourist
+            } else {
+                let r: f64 = rng.gen();
+                if r < 0.52 {
+                    Segment::Worker {
+                        essential: rng.gen_bool(0.20),
+                    }
+                } else if r < 0.65 {
+                    Segment::Student
+                } else if r < 0.85 {
+                    Segment::Retiree
+                } else {
+                    Segment::HomeMaker
+                }
+            };
+
+            let compliance = (0.90 + 0.08 * gaussian(&mut rng)).clamp(0.30, 1.0);
+
+            let mut anchors = AnchorSet {
+                home: Some(home_anchor),
+                ..AnchorSet::default()
+            };
+
+            if device == DeviceClass::Smartphone {
+                // Work/school anchor.
+                if segment.has_daytime_anchor() {
+                    let sigma = if matches!(segment, Segment::Student) {
+                        (profile.commute_sigma_km * 0.5).max(2.0)
+                    } else {
+                        profile.commute_sigma_km
+                    };
+                    let work_zone = sample_zone_weighted(geo, home_point, sigma, true, &mut rng);
+                    anchors.work = Some(sample_anchor_in_zone(
+                        AnchorKind::Work,
+                        work_zone,
+                        geo,
+                        topo,
+                        &mut rng,
+                    ));
+                }
+
+                // Leisure anchors: 1–4. Most are local; a minority are
+                // long-range (family in another county, a recurring away
+                // destination) — these keep a baseline of cross-county
+                // presence on ordinary days, without which the mobility
+                // matrix would have empty week-9 rows.
+                let n_leisure = 1 + (rng.gen_range(0.0..1.0f64) * 3.3) as usize;
+                for _ in 0..n_leisure {
+                    let sigma = if rng.gen_bool(0.30) {
+                        80.0
+                    } else {
+                        profile.leisure_sigma_km
+                    };
+                    let lz = sample_zone_weighted(
+                        geo,
+                        home_point,
+                        sigma,
+                        false,
+                        &mut rng,
+                    );
+                    anchors.leisure.push(sample_anchor_in_zone(
+                        AnchorKind::Leisure,
+                        lz,
+                        geo,
+                        topo,
+                        &mut rng,
+                    ));
+                }
+
+                // Weekend-trip anchor in another county, for those with
+                // the habit (~55%).
+                if rng.gen_bool(0.55) {
+                    if let Some(wz) =
+                        sample_weekend_zone(geo, zone.county, home_point, &mut rng)
+                    {
+                        anchors.weekend = Some(sample_anchor_in_zone(
+                            AnchorKind::WeekendTrip,
+                            wz,
+                            geo,
+                            topo,
+                            &mut rng,
+                        ));
+                    }
+                }
+
+                // Neighborhood sites within walking/errand range.
+                let wander_radius = match zone.cluster.density_class() {
+                    cellscope_geo::oac::DensityClass::Rural => 8.0,
+                    cellscope_geo::oac::DensityClass::Suburban => 4.0,
+                    _ => 2.5,
+                };
+                let mut nearby = topo.sites_within(home_point, wander_radius);
+                nearby.retain(|&s| s != home_site);
+                // Keep a bounded, deterministic selection.
+                nearby.sort_by_key(|s| s.0);
+                let keep = ((profile.wander_sites_mean * 2.5).ceil() as usize).clamp(2, 12);
+                while nearby.len() > keep {
+                    let idx = rng.gen_range(0..nearby.len());
+                    nearby.swap_remove(idx);
+                }
+                anchors.neighborhood = nearby
+                    .into_iter()
+                    .map(|s| anchor_at(AnchorKind::Leisure, s, topo, geo))
+                    .collect();
+            }
+
+            // Relocation plans: Inner-London smartphones only.
+            let mut relocation = None;
+            if device == DeviceClass::Smartphone
+                && native
+                && zone.county == County::InnerLondon
+            {
+                let has_secondary = match segment {
+                    Segment::Tourist => true, // long-stay base abroad
+                    Segment::Student => rng.gen_bool(0.45), // family homes
+                    _ => rng.gen_bool(config.london_second_home_rate),
+                };
+                if has_secondary && rng.gen_bool(config.relocation_uptake) {
+                    let destination = sample_destination(rng.gen());
+                    // Departures start two days before the WFH advice
+                    // and trail into the first lockdown days (in the
+                    // 2020 timeline: Mar 14 – Mar 25).
+                    let window_start = config.timeline.wfh_recommended.add_days(-2);
+                    let window_days = (config
+                        .timeline
+                        .lockdown
+                        .days_since(window_start)
+                        + 3)
+                        .max(1);
+                    let depart_date =
+                        window_start.add_days(rng.gen_range(0..window_days));
+                    let depart_day = depart_date
+                        .days_since(config.study_start)
+                        .clamp(0, u16::MAX as i64)
+                        as u16;
+                    // 85% stay away beyond the study window.
+                    let return_day = if rng.gen_bool(0.85) {
+                        u16::MAX
+                    } else {
+                        depart_day + rng.gen_range(21..45)
+                    };
+                    relocation = Some(Relocation {
+                        destination,
+                        depart_day,
+                        return_day,
+                    });
+                    // Second-home anchor + its neighborhood.
+                    if segment != Segment::Tourist {
+                        if let Some(sz) =
+                            sample_zone_in_county(geo, destination, &mut rng)
+                        {
+                            let a = sample_anchor_in_zone(
+                                AnchorKind::SecondHome,
+                                sz,
+                                geo,
+                                topo,
+                                &mut rng,
+                            );
+                            let mut nearby = topo.sites_within(a.location, 6.0);
+                            nearby.retain(|&s| s != a.site);
+                            nearby.sort_by_key(|s| s.0);
+                            nearby.truncate(3);
+                            anchors.second_neighborhood = nearby
+                                .into_iter()
+                                .map(|s| anchor_at(AnchorKind::SecondHome, s, topo, geo))
+                                .collect();
+                            anchors.second_home = Some(a);
+                        }
+                    }
+                }
+            }
+
+            subscribers.push(Subscriber {
+                id,
+                home_zone,
+                home_cluster: zone.cluster,
+                device,
+                native,
+                segment,
+                compliance,
+                anchors,
+                relocation,
+            });
+        }
+        Population { subscribers }
+    }
+}
+
+/// Build an anchor for a site.
+fn anchor_at(kind: AnchorKind, site: SiteId, topo: &Topology, _geo: &Geography) -> Anchor {
+    let s = topo.site(site);
+    Anchor {
+        kind,
+        site,
+        zone: s.zone,
+        location: s.location,
+    }
+}
+
+/// Scatter a point uniformly within a disc.
+fn scatter(center: Point, radius: f64, rng: &mut StdRng) -> Point {
+    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+    let r = radius.max(0.05) * rng.gen_range(0.0f64..1.0).sqrt();
+    center.offset(r * angle.cos(), r * angle.sin())
+}
+
+/// Box–Muller standard normal.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample a zone with weight `attraction × exp(-d / sigma)`.
+///
+/// `work` selects work vs leisure attraction. Falls back to the nearest
+/// zone if all weights underflow.
+fn sample_zone_weighted(
+    geo: &Geography,
+    from: Point,
+    sigma_km: f64,
+    work: bool,
+    rng: &mut StdRng,
+) -> ZoneId {
+    let mut total = 0.0;
+    let mut cum: Vec<f64> = Vec::with_capacity(geo.num_zones());
+    for z in geo.zones() {
+        let d = z.centroid.distance_km(from);
+        let attraction = if work {
+            z.work_attraction
+        } else {
+            z.leisure_attraction
+        };
+        let w = attraction * (-d / sigma_km).exp();
+        total += w;
+        cum.push(total);
+    }
+    if total <= 0.0 {
+        return geo.nearest_zone(from).id;
+    }
+    let draw = rng.gen_range(0.0..total);
+    let idx = cum.partition_point(|&c| c <= draw).min(geo.num_zones() - 1);
+    geo.zones()[idx].id
+}
+
+/// Sample a weekend-trip zone: another county, leisure-weighted with a
+/// gentle distance decay (people do drive a couple hours).
+fn sample_weekend_zone(
+    geo: &Geography,
+    home_county: County,
+    from: Point,
+    rng: &mut StdRng,
+) -> Option<ZoneId> {
+    let mut total = 0.0;
+    let mut entries: Vec<(ZoneId, f64)> = Vec::new();
+    for z in geo.zones() {
+        if z.county == home_county {
+            continue;
+        }
+        let d = z.centroid.distance_km(from);
+        let w = z.leisure_attraction * (-d / 80.0).exp();
+        if w > 0.0 {
+            total += w;
+            entries.push((z.id, total));
+        }
+    }
+    if total <= 0.0 {
+        return None;
+    }
+    let draw = rng.gen_range(0.0..total);
+    let idx = entries.partition_point(|&(_, c)| c <= draw).min(entries.len() - 1);
+    Some(entries[idx].0)
+}
+
+/// Sample a zone within a county, weighted by leisure attraction.
+fn sample_zone_in_county(geo: &Geography, county: County, rng: &mut StdRng) -> Option<ZoneId> {
+    let zones = geo.zones_in_county(county);
+    if zones.is_empty() {
+        return None;
+    }
+    let total: f64 = zones
+        .iter()
+        .map(|&z| geo.zone(z).leisure_attraction)
+        .sum();
+    if total <= 0.0 {
+        return Some(zones[rng.gen_range(0..zones.len())]);
+    }
+    let draw = rng.gen_range(0.0..total);
+    let mut acc = 0.0;
+    for &z in zones {
+        acc += geo.zone(z).leisure_attraction;
+        if draw < acc {
+            return Some(z);
+        }
+    }
+    zones.last().copied()
+}
+
+/// Sample an anchor at a random site within a zone (or the nearest site
+/// to the zone centroid when the zone itself hosts none).
+fn sample_anchor_in_zone(
+    kind: AnchorKind,
+    zone: ZoneId,
+    geo: &Geography,
+    topo: &Topology,
+    rng: &mut StdRng,
+) -> Anchor {
+    let z = geo.zone(zone);
+    let radius = (z.area_km2 / std::f64::consts::PI).sqrt();
+    let p = scatter(z.centroid, radius, rng);
+    let site = topo.nearest_site(p);
+    anchor_at(kind, site, topo, geo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellscope_geo::SynthConfig;
+    use cellscope_radio::DeployConfig;
+
+    fn world() -> (Geography, Topology) {
+        let geo = SynthConfig::small(5).build();
+        let topo = DeployConfig::small(5).build(&geo);
+        (geo, topo)
+    }
+
+    fn population(n: u32) -> (Geography, Topology, Population) {
+        let (geo, topo) = world();
+        let cfg = PopulationConfig {
+            num_subscribers: n,
+            seed: 99,
+            ..PopulationConfig::default()
+        };
+        let pop = Population::synthesize(&cfg, &geo, &topo);
+        (geo, topo, pop)
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let (geo, topo) = world();
+        let cfg = PopulationConfig {
+            num_subscribers: 500,
+            seed: 1,
+            ..PopulationConfig::default()
+        };
+        let a = Population::synthesize(&cfg, &geo, &topo);
+        let b = Population::synthesize(&cfg, &geo, &topo);
+        assert_eq!(a.subscribers(), b.subscribers());
+    }
+
+    #[test]
+    fn everyone_has_home_and_important_places_in_range() {
+        let (_, _, pop) = population(2_000);
+        for s in pop.subscribers() {
+            assert!(s.anchors.home.is_some(), "{} lacks home", s.id);
+            if s.device == DeviceClass::Smartphone {
+                let n = s.anchors.num_important_places();
+                assert!(
+                    (1..=8).contains(&n),
+                    "{} has {n} important places",
+                    s.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn device_and_nativity_rates_approximately_match() {
+        let (_, _, pop) = population(8_000);
+        let m2m = pop
+            .subscribers()
+            .iter()
+            .filter(|s| s.device == DeviceClass::M2m)
+            .count() as f64
+            / pop.len() as f64;
+        let roamers = pop
+            .subscribers()
+            .iter()
+            .filter(|s| !s.native)
+            .count() as f64
+            / pop.len() as f64;
+        assert!((0.03..0.09).contains(&m2m), "m2m rate {m2m}");
+        assert!((0.005..0.04).contains(&roamers), "roamer rate {roamers}");
+    }
+
+    #[test]
+    fn homes_follow_population_distribution() {
+        let (geo, _, pop) = population(12_000);
+        // Compare subscriber share vs census share for the largest county.
+        let census_share = geo.census().county_population(County::OuterLondon) as f64
+            / geo.census().total_population() as f64;
+        let sub_share = pop
+            .subscribers()
+            .iter()
+            .filter(|s| geo.zone(s.home_zone).county == County::OuterLondon)
+            .count() as f64
+            / pop.len() as f64;
+        assert!(
+            (sub_share - census_share).abs() < 0.03,
+            "census {census_share} vs subscribers {sub_share}"
+        );
+    }
+
+    #[test]
+    fn inner_london_relocation_share_near_ten_percent() {
+        let (geo, _, pop) = population(20_000);
+        let inner: Vec<_> = pop
+            .subscribers()
+            .iter()
+            .filter(|s| {
+                geo.zone(s.home_zone).county == County::InnerLondon
+                    && s.in_study_population()
+            })
+            .collect();
+        assert!(inner.len() > 300, "need enough Inner-London residents");
+        // Absent on a mid-lockdown day (Apr 15 = study day 74).
+        let away = inner.iter().filter(|s| s.is_relocated(74)).count() as f64
+            / inner.len() as f64;
+        assert!(
+            (0.05..0.25).contains(&away),
+            "relocated share {away}"
+        );
+    }
+
+    #[test]
+    fn relocations_only_from_inner_london() {
+        let (geo, _, pop) = population(8_000);
+        for s in pop.subscribers() {
+            if s.relocation.is_some() {
+                assert_eq!(geo.zone(s.home_zone).county, County::InnerLondon);
+            }
+        }
+    }
+
+    #[test]
+    fn relocation_departures_fall_in_march_window() {
+        let (_, _, pop) = population(20_000);
+        let start = cellscope_time::STUDY_START;
+        for s in pop.subscribers() {
+            if let Some(r) = &s.relocation {
+                let date = start.add_days(r.depart_day as i64);
+                assert!(
+                    date >= Date::ymd(2020, 3, 14) && date <= Date::ymd(2020, 3, 25),
+                    "departure {date}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counterfactual_timeline_means_no_departures_in_window() {
+        // With a no-intervention timeline the relocation window sits far
+        // beyond the study; nobody is ever away during the 100 days.
+        let (_, _, pop) = {
+            let geo = SynthConfig::small(5).build();
+            let topo = DeployConfig::small(5).build(&geo);
+            let cfg = PopulationConfig {
+                num_subscribers: 5_000,
+                seed: 99,
+                timeline: cellscope_epidemic::Timeline::no_intervention(),
+                ..PopulationConfig::default()
+            };
+            let pop = Population::synthesize(&cfg, &geo, &topo);
+            (geo, topo, pop)
+        };
+        for sub in pop.subscribers() {
+            for day in [0u16, 40, 70, 99] {
+                assert!(!sub.is_relocated(day), "{} away on {day}", sub.id);
+            }
+        }
+    }
+
+    #[test]
+    fn m2m_devices_have_no_anchors_beyond_home() {
+        let (_, _, pop) = population(5_000);
+        for s in pop.subscribers() {
+            if s.device == DeviceClass::M2m {
+                assert!(s.anchors.work.is_none());
+                assert!(s.anchors.leisure.is_empty());
+                assert!(s.anchors.neighborhood.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn workers_commute_shorter_in_dense_clusters() {
+        use cellscope_geo::OacCluster;
+        let (geo, _, pop) = population(20_000);
+        let mean_commute = |cluster: OacCluster| -> Option<f64> {
+            let ds: Vec<f64> = pop
+                .subscribers()
+                .iter()
+                .filter(|s| {
+                    geo.zone(s.home_zone).cluster == cluster && s.anchors.work.is_some()
+                })
+                .map(|s| {
+                    s.anchors
+                        .home()
+                        .location
+                        .distance_km(s.anchors.work.as_ref().unwrap().location)
+                })
+                .collect();
+            if ds.len() < 30 {
+                None
+            } else {
+                Some(ds.iter().sum::<f64>() / ds.len() as f64)
+            }
+        };
+        if let (Some(cosmo), Some(rural)) = (
+            mean_commute(OacCluster::Cosmopolitans),
+            mean_commute(OacCluster::RuralResidents),
+        ) {
+            assert!(cosmo < rural, "cosmo {cosmo} vs rural {rural}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Temporary relocation away from home.
+//!
+//! Section 3.4: "approximately 10% of the [Inner London] residents
+//! temporarily relocated during the lockdown" — students leaving
+//! campuses after the Mar 19 school closures, long-term tourists
+//! leaving the centre, and residents moving to second residences.
+//! Hampshire received the largest sustained inflow; there was a visible
+//! escape wave to East Sussex on the Mar 21–22 weekend just before the
+//! stay-at-home order.
+
+use cellscope_geo::County;
+use serde::{Deserialize, Serialize};
+
+/// A temporary relocation plan: away at the second home between
+/// `depart_day` and `return_day` (study-day indices, inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relocation {
+    /// Destination county (the second-home anchor lives there).
+    pub destination: County,
+    /// First study day spent away.
+    pub depart_day: u16,
+    /// Last study day spent away (`u16::MAX` = does not return within
+    /// the study window — the common case the paper observes).
+    pub return_day: u16,
+}
+
+impl Relocation {
+    /// Whether the subscriber is away on `day`.
+    pub fn is_away(&self, day: u16) -> bool {
+        day >= self.depart_day && day <= self.return_day
+    }
+}
+
+/// Relative popularity of relocation destinations for Inner-London
+/// residents, calibrated to Fig. 7's ordering (Hampshire the largest
+/// sustained recipient, then Kent; East Sussex prominent in the
+/// pre-lockdown weekend wave).
+pub const LONDON_DESTINATION_WEIGHTS: [(County, f64); 10] = [
+    (County::Hampshire, 0.26),
+    (County::Kent, 0.17),
+    (County::EastSussex, 0.11),
+    (County::Essex, 0.09),
+    (County::Surrey, 0.09),
+    (County::WestSussex, 0.07),
+    (County::Hertfordshire, 0.06),
+    (County::Oxfordshire, 0.06),
+    (County::Berkshire, 0.05),
+    (County::Buckinghamshire, 0.04),
+];
+
+/// Draw a destination county from the calibrated weights given a
+/// uniform sample in [0, 1).
+pub fn sample_destination(u: f64) -> County {
+    let total: f64 = LONDON_DESTINATION_WEIGHTS.iter().map(|&(_, w)| w).sum();
+    let mut draw = u.clamp(0.0, 1.0 - f64::EPSILON) * total;
+    for &(county, w) in &LONDON_DESTINATION_WEIGHTS {
+        if draw < w {
+            return county;
+        }
+        draw -= w;
+    }
+    LONDON_DESTINATION_WEIGHTS.last().expect("non-empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn away_window_inclusive() {
+        let r = Relocation {
+            destination: County::Hampshire,
+            depart_day: 45,
+            return_day: 80,
+        };
+        assert!(!r.is_away(44));
+        assert!(r.is_away(45));
+        assert!(r.is_away(80));
+        assert!(!r.is_away(81));
+    }
+
+    #[test]
+    fn open_ended_relocation() {
+        let r = Relocation {
+            destination: County::Kent,
+            depart_day: 50,
+            return_day: u16::MAX,
+        };
+        assert!(r.is_away(u16::MAX - 1));
+    }
+
+    #[test]
+    fn destination_sampling_covers_all_weights() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..10_000 {
+            seen.insert(sample_destination(i as f64 / 10_000.0));
+        }
+        assert_eq!(seen.len(), LONDON_DESTINATION_WEIGHTS.len());
+    }
+
+    #[test]
+    fn hampshire_is_the_top_destination() {
+        let mut counts = std::collections::BTreeMap::new();
+        for i in 0..10_000 {
+            *counts.entry(sample_destination(i as f64 / 10_000.0)).or_insert(0u32) += 1;
+        }
+        let top = counts.iter().max_by_key(|&(_, &c)| c).unwrap();
+        assert_eq!(*top.0, County::Hampshire);
+    }
+
+    #[test]
+    fn extreme_uniform_samples_are_safe() {
+        let _ = sample_destination(0.0);
+        let _ = sample_destination(1.0); // clamped, must not panic
+        let _ = sample_destination(0.999_999_999);
+    }
+}

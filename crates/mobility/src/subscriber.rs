@@ -1,0 +1,155 @@
+//! Subscribers: the simulated SIM population.
+//!
+//! Section 2.3 filters the raw signaling population down to "native users
+//! … that are smartphones": M2M devices (smart sensors) and international
+//! inbound roamers are dropped. The synthetic population therefore
+//! contains all three kinds, and the analysis pipeline must do the same
+//! filtering the paper does.
+
+use crate::anchors::AnchorSet;
+use crate::relocation::Relocation;
+use cellscope_geo::{OacCluster, ZoneId};
+use serde::{Deserialize, Serialize};
+
+/// Subscriber identifier (dense index into the population table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SubscriberId(pub u32);
+
+impl SubscriberId {
+    /// Index into the population table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SubscriberId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "U{:07}", self.0)
+    }
+}
+
+/// Device class, as derivable from the GSMA TAC catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// A smartphone used as a primary personal device.
+    Smartphone,
+    /// A Machine-to-Machine device (meter, tracker, sensor): static,
+    /// low traffic, must be excluded from mobility statistics.
+    M2m,
+}
+
+/// Behavioural segment of a (human) subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Commutes to a workplace on weekdays.
+    Worker {
+        /// Essential workers keep commuting under lockdown (supermarkets,
+        /// health care, logistics) — the floor under the mobility drop.
+        essential: bool,
+    },
+    /// Attends school/university until the Mar 20 closures.
+    Student,
+    /// No fixed weekday anchor; moves locally.
+    Retiree,
+    /// At-home adult; local errands only.
+    HomeMaker,
+    /// Long-stay visitor based in tourist-heavy areas; leaves the
+    /// country for good early in the pandemic. Part of why central
+    /// London's user counts collapse (Section 5.1).
+    Tourist,
+}
+
+impl Segment {
+    /// Whether the segment has a weekday daytime anchor to attend.
+    pub fn has_daytime_anchor(self) -> bool {
+        matches!(self, Segment::Worker { .. } | Segment::Student)
+    }
+}
+
+/// One subscriber of the synthetic MNO.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subscriber {
+    /// Identifier.
+    pub id: SubscriberId,
+    /// Home zone (ground truth; the analysis re-infers this from
+    /// signaling and validates against census — Fig. 2).
+    pub home_zone: ZoneId,
+    /// Geodemographic cluster of the home zone (cached: demand and
+    /// behaviour both condition on it every simulated day).
+    pub home_cluster: OacCluster,
+    /// Device class.
+    pub device: DeviceClass,
+    /// Whether the SIM is native to the studied MNO (vs. an inbound
+    /// international roamer).
+    pub native: bool,
+    /// Behavioural segment.
+    pub segment: Segment,
+    /// Individual compliance with restrictions, 0 (ignores them)
+    /// to 1 (full compliance). Drawn around the cluster profile mean.
+    pub compliance: f64,
+    /// The subscriber's important places.
+    pub anchors: AnchorSet,
+    /// Temporary relocation plan, if any (Inner-London residents with a
+    /// secondary location; students returning to family homes).
+    pub relocation: Option<Relocation>,
+}
+
+impl Subscriber {
+    /// Whether the paper's mobility analysis would keep this subscriber
+    /// (smartphone + native — Section 2.3).
+    pub fn in_study_population(&self) -> bool {
+        self.device == DeviceClass::Smartphone && self.native
+    }
+
+    /// Whether the subscriber is away at their secondary location on
+    /// the given study day.
+    pub fn is_relocated(&self, day: u16) -> bool {
+        self.relocation
+            .as_ref()
+            .is_some_and(|r| r.is_away(day))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchors::AnchorSet;
+
+    fn subscriber(device: DeviceClass, native: bool) -> Subscriber {
+        Subscriber {
+            id: SubscriberId(0),
+            home_zone: ZoneId(0),
+            home_cluster: OacCluster::Urbanites,
+            device,
+            native,
+            segment: Segment::Retiree,
+            compliance: 0.9,
+            anchors: AnchorSet::default(),
+            relocation: None,
+        }
+    }
+
+    #[test]
+    fn study_population_filter() {
+        assert!(subscriber(DeviceClass::Smartphone, true).in_study_population());
+        assert!(!subscriber(DeviceClass::M2m, true).in_study_population());
+        assert!(!subscriber(DeviceClass::Smartphone, false).in_study_population());
+        assert!(!subscriber(DeviceClass::M2m, false).in_study_population());
+    }
+
+    #[test]
+    fn daytime_anchor_segments() {
+        assert!(Segment::Worker { essential: false }.has_daytime_anchor());
+        assert!(Segment::Student.has_daytime_anchor());
+        assert!(!Segment::Retiree.has_daytime_anchor());
+        assert!(!Segment::Tourist.has_daytime_anchor());
+    }
+
+    #[test]
+    fn no_relocation_means_never_away() {
+        let s = subscriber(DeviceClass::Smartphone, true);
+        for day in 0..100 {
+            assert!(!s.is_relocated(day));
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! Per-(subscriber, day) dwell generation.
+//!
+//! A [`DayTrajectory`] lists, for each of the six 4-hour bins of the day,
+//! which cell sites the device camped on and for how many minutes. This
+//! is the ground truth the signaling generator turns into control-plane
+//! events, and the quantity the paper's mobility metrics (Section 2.3)
+//! are computed from after reconstruction.
+
+use crate::behavior::{BehaviorModel, ClusterProfile};
+use crate::rng;
+use crate::subscriber::{DeviceClass, Segment, Subscriber, SubscriberId};
+use cellscope_geo::Geography;
+use cellscope_radio::SiteId;
+use cellscope_time::{DayBin, SimClock, SimDay};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Minutes in one 4-hour bin.
+pub const BIN_MINUTES: u16 = 240;
+
+/// Why the subscriber is at a place — the context that determines how
+/// the device is used there. A phone on a kitchen table, a phone in an
+/// office, and a phone on a walk generate very different cellular
+/// traffic for the same number of minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum VisitKind {
+    /// At the primary residence.
+    Home,
+    /// At the secondary residence (while relocated).
+    SecondHome,
+    /// At the workplace / school.
+    Work,
+    /// At a leisure destination (shops, relatives, venues).
+    Leisure,
+    /// On a distant weekend trip.
+    Trip,
+    /// Local wandering: errands, walks, the daily exercise hour.
+    Wander,
+}
+
+/// Dwell on one site within one bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinVisit {
+    /// Which 4-hour bin.
+    pub bin: DayBin,
+    /// The cell site camped on.
+    pub site: SiteId,
+    /// Minutes of dwell (≤ 240 per bin in total).
+    pub minutes: u16,
+    /// Why the subscriber is there.
+    pub kind: VisitKind,
+}
+
+/// One subscriber-day of dwell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayTrajectory {
+    /// Whose day this is.
+    pub subscriber: SubscriberId,
+    /// Study day index.
+    pub day: SimDay,
+    /// Dwell records; an empty list means the device was unreachable
+    /// (e.g. a tourist who left the country).
+    pub visits: Vec<BinVisit>,
+}
+
+impl DayTrajectory {
+    /// Total minutes across all visits (1440 for a present device).
+    pub fn total_minutes(&self) -> u32 {
+        self.visits.iter().map(|v| v.minutes as u32).sum()
+    }
+
+    /// Distinct sites visited.
+    pub fn distinct_sites(&self) -> usize {
+        let mut sites: Vec<SiteId> = self.visits.iter().map(|v| v.site).collect();
+        sites.sort();
+        sites.dedup();
+        sites.len()
+    }
+}
+
+/// Mutable per-bin allocation used while building a day.
+struct DayAlloc {
+    bins: [Vec<(SiteId, u16, VisitKind)>; 6],
+}
+
+impl DayAlloc {
+    fn all_at(site: SiteId, kind: VisitKind) -> DayAlloc {
+        DayAlloc {
+            bins: std::array::from_fn(|_| vec![(site, BIN_MINUTES, kind)]),
+        }
+    }
+
+    /// Replace the entire bin with one site.
+    fn set_bin(&mut self, bin: DayBin, site: SiteId, kind: VisitKind) {
+        self.bins[bin.index()] = vec![(site, BIN_MINUTES, kind)];
+    }
+
+    /// Move `minutes` from the currently-largest allocation in `bin` to
+    /// `site`. Carves less if the largest slot is smaller.
+    fn carve(&mut self, bin: DayBin, site: SiteId, minutes: u16, kind: VisitKind) {
+        let slots = &mut self.bins[bin.index()];
+        let Some(largest) = slots
+            .iter_mut()
+            .max_by_key(|(_, m, _)| *m)
+            .filter(|(_, m, _)| *m > 0)
+        else {
+            return;
+        };
+        let take = minutes.min(largest.1);
+        largest.1 -= take;
+        if take > 0 {
+            slots.push((site, take, kind));
+        }
+    }
+
+    /// Largest remaining slot in a bin, in minutes.
+    fn headroom(&self, bin: DayBin) -> u16 {
+        self.bins[bin.index()]
+            .iter()
+            .map(|&(_, m, _)| m)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn into_visits(self) -> Vec<BinVisit> {
+        let mut out = Vec::new();
+        for (i, bin) in DayBin::ALL.iter().enumerate() {
+            // Merge duplicate (site, kind) pairs within the bin.
+            let mut slots = self.bins[i].clone();
+            slots.retain(|&(_, m, _)| m > 0);
+            slots.sort_by_key(|&(s, _, k)| (s, k));
+            let mut merged: Vec<(SiteId, u16, VisitKind)> = Vec::with_capacity(slots.len());
+            for (s, m, k) in slots {
+                match merged.last_mut() {
+                    Some((ls, lm, lk)) if *ls == s && *lk == k => *lm += m,
+                    _ => merged.push((s, m, k)),
+                }
+            }
+            for (site, minutes, kind) in merged {
+                out.push(BinVisit {
+                    bin: *bin,
+                    site,
+                    minutes,
+                    kind,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Generates trajectories for any (subscriber, day) pair, statelessly.
+pub struct TrajectoryGenerator<'a> {
+    geo: &'a Geography,
+    behavior: &'a BehaviorModel,
+    clock: SimClock,
+    seed: u64,
+}
+
+impl<'a> TrajectoryGenerator<'a> {
+    /// Build a generator.
+    pub fn new(
+        geo: &'a Geography,
+        behavior: &'a BehaviorModel,
+        clock: SimClock,
+        seed: u64,
+    ) -> TrajectoryGenerator<'a> {
+        TrajectoryGenerator {
+            geo,
+            behavior,
+            clock,
+            seed,
+        }
+    }
+
+    /// The simulation clock in use.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Generate one subscriber-day. Deterministic in
+    /// (generator seed, subscriber id, day).
+    pub fn generate(&self, sub: &Subscriber, day: SimDay) -> DayTrajectory {
+        let mut rng = rng::rng_for(self.seed, sub.id.0, day, 0x7247);
+        let date = self.clock.date(day);
+        let home_site = sub.anchors.home().site;
+
+        // M2M devices are static: the whole day on the home site.
+        if sub.device == DeviceClass::M2m {
+            return DayTrajectory {
+                subscriber: sub.id,
+                day,
+                visits: DayAlloc::all_at(home_site, VisitKind::Home).into_visits(),
+            };
+        }
+
+        // Relocated subscribers.
+        if sub.is_relocated(day) {
+            if sub.segment == Segment::Tourist || sub.anchors.second_home.is_none() {
+                // Left the country: the device disappears from the network.
+                return DayTrajectory {
+                    subscriber: sub.id,
+                    day,
+                    visits: Vec::new(),
+                };
+            }
+            let second = sub.anchors.second_home.as_ref().expect("checked above");
+            let mut alloc = DayAlloc::all_at(second.site, VisitKind::SecondHome);
+            // Local wandering around the second home.
+            let n = poisson(&mut rng, 1.4).min(sub.anchors.second_neighborhood.len());
+            for i in 0..n {
+                let a = &sub.anchors.second_neighborhood[i];
+                let bin = [DayBin::Morning, DayBin::Afternoon, DayBin::Evening]
+                    [rng.gen_range(0..3)];
+                alloc.carve(bin, a.site, 30 + rng.gen_range(0..30), VisitKind::Wander);
+            }
+            return DayTrajectory {
+                subscriber: sub.id,
+                day,
+                visits: alloc.into_visits(),
+            };
+        }
+
+        let home_zone = self.geo.zone(sub.home_zone);
+        let cluster = home_zone.cluster;
+        let county = home_zone.county;
+        let profile = ClusterProfile::of(cluster);
+        let weekend = date.is_weekend();
+        let weekend_dest = sub
+            .anchors
+            .weekend
+            .as_ref()
+            .map(|a| self.geo.zone(a.zone).county);
+        let plan = self
+            .behavior
+            .day_plan(date, sub, cluster, county, weekend_dest);
+
+        let mut alloc = DayAlloc::all_at(home_site, VisitKind::Home);
+
+        // Weekend trip: the day bins at the distant anchor.
+        let mut on_trip = false;
+        if weekend {
+            if let Some(trip) = &sub.anchors.weekend {
+                if rng.gen_bool(plan.weekend_trip_prob.clamp(0.0, 1.0)) {
+                    on_trip = true;
+                    alloc.set_bin(DayBin::Morning, trip.site, VisitKind::Trip);
+                    alloc.set_bin(DayBin::Afternoon, trip.site, VisitKind::Trip);
+                    alloc.set_bin(DayBin::Evening, trip.site, VisitKind::Trip);
+                }
+            }
+        }
+
+        // Commute day: morning + afternoon at work, a slice of evening.
+        if !on_trip && !weekend {
+            if let Some(work) = &sub.anchors.work {
+                if rng.gen_bool(plan.work_attendance.clamp(0.0, 1.0)) {
+                    alloc.set_bin(DayBin::Morning, work.site, VisitKind::Work);
+                    alloc.set_bin(DayBin::Afternoon, work.site, VisitKind::Work);
+                    alloc.carve(DayBin::Evening, work.site, 60, VisitKind::Work);
+                }
+            }
+        }
+
+        // Leisure visit.
+        if !on_trip && !sub.anchors.leisure.is_empty() {
+            let budget = if weekend { 150.0 } else { 90.0 };
+            let minutes = (budget * plan.leisure_factor) as u16;
+            if minutes >= 15 {
+                let a = &sub.anchors.leisure[rng.gen_range(0..sub.anchors.leisure.len())];
+                let bin = if weekend {
+                    DayBin::Afternoon
+                } else {
+                    DayBin::Evening
+                };
+                alloc.carve(bin, a.site, minutes, VisitKind::Leisure);
+            }
+        }
+
+        // Local wandering: errands, walks, school runs. Restrictions thin
+        // it out less than they thin out trips (the entropy signature).
+        if !sub.anchors.neighborhood.is_empty() {
+            let mean = profile.wander_sites_mean * plan.wander_factor;
+            let mut n = poisson(&mut rng, mean);
+            // The daily-exercise / essential-errand floor: most days
+            // include at least one local movement even in deep lockdown
+            // (the UK lockdown explicitly allowed daily exercise).
+            if n == 0 && rng.gen_bool(0.85) {
+                n = 1;
+            }
+            let n = n.min(sub.anchors.neighborhood.len());
+            let wander_bins = [
+                DayBin::Morning,
+                DayBin::Afternoon,
+                DayBin::Evening,
+                DayBin::LateEvening,
+            ];
+            // Visit distinct neighborhood sites (deterministic rotation
+            // start so the same sites don't dominate).
+            let start = rng.gen_range(0..sub.anchors.neighborhood.len());
+            for i in 0..n {
+                let a = &sub.anchors.neighborhood
+                    [(start + i) % sub.anchors.neighborhood.len()];
+                let bin = wander_bins[rng.gen_range(0..wander_bins.len())];
+                let minutes = ((40 + rng.gen_range(0..35)) as f64
+                    * plan.outing_duration_factor) as u16;
+                if alloc.headroom(bin) > minutes + 30 {
+                    alloc.carve(bin, a.site, minutes, VisitKind::Wander);
+                }
+            }
+        }
+
+        DayTrajectory {
+            subscriber: sub.id,
+            day,
+            visits: alloc.into_visits(),
+        }
+    }
+}
+
+/// Knuth Poisson sampler (fine for the small means used here).
+fn poisson(rng: &mut StdRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p < l || k > 50 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::BehaviorModel;
+    use crate::population::{Population, PopulationConfig};
+    use cellscope_epidemic::Timeline;
+    use cellscope_geo::SynthConfig;
+    use cellscope_radio::DeployConfig;
+    use cellscope_time::Date;
+
+    struct World {
+        geo: Geography,
+        pop: Population,
+        behavior: BehaviorModel,
+        clock: SimClock,
+    }
+
+    fn world() -> World {
+        let geo = SynthConfig::small(5).build();
+        let topo = DeployConfig::small(5).build(&geo);
+        let pop = Population::synthesize(
+            &PopulationConfig {
+                num_subscribers: 3_000,
+                seed: 4,
+                ..PopulationConfig::default()
+            },
+            &geo,
+            &topo,
+        );
+        World {
+            geo,
+            pop,
+            behavior: BehaviorModel::new(Timeline::uk_2020()),
+            clock: SimClock::study(),
+        }
+    }
+
+    #[test]
+    fn present_devices_account_for_the_full_day() {
+        let w = world();
+        let generator = TrajectoryGenerator::new(&w.geo, &w.behavior, w.clock, 7);
+        for sub in w.pop.subscribers().iter().take(500) {
+            let t = generator.generate(sub, 10);
+            if !t.visits.is_empty() {
+                assert_eq!(t.total_minutes(), 1440, "{}", sub.id);
+                // Per-bin totals are exactly 240.
+                for bin in DayBin::ALL {
+                    let bin_total: u32 = t
+                        .visits
+                        .iter()
+                        .filter(|v| v.bin == bin)
+                        .map(|v| v.minutes as u32)
+                        .sum();
+                    assert_eq!(bin_total, 240, "{} bin {:?}", sub.id, bin);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = world();
+        let generator = TrajectoryGenerator::new(&w.geo, &w.behavior, w.clock, 7);
+        for sub in w.pop.subscribers().iter().take(50) {
+            assert_eq!(generator.generate(sub, 33), generator.generate(sub, 33));
+        }
+    }
+
+    #[test]
+    fn m2m_devices_never_move() {
+        let w = world();
+        let generator = TrajectoryGenerator::new(&w.geo, &w.behavior, w.clock, 7);
+        for sub in w.pop.subscribers() {
+            if sub.device == DeviceClass::M2m {
+                for day in [0u16, 30, 60, 99] {
+                    let t = generator.generate(sub, day);
+                    assert_eq!(t.distinct_sites(), 1);
+                    assert_eq!(
+                        t.visits[0].site,
+                        sub.anchors.home().site,
+                        "{}",
+                        sub.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mobility_shrinks_under_lockdown() {
+        let w = world();
+        let generator = TrajectoryGenerator::new(&w.geo, &w.behavior, w.clock, 7);
+        let baseline_day = w.clock.day_of(Date::ymd(2020, 2, 26)).unwrap();
+        let lockdown_day = w.clock.day_of(Date::ymd(2020, 4, 1)).unwrap();
+        let mut base_sites = 0usize;
+        let mut lock_sites = 0usize;
+        let mut counted = 0usize;
+        for sub in w.pop.subscribers().iter() {
+            if !sub.in_study_population() || sub.relocation.is_some() {
+                continue;
+            }
+            base_sites += generator.generate(sub, baseline_day).distinct_sites();
+            lock_sites += generator.generate(sub, lockdown_day).distinct_sites();
+            counted += 1;
+        }
+        assert!(counted > 1000);
+        // Distinct sites shrink only mildly (daily-exercise wandering is
+        // retained by design — the paper's entropy signal)…
+        assert!(
+            (lock_sites as f64) < 0.95 * base_sites as f64,
+            "baseline {base_sites} vs lockdown {lock_sites}"
+        );
+    }
+
+    #[test]
+    fn time_concentrates_at_home_under_lockdown() {
+        let w = world();
+        let generator = TrajectoryGenerator::new(&w.geo, &w.behavior, w.clock, 7);
+        let baseline_day = w.clock.day_of(Date::ymd(2020, 2, 26)).unwrap();
+        let lockdown_day = w.clock.day_of(Date::ymd(2020, 4, 1)).unwrap();
+        let mut base_home = 0u64;
+        let mut lock_home = 0u64;
+        for sub in w.pop.subscribers() {
+            if !sub.in_study_population() || sub.relocation.is_some() {
+                continue;
+            }
+            let home = sub.anchors.home().site;
+            let home_minutes = |t: &DayTrajectory| -> u64 {
+                t.visits
+                    .iter()
+                    .filter(|v| v.site == home)
+                    .map(|v| v.minutes as u64)
+                    .sum()
+            };
+            base_home += home_minutes(&generator.generate(sub, baseline_day));
+            lock_home += home_minutes(&generator.generate(sub, lockdown_day));
+        }
+        assert!(
+            lock_home as f64 > 1.15 * base_home as f64,
+            "home minutes {base_home} -> {lock_home}"
+        );
+    }
+
+    #[test]
+    fn relocated_tourists_disappear() {
+        let w = world();
+        let generator = TrajectoryGenerator::new(&w.geo, &w.behavior, w.clock, 7);
+        let mut seen = 0;
+        for sub in w.pop.subscribers() {
+            if sub.segment == Segment::Tourist {
+                if let Some(r) = &sub.relocation {
+                    let t = generator.generate(sub, r.depart_day + 1);
+                    assert!(t.visits.is_empty(), "{} should be abroad", sub.id);
+                    let before = generator.generate(sub, r.depart_day.saturating_sub(5));
+                    assert!(!before.visits.is_empty());
+                    seen += 1;
+                }
+            }
+        }
+        assert!(seen > 0, "world should contain departing tourists");
+    }
+
+    #[test]
+    fn relocated_residents_dwell_at_second_home() {
+        let w = world();
+        let generator = TrajectoryGenerator::new(&w.geo, &w.behavior, w.clock, 7);
+        let mut seen = 0;
+        for sub in w.pop.subscribers() {
+            if sub.segment == Segment::Tourist {
+                continue;
+            }
+            let (Some(r), Some(second)) = (&sub.relocation, &sub.anchors.second_home)
+            else {
+                continue;
+            };
+            let t = generator.generate(sub, r.depart_day + 3);
+            let at_second: u32 = t
+                .visits
+                .iter()
+                .filter(|v| v.site == second.site)
+                .map(|v| v.minutes as u32)
+                .sum();
+            assert!(
+                at_second > 1000,
+                "{} spends {at_second} min at second home",
+                sub.id
+            );
+            seen += 1;
+        }
+        assert!(seen > 0, "world should contain relocated residents");
+    }
+
+    #[test]
+    fn weekday_workers_visit_work_in_baseline() {
+        let w = world();
+        let generator = TrajectoryGenerator::new(&w.geo, &w.behavior, w.clock, 7);
+        let day = w.clock.day_of(Date::ymd(2020, 2, 25)).unwrap(); // Tue
+        let mut attended = 0usize;
+        let mut workers = 0usize;
+        for sub in w.pop.subscribers() {
+            if let Segment::Worker { .. } = sub.segment {
+                if let Some(work) = &sub.anchors.work {
+                    workers += 1;
+                    let t = generator.generate(sub, day);
+                    if t.visits.iter().any(|v| v.site == work.site && v.minutes > 100) {
+                        attended += 1;
+                    }
+                }
+            }
+        }
+        assert!(workers > 300);
+        let rate = attended as f64 / workers as f64;
+        assert!(rate > 0.9, "baseline attendance {rate}");
+    }
+}

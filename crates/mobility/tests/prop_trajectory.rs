@@ -1,0 +1,150 @@
+//! Property tests for trajectory generation over a real world: time
+//! accounting, determinism, and behavioural monotonicity hold for every
+//! (subscriber, day) pair, not just the ones unit tests pick.
+
+use cellscope_epidemic::Timeline;
+use cellscope_geo::{Geography, SynthConfig};
+use cellscope_mobility::{
+    BehaviorModel, DeviceClass, Population, PopulationConfig, TrajectoryGenerator,
+};
+use cellscope_radio::DeployConfig;
+use cellscope_time::{DayBin, SimClock};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+struct Fixture {
+    geo: Geography,
+    pop: Population,
+    behavior: BehaviorModel,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let geo = SynthConfig::small(77).build();
+        let topo = DeployConfig::small(77).build(&geo);
+        let pop = Population::synthesize(
+            &PopulationConfig {
+                num_subscribers: 1_000,
+                seed: 77,
+                ..PopulationConfig::default()
+            },
+            &geo,
+            &topo,
+        );
+        Fixture {
+            geo,
+            pop,
+            behavior: BehaviorModel::new(Timeline::uk_2020()),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every present device accounts for exactly 24 hours, split into
+    /// exactly 240 minutes per 4-hour bin.
+    #[test]
+    fn day_time_is_conserved(user in 0usize..1000, day in 0u16..100, seed in 0u64..8) {
+        let f = fixture();
+        let generator =
+            TrajectoryGenerator::new(&f.geo, &f.behavior, SimClock::study(), seed);
+        let sub = &f.pop.subscribers()[user];
+        let traj = generator.generate(sub, day);
+        if traj.visits.is_empty() {
+            return Ok(()); // device abroad
+        }
+        prop_assert_eq!(traj.total_minutes(), 1440);
+        for bin in DayBin::ALL {
+            let bin_total: u32 = traj
+                .visits
+                .iter()
+                .filter(|v| v.bin == bin)
+                .map(|v| v.minutes as u32)
+                .sum();
+            prop_assert_eq!(bin_total, 240, "bin {:?}", bin);
+        }
+        // Visits within a bin are distinct (site, kind) pairs (merged
+        // allocation; the same site can host e.g. home and wander time).
+        for bin in DayBin::ALL {
+            let mut keys: Vec<(u32, _)> = traj
+                .visits
+                .iter()
+                .filter(|v| v.bin == bin)
+                .map(|v| (v.site.0, v.kind))
+                .collect();
+            let n = keys.len();
+            keys.sort_unstable();
+            keys.dedup();
+            prop_assert_eq!(keys.len(), n, "duplicate (site, kind) within a bin");
+        }
+    }
+
+    /// Trajectories are a pure function of (seed, subscriber, day).
+    #[test]
+    fn generation_is_deterministic(user in 0usize..1000, day in 0u16..100, seed in 0u64..8) {
+        let f = fixture();
+        let g1 = TrajectoryGenerator::new(&f.geo, &f.behavior, SimClock::study(), seed);
+        let g2 = TrajectoryGenerator::new(&f.geo, &f.behavior, SimClock::study(), seed);
+        let sub = &f.pop.subscribers()[user];
+        prop_assert_eq!(g1.generate(sub, day), g2.generate(sub, day));
+    }
+
+    /// The night window (00:00–08:00) is spent at the home or second
+    /// home site for the overwhelming majority of user-days — the
+    /// assumption home detection rests on.
+    #[test]
+    fn nights_are_spent_at_home(user in 0usize..1000, day in 0u16..100) {
+        let f = fixture();
+        let generator = TrajectoryGenerator::new(&f.geo, &f.behavior, SimClock::study(), 1);
+        let sub = &f.pop.subscribers()[user];
+        if sub.device != DeviceClass::Smartphone {
+            return Ok(());
+        }
+        let traj = generator.generate(sub, day);
+        if traj.visits.is_empty() {
+            return Ok(());
+        }
+        let home = sub.anchors.home().site;
+        let second = sub.anchors.second_home.as_ref().map(|a| a.site);
+        let night_at_base: u32 = traj
+            .visits
+            .iter()
+            .filter(|v| v.bin.is_night_window())
+            .filter(|v| v.site == home || Some(v.site) == second)
+            .map(|v| v.minutes as u32)
+            .sum();
+        // 480 night-window minutes; at least 400 at the (second) home.
+        prop_assert!(night_at_base >= 400, "night at base {night_at_base}");
+    }
+
+    /// Lockdown never *increases* a user's number of distinct sites
+    /// dramatically: local wandering is retained but long-range variety
+    /// disappears. (Weak monotonicity with generous slack: weekends and
+    /// randomness move individual days both ways.)
+    #[test]
+    fn lockdown_site_variety_bounded(user in 0usize..1000) {
+        let f = fixture();
+        let generator = TrajectoryGenerator::new(&f.geo, &f.behavior, SimClock::study(), 1);
+        let sub = &f.pop.subscribers()[user];
+        if sub.device != DeviceClass::Smartphone || sub.relocation.is_some() {
+            return Ok(());
+        }
+        // Average distinct sites across baseline weekdays vs lockdown
+        // weekdays (Tue–Thu of weeks 7-8 vs 15-16).
+        let avg = |days: &[u16]| -> f64 {
+            let total: usize = days
+                .iter()
+                .map(|&d| generator.generate(sub, d).distinct_sites())
+                .sum();
+            total as f64 / days.len() as f64
+        };
+        let baseline = avg(&[10, 11, 12, 17, 18, 19]);
+        let lockdown = avg(&[73, 74, 75, 80, 81, 82]);
+        prop_assert!(
+            lockdown <= baseline + 1.5,
+            "baseline {baseline} vs lockdown {lockdown}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Cell sites and radio cells.
+//!
+//! "Cell sites (also called cell towers) are the sites where antennas and
+//! equipment of the RAN are placed. Every cell site hosts one or multiple
+//! antennas for one or more technologies (i.e., 2G, 3G, 4G)"
+//! (Section 2.1). A [`CellSite`] is the geographic anchor mobility
+//! statistics attach to; a [`Cell`] is the per-RAT radio entity KPIs are
+//! collected for.
+
+use crate::rat::Rat;
+use cellscope_geo::{Point, ZoneId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a cell site (dense index into the topology site table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Index into the topology's site table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{:05}", self.0)
+    }
+}
+
+/// Identifier of a radio cell (dense index into the topology cell table).
+///
+/// This doubles as the "radio sector ID handling the communication"
+/// carried by every signaling event (Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// Index into the topology's cell table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{:06}", self.0)
+    }
+}
+
+/// Radio capacity of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellCapacity {
+    /// Aggregate downlink air-interface capacity in Mbit/s.
+    pub dl_mbps: f64,
+    /// Aggregate uplink capacity in Mbit/s.
+    pub ul_mbps: f64,
+}
+
+impl CellCapacity {
+    /// Typical capacity per RAT generation (macro-cell, all sectors).
+    pub fn typical(rat: Rat) -> CellCapacity {
+        match rat {
+            Rat::G2 => CellCapacity {
+                dl_mbps: 0.5,
+                ul_mbps: 0.3,
+            },
+            Rat::G3 => CellCapacity {
+                dl_mbps: 20.0,
+                ul_mbps: 8.0,
+            },
+            Rat::G4 => CellCapacity {
+                dl_mbps: 110.0,
+                ul_mbps: 40.0,
+            },
+        }
+    }
+
+    /// Downlink capacity in megabytes per hour.
+    pub fn dl_mb_per_hour(&self) -> f64 {
+        self.dl_mbps * 3600.0 / 8.0
+    }
+
+    /// Uplink capacity in megabytes per hour.
+    pub fn ul_mb_per_hour(&self) -> f64 {
+        self.ul_mbps * 3600.0 / 8.0
+    }
+}
+
+/// A radio cell: one RAT instance at a site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Identifier (equals its index in the topology cell table).
+    pub id: CellId,
+    /// Hosting site.
+    pub site: SiteId,
+    /// Radio technology.
+    pub rat: Rat,
+    /// Zone the cell serves (postcode-level aggregation key).
+    pub zone: ZoneId,
+    /// Location (same as the hosting site).
+    pub location: Point,
+    /// Radio capacity.
+    pub capacity: CellCapacity,
+    /// First study day the cell is on air (inclusive).
+    pub active_from: u16,
+    /// Last study day the cell is on air (inclusive); `u16::MAX` = always.
+    pub active_to: u16,
+}
+
+impl Cell {
+    /// Whether the cell is on air on a given study day — the "status
+    /// (active/inactive) of each cell tower" from the daily topology
+    /// snapshot (Section 2.2).
+    pub fn is_active(&self, day: u16) -> bool {
+        day >= self.active_from && day <= self.active_to
+    }
+}
+
+/// A cell site: location plus hosted cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSite {
+    /// Identifier (equals its index in the topology site table).
+    pub id: SiteId,
+    /// Location on the synthetic map.
+    pub location: Point,
+    /// Zone the site stands in.
+    pub zone: ZoneId,
+    /// Cells hosted at this site, at most one per RAT.
+    pub cells: Vec<CellId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_ordering_across_rats() {
+        let g2 = CellCapacity::typical(Rat::G2);
+        let g3 = CellCapacity::typical(Rat::G3);
+        let g4 = CellCapacity::typical(Rat::G4);
+        assert!(g4.dl_mbps > g3.dl_mbps && g3.dl_mbps > g2.dl_mbps);
+        assert!(g4.ul_mbps > g3.ul_mbps && g3.ul_mbps > g2.ul_mbps);
+        // Downlink capacity exceeds uplink for every generation.
+        for c in [g2, g3, g4] {
+            assert!(c.dl_mbps > c.ul_mbps);
+        }
+    }
+
+    #[test]
+    fn hourly_volume_conversion() {
+        let c = CellCapacity {
+            dl_mbps: 80.0,
+            ul_mbps: 8.0,
+        };
+        assert_eq!(c.dl_mb_per_hour(), 36_000.0);
+        assert_eq!(c.ul_mb_per_hour(), 3_600.0);
+    }
+
+    #[test]
+    fn activation_window() {
+        let cell = Cell {
+            id: CellId(0),
+            site: SiteId(0),
+            rat: Rat::G4,
+            zone: ZoneId(0),
+            location: Point::new(0.0, 0.0),
+            capacity: CellCapacity::typical(Rat::G4),
+            active_from: 10,
+            active_to: 20,
+        };
+        assert!(!cell.is_active(9));
+        assert!(cell.is_active(10));
+        assert!(cell.is_active(20));
+        assert!(!cell.is_active(21));
+    }
+}

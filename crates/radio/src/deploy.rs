@@ -1,0 +1,235 @@
+//! Deterministic network deployment over a synthetic geography.
+//!
+//! Places cell sites the way an operator's coverage plan does: site count
+//! per zone scales with residents *and* daytime attraction (the City of
+//! London has far more capacity than its 30k residents need), urban sites
+//! are denser, and every site hosts a 4G cell plus — with RAT-dependent
+//! probability — legacy 3G/2G cells. A small fraction of cells activates
+//! mid-study so the daily-snapshot logic (Section 2.2) is exercised.
+
+use crate::cell::{Cell, CellCapacity, CellId, CellSite, SiteId};
+use crate::rat::Rat;
+use crate::topology::Topology;
+use cellscope_geo::Geography;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Deployment parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeployConfig {
+    /// RNG seed (independent of the geography seed).
+    pub seed: u64,
+    /// Residents served per site in purely residential areas.
+    pub residents_per_site: u32,
+    /// Extra site weight per unit of work attraction (captures
+    /// capacity deployed for daytime populations).
+    pub attraction_weight: f64,
+    /// Probability a site also hosts a 3G cell.
+    pub p_3g: f64,
+    /// Probability a site also hosts a 2G cell.
+    pub p_2g: f64,
+    /// Fraction of cells that activate on a random mid-study day (new
+    /// deployments the topology snapshot must account for).
+    pub mid_study_activation_rate: f64,
+    /// Fraction of cells decommissioned on a random mid-study day
+    /// (failures/swaps the daily snapshot must also account for).
+    pub mid_study_deactivation_rate: f64,
+    /// Number of study days (for activation-day sampling).
+    pub num_days: u16,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        DeployConfig {
+            seed: 0xBA5E,
+            residents_per_site: 8_000,
+            attraction_weight: 0.5,
+            p_3g: 0.8,
+            p_2g: 0.6,
+            mid_study_activation_rate: 0.01,
+            mid_study_deactivation_rate: 0.004,
+            num_days: 100,
+        }
+    }
+}
+
+impl DeployConfig {
+    /// A sparser deployment for fast tests.
+    pub fn small(seed: u64) -> DeployConfig {
+        DeployConfig {
+            seed,
+            residents_per_site: 80_000,
+            ..DeployConfig::default()
+        }
+    }
+
+    /// Deploy the network over `geo`.
+    pub fn build(&self, geo: &Geography) -> Topology {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut sites: Vec<CellSite> = Vec::new();
+        let mut cells: Vec<Cell> = Vec::new();
+
+        for zone in geo.zones() {
+            // Capacity planned for residents plus excess daytime visitors
+            // (work_attraction is in resident-equivalent units, so the
+            // excess over the resident base is the commuter/tourist load).
+            let excess_daytime = (zone.work_attraction - zone.population as f64).max(0.0);
+            let demand_units = zone.population as f64 + self.attraction_weight * excess_daytime;
+            let n_sites = ((demand_units / self.residents_per_site as f64).round() as usize).max(1);
+            let radius = (zone.area_km2 / std::f64::consts::PI).sqrt().max(0.2);
+            for _ in 0..n_sites {
+                let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                let r = radius * rng.gen_range(0.0f64..1.0).sqrt();
+                let location = zone.centroid.offset(r * angle.cos(), r * angle.sin());
+                let site_id = SiteId(sites.len() as u32);
+                let mut hosted = Vec::new();
+                let add_cell = |rat: Rat, cells: &mut Vec<Cell>, rng: &mut StdRng| {
+                    let id = CellId(cells.len() as u32);
+                    let active_from = if rng.gen_bool(self.mid_study_activation_rate) {
+                        rng.gen_range(1..self.num_days.max(2))
+                    } else {
+                        0
+                    };
+                    let active_to = if active_from == 0
+                        && rng.gen_bool(self.mid_study_deactivation_rate)
+                    {
+                        rng.gen_range(1..self.num_days.max(2))
+                    } else {
+                        u16::MAX
+                    };
+                    cells.push(Cell {
+                        id,
+                        site: site_id,
+                        rat,
+                        zone: zone.id,
+                        location,
+                        capacity: CellCapacity::typical(rat),
+                        active_from,
+                        active_to,
+                    });
+                    id
+                };
+                hosted.push(add_cell(Rat::G4, &mut cells, &mut rng));
+                if rng.gen_bool(self.p_3g) {
+                    hosted.push(add_cell(Rat::G3, &mut cells, &mut rng));
+                }
+                if rng.gen_bool(self.p_2g) {
+                    hosted.push(add_cell(Rat::G2, &mut cells, &mut rng));
+                }
+                sites.push(CellSite {
+                    id: site_id,
+                    location,
+                    zone: zone.id,
+                    cells: hosted,
+                });
+            }
+        }
+        Topology::from_parts(sites, cells, geo.num_zones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellscope_geo::{County, SynthConfig};
+
+    fn world() -> (Geography, Topology) {
+        let geo = SynthConfig::small(3).build();
+        let topo = DeployConfig::small(3).build(&geo);
+        (geo, topo)
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let geo = SynthConfig::small(3).build();
+        let a = DeployConfig::small(3).build(&geo);
+        let b = DeployConfig::small(3).build(&geo);
+        assert_eq!(a.sites().len(), b.sites().len());
+        assert_eq!(a.cells().len(), b.cells().len());
+        for (x, y) in a.cells().iter().zip(b.cells()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn every_zone_has_coverage() {
+        let (geo, topo) = world();
+        for zone in geo.zones() {
+            assert!(
+                !topo.cells_in_zone(zone.id).is_empty(),
+                "zone {} has no cells",
+                zone.id
+            );
+        }
+    }
+
+    #[test]
+    fn every_site_has_a_4g_cell() {
+        let (_, topo) = world();
+        for site in topo.sites() {
+            assert!(
+                site.cells
+                    .iter()
+                    .any(|&c| topo.cell(c).rat == Rat::G4),
+                "site {} lacks 4G",
+                site.id
+            );
+        }
+    }
+
+    #[test]
+    fn urban_density_beats_rural() {
+        let (geo, topo) = world();
+        let sites_per_capita = |county: County| -> f64 {
+            let zones = geo.zones_in_county(county);
+            let pop: u64 = zones
+                .iter()
+                .map(|&z| geo.zone(z).population as u64)
+                .sum();
+            let sites = topo
+                .sites()
+                .iter()
+                .filter(|s| geo.zone(s.zone).county == county)
+                .count();
+            sites as f64 / pop.max(1) as f64
+        };
+        // Inner London gets disproportionate capacity per *resident*
+        // because of its daytime attraction.
+        assert!(
+            sites_per_capita(County::InnerLondon) > sites_per_capita(County::RuralSouthWest)
+        );
+    }
+
+    #[test]
+    fn snapshot_counts_track_churn() {
+        let (_, topo) = world();
+        // The daily snapshot sees activations raise and deactivations
+        // lower the active-cell count across the study.
+        let activated = topo.cells().iter().filter(|c| c.active_from > 0).count();
+        let deactivated = topo
+            .cells()
+            .iter()
+            .filter(|c| c.active_to != u16::MAX)
+            .count();
+        assert!(activated > 0, "no mid-study activations sampled");
+        assert!(deactivated > 0, "no mid-study deactivations sampled");
+        // No cell both activates late and deactivates (a nonsense window).
+        assert!(topo
+            .cells()
+            .iter()
+            .all(|c| !(c.active_from > 0 && c.active_to != u16::MAX)));
+    }
+
+    #[test]
+    fn most_cells_active_from_day_zero() {
+        let (_, topo) = world();
+        let late = topo
+            .cells()
+            .iter()
+            .filter(|c| c.active_from > 0)
+            .count();
+        let frac = late as f64 / topo.cells().len() as f64;
+        assert!(frac < 0.05, "too many late activations: {frac}");
+    }
+}

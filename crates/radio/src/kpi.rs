@@ -1,0 +1,136 @@
+//! Hourly per-cell KPI records — the "Radio Network Performance" feed.
+//!
+//! Section 2.4 separates, per 4G cell and hour: UL/DL data volume over
+//! all bearers (QCI 1–8), average active DL users, radio load (TTI
+//! utilization), average user DL throughput, seconds with active data,
+//! and — for conversational voice only (QCI 1) — voice volume, average
+//! simultaneous voice users, and UL/DL packet loss error rates.
+//!
+//! [`CellHourKpi`] is exactly that record. The voice loss rates combine
+//! the cell's radio-layer loss with the national interconnect loss of the
+//! day (computed by [`crate::interconnect`] and passed in by the runner).
+
+use crate::cell::CellId;
+use crate::scheduler::HourRadioKpi;
+use serde::{Deserialize, Serialize};
+
+/// Conversational-voice (QCI 1) slice of a cell-hour.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct VoiceHourKpi {
+    /// Total voice traffic volume, MB.
+    pub volume_mb: f64,
+    /// Average number of simultaneously active voice users.
+    pub simultaneous_users: f64,
+    /// Uplink packet loss error rate, 0–1.
+    pub ul_loss_rate: f64,
+    /// Downlink packet loss error rate, 0–1.
+    pub dl_loss_rate: f64,
+}
+
+/// One cell-hour of the radio network performance feed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellHourKpi {
+    /// The reporting cell.
+    pub cell: CellId,
+    /// Study day.
+    pub day: u16,
+    /// Hour of day, 0–23.
+    pub hour: u8,
+    /// Downlink data volume over all bearers (QCI 1–8), MB.
+    pub dl_volume_mb: f64,
+    /// Uplink data volume over all bearers, MB.
+    pub ul_volume_mb: f64,
+    /// Average users with active DL transmission.
+    pub active_dl_users: f64,
+    /// Total users connected (active + idle).
+    pub connected_users: f64,
+    /// Average user DL throughput, Mbit/s.
+    pub user_dl_throughput_mbps: f64,
+    /// Radio load as TTI utilization, 0–1.
+    pub tti_utilization: f64,
+    /// Seconds with active data in the hour.
+    pub active_seconds: f64,
+    /// Conversational-voice slice.
+    pub voice: VoiceHourKpi,
+}
+
+impl CellHourKpi {
+    /// Assemble the feed record from the scheduler output plus the
+    /// day's interconnect loss contribution.
+    ///
+    /// Uplink voice loss only sees the radio layer (our MNO controls the
+    /// uplink end-to-end until the interconnect hand-off measurement
+    /// point); downlink voice crosses the inter-MNO interconnect first,
+    /// which is why the week-10–12 congestion showed up only on DL
+    /// (Section 4.2).
+    pub fn from_radio(
+        cell: CellId,
+        day: u16,
+        hour: u8,
+        radio: &HourRadioKpi,
+        interconnect_dl_loss: f64,
+    ) -> CellHourKpi {
+        CellHourKpi {
+            cell,
+            day,
+            hour,
+            dl_volume_mb: radio.dl_volume_mb + radio.voice_volume_mb,
+            ul_volume_mb: radio.ul_volume_mb + radio.voice_volume_mb,
+            active_dl_users: radio.active_dl_users,
+            connected_users: radio.connected_users,
+            user_dl_throughput_mbps: radio.user_dl_throughput_mbps,
+            tti_utilization: radio.tti_utilization,
+            active_seconds: radio.active_seconds,
+            voice: VoiceHourKpi {
+                volume_mb: radio.voice_volume_mb,
+                simultaneous_users: radio.voice_users,
+                ul_loss_rate: radio.radio_loss_rate,
+                dl_loss_rate: (radio.radio_loss_rate + interconnect_dl_loss).min(1.0),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::HourRadioKpi;
+
+    fn radio() -> HourRadioKpi {
+        HourRadioKpi {
+            dl_volume_mb: 1000.0,
+            ul_volume_mb: 100.0,
+            active_dl_users: 5.0,
+            connected_users: 80.0,
+            user_dl_throughput_mbps: 6.0,
+            tti_utilization: 0.2,
+            active_seconds: 1800.0,
+            voice_volume_mb: 30.0,
+            voice_users: 2.0,
+            radio_loss_rate: 0.001,
+        }
+    }
+
+    #[test]
+    fn volumes_include_voice_bearer() {
+        let kpi = CellHourKpi::from_radio(CellId(1), 3, 14, &radio(), 0.002);
+        // "the sum of all data transferred on all cell bearers
+        //  corresponding to QCI from 1 to 8"
+        assert_eq!(kpi.dl_volume_mb, 1030.0);
+        assert_eq!(kpi.ul_volume_mb, 130.0);
+        assert_eq!(kpi.voice.volume_mb, 30.0);
+    }
+
+    #[test]
+    fn interconnect_loss_hits_downlink_only() {
+        let kpi = CellHourKpi::from_radio(CellId(1), 3, 14, &radio(), 0.002);
+        assert!((kpi.voice.dl_loss_rate - 0.003).abs() < 1e-12);
+        assert!((kpi.voice.ul_loss_rate - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_rate_saturates_at_one() {
+        let kpi = CellHourKpi::from_radio(CellId(0), 0, 0, &radio(), 2.0);
+        assert_eq!(kpi.voice.dl_loss_rate, 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Radio access network model.
+//!
+//! The paper's measurement infrastructure (Section 2.1) watches a 2G/3G/4G
+//! network: cell sites hosting cells of several Radio Access Technologies,
+//! hourly Key Performance Indicators per radio cell, and the inter-MNO
+//! interconnect that voice traffic crosses. This crate models exactly the
+//! parts of that infrastructure the study observes:
+//!
+//! * [`rat`] — the three RATs and their roles;
+//! * [`cell`] — cell sites, cells and their capacity configuration;
+//! * [`topology`] — the deployed network: daily snapshots (sites can
+//!   activate/deactivate mid-study), zone and spatial indices for
+//!   "which cell serves this point?";
+//! * [`deploy`] — deterministic deployment of sites over a
+//!   [`cellscope_geo::Geography`], density-proportional like a real plan;
+//! * [`scheduler`] — an abstract LTE MAC: offered load in, KPIs out
+//!   (served volume, TTI utilization, per-user throughput, active time);
+//! * [`interconnect`] — the inter-MNO voice interconnection link whose
+//!   capacity was exceeded by the week-10–12 voice surge (Section 4.2),
+//!   including the network-operations response;
+//! * [`kpi`] — the hourly per-cell KPI records of Section 2.4.
+
+pub mod cell;
+pub mod deploy;
+pub mod interconnect;
+pub mod kpi;
+pub mod rat;
+pub mod scheduler;
+pub mod topology;
+
+pub use cell::{Cell, CellCapacity, CellId, CellSite, SiteId};
+pub use deploy::DeployConfig;
+pub use interconnect::{DayOutcome, Interconnect, InterconnectConfig};
+pub use kpi::{CellHourKpi, VoiceHourKpi};
+pub use rat::Rat;
+pub use scheduler::{HourLoad, Scheduler, SchedulerConfig, VoiceLoad};
+pub use topology::Topology;

@@ -1,0 +1,85 @@
+//! Radio Access Technologies.
+//!
+//! The studied network supports 2G, 3G and 4G (Section 2.1). The paper's
+//! network-performance analysis focuses on 4G because "users spend on
+//! average 75% of the time per day connected to 4G cells" (Section 2.4);
+//! 3G and 2G cells still exist in the topology and receive dwell time so
+//! that statistic is measurable rather than assumed.
+
+use serde::{Deserialize, Serialize};
+
+/// A Radio Access Technology generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Rat {
+    /// GSM/GPRS — monitored on the Gb (data) and A (voice + mobility
+    /// management) interfaces.
+    G2,
+    /// UMTS — monitored on the Iu-PS (data) and Iu-CS (voice) interfaces.
+    G3,
+    /// LTE — monitored at the MME on S1-MME plus the S1-UP user plane;
+    /// carries VoLTE conversational voice as QCI-1 bearers.
+    G4,
+}
+
+impl Rat {
+    /// All RATs, oldest first.
+    pub const ALL: [Rat; 3] = [Rat::G2, Rat::G3, Rat::G4];
+
+    /// Marketing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rat::G2 => "2G",
+            Rat::G3 => "3G",
+            Rat::G4 => "4G",
+        }
+    }
+
+    /// The control-plane interfaces the measurement infrastructure taps
+    /// for this RAT (Section 2.1, "Radio Interfaces").
+    pub fn monitored_interfaces(self) -> &'static [&'static str] {
+        match self {
+            Rat::G2 => &["Gb", "A"],
+            Rat::G3 => &["Iu-PS", "Iu-CS"],
+            Rat::G4 => &["S1-MME", "S1-UP"],
+        }
+    }
+
+    /// Share of a smartphone's connected time spent camped on this RAT,
+    /// calibrated to the paper's 75%-on-4G observation.
+    pub fn typical_dwell_share(self) -> f64 {
+        match self {
+            Rat::G2 => 0.05,
+            Rat::G3 => 0.20,
+            Rat::G4 => 0.75,
+        }
+    }
+}
+
+impl std::fmt::Display for Rat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dwell_shares_sum_to_one() {
+        let total: f64 = Rat::ALL.iter().map(|r| r.typical_dwell_share()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_g_dominates_dwell() {
+        assert_eq!(Rat::G4.typical_dwell_share(), 0.75);
+    }
+
+    #[test]
+    fn interfaces_match_architecture_figure() {
+        assert_eq!(Rat::G2.monitored_interfaces(), ["Gb", "A"]);
+        assert_eq!(Rat::G3.monitored_interfaces(), ["Iu-PS", "Iu-CS"]);
+        assert_eq!(Rat::G4.monitored_interfaces(), ["S1-MME", "S1-UP"]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Abstract LTE scheduler: offered load in, radio KPIs out.
+//!
+//! Models the quantities Section 2.4 collects per 4G cell and hour:
+//!
+//! * UL/DL data volume — sum over all bearers with QCI 1–8;
+//! * average number of active DL users — users with data in the DL buffer;
+//! * average radio load — TTI utilization, "the number of active UEs the
+//!   LTE scheduler assigns per TTI" (normalized here to 0–1 of schedulable
+//!   resources);
+//! * average user DL throughput — averaged over users active in the hour;
+//! * seconds with active data.
+//!
+//! The model is intentionally analytic rather than packet-level: offered
+//! volumes and user counts arrive per hour, and KPIs follow from a
+//! processor-sharing view of the air interface. This keeps a country-scale
+//! hourly simulation tractable while preserving the effects the paper
+//! reports (load tracks volume; per-user throughput is *application*
+//! limited when the cell is uncongested, which is exactly why throughput
+//! fell with demand during lockdown instead of rising).
+
+use crate::cell::CellCapacity;
+use serde::{Deserialize, Serialize};
+
+/// Conversational-voice load offered to one cell in one hour (QCI 1).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct VoiceLoad {
+    /// Voice traffic volume in MB (both directions are near-symmetric;
+    /// this is the per-direction volume).
+    pub volume_mb: f64,
+    /// Average number of simultaneously active voice users.
+    pub simultaneous_users: f64,
+}
+
+/// All load offered to one cell in one hour.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HourLoad {
+    /// Offered downlink volume, MB (QCI 1–8 including voice DL).
+    pub offered_dl_mb: f64,
+    /// Offered uplink volume, MB.
+    pub offered_ul_mb: f64,
+    /// Average number of users with active DL transmission.
+    pub active_dl_users: f64,
+    /// Total users camped on the cell (active + idle), for the
+    /// "total number of users connected" KPI of Figs. 10–11.
+    pub connected_users: f64,
+    /// Application-limited per-user DL throughput ceiling, Mbit/s.
+    /// Content providers throttled streaming quality during the pandemic
+    /// (Section 4.1), which this ceiling carries into the KPI.
+    pub app_limit_mbps: f64,
+    /// Conversational-voice component.
+    pub voice: VoiceLoad,
+}
+
+/// Scheduler tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Fraction of nominal capacity usable for user-plane data (the rest
+    /// is reference signals / control overhead).
+    pub usable_capacity_fraction: f64,
+    /// Baseline radio packet loss at zero load (air interface floor).
+    pub base_loss_rate: f64,
+    /// How strongly cell load raises radio loss.
+    pub loss_load_factor: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            usable_capacity_fraction: 0.85,
+            base_loss_rate: 0.0008,
+            loss_load_factor: 0.004,
+        }
+    }
+}
+
+/// Radio KPIs produced for one cell-hour (excluding interconnect effects,
+/// which are applied nationally — see [`crate::interconnect`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HourRadioKpi {
+    /// Served DL volume, MB.
+    pub dl_volume_mb: f64,
+    /// Served UL volume, MB.
+    pub ul_volume_mb: f64,
+    /// Average active DL users.
+    pub active_dl_users: f64,
+    /// Total connected users (active + idle).
+    pub connected_users: f64,
+    /// Average per-user DL throughput, Mbit/s.
+    pub user_dl_throughput_mbps: f64,
+    /// TTI utilization, 0–1.
+    pub tti_utilization: f64,
+    /// Seconds in the hour with data in some buffer.
+    pub active_seconds: f64,
+    /// Served voice volume, MB.
+    pub voice_volume_mb: f64,
+    /// Average simultaneous voice users.
+    pub voice_users: f64,
+    /// Radio-layer loss contribution (before interconnect), 0–1.
+    pub radio_loss_rate: f64,
+}
+
+/// The scheduler itself. Stateless: each cell-hour is independent given
+/// its offered load, which is what lets the simulation parallelize.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// Create with explicit tuning.
+    pub fn new(config: SchedulerConfig) -> Scheduler {
+        Scheduler { config }
+    }
+
+    /// Tuning in use.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Serve one cell-hour of offered load.
+    pub fn serve(&self, capacity: CellCapacity, load: &HourLoad) -> HourRadioKpi {
+        let cfg = &self.config;
+        let dl_cap_mb = capacity.dl_mb_per_hour() * cfg.usable_capacity_fraction;
+        let ul_cap_mb = capacity.ul_mb_per_hour() * cfg.usable_capacity_fraction;
+
+        // Voice bearers (QCI 1) are admission-controlled and scheduled
+        // first; they are tiny relative to data so they essentially never
+        // clip on the radio interface.
+        let voice_mb = load.voice.volume_mb.min(dl_cap_mb);
+        let data_dl_offered = load.offered_dl_mb.max(0.0);
+        let data_ul_offered = load.offered_ul_mb.max(0.0);
+
+        let dl_served = data_dl_offered.min((dl_cap_mb - voice_mb).max(0.0));
+        let ul_served = data_ul_offered.min(ul_cap_mb);
+
+        // TTI utilization tracks the served volume share of capacity; a
+        // small floor accounts for always-on control traffic per camped
+        // user.
+        let rho = if dl_cap_mb > 0.0 {
+            (dl_served + voice_mb) / dl_cap_mb
+        } else {
+            0.0
+        };
+        let tti = (rho + 0.00008 * load.connected_users).clamp(0.0, 1.0);
+
+        // Per-user throughput: processor sharing among concurrently
+        // active users, capped by the application limit. With the loads
+        // the paper reports cells are uncongested, so the app limit is
+        // what users actually see.
+        let n = load.active_dl_users.max(1.0);
+        let fair_share_mbps =
+            (capacity.dl_mbps * cfg.usable_capacity_fraction * (1.0 - rho * 0.3)) / n;
+        let user_tput = if load.active_dl_users > 0.0 && dl_served > 0.0 {
+            fair_share_mbps.min(load.app_limit_mbps.max(0.01))
+        } else {
+            0.0
+        };
+
+        // Time with active data: each active user keeps the buffer busy
+        // in bursts; saturate toward the full hour.
+        let active_seconds = 3600.0 * (1.0 - (-(rho * 4.0 + load.active_dl_users * 0.05)).exp());
+
+        // Radio-layer loss grows mildly with load.
+        let radio_loss = cfg.base_loss_rate + cfg.loss_load_factor * rho * rho;
+
+        HourRadioKpi {
+            dl_volume_mb: dl_served,
+            ul_volume_mb: ul_served,
+            active_dl_users: load.active_dl_users,
+            connected_users: load.connected_users,
+            user_dl_throughput_mbps: user_tput,
+            tti_utilization: tti,
+            active_seconds,
+            voice_volume_mb: voice_mb,
+            voice_users: load.voice.simultaneous_users,
+            radio_loss_rate: radio_loss,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat::Rat;
+
+    fn cap() -> CellCapacity {
+        CellCapacity::typical(Rat::G4)
+    }
+
+    fn base_load() -> HourLoad {
+        HourLoad {
+            offered_dl_mb: 2_000.0,
+            offered_ul_mb: 200.0,
+            active_dl_users: 8.0,
+            connected_users: 120.0,
+            app_limit_mbps: 6.0,
+            voice: VoiceLoad {
+                volume_mb: 20.0,
+                simultaneous_users: 1.5,
+            },
+        }
+    }
+
+    #[test]
+    fn uncongested_cell_serves_everything() {
+        let kpi = Scheduler::default().serve(cap(), &base_load());
+        assert_eq!(kpi.dl_volume_mb, 2_000.0);
+        assert_eq!(kpi.ul_volume_mb, 200.0);
+        assert_eq!(kpi.voice_volume_mb, 20.0);
+        assert!(kpi.tti_utilization > 0.0 && kpi.tti_utilization < 0.5);
+    }
+
+    #[test]
+    fn served_volume_never_exceeds_capacity() {
+        let mut load = base_load();
+        load.offered_dl_mb = 1e9;
+        load.offered_ul_mb = 1e9;
+        let kpi = Scheduler::default().serve(cap(), &load);
+        let cfg = SchedulerConfig::default();
+        assert!(kpi.dl_volume_mb + kpi.voice_volume_mb <= cap().dl_mb_per_hour() * cfg.usable_capacity_fraction + 1e-6);
+        assert!(kpi.ul_volume_mb <= cap().ul_mb_per_hour() * cfg.usable_capacity_fraction + 1e-6);
+        assert!(kpi.tti_utilization <= 1.0);
+    }
+
+    #[test]
+    fn throughput_is_application_limited_when_uncongested() {
+        let kpi = Scheduler::default().serve(cap(), &base_load());
+        assert!((kpi.user_dl_throughput_mbps - 6.0).abs() < 1e-9);
+        // Lower the app limit (content throttling) -> throughput drops
+        // even though the cell has headroom. This is the paper's
+        // "throughput is application limited" finding.
+        let mut throttled = base_load();
+        throttled.app_limit_mbps = 5.0;
+        let kpi2 = Scheduler::default().serve(cap(), &throttled);
+        assert!((kpi2.user_dl_throughput_mbps - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_fair_shares_under_congestion() {
+        let mut load = base_load();
+        load.offered_dl_mb = 1e7;
+        load.active_dl_users = 200.0;
+        load.app_limit_mbps = 50.0;
+        let kpi = Scheduler::default().serve(cap(), &load);
+        assert!(kpi.user_dl_throughput_mbps < 1.0, "{}", kpi.user_dl_throughput_mbps);
+    }
+
+    #[test]
+    fn tti_monotone_in_offered_load() {
+        let sched = Scheduler::default();
+        let mut prev = -1.0;
+        for mbs in [0.0, 500.0, 2_000.0, 10_000.0, 40_000.0, 1e6] {
+            let mut load = base_load();
+            load.offered_dl_mb = mbs;
+            let kpi = sched.serve(cap(), &load);
+            assert!(kpi.tti_utilization >= prev, "not monotone at {mbs}");
+            prev = kpi.tti_utilization;
+        }
+    }
+
+    #[test]
+    fn loss_grows_with_load() {
+        let sched = Scheduler::default();
+        let idle = sched.serve(cap(), &HourLoad::default());
+        let mut busy_load = base_load();
+        busy_load.offered_dl_mb = 30_000.0;
+        let busy = sched.serve(cap(), &busy_load);
+        assert!(busy.radio_loss_rate > idle.radio_loss_rate);
+        assert!(idle.radio_loss_rate >= SchedulerConfig::default().base_loss_rate);
+    }
+
+    #[test]
+    fn idle_cell_has_zero_throughput_and_volume() {
+        let kpi = Scheduler::default().serve(cap(), &HourLoad::default());
+        assert_eq!(kpi.dl_volume_mb, 0.0);
+        assert_eq!(kpi.user_dl_throughput_mbps, 0.0);
+        assert!(kpi.active_seconds < 10.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Scenario configuration and scale presets.
+
+use cellscope_epidemic::Timeline;
+use cellscope_geo::SynthConfig;
+use cellscope_mobility::PopulationConfig;
+use cellscope_radio::{DeployConfig, InterconnectConfig};
+use cellscope_signaling::EventGenConfig;
+use serde::{Deserialize, Serialize};
+
+/// Everything that defines one study run. All randomness derives from
+/// the seeds below: two runs with equal configs are bit-identical.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Master seed, mixed into every component seed.
+    pub seed: u64,
+    /// Geography generation.
+    pub geography: SynthConfig,
+    /// Radio deployment.
+    pub deployment: DeployConfig,
+    /// Population synthesis.
+    pub population: PopulationConfig,
+    /// Signaling event generation.
+    pub events: EventGenConfig,
+    /// The policy timeline driving behaviour. The default is the UK's
+    /// 2020 intervention sequence; swap in
+    /// [`Timeline::no_intervention`] (or a custom one) for
+    /// counterfactual studies.
+    pub timeline: Timeline,
+    /// Voice-interconnect head-room over the baseline daily off-net
+    /// load (capacity = headroom × measured week-9 load).
+    pub interconnect_headroom: f64,
+    /// Target median peak-hour cell utilization at baseline; the runner
+    /// calibrates the population scale factor against it so a subsampled
+    /// population still loads cells realistically.
+    pub target_peak_utilization: f64,
+    /// Interconnect behaviour (capacity is overwritten from headroom).
+    pub interconnect: InterconnectConfig,
+    /// Whether content providers throttle quality from just before the
+    /// closures (the EU request of March 2020). Disable to ablate the
+    /// "throughput is application-limited" effect.
+    pub content_throttling: bool,
+    /// Route mobility metrics through the signaling event stream and
+    /// dwell reconstruction (the paper's actual code path). Disable only
+    /// for quick smoke runs — ground-truth dwell is then used directly.
+    pub use_event_reconstruction: bool,
+    /// Worker threads for the day loop (`0` = all available cores).
+    pub threads: usize,
+}
+
+impl ScenarioConfig {
+    /// The full-scale default study (tens of thousands of subscribers;
+    /// minutes of runtime in release mode).
+    pub fn full(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            geography: SynthConfig {
+                seed: seed ^ 0x6E0,
+                ..SynthConfig::default()
+            },
+            deployment: DeployConfig {
+                seed: seed ^ 0xDE9107,
+                ..DeployConfig::default()
+            },
+            population: PopulationConfig {
+                seed: seed ^ 0x909,
+                num_subscribers: 40_000,
+                ..PopulationConfig::default()
+            },
+            events: EventGenConfig {
+                seed: seed ^ 0xE0E,
+                ..EventGenConfig::default()
+            },
+            timeline: Timeline::uk_2020(),
+            interconnect_headroom: 1.15,
+            target_peak_utilization: 0.35,
+            interconnect: InterconnectConfig::default(),
+            content_throttling: true,
+            use_event_reconstruction: true,
+            threads: 0,
+        }
+    }
+
+    /// A small but statistically meaningful study (~8k subscribers,
+    /// coarse zones) — seconds of runtime in release mode; used by the
+    /// integration tests and examples.
+    pub fn small(seed: u64) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::full(seed);
+        cfg.geography.residents_per_zone = 120_000;
+        cfg.deployment.residents_per_site = 24_000;
+        cfg.population.num_subscribers = 12_000;
+        cfg
+    }
+
+    /// The tiniest useful scenario (~2k subscribers) for unit tests.
+    /// Event reconstruction stays on: tests must cover the real path.
+    pub fn tiny(seed: u64) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::full(seed);
+        cfg.geography.residents_per_zone = 400_000;
+        cfg.geography.zones_per_lad = 3;
+        cfg.deployment.residents_per_site = 80_000;
+        cfg.population.num_subscribers = 2_000;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_down_monotonically() {
+        let full = ScenarioConfig::full(1);
+        let small = ScenarioConfig::small(1);
+        let tiny = ScenarioConfig::tiny(1);
+        assert!(full.population.num_subscribers > small.population.num_subscribers);
+        assert!(small.population.num_subscribers > tiny.population.num_subscribers);
+        assert!(tiny.use_event_reconstruction, "tests must use the real path");
+    }
+
+    #[test]
+    fn seeds_differentiate_components() {
+        let cfg = ScenarioConfig::full(42);
+        let seeds = [
+            cfg.geography.seed,
+            cfg.deployment.seed,
+            cfg.population.seed,
+            cfg.events.seed,
+        ];
+        for (i, a) in seeds.iter().enumerate() {
+            for b in seeds.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The collected study data.
+//!
+//! [`StudyDataset`] is the output of a full run: everything the paper's
+//! figures and takeaways are computed from, in the aggregated forms the
+//! paper itself works with (per-user-day metrics folded into group
+//! means, per-cell-day KPI medians, inferred homes, the Inner-London
+//! mobility matrix, the interconnect's daily state, case counts).
+
+use cellscope_epidemic::CaseCurve;
+use cellscope_core::{DailyGroupMean, DailyGroupSamples, KpiTable, MobilityMatrix};
+use cellscope_geo::{County, LadId, LondonDistrict, OacCluster, ZoneId};
+use cellscope_radio::DayOutcome;
+use cellscope_time::{DayBin, SimClock};
+use serde::{Deserialize, Serialize};
+
+/// Grouping key for mobility-metric aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MetricGroup {
+    /// Whole country.
+    National,
+    /// By home county.
+    County(County),
+    /// By home-zone OAC cluster.
+    Cluster(OacCluster),
+}
+
+/// Per-subscriber reference data (ground truth + feed-side attributes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserInfo {
+    /// Ground-truth home zone.
+    pub home_zone: ZoneId,
+    /// Ground-truth home county.
+    pub home_county: County,
+    /// Home-zone OAC cluster.
+    pub home_cluster: OacCluster,
+    /// Home postal district (Inner London only).
+    pub home_district: Option<LondonDistrict>,
+    /// Whether the analysis keeps this user: smartphone TAC + native
+    /// SIM, determined from the feed the way Section 2.3 does.
+    pub in_study: bool,
+    /// Home county *inferred* by the home-detection algorithm
+    /// (None when undetectable).
+    pub inferred_home_county: Option<County>,
+}
+
+/// One point of the Fig. 2 validation: a LAD's census population vs the
+/// number of users whose inferred home lies in it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HomeValidationPoint {
+    /// The LAD.
+    pub lad: LadId,
+    /// ONS-style census population.
+    pub census: u64,
+    /// Users with inferred home in the LAD.
+    pub inferred: u32,
+}
+
+/// Everything a study run produces.
+pub struct StudyDataset {
+    /// The study window.
+    pub clock: SimClock,
+    /// Per-user reference table (indexed by subscriber id).
+    pub users: Vec<UserInfo>,
+    /// Per-(group, day) mean radius of gyration (km).
+    pub gyration: DailyGroupMean<MetricGroup>,
+    /// Per-(group, day) mean mobility entropy (nats).
+    pub entropy: DailyGroupMean<MetricGroup>,
+    /// Full per-user gyration samples per (group, day) — the paper's
+    /// distribution/percentile statements ("all percentiles are close
+    /// to the median") are computed from these.
+    pub gyration_dist: DailyGroupSamples<MetricGroup>,
+    /// National mean gyration per (4-hour bin, day): Section 2.3 also
+    /// computes the metrics per bin, which exposes *when* in the day
+    /// mobility died (the commuting bins) and when it survived (the
+    /// exercise-hour bins).
+    pub gyration_by_bin: DailyGroupMean<DayBin>,
+    /// Per-cell-day KPI records.
+    pub kpi: KpiTable,
+    /// Per-cell geography: (county, cluster, district), by cell id.
+    pub cell_geo: Vec<(County, OacCluster, Option<LondonDistrict>)>,
+    /// Inner-London residents' county-presence matrix (residents by
+    /// *inferred* home, per Section 3.4).
+    pub matrix: MobilityMatrix<County>,
+    /// Fig. 2 validation points.
+    pub home_validation: Vec<HomeValidationPoint>,
+    /// Daily interconnect state (utilization, loss, upgrade).
+    pub interconnect_daily: Vec<DayOutcome>,
+    /// Daily national off-net voice load offered to the interconnect.
+    pub national_voice_daily: Vec<f64>,
+    /// National cumulative-case curve.
+    pub cases: CaseCurve,
+    /// Share of smartphone dwell time on [2G, 3G, 4G] (Section 2.4's
+    /// 75%-on-4G statistic).
+    pub rat_dwell_share: [f64; 3],
+    /// Number of users kept by the study filter.
+    pub study_population: usize,
+    /// Number of users with a detected home.
+    pub homes_detected: usize,
+}
+
+impl StudyDataset {
+    /// The paper's baseline week.
+    pub fn baseline_week(&self) -> cellscope_time::IsoWeek {
+        cellscope_time::IsoWeek { year: 2020, week: 9 }
+    }
+
+    /// Cells (ids) in a county.
+    pub fn cells_in_county(&self, county: County) -> Vec<u32> {
+        self.cell_geo
+            .iter()
+            .enumerate()
+            .filter(|(_, (c, _, _))| *c == county)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Cells (ids) in an OAC cluster.
+    pub fn cells_in_cluster(&self, cluster: OacCluster) -> Vec<u32> {
+        self.cell_geo
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, c, _))| *c == cluster)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Cells (ids) in an Inner-London postal district.
+    pub fn cells_in_district(&self, district: LondonDistrict) -> Vec<u32> {
+        self.cell_geo
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, _, d))| *d == Some(district))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}

@@ -1,0 +1,891 @@
+//! Per-figure dataset builders.
+//!
+//! One function per table/figure of the paper's evaluation, each
+//! consuming a [`StudyDataset`] and returning a serializable structure
+//! with exactly the series the figure plots. The bench harness and the
+//! `repro` binary print these; the integration tests assert their
+//! shapes against the paper's reported numbers.
+
+use crate::dataset::{MetricGroup, StudyDataset};
+use cellscope_core::{delta_pct, linear_fit, pearson, KpiField, LinearFit};
+use cellscope_geo::{County, LondonDistrict, OacCluster};
+use cellscope_time::{Date, IsoWeek};
+use serde::Serialize;
+use std::collections::HashSet;
+
+/// The ISO weeks the paper's figures span (weeks 9–19 of 2020).
+pub fn figure_weeks() -> Vec<u8> {
+    (9..=19).collect()
+}
+
+fn wk(week: u8) -> IsoWeek {
+    IsoWeek { year: 2020, week }
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 — home-detection validation
+// ---------------------------------------------------------------------
+
+/// Fig. 2: inferred residential population per LAD vs census.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2 {
+    /// (LAD label, census population, inferred user count).
+    pub points: Vec<(String, u64, u32)>,
+    /// OLS fit of inferred vs census — the paper reports r² = 0.955.
+    pub fit: Option<LinearFit>,
+}
+
+/// Build Fig. 2.
+pub fn fig2(ds: &StudyDataset) -> Fig2 {
+    let points: Vec<(String, u64, u32)> = ds
+        .home_validation
+        .iter()
+        .map(|p| (p.lad.to_string(), p.census, p.inferred))
+        .collect();
+    let xs: Vec<f64> = points.iter().map(|p| p.1 as f64).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.2 as f64).collect();
+    Fig2 {
+        fit: linear_fit(&xs, &ys),
+        points,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 — national mobility
+// ---------------------------------------------------------------------
+
+/// Fig. 3: national daily Δ% of gyration and entropy vs week 9.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3 {
+    /// Daily Δ% of the average radius of gyration per user.
+    pub gyration_daily_pct: Vec<Option<f64>>,
+    /// Daily Δ% of the average mobility entropy per user.
+    pub entropy_daily_pct: Vec<Option<f64>>,
+    /// Weekly means of the daily deltas, (week, gyration Δ%, entropy Δ%).
+    pub weekly: Vec<(u8, Option<f64>, Option<f64>)>,
+    /// Daily (p10, median, p90) of the per-user gyration distribution —
+    /// the figure's percentile bands. The paper notes the distributions
+    /// barely change shape across weeks.
+    pub gyration_percentiles: Vec<Option<(f64, f64, f64)>>,
+}
+
+/// Build Fig. 3.
+pub fn fig3(ds: &StudyDataset) -> Fig3 {
+    let g = ds
+        .gyration
+        .delta_series(&MetricGroup::National, ds.clock, ds.baseline_week());
+    let e = ds
+        .entropy
+        .delta_series(&MetricGroup::National, ds.clock, ds.baseline_week());
+    let gyration_daily_pct = g.daily_delta_pct();
+    let entropy_daily_pct = e.daily_delta_pct();
+    let weekly = figure_weeks()
+        .into_iter()
+        .map(|week| {
+            let days: Vec<u16> = ds.clock.days_in_week(wk(week)).collect();
+            let mean_of = |series: &[Option<f64>]| {
+                let vals: Vec<f64> = days
+                    .iter()
+                    .filter_map(|&d| series[d as usize])
+                    .collect();
+                cellscope_core::stats::mean(&vals)
+            };
+            (
+                week,
+                mean_of(&gyration_daily_pct),
+                mean_of(&entropy_daily_pct),
+            )
+        })
+        .collect();
+    let gyration_percentiles = (0..ds.clock.num_days() as u16)
+        .map(|d| {
+            let p10 = ds.gyration_dist.percentile(&MetricGroup::National, d, 10.0)?;
+            let p50 = ds.gyration_dist.percentile(&MetricGroup::National, d, 50.0)?;
+            let p90 = ds.gyration_dist.percentile(&MetricGroup::National, d, 90.0)?;
+            Some((p10, p50, p90))
+        })
+        .collect();
+    Fig3 {
+        gyration_daily_pct,
+        entropy_daily_pct,
+        weekly,
+        gyration_percentiles,
+    }
+}
+
+/// Supplementary: mean gyration per 4-hour bin, baseline week vs a
+/// lockdown week — *when* in the day mobility died. The commuting bins
+/// collapse hardest; the night bins barely move (everyone already was
+/// at home).
+#[derive(Debug, Clone, Serialize)]
+pub struct BinProfile {
+    /// (bin name, mean gyration in week 9, mean gyration in week 15,
+    /// Δ%).
+    pub bins: Vec<(String, f64, f64, Option<f64>)>,
+}
+
+/// Build the per-bin mobility profile.
+pub fn bin_profile(ds: &StudyDataset) -> BinProfile {
+    use cellscope_time::DayBin;
+    let week_mean = |bin: DayBin, week: u8| -> Option<f64> {
+        let vals: Vec<f64> = ds
+            .clock
+            .days_in_week(wk(week))
+            .filter_map(|d| ds.gyration_by_bin.mean(&bin, d))
+            .collect();
+        cellscope_core::stats::mean(&vals)
+    };
+    let bins = DayBin::ALL
+        .iter()
+        .map(|&bin| {
+            let base = week_mean(bin, 9).unwrap_or(0.0);
+            let lock = week_mean(bin, 15).unwrap_or(0.0);
+            (
+                format!("{bin:?}"),
+                base,
+                lock,
+                delta_pct(lock, base),
+            )
+        })
+        .collect();
+    BinProfile { bins }
+}
+
+// ---------------------------------------------------------------------
+// Figure 4 — mobility vs cases
+// ---------------------------------------------------------------------
+
+/// One Fig. 4 scatter point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig4Point {
+    /// Study day.
+    pub day: u16,
+    /// Cumulative lab-confirmed cases on that day.
+    pub cumulative_cases: f64,
+    /// National entropy Δ% on that day.
+    pub entropy_delta_pct: f64,
+    /// Weekend flag (the figure colours weekends).
+    pub weekend: bool,
+}
+
+/// Fig. 4: entropy variation vs cumulative case counts, Feb 23 – May 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4 {
+    /// Scatter points.
+    pub points: Vec<Fig4Point>,
+    /// Pearson r over the pre-lockdown range (cases < ~5,000), where
+    /// the paper argues there is *no* relationship: mobility only moved
+    /// with announcements, not with case counts.
+    pub pre_lockdown_pearson: Option<f64>,
+    /// Cases on the declaration day (vertical line of the figure).
+    pub cases_at_declaration: f64,
+}
+
+/// Build Fig. 4.
+pub fn fig4(ds: &StudyDataset) -> Fig4 {
+    let entropy_daily = fig3(ds).entropy_daily_pct;
+    let start = ds.clock.day_of(Date::ymd(2020, 2, 23)).expect("in window");
+    let end = ds.clock.day_of(Date::ymd(2020, 5, 4)).expect("in window");
+    let mut points = Vec::new();
+    for day in start..=end {
+        let date = ds.clock.date(day);
+        if let Some(e) = entropy_daily[day as usize] {
+            points.push(Fig4Point {
+                day,
+                cumulative_cases: ds.cases.cumulative(date),
+                entropy_delta_pct: e,
+                weekend: date.is_weekend(),
+            });
+        }
+    }
+    // Pre-announcement range: before the pandemic declaration mobility
+    // should ignore the (already growing) case counts.
+    let declaration = Date::ymd(2020, 3, 11);
+    let pre: Vec<&Fig4Point> = points
+        .iter()
+        .filter(|p| ds.clock.date(p.day) < declaration)
+        .collect();
+    let xs: Vec<f64> = pre.iter().map(|p| p.cumulative_cases).collect();
+    let ys: Vec<f64> = pre.iter().map(|p| p.entropy_delta_pct).collect();
+    Fig4 {
+        pre_lockdown_pearson: pearson(&xs, &ys),
+        cases_at_declaration: ds.cases.cumulative(declaration),
+        points,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 5 & 6 — regional / geodemographic mobility
+// ---------------------------------------------------------------------
+
+/// One group's mobility series, as Δ% vs the *national* week-9 average
+/// (so baseline offsets between groups stay visible, as in the paper).
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupMobility {
+    /// Group label.
+    pub group: String,
+    /// Daily gyration Δ% vs national week-9 mean.
+    pub gyration_daily_pct: Vec<Option<f64>>,
+    /// Daily entropy Δ% vs national week-9 mean.
+    pub entropy_daily_pct: Vec<Option<f64>>,
+    /// Weekly means (week, gyration Δ%, entropy Δ%).
+    pub weekly: Vec<(u8, Option<f64>, Option<f64>)>,
+}
+
+fn group_mobility(ds: &StudyDataset, group: MetricGroup, label: String) -> GroupMobility {
+    let national_g_base = ds
+        .gyration
+        .delta_series(&MetricGroup::National, ds.clock, ds.baseline_week())
+        .baseline_mean();
+    let national_e_base = ds
+        .entropy
+        .delta_series(&MetricGroup::National, ds.clock, ds.baseline_week())
+        .baseline_mean();
+    let daily = |acc: &cellscope_core::DailyGroupMean<MetricGroup>,
+                 base: Option<f64>|
+     -> Vec<Option<f64>> {
+        (0..ds.clock.num_days() as u16)
+            .map(|d| {
+                let v = acc.mean(&group, d)?;
+                delta_pct(v, base?)
+            })
+            .collect()
+    };
+    let gyration_daily_pct = daily(&ds.gyration, national_g_base);
+    let entropy_daily_pct = daily(&ds.entropy, national_e_base);
+    let weekly = figure_weeks()
+        .into_iter()
+        .map(|week| {
+            let days: Vec<u16> = ds.clock.days_in_week(wk(week)).collect();
+            let mean_of = |series: &[Option<f64>]| {
+                let vals: Vec<f64> = days
+                    .iter()
+                    .filter_map(|&d| series[d as usize])
+                    .collect();
+                cellscope_core::stats::mean(&vals)
+            };
+            (
+                week,
+                mean_of(&gyration_daily_pct),
+                mean_of(&entropy_daily_pct),
+            )
+        })
+        .collect();
+    GroupMobility {
+        group: label,
+        gyration_daily_pct,
+        entropy_daily_pct,
+        weekly,
+    }
+}
+
+/// Fig. 5: the five study regions' mobility vs the national average.
+pub fn fig5(ds: &StudyDataset) -> Vec<GroupMobility> {
+    County::STUDY_REGIONS
+        .iter()
+        .map(|&c| group_mobility(ds, MetricGroup::County(c), c.name().to_string()))
+        .collect()
+}
+
+/// Fig. 6: the eight OAC clusters' mobility vs the national average.
+pub fn fig6(ds: &StudyDataset) -> Vec<GroupMobility> {
+    OacCluster::ALL
+        .iter()
+        .map(|&c| group_mobility(ds, MetricGroup::Cluster(c), c.name().to_string()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 — the Inner-London mobility matrix
+// ---------------------------------------------------------------------
+
+/// Fig. 7: daily Δ% of Inner-London residents present per county.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7 {
+    /// (county name, daily Δ% vs week-9 median), Inner London first,
+    /// then the top receiving counties by week-9 volume.
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
+}
+
+/// Build Fig. 7.
+pub fn fig7(ds: &StudyDataset) -> Fig7 {
+    let mut rows = Vec::new();
+    let week9 = ds.baseline_week();
+    rows.push((
+        County::InnerLondon.name().to_string(),
+        ds.matrix.delta_row(&County::InnerLondon, &ds.clock, week9),
+    ));
+    for county in ds
+        .matrix
+        .top_places(&ds.clock, week9, 10, Some(&County::InnerLondon))
+    {
+        rows.push((
+            county.name().to_string(),
+            ds.matrix.delta_row(&county, &ds.clock, week9),
+        ));
+    }
+    Fig7 { rows }
+}
+
+// ---------------------------------------------------------------------
+// Figures 8–12 — network KPIs
+// ---------------------------------------------------------------------
+
+/// One KPI line: weekly Δ% vs the national week-9 median.
+#[derive(Debug, Clone, Serialize)]
+pub struct KpiLine {
+    /// Region/cluster/district label.
+    pub label: String,
+    /// (week, Δ%).
+    pub weekly_pct: Vec<(u8, Option<f64>)>,
+}
+
+/// A figure panel: one metric, several lines.
+#[derive(Debug, Clone, Serialize)]
+pub struct KpiPanel {
+    /// The metric.
+    pub field: KpiField,
+    /// Panel title (as in the paper's figures).
+    pub title: String,
+    /// The lines.
+    pub lines: Vec<KpiLine>,
+}
+
+/// Weekly Δ% of `field` medians over `cells` (None = all cells), against
+/// the line's own week-9 median. The paper's Figs. 8–12 normalize each
+/// line so week 9 sits at 0 (all regions' DL volume starts in the same
+/// +9…+17% band in week 10), which requires per-line baselines.
+fn kpi_weekly(
+    ds: &StudyDataset,
+    field: KpiField,
+    cells: Option<&HashSet<u32>>,
+) -> Vec<(u8, Option<f64>)> {
+    let num_days = ds.clock.num_days();
+    let daily = match cells {
+        None => ds.kpi.daily_median(field, num_days, |_| true),
+        Some(set) => ds.kpi.daily_median(field, num_days, |c| set.contains(&c)),
+    };
+    let baseline = {
+        let wk9: Vec<f64> = ds
+            .clock
+            .days_in_week(ds.baseline_week())
+            .filter_map(|d| daily[d as usize])
+            .collect();
+        cellscope_core::stats::median(&wk9)
+    };
+    figure_weeks()
+        .into_iter()
+        .map(|week| {
+            let vals: Vec<f64> = ds
+                .clock
+                .days_in_week(wk(week))
+                .filter_map(|d| daily[d as usize])
+                .collect();
+            let delta = match (cellscope_core::stats::median(&vals), baseline) {
+                (Some(v), Some(b)) => delta_pct(v, b),
+                _ => None,
+            };
+            (week, delta)
+        })
+        .collect()
+}
+
+fn panel(
+    ds: &StudyDataset,
+    field: KpiField,
+    lines: &[(String, Option<HashSet<u32>>)],
+) -> KpiPanel {
+    KpiPanel {
+        field,
+        title: field.title().to_string(),
+        lines: lines
+            .iter()
+            .map(|(label, cells)| KpiLine {
+                label: label.clone(),
+                weekly_pct: kpi_weekly(ds, field, cells.as_ref()),
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 8: the all-traffic KPI panels for the UK plus the five regions.
+pub fn fig8(ds: &StudyDataset) -> Vec<KpiPanel> {
+    let mut lines: Vec<(String, Option<HashSet<u32>>)> =
+        vec![("UK - all regions".to_string(), None)];
+    for county in County::STUDY_REGIONS {
+        lines.push((
+            county.name().to_string(),
+            Some(ds.cells_in_county(county).into_iter().collect()),
+        ));
+    }
+    [
+        KpiField::DlVolume,
+        KpiField::UlVolume,
+        KpiField::ActiveDlUsers,
+        KpiField::UserDlThroughput,
+        KpiField::TtiUtilization,
+        KpiField::ConnectedUsers,
+    ]
+    .into_iter()
+    .map(|f| panel(ds, f, &lines))
+    .collect()
+}
+
+/// Fig. 9: the 4G voice (QCI 1) panels, UK-wide, plus the 90th
+/// percentile of voice volume whose spike the paper highlights.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9 {
+    /// Voice panels (volume, simultaneous users, UL loss, DL loss).
+    pub panels: Vec<KpiPanel>,
+    /// Weekly Δ% of the 90th-percentile voice volume across cells.
+    pub volume_p90_weekly_pct: Vec<(u8, Option<f64>)>,
+}
+
+/// Build Fig. 9.
+pub fn fig9(ds: &StudyDataset) -> Fig9 {
+    let uk: Vec<(String, Option<HashSet<u32>>)> = vec![("UK".to_string(), None)];
+    let panels = [
+        KpiField::VoiceVolume,
+        KpiField::VoiceUsers,
+        KpiField::VoiceUlLoss,
+        KpiField::VoiceDlLoss,
+    ]
+    .into_iter()
+    .map(|f| panel(ds, f, &uk))
+    .collect();
+
+    // p90 series vs its own week-9 baseline.
+    let num_days = ds.clock.num_days();
+    let p90_daily = ds
+        .kpi
+        .daily_percentile(KpiField::VoiceVolume, 90.0, num_days, |_| true);
+    let base = {
+        let wk9: Vec<f64> = ds
+            .clock
+            .days_in_week(ds.baseline_week())
+            .filter_map(|d| p90_daily[d as usize])
+            .collect();
+        cellscope_core::stats::median(&wk9)
+    };
+    let volume_p90_weekly_pct = figure_weeks()
+        .into_iter()
+        .map(|week| {
+            let vals: Vec<f64> = ds
+                .clock
+                .days_in_week(wk(week))
+                .filter_map(|d| p90_daily[d as usize])
+                .collect();
+            let delta = match (cellscope_core::stats::median(&vals), base) {
+                (Some(v), Some(b)) => delta_pct(v, b),
+                _ => None,
+            };
+            (week, delta)
+        })
+        .collect();
+    Fig9 {
+        panels,
+        volume_p90_weekly_pct,
+    }
+}
+
+/// Fig. 10: KPI panels per OAC cluster, plus the users↔DL-volume
+/// correlations of Section 4.4.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10 {
+    /// Panels (DL volume, total users, UL volume, active users).
+    pub panels: Vec<KpiPanel>,
+    /// (cluster, Pearson r between daily total users and DL volume).
+    pub user_volume_correlation: Vec<(String, Option<f64>)>,
+}
+
+/// Build Fig. 10.
+pub fn fig10(ds: &StudyDataset) -> Fig10 {
+    let lines: Vec<(String, Option<HashSet<u32>>)> = OacCluster::ALL
+        .iter()
+        .map(|&c| {
+            (
+                c.name().to_string(),
+                Some(ds.cells_in_cluster(c).into_iter().collect::<HashSet<u32>>()),
+            )
+        })
+        .collect();
+    let panels = [
+        KpiField::DlVolume,
+        KpiField::ConnectedUsers,
+        KpiField::UlVolume,
+        KpiField::ActiveDlUsers,
+    ]
+    .into_iter()
+    .map(|f| panel(ds, f, &lines))
+    .collect();
+
+    let num_days = ds.clock.num_days();
+    let user_volume_correlation = OacCluster::ALL
+        .iter()
+        .map(|&cluster| {
+            let set: HashSet<u32> = ds.cells_in_cluster(cluster).into_iter().collect();
+            let users: Vec<Option<f64>> =
+                ds.kpi
+                    .daily_median(KpiField::ConnectedUsers, num_days, |c| set.contains(&c));
+            let dl: Vec<Option<f64>> =
+                ds.kpi
+                    .daily_median(KpiField::DlVolume, num_days, |c| set.contains(&c));
+            let pairs: Vec<(f64, f64)> = users
+                .iter()
+                .zip(&dl)
+                .filter_map(|(u, d)| Some((u.as_ref().copied()?, d.as_ref().copied()?)))
+                .collect();
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            (cluster.name().to_string(), pearson(&xs, &ys))
+        })
+        .collect();
+    Fig10 {
+        panels,
+        user_volume_correlation,
+    }
+}
+
+/// Fig. 11: KPI panels per Inner-London postal district.
+pub fn fig11(ds: &StudyDataset) -> Vec<KpiPanel> {
+    let lines: Vec<(String, Option<HashSet<u32>>)> = LondonDistrict::ALL
+        .iter()
+        .map(|&d| {
+            (
+                d.code().to_string(),
+                Some(ds.cells_in_district(d).into_iter().collect::<HashSet<u32>>()),
+            )
+        })
+        .collect();
+    [
+        KpiField::DlVolume,
+        KpiField::UlVolume,
+        KpiField::ConnectedUsers,
+        KpiField::ActiveDlUsers,
+        KpiField::TtiUtilization,
+    ]
+    .into_iter()
+    .map(|f| panel(ds, f, &lines))
+    .collect()
+}
+
+/// Fig. 12: KPI panels per OAC cluster *within Inner London*.
+pub fn fig12(ds: &StudyDataset) -> Vec<KpiPanel> {
+    let london_clusters = [
+        OacCluster::Cosmopolitans,
+        OacCluster::EthnicityCentral,
+        OacCluster::MulticulturalMetropolitans,
+    ];
+    let lines: Vec<(String, Option<HashSet<u32>>)> = london_clusters
+        .iter()
+        .map(|&cl| {
+            let set: HashSet<u32> = ds
+                .cell_geo
+                .iter()
+                .enumerate()
+                .filter(|(_, (county, cluster, _))| {
+                    *county == County::InnerLondon && *cluster == cl
+                })
+                .map(|(i, _)| i as u32)
+                .collect();
+            (cl.name().to_string(), Some(set))
+        })
+        .collect();
+    [
+        KpiField::DlVolume,
+        KpiField::UlVolume,
+        KpiField::ActiveDlUsers,
+        KpiField::UserDlThroughput,
+    ]
+    .into_iter()
+    .map(|f| panel(ds, f, &lines))
+    .collect()
+}
+
+// ---------------------------------------------------------------------
+// Headline numbers
+// ---------------------------------------------------------------------
+
+/// The abstract/conclusion headline statistics, paper-vs-measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct Headline {
+    /// Peak national mobility (gyration) drop, % (paper: ≈ −50%).
+    pub gyration_trough_pct: Option<f64>,
+    /// Peak national entropy drop, % (smaller than gyration per paper).
+    pub entropy_trough_pct: Option<f64>,
+    /// UK DL volume Δ% in week 17 (paper: −24%).
+    pub dl_volume_week17_pct: Option<f64>,
+    /// UK DL volume Δ% in week 10 (paper: +8%).
+    pub dl_volume_week10_pct: Option<f64>,
+    /// UK radio load Δ% in week 16 (paper: −15.1%).
+    pub radio_load_week16_pct: Option<f64>,
+    /// Peak voice-volume Δ% (paper: ≈ +140% weekly median, 150% peak).
+    pub voice_volume_peak_pct: Option<f64>,
+    /// Peak voice DL loss Δ% (paper: > +100% in weeks 10–12).
+    pub voice_dl_loss_peak_pct: Option<f64>,
+    /// Inner-London residents absent from week 13 on, % (paper: ≈10%).
+    pub london_absent_pct: Option<f64>,
+    /// Share of dwell time on 4G (paper: ≈75%).
+    pub rat_4g_share: f64,
+    /// Fig. 2 validation r² (paper: 0.955).
+    pub home_validation_r2: Option<f64>,
+    /// UK user throughput trough Δ% (paper: ≥ −10%).
+    pub throughput_trough_pct: Option<f64>,
+    /// UK uplink volume range across weeks 10–19 (paper: −7%…+1.5%).
+    pub ul_volume_range_pct: (Option<f64>, Option<f64>),
+}
+
+/// Compute the headline statistics.
+pub fn headline(ds: &StudyDataset) -> Headline {
+    let f3 = fig3(ds);
+    let trough = |series: &[Option<f64>]| -> Option<f64> {
+        series
+            .iter()
+            .flatten()
+            .copied()
+            .min_by(|a, b| a.total_cmp(b))
+    };
+    // Only consider the analysis window (week >= 9).
+    let start = ds.clock.day_of(Date::ymd(2020, 2, 24)).unwrap() as usize;
+
+    let dl = kpi_weekly(ds, KpiField::DlVolume, None);
+    let tti = kpi_weekly(ds, KpiField::TtiUtilization, None);
+    let voice = kpi_weekly(ds, KpiField::VoiceVolume, None);
+    let dl_loss = kpi_weekly(ds, KpiField::VoiceDlLoss, None);
+    let tput = kpi_weekly(ds, KpiField::UserDlThroughput, None);
+    let ul = kpi_weekly(ds, KpiField::UlVolume, None);
+    let at_week = |series: &[(u8, Option<f64>)], week: u8| -> Option<f64> {
+        series.iter().find(|(w, _)| *w == week).and_then(|(_, v)| *v)
+    };
+    let peak = |series: &[(u8, Option<f64>)]| -> Option<f64> {
+        series
+            .iter()
+            .filter_map(|(_, v)| *v)
+            .max_by(|a, b| a.total_cmp(b))
+    };
+    let trough_w = |series: &[(u8, Option<f64>)]| -> Option<f64> {
+        series
+            .iter()
+            .filter(|(w, _)| *w >= 10)
+            .filter_map(|(_, v)| *v)
+            .min_by(|a, b| a.total_cmp(b))
+    };
+
+    // London absence: mean Inner-London row value from week 13 on.
+    let f7 = fig7(ds);
+    let london_absent_pct = f7.rows.first().and_then(|(_, row)| {
+        let week13_start = ds.clock.day_of(Date::ymd(2020, 3, 23)).unwrap() as usize;
+        let vals: Vec<f64> = row[week13_start..].iter().flatten().copied().collect();
+        cellscope_core::stats::mean(&vals).map(|v| -v)
+    });
+
+    Headline {
+        gyration_trough_pct: trough(&f3.gyration_daily_pct[start..]),
+        entropy_trough_pct: trough(&f3.entropy_daily_pct[start..]),
+        dl_volume_week17_pct: at_week(&dl, 17),
+        dl_volume_week10_pct: at_week(&dl, 10),
+        radio_load_week16_pct: at_week(&tti, 16),
+        voice_volume_peak_pct: peak(&voice),
+        voice_dl_loss_peak_pct: peak(&dl_loss),
+        london_absent_pct,
+        rat_4g_share: ds.rat_dwell_share[2],
+        home_validation_r2: fig2(ds).fit.map(|f| f.r2),
+        throughput_trough_pct: trough_w(&tput),
+        ul_volume_range_pct: (trough_w(&ul), peak(&ul)),
+    }
+}
+
+/// Table 1 as data: the eight clusters with name, definition, and the
+/// number of zones of each cluster in this study's synthetic country.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Cluster name.
+    pub name: String,
+    /// Table 1 definition.
+    pub definition: String,
+    /// Cells labelled with the cluster in this run.
+    pub cells: usize,
+}
+
+/// Build Table 1 (with per-cluster deployment counts as evidence the
+/// synthetic country instantiates every cluster).
+pub fn table1(ds: &StudyDataset) -> Vec<Table1Row> {
+    OacCluster::ALL
+        .iter()
+        .map(|&c| Table1Row {
+            name: c.name().to_string(),
+            definition: c.definition().to_string(),
+            cells: ds.cells_in_cluster(c).len(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_study, ScenarioConfig, StudyDataset};
+    use std::sync::OnceLock;
+
+    fn ds() -> &'static StudyDataset {
+        static DS: OnceLock<StudyDataset> = OnceLock::new();
+        DS.get_or_init(|| run_study(&ScenarioConfig::tiny(5)))
+    }
+
+    #[test]
+    fn table1_lists_all_clusters_with_cells() {
+        let rows = table1(ds());
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert!(!row.name.is_empty() && !row.definition.is_empty());
+            assert!(row.cells > 0, "{} has no cells", row.name);
+        }
+    }
+
+    #[test]
+    fn fig2_points_cover_every_lad() {
+        let f = fig2(ds());
+        assert!(!f.points.is_empty());
+        // Census populations are positive and labels unique.
+        let mut labels: Vec<&String> = f.points.iter().map(|(l, _, _)| l).collect();
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+        assert!(f.points.iter().all(|(_, census, _)| *census > 0));
+    }
+
+    #[test]
+    fn fig3_series_are_day_aligned() {
+        let f = fig3(ds());
+        let days = ds().clock.num_days();
+        assert_eq!(f.gyration_daily_pct.len(), days);
+        assert_eq!(f.entropy_daily_pct.len(), days);
+        assert_eq!(f.gyration_percentiles.len(), days);
+        // Percentile bands are ordered p10 <= p50 <= p90.
+        for band in f.gyration_percentiles.iter().flatten() {
+            assert!(band.0 <= band.1 && band.1 <= band.2, "{band:?}");
+        }
+        // Weekly covers weeks 9-19.
+        let weeks: Vec<u8> = f.weekly.iter().map(|(w, _, _)| *w).collect();
+        assert_eq!(weeks, figure_weeks());
+    }
+
+    #[test]
+    fn fig4_points_sorted_and_monotone_in_cases() {
+        let f = fig4(ds());
+        for pair in f.points.windows(2) {
+            assert!(pair[0].day < pair[1].day);
+            assert!(pair[0].cumulative_cases <= pair[1].cumulative_cases);
+        }
+    }
+
+    #[test]
+    fn fig5_fig6_groups_complete() {
+        let f5 = fig5(ds());
+        assert_eq!(f5.len(), 5);
+        let f6 = fig6(ds());
+        assert_eq!(f6.len(), 8);
+        for g in f5.iter().chain(&f6) {
+            assert_eq!(g.gyration_daily_pct.len(), ds().clock.num_days());
+            assert_eq!(g.weekly.len(), figure_weeks().len());
+        }
+    }
+
+    #[test]
+    fn fig7_rows_start_with_inner_london() {
+        let f = fig7(ds());
+        assert_eq!(f.rows[0].0, "Inner London");
+        assert!(f.rows.len() >= 2, "matrix needs destination rows");
+        for (_, row) in &f.rows {
+            assert_eq!(row.len(), ds().clock.num_days());
+        }
+    }
+
+    #[test]
+    fn fig8_panels_and_lines_complete() {
+        let panels = fig8(ds());
+        assert_eq!(panels.len(), 6);
+        for p in &panels {
+            assert_eq!(p.lines.len(), 6, "UK + 5 regions in {}", p.title);
+            assert_eq!(p.lines[0].label, "UK - all regions");
+            for line in &p.lines {
+                assert_eq!(line.weekly_pct.len(), figure_weeks().len());
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_panels_complete() {
+        let f = fig9(ds());
+        assert_eq!(f.panels.len(), 4);
+        assert_eq!(f.volume_p90_weekly_pct.len(), figure_weeks().len());
+    }
+
+    #[test]
+    fn fig10_correlations_in_range() {
+        let f = fig10(ds());
+        assert_eq!(f.user_volume_correlation.len(), 8);
+        for (name, r) in &f.user_volume_correlation {
+            if let Some(r) = r {
+                assert!((-1.0..=1.0).contains(r), "{name}: r = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_fig12_have_expected_lines() {
+        let f11 = fig11(ds());
+        assert!(f11.iter().all(|p| p.lines.len() == 8));
+        let f12 = fig12(ds());
+        assert!(f12.iter().all(|p| p.lines.len() == 3));
+    }
+
+    #[test]
+    fn figures_serialize_to_json() {
+        // The repro binary exports every figure as JSON; the structures
+        // must serialize cleanly.
+        let d = ds();
+        for value in [
+            serde_json::to_value(fig2(d)).unwrap(),
+            serde_json::to_value(fig3(d)).unwrap(),
+            serde_json::to_value(fig4(d)).unwrap(),
+            serde_json::to_value(fig7(d)).unwrap(),
+            serde_json::to_value(fig9(d)).unwrap(),
+            serde_json::to_value(headline(d)).unwrap(),
+        ] {
+            assert!(value.is_object() || value.is_array());
+        }
+    }
+
+    #[test]
+    fn bin_profile_shows_commute_collapse() {
+        let profile = bin_profile(ds());
+        assert_eq!(profile.bins.len(), 6);
+        let delta = |name: &str| -> f64 {
+            profile
+                .bins
+                .iter()
+                .find(|(n, _, _, _)| n == name)
+                .and_then(|(_, _, _, d)| *d)
+                .unwrap_or(0.0)
+        };
+        // The commuting/daytime bins collapse far harder than the night
+        // bin (whose residents were home in both worlds).
+        assert!(delta("Morning") < -30.0, "Morning {}", delta("Morning"));
+        assert!(
+            delta("Morning") < delta("Night") - 15.0,
+            "Morning {} vs Night {}",
+            delta("Morning"),
+            delta("Night")
+        );
+    }
+
+    #[test]
+    fn headline_fields_present() {
+        let h = headline(ds());
+        assert!(h.gyration_trough_pct.is_some());
+        assert!(h.voice_volume_peak_pct.is_some());
+        assert!(h.home_validation_r2.is_some());
+        assert!(h.rat_4g_share > 0.5);
+    }
+}

@@ -1,0 +1,29 @@
+//! End-to-end study runner.
+//!
+//! Wires every layer together the way the paper's measurement campaign
+//! did: build the country and the radio network, synthesize the
+//! subscriber base, simulate the study window day by day (trajectories →
+//! signaling events → reconstructed dwell → mobility metrics; presence ×
+//! demand → offered load → radio KPIs; voice → interconnect), and
+//! assemble a [`dataset::StudyDataset`] from which [`figures`]
+//! regenerates every table and figure of the evaluation.
+//!
+//! * [`config`] — scenario parameters and scale presets;
+//! * [`world`] — the static world (geography, topology, population);
+//! * [`run`] — the two-phase parallel day loop;
+//! * [`dataset`] — the collected study data;
+//! * [`figures`] — one builder per paper figure (Fig. 2 … Fig. 12)
+//!   plus the headline statistics of the abstract/conclusions;
+//! * [`variants`] — the canonical counterfactual/ablation arms.
+
+pub mod config;
+pub mod dataset;
+pub mod figures;
+pub mod run;
+pub mod variants;
+pub mod world;
+
+pub use config::ScenarioConfig;
+pub use dataset::StudyDataset;
+pub use run::run_study;
+pub use world::World;

@@ -1,0 +1,566 @@
+//! The two-phase study runner.
+//!
+//! **Phase A** (parallel over subscribers) replays every subscriber-day
+//! through the paper's mobility pipeline: trajectory → signaling events
+//! → dwell reconstruction → top-20 towers → entropy/gyration → group
+//! accumulators, plus February night dwell for home detection and daily
+//! county-presence masks for the mobility matrix.
+//!
+//! **Phase B** (parallel over days) replays the same days through the
+//! traffic pipeline: presence × demand → per-cell hourly offered load →
+//! radio scheduler → per-cell-day KPI medians, plus the national voice
+//! volume offered to the interconnect.
+//!
+//! A final sequential pass steps the interconnect state machine through
+//! the days (its operations response is stateful) and adds its daily DL
+//! loss to every cell-day voice record.
+
+use crate::config::ScenarioConfig;
+use crate::dataset::{HomeValidationPoint, MetricGroup, StudyDataset, UserInfo};
+use crate::world::World;
+use cellscope_core::kpi_stats::{CellDayMetrics, HourlyKpiSample};
+use cellscope_core::study::{MobilityStudy, StudyConfig, UserDayDwell};
+use cellscope_core::{top_n_towers, DailyGroupMean, KpiTable, MobilityMatrix, TowerDwell};
+use cellscope_geo::County;
+use cellscope_mobility::{Subscriber, TrajectoryGenerator};
+use cellscope_radio::{
+    CellHourKpi, Interconnect, InterconnectConfig, Rat, Scheduler, SchedulerConfig,
+};
+use cellscope_signaling::{reconstruct_dwell, EventGenerator};
+use cellscope_time::DayBin;
+use cellscope_traffic::{DayLoadGrid, DemandModel, LoadGenerator, ThrottlePolicy, VoiceModel};
+
+/// Run the full study for a configuration.
+pub fn run_study(config: &ScenarioConfig) -> StudyDataset {
+    let world = World::build(config);
+    run_study_in(config, &world)
+}
+
+/// Run the study over a pre-built world (lets callers keep the world
+/// for further interrogation).
+pub fn run_study_in(config: &ScenarioConfig, world: &World) -> StudyDataset {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        config.threads
+    };
+
+    let phase_a = run_phase_a(config, world, threads);
+    let scale = calibrate_traffic_scale(config, world);
+    let (kpi, voice_daily) = run_phase_b(config, world, threads, scale);
+    assemble(config, world, phase_a, kpi, voice_daily)
+}
+
+/// Per-thread output of phase A.
+struct PhaseA {
+    /// The paper's mobility methodology, driven exactly as a real-data
+    /// consumer would drive it (see [`cellscope_core::study`]).
+    study: MobilityStudy<MetricGroup>,
+    gyration_by_bin: DailyGroupMean<DayBin>,
+    /// County-presence bitmask per (subscriber, day), county-index bit
+    /// set when the user's top-20 towers touch that county; row-major
+    /// over the thread's contiguous subscriber range.
+    county_masks: Vec<u32>,
+    rat_minutes: [u64; 3],
+}
+
+fn run_phase_a(config: &ScenarioConfig, world: &World, threads: usize) -> PhaseA {
+    let num_days = world.num_days();
+    let subs = world.population.subscribers();
+    let chunk_size = subs.len().div_ceil(threads.max(1));
+
+    let mut partials: Vec<PhaseA> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in subs.chunks(chunk_size.max(1)) {
+            handles.push(scope.spawn(move |_| phase_a_chunk(config, world, chunk)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("phase A worker panicked"))
+            .collect()
+    })
+    .expect("phase A scope");
+
+    // Merge in chunk order so county_masks stays aligned with ids.
+    let mut study = MobilityStudy::new(StudyConfig::default(), num_days);
+    study.finish(); // empty shell, ready to absorb finished partials
+    let mut merged = PhaseA {
+        study,
+        gyration_by_bin: DailyGroupMean::new(num_days),
+        county_masks: Vec::with_capacity(subs.len() * num_days),
+        rat_minutes: [0; 3],
+    };
+    for mut p in partials.drain(..) {
+        p.study.finish();
+        merged.study.merge(p.study);
+        merged.gyration_by_bin.merge(p.gyration_by_bin);
+        merged.county_masks.append(&mut p.county_masks);
+        for (a, b) in merged.rat_minutes.iter_mut().zip(p.rat_minutes) {
+            *a += b;
+        }
+    }
+    merged
+}
+
+fn phase_a_chunk(config: &ScenarioConfig, world: &World, chunk: &[Subscriber]) -> PhaseA {
+    let num_days = world.num_days();
+    let trajgen =
+        TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
+    let eventgen = EventGenerator::new(
+        &world.topo,
+        &world.catalog,
+        world.anonymizer,
+        config.events,
+    );
+    let february: Vec<u16> = world.clock.february_days();
+    let feb_set: Vec<bool> = {
+        let mut v = vec![false; num_days];
+        for &d in &february {
+            v[d as usize] = true;
+        }
+        v
+    };
+
+    let mut out = PhaseA {
+        study: MobilityStudy::new(StudyConfig::default(), num_days),
+        gyration_by_bin: DailyGroupMean::new(num_days),
+        county_masks: vec![0u32; chunk.len() * num_days],
+        rat_minutes: [0; 3],
+    };
+    let mut site_minutes: Vec<(u32, u16, u16)> = Vec::new(); // (site, mins, night mins)
+    let mut bin_site_minutes: Vec<(DayBin, u32, u16)> = Vec::new(); // (bin, site, mins)
+
+    for (local, sub) in chunk.iter().enumerate() {
+        // Feed-side study filter: smartphone TAC + native PLMN
+        // (Section 2.3) — decided from what the probe records expose.
+        let in_study = world.catalog.is_smartphone(eventgen.tac_of(sub))
+            && eventgen.plmn_of(sub) == (cellscope_signaling::event::UK_MCC, cellscope_signaling::event::HOME_MNC);
+        if !in_study {
+            continue;
+        }
+        let anon = world.anonymizer.anon_id(sub.id.0);
+        let home_zone = world.geo.zone(sub.home_zone);
+        let groups = [
+            MetricGroup::National,
+            MetricGroup::County(home_zone.county),
+            MetricGroup::Cluster(home_zone.cluster),
+        ];
+
+        for day in world.clock.days() {
+            let traj = trajgen.generate(sub, day);
+            site_minutes.clear();
+            bin_site_minutes.clear();
+
+            if config.use_event_reconstruction {
+                let events = eventgen.generate(sub, &traj);
+                if events.is_empty() {
+                    continue; // device unreachable today
+                }
+                for rec in reconstruct_dwell(&events) {
+                    let cell = world.topo.cell(rec.cell);
+                    out.rat_minutes[cell.rat as usize] += rec.minutes as u64;
+                    let night = if rec.bin.is_night_window() {
+                        rec.minutes
+                    } else {
+                        0
+                    };
+                    push_site_minutes(&mut site_minutes, cell.site.0, rec.minutes, night);
+                    bin_site_minutes.push((rec.bin, cell.site.0, rec.minutes));
+                }
+            } else {
+                if traj.visits.is_empty() {
+                    continue;
+                }
+                for v in &traj.visits {
+                    let night = if v.bin.is_night_window() { v.minutes } else { 0 };
+                    push_site_minutes(&mut site_minutes, v.site.0, v.minutes, night);
+                    out.rat_minutes[Rat::G4 as usize] += v.minutes as u64;
+                    bin_site_minutes.push((v.bin, v.site.0, v.minutes));
+                }
+            }
+
+            // Tower dwell -> the paper's methodology (top-20 filter,
+            // entropy, gyration, distributions, night log) — all inside
+            // MobilityStudy, the same object a real-data consumer drives.
+            let dwell: Vec<TowerDwell> = site_minutes
+                .iter()
+                .map(|&(site, mins, _)| TowerDwell {
+                    tower: site,
+                    location: world.topo.site(cellscope_radio::SiteId(site)).location,
+                    seconds: mins as f64 * 60.0,
+                })
+                .collect();
+            let night_pairs: Vec<(u32, u16)> = if feb_set[day as usize] {
+                site_minutes
+                    .iter()
+                    .filter(|&&(_, _, night)| night > 0)
+                    .map(|&(site, _, night)| (site, night))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            out.study.ingest(
+                UserDayDwell {
+                    user: anon,
+                    day,
+                    dwell: &dwell,
+                    night_minutes: &night_pairs,
+                },
+                &groups,
+            );
+
+            // Per-bin gyration (Section 2.3 computes the metrics over
+            // the six 4-hour bins too) — national aggregate only.
+            for bin in DayBin::ALL {
+                let bin_dwell: Vec<TowerDwell> = bin_site_minutes
+                    .iter()
+                    .filter(|&&(b, _, _)| b == bin)
+                    .map(|&(_, site, mins)| TowerDwell {
+                        tower: site,
+                        location: world.topo.site(cellscope_radio::SiteId(site)).location,
+                        seconds: mins as f64 * 60.0,
+                    })
+                    .collect();
+                if let Some(g_bin) = cellscope_core::radius_of_gyration(&bin_dwell) {
+                    out.gyration_by_bin.add(bin, day, g_bin);
+                }
+            }
+
+            // County presence mask (for the mobility matrix), over the
+            // same top-20 tower set the metrics use.
+            let top = top_n_towers(&dwell, 20);
+            let mut mask = 0u32;
+            for t in &top {
+                let zone = world.topo.site(cellscope_radio::SiteId(t.tower)).zone;
+                mask |= 1 << world.geo.zone(zone).county.index();
+            }
+            out.county_masks[local * num_days + day as usize] = mask;
+        }
+    }
+    out
+}
+
+fn push_site_minutes(acc: &mut Vec<(u32, u16, u16)>, site: u32, minutes: u16, night: u16) {
+    for entry in acc.iter_mut() {
+        if entry.0 == site {
+            entry.1 += minutes;
+            entry.2 += night;
+            return;
+        }
+    }
+    acc.push((site, minutes, night));
+}
+
+/// Determine how many real subscribers one synthetic subscriber stands
+/// for: replay one baseline weekday at scale 1 and match the median
+/// peak-hour downlink utilization of used cells to the configured
+/// target. Without this, a subsampled population would leave realistic
+/// cell capacities idle and flatten every load-derived KPI.
+fn calibrate_traffic_scale(config: &ScenarioConfig, world: &World) -> f64 {
+    let day = world
+        .clock
+        .day_of(cellscope_time::Date::ymd(2020, 2, 25))
+        .expect("baseline Tuesday inside study window");
+    let date = world.clock.date(day);
+    let trajgen =
+        TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
+    let loadgen = load_generator(config, 1.0);
+    let mut grid = DayLoadGrid::new(world.topo.cells().len());
+    for sub in world.population.subscribers() {
+        let traj = trajgen.generate(sub, day);
+        loadgen.accumulate(sub, &traj, date, 0.0, 0.0, &world.topo, &mut grid);
+    }
+    let usable = SchedulerConfig::default().usable_capacity_fraction;
+    let mut peak_rhos: Vec<f64> = Vec::new();
+    for cell in world.topo.cells() {
+        if cell.rat != Rat::G4 || !cell.is_active(day) {
+            continue;
+        }
+        let cap_mb = cell.capacity.dl_mb_per_hour() * usable;
+        let mut peak = 0.0f64;
+        let mut used = false;
+        for hour in 0..24 {
+            let load = grid.get(cell.id.index(), hour);
+            if load.connected_users > 0.0 {
+                used = true;
+            }
+            peak = peak.max((load.offered_dl_mb + load.voice.volume_mb) / cap_mb);
+        }
+        if used && peak > 0.0 {
+            peak_rhos.push(peak);
+        }
+    }
+    let median = cellscope_core::stats::median(&peak_rhos).unwrap_or(1.0);
+    if median <= 0.0 {
+        1.0
+    } else {
+        config.target_peak_utilization / median
+    }
+}
+
+/// The load generator for a configuration: all policy-reactive traffic
+/// models follow the scenario's timeline. `scale` is the population
+/// weight (1.0 = raw per-subscriber loads; the runner calibrates it via
+/// [`run_study_in`]'s calibration pass).
+pub fn load_generator(config: &ScenarioConfig, scale: f64) -> LoadGenerator {
+    LoadGenerator {
+        demand: DemandModel {
+            timeline: config.timeline,
+            ..DemandModel::default()
+        },
+        voice: VoiceModel {
+            timeline: config.timeline,
+            ..VoiceModel::default()
+        },
+        // Content providers reduced quality as venues closed (the EU
+        // request of Mar 19, the day before the closures).
+        throttle: {
+            let mut throttle = ThrottlePolicy {
+                effective_from: config.timeline.closures.add_days(-1),
+                ..ThrottlePolicy::default()
+            };
+            if !config.content_throttling {
+                throttle.throttled_mbps = throttle.baseline_mbps;
+            }
+            throttle
+        },
+        scale,
+    }
+}
+
+fn run_phase_b(
+    config: &ScenarioConfig,
+    world: &World,
+    threads: usize,
+    scale: f64,
+) -> (KpiTable, Vec<f64>) {
+    let num_days = world.num_days();
+    let days: Vec<u16> = world.clock.days().collect();
+    let chunk_size = days.len().div_ceil(threads.max(1));
+
+    let partials: Vec<(KpiTable, Vec<(u16, f64)>)> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in days.chunks(chunk_size.max(1)) {
+            handles.push(scope.spawn(move |_| phase_b_chunk(config, world, chunk, scale)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("phase B worker panicked"))
+            .collect()
+    })
+    .expect("phase B scope");
+
+    let mut kpi = KpiTable::new();
+    let mut voice_daily = vec![0.0; num_days];
+    for (table, voices) in partials {
+        kpi.merge(table);
+        for (day, v) in voices {
+            voice_daily[day as usize] = v;
+        }
+    }
+    (kpi, voice_daily)
+}
+
+fn phase_b_chunk(
+    config: &ScenarioConfig,
+    world: &World,
+    days: &[u16],
+    scale: f64,
+) -> (KpiTable, Vec<(u16, f64)>) {
+    let trajgen =
+        TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
+    let loadgen = load_generator(config, scale);
+    let scheduler = Scheduler::new(SchedulerConfig::default());
+    let mut grid = DayLoadGrid::new(world.topo.cells().len());
+    let mut kpi = KpiTable::new();
+    let mut voices = Vec::with_capacity(days.len());
+    let mut hours_buf: Vec<HourlyKpiSample> = Vec::with_capacity(24);
+
+    for &day in days {
+        let date = world.clock.date(day);
+        let timeline = world.behavior.timeline();
+        let intensity = timeline.intensity(date);
+        // Ratchet: at-home WiFi settling does not unwind after lockdown.
+        let confinement = if date >= timeline.lockdown {
+            1.0
+        } else {
+            intensity
+        };
+        grid.clear();
+        for sub in world.population.subscribers() {
+            let traj = trajgen.generate(sub, day);
+            loadgen.accumulate(sub, &traj, date, intensity, confinement, &world.topo, &mut grid);
+        }
+        voices.push((day, loadgen.off_net_voice_mb(&grid)));
+
+        for cell in world.topo.cells() {
+            if cell.rat != Rat::G4 || !cell.is_active(day) {
+                continue;
+            }
+            let mut any_usage = false;
+            hours_buf.clear();
+            for hour in 0..24u8 {
+                let load = grid.get(cell.id.index(), hour as usize);
+                if load.connected_users > 0.0 {
+                    any_usage = true;
+                }
+                let radio = scheduler.serve(cell.capacity, load);
+                // Interconnect DL loss is added in the sequential pass;
+                // pass 0 here.
+                let kpi_hour = CellHourKpi::from_radio(cell.id, day, hour, &radio, 0.0);
+                hours_buf.push(HourlyKpiSample {
+                    dl_volume_mb: kpi_hour.dl_volume_mb,
+                    ul_volume_mb: kpi_hour.ul_volume_mb,
+                    active_dl_users: kpi_hour.active_dl_users,
+                    connected_users: kpi_hour.connected_users,
+                    user_dl_throughput_mbps: kpi_hour.user_dl_throughput_mbps,
+                    tti_utilization: kpi_hour.tti_utilization,
+                    voice_volume_mb: kpi_hour.voice.volume_mb,
+                    voice_users: kpi_hour.voice.simultaneous_users,
+                    voice_ul_loss: kpi_hour.voice.ul_loss_rate,
+                    voice_dl_loss: kpi_hour.voice.dl_loss_rate,
+                });
+            }
+            // Cells nobody camped on all day are coverage artifacts of
+            // the population subsample; real studies only see reporting
+            // cells with subscribers.
+            if any_usage {
+                if let Some(rec) = CellDayMetrics::from_hourly(cell.id.0, day, &hours_buf) {
+                    kpi.push(rec);
+                }
+            }
+        }
+    }
+    (kpi, voices)
+}
+
+fn assemble(
+    config: &ScenarioConfig,
+    world: &World,
+    phase_a: PhaseA,
+    mut kpi: KpiTable,
+    voice_daily: Vec<f64>,
+) -> StudyDataset {
+    let num_days = world.num_days();
+
+    // --- Home detection & validation -----------------------------------
+    let homes = phase_a.study.detect_homes();
+    let mut lad_counts: std::collections::BTreeMap<cellscope_geo::LadId, u32> =
+        std::collections::BTreeMap::new();
+
+    let mut users = Vec::with_capacity(world.population.len());
+    let eventgen = EventGenerator::new(
+        &world.topo,
+        &world.catalog,
+        world.anonymizer,
+        config.events,
+    );
+    for sub in world.population.subscribers() {
+        let z = world.geo.zone(sub.home_zone);
+        let anon = world.anonymizer.anon_id(sub.id.0);
+        let inferred_home_county = homes.get(&anon).map(|&site| {
+            let zone = world.topo.site(cellscope_radio::SiteId(site)).zone;
+            let zref = world.geo.zone(zone);
+            *lad_counts.entry(zref.lad).or_default() += 1;
+            zref.county
+        });
+        let in_study = world.catalog.is_smartphone(eventgen.tac_of(sub))
+            && sub.native;
+        users.push(UserInfo {
+            home_zone: sub.home_zone,
+            home_county: z.county,
+            home_cluster: z.cluster,
+            home_district: z.district,
+            in_study,
+            inferred_home_county,
+        });
+    }
+    let home_validation: Vec<HomeValidationPoint> = world
+        .geo
+        .lads()
+        .iter()
+        .map(|lad| HomeValidationPoint {
+            lad: lad.id,
+            census: lad.census_population,
+            inferred: lad_counts.get(&lad.id).copied().unwrap_or(0),
+        })
+        .collect();
+
+    // --- Mobility matrix over inferred Inner-London residents ----------
+    let mut matrix: MobilityMatrix<County> = MobilityMatrix::new(num_days);
+    for (idx, info) in users.iter().enumerate() {
+        if info.inferred_home_county != Some(County::InnerLondon) {
+            continue;
+        }
+        for day in 0..num_days {
+            let mask = phase_a.county_masks[idx * num_days + day];
+            if mask == 0 {
+                continue;
+            }
+            for c in County::ALL {
+                if mask & (1 << c.index()) != 0 {
+                    matrix.record(c, day as u16);
+                }
+            }
+        }
+    }
+
+    // --- Interconnect: calibrate on week 9, then replay the days -------
+    let week9: Vec<f64> = world
+        .clock
+        .days_in_week(cellscope_time::IsoWeek { year: 2020, week: 9 })
+        .map(|d| voice_daily[d as usize])
+        .collect();
+    let baseline_load =
+        cellscope_core::stats::mean(&week9).expect("week 9 observed");
+    let ic_config = InterconnectConfig {
+        capacity: baseline_load * config.interconnect_headroom,
+        ..config.interconnect
+    };
+    let mut interconnect = Interconnect::new(ic_config);
+    let interconnect_daily: Vec<_> = voice_daily
+        .iter()
+        .map(|&offered| interconnect.step(offered))
+        .collect();
+    // Spread each day's interconnect loss onto that day's voice DL loss.
+    for rec in kpi.records_mut() {
+        rec.voice_dl_loss += interconnect_daily[rec.day as usize].dl_loss_rate as f32;
+    }
+
+    // --- RAT dwell shares ----------------------------------------------
+    let total_rat: u64 = phase_a.rat_minutes.iter().sum();
+    let rat_dwell_share = if total_rat == 0 {
+        [0.0; 3]
+    } else {
+        [
+            phase_a.rat_minutes[0] as f64 / total_rat as f64,
+            phase_a.rat_minutes[1] as f64 / total_rat as f64,
+            phase_a.rat_minutes[2] as f64 / total_rat as f64,
+        ]
+    };
+
+    let study_population = users.iter().filter(|u| u.in_study).count();
+    let homes_detected = homes.len();
+    let (gyration, entropy, gyration_dist, _night) = phase_a.study.into_parts();
+
+    StudyDataset {
+        clock: world.clock,
+        users,
+        gyration,
+        entropy,
+        gyration_dist,
+        gyration_by_bin: phase_a.gyration_by_bin,
+        kpi,
+        cell_geo: world.cell_geo.clone(),
+        matrix,
+        home_validation,
+        interconnect_daily,
+        national_voice_daily: voice_daily,
+        cases: world.cases,
+        rat_dwell_share,
+        study_population,
+        homes_detected,
+    }
+}

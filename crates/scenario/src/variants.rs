@@ -1,0 +1,93 @@
+//! Canonical scenario variants: the counterfactual and ablation arms.
+//!
+//! Each function takes a base configuration and removes (or alters) one
+//! modelled mechanism, leaving everything else — including every seed —
+//! untouched, so differences between runs are attributable to that
+//! mechanism alone. The `ablation` binary and the integration tests both
+//! build their arms from here.
+
+use crate::config::ScenarioConfig;
+use cellscope_epidemic::Timeline;
+
+/// The control arm: no pandemic interventions ever happen. Mobility,
+/// demand, voice, relocation and throttling all read a quiet timeline.
+pub fn no_interventions(base: &ScenarioConfig) -> ScenarioConfig {
+    let mut cfg = base.clone();
+    cfg.timeline = Timeline::no_intervention();
+    cfg
+}
+
+/// Remove the Inner-London relocation wave (nobody acts on their
+/// secondary residence); everything else proceeds as in the base.
+pub fn no_relocation(base: &ScenarioConfig) -> ScenarioConfig {
+    let mut cfg = base.clone();
+    cfg.population.relocation_uptake = 0.0;
+    cfg
+}
+
+/// Network operations provision interconnect capacity within `days`
+/// of sustained congestion instead of the historical ~3 weeks.
+pub fn fast_ops_response(base: &ScenarioConfig, days: u16) -> ScenarioConfig {
+    let mut cfg = base.clone();
+    cfg.interconnect.response_delay_days = days;
+    cfg
+}
+
+/// Content providers never reduce quality: per-user throughput stays at
+/// the unthrottled application ceiling.
+pub fn no_content_throttling(base: &ScenarioConfig) -> ScenarioConfig {
+    let mut cfg = base.clone();
+    cfg.content_throttling = false;
+    cfg
+}
+
+/// The interconnect is dimensioned with `headroom`× the baseline
+/// off-net voice load (e.g. 4.0 = never congests under the surge).
+pub fn interconnect_headroom(base: &ScenarioConfig, headroom: f64) -> ScenarioConfig {
+    let mut cfg = base.clone();
+    cfg.interconnect_headroom = headroom;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_change_exactly_one_mechanism() {
+        let base = ScenarioConfig::tiny(9);
+
+        let v = no_interventions(&base);
+        assert_ne!(v.timeline, base.timeline);
+        assert_eq!(v.population.num_subscribers, base.population.num_subscribers);
+        assert_eq!(v.seed, base.seed);
+
+        let v = no_relocation(&base);
+        assert_eq!(v.population.relocation_uptake, 0.0);
+        assert_eq!(v.timeline, base.timeline);
+
+        let v = fast_ops_response(&base, 5);
+        assert_eq!(v.interconnect.response_delay_days, 5);
+        assert_eq!(v.interconnect_headroom, base.interconnect_headroom);
+
+        let v = no_content_throttling(&base);
+        assert!(!v.content_throttling);
+        assert!(base.content_throttling);
+
+        let v = interconnect_headroom(&base, 4.0);
+        assert_eq!(v.interconnect_headroom, 4.0);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        // The repro binary persists and reloads configurations; every
+        // knob must survive serialization.
+        let base = ScenarioConfig::small(123);
+        let json = serde_json::to_string(&base).expect("serialize");
+        let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert_eq!(back.seed, base.seed);
+        assert_eq!(back.population.num_subscribers, base.population.num_subscribers);
+        assert_eq!(back.timeline, base.timeline);
+    }
+}

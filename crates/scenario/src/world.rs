@@ -1,0 +1,96 @@
+//! The static world of one study run.
+
+use crate::config::ScenarioConfig;
+use cellscope_epidemic::CaseCurve;
+use cellscope_geo::{County, Geography, LondonDistrict, OacCluster};
+use cellscope_mobility::{BehaviorModel, Population};
+use cellscope_radio::Topology;
+use cellscope_signaling::{Anonymizer, TacCatalog};
+use cellscope_time::SimClock;
+
+/// Everything that exists before the first simulated day: the country,
+/// the radio network, the subscriber base, and the models that drive
+/// behaviour.
+pub struct World {
+    /// Synthetic UK.
+    pub geo: Geography,
+    /// Deployed radio network.
+    pub topo: Topology,
+    /// Subscriber base.
+    pub population: Population,
+    /// Policy-response behaviour model.
+    pub behavior: BehaviorModel,
+    /// National cumulative-case curve.
+    pub cases: CaseCurve,
+    /// Simulation clock (the paper's study window).
+    pub clock: SimClock,
+    /// GSMA-style device catalog.
+    pub catalog: TacCatalog,
+    /// Identity anonymizer.
+    pub anonymizer: Anonymizer,
+    /// Per-cell geography lookup: (county, cluster, district), indexed
+    /// by cell id — the NSPL-style join the KPI analysis needs.
+    pub cell_geo: Vec<(County, OacCluster, Option<LondonDistrict>)>,
+}
+
+impl World {
+    /// Build the world for a configuration.
+    pub fn build(config: &ScenarioConfig) -> World {
+        let geo = config.geography.build();
+        let topo = config.deployment.build(&geo);
+        // The scenario's timeline governs every policy-reactive model.
+        let mut population_config = config.population.clone();
+        population_config.timeline = config.timeline;
+        let population = Population::synthesize(&population_config, &geo, &topo);
+        let behavior = BehaviorModel::new(config.timeline);
+        let clock = SimClock::study();
+        let cell_geo = topo
+            .cells()
+            .iter()
+            .map(|c| {
+                let z = geo.zone(c.zone);
+                (z.county, z.cluster, z.district)
+            })
+            .collect();
+        World {
+            geo,
+            topo,
+            population,
+            behavior,
+            cases: CaseCurve::uk_2020(),
+            clock,
+            catalog: TacCatalog::synthetic(),
+            anonymizer: Anonymizer::new(config.seed ^ 0xA11CE),
+            cell_geo,
+        }
+    }
+
+    /// Number of simulated days.
+    pub fn num_days(&self) -> usize {
+        self.clock.num_days()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+
+    #[test]
+    fn world_builds_consistently() {
+        let cfg = ScenarioConfig::tiny(3);
+        let w = World::build(&cfg);
+        assert_eq!(w.cell_geo.len(), w.topo.cells().len());
+        assert_eq!(w.num_days(), 100);
+        assert!(w.population.len() > 1_000);
+        // Cell-geo join matches the underlying zones.
+        for (cell, &(county, cluster, district)) in
+            w.topo.cells().iter().zip(&w.cell_geo)
+        {
+            let z = w.geo.zone(cell.zone);
+            assert_eq!(z.county, county);
+            assert_eq!(z.cluster, cluster);
+            assert_eq!(z.district, district);
+        }
+    }
+}

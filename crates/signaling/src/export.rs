@@ -1,0 +1,121 @@
+//! Feed serialization: JSON-lines writers/readers for the signaling
+//! event stream.
+//!
+//! The paper's raw feeds could never leave the operator (NDA, GDPR).
+//! The synthetic equivalents can: this module gives the event stream a
+//! stable on-disk representation so external tooling (pandas, DuckDB,
+//! jq) can consume the same records the in-process pipeline does. One
+//! JSON object per line, schema = [`SignalingEvent`]'s serde form.
+
+use crate::event::SignalingEvent;
+use std::io::{self, BufRead, Write};
+
+/// Write events as JSON lines.
+pub fn write_events_jsonl<W: Write>(
+    mut writer: W,
+    events: &[SignalingEvent],
+) -> io::Result<()> {
+    for event in events {
+        let line = serde_json::to_string(event)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Read events back from JSON lines.
+///
+/// Malformed lines are returned as errors with their line number — a
+/// feed consumer must know *where* a probe export broke, not just that
+/// it did.
+pub fn read_events_jsonl<R: BufRead>(reader: R) -> io::Result<Vec<SignalingEvent>> {
+    let mut events = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: SignalingEvent = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", idx + 1),
+            )
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventType, HOME_MNC, UK_MCC};
+    use crate::tac::TacCode;
+    use cellscope_radio::CellId;
+
+    fn sample(n: usize) -> Vec<SignalingEvent> {
+        (0..n)
+            .map(|i| SignalingEvent {
+                anon_id: 0xDEAD_0000 + i as u64,
+                mcc: UK_MCC,
+                mnc: HOME_MNC,
+                tac: TacCode(35_000_000),
+                cell: CellId(i as u32 % 7),
+                day: 12,
+                minute: (i * 13 % 1440) as u16,
+                event: EventType::ALL[i % EventType::ALL.len()],
+                success: i % 11 != 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let events = sample(50);
+        let mut buffer = Vec::new();
+        write_events_jsonl(&mut buffer, &events).unwrap();
+        let back = read_events_jsonl(buffer.as_slice()).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        let mut buffer = Vec::new();
+        write_events_jsonl(&mut buffer, &[]).unwrap();
+        assert!(read_events_jsonl(buffer.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let events = sample(3);
+        let mut buffer = Vec::new();
+        write_events_jsonl(&mut buffer, &events).unwrap();
+        buffer.extend_from_slice(b"\n\n");
+        let back = read_events_jsonl(buffer.as_slice()).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn malformed_line_reports_its_position() {
+        let events = sample(2);
+        let mut buffer = Vec::new();
+        write_events_jsonl(&mut buffer, &events).unwrap();
+        buffer.extend_from_slice(b"{not json}\n");
+        let err = read_events_jsonl(buffer.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn one_object_per_line() {
+        let events = sample(4);
+        let mut buffer = Vec::new();
+        write_events_jsonl(&mut buffer, &events).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Event stream → dwell reconstruction.
+//!
+//! The paper never sees trajectories: Section 2.3 "associate\[s\] each
+//! (anonymized) user to a radio tower throughout the time they are
+//! connected" from signaling alone. [`reconstruct_dwell`] implements
+//! that association: a device is attributed to the cell of its latest
+//! event until the next event moves it, and dwell is split across the
+//! six 4-hour bins. Every mobility metric downstream consumes these
+//! records, so the synthetic study exercises the same inference step the
+//! real one did.
+
+use crate::event::SignalingEvent;
+use cellscope_radio::{CellId, Rat, Topology};
+use cellscope_time::DayBin;
+use serde::{Deserialize, Serialize};
+
+/// Reconstructed dwell of one user on one cell within one 4-hour bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DwellRecord {
+    /// Anonymized user.
+    pub anon_id: u64,
+    /// Study day.
+    pub day: u16,
+    /// Cell camped on.
+    pub cell: CellId,
+    /// 4-hour bin.
+    pub bin: DayBin,
+    /// Minutes of dwell attributed.
+    pub minutes: u16,
+}
+
+/// Reconstruct per-cell dwell from one user's events of one day.
+///
+/// `events` must belong to a single (user, day) and be sorted by minute
+/// (the generator emits them that way; real probes timestamp in order).
+/// Rules, mirroring common practice on operator data:
+///
+/// * the user camps on the cell of the latest event until the next event;
+/// * the stretch before the first event is attributed to the first
+///   event's cell (the device was there before the probe saw it attach);
+/// * the stretch after the last event runs to midnight;
+/// * failed events still prove presence (the probe logged them at that
+///   sector), so they count for dwell.
+///
+/// Returns an empty vector for an empty event list (device unreachable).
+pub fn reconstruct_dwell(events: &[SignalingEvent]) -> Vec<DwellRecord> {
+    let Some(first) = events.first() else {
+        return Vec::new();
+    };
+    debug_assert!(
+        events.windows(2).all(|w| w[0].minute <= w[1].minute),
+        "events must be sorted by minute"
+    );
+    debug_assert!(
+        events
+            .iter()
+            .all(|e| e.anon_id == first.anon_id && e.day == first.day),
+        "events must belong to one (user, day)"
+    );
+
+    // Build camping intervals [start, end) on the minute line.
+    let mut intervals: Vec<(CellId, u16, u16)> = Vec::new();
+    let mut current_cell = first.cell;
+    let mut start = 0u16;
+    for ev in events {
+        if ev.cell != current_cell {
+            if ev.minute > start {
+                intervals.push((current_cell, start, ev.minute));
+            }
+            current_cell = ev.cell;
+            start = ev.minute;
+        }
+    }
+    intervals.push((current_cell, start, 1440));
+
+    // Split each interval across 4-hour bins and accumulate per
+    // (cell, bin).
+    let mut acc: std::collections::BTreeMap<(CellId, DayBin), u16> =
+        std::collections::BTreeMap::new();
+    for (cell, s, e) in intervals {
+        let mut cursor = s;
+        while cursor < e {
+            let bin = DayBin::of_hour((cursor / 60) as u8);
+            let bin_end = (bin.start_hour() as u16 + 4) * 60;
+            let chunk_end = e.min(bin_end);
+            *acc.entry((cell, bin)).or_default() += chunk_end - cursor;
+            cursor = chunk_end;
+        }
+    }
+
+    acc.into_iter()
+        .map(|((cell, bin), minutes)| DwellRecord {
+            anon_id: first.anon_id,
+            day: first.day,
+            cell,
+            bin,
+            minutes,
+        })
+        .collect()
+}
+
+/// Share of dwell minutes spent on each RAT — the Section 2.4 statistic
+/// ("users spend on average 75% of the time per day connected to 4G").
+pub fn rat_dwell_shares(dwell: &[DwellRecord], topo: &Topology) -> [f64; 3] {
+    let mut minutes = [0u64; 3];
+    for d in dwell {
+        minutes[topo.cell(d.cell).rat as usize] += d.minutes as u64;
+    }
+    let total: u64 = minutes.iter().sum();
+    if total == 0 {
+        return [0.0; 3];
+    }
+    [
+        minutes[Rat::G2 as usize] as f64 / total as f64,
+        minutes[Rat::G3 as usize] as f64 / total as f64,
+        minutes[Rat::G4 as usize] as f64 / total as f64,
+    ]
+}
+
+/// Count events by type — the first sanity check on any probe export
+/// (an attach storm, a missing detach stream, or a TAU flood all show
+/// up here before anything subtler does).
+pub fn event_type_histogram(
+    events: &[SignalingEvent],
+) -> std::collections::BTreeMap<crate::event::EventType, u64> {
+    let mut histogram = std::collections::BTreeMap::new();
+    for e in events {
+        *histogram.entry(e.event).or_default() += 1;
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventType, HOME_MNC, UK_MCC};
+    use crate::tac::TacCode;
+
+    fn ev(minute: u16, cell: u32, event: EventType) -> SignalingEvent {
+        SignalingEvent {
+            anon_id: 77,
+            mcc: UK_MCC,
+            mnc: HOME_MNC,
+            tac: TacCode(35_000_000),
+            cell: CellId(cell),
+            day: 3,
+            minute,
+            event,
+            success: true,
+        }
+    }
+
+    #[test]
+    fn histogram_counts_by_type() {
+        let events = vec![
+            ev(0, 1, EventType::Attach),
+            ev(5, 1, EventType::ServiceRequest),
+            ev(9, 1, EventType::ServiceRequest),
+            ev(20, 2, EventType::Handover),
+        ];
+        let h = event_type_histogram(&events);
+        assert_eq!(h[&EventType::Attach], 1);
+        assert_eq!(h[&EventType::ServiceRequest], 2);
+        assert_eq!(h[&EventType::Handover], 1);
+        assert_eq!(h.values().sum::<u64>(), 4);
+        assert!(event_type_histogram(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_events_empty_dwell() {
+        assert!(reconstruct_dwell(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_cell_day_accounts_1440_minutes() {
+        let events = vec![
+            ev(480, 5, EventType::Attach),
+            ev(600, 5, EventType::ServiceRequest),
+            ev(1439, 5, EventType::Detach),
+        ];
+        let dwell = reconstruct_dwell(&events);
+        let total: u32 = dwell.iter().map(|d| d.minutes as u32).sum();
+        assert_eq!(total, 1440);
+        assert!(dwell.iter().all(|d| d.cell == CellId(5)));
+        // All six bins present (pre-attach time backfilled).
+        assert_eq!(dwell.len(), 6);
+    }
+
+    #[test]
+    fn cell_change_splits_dwell_at_event_minute() {
+        let events = vec![
+            ev(0, 1, EventType::Attach),
+            ev(720, 2, EventType::Handover), // noon
+            ev(1439, 2, EventType::Detach),
+        ];
+        let dwell = reconstruct_dwell(&events);
+        let cell1: u32 = dwell
+            .iter()
+            .filter(|d| d.cell == CellId(1))
+            .map(|d| d.minutes as u32)
+            .sum();
+        let cell2: u32 = dwell
+            .iter()
+            .filter(|d| d.cell == CellId(2))
+            .map(|d| d.minutes as u32)
+            .sum();
+        assert_eq!(cell1, 720);
+        assert_eq!(cell2, 720);
+    }
+
+    #[test]
+    fn bin_boundaries_respected() {
+        // One cell 00:00–06:00, another 06:00–24:00.
+        let events = vec![
+            ev(0, 1, EventType::Attach),
+            ev(360, 2, EventType::TrackingAreaUpdate),
+        ];
+        let dwell = reconstruct_dwell(&events);
+        // Cell 1: full Night bin (240) + 120 of EarlyMorning.
+        let night: u16 = dwell
+            .iter()
+            .filter(|d| d.cell == CellId(1) && d.bin == DayBin::Night)
+            .map(|d| d.minutes)
+            .sum();
+        let early1: u16 = dwell
+            .iter()
+            .filter(|d| d.cell == CellId(1) && d.bin == DayBin::EarlyMorning)
+            .map(|d| d.minutes)
+            .sum();
+        let early2: u16 = dwell
+            .iter()
+            .filter(|d| d.cell == CellId(2) && d.bin == DayBin::EarlyMorning)
+            .map(|d| d.minutes)
+            .sum();
+        assert_eq!(night, 240);
+        assert_eq!(early1, 120);
+        assert_eq!(early2, 120);
+    }
+
+    #[test]
+    fn repeated_same_cell_events_merge() {
+        let events = vec![
+            ev(0, 9, EventType::Attach),
+            ev(100, 9, EventType::ServiceRequest),
+            ev(200, 9, EventType::IdleTransition),
+            ev(300, 9, EventType::ServiceRequest),
+        ];
+        let dwell = reconstruct_dwell(&events);
+        assert!(dwell.iter().all(|d| d.cell == CellId(9)));
+        let total: u32 = dwell.iter().map(|d| d.minutes as u32).sum();
+        assert_eq!(total, 1440);
+    }
+
+    #[test]
+    fn ping_pong_between_cells() {
+        let events = vec![
+            ev(0, 1, EventType::Attach),
+            ev(240, 2, EventType::Handover),
+            ev(480, 1, EventType::Handover),
+            ev(720, 2, EventType::Handover),
+        ];
+        let dwell = reconstruct_dwell(&events);
+        let cell1: u32 = dwell
+            .iter()
+            .filter(|d| d.cell == CellId(1))
+            .map(|d| d.minutes as u32)
+            .sum();
+        let cell2: u32 = dwell
+            .iter()
+            .filter(|d| d.cell == CellId(2))
+            .map(|d| d.minutes as u32)
+            .sum();
+        assert_eq!(cell1, 480);
+        assert_eq!(cell2, 960);
+    }
+}

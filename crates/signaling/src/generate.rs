@@ -1,0 +1,408 @@
+//! Trajectory → control-plane event stream.
+//!
+//! Turns one subscriber-day of ground-truth dwell into the event
+//! sequence a passive probe at the MME/SGSN/MSC would log: attach and
+//! session setup when the device appears, service requests and idle
+//! transitions while it is used, tracking-area updates and handovers as
+//! it moves, dedicated-bearer churn for voice, detach at day end. RAT
+//! selection per camping period is calibrated so ~75% of dwell lands on
+//! 4G cells (Section 2.4), and a small fraction of events carries a
+//! failure result code.
+
+use crate::anonymize::Anonymizer;
+use crate::event::{EventType, SignalingEvent, HOME_MNC, UK_MCC};
+use crate::tac::{TacCatalog, TacCode};
+use cellscope_mobility::rng as simrng;
+use cellscope_mobility::{DayTrajectory, DeviceClass, Subscriber};
+use cellscope_radio::{CellId, Rat, Topology};
+use cellscope_time::DayBin;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Event generation tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventGenConfig {
+    /// RNG seed (domain-separated from trajectory seeds).
+    pub seed: u64,
+    /// Mean minutes between service requests while camped.
+    pub service_request_interval_min: f64,
+    /// Probability an event carries a failure result code.
+    pub failure_rate: f64,
+    /// Mean voice dedicated-bearer setups per hour of dwell.
+    pub voice_bearers_per_hour: f64,
+}
+
+impl Default for EventGenConfig {
+    fn default() -> Self {
+        EventGenConfig {
+            seed: 0x516_7A1,
+            service_request_interval_min: 45.0,
+            failure_rate: 0.01,
+            voice_bearers_per_hour: 0.20,
+        }
+    }
+}
+
+/// The generator: stateless per (subscriber, day), like the trajectory
+/// generator it mirrors.
+pub struct EventGenerator<'a> {
+    topo: &'a Topology,
+    catalog: &'a TacCatalog,
+    anonymizer: Anonymizer,
+    config: EventGenConfig,
+}
+
+impl<'a> EventGenerator<'a> {
+    /// Build a generator.
+    pub fn new(
+        topo: &'a Topology,
+        catalog: &'a TacCatalog,
+        anonymizer: Anonymizer,
+        config: EventGenConfig,
+    ) -> EventGenerator<'a> {
+        EventGenerator {
+            topo,
+            catalog,
+            anonymizer,
+            config,
+        }
+    }
+
+    /// The TAC this subscriber's device reports.
+    pub fn tac_of(&self, sub: &Subscriber) -> TacCode {
+        self.catalog.assign(sub.device, sub.id.0 as u64)
+    }
+
+    /// SIM (MCC, MNC): native subscribers use the home PLMN; inbound
+    /// roamers a foreign one (deterministic per subscriber).
+    pub fn plmn_of(&self, sub: &Subscriber) -> (u16, u8) {
+        if sub.native {
+            (UK_MCC, HOME_MNC)
+        } else {
+            const FOREIGN_MCCS: [u16; 5] = [208, 262, 214, 222, 310];
+            let pick = (sub.id.0 as usize) % FOREIGN_MCCS.len();
+            (FOREIGN_MCCS[pick], 1)
+        }
+    }
+
+    /// Generate the day's event stream, chronologically ordered.
+    pub fn generate(&self, sub: &Subscriber, trajectory: &DayTrajectory) -> Vec<SignalingEvent> {
+        let mut events = Vec::new();
+        if trajectory.visits.is_empty() {
+            return events; // device unreachable (abroad / powered off)
+        }
+        let mut rng = simrng::rng_for(self.config.seed, sub.id.0, trajectory.day, 0xE7E);
+        let anon_id = self.anonymizer.anon_id(sub.id.0);
+        let tac = self.tac_of(sub);
+        let (mcc, mnc) = self.plmn_of(sub);
+        let day = trajectory.day;
+
+        let push = |events: &mut Vec<SignalingEvent>,
+                        rng: &mut StdRng,
+                        minute: u16,
+                        cell: CellId,
+                        event: EventType| {
+            events.push(SignalingEvent {
+                anon_id,
+                mcc,
+                mnc,
+                tac,
+                cell,
+                day,
+                minute: minute.min(1439),
+                event,
+                success: !rng.gen_bool(self.config.failure_rate),
+            });
+        };
+
+        // Lay the visits out on the day's minute line, bin by bin.
+        let mut prev_cell: Option<CellId> = None;
+        let mut first = true;
+        for bin in DayBin::ALL {
+            let mut cursor = bin.start_hour() as u16 * 60;
+            for visit in trajectory.visits.iter().filter(|v| v.bin == bin) {
+                let start = cursor;
+                cursor += visit.minutes;
+                let Some(cell) = self.pick_cell(visit.site, sub.device, day, &mut rng) else {
+                    continue;
+                };
+
+                if first {
+                    push(&mut events, &mut rng, start, cell, EventType::Attach);
+                    push(&mut events, &mut rng, start, cell, EventType::Authentication);
+                    push(
+                        &mut events,
+                        &mut rng,
+                        start,
+                        cell,
+                        EventType::SessionEstablishment,
+                    );
+                    first = false;
+                } else if prev_cell != Some(cell) {
+                    // Cell change: handover when mid-transfer, otherwise a
+                    // tracking-area update out of idle.
+                    let ev = if rng.gen_bool(0.4) {
+                        EventType::Handover
+                    } else {
+                        EventType::TrackingAreaUpdate
+                    };
+                    push(&mut events, &mut rng, start, cell, ev);
+                }
+                prev_cell = Some(cell);
+
+                // Data activity: service request / idle pairs.
+                if sub.device == DeviceClass::Smartphone {
+                    // All in-visit events must stay strictly inside the
+                    // visit window: an event timestamped after the next
+                    // visit began would re-attribute that visit's dwell
+                    // during reconstruction.
+                    let last = start + visit.minutes.saturating_sub(1);
+                    let expected = visit.minutes as f64 / self.config.service_request_interval_min;
+                    let n = poisson(&mut rng, expected).max(1);
+                    for i in 0..n {
+                        let offset =
+                            (visit.minutes as u64 * (2 * i as u64 + 1) / (2 * n as u64)) as u16;
+                        push(
+                            &mut events,
+                            &mut rng,
+                            (start + offset).min(last),
+                            cell,
+                            EventType::ServiceRequest,
+                        );
+                        push(
+                            &mut events,
+                            &mut rng,
+                            (start + offset + 2).min(last),
+                            cell,
+                            EventType::IdleTransition,
+                        );
+                    }
+                    // Voice bearers.
+                    let calls =
+                        poisson(&mut rng, visit.minutes as f64 / 60.0 * self.config.voice_bearers_per_hour);
+                    for _ in 0..calls {
+                        let at = start + rng.gen_range(0..visit.minutes.max(1));
+                        push(
+                            &mut events,
+                            &mut rng,
+                            at.min(last),
+                            cell,
+                            EventType::DedicatedBearerEstablish,
+                        );
+                        push(
+                            &mut events,
+                            &mut rng,
+                            at.saturating_add(3).min(last),
+                            cell,
+                            EventType::DedicatedBearerDelete,
+                        );
+                    }
+                } else {
+                    // M2M: sparse keep-alive traffic.
+                    let last = start + visit.minutes.saturating_sub(1);
+                    push(&mut events, &mut rng, (start + 5).min(last), cell, EventType::ServiceRequest);
+                    push(&mut events, &mut rng, (start + 7).min(last), cell, EventType::IdleTransition);
+                }
+            }
+        }
+
+        if let Some(cell) = prev_cell {
+            push(&mut events, &mut rng, 1439, cell, EventType::Detach);
+        }
+        events.sort_by_key(|e| e.minute);
+        events
+    }
+
+    /// Pick the serving cell at a site: RAT by dwell share among the
+    /// RATs the site actually hosts (and that are active on `day`);
+    /// M2M modules prefer 2G where available (real deployments do).
+    fn pick_cell(
+        &self,
+        site: cellscope_radio::SiteId,
+        device: DeviceClass,
+        day: u16,
+        rng: &mut StdRng,
+    ) -> Option<CellId> {
+        let site = self.topo.site(site);
+        let mut available: Vec<(CellId, Rat)> = site
+            .cells
+            .iter()
+            .map(|&c| (c, self.topo.cell(c).rat))
+            .filter(|&(c, _)| self.topo.cell(c).is_active(day))
+            .collect();
+        if available.is_empty() {
+            return None;
+        }
+        if device == DeviceClass::M2m {
+            available.sort_by_key(|&(_, rat)| rat); // G2 first
+            return Some(available[0].0);
+        }
+        let total: f64 = available
+            .iter()
+            .map(|&(_, rat)| rat.typical_dwell_share())
+            .sum();
+        let mut draw = rng.gen_range(0.0..total);
+        for &(cell, rat) in &available {
+            let w = rat.typical_dwell_share();
+            if draw < w {
+                return Some(cell);
+            }
+            draw -= w;
+        }
+        Some(available.last().expect("non-empty").0)
+    }
+}
+
+fn poisson(rng: &mut StdRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p < l || k > 200 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellscope_epidemic::Timeline;
+    use cellscope_geo::SynthConfig;
+    use cellscope_mobility::{BehaviorModel, Population, PopulationConfig, TrajectoryGenerator};
+    use cellscope_radio::DeployConfig;
+    use cellscope_time::SimClock;
+
+    struct World {
+        topo: Topology,
+        pop: Population,
+        trajectories: Vec<DayTrajectory>,
+    }
+
+    fn world() -> World {
+        let geo = SynthConfig::small(8).build();
+        let topo = DeployConfig::small(8).build(&geo);
+        let pop = Population::synthesize(
+            &PopulationConfig {
+                num_subscribers: 800,
+                seed: 8,
+                ..PopulationConfig::default()
+            },
+            &geo,
+            &topo,
+        );
+        let behavior = BehaviorModel::new(Timeline::uk_2020());
+        let generator = TrajectoryGenerator::new(&geo, &behavior, SimClock::study(), 8);
+        let trajectories: Vec<_> = pop
+            .subscribers()
+            .iter()
+            .map(|s| generator.generate(s, 10))
+            .collect();
+        World {
+            topo,
+            pop,
+            trajectories,
+        }
+    }
+
+    fn generator(w: &World) -> EventGenerator<'_> {
+        // Leak a catalog for the test lifetime — cheap and simple.
+        let catalog: &'static TacCatalog = Box::leak(Box::new(TacCatalog::synthetic()));
+        EventGenerator::new(w.topo_ref(), catalog, Anonymizer::new(1), EventGenConfig::default())
+    }
+
+    impl World {
+        fn topo_ref(&self) -> &Topology {
+            &self.topo
+        }
+    }
+
+    #[test]
+    fn day_starts_with_attach_and_ends_with_detach() {
+        let w = world();
+        let g = generator(&w);
+        for (sub, traj) in w.pop.subscribers().iter().zip(&w.trajectories).take(200) {
+            let events = g.generate(sub, traj);
+            if traj.visits.is_empty() {
+                assert!(events.is_empty());
+                continue;
+            }
+            assert_eq!(events.first().unwrap().event, EventType::Attach);
+            assert_eq!(events.last().unwrap().event, EventType::Detach);
+            // Chronological order.
+            for pair in events.windows(2) {
+                assert!(pair[0].minute <= pair[1].minute);
+            }
+        }
+    }
+
+    #[test]
+    fn events_carry_correct_identity_fields() {
+        let w = world();
+        let g = generator(&w);
+        let anonymizer = Anonymizer::new(1);
+        for (sub, traj) in w.pop.subscribers().iter().zip(&w.trajectories).take(100) {
+            for ev in g.generate(sub, traj) {
+                assert_eq!(ev.anon_id, anonymizer.anon_id(sub.id.0));
+                assert_eq!(ev.is_native(), sub.native);
+                assert_eq!(ev.day, traj.day);
+                assert!(ev.minute <= 1439);
+            }
+        }
+    }
+
+    #[test]
+    fn smartphone_dwell_is_mostly_4g() {
+        let w = world();
+        let g = generator(&w);
+        let mut by_rat = [0u64; 3];
+        for (sub, traj) in w.pop.subscribers().iter().zip(&w.trajectories) {
+            if sub.device != DeviceClass::Smartphone {
+                continue;
+            }
+            for ev in g.generate(sub, traj) {
+                let rat = w.topo.cell(ev.cell).rat;
+                by_rat[rat as usize] += 1;
+            }
+        }
+        let total: u64 = by_rat.iter().sum();
+        let g4_share = by_rat[Rat::G4 as usize] as f64 / total as f64;
+        assert!(
+            (0.65..0.85).contains(&g4_share),
+            "4G event share {g4_share}"
+        );
+    }
+
+    #[test]
+    fn failure_rate_is_small_but_nonzero() {
+        let w = world();
+        let g = generator(&w);
+        let mut failures = 0u64;
+        let mut total = 0u64;
+        for (sub, traj) in w.pop.subscribers().iter().zip(&w.trajectories) {
+            for ev in g.generate(sub, traj) {
+                total += 1;
+                if !ev.success {
+                    failures += 1;
+                }
+            }
+        }
+        let rate = failures as f64 / total as f64;
+        assert!((0.003..0.03).contains(&rate), "failure rate {rate}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = world();
+        let g = generator(&w);
+        let sub = &w.pop.subscribers()[0];
+        let traj = &w.trajectories[0];
+        assert_eq!(g.generate(sub, traj), g.generate(sub, traj));
+    }
+}

@@ -1,0 +1,36 @@
+//! Control-plane signaling: events, device catalog, anonymization, feeds.
+//!
+//! The paper's "General Signaling Dataset" (Section 2.2) captures, for
+//! every RAT, the control-plane events subscribers trigger — Attach,
+//! Authentication, Session establishment, bearer management, Tracking
+//! Area Updates, idle transitions, Service requests, Handovers, Detach —
+//! each carrying an anonymized user ID, SIM MCC/MNC, device TAC, the
+//! radio sector handling the communication, a timestamp and a result
+//! code. This crate produces exactly those records from ground-truth
+//! trajectories, and provides the reconstruction logic that turns the
+//! event stream back into per-user dwell — the paper's pipeline never
+//! sees trajectories, only events.
+//!
+//! * [`tac`] — a GSMA-style Type Allocation Code catalog distinguishing
+//!   smartphones from M2M modules;
+//! * [`anonymize`] — salted stable hashing of subscriber identity;
+//! * [`event`] — the event records and types;
+//! * [`generate`] — trajectory → event stream (with RAT selection
+//!   calibrated to the 75%-of-time-on-4G observation, and a small
+//!   failure rate on result codes);
+//! * [`feed`] — event stream → per-user per-day dwell (site, minutes,
+//!   4-hour bin), the input of every mobility metric.
+
+pub mod anonymize;
+pub mod event;
+pub mod export;
+pub mod feed;
+pub mod generate;
+pub mod tac;
+
+pub use anonymize::Anonymizer;
+pub use event::{EventType, SignalingEvent};
+pub use export::{read_events_jsonl, write_events_jsonl};
+pub use feed::{event_type_histogram, reconstruct_dwell, DwellRecord};
+pub use generate::{EventGenerator, EventGenConfig};
+pub use tac::{DeviceInfo, TacCatalog, TacCode};

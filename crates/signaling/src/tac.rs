@@ -1,0 +1,178 @@
+//! Type Allocation Code catalog.
+//!
+//! The TAC is the first 8 digits of a device IMEI, statically allocated
+//! to vendors. The paper joins signaling events against a commercial GSMA
+//! database to map TAC → device properties and keep only smartphones
+//! "likely used as primary devices", dropping M2M hardware (Section 2.2,
+//! "Devices Catalog"). This module synthesizes such a catalog.
+
+use cellscope_mobility::DeviceClass;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A Type Allocation Code (8 decimal digits in real IMEIs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TacCode(pub u32);
+
+impl std::fmt::Display for TacCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:08}", self.0)
+    }
+}
+
+/// Catalog entry: what the GSMA database knows about a TAC.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceInfo {
+    /// Device manufacturer.
+    pub manufacturer: String,
+    /// Marketing model name.
+    pub model: String,
+    /// Operating system (smartphones) or firmware family (M2M).
+    pub os: String,
+    /// Smartphone vs M2M classification.
+    pub class: DeviceClass,
+}
+
+/// The synthetic GSMA-style catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TacCatalog {
+    entries: BTreeMap<TacCode, DeviceInfo>,
+    smartphone_tacs: Vec<TacCode>,
+    m2m_tacs: Vec<TacCode>,
+}
+
+const SMARTPHONE_VENDORS: [(&str, &str, &[&str]); 5] = [
+    ("Apple", "iOS", &["iPhone 8", "iPhone X", "iPhone 11", "iPhone SE"]),
+    ("Samsung", "Android", &["Galaxy S9", "Galaxy S10", "Galaxy A40", "Galaxy Note 10"]),
+    ("Huawei", "Android", &["P20", "P30 Lite", "Mate 20"]),
+    ("Xiaomi", "Android", &["Mi 9", "Redmi Note 8"]),
+    ("OnePlus", "Android", &["OnePlus 6T", "OnePlus 7"]),
+];
+
+const M2M_VENDORS: [(&str, &str, &[&str]); 3] = [
+    ("Telit", "ThreadX", &["LE910", "HE910"]),
+    ("Quectel", "RTOS", &["EC25", "BG96"]),
+    ("Sierra Wireless", "Legato", &["HL7800", "WP7702"]),
+];
+
+impl TacCatalog {
+    /// Build the synthetic catalog (deterministic, no RNG needed: TACs
+    /// are static vendor allocations).
+    pub fn synthetic() -> TacCatalog {
+        let mut entries = BTreeMap::new();
+        let mut smartphone_tacs = Vec::new();
+        let mut m2m_tacs = Vec::new();
+        let mut next_tac = 35_000_000u32;
+        for (manufacturer, os, models) in SMARTPHONE_VENDORS {
+            for model in models {
+                let tac = TacCode(next_tac);
+                next_tac += 101;
+                entries.insert(
+                    tac,
+                    DeviceInfo {
+                        manufacturer: manufacturer.to_string(),
+                        model: model.to_string(),
+                        os: os.to_string(),
+                        class: DeviceClass::Smartphone,
+                    },
+                );
+                smartphone_tacs.push(tac);
+            }
+        }
+        for (manufacturer, os, models) in M2M_VENDORS {
+            for model in models {
+                let tac = TacCode(next_tac);
+                next_tac += 101;
+                entries.insert(
+                    tac,
+                    DeviceInfo {
+                        manufacturer: manufacturer.to_string(),
+                        model: model.to_string(),
+                        os: os.to_string(),
+                        class: DeviceClass::M2m,
+                    },
+                );
+                m2m_tacs.push(tac);
+            }
+        }
+        TacCatalog {
+            entries,
+            smartphone_tacs,
+            m2m_tacs,
+        }
+    }
+
+    /// Look a TAC up — `None` for unknown codes, exactly like a real
+    /// catalog miss (the pipeline must treat those conservatively).
+    pub fn lookup(&self, tac: TacCode) -> Option<&DeviceInfo> {
+        self.entries.get(&tac)
+    }
+
+    /// Whether the TAC is a known smartphone.
+    pub fn is_smartphone(&self, tac: TacCode) -> bool {
+        self.lookup(tac)
+            .is_some_and(|d| d.class == DeviceClass::Smartphone)
+    }
+
+    /// Assign a market-share-weighted TAC for a device of `class`.
+    /// Deterministic in `key` (use the subscriber id).
+    pub fn assign(&self, class: DeviceClass, key: u64) -> TacCode {
+        let pool = match class {
+            DeviceClass::Smartphone => &self.smartphone_tacs,
+            DeviceClass::M2m => &self.m2m_tacs,
+        };
+        let mut rng = StdRng::seed_from_u64(key ^ 0xDEC0DE);
+        pool[rng.gen_range(0..pool.len())]
+    }
+
+    /// Number of catalogued TACs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_both_classes() {
+        let c = TacCatalog::synthetic();
+        assert!(c.len() > 15);
+        assert!(!c.smartphone_tacs.is_empty());
+        assert!(!c.m2m_tacs.is_empty());
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_class_consistent() {
+        let c = TacCatalog::synthetic();
+        for key in 0..200u64 {
+            let tac = c.assign(DeviceClass::Smartphone, key);
+            assert_eq!(tac, c.assign(DeviceClass::Smartphone, key));
+            assert!(c.is_smartphone(tac));
+            let m2m = c.assign(DeviceClass::M2m, key);
+            assert!(!c.is_smartphone(m2m));
+            assert_eq!(c.lookup(m2m).unwrap().class, DeviceClass::M2m);
+        }
+    }
+
+    #[test]
+    fn unknown_tac_misses() {
+        let c = TacCatalog::synthetic();
+        assert!(c.lookup(TacCode(1)).is_none());
+        assert!(!c.is_smartphone(TacCode(1)));
+    }
+
+    #[test]
+    fn tac_display_is_8_digits() {
+        assert_eq!(TacCode(35_000_000).to_string(), "35000000");
+        assert_eq!(TacCode(42).to_string(), "00000042");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for dwell reconstruction over arbitrary well-formed
+//! event streams: every minute of the day is attributed exactly once,
+//! to a cell the stream actually mentioned.
+
+use cellscope_radio::CellId;
+use cellscope_signaling::event::{EventType, SignalingEvent, HOME_MNC, UK_MCC};
+use cellscope_signaling::{reconstruct_dwell, TacCode};
+use proptest::prelude::*;
+
+fn event(minute: u16, cell: u32) -> SignalingEvent {
+    SignalingEvent {
+        anon_id: 42,
+        mcc: UK_MCC,
+        mnc: HOME_MNC,
+        tac: TacCode(35_000_000),
+        cell: CellId(cell),
+        day: 1,
+        minute,
+        event: EventType::ServiceRequest,
+        success: true,
+    }
+}
+
+fn event_stream() -> impl Strategy<Value = Vec<SignalingEvent>> {
+    prop::collection::vec((0u16..1440, 0u32..12), 1..120).prop_map(|mut raw| {
+        raw.sort_by_key(|&(minute, _)| minute);
+        raw.into_iter().map(|(m, c)| event(m, c)).collect()
+    })
+}
+
+proptest! {
+    /// Reconstruction always accounts for exactly 1440 minutes.
+    #[test]
+    fn full_day_attributed(events in event_stream()) {
+        let dwell = reconstruct_dwell(&events);
+        let total: u32 = dwell.iter().map(|d| d.minutes as u32).sum();
+        prop_assert_eq!(total, 1440);
+    }
+
+    /// Every attributed cell appears in the event stream, and each
+    /// (cell, bin) pair appears at most once in the output.
+    #[test]
+    fn attribution_is_grounded_and_deduplicated(events in event_stream()) {
+        let dwell = reconstruct_dwell(&events);
+        let cells: std::collections::BTreeSet<u32> =
+            events.iter().map(|e| e.cell.0).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for d in &dwell {
+            prop_assert!(cells.contains(&d.cell.0), "unknown cell {}", d.cell);
+            prop_assert!(seen.insert((d.cell.0, d.bin)), "duplicate (cell, bin)");
+            prop_assert!(d.minutes > 0, "zero-minute record");
+            prop_assert!(d.minutes <= 240, "bin overflow: {}", d.minutes);
+        }
+    }
+
+    /// Per-bin totals are exactly 240 minutes.
+    #[test]
+    fn bins_account_to_240(events in event_stream()) {
+        let dwell = reconstruct_dwell(&events);
+        let mut per_bin = std::collections::BTreeMap::new();
+        for d in &dwell {
+            *per_bin.entry(d.bin).or_insert(0u32) += d.minutes as u32;
+        }
+        for (bin, total) in per_bin {
+            prop_assert_eq!(total, 240, "bin {:?}", bin);
+        }
+    }
+
+    /// A single-cell stream attributes the whole day to that cell
+    /// regardless of how many events it contains.
+    #[test]
+    fn single_cell_gets_everything(minutes in prop::collection::vec(0u16..1440, 1..50)) {
+        let mut sorted = minutes;
+        sorted.sort_unstable();
+        let events: Vec<_> = sorted.into_iter().map(|m| event(m, 7)).collect();
+        let dwell = reconstruct_dwell(&events);
+        prop_assert!(dwell.iter().all(|d| d.cell == CellId(7)));
+        let total: u32 = dwell.iter().map(|d| d.minutes as u32).sum();
+        prop_assert_eq!(total, 1440);
+    }
+
+    /// Reconstruction is idempotent in event density: adding extra
+    /// events on the *same* cell between two existing events of that
+    /// cell never changes the attribution.
+    #[test]
+    fn extra_same_cell_events_change_nothing(
+        base in event_stream(),
+        extra_minute in 0u16..1440,
+    ) {
+        let dwell_before = reconstruct_dwell(&base);
+        // Find which cell "owns" extra_minute and inject an event there.
+        let owner = base
+            .iter()
+            .take_while(|e| e.minute <= extra_minute)
+            .last()
+            .map(|e| e.cell.0)
+            .unwrap_or(base[0].cell.0);
+        let mut augmented = base.clone();
+        augmented.push(event(extra_minute, owner));
+        augmented.sort_by_key(|e| e.minute);
+        let dwell_after = reconstruct_dwell(&augmented);
+        prop_assert_eq!(dwell_before, dwell_after);
+    }
+}

@@ -1,0 +1,408 @@
+//! Proleptic Gregorian dates with ISO-8601 week numbering.
+//!
+//! The implementation is deliberately tiny: the study spans a few months
+//! of 2020, but the arithmetic is exact for the whole Gregorian range the
+//! `i32` day count can express, and is property-tested against round-trip
+//! invariants.
+
+use serde::{Deserialize, Serialize};
+
+/// Day of the week, ISO order (Monday first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// All weekdays in ISO order.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// ISO weekday number: Monday = 1 … Sunday = 7.
+    pub fn iso_number(self) -> u8 {
+        self as u8 + 1
+    }
+
+    /// Saturday or Sunday. The paper's figures shade weekends and several
+    /// effects (e.g. weekend escapes from London) are weekend-specific.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    fn from_index(idx: i64) -> Weekday {
+        Weekday::ALL[idx.rem_euclid(7) as usize]
+    }
+}
+
+/// Month of the year.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Month {
+    January = 1,
+    February,
+    March,
+    April,
+    May,
+    June,
+    July,
+    August,
+    September,
+    October,
+    November,
+    December,
+}
+
+impl Month {
+    /// Month number, 1-based.
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Construct from a 1-based month number.
+    pub fn from_number(n: u8) -> Option<Month> {
+        use Month::*;
+        Some(match n {
+            1 => January,
+            2 => February,
+            3 => March,
+            4 => April,
+            5 => May,
+            6 => June,
+            7 => July,
+            8 => August,
+            9 => September,
+            10 => October,
+            11 => November,
+            12 => December,
+            _ => return None,
+        })
+    }
+}
+
+/// An ISO-8601 week: year plus week number (1–53).
+///
+/// The paper refers to dates almost exclusively as "week N of 2020"
+/// (lockdown = week 13, baseline = week 9), so this is the primary key of
+/// most aggregated series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IsoWeek {
+    pub year: i32,
+    pub week: u8,
+}
+
+impl IsoWeek {
+    /// The Monday this ISO week starts on.
+    pub fn monday(self) -> Date {
+        // Jan 4 is always in ISO week 1 of its year.
+        let jan4 = Date::new(self.year, Month::January, 4).expect("Jan 4 valid");
+        let week1_monday = jan4.previous_or_same(Weekday::Monday);
+        week1_monday.add_days(7 * (self.week as i64 - 1))
+    }
+}
+
+impl std::fmt::Display for IsoWeek {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-W{:02}", self.year, self.week)
+    }
+}
+
+/// A calendar date in the proleptic Gregorian calendar.
+///
+/// Internally a signed day count with epoch 1970-01-01 = 0, so ordering,
+/// differences and offsets are trivially correct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    days_since_epoch: i32,
+}
+
+/// Errors constructing a [`Date`] from components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DateError {
+    /// The day-of-month is outside the month's length (or zero).
+    InvalidDay,
+}
+
+impl std::fmt::Display for DateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DateError::InvalidDay => write!(f, "day of month out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DateError {}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: Month) -> u8 {
+    match month {
+        Month::January
+        | Month::March
+        | Month::May
+        | Month::July
+        | Month::August
+        | Month::October
+        | Month::December => 31,
+        Month::April | Month::June | Month::September | Month::November => 30,
+        Month::February => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+    }
+}
+
+/// Days from 1970-01-01 to `year`-01-01 (may be negative).
+fn days_to_year(year: i32) -> i64 {
+    let y = year as i64 - 1970;
+    // Count leap years in [1970, year) — or (year, 1970] when negative —
+    // using the closed form over year - 1 relative to epoch.
+    let leaps = |y: i64| -> i64 { y / 4 - y / 100 + y / 400 };
+    y * 365 + leaps(year as i64 - 1) - leaps(1969)
+}
+
+impl Date {
+    /// Construct a date; returns `Err` if the day is invalid for the month.
+    pub fn new(year: i32, month: Month, day: u8) -> Result<Date, DateError> {
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(DateError::InvalidDay);
+        }
+        let mut days = days_to_year(year);
+        for m in 1..month.number() {
+            days += days_in_month(year, Month::from_number(m).unwrap()) as i64;
+        }
+        days += day as i64 - 1;
+        Ok(Date {
+            days_since_epoch: days as i32,
+        })
+    }
+
+    /// Convenience constructor with a numeric month; panics on invalid
+    /// input (intended for literals in scenario definitions).
+    pub fn ymd(year: i32, month: u8, day: u8) -> Date {
+        Date::new(year, Month::from_number(month).expect("valid month"), day)
+            .expect("valid calendar date")
+    }
+
+    /// Signed day count since 1970-01-01.
+    pub fn days_since_epoch(self) -> i32 {
+        self.days_since_epoch
+    }
+
+    /// Inverse of [`Date::days_since_epoch`].
+    pub const fn from_days_since_epoch(days: i32) -> Date {
+        Date {
+            days_since_epoch: days,
+        }
+    }
+
+    /// Break the date into (year, month, day).
+    pub fn components(self) -> (i32, Month, u8) {
+        let mut days = self.days_since_epoch as i64;
+        // Estimate the year, then correct.
+        let mut year = 1970 + (days / 365) as i32;
+        loop {
+            let start = days_to_year(year);
+            if days < start {
+                year -= 1;
+            } else if days >= start + if is_leap(year) { 366 } else { 365 } {
+                year += 1;
+            } else {
+                days -= start;
+                break;
+            }
+        }
+        let mut month = Month::January;
+        loop {
+            let len = days_in_month(year, month) as i64;
+            if days < len {
+                return (year, month, days as u8 + 1);
+            }
+            days -= len;
+            month = Month::from_number(month.number() + 1).expect("month overflow impossible");
+        }
+    }
+
+    /// Calendar year.
+    pub fn year(self) -> i32 {
+        self.components().0
+    }
+
+    /// Calendar month.
+    pub fn month(self) -> Month {
+        self.components().1
+    }
+
+    /// Day of month, 1-based.
+    pub fn day(self) -> u8 {
+        self.components().2
+    }
+
+    /// Day of the week (1970-01-01 was a Thursday).
+    pub fn weekday(self) -> Weekday {
+        Weekday::from_index(self.days_since_epoch as i64 + 3)
+    }
+
+    /// `self + days` (may be negative).
+    pub fn add_days(self, days: i64) -> Date {
+        Date {
+            days_since_epoch: (self.days_since_epoch as i64 + days) as i32,
+        }
+    }
+
+    /// Signed number of days from `other` to `self`.
+    pub fn days_since(self, other: Date) -> i64 {
+        self.days_since_epoch as i64 - other.days_since_epoch as i64
+    }
+
+    /// The latest date `<= self` that falls on `weekday`.
+    pub fn previous_or_same(self, weekday: Weekday) -> Date {
+        let delta =
+            (self.weekday().iso_number() as i64 - weekday.iso_number() as i64).rem_euclid(7);
+        self.add_days(-delta)
+    }
+
+    /// ISO-8601 week (year + week number).
+    pub fn iso_week(self) -> IsoWeek {
+        // The ISO week-year of a date is the calendar year of the Thursday
+        // of its week.
+        let thursday = self.previous_or_same(Weekday::Monday).add_days(3);
+        let year = thursday.year();
+        let jan4 = Date::new(year, Month::January, 4).expect("Jan 4 valid");
+        let week1_monday = jan4.previous_or_same(Weekday::Monday);
+        let week = (thursday.days_since(week1_monday) / 7) as u8 + 1;
+        IsoWeek { year, week }
+    }
+
+    /// True on Saturdays and Sundays.
+    pub fn is_weekend(self) -> bool {
+        self.weekday().is_weekend()
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (y, m, d) = self.components();
+        write!(f, "{:04}-{:02}-{:02}", y, m.number(), d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_thursday() {
+        let d = Date::ymd(1970, 1, 1);
+        assert_eq!(d.weekday(), Weekday::Thursday);
+        assert_eq!(d.days_since_epoch(), 0);
+    }
+
+    #[test]
+    fn known_2020_dates() {
+        // Anchors taken straight from the paper's narrative.
+        let pandemic = Date::ymd(2020, 3, 11);
+        assert_eq!(pandemic.weekday(), Weekday::Wednesday);
+        assert_eq!(pandemic.iso_week(), IsoWeek { year: 2020, week: 11 });
+
+        let wfh = Date::ymd(2020, 3, 16);
+        assert_eq!(wfh.weekday(), Weekday::Monday);
+        assert_eq!(wfh.iso_week().week, 12);
+
+        let lockdown = Date::ymd(2020, 3, 23);
+        assert_eq!(lockdown.weekday(), Weekday::Monday);
+        assert_eq!(lockdown.iso_week().week, 13);
+
+        // Week 9 = the paper's baseline week.
+        let baseline_monday = Date::ymd(2020, 2, 24);
+        assert_eq!(baseline_monday.iso_week().week, 9);
+        assert_eq!(baseline_monday.weekday(), Weekday::Monday);
+
+        // End of the analysis window.
+        let end = Date::ymd(2020, 5, 10);
+        assert_eq!(end.iso_week().week, 19);
+        assert_eq!(end.weekday(), Weekday::Sunday);
+    }
+
+    #[test]
+    fn leap_year_2020_february() {
+        assert!(is_leap(2020));
+        assert!(Date::new(2020, Month::February, 29).is_ok());
+        assert!(Date::new(2021, Month::February, 29).is_err());
+        assert!(Date::new(1900, Month::February, 29).is_err()); // century rule
+        assert!(Date::new(2000, Month::February, 29).is_ok()); // 400 rule
+    }
+
+    #[test]
+    fn invalid_days_rejected() {
+        assert_eq!(
+            Date::new(2020, Month::April, 31).unwrap_err(),
+            DateError::InvalidDay
+        );
+        assert_eq!(
+            Date::new(2020, Month::January, 0).unwrap_err(),
+            DateError::InvalidDay
+        );
+    }
+
+    #[test]
+    fn iso_week_edges() {
+        // 2019-12-30 (Mon) belongs to 2020-W01.
+        assert_eq!(
+            Date::ymd(2019, 12, 30).iso_week(),
+            IsoWeek { year: 2020, week: 1 }
+        );
+        // 2021-01-03 (Sun) still belongs to 2020-W53.
+        assert_eq!(
+            Date::ymd(2021, 1, 3).iso_week(),
+            IsoWeek { year: 2020, week: 53 }
+        );
+        // 2021-01-04 (Mon) starts 2021-W01.
+        assert_eq!(
+            Date::ymd(2021, 1, 4).iso_week(),
+            IsoWeek { year: 2021, week: 1 }
+        );
+    }
+
+    #[test]
+    fn iso_week_monday_roundtrip() {
+        let w = IsoWeek { year: 2020, week: 13 };
+        assert_eq!(w.monday(), Date::ymd(2020, 3, 23));
+        assert_eq!(w.monday().iso_week(), w);
+    }
+
+    #[test]
+    fn previous_or_same_is_stable() {
+        let d = Date::ymd(2020, 3, 23); // Monday
+        assert_eq!(d.previous_or_same(Weekday::Monday), d);
+        assert_eq!(
+            d.previous_or_same(Weekday::Sunday),
+            Date::ymd(2020, 3, 22)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Date::ymd(2020, 2, 1).to_string(), "2020-02-01");
+        assert_eq!(
+            Date::ymd(2020, 3, 23).iso_week().to_string(),
+            "2020-W13"
+        );
+    }
+}

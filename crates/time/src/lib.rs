@@ -1,0 +1,20 @@
+//! Minimal calendar and simulation-clock support for the study period.
+//!
+//! The paper analyzes **weeks 9–19 of 2020** (2020-02-24 through
+//! 2020-05-10) and additionally needs February 2020 for home detection
+//! (the home cell is the one a user camps on most during night hours for
+//! at least 14 February days). This crate provides exactly the temporal
+//! vocabulary the paper uses, with no external dependencies:
+//!
+//! * [`Date`] — proleptic Gregorian dates with day-of-week and ISO week
+//!   arithmetic (the paper indexes everything by ISO week number);
+//! * [`SimClock`] — maps a contiguous simulation-day index to dates;
+//! * [`DayBin`] — the six disjoint 4-hour bins of Section 2.3;
+//! * [`Weekday`] — with the weekend distinction used throughout the
+//!   figures (shaded bars in Fig. 3).
+
+pub mod date;
+pub mod sim;
+
+pub use date::{Date, IsoWeek, Month, Weekday};
+pub use sim::{DayBin, SimClock, SimDay, STUDY_END, STUDY_START};

@@ -1,0 +1,277 @@
+//! Simulation clock: contiguous day indices over the study window, plus
+//! the paper's six disjoint 4-hour bins of the day.
+
+use crate::date::{Date, IsoWeek, Weekday};
+use serde::{Deserialize, Serialize};
+
+/// First simulated day: 2020-02-01.
+///
+/// The study's analysis window starts at week 9 (Feb 24), but home
+/// detection (Section 2.3) requires at least 14 nights of February data,
+/// so the simulation starts at the beginning of February.
+pub const STUDY_START: Date = Date::from_days_since_epoch(18293);
+
+/// Last simulated day (inclusive): 2020-05-10, the Sunday ending week 19.
+pub const STUDY_END: Date = Date::from_days_since_epoch(18392);
+
+/// A simulation-day index: day 0 is [`STUDY_START`].
+pub type SimDay = u16;
+
+/// The six disjoint 4-hour bins of the day used for mobility statistics
+/// (Section 2.3: "six disjoint 4-hour bins of the day, e.g. 04:00–08:00").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DayBin {
+    /// 00:00 – 04:00
+    Night,
+    /// 04:00 – 08:00
+    EarlyMorning,
+    /// 08:00 – 12:00
+    Morning,
+    /// 12:00 – 16:00
+    Afternoon,
+    /// 16:00 – 20:00
+    Evening,
+    /// 20:00 – 24:00
+    LateEvening,
+}
+
+impl DayBin {
+    /// All six bins in chronological order.
+    pub const ALL: [DayBin; 6] = [
+        DayBin::Night,
+        DayBin::EarlyMorning,
+        DayBin::Morning,
+        DayBin::Afternoon,
+        DayBin::Evening,
+        DayBin::LateEvening,
+    ];
+
+    /// The bin containing the given hour (0–23).
+    pub fn of_hour(hour: u8) -> DayBin {
+        DayBin::ALL[(hour as usize % 24) / 4]
+    }
+
+    /// First hour of the bin (inclusive).
+    pub fn start_hour(self) -> u8 {
+        self as u8 * 4
+    }
+
+    /// Hours covered by the bin, as `start..end`.
+    pub fn hours(self) -> std::ops::Range<u8> {
+        let s = self.start_hour();
+        s..s + 4
+    }
+
+    /// Whether the bin falls in the paper's home-detection night window
+    /// (midnight through 8 AM).
+    pub fn is_night_window(self) -> bool {
+        matches!(self, DayBin::Night | DayBin::EarlyMorning)
+    }
+
+    /// Bin index 0–5.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Maps simulation-day indices to calendar dates and back.
+///
+/// All feeds timestamp records with a [`SimDay`]; analysis code converts
+/// to ISO weeks through this clock. The default clock covers the paper's
+/// study window; custom windows are supported for tests and what-if
+/// scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimClock {
+    start: Date,
+    end: Date,
+}
+
+impl SimClock {
+    /// Clock over the paper's study window (2020-02-01 … 2020-05-10).
+    pub fn study() -> SimClock {
+        SimClock {
+            start: STUDY_START,
+            end: STUDY_END,
+        }
+    }
+
+    /// Clock over an arbitrary inclusive date range.
+    ///
+    /// # Panics
+    /// Panics if `end < start`.
+    pub fn new(start: Date, end: Date) -> SimClock {
+        assert!(end >= start, "SimClock end must not precede start");
+        SimClock { start, end }
+    }
+
+    /// First simulated date.
+    pub fn start(&self) -> Date {
+        self.start
+    }
+
+    /// Last simulated date (inclusive).
+    pub fn end(&self) -> Date {
+        self.end
+    }
+
+    /// Number of simulated days.
+    pub fn num_days(&self) -> usize {
+        self.end.days_since(self.start) as usize + 1
+    }
+
+    /// The calendar date of a simulation day.
+    ///
+    /// # Panics
+    /// Panics if `day` is outside the clock range.
+    pub fn date(&self, day: SimDay) -> Date {
+        assert!(
+            (day as usize) < self.num_days(),
+            "sim day {day} outside clock range"
+        );
+        self.start.add_days(day as i64)
+    }
+
+    /// The simulation day of a calendar date, if within range.
+    pub fn day_of(&self, date: Date) -> Option<SimDay> {
+        let delta = date.days_since(self.start);
+        if delta < 0 || delta as usize >= self.num_days() {
+            None
+        } else {
+            Some(delta as SimDay)
+        }
+    }
+
+    /// Iterate all simulation days.
+    pub fn days(&self) -> impl Iterator<Item = SimDay> {
+        0..self.num_days() as SimDay
+    }
+
+    /// Iterate the simulation days that fall inside the given ISO week.
+    pub fn days_in_week(&self, week: IsoWeek) -> impl Iterator<Item = SimDay> + '_ {
+        self.days().filter(move |&d| self.date(d).iso_week() == week)
+    }
+
+    /// ISO week of a simulation day.
+    pub fn week(&self, day: SimDay) -> IsoWeek {
+        self.date(day).iso_week()
+    }
+
+    /// Weekday of a simulation day.
+    pub fn weekday(&self, day: SimDay) -> Weekday {
+        self.date(day).weekday()
+    }
+
+    /// The distinct ISO weeks covered by the clock, in order.
+    pub fn weeks(&self) -> Vec<IsoWeek> {
+        let mut weeks = Vec::new();
+        for d in self.days() {
+            let w = self.week(d);
+            if weeks.last() != Some(&w) {
+                weeks.push(w);
+            }
+        }
+        weeks
+    }
+
+    /// Simulation days of February 2020 within range — the home-detection
+    /// observation window.
+    pub fn february_days(&self) -> Vec<SimDay> {
+        self.days()
+            .filter(|&d| {
+                let date = self.date(d);
+                date.year() == 2020 && date.month().number() == 2
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Month;
+
+    #[test]
+    fn study_constants_are_correct_dates() {
+        assert_eq!(STUDY_START, Date::ymd(2020, 2, 1));
+        assert_eq!(STUDY_END, Date::ymd(2020, 5, 10));
+    }
+
+    #[test]
+    fn study_clock_spans_100_days() {
+        let c = SimClock::study();
+        assert_eq!(c.num_days(), 100);
+        assert_eq!(c.date(0), Date::ymd(2020, 2, 1));
+        assert_eq!(c.date(99), Date::ymd(2020, 5, 10));
+    }
+
+    #[test]
+    fn day_of_roundtrip_and_bounds() {
+        let c = SimClock::study();
+        for d in c.days() {
+            assert_eq!(c.day_of(c.date(d)), Some(d));
+        }
+        assert_eq!(c.day_of(Date::ymd(2020, 1, 31)), None);
+        assert_eq!(c.day_of(Date::ymd(2020, 5, 11)), None);
+    }
+
+    #[test]
+    fn weeks_cover_5_through_19() {
+        let c = SimClock::study();
+        let weeks = c.weeks();
+        assert_eq!(weeks.first().unwrap().week, 5);
+        assert_eq!(weeks.last().unwrap().week, 19);
+        // Weeks are distinct and increasing.
+        for pair in weeks.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn days_in_week_13_are_lockdown_week() {
+        let c = SimClock::study();
+        let days: Vec<_> = c
+            .days_in_week(IsoWeek { year: 2020, week: 13 })
+            .collect();
+        assert_eq!(days.len(), 7);
+        assert_eq!(c.date(days[0]), Date::ymd(2020, 3, 23));
+        assert_eq!(c.date(days[6]), Date::ymd(2020, 3, 29));
+    }
+
+    #[test]
+    fn february_window_has_29_days_in_2020() {
+        let c = SimClock::study();
+        let feb = c.february_days();
+        assert_eq!(feb.len(), 29);
+        assert!(feb.iter().all(|&d| c.date(d).month() == Month::February));
+    }
+
+    #[test]
+    fn bins_tile_the_day() {
+        let mut covered = [false; 24];
+        for bin in DayBin::ALL {
+            for h in bin.hours() {
+                assert!(!covered[h as usize], "hour {h} covered twice");
+                covered[h as usize] = true;
+                assert_eq!(DayBin::of_hour(h), bin);
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn night_window_matches_paper() {
+        // Section 2.3: nighttime hours are 12:00 PM (midnight) through 8 AM.
+        for h in 0..8 {
+            assert!(DayBin::of_hour(h).is_night_window(), "hour {h}");
+        }
+        for h in 8..24 {
+            assert!(!DayBin::of_hour(h).is_night_window(), "hour {h}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside clock range")]
+    fn date_out_of_range_panics() {
+        SimClock::study().date(100);
+    }
+}

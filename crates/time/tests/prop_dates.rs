@@ -1,0 +1,71 @@
+//! Property tests for calendar arithmetic.
+
+use cellscope_time::{Date, DayBin, SimClock};
+use proptest::prelude::*;
+
+proptest! {
+    /// days_since_epoch / from_days_since_epoch are inverse bijections.
+    #[test]
+    fn epoch_roundtrip(days in -200_000i32..200_000) {
+        let d = Date::from_days_since_epoch(days);
+        prop_assert_eq!(d.days_since_epoch(), days);
+    }
+
+    /// (y, m, d) -> Date -> (y, m, d) round-trips.
+    #[test]
+    fn component_roundtrip(days in -200_000i32..200_000) {
+        let d = Date::from_days_since_epoch(days);
+        let (y, m, day) = d.components();
+        let rebuilt = Date::new(y, m, day).unwrap();
+        prop_assert_eq!(rebuilt, d);
+    }
+
+    /// add_days is additive and invertible.
+    #[test]
+    fn add_days_additive(days in -100_000i32..100_000, a in -5_000i64..5_000, b in -5_000i64..5_000) {
+        let d = Date::from_days_since_epoch(days);
+        prop_assert_eq!(d.add_days(a).add_days(b), d.add_days(a + b));
+        prop_assert_eq!(d.add_days(a).add_days(-a), d);
+    }
+
+    /// Consecutive days advance the weekday cyclically.
+    #[test]
+    fn weekday_cycles(days in -100_000i32..100_000) {
+        let d = Date::from_days_since_epoch(days);
+        let next = d.add_days(1);
+        prop_assert_eq!(
+            (d.weekday().iso_number() % 7) + 1,
+            next.weekday().iso_number()
+        );
+    }
+
+    /// Every date's ISO week contains that date's week-Monday, and the
+    /// Monday of the reported ISO week is at most 6 days before the date.
+    #[test]
+    fn iso_week_contains_date(days in -100_000i32..100_000) {
+        let d = Date::from_days_since_epoch(days);
+        let week = d.iso_week();
+        let monday = week.monday();
+        let delta = d.days_since(monday);
+        prop_assert!((0..7).contains(&delta), "date {d} not within its ISO week starting {monday}");
+        prop_assert!(week.week >= 1 && week.week <= 53);
+    }
+
+    /// DayBin::of_hour is total and consistent with hours().
+    #[test]
+    fn day_bin_consistent(hour in 0u8..24) {
+        let bin = DayBin::of_hour(hour);
+        prop_assert!(bin.hours().contains(&hour));
+    }
+
+    /// SimClock::date and day_of are inverses over arbitrary windows.
+    #[test]
+    fn clock_roundtrip(start in -50_000i32..50_000, len in 1usize..500) {
+        let s = Date::from_days_since_epoch(start);
+        let clock = SimClock::new(s, s.add_days(len as i64 - 1));
+        prop_assert_eq!(clock.num_days(), len);
+        for day in clock.days() {
+            prop_assert_eq!(clock.day_of(clock.date(day)), Some(day));
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The application mix and its pandemic response.
+//!
+//! Related work the paper cites reports the application-level shifts:
+//! +215–285% VoIP/videoconferencing, +30–40% VPN, +20–40% streaming and
+//! web video (Comcast), with the *fixed* network absorbing most of the
+//! growth while *mobile* LTE traffic fell. [`AppMix`] encodes a class
+//! mix whose aggregate DL:UL asymmetry, WiFi-offloadability and
+//! restriction response produce exactly that split when combined with
+//! the offload model in [`crate::demand`].
+
+use crate::qci::Qci;
+use serde::{Deserialize, Serialize};
+
+/// Application class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppClass {
+    /// Long-form video streaming — heavily DL, loves WiFi.
+    VideoStreaming,
+    /// Web browsing and apps.
+    Web,
+    /// Social feeds (scroll + upload).
+    Social,
+    /// Chat/messaging.
+    Messaging,
+    /// Video conferencing — symmetric, exploded under lockdown.
+    VideoConferencing,
+    /// Over-the-top VoIP (non-QCI1).
+    VoipOtt,
+    /// Online gaming.
+    Gaming,
+    /// Background software updates.
+    SoftwareUpdates,
+}
+
+/// Per-class traffic characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Share of baseline *downlink* demand attributable to the class.
+    pub dl_share: f64,
+    /// UL bytes per DL byte for the class.
+    pub ul_ratio: f64,
+    /// Fraction of the class's traffic that moves to WiFi when the user
+    /// is somewhere with WiFi (home, office).
+    pub wifi_affinity: f64,
+    /// Demand multiplier at full restriction intensity (1 = unchanged;
+    /// 3 = triples under lockdown).
+    pub lockdown_multiplier: f64,
+    /// Bearer the class rides on.
+    pub qci: Qci,
+}
+
+impl AppClass {
+    /// All classes.
+    pub const ALL: [AppClass; 8] = [
+        AppClass::VideoStreaming,
+        AppClass::Web,
+        AppClass::Social,
+        AppClass::Messaging,
+        AppClass::VideoConferencing,
+        AppClass::VoipOtt,
+        AppClass::Gaming,
+        AppClass::SoftwareUpdates,
+    ];
+
+    /// The class profile.
+    pub fn profile(self) -> AppProfile {
+        match self {
+            AppClass::VideoStreaming => AppProfile {
+                dl_share: 0.42,
+                ul_ratio: 0.03,
+                wifi_affinity: 0.92,
+                lockdown_multiplier: 1.15,
+                qci: Qci(8),
+            },
+            AppClass::Web => AppProfile {
+                dl_share: 0.20,
+                ul_ratio: 0.08,
+                wifi_affinity: 0.70,
+                lockdown_multiplier: 1.10,
+                qci: Qci(8),
+            },
+            AppClass::Social => AppProfile {
+                dl_share: 0.16,
+                ul_ratio: 0.15,
+                wifi_affinity: 0.65,
+                lockdown_multiplier: 1.15,
+                qci: Qci(8),
+            },
+            AppClass::Messaging => AppProfile {
+                dl_share: 0.05,
+                ul_ratio: 0.60,
+                wifi_affinity: 0.50,
+                lockdown_multiplier: 1.20,
+                qci: Qci(7),
+            },
+            AppClass::VideoConferencing => AppProfile {
+                dl_share: 0.04,
+                ul_ratio: 0.85,
+                wifi_affinity: 0.93,
+                lockdown_multiplier: 1.6,
+                qci: Qci(2),
+            },
+            AppClass::VoipOtt => AppProfile {
+                dl_share: 0.03,
+                ul_ratio: 0.95,
+                wifi_affinity: 0.75,
+                lockdown_multiplier: 1.9,
+                qci: Qci(7),
+            },
+            AppClass::Gaming => AppProfile {
+                dl_share: 0.05,
+                ul_ratio: 0.12,
+                wifi_affinity: 0.85,
+                lockdown_multiplier: 1.20,
+                qci: Qci(3),
+            },
+            AppClass::SoftwareUpdates => AppProfile {
+                dl_share: 0.05,
+                ul_ratio: 0.01,
+                wifi_affinity: 0.95,
+                lockdown_multiplier: 1.0,
+                qci: Qci(8),
+            },
+        }
+    }
+}
+
+/// The aggregate mix: weighted combination of all classes under a given
+/// restriction intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AppMix;
+
+/// Aggregate traffic coefficients derived from the mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixAggregate {
+    /// Total DL demand multiplier vs. baseline.
+    pub dl_demand_multiplier: f64,
+    /// UL bytes per DL byte of the blended mix.
+    pub ul_ratio: f64,
+    /// Fraction of blended traffic that prefers WiFi when available.
+    pub wifi_affinity: f64,
+}
+
+impl AppMix {
+    /// Blend the class profiles at restriction intensity `e` (0–1).
+    ///
+    /// Class demand scales as `dl_share × (1 + (multiplier−1) × e)`;
+    /// ratios re-weight accordingly, so the blended UL:DL asymmetry
+    /// *rises* under lockdown (conferencing grows fastest), exactly why
+    /// the paper sees uplink hold steady while downlink falls.
+    pub fn aggregate(self, e: f64) -> MixAggregate {
+        let e = e.clamp(0.0, 1.0);
+        let mut dl_total = 0.0;
+        let mut ul_total = 0.0;
+        let mut wifi_weighted = 0.0;
+        for class in AppClass::ALL {
+            let p = class.profile();
+            let dl = p.dl_share * (1.0 + (p.lockdown_multiplier - 1.0) * e);
+            dl_total += dl;
+            ul_total += dl * p.ul_ratio;
+            wifi_weighted += dl * p.wifi_affinity;
+        }
+        MixAggregate {
+            dl_demand_multiplier: dl_total, // baseline shares sum to 1
+            ul_ratio: ul_total / dl_total,
+            wifi_affinity: wifi_weighted / dl_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_shares_sum_to_one() {
+        let total: f64 = AppClass::ALL.iter().map(|c| c.profile().dl_share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn baseline_aggregate_is_identity_demand() {
+        let agg = AppMix.aggregate(0.0);
+        assert!((agg.dl_demand_multiplier - 1.0).abs() < 1e-9);
+        // Blended mobile mix is strongly DL-skewed (order of magnitude).
+        assert!(agg.ul_ratio > 0.05 && agg.ul_ratio < 0.20, "{}", agg.ul_ratio);
+    }
+
+    #[test]
+    fn lockdown_grows_demand_and_ul_share() {
+        let base = AppMix.aggregate(0.0);
+        let locked = AppMix.aggregate(1.0);
+        // Total demand grows (more screen time)…
+        assert!(locked.dl_demand_multiplier > 1.10);
+        // …and the mix gets more symmetric (conferencing/VoIP).
+        assert!(locked.ul_ratio > base.ul_ratio);
+        // …while staying about as WiFi-friendly (conferencing and
+        // streaming both love WiFi).
+        assert!((locked.wifi_affinity - base.wifi_affinity).abs() < 0.05);
+    }
+
+    #[test]
+    fn aggregate_monotone_in_intensity() {
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let agg = AppMix.aggregate(i as f64 / 10.0);
+            assert!(agg.dl_demand_multiplier >= prev);
+            prev = agg.dl_demand_multiplier;
+        }
+    }
+
+    #[test]
+    fn realtime_classes_are_the_fastest_growers() {
+        // Conferencing and OTT voice explode; everything else grows
+        // mildly at most (Comcast: +215-285% VoIP/videoconferencing).
+        let conf = AppClass::VideoConferencing.profile().lockdown_multiplier;
+        let voip = AppClass::VoipOtt.profile().lockdown_multiplier;
+        for c in AppClass::ALL {
+            if !matches!(c, AppClass::VideoConferencing | AppClass::VoipOtt) {
+                assert!(c.profile().lockdown_multiplier <= conf.min(voip));
+            }
+        }
+        assert!(conf >= 1.5 && voip >= 1.5);
+    }
+
+    #[test]
+    fn every_class_rides_a_volume_aggregate_bearer() {
+        for c in AppClass::ALL {
+            assert!(c.profile().qci.in_volume_aggregate(), "{c:?}");
+        }
+    }
+}

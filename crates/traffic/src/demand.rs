@@ -1,0 +1,357 @@
+//! Per-subscriber daily data demand.
+//!
+//! Produces, for one subscriber-day, the total *device* demand (what the
+//! user wants to transfer) plus the coefficients that decide how much of
+//! it rides the cellular network: the blended UL:DL ratio and WiFi
+//! affinity from the app mix, and the location-dependent offload
+//! fractions. The split between cellular and WiFi is what turns "people
+//! stay home and watch more video" into *less* mobile traffic — the
+//! central mechanism of the paper's Section 4.1.
+
+use crate::apps::AppMix;
+use cellscope_epidemic::Timeline;
+use cellscope_geo::OacCluster;
+use cellscope_mobility::{DeviceClass, Segment, Subscriber, VisitKind};
+use cellscope_time::{Date, Weekday};
+use serde::{Deserialize, Serialize};
+
+/// Diurnal weights: fraction of a day's demand falling in each hour.
+/// Mobile traffic is evening-heavy with a deep night trough.
+pub const HOURLY_WEIGHTS: [f64; 24] = [
+    0.010, 0.006, 0.004, 0.003, 0.003, 0.005, 0.012, 0.025, 0.040, 0.048, 0.052, 0.055, //
+    0.058, 0.055, 0.052, 0.052, 0.055, 0.062, 0.072, 0.080, 0.082, 0.075, 0.058, 0.036,
+];
+
+/// Diurnal weights for voice minutes: daytime-heavy, evening peak.
+pub const VOICE_HOURLY_WEIGHTS: [f64; 24] = [
+    0.004, 0.002, 0.002, 0.002, 0.002, 0.004, 0.012, 0.030, 0.055, 0.068, 0.070, 0.072, //
+    0.070, 0.065, 0.062, 0.060, 0.062, 0.072, 0.082, 0.080, 0.062, 0.038, 0.016, 0.008,
+];
+
+/// Demand-model parameters.
+///
+/// The `*_cellular` rates fold three real effects into one multiplier on
+/// the diurnal demand profile: WiFi offload where WiFi exists,
+/// cross-device substitution (at home the phone loses screen time to
+/// TVs and laptops — more so when people are confined with them all
+/// day), and context-dependent phone engagement (on the move the phone
+/// is the only screen and it is cellular-only).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandConfig {
+    /// Baseline daily DL device demand of a worker's smartphone, MB.
+    pub base_dl_mb: f64,
+    /// Cellular share of demand generated while at home, normal times.
+    pub home_cellular_base: f64,
+    /// How much of the at-home cellular share confinement erodes (WiFi
+    /// settling + substitution toward the household's big screens).
+    pub home_cellular_lockdown_cut: f64,
+    /// How much of the at-home *uplink* cellular share confinement
+    /// erodes. Smaller than the DL cut: the big screens that absorb
+    /// video downlink at home do not absorb the phone's uplink
+    /// (messaging, voice notes, photo uploads stay on the handset).
+    pub home_ul_cellular_lockdown_cut: f64,
+    /// Cellular share at the workplace (office WiFi, work focus).
+    pub work_cellular: f64,
+    /// Demand-rate multiplier on the move between places and at leisure
+    /// destinations: on-the-go usage is cellular-only and concentrated
+    /// (commutes, waiting, navigation, feeds).
+    pub away_cellular: f64,
+    /// Demand-rate multiplier during local wandering (walks, errands,
+    /// the lockdown exercise hour): the phone is pocketed most of the
+    /// time, so usage is far lighter than transit/leisure time.
+    pub wander_cellular: f64,
+    /// Daily demand of an M2M module, MB.
+    pub m2m_daily_mb: f64,
+}
+
+impl Default for DemandConfig {
+    fn default() -> Self {
+        DemandConfig {
+            base_dl_mb: 550.0,
+            home_cellular_base: 0.22,
+            home_cellular_lockdown_cut: 0.155,
+            home_ul_cellular_lockdown_cut: 0.15,
+            work_cellular: 0.27,
+            away_cellular: 1.70,
+            wander_cellular: 0.45,
+            m2m_daily_mb: 0.4,
+        }
+    }
+}
+
+/// Resolved demand for one subscriber-day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DayDemand {
+    /// Total device DL demand, MB (pre-offload).
+    pub dl_mb: f64,
+    /// UL bytes per DL byte of today's blended mix.
+    pub ul_ratio: f64,
+    /// Fraction of traffic that moves to WiFi where available.
+    pub wifi_affinity: f64,
+}
+
+/// The demand model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandModel {
+    /// Tuning.
+    pub config: DemandConfig,
+    /// App mix (stateless blender).
+    pub mix: AppMix,
+    /// The policy timeline the news bump reacts to.
+    pub timeline: Timeline,
+}
+
+impl Default for DemandModel {
+    fn default() -> Self {
+        DemandModel {
+            config: DemandConfig::default(),
+            mix: AppMix,
+            timeline: Timeline::uk_2020(),
+        }
+    }
+}
+
+impl DemandModel {
+    /// The week-10–11 news bump: anxiety-driven consumption as the
+    /// pandemic dominated headlines, before mobility collapsed. This is
+    /// what lifts downlink volume +8% in week 10 (Fig. 8) while
+    /// everything else still looks normal. Keyed to the declaration
+    /// week, so counterfactual timelines produce no bump.
+    pub fn news_bump(&self, date: Date) -> f64 {
+        let declared_monday = self
+            .timeline
+            .pandemic_declared
+            .previous_or_same(Weekday::Monday);
+        let week_rel =
+            date.previous_or_same(Weekday::Monday).days_since(declared_monday) / 7;
+        match week_rel {
+            -1 => 1.08,
+            0 => 1.05,
+            _ => 1.0,
+        }
+    }
+
+    /// Segment scaling of data appetite.
+    fn segment_factor(segment: Segment) -> f64 {
+        match segment {
+            Segment::Worker { .. } => 1.0,
+            Segment::Student => 1.35,
+            Segment::Retiree => 0.45,
+            Segment::HomeMaker => 0.75,
+            Segment::Tourist => 1.25,
+        }
+    }
+
+    /// Home-broadband quality by geodemographic cluster:
+    /// `(extra cellular share at home, scaling of the confinement cut)`.
+    ///
+    /// Rural areas and deprived urban clusters have markedly worse fixed
+    /// broadband (the UK's well-documented connectivity gap), so their
+    /// phones keep carrying traffic at home and confinement cannot move
+    /// it to WiFi — which is exactly why the paper finds rural downlink
+    /// "largely stable" and Multicultural-Metropolitan London cells
+    /// *gaining* traffic while Cosmopolitan cells collapse (Sections
+    /// 4.4, 5.2).
+    pub fn home_broadband_gap(cluster: OacCluster) -> (f64, f64) {
+        match cluster {
+            OacCluster::RuralResidents => (0.05, 0.55),
+            OacCluster::HardPressedLiving => (0.04, 0.65),
+            OacCluster::ConstrainedCityDwellers => (0.04, 0.65),
+            OacCluster::MulticulturalMetropolitans => (0.05, 0.55),
+            OacCluster::EthnicityCentral => (0.02, 0.85),
+            _ => (0.0, 1.0),
+        }
+    }
+
+    /// Resolve one subscriber-day's demand at restriction intensity `e`.
+    pub fn for_subscriber(&self, sub: &Subscriber, date: Date, e: f64) -> DayDemand {
+        if sub.device == DeviceClass::M2m {
+            return DayDemand {
+                dl_mb: self.config.m2m_daily_mb,
+                ul_ratio: 1.0, // telemetry is mostly uplink-symmetric
+                wifi_affinity: 0.0,
+            };
+        }
+        let agg = self.mix.aggregate(e);
+        let dl_mb = self.config.base_dl_mb
+            * Self::segment_factor(sub.segment)
+            * agg.dl_demand_multiplier
+            * self.news_bump(date);
+        DayDemand {
+            dl_mb,
+            ul_ratio: agg.ul_ratio,
+            wifi_affinity: agg.wifi_affinity,
+        }
+    }
+
+    /// Cellular demand-rate multiplier for a visit context.
+    ///
+    /// `confinement` is the ratcheted restriction level: once households
+    /// settled onto their broadband during lockdown they did not come
+    /// back even as mobility crept up — which is why the paper's DL
+    /// volume stays low through weeks 18–19 despite mobility recovering.
+    pub fn cellular_rate(&self, kind: VisitKind, cluster: OacCluster, confinement: f64) -> f64 {
+        match kind {
+            VisitKind::Home | VisitKind::SecondHome => {
+                let (gap, cut_scale) = Self::home_broadband_gap(cluster);
+                (self.config.home_cellular_base + gap
+                    - self.config.home_cellular_lockdown_cut * cut_scale * confinement)
+                    .max(0.02)
+            }
+            VisitKind::Work => self.config.work_cellular,
+            VisitKind::Wander => self.config.wander_cellular,
+            VisitKind::Leisure | VisitKind::Trip => self.config.away_cellular,
+        }
+    }
+
+    /// Like [`DemandModel::cellular_rate`] but for the uplink, whose
+    /// at-home share erodes less under confinement.
+    pub fn cellular_ul_rate(&self, kind: VisitKind, cluster: OacCluster, confinement: f64) -> f64 {
+        match kind {
+            VisitKind::Home | VisitKind::SecondHome => {
+                let (gap, cut_scale) = Self::home_broadband_gap(cluster);
+                (self.config.home_cellular_base + gap
+                    - self.config.home_ul_cellular_lockdown_cut * cut_scale * confinement)
+                    .max(0.02)
+            }
+            other => self.cellular_rate(other, cluster, confinement),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellscope_geo::{OacCluster, ZoneId};
+    use cellscope_mobility::{AnchorSet, SubscriberId};
+
+    fn sub(device: DeviceClass, segment: Segment) -> Subscriber {
+        Subscriber {
+            id: SubscriberId(0),
+            home_zone: ZoneId(0),
+            home_cluster: OacCluster::Urbanites,
+            device,
+            native: true,
+            segment,
+            compliance: 0.9,
+            anchors: AnchorSet::default(),
+            relocation: None,
+        }
+    }
+
+    #[test]
+    fn hourly_weights_are_distributions() {
+        for weights in [HOURLY_WEIGHTS, VOICE_HOURLY_WEIGHTS] {
+            let total: f64 = weights.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+            assert!(weights.iter().all(|&w| w > 0.0));
+        }
+        // Evening peak for data.
+        assert!(HOURLY_WEIGHTS[20] > HOURLY_WEIGHTS[3] * 10.0);
+    }
+
+    #[test]
+    fn m2m_demand_is_tiny_and_constant() {
+        let m = DemandModel::default();
+        let d1 = m.for_subscriber(
+            &sub(DeviceClass::M2m, Segment::HomeMaker),
+            Date::ymd(2020, 2, 25),
+            0.0,
+        );
+        let d2 = m.for_subscriber(
+            &sub(DeviceClass::M2m, Segment::HomeMaker),
+            Date::ymd(2020, 4, 1),
+            1.0,
+        );
+        assert_eq!(d1.dl_mb, d2.dl_mb);
+        assert!(d1.dl_mb < 1.0);
+        assert_eq!(d1.wifi_affinity, 0.0);
+    }
+
+    #[test]
+    fn lockdown_raises_device_demand() {
+        let m = DemandModel::default();
+        let s = sub(DeviceClass::Smartphone, Segment::Worker { essential: false });
+        let base = m.for_subscriber(&s, Date::ymd(2020, 2, 25), 0.0);
+        let locked = m.for_subscriber(&s, Date::ymd(2020, 4, 1), 1.0);
+        assert!(locked.dl_mb > base.dl_mb);
+        assert!(locked.ul_ratio > base.ul_ratio);
+    }
+
+    #[test]
+    fn news_bump_in_week_10() {
+        let m = DemandModel::default();
+        assert_eq!(m.news_bump(Date::ymd(2020, 3, 4)), 1.08); // wk 10
+        assert_eq!(m.news_bump(Date::ymd(2020, 3, 11)), 1.05); // wk 11
+        assert_eq!(m.news_bump(Date::ymd(2020, 2, 25)), 1.0); // wk 9
+        assert_eq!(m.news_bump(Date::ymd(2020, 4, 1)), 1.0); // wk 14
+        // Counterfactual timeline: no bump at all.
+        let quiet = DemandModel {
+            timeline: Timeline::no_intervention(),
+            ..DemandModel::default()
+        };
+        assert_eq!(quiet.news_bump(Date::ymd(2020, 3, 4)), 1.0);
+    }
+
+    #[test]
+    fn cellular_rate_hierarchy_and_confinement_cut() {
+        let m = DemandModel::default();
+        let urb = OacCluster::Urbanites;
+        let home0 = m.cellular_rate(VisitKind::Home, urb, 0.0);
+        let home1 = m.cellular_rate(VisitKind::Home, urb, 1.0);
+        let work = m.cellular_rate(VisitKind::Work, urb, 0.0);
+        let away = m.cellular_rate(VisitKind::Leisure, urb, 1.0);
+        let wander = m.cellular_rate(VisitKind::Wander, urb, 1.0);
+        assert!(home1 < home0, "confinement erodes at-home cellular use");
+        assert!(home0 < work, "office WiFi is weaker than home WiFi");
+        assert!(away > 1.0, "on-the-go usage is cellular-intensive");
+        assert!(
+            wander < 1.0 && wander > home1,
+            "a pocketed phone on a walk sits between home and transit"
+        );
+        assert!(home1 > 0.0);
+        // Second home behaves like home; trips like leisure.
+        assert_eq!(
+            m.cellular_rate(VisitKind::SecondHome, urb, 0.5),
+            m.cellular_rate(VisitKind::Home, urb, 0.5)
+        );
+        assert_eq!(m.cellular_rate(VisitKind::Trip, urb, 0.0), away);
+        // The uplink keeps more of its at-home cellular share.
+        let ul_home1 = m.cellular_ul_rate(VisitKind::Home, urb, 1.0);
+        assert!(ul_home1 > home1, "UL erodes less than DL at home");
+        assert_eq!(m.cellular_ul_rate(VisitKind::Work, urb, 0.5), work);
+    }
+
+    #[test]
+    fn broadband_gap_keeps_rural_homes_on_cellular() {
+        let m = DemandModel::default();
+        let rural1 = m.cellular_rate(VisitKind::Home, OacCluster::RuralResidents, 1.0);
+        let urb1 = m.cellular_rate(VisitKind::Home, OacCluster::Urbanites, 1.0);
+        let cosmo1 = m.cellular_rate(VisitKind::Home, OacCluster::Cosmopolitans, 1.0);
+        // Rural homes keep far more traffic on cellular under lockdown.
+        assert!(rural1 > 2.0 * urb1, "rural {rural1} vs urbanites {urb1}");
+        // Well-connected city cores offload the most.
+        assert!(cosmo1 <= urb1 + 1e-12);
+        // Deprived urban clusters sit in between.
+        let multi1 =
+            m.cellular_rate(VisitKind::Home, OacCluster::MulticulturalMetropolitans, 1.0);
+        assert!(multi1 > urb1 && multi1 <= rural1);
+    }
+
+    #[test]
+    fn students_stream_more_than_retirees() {
+        let m = DemandModel::default();
+        let date = Date::ymd(2020, 2, 25);
+        let student = m.for_subscriber(
+            &sub(DeviceClass::Smartphone, Segment::Student),
+            date,
+            0.0,
+        );
+        let retiree = m.for_subscriber(
+            &sub(DeviceClass::Smartphone, Segment::Retiree),
+            date,
+            0.0,
+        );
+        assert!(student.dl_mb > 2.0 * retiree.dl_mb);
+    }
+}

@@ -1,0 +1,35 @@
+//! Traffic demand: what subscribers push through the network and where.
+//!
+//! Converts presence (trajectories) into offered load per cell and hour,
+//! the input of the radio KPI model. The structure follows the paper's
+//! bearer taxonomy — everything is a QCI 1–8 bearer, with conversational
+//! voice isolated as QCI 1 (Section 2.4) — and its behavioural findings:
+//!
+//! * [`qci`] — QoS Class Identifiers and the QCI-1 voice split;
+//! * [`apps`] — an application mix (streaming, web, conferencing, …)
+//!   with per-class DL:UL asymmetry, WiFi-offloadability and pandemic
+//!   response, matching the shifts reported by Comcast/CTIA (related
+//!   work) and the paper's own conjectures;
+//! * [`throttle`] — the content-provider quality reduction of late March
+//!   2020 that made per-user throughput *application-limited*;
+//! * [`demand`] — per-subscriber daily data demand: diurnal profile,
+//!   home-WiFi offload (rising under lockdown), demand growth while
+//!   confined, the weeks 10–11 news bump;
+//! * [`voice`] — the conversational-voice model: minutes per user, the
+//!   lockdown surge ("seven years of growth in days"), off-net share
+//!   crossing the inter-MNO interconnect;
+//! * [`loadgen`] — presence × demand → per-(4G cell, hour) offered load.
+
+pub mod apps;
+pub mod demand;
+pub mod loadgen;
+pub mod qci;
+pub mod throttle;
+pub mod voice;
+
+pub use apps::{AppClass, AppMix};
+pub use demand::{DemandConfig, DemandModel};
+pub use loadgen::{CellHourLoad, DayLoadGrid, LoadGenerator};
+pub use qci::Qci;
+pub use throttle::ThrottlePolicy;
+pub use voice::VoiceModel;

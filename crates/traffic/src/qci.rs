@@ -1,0 +1,70 @@
+//! QoS Class Identifiers.
+//!
+//! LTE bearers carry a QCI. The paper's KPI definitions hinge on two
+//! groupings: "all bearers corresponding to QCI from 1 to 8" for data
+//! volume, and "QCI value 1" alone for conversational voice (VoLTE).
+
+use serde::{Deserialize, Serialize};
+
+/// A QoS Class Identifier (1–9 standardized values modeled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Qci(pub u8);
+
+impl Qci {
+    /// Conversational voice (VoLTE).
+    pub const CONVERSATIONAL_VOICE: Qci = Qci(1);
+    /// Default best-effort internet bearer.
+    pub const DEFAULT_INTERNET: Qci = Qci(9);
+
+    /// Whether the paper's data-volume KPIs include this bearer
+    /// ("the sum of all data transferred on all cell bearers
+    /// corresponding to QCI from 1 to 8").
+    pub fn in_volume_aggregate(self) -> bool {
+        (1..=8).contains(&self.0)
+    }
+
+    /// Whether this is the conversational-voice bearer.
+    pub fn is_voice(self) -> bool {
+        self == Qci::CONVERSATIONAL_VOICE
+    }
+
+    /// Whether this is a guaranteed-bit-rate QCI (1–4 per 3GPP).
+    pub fn is_gbr(self) -> bool {
+        (1..=4).contains(&self.0)
+    }
+}
+
+impl std::fmt::Display for Qci {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QCI{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voice_is_qci1_and_gbr() {
+        assert!(Qci::CONVERSATIONAL_VOICE.is_voice());
+        assert!(Qci::CONVERSATIONAL_VOICE.is_gbr());
+        assert!(Qci::CONVERSATIONAL_VOICE.in_volume_aggregate());
+        assert_eq!(Qci::CONVERSATIONAL_VOICE.to_string(), "QCI1");
+    }
+
+    #[test]
+    fn aggregate_covers_1_to_8_only() {
+        for q in 1..=8 {
+            assert!(Qci(q).in_volume_aggregate(), "QCI{q}");
+        }
+        assert!(!Qci(9).in_volume_aggregate());
+        assert!(!Qci(0).in_volume_aggregate());
+    }
+
+    #[test]
+    fn gbr_range() {
+        assert!(Qci(4).is_gbr());
+        assert!(!Qci(5).is_gbr());
+        assert!(!Qci(9).is_gbr());
+    }
+}

@@ -1,0 +1,64 @@
+//! Content-provider throttling.
+//!
+//! From Mar 19–20, 2020, major streaming platforms reduced video quality
+//! in Europe at the EU's request (the paper cites YouTube's reduction).
+//! The consequence Section 4.1 measures: per-user throughput *fell* ~10%
+//! even though the radio network got emptier — throughput was
+//! application-limited, not network-limited.
+
+use cellscope_time::Date;
+use serde::{Deserialize, Serialize};
+
+/// The per-user application throughput ceiling over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThrottlePolicy {
+    /// Ceiling before the quality reduction, Mbit/s.
+    pub baseline_mbps: f64,
+    /// Ceiling after it, Mbit/s.
+    pub throttled_mbps: f64,
+    /// Date the reduction takes effect.
+    pub effective_from: Date,
+}
+
+impl Default for ThrottlePolicy {
+    fn default() -> Self {
+        ThrottlePolicy {
+            baseline_mbps: 8.0,
+            // ≈9% below baseline: the paper bounds the throughput drop
+            // at ~10%.
+            throttled_mbps: 7.3,
+            effective_from: Date::ymd(2020, 3, 19),
+        }
+    }
+}
+
+impl ThrottlePolicy {
+    /// The application-limited per-user ceiling on `date`.
+    pub fn app_limit_mbps(&self, date: Date) -> f64 {
+        if date >= self.effective_from {
+            self.throttled_mbps
+        } else {
+            self.baseline_mbps
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceiling_switches_on_the_effective_date() {
+        let p = ThrottlePolicy::default();
+        assert_eq!(p.app_limit_mbps(Date::ymd(2020, 3, 18)), 8.0);
+        assert_eq!(p.app_limit_mbps(Date::ymd(2020, 3, 19)), 7.3);
+        assert_eq!(p.app_limit_mbps(Date::ymd(2020, 5, 1)), 7.3);
+    }
+
+    #[test]
+    fn reduction_is_at_most_ten_percent() {
+        let p = ThrottlePolicy::default();
+        let drop = 1.0 - p.throttled_mbps / p.baseline_mbps;
+        assert!(drop > 0.0 && drop <= 0.10, "drop {drop}");
+    }
+}

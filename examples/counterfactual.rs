@@ -1,0 +1,78 @@
+//! Counterfactual: the same spring without a lockdown.
+//!
+//! ```sh
+//! cargo run --release --example counterfactual
+//! ```
+//!
+//! Runs the study twice — once under the UK's 2020 intervention
+//! timeline, once under [`Timeline::no_intervention`] — with identical
+//! seeds, so every difference between the two runs is attributable to
+//! policy. This is the cleanest demonstration that the reproduction's
+//! effects are *caused* by the modelled interventions rather than baked
+//! into the data: remove the policy and the paper's findings vanish.
+
+use cellscope::analysis::KpiField;
+use cellscope::epidemic::Timeline;
+use cellscope::scenario::{figures, run_study, ScenarioConfig};
+
+fn main() {
+    let mut factual_cfg = ScenarioConfig::small(2020);
+    factual_cfg.population.num_subscribers = 4_000;
+    let mut counter_cfg = factual_cfg.clone();
+    counter_cfg.timeline = Timeline::no_intervention();
+
+    println!("simulating the factual (lockdown) arm…");
+    let factual = run_study(&factual_cfg);
+    println!("simulating the counterfactual (no intervention) arm…\n");
+    let counterfactual = run_study(&counter_cfg);
+
+    let summarize = |ds: &cellscope::scenario::StudyDataset| -> (f64, f64, f64, f64) {
+        let f3 = figures::fig3(ds);
+        let gyr17 = f3
+            .weekly
+            .iter()
+            .find(|(w, _, _)| *w == 17)
+            .and_then(|(_, g, _)| *g)
+            .unwrap_or(f64::NAN);
+        let dl = figures::fig8(ds)
+            .into_iter()
+            .find(|p| p.field == KpiField::DlVolume)
+            .unwrap();
+        let dl17 = dl.lines[0]
+            .weekly_pct
+            .iter()
+            .find(|(w, _)| *w == 17)
+            .and_then(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
+        let voice = figures::fig9(ds).panels[0].lines[0]
+            .weekly_pct
+            .iter()
+            .filter_map(|(_, v)| *v)
+            .fold(f64::MIN, f64::max);
+        let f7 = figures::fig7(ds);
+        let london = {
+            let row = &f7.rows[0].1;
+            let start = ds.clock.num_days() / 2;
+            let vals: Vec<f64> = row[start..].iter().flatten().copied().collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        (gyr17, dl17, voice, london)
+    };
+
+    let (f_gyr, f_dl, f_voice, f_london) = summarize(&factual);
+    let (c_gyr, c_dl, c_voice, c_london) = summarize(&counterfactual);
+
+    println!("{:<40}{:>12}{:>16}", "metric (week 17 / peak)", "lockdown", "no intervention");
+    println!("{:-<68}", "");
+    println!("{:<40}{:>11.1}%{:>15.1}%", "mobility (gyration) Δ", f_gyr, c_gyr);
+    println!("{:<40}{:>11.1}%{:>15.1}%", "downlink volume Δ", f_dl, c_dl);
+    println!("{:<40}{:>11.1}%{:>15.1}%", "voice volume peak Δ", f_voice, c_voice);
+    println!("{:<40}{:>11.1}%{:>15.1}%", "Inner London residents present Δ", f_london, c_london);
+
+    assert!(f_gyr < c_gyr - 20.0, "lockdown must depress mobility");
+    assert!(
+        c_gyr.abs() < 15.0,
+        "without intervention mobility should stay near baseline"
+    );
+    println!("\nwithout the interventions, every effect disappears — the study's signals are causal in the model.");
+}

@@ -1,0 +1,102 @@
+//! Mobility deep-dive: the paper's Section 3 on one terminal screen.
+//!
+//! ```sh
+//! cargo run --release --example lockdown_mobility
+//! ```
+//!
+//! Renders the national gyration/entropy time series (Fig. 3) as ASCII
+//! sparklines, the regional and geodemographic breakdowns (Figs. 5–6),
+//! and the Inner-London relocation matrix (Fig. 7).
+
+use cellscope::scenario::{figures, run_study, ScenarioConfig};
+use cellscope::time::IsoWeek;
+
+/// Render a daily Δ% series as a sparkline between -100% and +50%.
+fn sparkline(series: &[Option<f64>]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    series
+        .iter()
+        .map(|v| match v {
+            None => ' ',
+            Some(v) => {
+                let t = ((v + 100.0) / 150.0).clamp(0.0, 1.0);
+                GLYPHS[((t * 7.0).round()) as usize]
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let dataset = run_study(&ScenarioConfig::small(2020));
+    let clock = dataset.clock;
+
+    let f3 = figures::fig3(&dataset);
+    println!("== Fig 3: national mobility, daily Δ% vs week 9 ==");
+    println!("           {}", day_axis(&clock));
+    println!("gyration   {}", sparkline(&f3.gyration_daily_pct));
+    println!("entropy    {}", sparkline(&f3.entropy_daily_pct));
+    let trough = f3
+        .gyration_daily_pct
+        .iter()
+        .flatten()
+        .fold(f64::MAX, |a, &b| a.min(b));
+    println!("gyration trough: {trough:+.1}% (paper: ≈ -50%)\n");
+
+    println!("== Fig 5: regions (weekly gyration Δ% vs national wk9) ==");
+    for region in figures::fig5(&dataset) {
+        let row: String = region
+            .weekly
+            .iter()
+            .map(|(w, g, _)| format!("w{w}:{:+.0} ", g.unwrap_or(f64::NAN)))
+            .collect();
+        println!("  {:<22} {row}", region.group);
+    }
+
+    println!("\n== Fig 6: geodemographic clusters (weekly gyration Δ%) ==");
+    for cluster in figures::fig6(&dataset) {
+        let row: String = cluster
+            .weekly
+            .iter()
+            .map(|(w, g, _)| format!("w{w}:{:+.0} ", g.unwrap_or(f64::NAN)))
+            .collect();
+        println!("  {:<28} {row}", cluster.group);
+    }
+
+    println!("\n== Fig 7: Inner-London residents present per county ==");
+    println!("   (daily Δ% vs week-9 median, sparklines)");
+    let f7 = figures::fig7(&dataset);
+    for (county, row) in &f7.rows {
+        println!("  {:<20} {}", county, sparkline(row));
+    }
+
+    // The takeaway numbers of Section 3.4.
+    let inner = &f7.rows[0].1;
+    let lockdown_start = clock
+        .days_in_week(IsoWeek { year: 2020, week: 13 })
+        .next()
+        .unwrap() as usize;
+    let after: Vec<f64> = inner[lockdown_start..].iter().flatten().copied().collect();
+    println!(
+        "\nInner London residents present after lockdown: {:+.1}% (paper: ≈ -10%)",
+        after.iter().sum::<f64>() / after.len() as f64
+    );
+}
+
+/// Week markers aligned with the daily series (one char per day).
+fn day_axis(clock: &cellscope::time::SimClock) -> String {
+    let mut axis = vec![b' '; clock.num_days()];
+    for day in clock.days() {
+        let date = clock.date(day);
+        if date.weekday() == cellscope::time::Weekday::Monday {
+            let w = date.iso_week().week;
+            let label = format!("{w}");
+            for (i, ch) in label.bytes().enumerate() {
+                let idx = day as usize + i;
+                if idx < axis.len() {
+                    axis[idx] = ch;
+                }
+            }
+        }
+    }
+    String::from_utf8(axis).expect("ascii")
+}

@@ -1,0 +1,89 @@
+//! Network-performance deep-dive: Sections 4 and 5 (Figs. 8–12).
+//!
+//! ```sh
+//! cargo run --release --example network_performance
+//! ```
+//!
+//! Prints the KPI panels — downlink/uplink volume, active users,
+//! throughput, radio load — for the UK and its regions, the
+//! geodemographic clusters, and the Inner-London postal districts.
+
+use cellscope::analysis::KpiField;
+use cellscope::scenario::figures::{self, KpiPanel};
+use cellscope::scenario::{run_study, ScenarioConfig};
+
+fn print_panel(panel: &KpiPanel) {
+    println!("  [{}]", panel.title);
+    for line in &panel.lines {
+        let row: String = line
+            .weekly_pct
+            .iter()
+            .map(|(w, v)| match v {
+                Some(v) => format!("w{w}:{v:+.0} "),
+                None => format!("w{w}:- "),
+            })
+            .collect();
+        println!("    {:<28} {row}", line.label);
+    }
+}
+
+fn main() {
+    let dataset = run_study(&ScenarioConfig::small(2020));
+
+    println!("== Fig 8: all-traffic KPIs, weekly Δ% vs own week-9 median ==");
+    for panel in figures::fig8(&dataset) {
+        print_panel(&panel);
+    }
+
+    println!("\n== Fig 10: KPIs per geodemographic cluster ==");
+    let f10 = figures::fig10(&dataset);
+    for panel in f10
+        .panels
+        .iter()
+        .filter(|p| matches!(p.field, KpiField::DlVolume | KpiField::ConnectedUsers))
+    {
+        print_panel(panel);
+    }
+    println!("  correlation between total users and DL volume (Section 4.4):");
+    for (cluster, r) in &f10.user_volume_correlation {
+        println!(
+            "    {:<28} r = {}",
+            cluster,
+            r.map(|r| format!("{r:+.3}")).unwrap_or_else(|| "-".into())
+        );
+    }
+
+    println!("\n== Fig 11: Inner-London postal districts ==");
+    for panel in figures::fig11(&dataset)
+        .iter()
+        .filter(|p| matches!(p.field, KpiField::DlVolume | KpiField::ConnectedUsers))
+    {
+        print_panel(panel);
+    }
+
+    println!("\n== Fig 12: the three London clusters ==");
+    for panel in figures::fig12(&dataset)
+        .iter()
+        .filter(|p| matches!(p.field, KpiField::DlVolume | KpiField::UlVolume))
+    {
+        print_panel(panel);
+    }
+
+    // Section 4.3's takeaway in one line.
+    let f8 = figures::fig8(&dataset);
+    let dl = f8.iter().find(|p| p.field == KpiField::DlVolume).unwrap();
+    let wk17 = |label: &str| {
+        dl.lines
+            .iter()
+            .find(|l| l.label == label)
+            .and_then(|l| l.weekly_pct.iter().find(|(w, _)| *w == 17).and_then(|(_, v)| *v))
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "\nweek-17 DL volume: UK {:+.0}%, Inner London {:+.0}%, Outer London {:+.0}% \
+         (paper: -24%, -41%, -15%)",
+        wk17("UK - all regions"),
+        wk17("Inner London"),
+        wk17("Outer London"),
+    );
+}

@@ -1,0 +1,28 @@
+//! # cellscope
+//!
+//! Facade crate for the cellscope workspace: a full reproduction of the
+//! IMC'20 paper *"A Characterization of the COVID-19 Pandemic Impact on a
+//! Mobile Network Operator Traffic"* (Lutu et al.).
+//!
+//! Re-exports every layer of the stack under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`time`] — calendar, ISO weeks, 4-hour day bins;
+//! * [`geo`] — synthetic UK geography and 2011 OAC geodemographics;
+//! * [`radio`] — the radio access network and KPI model;
+//! * [`epidemic`] — UK policy timeline and case curves;
+//! * [`mobility`] — the agent-based mobility model;
+//! * [`signaling`] — control-plane event generation and feeds;
+//! * [`traffic`] — data/voice traffic demand;
+//! * [`analysis`] — the paper's measurement methodology (the core);
+//! * [`scenario`] — end-to-end study runner and per-figure builders.
+
+pub use cellscope_core as analysis;
+pub use cellscope_epidemic as epidemic;
+pub use cellscope_geo as geo;
+pub use cellscope_mobility as mobility;
+pub use cellscope_radio as radio;
+pub use cellscope_scenario as scenario;
+pub use cellscope_signaling as signaling;
+pub use cellscope_time as time;
+pub use cellscope_traffic as traffic;

@@ -1,0 +1,100 @@
+//! Causal-structure tests over the scenario variants: each modelled
+//! mechanism must carry exactly the paper findings attributed to it.
+//! (Tiny scale — six full studies run here.)
+
+use cellscope::analysis::KpiField;
+use cellscope::scenario::{figures, run_study, variants, ScenarioConfig};
+
+fn base() -> ScenarioConfig {
+    ScenarioConfig::tiny(31)
+}
+
+#[test]
+fn no_interventions_erases_every_effect() {
+    let control = run_study(&variants::no_interventions(&base()));
+    let h = figures::headline(&control);
+    assert!(
+        h.gyration_trough_pct.unwrap() > -12.0,
+        "mobility should stay near baseline: {:?}",
+        h.gyration_trough_pct
+    );
+    assert!(
+        h.voice_volume_peak_pct.unwrap() < 10.0,
+        "no voice surge without the pandemic: {:?}",
+        h.voice_volume_peak_pct
+    );
+    assert!(
+        h.voice_dl_loss_peak_pct.unwrap() < 15.0,
+        "no interconnect incident: {:?}",
+        h.voice_dl_loss_peak_pct
+    );
+    assert!(
+        h.london_absent_pct.unwrap().abs() < 4.0,
+        "no relocation wave: {:?}",
+        h.london_absent_pct
+    );
+    assert!(
+        h.throughput_trough_pct.unwrap() > -2.0,
+        "no throttling: {:?}",
+        h.throughput_trough_pct
+    );
+}
+
+#[test]
+fn removing_relocation_keeps_everything_but_the_london_absence() {
+    let baseline = run_study(&base());
+    let ablated = run_study(&variants::no_relocation(&base()));
+    let hb = figures::headline(&baseline);
+    let ha = figures::headline(&ablated);
+    // The Inner-London absence collapses…
+    assert!(
+        ha.london_absent_pct.unwrap() < 0.5 * hb.london_absent_pct.unwrap(),
+        "{:?} vs {:?}",
+        ha.london_absent_pct,
+        hb.london_absent_pct
+    );
+    // …while mobility and voice stay essentially unchanged.
+    let g_diff =
+        (ha.gyration_trough_pct.unwrap() - hb.gyration_trough_pct.unwrap()).abs();
+    assert!(g_diff < 5.0, "gyration moved by {g_diff}");
+    let v_diff =
+        (ha.voice_volume_peak_pct.unwrap() - hb.voice_volume_peak_pct.unwrap()).abs();
+    assert!(v_diff < 15.0, "voice peak moved by {v_diff}");
+}
+
+#[test]
+fn interconnect_dimensioning_controls_the_loss_incident() {
+    let baseline = run_study(&base());
+    let generous = run_study(&variants::interconnect_headroom(&base(), 4.0));
+    let hb = figures::headline(&baseline);
+    let hg = figures::headline(&generous);
+    assert!(hb.voice_dl_loss_peak_pct.unwrap() > 100.0);
+    assert!(
+        hg.voice_dl_loss_peak_pct.unwrap() < 0.5 * hb.voice_dl_loss_peak_pct.unwrap(),
+        "generous link still spiked: {:?}",
+        hg.voice_dl_loss_peak_pct
+    );
+    // The voice *volume* surge is identical — only the loss response
+    // depends on dimensioning.
+    let v_diff =
+        (hg.voice_volume_peak_pct.unwrap() - hb.voice_volume_peak_pct.unwrap()).abs();
+    assert!(v_diff < 1e-6, "volume changed by {v_diff}");
+}
+
+#[test]
+fn throttling_alone_explains_the_throughput_drop() {
+    let unthrottled = run_study(&variants::no_content_throttling(&base()));
+    let panels = figures::fig8(&unthrottled);
+    let tput = panels
+        .iter()
+        .find(|p| p.field == KpiField::UserDlThroughput)
+        .unwrap();
+    for (week, v) in &tput.lines[0].weekly_pct {
+        if let Some(v) = v {
+            assert!(
+                v.abs() < 3.0,
+                "week {week}: throughput moved {v}% without throttling"
+            );
+        }
+    }
+}

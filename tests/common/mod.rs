@@ -1,0 +1,39 @@
+//! Shared fixtures for the integration tests.
+//!
+//! Running a study is the expensive part, so all end-to-end tests share
+//! one dataset, built on first use. The configuration matches the
+//! calibration runs recorded in EXPERIMENTS.md (scale `small`, seed 42)
+//! so the assertions below and the documented numbers agree.
+
+use cellscope::scenario::{run_study, ScenarioConfig, StudyDataset};
+use std::sync::OnceLock;
+
+static DATASET: OnceLock<StudyDataset> = OnceLock::new();
+
+/// The shared small-scale study dataset.
+pub fn dataset() -> &'static StudyDataset {
+    DATASET.get_or_init(|| run_study(&ScenarioConfig::small(42)))
+}
+
+/// Value of a specific week in a weekly series; panics if unobserved
+/// (the study window always covers weeks 9–19).
+pub fn at_week(series: &[(u8, Option<f64>)], week: u8) -> f64 {
+    series
+        .iter()
+        .find(|(w, _)| *w == week)
+        .and_then(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("week {week} unobserved"))
+}
+
+/// The line with the given label in a KPI panel.
+pub fn line<'a>(
+    panel: &'a cellscope::scenario::figures::KpiPanel,
+    label: &str,
+) -> &'a [(u8, Option<f64>)] {
+    &panel
+        .lines
+        .iter()
+        .find(|l| l.label == label)
+        .unwrap_or_else(|| panic!("line {label} missing from {}", panel.title))
+        .weekly_pct
+}

@@ -1,0 +1,226 @@
+//! Cross-layer consistency: the signaling path must carry the ground
+//! truth faithfully. The paper's pipeline only ever sees events — these
+//! tests prove the event → dwell reconstruction preserves what the
+//! trajectory generator produced.
+
+use cellscope::epidemic::Timeline;
+use cellscope::geo::SynthConfig;
+use cellscope::mobility::{
+    BehaviorModel, DeviceClass, Population, PopulationConfig, TrajectoryGenerator,
+};
+use cellscope::radio::{DeployConfig, Topology};
+use cellscope::signaling::{
+    reconstruct_dwell, Anonymizer, EventGenConfig, EventGenerator, TacCatalog,
+};
+use cellscope::time::SimClock;
+use std::collections::HashMap;
+
+struct World {
+    topo: Topology,
+    geo: cellscope::geo::Geography,
+    pop: Population,
+    behavior: BehaviorModel,
+    catalog: TacCatalog,
+}
+
+fn world() -> World {
+    let geo = SynthConfig::small(21).build();
+    let topo = DeployConfig::small(21).build(&geo);
+    let pop = Population::synthesize(
+        &PopulationConfig {
+            num_subscribers: 600,
+            seed: 21,
+            ..PopulationConfig::default()
+        },
+        &geo,
+        &topo,
+    );
+    World {
+        topo,
+        geo,
+        pop,
+        behavior: BehaviorModel::new(Timeline::uk_2020()),
+        catalog: TacCatalog::synthetic(),
+    }
+}
+
+#[test]
+fn reconstructed_dwell_accounts_for_every_minute() {
+    let w = world();
+    let trajgen = TrajectoryGenerator::new(&w.geo, &w.behavior, SimClock::study(), 21);
+    let eventgen = EventGenerator::new(
+        &w.topo,
+        &w.catalog,
+        Anonymizer::new(5),
+        EventGenConfig::default(),
+    );
+    for sub in w.pop.subscribers().iter().step_by(7) {
+        for day in [3u16, 33, 63, 93] {
+            let traj = trajgen.generate(sub, day);
+            let events = eventgen.generate(sub, &traj);
+            let dwell = reconstruct_dwell(&events);
+            let total: u32 = dwell.iter().map(|d| d.minutes as u32).sum();
+            if traj.visits.is_empty() {
+                assert!(dwell.is_empty());
+            } else {
+                assert_eq!(total, 1440, "{} day {day}", sub.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn reconstructed_site_dwell_matches_ground_truth() {
+    let w = world();
+    let trajgen = TrajectoryGenerator::new(&w.geo, &w.behavior, SimClock::study(), 21);
+    let eventgen = EventGenerator::new(
+        &w.topo,
+        &w.catalog,
+        Anonymizer::new(5),
+        EventGenConfig::default(),
+    );
+    let mut compared = 0usize;
+    for sub in w.pop.subscribers().iter().step_by(11) {
+        if sub.device != DeviceClass::Smartphone {
+            continue;
+        }
+        for day in [10u16, 50, 90] {
+            let traj = trajgen.generate(sub, day);
+            if traj.visits.is_empty() {
+                continue;
+            }
+            // A visit to a site whose cells are not yet on air produces
+            // no events (a genuine coverage gap); its dwell is absorbed
+            // by the neighbouring camping period, so such days cannot be
+            // compared site-by-site.
+            let all_serviceable = traj.visits.iter().all(|v| {
+                w.topo
+                    .site(v.site)
+                    .cells
+                    .iter()
+                    .any(|&c| w.topo.cell(c).is_active(day))
+            });
+            if !all_serviceable {
+                continue;
+            }
+            let events = eventgen.generate(sub, &traj);
+            let dwell = reconstruct_dwell(&events);
+
+            // Ground truth minutes per site.
+            let mut truth: HashMap<u32, u32> = HashMap::new();
+            for v in &traj.visits {
+                *truth.entry(v.site.0).or_default() += v.minutes as u32;
+            }
+            // Reconstructed minutes per site (cells → hosting site).
+            let mut got: HashMap<u32, u32> = HashMap::new();
+            for d in &dwell {
+                let site = w.topo.cell(d.cell).site.0;
+                *got.entry(site).or_default() += d.minutes as u32;
+            }
+            // Every site with meaningful ground-truth dwell is recovered
+            // with its duration (events mark each visit boundary, so the
+            // reconstruction is near-exact; visits shorter than a couple
+            // of minutes can merge into a neighbour).
+            for (&site, &minutes) in &truth {
+                if minutes < 10 {
+                    continue;
+                }
+                let recovered = got.get(&site).copied().unwrap_or(0);
+                assert!(
+                    (recovered as i64 - minutes as i64).unsigned_abs() <= 8,
+                    "{} day {day}: site {site} truth {minutes} vs {recovered}",
+                    sub.id
+                );
+            }
+            compared += 1;
+        }
+    }
+    assert!(compared > 100, "compared only {compared} user-days");
+}
+
+#[test]
+fn failed_events_still_prove_presence() {
+    // Crank the failure rate: dwell reconstruction must be unaffected,
+    // since a failed attach/service request is still logged at a sector.
+    let w = world();
+    let trajgen = TrajectoryGenerator::new(&w.geo, &w.behavior, SimClock::study(), 21);
+    let flaky = EventGenerator::new(
+        &w.topo,
+        &w.catalog,
+        Anonymizer::new(5),
+        EventGenConfig {
+            failure_rate: 0.5,
+            ..EventGenConfig::default()
+        },
+    );
+    let sub = w
+        .pop
+        .subscribers()
+        .iter()
+        .find(|s| s.device == DeviceClass::Smartphone)
+        .unwrap();
+    let traj = trajgen.generate(sub, 40);
+    let events = flaky.generate(sub, &traj);
+    let failures = events.iter().filter(|e| !e.success).count();
+    assert!(failures > 0, "failure injection produced no failures");
+    let dwell = reconstruct_dwell(&events);
+    let total: u32 = dwell.iter().map(|d| d.minutes as u32).sum();
+    assert_eq!(total, 1440);
+}
+
+#[test]
+fn event_stream_identity_fields_are_consistent_per_user() {
+    let w = world();
+    let trajgen = TrajectoryGenerator::new(&w.geo, &w.behavior, SimClock::study(), 21);
+    let eventgen = EventGenerator::new(
+        &w.topo,
+        &w.catalog,
+        Anonymizer::new(5),
+        EventGenConfig::default(),
+    );
+    for sub in w.pop.subscribers().iter().take(100) {
+        let traj = trajgen.generate(sub, 20);
+        let events = eventgen.generate(sub, &traj);
+        let Some(first) = events.first() else { continue };
+        for ev in &events {
+            assert_eq!(ev.anon_id, first.anon_id);
+            assert_eq!(ev.tac, first.tac);
+            assert_eq!((ev.mcc, ev.mnc), (first.mcc, first.mnc));
+        }
+        // The TAC classifies the device correctly.
+        assert_eq!(
+            w.catalog.is_smartphone(first.tac),
+            sub.device == DeviceClass::Smartphone
+        );
+    }
+}
+
+#[test]
+fn contaminated_population_is_filtered_by_feed_attributes() {
+    // The study filter must exclude roamers and M2M devices purely from
+    // what the feed exposes (TAC + PLMN), as Section 2.3 describes.
+    let w = world();
+    let eventgen = EventGenerator::new(
+        &w.topo,
+        &w.catalog,
+        Anonymizer::new(5),
+        EventGenConfig::default(),
+    );
+    let mut kept = 0;
+    let mut dropped = 0;
+    for sub in w.pop.subscribers() {
+        let tac_ok = w.catalog.is_smartphone(eventgen.tac_of(sub));
+        let (mcc, mnc) = eventgen.plmn_of(sub);
+        let native = mcc == cellscope::signaling::event::UK_MCC
+            && mnc == cellscope::signaling::event::HOME_MNC;
+        let feed_says_in_study = tac_ok && native;
+        // Feed-derived filter agrees with ground truth.
+        assert_eq!(feed_says_in_study, sub.in_study_population(), "{}", sub.id);
+        if feed_says_in_study {
+            kept += 1;
+        } else {
+            dropped += 1;
+        }
+    }
+    assert!(kept > 0 && dropped > 0, "kept {kept}, dropped {dropped}");
+}

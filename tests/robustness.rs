@@ -1,0 +1,43 @@
+//! Robustness: degenerate configurations must run to completion rather
+//! than panic — empty cells, a minuscule population, single-threaded
+//! execution, sparse deployments.
+
+use cellscope::scenario::{run_study, ScenarioConfig};
+
+#[test]
+fn minuscule_population_runs_to_completion() {
+    let mut cfg = ScenarioConfig::tiny(17);
+    cfg.population.num_subscribers = 40;
+    let ds = run_study(&cfg);
+    assert_eq!(ds.users.len(), 40);
+    // Most figures degrade to sparse/None values but never panic.
+    let _ = cellscope::scenario::figures::fig3(&ds);
+    let _ = cellscope::scenario::figures::fig7(&ds);
+    let _ = cellscope::scenario::figures::fig8(&ds);
+    let _ = cellscope::scenario::figures::headline(&ds);
+}
+
+#[test]
+fn single_thread_and_sparse_deployment() {
+    let mut cfg = ScenarioConfig::tiny(18);
+    cfg.population.num_subscribers = 300;
+    cfg.threads = 1;
+    cfg.deployment.residents_per_site = 200_000; // very sparse network
+    let ds = run_study(&cfg);
+    assert!(ds.kpi.len() > 0, "sparse network still reports KPIs");
+    let h = cellscope::scenario::figures::headline(&ds);
+    // The lockdown signal survives even a skeleton network.
+    assert!(h.gyration_trough_pct.unwrap() < -25.0);
+}
+
+#[test]
+fn zero_relocation_and_zero_m2m() {
+    let mut cfg = ScenarioConfig::tiny(19);
+    cfg.population.num_subscribers = 500;
+    cfg.population.m2m_rate = 0.0;
+    cfg.population.roamer_rate = 0.0;
+    cfg.population.relocation_uptake = 0.0;
+    let ds = run_study(&cfg);
+    // Everyone is in the study population now.
+    assert_eq!(ds.study_population, 500);
+}
