@@ -3,14 +3,24 @@
 //!
 //! Usage:
 //! `repro [--scale full|small|tiny] [--seed N] [--json DIR] [--csv DIR]
-//!        [--config FILE] [--dump-config FILE]`
+//!        [--config FILE] [--dump-config FILE] [--roundtrip DIR]`
 //!
 //! `--dump-config` writes the resolved scenario configuration as JSON;
 //! `--config` loads one back (every knob of the study is a plain
 //! serializable field, so experiments are fully file-reproducible).
+//!
+//! `--roundtrip DIR` exercises the feed-replay engine instead of the
+//! figure pipeline: run the study in memory, export its feeds to DIR,
+//! stream them back through [`cellscope_scenario::replay`], print the
+//! replay report, and verify the replayed dataset is bit-identical.
+//! Exits non-zero on any divergence.
 
 use cellscope_bench::{fmt_pct, fmt_weekly, print_panel};
+use cellscope_scenario::replay::{
+    dataset_divergence, export_feeds, replay_study, ReplayConfig,
+};
 use cellscope_scenario::{figures, run_study, ScenarioConfig};
+use std::path::Path;
 use std::time::Instant;
 
 fn main() {
@@ -20,6 +30,7 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut config_file: Option<String> = None;
     let mut dump_config: Option<String> = None;
+    let mut roundtrip: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,6 +47,9 @@ fn main() {
             "--config" => config_file = Some(args.next().expect("--config needs a file")),
             "--dump-config" => {
                 dump_config = Some(args.next().expect("--dump-config needs a file"))
+            }
+            "--roundtrip" => {
+                roundtrip = Some(args.next().expect("--roundtrip needs a dir"))
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -71,6 +85,10 @@ fn main() {
     } else {
         format!("{scale}, seed={seed}")
     };
+    if let Some(dir) = roundtrip {
+        run_roundtrip(&config, &label, Path::new(&dir));
+        return;
+    }
     println!(
         "== cellscope repro: {label}, subscribers={} ==",
         config.population.num_subscribers
@@ -266,5 +284,52 @@ fn main() {
         std::fs::create_dir_all(&dir).expect("create csv dir");
         cellscope_bench::csv::export_all(&dir, &ds).expect("write csv");
         println!("CSV series written to {dir}/");
+    }
+}
+
+/// `--roundtrip`: in-memory run → feed export → streamed replay →
+/// bit-for-bit comparison, with the replay report as the evidence.
+fn run_roundtrip(config: &ScenarioConfig, label: &str, dir: &Path) {
+    println!(
+        "== cellscope feed round-trip: {label}, subscribers={} ==",
+        config.population.num_subscribers
+    );
+
+    let t0 = Instant::now();
+    let in_memory = run_study(config);
+    println!("in-memory study:  {:>8.1}s", t0.elapsed().as_secs_f64());
+
+    let t1 = Instant::now();
+    let manifest = export_feeds(config, dir).expect("export feeds");
+    println!(
+        "feed export:      {:>8.1}s  ({} days, {} cells, {} subscribers -> {})",
+        t1.elapsed().as_secs_f64(),
+        manifest.num_days,
+        manifest.num_cells,
+        manifest.num_subscribers,
+        dir.display()
+    );
+
+    let t2 = Instant::now();
+    let (replayed, report) = match replay_study(config, dir, &ReplayConfig::default()) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("streamed replay:  {:>8.1}s\n", t2.elapsed().as_secs_f64());
+
+    println!("-- replay report --\n{report}");
+    if !report.lines_balance() || !report.events_balance() {
+        eprintln!("ACCOUNTING LEAK: counters above do not balance");
+        std::process::exit(1);
+    }
+    match dataset_divergence(&in_memory, &replayed) {
+        None => println!("replayed dataset is bit-identical to the in-memory run"),
+        Some(field) => {
+            eprintln!("DIVERGENCE: replayed dataset differs in `{field}`");
+            std::process::exit(1);
+        }
     }
 }

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Streaming (group, day) → mean accumulator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DailyGroupMean<K: Ord> {
     num_days: usize,
     sums: BTreeMap<K, Vec<f64>>,

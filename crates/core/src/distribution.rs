@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 
 /// Exact per-(group, day) sample store (f32 to halve the footprint; the
 /// metrics carry no more precision than that anyway).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DailyGroupSamples<K: Ord> {
     num_days: usize,
     samples: BTreeMap<K, Vec<Vec<f32>>>,

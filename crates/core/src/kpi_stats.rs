@@ -159,7 +159,7 @@ impl CellDayMetrics {
 }
 
 /// The study's per-cell-day KPI table.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct KpiTable {
     records: Vec<CellDayMetrics>,
 }

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 /// Counts of tracked residents seen per (place, day).
 ///
 /// `P` is the place key (county in the paper's usage).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MobilityMatrix<P: Ord> {
     num_days: usize,
     counts: BTreeMap<P, Vec<u32>>,

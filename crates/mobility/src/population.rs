@@ -301,6 +301,14 @@ impl Population {
                                 .into_iter()
                                 .map(|s| anchor_at(AnchorKind::SecondHome, s, topo, geo))
                                 .collect();
+                            // Second-home owners spend baseline weekends
+                            // there too — this is what puts the sustained
+                            // relocation counties (Hampshire, Kent) in the
+                            // week-9 top-10 that Fig. 7 ranks by.
+                            anchors.weekend = Some(Anchor {
+                                kind: AnchorKind::WeekendTrip,
+                                ..a
+                            });
                             anchors.second_home = Some(a);
                         }
                     }

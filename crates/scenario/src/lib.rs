@@ -14,16 +14,23 @@
 //! * [`dataset`] — the collected study data;
 //! * [`figures`] — one builder per paper figure (Fig. 2 … Fig. 12)
 //!   plus the headline statistics of the abstract/conclusions;
+//! * [`replay`] — serialize a run's feeds to disk and stream them back
+//!   through the identical analysis (fault-tolerant, multi-worker);
 //! * [`variants`] — the canonical counterfactual/ablation arms.
 
 pub mod config;
 pub mod dataset;
 pub mod figures;
+pub mod replay;
 pub mod run;
 pub mod variants;
 pub mod world;
 
 pub use config::ScenarioConfig;
 pub use dataset::StudyDataset;
+pub use replay::{
+    dataset_divergence, export_feeds, replay_study, FeedManifest, ReplayConfig,
+    ReplayError, ReplayReport,
+};
 pub use run::run_study;
 pub use world::World;

@@ -1,0 +1,947 @@
+//! Streaming feed-replay engine with fault tolerance.
+//!
+//! The paper's pipeline never sees ground truth: it consumes probe
+//! *feeds* — signaling events and per-cell KPI counters. This module
+//! closes that loop for the synthetic study: [`export_feeds`] writes a
+//! run's feeds to disk (JSONL: one record per line, full `f64` text
+//! precision so numbers round-trip bit-exactly), and [`replay_study`]
+//! streams them back through the **identical analysis objects** the
+//! in-memory runner drives ([`cellscope_core::study::MobilityStudy`],
+//! [`cellscope_core::KpiTable`], home detection, the mobility matrix),
+//! producing a [`StudyDataset`] that is bit-for-bit equal to the
+//! in-memory one.
+//!
+//! # Pipeline
+//!
+//! Replay is a bounded-channel, multi-worker pipeline:
+//!
+//! * a **reader stage** streams the per-day feed files in day order and
+//!   sends one task per day into a bounded channel — when workers fall
+//!   behind, `send` blocks, so the reader can never balloon memory;
+//! * **worker threads** parse each day's feeds (via the streaming
+//!   [`EventReader`], honouring a [`MalformedPolicy`]) and fold them
+//!   into per-day partials using the same ingestion helpers as the
+//!   in-memory phase A;
+//! * the main thread merges the partials **in day order** and reuses
+//!   the runner's assembly step.
+//!
+//! Determinism follows from day ownership (see [`crate::run`]): each
+//! accumulator bucket is produced by exactly one day's worker, so the
+//! merged result does not depend on the number of workers or on which
+//! worker processed which day.
+//!
+//! # Fault tolerance
+//!
+//! Every feed line lands in exactly one accounting bucket of
+//! [`ReplayReport`] (`parsed + blank + malformed == lines_read`, per
+//! feed). Under [`MalformedPolicy::FailFast`] the first bad line aborts
+//! with its file and 1-based line number; under
+//! [`MalformedPolicy::SkipAndCount`] bad lines are dropped and counted
+//! while the analysis degrades gracefully, the way the paper's own
+//! probes drop records.
+
+use crate::config::ScenarioConfig;
+use crate::dataset::StudyDataset;
+use crate::run::{self, IngestScratch, PhaseABlock, SiteDwell, StudyRoster};
+use crate::world::World;
+use cellscope_core::kpi_stats::{CellDayMetrics, HourlyKpiSample};
+use cellscope_core::KpiTable;
+use cellscope_mobility::TrajectoryGenerator;
+use cellscope_radio::{Scheduler, SchedulerConfig};
+use cellscope_signaling::{
+    reconstruct_dwell, write_events_jsonl, EventGenerator, EventReader, FeedBounds,
+    FeedError, FeedStats, MalformedPolicy, SignalingEvent,
+};
+use cellscope_traffic::DayLoadGrid;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::Instant;
+
+/// Feed-set metadata, written next to the feeds as `manifest.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedManifest {
+    /// Scenario seed the feeds were generated from.
+    pub seed: u64,
+    /// Study days covered (one events + one KPI file each).
+    pub num_days: u16,
+    /// Cells in the topology (bounds-checks `event.cell`).
+    pub num_cells: u32,
+    /// Subscribers in the population.
+    pub num_subscribers: u64,
+    /// Calibrated traffic scale the KPI feed was simulated at.
+    pub traffic_scale: f64,
+}
+
+/// One KPI feed line: a cell's post-scheduler sample for one hour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KpiHourRecord {
+    /// Cell id.
+    pub cell: u32,
+    /// Study day.
+    pub day: u16,
+    /// Hour of day, 0–23.
+    pub hour: u8,
+    /// The hourly KPI sample.
+    pub sample: HourlyKpiSample,
+}
+
+/// One voice feed line: the national off-net voice volume of one day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoiceDayRecord {
+    /// Study day.
+    pub day: u16,
+    /// Off-net voice volume offered to the interconnect, MB.
+    pub off_net_voice_mb: f64,
+}
+
+/// Events feed file name for a day.
+pub fn events_file_name(day: u16) -> String {
+    format!("events_d{day:03}.jsonl")
+}
+
+/// KPI feed file name for a day.
+pub fn kpi_file_name(day: u16) -> String {
+    format!("kpi_d{day:03}.jsonl")
+}
+
+/// The daily national voice feed.
+pub const VOICE_FILE: &str = "voice_daily.jsonl";
+/// The feed-set manifest.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Export a configuration's feeds: per-day signaling events (every
+/// subscriber — probe-faithful; the study filter is the *consumer's*
+/// job, decided from event fields), per-day hourly KPI samples for the
+/// reporting cells, the daily voice feed, and the manifest.
+pub fn export_feeds(config: &ScenarioConfig, dir: &Path) -> io::Result<FeedManifest> {
+    let world = World::build(config);
+    export_feeds_in(config, &world, dir)
+}
+
+/// [`export_feeds`] over a pre-built world.
+pub fn export_feeds_in(
+    config: &ScenarioConfig,
+    world: &World,
+    dir: &Path,
+) -> io::Result<FeedManifest> {
+    if !config.use_event_reconstruction {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "feed export requires use_event_reconstruction: the replay \
+             path sees events, never trajectories",
+        ));
+    }
+    fs::create_dir_all(dir)?;
+    let trajgen =
+        TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
+    let eventgen = EventGenerator::new(
+        &world.topo,
+        &world.catalog,
+        world.anonymizer,
+        config.events,
+    );
+    let scale = run::calibrate_traffic_scale(config, world);
+    let loadgen = run::load_generator(config, scale);
+    let scheduler = Scheduler::new(SchedulerConfig::default());
+    let mut grid = DayLoadGrid::new(world.topo.cells().len());
+    let mut hours_buf: Vec<HourlyKpiSample> = Vec::with_capacity(24);
+    let mut voice_out = BufWriter::new(fs::File::create(dir.join(VOICE_FILE))?);
+
+    for day in world.clock.days() {
+        // Signaling events, one contiguous run per subscriber, in
+        // subscriber order — the order replay ingests in.
+        let mut ev_out =
+            BufWriter::new(fs::File::create(dir.join(events_file_name(day)))?);
+        for sub in world.population.subscribers() {
+            let traj = trajgen.generate(sub, day);
+            let events = eventgen.generate(sub, &traj);
+            write_events_jsonl(&mut ev_out, &events)?;
+        }
+        ev_out.flush()?;
+
+        // Hourly KPI samples for the day's reporting cells (the same
+        // set phase B keeps), 24 consecutive lines per cell.
+        let mut kpi_out =
+            BufWriter::new(fs::File::create(dir.join(kpi_file_name(day)))?);
+        let mut write_err: Option<io::Error> = None;
+        let voice = run::simulate_day_kpi(
+            world,
+            &trajgen,
+            &loadgen,
+            &scheduler,
+            &mut grid,
+            day,
+            &mut hours_buf,
+            |cell, hours| {
+                if write_err.is_some() {
+                    return;
+                }
+                for (hour, sample) in hours.iter().enumerate() {
+                    let rec = KpiHourRecord {
+                        cell,
+                        day,
+                        hour: hour as u8,
+                        sample: *sample,
+                    };
+                    let line =
+                        serde_json::to_string(&rec).expect("serialize KPI record");
+                    if let Err(e) = kpi_out
+                        .write_all(line.as_bytes())
+                        .and_then(|()| kpi_out.write_all(b"\n"))
+                    {
+                        write_err = Some(e);
+                        return;
+                    }
+                }
+            },
+        );
+        if let Some(e) = write_err {
+            return Err(e);
+        }
+        kpi_out.flush()?;
+
+        let vrec = VoiceDayRecord { day, off_net_voice_mb: voice };
+        let line = serde_json::to_string(&vrec).expect("serialize voice record");
+        voice_out.write_all(line.as_bytes())?;
+        voice_out.write_all(b"\n")?;
+    }
+    voice_out.flush()?;
+
+    let manifest = FeedManifest {
+        seed: config.seed,
+        num_days: world.num_days() as u16,
+        num_cells: world.topo.cells().len() as u32,
+        num_subscribers: world.population.len() as u64,
+        traffic_scale: scale,
+    };
+    fs::write(
+        dir.join(MANIFEST_FILE),
+        serde_json::to_string_pretty(&manifest).expect("serialize manifest"),
+    )?;
+    Ok(manifest)
+}
+
+/// Knobs of the replay pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayConfig {
+    /// Worker threads (0 = machine parallelism).
+    pub threads: usize,
+    /// Day tasks buffered between the reader and the workers
+    /// (0 = 2 × threads). The reader blocks when the buffer is full —
+    /// this is the pipeline's backpressure.
+    pub channel_capacity: usize,
+    /// What to do with feed lines that fail parsing or validation.
+    pub policy: MalformedPolicy,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> ReplayConfig {
+        ReplayConfig {
+            threads: 0,
+            channel_capacity: 0,
+            policy: MalformedPolicy::FailFast,
+        }
+    }
+}
+
+/// Per-worker totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Day tasks this worker processed.
+    pub days_processed: u64,
+    /// Events this worker ingested.
+    pub events_ingested: u64,
+    /// Wall-clock seconds spent in day processing.
+    pub seconds: f64,
+    /// Ingested events per busy second.
+    pub events_per_sec: f64,
+}
+
+/// Per-stage counters of one replay run. Invariants (asserted by the
+/// robustness tests): per feed, `parsed + blank + malformed ==
+/// lines_read`; and `events.parsed == events_ingested + events_filtered
+/// + events_unknown_user + events_out_of_order`.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Feed files opened by the reader stage.
+    pub files_read: u64,
+    /// Raw bytes handed to the parse stage.
+    pub bytes_read: u64,
+    /// Event-feed line accounting, merged over all days.
+    pub events: FeedStats,
+    /// KPI-feed line accounting, merged over all days.
+    pub kpi: FeedStats,
+    /// Voice-feed line accounting.
+    pub voice: FeedStats,
+    /// Parsed events dropped because their minute went backwards inside
+    /// a subscriber run, their day disagreed with the feed file's day,
+    /// or their subscriber reappeared after its run ended.
+    pub events_out_of_order: u64,
+    /// Parsed events whose anonymized id matches no subscriber.
+    pub events_unknown_user: u64,
+    /// Parsed events excluded by the study filter (non-smartphone TAC
+    /// or non-native PLMN) — expected on probe-faithful feeds.
+    pub events_filtered: u64,
+    /// Events that drove the mobility pipeline.
+    pub events_ingested: u64,
+    /// (user, day) pairs ingested.
+    pub user_days: u64,
+    /// Cell-day KPI records rebuilt.
+    pub cell_days: u64,
+    /// Per-worker throughput.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ReplayReport {
+    /// Per-feed line accounting closes: every line read landed in
+    /// exactly one of parsed/blank/malformed.
+    pub fn lines_balance(&self) -> bool {
+        let ok = |s: &FeedStats| s.parsed + s.blank + s.malformed == s.lines_read;
+        ok(&self.events) && ok(&self.kpi) && ok(&self.voice)
+    }
+
+    /// Event ingest accounting closes: every parsed event landed in
+    /// exactly one of ingested/filtered/unknown/out-of-order.
+    pub fn events_balance(&self) -> bool {
+        self.events.parsed
+            == self.events_ingested
+                + self.events_filtered
+                + self.events_unknown_user
+                + self.events_out_of_order
+    }
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "files {} ({} bytes)",
+            self.files_read, self.bytes_read
+        )?;
+        let feed = |name: &str, s: &FeedStats| {
+            format!(
+                "{name}: {} lines = {} parsed + {} blank + {} malformed",
+                s.lines_read, s.parsed, s.blank, s.malformed
+            )
+        };
+        writeln!(f, "{}", feed("events", &self.events))?;
+        writeln!(f, "{}", feed("kpi   ", &self.kpi))?;
+        writeln!(f, "{}", feed("voice ", &self.voice))?;
+        writeln!(
+            f,
+            "ingest: {} ingested + {} filtered + {} unknown-user + {} out-of-order; \
+             {} user-days, {} cell-days",
+            self.events_ingested,
+            self.events_filtered,
+            self.events_unknown_user,
+            self.events_out_of_order,
+            self.user_days,
+            self.cell_days
+        )?;
+        for (i, w) in self.workers.iter().enumerate() {
+            writeln!(
+                f,
+                "worker {i}: {} days, {} events, {:.1} ev/s",
+                w.days_processed, w.events_ingested, w.events_per_sec
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A replay failure.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// Underlying I/O failure (missing feed file, unreadable dir…).
+    Io(io::Error),
+    /// A feed file failed parsing or validation under fail-fast.
+    Feed {
+        /// Feed file (relative to the feed dir).
+        file: String,
+        /// The line-located failure.
+        source: FeedError,
+    },
+    /// Manifest missing/invalid, or feeds incompatible with the
+    /// configuration being replayed into.
+    Manifest(String),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Io(e) => write!(f, "replay I/O error: {e}"),
+            ReplayError::Feed { file, source } => write!(f, "{file}: {source}"),
+            ReplayError::Manifest(msg) => write!(f, "feed manifest: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<io::Error> for ReplayError {
+    fn from(e: io::Error) -> ReplayError {
+        ReplayError::Io(e)
+    }
+}
+
+/// One day's work unit, produced by the reader stage.
+struct DayTask {
+    day: u16,
+    events_name: String,
+    events_text: String,
+    kpi_name: String,
+    kpi_text: String,
+}
+
+/// One day's replay product.
+struct DayOutput {
+    block: PhaseABlock,
+    kpi: KpiTable,
+    stats: DayStats,
+}
+
+#[derive(Default)]
+struct DayStats {
+    events: FeedStats,
+    kpi: FeedStats,
+    out_of_order: u64,
+    unknown_user: u64,
+    filtered: u64,
+    ingested: u64,
+    user_days: u64,
+    cell_days: u64,
+}
+
+fn add_stats(a: &mut FeedStats, b: FeedStats) {
+    a.lines_read += b.lines_read;
+    a.parsed += b.parsed;
+    a.blank += b.blank;
+    a.malformed += b.malformed;
+}
+
+/// Replay exported feeds into a [`StudyDataset`].
+///
+/// Builds the world for `config` (feeds carry no ground truth — the
+/// subscriber reference table, cell geography and case curve come from
+/// the same deterministic world build the exporter used), then streams
+/// the feeds through the pipeline described at module level.
+pub fn replay_study(
+    config: &ScenarioConfig,
+    dir: &Path,
+    rcfg: &ReplayConfig,
+) -> Result<(StudyDataset, ReplayReport), ReplayError> {
+    let world = World::build(config);
+    replay_study_in(config, &world, dir, rcfg)
+}
+
+/// [`replay_study`] over a pre-built world.
+pub fn replay_study_in(
+    config: &ScenarioConfig,
+    world: &World,
+    dir: &Path,
+    rcfg: &ReplayConfig,
+) -> Result<(StudyDataset, ReplayReport), ReplayError> {
+    if !config.use_event_reconstruction {
+        return Err(ReplayError::Manifest(
+            "replay requires use_event_reconstruction".to_string(),
+        ));
+    }
+    let manifest_text = fs::read_to_string(dir.join(MANIFEST_FILE))?;
+    let manifest: FeedManifest = serde_json::from_str(&manifest_text)
+        .map_err(|e| ReplayError::Manifest(e.to_string()))?;
+    if manifest.seed != config.seed {
+        return Err(ReplayError::Manifest(format!(
+            "feed seed {} != scenario seed {}",
+            manifest.seed, config.seed
+        )));
+    }
+    if manifest.num_days as usize != world.num_days()
+        || manifest.num_cells as usize != world.topo.cells().len()
+        || manifest.num_subscribers as usize != world.population.len()
+    {
+        return Err(ReplayError::Manifest(format!(
+            "feed universe ({} days, {} cells, {} subscribers) does not \
+             match the scenario's ({}, {}, {})",
+            manifest.num_days,
+            manifest.num_cells,
+            manifest.num_subscribers,
+            world.num_days(),
+            world.topo.cells().len(),
+            world.population.len()
+        )));
+    }
+
+    let threads = run::resolve_threads(rcfg.threads).max(1);
+    let capacity = if rcfg.channel_capacity == 0 {
+        threads * 2
+    } else {
+        rcfg.channel_capacity
+    };
+    let bounds = FeedBounds {
+        num_days: manifest.num_days,
+        num_cells: manifest.num_cells,
+    };
+    let roster = run::build_roster(config, world);
+    let mut anon_index: HashMap<u64, u32> =
+        HashMap::with_capacity(world.population.len());
+    for (idx, sub) in world.population.subscribers().iter().enumerate() {
+        anon_index.insert(world.anonymizer.anon_id(sub.id.0), idx as u32);
+    }
+    let feb_set = run::february_set(world);
+    let num_days = world.num_days();
+
+    let mut report = ReplayReport::default();
+    let mut read_err: Option<ReplayError> = None;
+
+    let (tx, rx) = crossbeam::channel::bounded::<DayTask>(capacity);
+    let worker_results: Vec<(Vec<(u16, Result<DayOutput, ReplayError>)>, WorkerStats)> =
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let rx = rx.clone();
+                let roster = &roster;
+                let anon_index = &anon_index;
+                let feb_set = &feb_set;
+                let policy = rcfg.policy;
+                handles.push(scope.spawn(move |_| {
+                    let mut results = Vec::new();
+                    let mut wstats = WorkerStats::default();
+                    let mut failed = false;
+                    let mut scratch = IngestScratch::default();
+                    for task in rx.iter() {
+                        if failed {
+                            continue; // drain: keep the reader unblocked
+                        }
+                        let day = task.day;
+                        let t0 = Instant::now();
+                        let r = replay_day(
+                            world, roster, anon_index, feb_set, policy, bounds,
+                            task, &mut scratch,
+                        );
+                        wstats.seconds += t0.elapsed().as_secs_f64();
+                        wstats.days_processed += 1;
+                        match &r {
+                            Ok(out) => wstats.events_ingested += out.stats.ingested,
+                            Err(_) => failed = true,
+                        }
+                        results.push((day, r));
+                    }
+                    wstats.events_per_sec = if wstats.seconds > 0.0 {
+                        wstats.events_ingested as f64 / wstats.seconds
+                    } else {
+                        0.0
+                    };
+                    (results, wstats)
+                }));
+            }
+            drop(rx);
+
+            // Reader stage: stream the per-day feed files, in day
+            // order, through the bounded channel.
+            for day in world.clock.days() {
+                let events_name = events_file_name(day);
+                let kpi_name = kpi_file_name(day);
+                let events_text = match fs::read_to_string(dir.join(&events_name)) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        read_err = Some(ReplayError::Io(e));
+                        break;
+                    }
+                };
+                let kpi_text = match fs::read_to_string(dir.join(&kpi_name)) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        read_err = Some(ReplayError::Io(e));
+                        break;
+                    }
+                };
+                report.files_read += 2;
+                report.bytes_read += (events_text.len() + kpi_text.len()) as u64;
+                let task = DayTask { day, events_name, events_text, kpi_name, kpi_text };
+                if tx.send(task).is_err() {
+                    break; // every worker died; their errors surface below
+                }
+            }
+            drop(tx);
+
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replay worker panicked"))
+                .collect()
+        })
+        .expect("replay scope");
+
+    if let Some(e) = read_err {
+        return Err(e);
+    }
+
+    let mut day_slots: Vec<Option<Result<DayOutput, ReplayError>>> =
+        (0..num_days).map(|_| None).collect();
+    for (results, wstats) in worker_results {
+        report.workers.push(wstats);
+        for (day, r) in results {
+            day_slots[day as usize] = Some(r);
+        }
+    }
+
+    // Merge in day order; the earliest day's failure wins, so the
+    // reported error does not depend on worker scheduling.
+    let mut blocks = Vec::with_capacity(num_days);
+    let mut kpi = KpiTable::new();
+    for (day, slot) in day_slots.into_iter().enumerate() {
+        let out = match slot {
+            Some(Ok(out)) => out,
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(ReplayError::Manifest(format!(
+                    "day {day} was never replayed"
+                )))
+            }
+        };
+        add_stats(&mut report.events, out.stats.events);
+        add_stats(&mut report.kpi, out.stats.kpi);
+        report.events_out_of_order += out.stats.out_of_order;
+        report.events_unknown_user += out.stats.unknown_user;
+        report.events_filtered += out.stats.filtered;
+        report.events_ingested += out.stats.ingested;
+        report.user_days += out.stats.user_days;
+        report.cell_days += out.stats.cell_days;
+        blocks.push(out.block);
+        kpi.merge(out.kpi);
+    }
+    let phase_a = run::merge_phase_a(num_days, world.population.len(), blocks);
+    let voice_daily = read_voice_feed(dir, manifest.num_days, rcfg.policy, &mut report)?;
+
+    let dataset = run::assemble(config, world, phase_a, kpi, voice_daily);
+    Ok((dataset, report))
+}
+
+/// Replay one day's feeds into a per-day phase-A partial and KPI table.
+#[allow(clippy::too_many_arguments)]
+fn replay_day(
+    world: &World,
+    roster: &StudyRoster,
+    anon_index: &HashMap<u64, u32>,
+    feb_set: &[bool],
+    policy: MalformedPolicy,
+    bounds: FeedBounds,
+    task: DayTask,
+    scratch: &mut IngestScratch,
+) -> Result<DayOutput, ReplayError> {
+    let DayTask { day, events_name, events_text, kpi_name, kpi_text } = task;
+    let mut stats = DayStats::default();
+    let num_subs = roster.members.len();
+
+    // --- Event feed → phase-A partial ----------------------------------
+    let mut reader = EventReader::new(events_text.as_bytes())
+        .with_policy(policy)
+        .with_bounds(bounds);
+    let mut events: Vec<SignalingEvent> = Vec::new();
+    for item in &mut reader {
+        match item {
+            Ok(ev) => events.push(ev),
+            Err(source) => {
+                return Err(ReplayError::Feed { file: events_name, source })
+            }
+        }
+    }
+    stats.events = reader.stats();
+
+    let mut block = PhaseABlock::new(world.num_days(), vec![day], num_subs);
+    let feb_night = feb_set[day as usize];
+
+    // Segment into per-subscriber runs (the exporter writes one
+    // contiguous run per subscriber, in subscriber order) and drive the
+    // identical ingestion the in-memory phase A uses.
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut i = 0usize;
+    while i < events.len() {
+        let anon = events[i].anon_id;
+        let mut j = i + 1;
+        while j < events.len() && events[j].anon_id == anon {
+            j += 1;
+        }
+        let run_events = &events[i..j];
+        i = j;
+
+        if !seen.insert(anon) {
+            // The subscriber's run already ended; ingesting a second
+            // run would double-count the user-day.
+            stats.out_of_order += run_events.len() as u64;
+            continue;
+        }
+        // Drop events that contradict the stream invariants the dwell
+        // reconstruction relies on (wrong day, minute regression).
+        let mut is_clean = true;
+        let mut prev_minute = 0u16;
+        for (k, ev) in run_events.iter().enumerate() {
+            if ev.day != day || (k > 0 && ev.minute < prev_minute) {
+                is_clean = false;
+                break;
+            }
+            prev_minute = ev.minute;
+        }
+        let cleaned: Vec<SignalingEvent>;
+        let run_slice: &[SignalingEvent] = if is_clean {
+            run_events
+        } else {
+            let mut v = Vec::with_capacity(run_events.len());
+            let mut prev = 0u16;
+            for ev in run_events {
+                if ev.day != day || (!v.is_empty() && ev.minute < prev) {
+                    stats.out_of_order += 1;
+                    continue;
+                }
+                prev = ev.minute;
+                v.push(*ev);
+            }
+            cleaned = v;
+            &cleaned
+        };
+        if run_slice.is_empty() {
+            continue;
+        }
+        let Some(&sub_idx) = anon_index.get(&anon) else {
+            stats.unknown_user += run_slice.len() as u64;
+            continue;
+        };
+        let sub_idx = sub_idx as usize;
+        let Some((_, groups)) = roster.members[sub_idx] else {
+            stats.filtered += run_slice.len() as u64;
+            continue;
+        };
+        stats.ingested += run_slice.len() as u64;
+        stats.user_days += 1;
+
+        scratch.segments.clear();
+        for rec in reconstruct_dwell(run_slice) {
+            let cell = world.topo.cell(rec.cell);
+            scratch.segments.push(SiteDwell {
+                bin: rec.bin,
+                site: cell.site.0,
+                minutes: rec.minutes,
+                rat: cell.rat,
+            });
+        }
+        run::ingest_user_day(
+            world, &mut block, scratch, sub_idx, num_subs, 0, day, feb_night,
+            anon, &groups,
+        );
+    }
+
+    // --- KPI feed → per-day KPI table ----------------------------------
+    let mut kpi = KpiTable::new();
+    let mut current: Option<(u32, Vec<HourlyKpiSample>)> = None;
+    let flush = |current: &mut Option<(u32, Vec<HourlyKpiSample>)>,
+                 kpi: &mut KpiTable| {
+        if let Some((cell, hours)) = current.take() {
+            if let Some(rec) = CellDayMetrics::from_hourly(cell, day, &hours) {
+                kpi.push(rec);
+            }
+        }
+    };
+    for (idx, line) in kpi_text.lines().enumerate() {
+        stats.kpi.lines_read += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            stats.kpi.blank += 1;
+            continue;
+        }
+        let parsed: Result<KpiHourRecord, String> =
+            serde_json::from_str(trimmed).map_err(|e| e.to_string());
+        let checked = parsed.and_then(|r| {
+            if r.day >= bounds.num_days {
+                Err(format!(
+                    "day {} out of range (study has {} days)",
+                    r.day, bounds.num_days
+                ))
+            } else if r.cell >= bounds.num_cells {
+                Err(format!(
+                    "cell {} out of range (topology has {} cells)",
+                    r.cell, bounds.num_cells
+                ))
+            } else if r.day != day {
+                Err(format!("day {} in the feed file of day {day}", r.day))
+            } else {
+                Ok(r)
+            }
+        });
+        match checked {
+            Ok(r) => {
+                stats.kpi.parsed += 1;
+                match &mut current {
+                    Some((cell, hours)) if *cell == r.cell => hours.push(r.sample),
+                    _ => {
+                        flush(&mut current, &mut kpi);
+                        current = Some((r.cell, vec![r.sample]));
+                    }
+                }
+            }
+            Err(reason) => {
+                stats.kpi.malformed += 1;
+                match policy {
+                    MalformedPolicy::SkipAndCount => continue,
+                    MalformedPolicy::FailFast => {
+                        return Err(ReplayError::Feed {
+                            file: kpi_name,
+                            source: FeedError::Malformed {
+                                line: idx as u64 + 1,
+                                reason,
+                            },
+                        })
+                    }
+                }
+            }
+        }
+    }
+    flush(&mut current, &mut kpi);
+    stats.cell_days = kpi.len() as u64;
+
+    Ok(DayOutput { block, kpi, stats })
+}
+
+/// Read the daily voice feed; every study day must be present after
+/// policy handling.
+fn read_voice_feed(
+    dir: &Path,
+    num_days: u16,
+    policy: MalformedPolicy,
+    report: &mut ReplayReport,
+) -> Result<Vec<f64>, ReplayError> {
+    let text = fs::read_to_string(dir.join(VOICE_FILE))?;
+    report.files_read += 1;
+    report.bytes_read += text.len() as u64;
+    let mut voice: Vec<Option<f64>> = vec![None; num_days as usize];
+    for (idx, line) in text.lines().enumerate() {
+        report.voice.lines_read += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            report.voice.blank += 1;
+            continue;
+        }
+        let parsed: Result<VoiceDayRecord, String> =
+            serde_json::from_str(trimmed).map_err(|e| e.to_string());
+        let checked = parsed.and_then(|r| {
+            if r.day >= num_days {
+                Err(format!(
+                    "day {} out of range (study has {num_days} days)",
+                    r.day
+                ))
+            } else {
+                Ok(r)
+            }
+        });
+        match checked {
+            Ok(r) => {
+                report.voice.parsed += 1;
+                voice[r.day as usize] = Some(r.off_net_voice_mb);
+            }
+            Err(reason) => {
+                report.voice.malformed += 1;
+                if policy == MalformedPolicy::FailFast {
+                    return Err(ReplayError::Feed {
+                        file: VOICE_FILE.to_string(),
+                        source: FeedError::Malformed {
+                            line: idx as u64 + 1,
+                            reason,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    voice
+        .into_iter()
+        .enumerate()
+        .map(|(d, v)| {
+            v.ok_or_else(|| {
+                ReplayError::Manifest(format!("voice feed missing day {d}"))
+            })
+        })
+        .collect()
+}
+
+/// Compare two datasets field by field; `Some(field)` names the first
+/// divergence, `None` means bit-for-bit equal.
+pub fn dataset_divergence(a: &StudyDataset, b: &StudyDataset) -> Option<&'static str> {
+    macro_rules! check {
+        ($field:ident) => {
+            if a.$field != b.$field {
+                return Some(stringify!($field));
+            }
+        };
+    }
+    check!(clock);
+    check!(users);
+    check!(gyration);
+    check!(entropy);
+    check!(gyration_dist);
+    check!(gyration_by_bin);
+    check!(kpi);
+    check!(cell_geo);
+    check!(matrix);
+    check!(home_validation);
+    check!(interconnect_daily);
+    check!(national_voice_daily);
+    check!(cases);
+    check!(rat_dwell_share);
+    check!(study_population);
+    check!(homes_detected);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kpi_record_roundtrips_exact_f64() {
+        let rec = KpiHourRecord {
+            cell: 812,
+            day: 37,
+            hour: 23,
+            sample: HourlyKpiSample {
+                dl_volume_mb: 0.1 + 0.2, // classic non-representable sum
+                ul_volume_mb: 1.0 / 3.0,
+                active_dl_users: 2.5e-17,
+                connected_users: 123456.789,
+                user_dl_throughput_mbps: f64::MIN_POSITIVE,
+                tti_utilization: 0.999999999999999,
+                voice_volume_mb: 7.0,
+                voice_users: 0.0,
+                voice_ul_loss: 3.141592653589793,
+                voice_dl_loss: 1e300,
+            },
+        };
+        let line = serde_json::to_string(&rec).unwrap();
+        let back: KpiHourRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn voice_record_roundtrips_exact_f64() {
+        let rec = VoiceDayRecord { day: 99, off_net_voice_mb: 0.1 + 0.7 };
+        let line = serde_json::to_string(&rec).unwrap();
+        let back: VoiceDayRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn report_balances_hold_for_defaults() {
+        let report = ReplayReport::default();
+        assert!(report.lines_balance());
+        assert!(report.events_balance());
+        // Display never panics.
+        let _ = report.to_string();
+    }
+
+    #[test]
+    fn feed_file_names_are_zero_padded() {
+        assert_eq!(events_file_name(3), "events_d003.jsonl");
+        assert_eq!(kpi_file_name(99), "kpi_d099.jsonl");
+    }
+}

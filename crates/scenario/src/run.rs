@@ -1,10 +1,11 @@
 //! The two-phase study runner.
 //!
-//! **Phase A** (parallel over subscribers) replays every subscriber-day
-//! through the paper's mobility pipeline: trajectory → signaling events
-//! → dwell reconstruction → top-20 towers → entropy/gyration → group
-//! accumulators, plus February night dwell for home detection and daily
-//! county-presence masks for the mobility matrix.
+//! **Phase A** (parallel over fixed day blocks) replays every
+//! subscriber-day through the paper's mobility pipeline: trajectory →
+//! signaling events → dwell reconstruction → top-20 towers →
+//! entropy/gyration → group accumulators, plus February night dwell for
+//! home detection and daily county-presence masks for the mobility
+//! matrix.
 //!
 //! **Phase B** (parallel over days) replays the same days through the
 //! traffic pipeline: presence × demand → per-cell hourly offered load →
@@ -14,6 +15,18 @@
 //! A final sequential pass steps the interconnect state machine through
 //! the days (its operations response is stateful) and adds its daily DL
 //! loss to every cell-day voice record.
+//!
+//! # Determinism by day ownership
+//!
+//! Both phases partition work into **fixed day blocks** whose size does
+//! not depend on the thread count, assigned to workers round-robin and
+//! merged back in block order. Every per-(group, day) accumulator
+//! bucket is therefore filled entirely by the one worker that owns the
+//! day, with users ingested in subscriber order; merging partials only
+//! ever adds zero contributions from non-owning blocks. The result:
+//! studies are **bit-identical across thread counts**, and identical to
+//! a [`crate::replay`] run that streams the same days back from
+//! serialized feeds.
 
 use crate::config::ScenarioConfig;
 use crate::dataset::{HomeValidationPoint, MetricGroup, StudyDataset, UserInfo};
@@ -22,7 +35,7 @@ use cellscope_core::kpi_stats::{CellDayMetrics, HourlyKpiSample};
 use cellscope_core::study::{MobilityStudy, StudyConfig, UserDayDwell};
 use cellscope_core::{top_n_towers, DailyGroupMean, KpiTable, MobilityMatrix, TowerDwell};
 use cellscope_geo::County;
-use cellscope_mobility::{Subscriber, TrajectoryGenerator};
+use cellscope_mobility::TrajectoryGenerator;
 use cellscope_radio::{
     CellHourKpi, Interconnect, InterconnectConfig, Rat, Scheduler, SchedulerConfig,
 };
@@ -30,73 +43,290 @@ use cellscope_signaling::{reconstruct_dwell, EventGenerator};
 use cellscope_time::DayBin;
 use cellscope_traffic::{DayLoadGrid, DemandModel, LoadGenerator, ThrottlePolicy, VoiceModel};
 
+/// Days per phase-A work block. Fixed (never derived from the thread
+/// count) so each accumulator bucket has exactly one owning block
+/// regardless of parallelism — the property the determinism and
+/// replay-equivalence guarantees rest on.
+pub(crate) const PHASE_A_BLOCK_DAYS: usize = 4;
+
 /// Run the full study for a configuration.
 pub fn run_study(config: &ScenarioConfig) -> StudyDataset {
     let world = World::build(config);
     run_study_in(config, &world)
 }
 
-/// Run the study over a pre-built world (lets callers keep the world
-/// for further interrogation).
-pub fn run_study_in(config: &ScenarioConfig, world: &World) -> StudyDataset {
-    let threads = if config.threads == 0 {
+/// Resolve a thread-count knob (0 = machine parallelism).
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
     } else {
-        config.threads
-    };
+        threads
+    }
+}
 
+/// Run the study over a pre-built world (lets callers keep the world
+/// for further interrogation).
+pub fn run_study_in(config: &ScenarioConfig, world: &World) -> StudyDataset {
+    let threads = resolve_threads(config.threads);
     let phase_a = run_phase_a(config, world, threads);
     let scale = calibrate_traffic_scale(config, world);
     let (kpi, voice_daily) = run_phase_b(config, world, threads, scale);
     assemble(config, world, phase_a, kpi, voice_daily)
 }
 
-/// Per-thread output of phase A.
-struct PhaseA {
+/// Phase A output, merged over all day blocks.
+pub(crate) struct PhaseA {
     /// The paper's mobility methodology, driven exactly as a real-data
     /// consumer would drive it (see [`cellscope_core::study`]).
-    study: MobilityStudy<MetricGroup>,
-    gyration_by_bin: DailyGroupMean<DayBin>,
+    pub(crate) study: MobilityStudy<MetricGroup>,
+    pub(crate) gyration_by_bin: DailyGroupMean<DayBin>,
     /// County-presence bitmask per (subscriber, day), county-index bit
     /// set when the user's top-20 towers touch that county; row-major
-    /// over the thread's contiguous subscriber range.
-    county_masks: Vec<u32>,
-    rat_minutes: [u64; 3],
+    /// `[subscriber * num_days + day]` over the full population.
+    pub(crate) county_masks: Vec<u32>,
+    pub(crate) rat_minutes: [u64; 3],
+}
+
+/// Phase A partial for one day block.
+pub(crate) struct PhaseABlock {
+    /// The block's days, ascending.
+    pub(crate) days: Vec<u16>,
+    pub(crate) study: MobilityStudy<MetricGroup>,
+    pub(crate) gyration_by_bin: DailyGroupMean<DayBin>,
+    /// `[local_day * num_subscribers + subscriber]`.
+    pub(crate) county_masks: Vec<u32>,
+    pub(crate) rat_minutes: [u64; 3],
+}
+
+impl PhaseABlock {
+    pub(crate) fn new(num_days: usize, days: Vec<u16>, num_subs: usize) -> PhaseABlock {
+        PhaseABlock {
+            county_masks: vec![0u32; days.len() * num_subs],
+            days,
+            study: MobilityStudy::new(StudyConfig::default(), num_days),
+            gyration_by_bin: DailyGroupMean::new(num_days),
+            rat_minutes: [0; 3],
+        }
+    }
+}
+
+/// The feed-side study membership: per subscriber, `Some((anon_id,
+/// aggregation groups))` when Section 2.3's filter (smartphone TAC +
+/// native PLMN, both decided from what the probe records expose) keeps
+/// the user.
+pub(crate) struct StudyRoster {
+    pub(crate) members: Vec<Option<(u64, [MetricGroup; 3])>>,
+}
+
+pub(crate) fn build_roster(config: &ScenarioConfig, world: &World) -> StudyRoster {
+    let eventgen = EventGenerator::new(
+        &world.topo,
+        &world.catalog,
+        world.anonymizer,
+        config.events,
+    );
+    let members = world
+        .population
+        .subscribers()
+        .iter()
+        .map(|sub| {
+            let in_study = world.catalog.is_smartphone(eventgen.tac_of(sub))
+                && eventgen.plmn_of(sub)
+                    == (
+                        cellscope_signaling::event::UK_MCC,
+                        cellscope_signaling::event::HOME_MNC,
+                    );
+            if !in_study {
+                return None;
+            }
+            let home_zone = world.geo.zone(sub.home_zone);
+            Some((
+                world.anonymizer.anon_id(sub.id.0),
+                [
+                    MetricGroup::National,
+                    MetricGroup::County(home_zone.county),
+                    MetricGroup::Cluster(home_zone.cluster),
+                ],
+            ))
+        })
+        .collect();
+    StudyRoster { members }
+}
+
+/// One site-resolved dwell segment of a user-day — the common currency
+/// of the in-memory and feed-replay ingestion paths.
+pub(crate) struct SiteDwell {
+    pub(crate) bin: DayBin,
+    pub(crate) site: u32,
+    pub(crate) minutes: u16,
+    pub(crate) rat: Rat,
+}
+
+/// Reusable per-worker scratch for [`ingest_user_day`].
+#[derive(Default)]
+pub(crate) struct IngestScratch {
+    /// Caller fills this with the user-day's segments before calling
+    /// [`ingest_user_day`].
+    pub(crate) segments: Vec<SiteDwell>,
+    site_minutes: Vec<(u32, u16, u16)>, // (site, mins, night mins)
+    dwell: Vec<TowerDwell>,
+    bin_dwell: Vec<TowerDwell>,
+    night_pairs: Vec<(u32, u16)>,
+}
+
+/// Fold one user-day (its segments sitting in `scratch.segments`) into
+/// a phase-A block: RAT minutes, tower dwell → the study object
+/// (top-20 filter, entropy, gyration, night log), per-bin gyration, and
+/// the county-presence mask.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ingest_user_day(
+    world: &World,
+    out: &mut PhaseABlock,
+    scratch: &mut IngestScratch,
+    sub_idx: usize,
+    num_subs: usize,
+    local_day: usize,
+    day: u16,
+    feb_night: bool,
+    anon: u64,
+    groups: &[MetricGroup; 3],
+) {
+    scratch.site_minutes.clear();
+    for s in &scratch.segments {
+        out.rat_minutes[s.rat as usize] += s.minutes as u64;
+        let night = if s.bin.is_night_window() { s.minutes } else { 0 };
+        push_site_minutes(&mut scratch.site_minutes, s.site, s.minutes, night);
+    }
+
+    // Tower dwell -> the paper's methodology (top-20 filter, entropy,
+    // gyration, distributions, night log) — all inside MobilityStudy,
+    // the same object a real-data consumer drives.
+    scratch.dwell.clear();
+    scratch
+        .dwell
+        .extend(scratch.site_minutes.iter().map(|&(site, mins, _)| TowerDwell {
+            tower: site,
+            location: world.topo.site(cellscope_radio::SiteId(site)).location,
+            seconds: mins as f64 * 60.0,
+        }));
+    scratch.night_pairs.clear();
+    if feb_night {
+        scratch.night_pairs.extend(
+            scratch
+                .site_minutes
+                .iter()
+                .filter(|&&(_, _, night)| night > 0)
+                .map(|&(site, _, night)| (site, night)),
+        );
+    }
+    out.study.ingest(
+        UserDayDwell {
+            user: anon,
+            day,
+            dwell: &scratch.dwell,
+            night_minutes: &scratch.night_pairs,
+        },
+        groups,
+    );
+
+    // Per-bin gyration (Section 2.3 computes the metrics over the six
+    // 4-hour bins too) — national aggregate only.
+    for bin in DayBin::ALL {
+        scratch.bin_dwell.clear();
+        scratch.bin_dwell.extend(
+            scratch
+                .segments
+                .iter()
+                .filter(|s| s.bin == bin)
+                .map(|s| TowerDwell {
+                    tower: s.site,
+                    location: world.topo.site(cellscope_radio::SiteId(s.site)).location,
+                    seconds: s.minutes as f64 * 60.0,
+                }),
+        );
+        if let Some(g_bin) = cellscope_core::radius_of_gyration(&scratch.bin_dwell) {
+            out.gyration_by_bin.add(bin, day, g_bin);
+        }
+    }
+
+    // County presence mask (for the mobility matrix), over the same
+    // top-20 tower set the metrics use.
+    let top = top_n_towers(&scratch.dwell, 20);
+    let mut mask = 0u32;
+    for t in &top {
+        let zone = world.topo.site(cellscope_radio::SiteId(t.tower)).zone;
+        mask |= 1 << world.geo.zone(zone).county.index();
+    }
+    out.county_masks[local_day * num_subs + sub_idx] = mask;
 }
 
 fn run_phase_a(config: &ScenarioConfig, world: &World, threads: usize) -> PhaseA {
-    let num_days = world.num_days();
-    let subs = world.population.subscribers();
-    let chunk_size = subs.len().div_ceil(threads.max(1));
+    let roster = build_roster(config, world);
+    let days: Vec<u16> = world.clock.days().collect();
+    let blocks: Vec<&[u16]> = days.chunks(PHASE_A_BLOCK_DAYS).collect();
+    let threads = threads.max(1);
 
-    let mut partials: Vec<PhaseA> = crossbeam::thread::scope(|scope| {
+    let mut partials: Vec<Option<PhaseABlock>> = (0..blocks.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for chunk in subs.chunks(chunk_size.max(1)) {
-            handles.push(scope.spawn(move |_| phase_a_chunk(config, world, chunk)));
+        for w in 0..threads.min(blocks.len()) {
+            let blocks = &blocks;
+            let roster = &roster;
+            handles.push(scope.spawn(move |_| {
+                let mut out = Vec::new();
+                let mut i = w;
+                while i < blocks.len() {
+                    out.push((i, phase_a_block(config, world, roster, blocks[i])));
+                    i += threads;
+                }
+                out
+            }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("phase A worker panicked"))
-            .collect()
+        for h in handles {
+            for (i, p) in h.join().expect("phase A worker panicked") {
+                partials[i] = Some(p);
+            }
+        }
     })
     .expect("phase A scope");
 
-    // Merge in chunk order so county_masks stays aligned with ids.
+    merge_phase_a(
+        world.num_days(),
+        world.population.len(),
+        partials.into_iter().map(|p| p.expect("phase A block missing")),
+    )
+}
+
+/// Merge phase-A block partials, **in block order**, into the global
+/// phase-A output. Shared by the in-memory runner and the feed-replay
+/// engine (whose blocks are single days).
+pub(crate) fn merge_phase_a(
+    num_days: usize,
+    num_subs: usize,
+    partials: impl IntoIterator<Item = PhaseABlock>,
+) -> PhaseA {
     let mut study = MobilityStudy::new(StudyConfig::default(), num_days);
     study.finish(); // empty shell, ready to absorb finished partials
     let mut merged = PhaseA {
         study,
         gyration_by_bin: DailyGroupMean::new(num_days),
-        county_masks: Vec::with_capacity(subs.len() * num_days),
+        county_masks: vec![0u32; num_subs * num_days],
         rat_minutes: [0; 3],
     };
-    for mut p in partials.drain(..) {
+    for mut p in partials {
         p.study.finish();
         merged.study.merge(p.study);
         merged.gyration_by_bin.merge(p.gyration_by_bin);
-        merged.county_masks.append(&mut p.county_masks);
+        for (local_day, &day) in p.days.iter().enumerate() {
+            for sub in 0..num_subs {
+                let mask = p.county_masks[local_day * num_subs + sub];
+                if mask != 0 {
+                    merged.county_masks[sub * num_days + day as usize] = mask;
+                }
+            }
+        }
         for (a, b) in merged.rat_minutes.iter_mut().zip(p.rat_minutes) {
             *a += b;
         }
@@ -104,8 +334,12 @@ fn run_phase_a(config: &ScenarioConfig, world: &World, threads: usize) -> PhaseA
     merged
 }
 
-fn phase_a_chunk(config: &ScenarioConfig, world: &World, chunk: &[Subscriber]) -> PhaseA {
-    let num_days = world.num_days();
+fn phase_a_block(
+    config: &ScenarioConfig,
+    world: &World,
+    roster: &StudyRoster,
+    block: &[u16],
+) -> PhaseABlock {
     let trajgen =
         TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
     let eventgen = EventGenerator::new(
@@ -114,45 +348,23 @@ fn phase_a_chunk(config: &ScenarioConfig, world: &World, chunk: &[Subscriber]) -
         world.anonymizer,
         config.events,
     );
-    let february: Vec<u16> = world.clock.february_days();
-    let feb_set: Vec<bool> = {
-        let mut v = vec![false; num_days];
-        for &d in &february {
-            v[d as usize] = true;
-        }
-        v
-    };
+    let feb_set = february_set(world);
+    let subs = world.population.subscribers();
+    let num_subs = subs.len();
 
-    let mut out = PhaseA {
-        study: MobilityStudy::new(StudyConfig::default(), num_days),
-        gyration_by_bin: DailyGroupMean::new(num_days),
-        county_masks: vec![0u32; chunk.len() * num_days],
-        rat_minutes: [0; 3],
-    };
-    let mut site_minutes: Vec<(u32, u16, u16)> = Vec::new(); // (site, mins, night mins)
-    let mut bin_site_minutes: Vec<(DayBin, u32, u16)> = Vec::new(); // (bin, site, mins)
+    let mut out = PhaseABlock::new(world.num_days(), block.to_vec(), num_subs);
+    let mut scratch = IngestScratch::default();
 
-    for (local, sub) in chunk.iter().enumerate() {
-        // Feed-side study filter: smartphone TAC + native PLMN
-        // (Section 2.3) — decided from what the probe records expose.
-        let in_study = world.catalog.is_smartphone(eventgen.tac_of(sub))
-            && eventgen.plmn_of(sub) == (cellscope_signaling::event::UK_MCC, cellscope_signaling::event::HOME_MNC);
-        if !in_study {
-            continue;
-        }
-        let anon = world.anonymizer.anon_id(sub.id.0);
-        let home_zone = world.geo.zone(sub.home_zone);
-        let groups = [
-            MetricGroup::National,
-            MetricGroup::County(home_zone.county),
-            MetricGroup::Cluster(home_zone.cluster),
-        ];
-
-        for day in world.clock.days() {
+    // Day-major, subscriber order within each day — the exact order a
+    // replay of the per-day feeds ingests in.
+    for (local_day, &day) in block.iter().enumerate() {
+        let feb_night = feb_set[day as usize];
+        for (sub_idx, sub) in subs.iter().enumerate() {
+            let Some((anon, groups)) = roster.members[sub_idx] else {
+                continue;
+            };
             let traj = trajgen.generate(sub, day);
-            site_minutes.clear();
-            bin_site_minutes.clear();
-
+            scratch.segments.clear();
             if config.use_event_reconstruction {
                 let events = eventgen.generate(sub, &traj);
                 if events.is_empty() {
@@ -160,86 +372,41 @@ fn phase_a_chunk(config: &ScenarioConfig, world: &World, chunk: &[Subscriber]) -
                 }
                 for rec in reconstruct_dwell(&events) {
                     let cell = world.topo.cell(rec.cell);
-                    out.rat_minutes[cell.rat as usize] += rec.minutes as u64;
-                    let night = if rec.bin.is_night_window() {
-                        rec.minutes
-                    } else {
-                        0
-                    };
-                    push_site_minutes(&mut site_minutes, cell.site.0, rec.minutes, night);
-                    bin_site_minutes.push((rec.bin, cell.site.0, rec.minutes));
+                    scratch.segments.push(SiteDwell {
+                        bin: rec.bin,
+                        site: cell.site.0,
+                        minutes: rec.minutes,
+                        rat: cell.rat,
+                    });
                 }
             } else {
                 if traj.visits.is_empty() {
                     continue;
                 }
-                for v in &traj.visits {
-                    let night = if v.bin.is_night_window() { v.minutes } else { 0 };
-                    push_site_minutes(&mut site_minutes, v.site.0, v.minutes, night);
-                    out.rat_minutes[Rat::G4 as usize] += v.minutes as u64;
-                    bin_site_minutes.push((v.bin, v.site.0, v.minutes));
-                }
+                scratch.segments.extend(traj.visits.iter().map(|v| SiteDwell {
+                    bin: v.bin,
+                    site: v.site.0,
+                    minutes: v.minutes,
+                    rat: Rat::G4,
+                }));
             }
-
-            // Tower dwell -> the paper's methodology (top-20 filter,
-            // entropy, gyration, distributions, night log) — all inside
-            // MobilityStudy, the same object a real-data consumer drives.
-            let dwell: Vec<TowerDwell> = site_minutes
-                .iter()
-                .map(|&(site, mins, _)| TowerDwell {
-                    tower: site,
-                    location: world.topo.site(cellscope_radio::SiteId(site)).location,
-                    seconds: mins as f64 * 60.0,
-                })
-                .collect();
-            let night_pairs: Vec<(u32, u16)> = if feb_set[day as usize] {
-                site_minutes
-                    .iter()
-                    .filter(|&&(_, _, night)| night > 0)
-                    .map(|&(site, _, night)| (site, night))
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            out.study.ingest(
-                UserDayDwell {
-                    user: anon,
-                    day,
-                    dwell: &dwell,
-                    night_minutes: &night_pairs,
-                },
-                &groups,
+            ingest_user_day(
+                world, &mut out, &mut scratch, sub_idx, num_subs, local_day, day,
+                feb_night, anon, &groups,
             );
-
-            // Per-bin gyration (Section 2.3 computes the metrics over
-            // the six 4-hour bins too) — national aggregate only.
-            for bin in DayBin::ALL {
-                let bin_dwell: Vec<TowerDwell> = bin_site_minutes
-                    .iter()
-                    .filter(|&&(b, _, _)| b == bin)
-                    .map(|&(_, site, mins)| TowerDwell {
-                        tower: site,
-                        location: world.topo.site(cellscope_radio::SiteId(site)).location,
-                        seconds: mins as f64 * 60.0,
-                    })
-                    .collect();
-                if let Some(g_bin) = cellscope_core::radius_of_gyration(&bin_dwell) {
-                    out.gyration_by_bin.add(bin, day, g_bin);
-                }
-            }
-
-            // County presence mask (for the mobility matrix), over the
-            // same top-20 tower set the metrics use.
-            let top = top_n_towers(&dwell, 20);
-            let mut mask = 0u32;
-            for t in &top {
-                let zone = world.topo.site(cellscope_radio::SiteId(t.tower)).zone;
-                mask |= 1 << world.geo.zone(zone).county.index();
-            }
-            out.county_masks[local * num_days + day as usize] = mask;
         }
     }
     out
+}
+
+/// Per-day flag: is this day inside the home-detection observation
+/// window (February)?
+pub(crate) fn february_set(world: &World) -> Vec<bool> {
+    let mut v = vec![false; world.num_days()];
+    for d in world.clock.february_days() {
+        v[d as usize] = true;
+    }
+    v
 }
 
 fn push_site_minutes(acc: &mut Vec<(u32, u16, u16)>, site: u32, minutes: u16, night: u16) {
@@ -258,7 +425,7 @@ fn push_site_minutes(acc: &mut Vec<(u32, u16, u16)>, site: u32, minutes: u16, ni
 /// peak-hour downlink utilization of used cells to the configured
 /// target. Without this, a subsampled population would leave realistic
 /// cell capacities idle and flatten every load-derived KPI.
-fn calibrate_traffic_scale(config: &ScenarioConfig, world: &World) -> f64 {
+pub(crate) fn calibrate_traffic_scale(config: &ScenarioConfig, world: &World) -> f64 {
     let day = world
         .clock
         .day_of(cellscope_time::Date::ymd(2020, 2, 25))
@@ -379,64 +546,95 @@ fn phase_b_chunk(
     let mut hours_buf: Vec<HourlyKpiSample> = Vec::with_capacity(24);
 
     for &day in days {
-        let date = world.clock.date(day);
-        let timeline = world.behavior.timeline();
-        let intensity = timeline.intensity(date);
-        // Ratchet: at-home WiFi settling does not unwind after lockdown.
-        let confinement = if date >= timeline.lockdown {
-            1.0
-        } else {
-            intensity
-        };
-        grid.clear();
-        for sub in world.population.subscribers() {
-            let traj = trajgen.generate(sub, day);
-            loadgen.accumulate(sub, &traj, date, intensity, confinement, &world.topo, &mut grid);
-        }
-        voices.push((day, loadgen.off_net_voice_mb(&grid)));
-
-        for cell in world.topo.cells() {
-            if cell.rat != Rat::G4 || !cell.is_active(day) {
-                continue;
-            }
-            let mut any_usage = false;
-            hours_buf.clear();
-            for hour in 0..24u8 {
-                let load = grid.get(cell.id.index(), hour as usize);
-                if load.connected_users > 0.0 {
-                    any_usage = true;
-                }
-                let radio = scheduler.serve(cell.capacity, load);
-                // Interconnect DL loss is added in the sequential pass;
-                // pass 0 here.
-                let kpi_hour = CellHourKpi::from_radio(cell.id, day, hour, &radio, 0.0);
-                hours_buf.push(HourlyKpiSample {
-                    dl_volume_mb: kpi_hour.dl_volume_mb,
-                    ul_volume_mb: kpi_hour.ul_volume_mb,
-                    active_dl_users: kpi_hour.active_dl_users,
-                    connected_users: kpi_hour.connected_users,
-                    user_dl_throughput_mbps: kpi_hour.user_dl_throughput_mbps,
-                    tti_utilization: kpi_hour.tti_utilization,
-                    voice_volume_mb: kpi_hour.voice.volume_mb,
-                    voice_users: kpi_hour.voice.simultaneous_users,
-                    voice_ul_loss: kpi_hour.voice.ul_loss_rate,
-                    voice_dl_loss: kpi_hour.voice.dl_loss_rate,
-                });
-            }
-            // Cells nobody camped on all day are coverage artifacts of
-            // the population subsample; real studies only see reporting
-            // cells with subscribers.
-            if any_usage {
-                if let Some(rec) = CellDayMetrics::from_hourly(cell.id.0, day, &hours_buf) {
+        let voice = simulate_day_kpi(
+            world,
+            &trajgen,
+            &loadgen,
+            &scheduler,
+            &mut grid,
+            day,
+            &mut hours_buf,
+            |cell_id, hours| {
+                if let Some(rec) = CellDayMetrics::from_hourly(cell_id, day, hours) {
                     kpi.push(rec);
                 }
-            }
-        }
+            },
+        );
+        voices.push((day, voice));
     }
     (kpi, voices)
 }
 
-fn assemble(
+/// Simulate one day of the traffic pipeline: presence × demand into
+/// `grid`, then the radio scheduler per active 4G cell. Calls `sink`
+/// with each reporting cell's 24 post-scheduler hourly samples (cells
+/// nobody camped on all day are coverage artifacts of the population
+/// subsample; real studies only see reporting cells with subscribers)
+/// and returns the day's off-net voice volume. Shared by the phase-B
+/// runner and the feed exporter.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_day_kpi(
+    world: &World,
+    trajgen: &TrajectoryGenerator<'_>,
+    loadgen: &LoadGenerator,
+    scheduler: &Scheduler,
+    grid: &mut DayLoadGrid,
+    day: u16,
+    hours_buf: &mut Vec<HourlyKpiSample>,
+    mut sink: impl FnMut(u32, &[HourlyKpiSample]),
+) -> f64 {
+    let date = world.clock.date(day);
+    let timeline = world.behavior.timeline();
+    let intensity = timeline.intensity(date);
+    // Ratchet: at-home WiFi settling does not unwind after lockdown.
+    let confinement = if date >= timeline.lockdown {
+        1.0
+    } else {
+        intensity
+    };
+    grid.clear();
+    for sub in world.population.subscribers() {
+        let traj = trajgen.generate(sub, day);
+        loadgen.accumulate(sub, &traj, date, intensity, confinement, &world.topo, grid);
+    }
+    let voice = loadgen.off_net_voice_mb(grid);
+
+    for cell in world.topo.cells() {
+        if cell.rat != Rat::G4 || !cell.is_active(day) {
+            continue;
+        }
+        let mut any_usage = false;
+        hours_buf.clear();
+        for hour in 0..24u8 {
+            let load = grid.get(cell.id.index(), hour as usize);
+            if load.connected_users > 0.0 {
+                any_usage = true;
+            }
+            let radio = scheduler.serve(cell.capacity, load);
+            // Interconnect DL loss is added in the sequential pass;
+            // pass 0 here.
+            let kpi_hour = CellHourKpi::from_radio(cell.id, day, hour, &radio, 0.0);
+            hours_buf.push(HourlyKpiSample {
+                dl_volume_mb: kpi_hour.dl_volume_mb,
+                ul_volume_mb: kpi_hour.ul_volume_mb,
+                active_dl_users: kpi_hour.active_dl_users,
+                connected_users: kpi_hour.connected_users,
+                user_dl_throughput_mbps: kpi_hour.user_dl_throughput_mbps,
+                tti_utilization: kpi_hour.tti_utilization,
+                voice_volume_mb: kpi_hour.voice.volume_mb,
+                voice_users: kpi_hour.voice.simultaneous_users,
+                voice_ul_loss: kpi_hour.voice.ul_loss_rate,
+                voice_dl_loss: kpi_hour.voice.dl_loss_rate,
+            });
+        }
+        if any_usage {
+            sink(cell.id.0, hours_buf);
+        }
+    }
+    voice
+}
+
+pub(crate) fn assemble(
     config: &ScenarioConfig,
     world: &World,
     phase_a: PhaseA,

@@ -6,8 +6,24 @@
 //! stable on-disk representation so external tooling (pandas, DuckDB,
 //! jq) can consume the same records the in-process pipeline does. One
 //! JSON object per line, schema = [`SignalingEvent`]'s serde form.
+//!
+//! # Streaming vs collecting
+//!
+//! [`EventReader`] is the primary API: an iterator that yields one
+//! `Result<SignalingEvent, FeedError>` per feed line while reusing a
+//! single line buffer, so reading an N-event feed allocates O(1)
+//! scratch instead of O(N) lines. It also carries the fault-tolerance
+//! knobs the replay engine needs: a [`MalformedPolicy`] deciding
+//! whether a bad line aborts the stream or is counted and skipped, an
+//! optional [`FeedBounds`] for semantic validation (day/cell ids in
+//! range), and running [`FeedStats`] that account for every line read
+//! (`parsed + blank + malformed == lines_read`, always).
+//!
+//! [`read_events_jsonl`] is a thin fail-fast wrapper that collects the
+//! iterator into a `Vec` — convenient for tests and small feeds.
 
 use crate::event::SignalingEvent;
+use std::fmt;
 use std::io::{self, BufRead, Write};
 
 /// Write events as JSON lines.
@@ -24,25 +40,217 @@ pub fn write_events_jsonl<W: Write>(
     Ok(())
 }
 
-/// Read events back from JSON lines.
+/// What a reader does when it hits a line it cannot turn into a valid
+/// event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MalformedPolicy {
+    /// Stop at the first bad line and report it (the default; right for
+    /// feeds we produced ourselves, where any damage is a bug).
+    FailFast,
+    /// Drop bad lines, keep counts in [`FeedStats::malformed`], and
+    /// keep going (right for replaying feeds of unknown provenance —
+    /// the paper's probes drop records too; the analysis must degrade,
+    /// not abort).
+    SkipAndCount,
+}
+
+/// A feed-read failure, locating the problem when it is per-line.
+#[derive(Debug)]
+pub enum FeedError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A specific line could not be parsed or failed validation.
+    /// `line` is 1-based, matching what `sed -n '<line>p'` shows.
+    Malformed { line: u64, reason: String },
+}
+
+impl fmt::Display for FeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedError::Io(e) => write!(f, "feed I/O error: {e}"),
+            FeedError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
+impl From<FeedError> for io::Error {
+    fn from(e: FeedError) -> io::Error {
+        match e {
+            FeedError::Io(io_err) => io_err,
+            FeedError::Malformed { .. } => {
+                io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+            }
+        }
+    }
+}
+
+/// Per-stream accounting. Every line read lands in exactly one of the
+/// last three buckets: `parsed + blank + malformed == lines_read`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedStats {
+    /// Total lines consumed from the reader.
+    pub lines_read: u64,
+    /// Lines that produced a valid event.
+    pub parsed: u64,
+    /// Whitespace-only lines (tolerated separators).
+    pub blank: u64,
+    /// Lines rejected as unparseable or out of bounds. Under
+    /// [`MalformedPolicy::FailFast`] at most 1 (the line that aborted).
+    pub malformed: u64,
+}
+
+/// Semantic bounds for validation beyond JSON well-formedness: a feed
+/// event referring to a day or cell outside the study universe is as
+/// malformed as broken JSON — downstream code indexes arrays with
+/// these ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedBounds {
+    /// Number of study days; `event.day` must be `< num_days`.
+    pub num_days: u16,
+    /// Number of cells; `event.cell.0` must be `< num_cells`.
+    pub num_cells: u32,
+}
+
+impl FeedBounds {
+    /// Validate an event against the bounds.
+    pub fn check(&self, event: &SignalingEvent) -> Result<(), String> {
+        if event.day >= self.num_days {
+            return Err(format!(
+                "day {} out of range (study has {} days)",
+                event.day, self.num_days
+            ));
+        }
+        if event.cell.0 >= self.num_cells {
+            return Err(format!(
+                "cell {} out of range (topology has {} cells)",
+                event.cell.0, self.num_cells
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Streaming JSONL event reader: an iterator over
+/// `Result<SignalingEvent, FeedError>`.
 ///
-/// Malformed lines are returned as errors with their line number — a
-/// feed consumer must know *where* a probe export broke, not just that
-/// it did.
+/// One internal `String` is reused across lines, so iteration performs
+/// no per-line buffer allocation (the per-event work is just the JSON
+/// parse). Configure with [`with_policy`](EventReader::with_policy) and
+/// [`with_bounds`](EventReader::with_bounds); inspect accounting at any
+/// point with [`stats`](EventReader::stats).
+pub struct EventReader<R: BufRead> {
+    reader: R,
+    buf: String,
+    policy: MalformedPolicy,
+    bounds: Option<FeedBounds>,
+    stats: FeedStats,
+    /// Set after a fatal error (I/O, or malformed under fail-fast) so
+    /// the iterator fuses instead of re-reading a broken stream.
+    done: bool,
+}
+
+impl<R: BufRead> EventReader<R> {
+    /// Reader with the default fail-fast policy and no bounds checks.
+    pub fn new(reader: R) -> EventReader<R> {
+        EventReader {
+            reader,
+            buf: String::new(),
+            policy: MalformedPolicy::FailFast,
+            bounds: None,
+            stats: FeedStats::default(),
+            done: false,
+        }
+    }
+
+    /// Set the malformed-line policy.
+    pub fn with_policy(mut self, policy: MalformedPolicy) -> EventReader<R> {
+        self.policy = policy;
+        self
+    }
+
+    /// Enable semantic validation against study bounds.
+    pub fn with_bounds(mut self, bounds: FeedBounds) -> EventReader<R> {
+        self.bounds = Some(bounds);
+        self
+    }
+
+    /// Accounting so far (final once the iterator returns `None`).
+    pub fn stats(&self) -> FeedStats {
+        self.stats
+    }
+
+    /// Classify the current buffer; `None` means "skip, keep reading".
+    fn take_line(&mut self) -> Option<Result<SignalingEvent, FeedError>> {
+        let line = self.buf.trim();
+        if line.is_empty() {
+            self.stats.blank += 1;
+            return None;
+        }
+        let parsed: Result<SignalingEvent, String> =
+            serde_json::from_str(line).map_err(|e| e.to_string());
+        let checked = parsed.and_then(|ev| match &self.bounds {
+            Some(b) => b.check(&ev).map(|()| ev),
+            None => Ok(ev),
+        });
+        match checked {
+            Ok(ev) => {
+                self.stats.parsed += 1;
+                Some(Ok(ev))
+            }
+            Err(reason) => {
+                self.stats.malformed += 1;
+                match self.policy {
+                    MalformedPolicy::SkipAndCount => None,
+                    MalformedPolicy::FailFast => {
+                        self.done = true;
+                        Some(Err(FeedError::Malformed {
+                            line: self.stats.lines_read,
+                            reason,
+                        }))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for EventReader<R> {
+    type Item = Result<SignalingEvent, FeedError>;
+
+    fn next(&mut self) -> Option<Result<SignalingEvent, FeedError>> {
+        while !self.done {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(FeedError::Io(e)));
+                }
+            }
+            self.stats.lines_read += 1;
+            if let Some(item) = self.take_line() {
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+/// Read events back from JSON lines, collecting into a `Vec`.
+///
+/// Thin wrapper over a fail-fast [`EventReader`]: malformed lines are
+/// returned as `InvalidData` errors carrying their 1-based line number
+/// — a feed consumer must know *where* a probe export broke, not just
+/// that it did.
 pub fn read_events_jsonl<R: BufRead>(reader: R) -> io::Result<Vec<SignalingEvent>> {
     let mut events = Vec::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let event: SignalingEvent = serde_json::from_str(&line).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: {e}", idx + 1),
-            )
-        })?;
-        events.push(event);
+    for item in EventReader::new(reader) {
+        events.push(item.map_err(io::Error::from)?);
     }
     Ok(events)
 }
@@ -117,5 +325,56 @@ mod tests {
         for line in text.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn streaming_reader_counts_every_line() {
+        let events = sample(5);
+        let mut buffer = Vec::new();
+        write_events_jsonl(&mut buffer, &events).unwrap();
+        buffer.extend_from_slice(b"\n{bad}\n   \n");
+        write_events_jsonl(&mut buffer, &events[..2]).unwrap();
+
+        let mut reader = EventReader::new(buffer.as_slice())
+            .with_policy(MalformedPolicy::SkipAndCount);
+        let back: Vec<SignalingEvent> =
+            (&mut reader).map(|r| r.unwrap()).collect();
+        assert_eq!(back.len(), 7);
+
+        let stats = reader.stats();
+        assert_eq!(stats.lines_read, 10);
+        assert_eq!(stats.parsed, 7);
+        assert_eq!(stats.blank, 2);
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(
+            stats.parsed + stats.blank + stats.malformed,
+            stats.lines_read
+        );
+    }
+
+    #[test]
+    fn fail_fast_reader_fuses_after_error() {
+        let mut buffer = Vec::new();
+        write_events_jsonl(&mut buffer, &sample(1)).unwrap();
+        buffer.extend_from_slice(b"garbage\n");
+        write_events_jsonl(&mut buffer, &sample(1)).unwrap();
+
+        let mut reader = EventReader::new(buffer.as_slice());
+        assert!(reader.next().unwrap().is_ok());
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(matches!(err, FeedError::Malformed { line: 2, .. }), "{err}");
+        assert!(reader.next().is_none(), "fused after fail-fast error");
+    }
+
+    #[test]
+    fn bounds_reject_out_of_range_ids() {
+        let bounds = FeedBounds { num_days: 20, num_cells: 7 };
+        let mut ev = sample(1)[0];
+        assert!(bounds.check(&ev).is_ok());
+        ev.day = 20;
+        assert!(bounds.check(&ev).unwrap_err().contains("day 20"));
+        ev.day = 5;
+        ev.cell = CellId(7);
+        assert!(bounds.check(&ev).unwrap_err().contains("cell 7"));
     }
 }

@@ -1,0 +1,138 @@
+//! Property tests for the JSONL feed format: writing arbitrary
+//! signaling events and reading them back is the identity, including
+//! through blank-line interleavings, and the reader's accounting always
+//! balances.
+
+use cellscope_radio::CellId;
+use cellscope_signaling::event::EventType;
+use cellscope_signaling::{
+    read_events_jsonl, write_events_jsonl, EventReader, MalformedPolicy,
+    SignalingEvent, TacCode,
+};
+use proptest::prelude::*;
+
+/// Arbitrary event over the full field ranges (not just values the
+/// generator emits): any u64 id, any PLMN, any of the ten event types,
+/// success and failure results.
+fn arb_event() -> impl Strategy<Value = SignalingEvent> {
+    (
+        0u64..u64::MAX,
+        0u16..1000,
+        0u8..100,
+        (0u32..100_000_000, 0u32..10_000, 0u16..400, 0u16..1440),
+        0usize..EventType::ALL.len(),
+        0u8..2,
+    )
+        .prop_map(|(anon_id, mcc, mnc, (tac, cell, day, minute), ev, success)| {
+            SignalingEvent {
+                anon_id,
+                mcc,
+                mnc,
+                tac: TacCode(tac),
+                cell: CellId(cell),
+                day,
+                minute,
+                event: EventType::ALL[ev],
+                success: success == 1,
+            }
+        })
+}
+
+proptest! {
+    /// write → read is the identity for any event vector.
+    #[test]
+    fn jsonl_roundtrip_is_identity(events in prop::collection::vec(arb_event(), 0..50)) {
+        let mut buf = Vec::new();
+        write_events_jsonl(&mut buf, &events).expect("write");
+        let back = read_events_jsonl(buf.as_slice()).expect("read");
+        prop_assert_eq!(back, events);
+    }
+
+    /// Blank lines interleaved anywhere are separators, not records:
+    /// the events still round-trip and the accounting still balances.
+    #[test]
+    fn blank_interleavings_are_tolerated(
+        events in prop::collection::vec(arb_event(), 1..30),
+        blanks in prop::collection::vec(0usize..30, 0..10),
+    ) {
+        let mut buf = Vec::new();
+        write_events_jsonl(&mut buf, &events).expect("write");
+        let mut lines: Vec<String> = String::from_utf8(buf)
+            .expect("utf8")
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let mut inserted = 0u64;
+        for b in blanks {
+            let at = b % (lines.len() + 1);
+            // Mix pure-empty and whitespace-only separators.
+            let filler = if at % 2 == 0 { "" } else { "   \t" };
+            lines.insert(at, filler.to_string());
+            inserted += 1;
+        }
+        let text = lines.join("\n") + "\n";
+
+        let mut reader = EventReader::new(text.as_bytes());
+        let back: Result<Vec<SignalingEvent>, _> = (&mut reader).collect();
+        prop_assert_eq!(back.expect("blank lines are not errors"), events);
+        let stats = reader.stats();
+        prop_assert_eq!(stats.blank, inserted);
+        prop_assert_eq!(stats.parsed, events.len() as u64);
+        prop_assert_eq!(stats.malformed, 0);
+        prop_assert_eq!(
+            stats.parsed + stats.blank + stats.malformed,
+            stats.lines_read
+        );
+    }
+
+    /// Concatenating two serialized feeds parses to the concatenation
+    /// of their events — the property day-file streaming relies on.
+    #[test]
+    fn feeds_concatenate(
+        a in prop::collection::vec(arb_event(), 0..20),
+        b in prop::collection::vec(arb_event(), 0..20),
+    ) {
+        let mut buf = Vec::new();
+        write_events_jsonl(&mut buf, &a).expect("write a");
+        write_events_jsonl(&mut buf, &b).expect("write b");
+        let back = read_events_jsonl(buf.as_slice()).expect("read");
+        let mut expect = a;
+        expect.extend(b);
+        prop_assert_eq!(back, expect);
+    }
+
+    /// Under skip-and-count, splicing one garbage line into a valid
+    /// feed drops exactly that line.
+    #[test]
+    fn single_corruption_costs_one_record(
+        events in prop::collection::vec(arb_event(), 1..30),
+        at in 0usize..30,
+        garbage_pick in 0usize..5,
+    ) {
+        const GARBAGE: [&str; 5] = [
+            "#!corrupt",
+            "{\"anon_id\":",          // truncated record
+            "{}",                      // valid JSON, wrong shape
+            "[1,2,3]",                 // valid JSON, not an object
+            "{\"anon_id\":1,\"mcc\":\"not a number\"}",
+        ];
+        let garbage = GARBAGE[garbage_pick].to_string();
+        let mut buf = Vec::new();
+        write_events_jsonl(&mut buf, &events).expect("write");
+        let mut lines: Vec<String> = String::from_utf8(buf)
+            .expect("utf8")
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let at = at % (lines.len() + 1);
+        lines.insert(at, garbage);
+        let text = lines.join("\n") + "\n";
+
+        let mut reader = EventReader::new(text.as_bytes())
+            .with_policy(MalformedPolicy::SkipAndCount);
+        let back: Vec<SignalingEvent> =
+            (&mut reader).map(|r| r.expect("skip policy")).collect();
+        prop_assert_eq!(back, events);
+        prop_assert_eq!(reader.stats().malformed, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Fault-tolerance of the feed reader over deliberately damaged feeds:
+//! truncated lines, invalid JSON, and out-of-range ids. Skip-and-count
+//! must drop *exactly* the bad records and keep every good one;
+//! fail-fast must locate the first bad line by its 1-based number.
+
+use cellscope_radio::CellId;
+use cellscope_signaling::event::{EventType, HOME_MNC, UK_MCC};
+use cellscope_signaling::{
+    read_events_jsonl, write_events_jsonl, EventReader, FeedBounds, FeedError,
+    MalformedPolicy, SignalingEvent, TacCode,
+};
+
+fn event(anon_id: u64, minute: u16, cell: u32, day: u16) -> SignalingEvent {
+    SignalingEvent {
+        anon_id,
+        mcc: UK_MCC,
+        mnc: HOME_MNC,
+        tac: TacCode(35_123_400),
+        cell: CellId(cell),
+        day,
+        minute,
+        event: EventType::ServiceRequest,
+        success: true,
+    }
+}
+
+fn feed_text(events: &[SignalingEvent]) -> String {
+    let mut buf = Vec::new();
+    write_events_jsonl(&mut buf, events).expect("serialize");
+    String::from_utf8(buf).expect("utf8")
+}
+
+/// A ten-event feed with damage spliced into known lines:
+/// line 3 truncated mid-record, line 6 is not JSON at all, line 8 blank.
+/// Returns (text, surviving events).
+fn damaged_feed() -> (String, Vec<SignalingEvent>) {
+    let events: Vec<SignalingEvent> =
+        (0..10u32).map(|i| event(i as u64, i as u16 * 7, i, 3)).collect();
+    let mut lines: Vec<String> =
+        feed_text(&events).lines().map(str::to_string).collect();
+    assert_eq!(lines.len(), 10);
+    // Truncate line 3 (index 2) as if the writer died mid-record.
+    let l = lines[2].clone();
+    lines[2] = l[..l.len() / 2].to_string();
+    // Replace line 6 (index 5) with non-JSON garbage.
+    lines[5] = "#!corrupt probe output!!".to_string();
+    // Blank separator at line 8 (index 7) — tolerated, not an error.
+    lines[7] = String::new();
+    let survivors: Vec<SignalingEvent> = events
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| ![2usize, 5, 7].contains(i))
+        .map(|(_, e)| *e)
+        .collect();
+    (lines.join("\n") + "\n", survivors)
+}
+
+#[test]
+fn skip_and_count_drops_exactly_the_bad_records() {
+    let (text, survivors) = damaged_feed();
+    let mut reader = EventReader::new(text.as_bytes())
+        .with_policy(MalformedPolicy::SkipAndCount);
+    let got: Vec<SignalingEvent> =
+        (&mut reader).map(|r| r.expect("skip policy never errors")).collect();
+    assert_eq!(got, survivors, "every good record survives, in order");
+    let stats = reader.stats();
+    assert_eq!(stats.lines_read, 10);
+    assert_eq!(stats.parsed, 7);
+    assert_eq!(stats.malformed, 2);
+    assert_eq!(stats.blank, 1);
+    assert_eq!(stats.parsed + stats.blank + stats.malformed, stats.lines_read);
+}
+
+#[test]
+fn fail_fast_reports_first_bad_line_one_based() {
+    let (text, _) = damaged_feed();
+    let mut reader = EventReader::new(text.as_bytes()); // fail-fast default
+    let mut parsed = 0usize;
+    let err = loop {
+        match reader.next() {
+            Some(Ok(_)) => parsed += 1,
+            Some(Err(e)) => break e,
+            None => panic!("reader must hit the truncated line"),
+        }
+    };
+    assert_eq!(parsed, 2, "lines 1–2 parse before line 3 aborts");
+    match err {
+        FeedError::Malformed { line, reason } => {
+            assert_eq!(line, 3, "1-based line number of the truncation");
+            assert!(!reason.is_empty());
+        }
+        FeedError::Io(e) => panic!("unexpected I/O error: {e}"),
+    }
+    assert!(reader.next().is_none(), "reader fuses after a fatal error");
+
+    // The Vec-collecting wrapper surfaces the same location.
+    let io_err = read_events_jsonl(text.as_bytes()).unwrap_err();
+    assert!(
+        io_err.to_string().contains("line 3"),
+        "error should carry the line: {io_err}"
+    );
+}
+
+#[test]
+fn bounds_reject_out_of_range_day_and_cell() {
+    let events = vec![
+        event(1, 10, 5, 3),   // fine
+        event(2, 20, 5, 120), // day out of range
+        event(3, 30, 99, 3),  // cell out of range
+        event(4, 40, 0, 3),   // fine
+    ];
+    let text = feed_text(&events);
+    let bounds = FeedBounds { num_days: 100, num_cells: 50 };
+
+    // Skip-and-count: exactly the two out-of-range records drop.
+    let mut reader = EventReader::new(text.as_bytes())
+        .with_policy(MalformedPolicy::SkipAndCount)
+        .with_bounds(bounds);
+    let got: Vec<u64> =
+        (&mut reader).map(|r| r.expect("skip policy").anon_id).collect();
+    assert_eq!(got, vec![1, 4]);
+    let stats = reader.stats();
+    assert_eq!(stats.parsed, 2);
+    assert_eq!(stats.malformed, 2);
+
+    // Fail-fast: aborts at line 2 with a reason naming the bad day.
+    let mut reader = EventReader::new(text.as_bytes()).with_bounds(bounds);
+    assert!(reader.next().unwrap().is_ok());
+    match reader.next().unwrap() {
+        Err(FeedError::Malformed { line, reason }) => {
+            assert_eq!(line, 2);
+            assert!(reason.contains("day 120"), "reason: {reason}");
+        }
+        other => panic!("expected bounds failure, got {other:?}"),
+    }
+
+    // Without bounds the same feed is structurally fine.
+    let unchecked = read_events_jsonl(text.as_bytes()).expect("no bounds");
+    assert_eq!(unchecked.len(), 4);
+}
+
+#[test]
+fn truncation_at_end_of_feed_is_located() {
+    // A feed cut off mid-write: the final line has no closing brace.
+    let events: Vec<SignalingEvent> =
+        (0..5u32).map(|i| event(i as u64, i as u16 * 3, i, 0)).collect();
+    let text = feed_text(&events);
+    let cut = text.trim_end().len() - 10;
+    let truncated = &text[..cut];
+
+    let err = read_events_jsonl(truncated.as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("line 5"), "error: {err}");
+
+    let mut reader = EventReader::new(truncated.as_bytes())
+        .with_policy(MalformedPolicy::SkipAndCount);
+    let got = (&mut reader).filter_map(Result::ok).count();
+    assert_eq!(got, 4, "all complete records survive");
+    assert_eq!(reader.stats().malformed, 1);
+}

@@ -17,6 +17,7 @@ pub fn dataset() -> &'static StudyDataset {
 
 /// Value of a specific week in a weekly series; panics if unobserved
 /// (the study window always covers weeks 9–19).
+#[allow(dead_code)] // not every test binary uses every fixture
 pub fn at_week(series: &[(u8, Option<f64>)], week: u8) -> f64 {
     series
         .iter()
@@ -26,6 +27,7 @@ pub fn at_week(series: &[(u8, Option<f64>)], week: u8) -> f64 {
 }
 
 /// The line with the given label in a KPI panel.
+#[allow(dead_code)]
 pub fn line<'a>(
     panel: &'a cellscope::scenario::figures::KpiPanel,
     label: &str,

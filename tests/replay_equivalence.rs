@@ -1,0 +1,68 @@
+//! Feed-replay equivalence (the tentpole acceptance test): exporting a
+//! study's feeds to disk and streaming them back through the replay
+//! pipeline must reproduce the in-memory [`StudyDataset`] bit for bit,
+//! and the replay report must account for every feed line.
+
+mod common;
+
+use cellscope::scenario::replay::{
+    dataset_divergence, export_feeds, replay_study, ReplayConfig,
+};
+use cellscope::scenario::ScenarioConfig;
+use std::path::PathBuf;
+
+fn scratch_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("cellscope_feeds_equiv_{}", std::process::id()))
+}
+
+#[test]
+fn replayed_dataset_is_bit_identical_to_in_memory() {
+    let cfg = ScenarioConfig::small(42);
+    let dir = scratch_dir();
+    let manifest = export_feeds(&cfg, &dir).expect("export feeds");
+    assert_eq!(manifest.seed, 42);
+    assert_eq!(manifest.num_days as usize, common::dataset().clock.num_days());
+
+    let (replayed, report) =
+        replay_study(&cfg, &dir, &ReplayConfig::default()).expect("replay");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The exact same analysis objects, fed from serialized JSONL feeds,
+    // land on the exact same dataset.
+    assert_eq!(dataset_divergence(common::dataset(), &replayed), None);
+
+    // Counter invariants: every line and every parsed event lands in
+    // exactly one accounting bucket.
+    assert!(report.lines_balance(), "line accounting leaks:\n{report}");
+    assert!(report.events_balance(), "event accounting leaks:\n{report}");
+    assert!(report.events.lines_read > 0);
+    assert_eq!(report.events.malformed, 0, "self-produced feeds are clean");
+    assert_eq!(report.kpi.malformed, 0);
+    assert_eq!(report.voice.malformed, 0);
+    assert_eq!(report.events_out_of_order, 0);
+    assert_eq!(report.events_unknown_user, 0);
+    // The feed carries every subscriber; the study filter drops some.
+    assert!(report.events_filtered > 0, "probe-faithful feed should carry filtered users");
+    assert!(report.events_ingested > 0);
+    assert_eq!(report.user_days, replayed_user_days(&report));
+    assert_eq!(
+        report.cell_days as usize,
+        replayed.kpi.len(),
+        "every rebuilt cell-day is in the table"
+    );
+    // Reader stage opened events + KPI per day, plus the voice feed.
+    assert_eq!(
+        report.files_read,
+        2 * manifest.num_days as u64 + 1
+    );
+    assert!(report.bytes_read > 0);
+    assert_eq!(report.voice.parsed, manifest.num_days as u64);
+}
+
+fn replayed_user_days(report: &cellscope::scenario::replay::ReplayReport) -> u64 {
+    // user_days is also the workers' day-task event totals' companion:
+    // it must be consistent with per-worker sums.
+    let worker_events: u64 = report.workers.iter().map(|w| w.events_ingested).sum();
+    assert_eq!(worker_events, report.events_ingested);
+    report.user_days
+}

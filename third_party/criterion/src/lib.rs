@@ -1,0 +1,203 @@
+//! Minimal, self-contained stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! `sample_size`, the [`criterion_group!`]/[`criterion_main!`] macros —
+//! with a simple measure-and-print harness instead of criterion's
+//! statistical machinery: per benchmark it warms up briefly, then takes
+//! `sample_size` timed samples (auto-scaled iteration counts) and
+//! prints min/median/mean. Good enough to compare hot paths release to
+//! release; not a rigorous statistical benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Passed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    sample_size: usize,
+    /// Measured per-iteration times, one entry per sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-sample iteration scaling: target ~5ms/sample,
+        // capped so slow whole-study benches still finish.
+        let warmup = Instant::now();
+        std::hint::black_box(f());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Builder-style sample-size override (matches criterion's
+    /// by-value signature used in `criterion_group!` config blocks).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        f: F,
+    ) -> &mut Criterion {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks with its own sample-size override.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// In-place sample-size override (matches criterion's `&mut self`
+    /// signature used as `group.sample_size(10);`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{name}", self.name), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { sample_size, samples: Vec::new() };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<44} (no measurements)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{name:<44} min {:>12} | median {:>12} | mean {:>12}",
+        fmt_duration(sorted[0]),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a benchmark group function. Both real-criterion forms are
+/// accepted: the plain list and the `name/config/targets` block.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+    }
+
+    criterion_group! {
+        name = block_form;
+        config = Criterion::default().sample_size(3);
+        targets = quick
+    }
+
+    criterion_group!(list_form, quick);
+
+    #[test]
+    fn groups_run_and_measure() {
+        block_form();
+        list_form();
+    }
+
+    #[test]
+    fn group_api_matches_usage() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

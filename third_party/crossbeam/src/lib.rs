@@ -1,0 +1,307 @@
+//! Minimal, self-contained stand-in for the `crossbeam` crate.
+//!
+//! Covers the two pieces this workspace uses:
+//!
+//! * [`thread::scope`] — crossbeam-style scoped threads (closure
+//!   receives the scope, `scope()` returns `Err` if any child
+//!   panicked), implemented over `std::thread::scope`;
+//! * [`channel::bounded`] — a blocking, bounded MPMC channel with
+//!   disconnect semantics, implemented with `Mutex` + `Condvar`. The
+//!   replay pipeline uses it for backpressure: `send` blocks while the
+//!   queue is full, so a fast producer can never balloon memory.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope or a join: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle passed to the scope closure; children may spawn siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned handle to one spawned thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a child thread. As in crossbeam, the closure receives
+        /// the scope itself (for nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope that joins all spawned threads on exit.
+    /// Returns `Err` when the closure or an unjoined child panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        cap: usize,
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half; clone for multiple producers.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half; clone for multiple consumers.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The message could not be delivered: all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// The channel is empty and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Create a bounded channel holding at most `cap` queued messages.
+    /// `cap` must be positive (a rendezvous channel is not needed here).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded channel capacity must be positive");
+        let inner = Arc::new(Inner {
+            cap,
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cap),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender { inner: inner.clone() },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the queue has room, then enqueue. Fails only when
+        /// every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.queue.len() < self.inner.cap {
+                    state.queue.push_back(value);
+                    drop(state);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.inner.not_full.wait(state).unwrap();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives. Fails once the queue is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.inner.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// Blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.inner.state.lock().unwrap().senders += 1;
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.inner.state.lock().unwrap().receivers += 1;
+            Receiver { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{channel, thread};
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scope_reports_child_panic() {
+        let result = thread::scope(|s| {
+            let h = s.spawn(|_| panic!("child failure"));
+            h.join()
+        })
+        .unwrap();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn channel_delivers_in_order_with_backpressure() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let got: Vec<u32> = thread::scope(|s| {
+            s.spawn(move |_| {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+                // tx drops here; receiver sees disconnect.
+            });
+            rx.iter().collect()
+        })
+        .unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_conserves_messages() {
+        let (tx, rx) = channel::bounded::<u64>(4);
+        let total: u64 = thread::scope(|s| {
+            for p in 0..3u64 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for i in 0..50 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| rx.iter().map(|_| 1u64).sum::<u64>())
+                })
+                .collect();
+            drop(rx);
+            consumers.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 150);
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

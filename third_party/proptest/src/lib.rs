@@ -1,0 +1,336 @@
+//! Minimal, self-contained stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//! header), [`Strategy`] over numeric ranges / tuples /
+//! `prop::collection::vec` / `prop_map`, and the `prop_assert!` family.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with its inputs printed
+//!   (every strategy value is `Debug`), but is not minimized.
+//! * **Deterministic cases.** Case `i` of a test derives its RNG from
+//!   (test name, `i`), so failures reproduce without a persistence
+//!   file. Set `PROPTEST_CASES` to change the per-test case count
+//!   (default 32, chosen for single-core CI budgets).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Number of cases each property runs (overridable per test via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-case RNG. Public because the `proptest!` expansion
+/// references it; not part of the mimicked proptest API.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A generator of test values. Real proptest separates strategies from
+/// value trees (for shrinking); without shrinking, a strategy is just a
+/// seeded sampler.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy yielding one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Acceptable size arguments for [`vec`]: a fixed length or a
+    /// half-open range.
+    pub trait SizeRange {
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.rng().gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with `size` elements.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+    /// `prop::collection::vec(...)` paths resolve through this alias.
+    pub use crate as prop;
+}
+
+/// Without shrinking, a failed property assertion simply panics; the
+/// `proptest!` runner prints the generated inputs first.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The test-definition macro. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` (the attribute is written explicitly in this
+/// workspace's tests, as in real proptest) that samples `config.cases`
+/// inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (@funcs ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __strategy = ($($strategy,)+);
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __values = $crate::Strategy::sample(&__strategy, &mut __rng);
+                let __debug_values = format!("{:?}", __values);
+                let ($($arg,)+) = __values;
+                // Bodies run in a Result-returning closure, as in real
+                // proptest, so `return Ok(())` works as an early exit.
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __result {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(__msg)) => {
+                        panic!(
+                            "proptest case {}/{} failed for {}:\n  inputs: {}\n  {}",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                            __debug_values,
+                            __msg,
+                        );
+                    }
+                    ::std::result::Result::Err(__panic) => {
+                        eprintln!(
+                            "proptest case {}/{} failed for {}:\n  inputs: {}",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                            __debug_values,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+
+    (@funcs ($config:expr)) => {};
+
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, f in 0.25f64..0.75, n in -9i64..-2) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!((-9..-2).contains(&n));
+        }
+
+        /// Vec strategy honours its size range and element strategy,
+        /// and prop_map transforms values.
+        #[test]
+        fn vec_and_map_compose(
+            v in prop::collection::vec((0u16..10, 0u32..5), 1..20),
+            doubled in (1u8..100).prop_map(|x| x as u16 * 2),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&(a, b)| a < 10 && b < 5));
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert!(doubled >= 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        /// The config header controls the case count (observable via
+        /// determinism: same name + case index = same sample).
+        #[test]
+        fn config_header_accepted(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::TestRng::for_case("some::test", 3);
+        let mut b = crate::TestRng::for_case("some::test", 3);
+        let mut c = crate::TestRng::for_case("some::test", 4);
+        let s = 0u64..u64::MAX;
+        assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        assert_ne!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut c));
+    }
+}

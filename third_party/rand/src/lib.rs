@@ -1,0 +1,287 @@
+//! Minimal, self-contained stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the real `rand`
+//! cannot be resolved. This vendored version covers the surface the
+//! workspace uses — `StdRng::seed_from_u64`, `gen_range` over integer
+//! and float `Range`s, `gen_bool`, and `gen::<u64>()`/`gen::<f64>()` —
+//! with a deterministic generator.
+//!
+//! [`rngs::StdRng`] is xoshiro256++ seeded through SplitMix64 (the
+//! reference seeding scheme for the xoshiro family). It is *not* the
+//! same stream as upstream rand's ChaCha12-based `StdRng`; everything
+//! in this repository derives its randomness from seeds it controls, so
+//! self-consistency — identical streams for identical seeds, forever —
+//! is the property that matters, and it holds by construction. Range
+//! sampling is unbiased (Lemire rejection for integers).
+
+use std::ops::Range;
+
+/// Seedable generators (only the `seed_from_u64` entry point is used).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling interface, method-compatible with `rand::Rng` for the calls
+/// this workspace makes.
+pub trait Rng {
+    /// The raw 64-bit source every other method derives from.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    /// Panics on an empty range, like upstream rand.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A value of a type with a canonical uniform distribution
+    /// (`u64`/`u32` over their full range, `f64`/`f32` in `[0, 1)`).
+    fn gen<T: FromRng>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+}
+
+/// Mantissa-width uniform float in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types `Rng::gen` can produce (stand-in for rand's `Standard`
+/// distribution).
+pub trait FromRng {
+    fn from_rng<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: Rng>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: Rng>(rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl FromRng for f32 {
+    fn from_rng<R: Rng>(rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a uniform value can be drawn from. A single generic impl
+/// covers `Range<T>` so integer-literal ranges unify with the use
+/// site's type (`arr[rng.gen_range(0..3)]` infers `usize`), exactly as
+/// upstream rand's `SampleRange`/`SampleUniform` split behaves.
+pub trait SampleRange<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Types `gen_range` can produce.
+pub trait SampleUniform: Sized + PartialOrd {
+    fn sample_between<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(rng, self.start, self.end)
+    }
+}
+
+/// Unbiased integer in `[0, span)` via Lemire's multiply-shift with
+/// rejection.
+#[inline]
+fn uniform_below<R: Rng>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    if (m as u64) < span {
+        let threshold = span.wrapping_neg() % span;
+        while (m as u64) < threshold {
+            m = (rng.next_u64() as u128) * (span as u128);
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! int_uniform {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: Rng>(rng: &mut R, start: $t, end: $t) -> $t {
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+int_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: Rng>(rng: &mut R, start: $t, end: $t) -> $t {
+                let unit = unit_f64(rng.next_u64()) as $t;
+                let v = start + unit * (end - start);
+                // Rounding can push the product onto the (excluded)
+                // upper bound; step back inside the range.
+                if v >= end {
+                    <$t>::from_bits(end.to_bits() - 1).max(start)
+                } else {
+                    v.max(start)
+                }
+            }
+        }
+    )*};
+}
+float_uniform!(f32, f64);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic generator: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut state = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic_and_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+            let n = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn integer_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "{hits}");
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_produces_unit_floats_and_full_u64() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            distinct.insert(rng.gen::<u64>());
+        }
+        assert_eq!(distinct.len(), 64);
+    }
+}

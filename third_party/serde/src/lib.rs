@@ -1,0 +1,583 @@
+//! Minimal, self-contained stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no network access and
+//! no registry cache, so the real `serde` cannot be resolved. This
+//! vendored facade keeps the exact surface the workspace uses —
+//! `#[derive(Serialize, Deserialize)]` plus the `serde_json`
+//! free functions — while staying a few hundred lines.
+//!
+//! Instead of serde's visitor-based zero-copy data model, values pass
+//! through an owned intermediate [`Content`] tree. That is slower than
+//! real serde but behaviourally equivalent for the formats used here
+//! (JSON text and `serde_json::Value`), and it round-trips every type
+//! in the workspace exactly:
+//!
+//! * structs serialize to maps keyed by field name (declaration order);
+//! * newtype structs are transparent (serialize as their inner value);
+//! * unit enum variants serialize as their name string, data variants
+//!   as externally tagged single-entry maps — serde's default;
+//! * `Option` fields accept a missing key as `None`;
+//! * integers preserve full `u64`/`i64` precision (no float detour).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Owned serialization tree: the data model every `Serialize` impl
+/// lowers into and every `Deserialize` impl reads back out of.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Maps with arbitrary (serialized) keys, e.g. `BTreeMap<County, _>`.
+    Map(Vec<(Content, Content)>),
+    /// Named-field struct: field names are static, order = declaration.
+    Struct(Vec<(&'static str, Content)>),
+    UnitVariant(&'static str),
+    NewtypeVariant(&'static str, Box<Content>),
+    /// Payload is always a `Content::Seq`.
+    TupleVariant(&'static str, Box<Content>),
+    /// Payload is always a `Content::Struct`.
+    StructVariant(&'static str, Box<Content>),
+}
+
+/// Deserialization error: a plain message, mirroring `serde::de::Error`.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError { msg: msg.to_string() }
+    }
+
+    pub fn expected(what: &str, got: &Content) -> DeError {
+        DeError::custom(format!("expected {what}, found {}", de::kind(got)))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves into a [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can rebuild themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+
+    /// Value to use when a struct field is absent from the input.
+    /// `Err` by default; `Option<T>` overrides this to `None`, matching
+    /// serde's behaviour of treating missing optional fields as `None`.
+    fn absent() -> Result<Self, DeError> {
+        Err(DeError::custom("missing field"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+    )*};
+}
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F32(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        // Hash iteration order is nondeterministic; sort by the key's
+        // serialized form so identical maps serialize identically.
+        let mut entries: Vec<(Content, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_content(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| de::content_sort_key(&a.0).cmp(&de::content_sort_key(&b.0)));
+        Content::Map(entries)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("{v} out of range for i64")))?,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::F32(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn absent() -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v = Vec::<T>::from_content(c)?;
+        let n = v.len();
+        <[T; N]>::try_from(v)
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let items = de::as_seq(c, Some($len))?;
+                Ok(($($t::from_content(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+    (6; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (7; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (8; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+fn de_map_entries<K: Deserialize + Ord, V: Deserialize>(
+    c: &Content,
+) -> Result<Vec<(K, V)>, DeError> {
+    let entries = match c {
+        Content::Map(entries) => entries,
+        other => return Err(DeError::expected("map", other)),
+    };
+    entries
+        .iter()
+        .map(|(k, v)| {
+            let key = K::from_content(k).or_else(|e| {
+                // JSON object keys are always strings; retry integer-keyed
+                // maps by parsing the key text (mirrors serde_json's
+                // MapKeyDeserializer).
+                if let Content::Str(s) = k {
+                    if let Ok(u) = s.parse::<u64>() {
+                        return K::from_content(&Content::U64(u));
+                    }
+                    if let Ok(i) = s.parse::<i64>() {
+                        return K::from_content(&Content::I64(i));
+                    }
+                }
+                Err(e)
+            })?;
+            Ok((key, V::from_content(v)?))
+        })
+        .collect()
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(de_map_entries::<K, V>(c)?.into_iter().collect())
+    }
+}
+
+impl<K: Deserialize + Ord + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(de_map_entries::<K, V>(c)?.into_iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code
+// ---------------------------------------------------------------------------
+
+/// Support routines for `#[derive(Deserialize)]` expansions.
+pub mod de {
+    use super::{Content, DeError, Deserialize};
+
+    /// Human-readable kind of a content node, for error messages.
+    pub fn kind(c: &Content) -> &'static str {
+        match c {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F32(_) | Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+            Content::Struct(_) => "struct",
+            Content::UnitVariant(_)
+            | Content::NewtypeVariant(..)
+            | Content::TupleVariant(..)
+            | Content::StructVariant(..) => "enum variant",
+        }
+    }
+
+    /// Deterministic sort key for map-key contents (scalar keys only).
+    pub fn content_sort_key(c: &Content) -> String {
+        match c {
+            Content::Str(s) => s.clone(),
+            Content::U64(v) => format!("{v:020}"),
+            Content::I64(v) => format!("{v:+020}"),
+            Content::Bool(b) => b.to_string(),
+            Content::UnitVariant(n) => (*n).to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+
+    /// View a content node as struct fields: accepts both the
+    /// `Content::Struct` a `Serialize` impl produces and the
+    /// string-keyed `Content::Map` JSON parsing produces.
+    pub fn fields(c: &Content) -> Result<Vec<(&str, &Content)>, DeError> {
+        match c {
+            Content::Struct(entries) => {
+                Ok(entries.iter().map(|(k, v)| (*k, v)).collect())
+            }
+            Content::StructVariant(_, inner) => fields(inner),
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| match k {
+                    Content::Str(s) => Ok((s.as_str(), v)),
+                    other => Err(DeError::expected("string key", other)),
+                })
+                .collect(),
+            other => Err(DeError::expected("struct", other)),
+        }
+    }
+
+    /// Extract one struct field by name. Unknown input fields are
+    /// ignored (serde's default); a missing field defers to
+    /// `T::absent()` so `Option` fields default to `None`.
+    pub fn field<T: Deserialize>(
+        entries: &[(&str, &Content)],
+        name: &'static str,
+    ) -> Result<T, DeError> {
+        match entries.iter().find(|(k, _)| *k == name) {
+            Some((_, v)) => T::from_content(v)
+                .map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+            None => T::absent()
+                .map_err(|_| DeError::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// View a content node as a sequence, optionally of an exact length.
+    pub fn as_seq(c: &Content, len: Option<usize>) -> Result<&[Content], DeError> {
+        let items = match c {
+            Content::Seq(items) => items.as_slice(),
+            other => return Err(DeError::expected("sequence", other)),
+        };
+        if let Some(expect) = len {
+            if items.len() != expect {
+                return Err(DeError::custom(format!(
+                    "expected sequence of length {expect}, found {}",
+                    items.len()
+                )));
+            }
+        }
+        Ok(items)
+    }
+
+    /// Split an enum content node into (variant name, payload).
+    ///
+    /// Accepts the in-process variant forms and the externally-tagged
+    /// JSON forms: a bare string for unit variants, a single-entry map
+    /// for data variants.
+    pub fn variant(c: &Content) -> Result<(&str, Option<&Content>), DeError> {
+        match c {
+            Content::UnitVariant(name) => Ok((name, None)),
+            Content::NewtypeVariant(name, inner)
+            | Content::TupleVariant(name, inner)
+            | Content::StructVariant(name, inner) => Ok((name, Some(inner))),
+            Content::Str(name) => Ok((name.as_str(), None)),
+            Content::Map(entries) if entries.len() == 1 => match &entries[0].0 {
+                Content::Str(name) => Ok((name.as_str(), Some(&entries[0].1))),
+                other => Err(DeError::expected("variant name", other)),
+            },
+            other => Err(DeError::expected("enum variant", other)),
+        }
+    }
+
+    /// Error for a variant name not present in the enum definition.
+    pub fn unknown_variant(name: &str, expected: &'static [&'static str]) -> DeError {
+        DeError::custom(format!(
+            "unknown variant `{name}`, expected one of {expected:?}"
+        ))
+    }
+
+    /// Error for a unit variant that arrived with a payload, or a data
+    /// variant that arrived without one.
+    pub fn variant_shape(name: &str, expects_data: bool) -> DeError {
+        if expects_data {
+            DeError::custom(format!("variant `{name}` expects a payload"))
+        } else {
+            DeError::custom(format!("variant `{name}` carries no payload"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_precision_roundtrip() {
+        let big: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+        match big.to_content() {
+            Content::U64(v) => assert_eq!(v, big),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(u64::from_content(&Content::U64(big)).unwrap(), big);
+        assert!(u16::from_content(&Content::U64(70_000)).is_err());
+        assert!(i64::from_content(&Content::U64(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn option_absent_defaults_to_none() {
+        let entries: Vec<(&str, &Content)> = Vec::new();
+        let v: Option<f64> = de::field(&entries, "missing").unwrap();
+        assert_eq!(v, None);
+        let err = de::field::<f64>(&entries, "missing").unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn map_keys_parse_back_from_strings() {
+        let c = Content::Map(vec![(Content::Str("42".into()), Content::U64(7))]);
+        let m: BTreeMap<u64, u64> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(m.get(&42), Some(&7));
+    }
+
+    #[test]
+    fn tuples_and_arrays_roundtrip() {
+        let t = (1u32, -2i64, 3.5f64);
+        let c = t.to_content();
+        let back: (u32, i64, f64) = Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, t);
+        let a = [1u8, 2, 3];
+        let back: [u8; 3] = Deserialize::from_content(&a.to_content()).unwrap();
+        assert_eq!(back, a);
+    }
+}

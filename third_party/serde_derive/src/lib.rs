@@ -1,0 +1,513 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde facade.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`
+//! available offline). The parser covers exactly the shapes this
+//! workspace derives on: named-field structs, tuple/newtype structs,
+//! unit structs, generic parameters with bounds, and enums whose
+//! variants are unit (optionally with discriminants), tuple, or
+//! struct-like. Generated code lowers into `serde::Content` — see the
+//! facade crate for the data-model contract.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Param {
+    /// `'a`-style lifetime params are carried verbatim and get no bound.
+    is_lifetime: bool,
+    name: String,
+    bounds: String,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    params: Vec<Param>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, ch: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .cloned()
+        .collect::<TokenStream>()
+        .to_string()
+}
+
+/// Skip any number of `#[...]` attributes starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while is_punct(tokens.get(i), '#')
+        && matches!(tokens.get(i + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Skip `pub` / `pub(...)` visibility starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advance past a type (or expression) until a top-level `,`, tracking
+/// `<...>` nesting. Returns the index of the `,` or of end-of-stream.
+fn skip_to_top_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    let mut prev_dash = false;
+    while let Some(t) = tokens.get(i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if prev_dash => {} // `->` in fn types
+                '>' if angle > 0 => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Split a token stream on top-level commas (angle-bracket aware).
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let end = skip_to_top_comma(tokens, i);
+        if end > i {
+            out.push(tokens[i..end].to_vec());
+        }
+        i = end + 1;
+    }
+    out
+}
+
+fn parse_param(tokens: &[TokenTree]) -> Param {
+    if is_punct(tokens.first(), '\'') {
+        return Param {
+            is_lifetime: true,
+            name: tokens_to_string(tokens),
+            bounds: String::new(),
+        };
+    }
+    // `K` or `K: Bound + Bound` (`const N: usize` is not derived on here).
+    let name = match tokens.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: unsupported generic parameter: {other:?}"),
+    };
+    let bounds = if is_punct(tokens.get(1), ':') {
+        tokens_to_string(&tokens[2..])
+    } else {
+        String::new()
+    };
+    Param {
+        is_lifetime: false,
+        name,
+        bounds,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        assert!(
+            is_punct(tokens.get(i), ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i = skip_to_top_comma(&tokens, i + 1) + 1;
+        names.push(name);
+    }
+    names
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity =
+                    split_top_commas(&g.stream().into_iter().collect::<Vec<_>>()).len();
+                i += 1;
+                Fields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                i += 1;
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        if is_punct(tokens.get(i), '=') {
+            // Explicit discriminant: skip the expression.
+            i = skip_to_top_comma(&tokens, i + 1);
+        }
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    let mut params = Vec::new();
+    if is_punct(tokens.get(i), '<') {
+        i += 1;
+        let mut depth: i32 = 0;
+        let mut current: Vec<TokenTree> = Vec::new();
+        loop {
+            let t = tokens
+                .get(i)
+                .unwrap_or_else(|| panic!("serde_derive: unterminated generics on {name}"));
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        if !current.is_empty() {
+                            params.push(parse_param(&current));
+                            current.clear();
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            current.push(t.clone());
+            i += 1;
+        }
+        if !current.is_empty() {
+            params.push(parse_param(&current));
+        }
+    }
+
+    let body = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity =
+                    split_top_commas(&g.stream().into_iter().collect::<Vec<_>>()).len();
+                Body::Struct(Fields::Tuple(arity))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for {name}, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive on `{other}` items"),
+    };
+
+    Item { name, params, body }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `(impl generics with the extra bound, type generics)` —
+/// e.g. `("<K: Ord + ::serde::Serialize>", "<K>")`.
+fn generics(item: &Item, bound: &str) -> (String, String) {
+    if item.params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut impl_parts = Vec::new();
+    let mut ty_parts = Vec::new();
+    for p in &item.params {
+        if p.is_lifetime {
+            impl_parts.push(p.name.clone());
+        } else if p.bounds.is_empty() {
+            impl_parts.push(format!("{}: {bound}", p.name));
+        } else {
+            impl_parts.push(format!("{}: {} + {bound}", p.name, p.bounds));
+        }
+        ty_parts.push(p.name.clone());
+    }
+    (
+        format!("<{}>", impl_parts.join(", ")),
+        format!("<{}>", ty_parts.join(", ")),
+    )
+}
+
+fn struct_entries(fields: &[String], accessor: &str) -> String {
+    fields
+        .iter()
+        .map(|f| format!("(\"{f}\", ::serde::Serialize::to_content(&{accessor}{f}))"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_g, ty_g) = generics(&item, "::serde::Serialize");
+    let name = &item.name;
+
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+        Body::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::to_content(&self.0)".to_string()
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Named(fields)) => format!(
+            "::serde::Content::Struct(vec![{}])",
+            struct_entries(fields, "self.")
+        ),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::UnitVariant(\"{vn}\"),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Content::NewtypeVariant(\
+                             \"{vn}\", ::std::boxed::Box::new(::serde::Serialize::to_content(__f0))),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::TupleVariant(\
+                                 \"{vn}\", ::std::boxed::Box::new(::serde::Content::Seq(vec![{}]))),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(\"{f}\", ::serde::Serialize::to_content({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::StructVariant(\
+                                 \"{vn}\", ::std::boxed::Box::new(::serde::Content::Struct(vec![{}]))),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+
+    format!(
+        "impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_g, ty_g) = generics(&item, "::serde::Deserialize");
+    let name = &item.name;
+
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => format!(
+            "match __c {{\n\
+                 ::serde::Content::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\"null\", other)),\n\
+             }}"
+        ),
+        Body::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"
+        ),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = ::serde::de::as_seq(__c, ::std::option::Option::Some({n}))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(&__fields, \"{f}\")?,"))
+                .collect();
+            format!(
+                "let __fields = ::serde::de::fields(__c)?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Body::Enum(variants) => {
+            let names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "\"{vn}\" => match __data {{\n\
+                                 ::std::option::Option::None => ::std::result::Result::Ok({name}::{vn}),\n\
+                                 ::std::option::Option::Some(_) =>\n\
+                                     ::std::result::Result::Err(::serde::de::variant_shape(\"{vn}\", false)),\n\
+                             }},"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "\"{vn}\" => match __data {{\n\
+                                 ::std::option::Option::Some(__d) => ::std::result::Result::Ok(\
+                                     {name}::{vn}(::serde::Deserialize::from_content(__d)?)),\n\
+                                 ::std::option::Option::None =>\n\
+                                     ::std::result::Result::Err(::serde::de::variant_shape(\"{vn}\", true)),\n\
+                             }},"
+                        ),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&__seq[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => match __data {{\n\
+                                     ::std::option::Option::Some(__d) => {{\n\
+                                         let __seq = ::serde::de::as_seq(__d, ::std::option::Option::Some({n}))?;\n\
+                                         ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                     }}\n\
+                                     ::std::option::Option::None =>\n\
+                                         ::std::result::Result::Err(::serde::de::variant_shape(\"{vn}\", true)),\n\
+                                 }},",
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::de::field(&__fields, \"{f}\")?,")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => match __data {{\n\
+                                     ::std::option::Option::Some(__d) => {{\n\
+                                         let __fields = ::serde::de::fields(__d)?;\n\
+                                         ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                     }}\n\
+                                     ::std::option::Option::None =>\n\
+                                         ::std::result::Result::Err(::serde::de::variant_shape(\"{vn}\", true)),\n\
+                                 }},",
+                                inits.join(" ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__name, __data) = ::serde::de::variant(__c)?;\n\
+                 match __name {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::de::unknown_variant(__other, &[{}])),\n\
+                 }}",
+                arms.join("\n"),
+                names.join(", ")
+            )
+        }
+    };
+
+    format!(
+        "impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{\n\
+             fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,661 @@
+//! Minimal, self-contained stand-in for the `serde_json` crate,
+//! backing the vendored serde facade (see `third_party/serde`).
+//!
+//! Surface: [`Value`], [`Number`], [`Error`], and the four free
+//! functions the workspace uses (`to_value`, `to_string`,
+//! `to_string_pretty`, `from_str`).
+//!
+//! Fidelity notes, in decreasing order of importance for this repo:
+//!
+//! * Integers keep full `u64`/`i64` precision — anonymized subscriber
+//!   ids are 64-bit and must round-trip exactly through JSONL feeds.
+//! * Floats print via Rust's shortest-round-trip `Display` and parse
+//!   via `str::parse::<f64>` (correctly rounded), so an `f64` survives
+//!   text round-trips bit-for-bit. (`1.0` prints as `1`, unlike real
+//!   serde_json's `1.0` — both re-parse identically.)
+//! * Non-finite floats serialize as `null`, as in real serde_json.
+//! * Objects preserve insertion order (real serde_json sorts map keys
+//!   through `BTreeMap`; struct fields keep declaration order either
+//!   way, which is what feed-format stability relies on).
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Error
+// ---------------------------------------------------------------------------
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+/// A JSON number: full-precision `u64`/`i64`, or `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, PartialEq)]
+enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number(N::F(v)))
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::U(v) => Some(v),
+            N::I(v) => u64::try_from(v).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::I(v) => Some(v),
+            N::U(v) => i64::try_from(v).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::F(v) => Some(v),
+            N::U(v) => Some(v as f64),
+            N::I(v) => Some(v as f64),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::U(v) => write!(f, "{v}"),
+            N::I(v) => write!(f, "{v}"),
+            N::F(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An owned JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object entries.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content <-> Value
+// ---------------------------------------------------------------------------
+
+fn key_string(key: &Content) -> Result<String> {
+    match key {
+        Content::Str(s) => Ok(s.clone()),
+        Content::UnitVariant(n) => Ok((*n).to_string()),
+        Content::U64(v) => Ok(v.to_string()),
+        Content::I64(v) => Ok(v.to_string()),
+        Content::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::new(format!(
+            "map key must be a string or scalar, found {other:?}"
+        ))),
+    }
+}
+
+fn content_to_value(c: &Content) -> Result<Value> {
+    Ok(match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(*b),
+        Content::U64(v) => Value::Number(Number(N::U(*v))),
+        Content::I64(v) => Value::Number(Number(N::I(*v))),
+        Content::F32(v) => float_value(*v as f64, Some(*v)),
+        Content::F64(v) => float_value(*v, None),
+        Content::Str(s) => Value::String(s.clone()),
+        Content::Seq(items) => Value::Array(
+            items.iter().map(content_to_value).collect::<Result<_>>()?,
+        ),
+        Content::Map(entries) => Value::Object(
+            entries
+                .iter()
+                .map(|(k, v)| Ok((key_string(k)?, content_to_value(v)?)))
+                .collect::<Result<_>>()?,
+        ),
+        Content::Struct(entries) => Value::Object(
+            entries
+                .iter()
+                .map(|(k, v)| Ok(((*k).to_string(), content_to_value(v)?)))
+                .collect::<Result<_>>()?,
+        ),
+        Content::UnitVariant(name) => Value::String((*name).to_string()),
+        Content::NewtypeVariant(name, inner)
+        | Content::TupleVariant(name, inner)
+        | Content::StructVariant(name, inner) => {
+            Value::Object(vec![((*name).to_string(), content_to_value(inner)?)])
+        }
+    })
+}
+
+/// Non-finite floats have no JSON representation; serialize as null
+/// (real serde_json behaviour). `f32`-sourced floats remember their
+/// width so they print with the shortest f32 representation.
+fn float_value(v: f64, as_f32: Option<f32>) -> Value {
+    if !v.is_finite() {
+        return Value::Null;
+    }
+    match as_f32 {
+        Some(f) => Value::Number(Number(N::F(f as f64))),
+        None => Value::Number(Number(N::F(v))),
+    }
+}
+
+fn value_to_content(v: &Value) -> Content {
+    match v {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(Number(N::U(n))) => Content::U64(*n),
+        Value::Number(Number(N::I(n))) => Content::I64(*n),
+        Value::Number(Number(N::F(n))) => Content::F64(*n),
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(items) => Content::Seq(items.iter().map(value_to_content).collect()),
+        Value::Object(entries) => Content::Map(
+            entries
+                .iter()
+                .map(|(k, v)| (Content::Str(k.clone()), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        value_to_content(self)
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> std::result::Result<Self, DeError> {
+        content_to_value(c).map_err(|e| DeError::custom(e.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `indent = None` → compact; `Some(width)` → pretty with that indent.
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                escape_into(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * level));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at column {}", self.pos + 1))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs: parse the low half too.
+                            let ch = if (0xD800..0xDC00).contains(&code) {
+                                let rest = &self.bytes[self.pos + 1..];
+                                if !rest.starts_with(b"\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let hex2 = rest
+                                    .get(2..6)
+                                    .ok_or_else(|| self.err("truncated \\u escape"))?;
+                                let low = u32::from_str_radix(
+                                    std::str::from_utf8(hex2)
+                                        .map_err(|_| self.err("bad \\u escape"))?,
+                                    16,
+                                )
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                                self.pos += 6;
+                                char::from_u32(
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00),
+                                )
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(ch.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len()
+                        && (self.bytes[self.pos] & 0xC0) == 0x80
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos]).unwrap(),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number(N::U(u))));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number(N::I(i))));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number(N::F(f))))
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Convert any serializable value into a JSON [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    content_to_value(&value.to_content())
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = content_to_value(&value.to_content())?;
+    let mut out = String::new();
+    write_value(&mut out, &v, None, 0);
+    Ok(out)
+}
+
+/// Serialize to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = content_to_value(&value.to_content())?;
+    let mut out = String::new();
+    write_value(&mut out, &v, Some(2), 0);
+    Ok(out)
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut parser = Parser::new(s);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters"));
+    }
+    Ok(T::from_content(&value_to_content(&value))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip_exactly() {
+        let big: u64 = 0xDEAD_BEEF_0000_0001;
+        assert_eq!(to_string(&big).unwrap(), big.to_string());
+        assert_eq!(from_str::<u64>(&big.to_string()).unwrap(), big);
+        for &f in &[0.1f64, 1.0, -2.5e-10, f64::MAX, 1.0 / 3.0] {
+            let text = to_string(&f).unwrap();
+            assert_eq!(from_str::<f64>(&text).unwrap(), f, "{text}");
+        }
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let s = "line\n\"quoted\"\tüñíçødé \\ done";
+        let text = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&text).unwrap(), s);
+        assert_eq!(from_str::<String>(r#""é€""#).unwrap(), "é€");
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![(1u32, Some(2.5f64)), (3, None)];
+        let text = to_string(&v).unwrap();
+        let back: Vec<(u32, Option<f64>)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(7u64, vec![1.0f64, 2.0]);
+        let text = to_string(&m).unwrap();
+        assert!(text.contains("\"7\""), "{text}");
+        let back: std::collections::BTreeMap<u64, Vec<f64>> = from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<f64>("1.2.3").is_err());
+        assert!(from_str::<Value>("{not json}").is_err());
+        assert!(from_str::<Value>("[1,").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<u64>("\"str\"").is_err());
+        assert!(from_str::<Value>("{\"a\":1}trailing").is_err());
+    }
+
+    #[test]
+    fn pretty_printer_indents() {
+        let v = to_value(vec![1u8, 2]).unwrap();
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+}
