@@ -1,0 +1,195 @@
+//! Microbenchmark for the columnar KPI aggregation engine.
+//!
+//! Builds a synthetic [`KpiTable`] at a chosen scale and times the
+//! naive row-rescan aggregation against the columnar one-pass kernel,
+//! verifying along the way that the two produce bit-identical output.
+//! Used three ways:
+//!
+//! * `cargo bench -p cellscope-bench --bench aggregation` — criterion
+//!   timings of the individual kernels;
+//! * `repro --bench-summary PATH` — one self-contained JSON summary
+//!   (`BENCH_aggregation.json`) with the measured speedups;
+//! * `tests/aggregation_smoke.rs` — a tier-1 smoke test that keeps the
+//!   kernels compiling and bit-equal on every change.
+
+use cellscope_core::kpi_stats::CellDayMetrics;
+use cellscope_core::{KpiField, KpiTable};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Scale knobs for the synthetic table.
+#[derive(Debug, Clone, Copy)]
+pub struct AggBenchConfig {
+    /// Cells per day.
+    pub num_cells: usize,
+    /// Study days.
+    pub num_days: usize,
+    /// Timing repetitions (best-of is reported).
+    pub iters: usize,
+}
+
+impl AggBenchConfig {
+    /// The scale the acceptance criteria quote: 100k+ records.
+    pub fn standard() -> AggBenchConfig {
+        AggBenchConfig {
+            num_cells: 1000,
+            num_days: 105,
+            iters: 5,
+        }
+    }
+
+    /// A seconds-scale configuration for smoke tests.
+    pub fn smoke() -> AggBenchConfig {
+        AggBenchConfig {
+            num_cells: 60,
+            num_days: 20,
+            iters: 1,
+        }
+    }
+}
+
+/// The measured summary, serialized to `BENCH_aggregation.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct AggBenchSummary {
+    /// Records in the synthetic table (`cells × days`).
+    pub records: usize,
+    /// Cells per day.
+    pub cells: usize,
+    /// Study days.
+    pub days: usize,
+    /// Timing repetitions (best-of reported).
+    pub iters: usize,
+    /// One-off columnar index build, ms.
+    pub index_build_ms: f64,
+    /// All-field daily medians via per-field row rescans, ms.
+    pub median_naive_ms: f64,
+    /// All-field daily medians via the one-pass columnar kernel, ms.
+    pub median_columnar_ms: f64,
+    /// `median_naive_ms / median_columnar_ms`.
+    pub median_speedup: f64,
+    /// Daily p90 via clone-and-sort row rescan, ms.
+    pub percentile_naive_ms: f64,
+    /// Daily p90 via columnar selection, ms.
+    pub percentile_columnar_ms: f64,
+    /// `percentile_naive_ms / percentile_columnar_ms`.
+    pub percentile_speedup: f64,
+    /// Whether every compared output was bit-identical.
+    pub bit_identical: bool,
+}
+
+/// Deterministic synthetic KPI table: `num_cells × num_days` records
+/// with xorshift-derived values (no external RNG, so the table is
+/// reproducible anywhere, including inside criterion).
+pub fn synthetic_table(num_cells: usize, num_days: usize, seed: u64) -> KpiTable {
+    let mut state = seed | 1;
+    let mut next = move || -> f32 {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let bits = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        // Map to [0, 1000); plenty of exact ties at f32.
+        (bits >> 40) as f32 / 16.0
+    };
+    let mut table = KpiTable::new();
+    for day in 0..num_days {
+        for cell in 0..num_cells {
+            let v = next();
+            table.push(CellDayMetrics {
+                cell: cell as u32,
+                day: day as u16,
+                dl_volume_mb: v,
+                ul_volume_mb: v / 8.0,
+                active_dl_users: next(),
+                connected_users: next(),
+                user_dl_throughput_mbps: next() / 50.0,
+                tti_utilization: (next() / 1000.0).clamp(0.0, 1.0),
+                voice_volume_mb: next() / 10.0,
+                voice_users: next().round(),
+                voice_ul_loss: next() * 1e-5,
+                voice_dl_loss: next() * 1e-5,
+            });
+        }
+    }
+    table
+}
+
+fn best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        let value = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        out = Some(value);
+    }
+    (best, out.expect("at least one iteration"))
+}
+
+/// Run the benchmark and assemble the summary.
+pub fn run(cfg: AggBenchConfig) -> AggBenchSummary {
+    let table = synthetic_table(cfg.num_cells, cfg.num_days, 42);
+    let num_days = cfg.num_days;
+    let fields = KpiField::ALL;
+
+    // Index build cost, measured on fresh row copies (the clone happens
+    // outside the timed section; a clone never carries a built index
+    // state forward into the next iteration's `columns()` call).
+    let mut index_build_ms = f64::INFINITY;
+    for _ in 0..cfg.iters.max(1) {
+        let mut fresh = KpiTable::new();
+        fresh.merge(table.clone());
+        let t = Instant::now();
+        std::hint::black_box(fresh.columns().num_days());
+        index_build_ms = index_build_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    // Warm the benchmarked table's index: steady-state queries (what
+    // the figure builders do) hit a built index.
+    table.columns();
+
+    let (median_naive_ms, naive_medians) = best_of(cfg.iters, || {
+        fields
+            .iter()
+            .map(|&f| table.daily_median_naive(f, num_days, |_| true))
+            .collect::<Vec<_>>()
+    });
+    let (median_columnar_ms, columnar_medians) =
+        best_of(cfg.iters, || table.daily_medians_multi(&fields, num_days, |_| true));
+
+    let (percentile_naive_ms, naive_p90) = best_of(cfg.iters, || {
+        table.daily_percentile_naive(KpiField::VoiceVolume, 90.0, num_days, |_| true)
+    });
+    let (percentile_columnar_ms, columnar_p90) = best_of(cfg.iters, || {
+        table.daily_percentile(KpiField::VoiceVolume, 90.0, num_days, |_| true)
+    });
+
+    let bits = |series: &[Option<f64>]| -> Vec<Option<u64>> {
+        series.iter().map(|o| o.map(f64::to_bits)).collect()
+    };
+    let bit_identical = naive_medians
+        .iter()
+        .zip(&columnar_medians)
+        .all(|(n, c)| bits(n) == bits(c))
+        && bits(&naive_p90) == bits(&columnar_p90);
+
+    AggBenchSummary {
+        records: table.len(),
+        cells: cfg.num_cells,
+        days: cfg.num_days,
+        iters: cfg.iters,
+        index_build_ms,
+        median_naive_ms,
+        median_columnar_ms,
+        median_speedup: median_naive_ms / median_columnar_ms,
+        percentile_naive_ms,
+        percentile_columnar_ms,
+        percentile_speedup: percentile_naive_ms / percentile_columnar_ms,
+        bit_identical,
+    }
+}
+
+/// Write the summary as pretty-printed JSON.
+pub fn write_json(path: &std::path::Path, summary: &AggBenchSummary) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(summary).expect("summary serializes");
+    std::fs::write(path, json + "\n")
+}

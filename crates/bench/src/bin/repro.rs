@@ -3,7 +3,8 @@
 //!
 //! Usage:
 //! `repro [--scale full|small|tiny] [--seed N] [--json DIR] [--csv DIR]
-//!        [--config FILE] [--dump-config FILE] [--roundtrip DIR]`
+//!        [--config FILE] [--dump-config FILE] [--roundtrip DIR]
+//!        [--bench-summary PATH]`
 //!
 //! `--dump-config` writes the resolved scenario configuration as JSON;
 //! `--config` loads one back (every knob of the study is a plain
@@ -14,6 +15,11 @@
 //! stream them back through [`cellscope_scenario::replay`], print the
 //! replay report, and verify the replayed dataset is bit-identical.
 //! Exits non-zero on any divergence.
+//!
+//! `--bench-summary PATH` skips the study entirely and runs the
+//! columnar-aggregation microbenchmark instead, writing the measured
+//! naive-vs-columnar speedups to PATH as JSON
+//! (conventionally `BENCH_aggregation.json`).
 
 use cellscope_bench::{fmt_pct, fmt_weekly, print_panel};
 use cellscope_scenario::replay::{
@@ -31,9 +37,13 @@ fn main() {
     let mut config_file: Option<String> = None;
     let mut dump_config: Option<String> = None;
     let mut roundtrip: Option<String> = None;
+    let mut bench_summary: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--bench-summary" => {
+                bench_summary = Some(args.next().expect("--bench-summary needs a path"))
+            }
             "--scale" => scale = args.next().expect("--scale needs a value"),
             "--seed" => {
                 seed = args
@@ -56,6 +66,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = bench_summary {
+        run_bench_summary(Path::new(&path));
+        return;
     }
     let from_file = config_file.is_some();
     let config: ScenarioConfig = match config_file {
@@ -96,21 +110,24 @@ fn main() {
     let t0 = Instant::now();
     let ds = run_study(&config);
     println!(
-        "study simulated in {:.1}s: {} study users, {} homes detected, {} KPI records\n",
+        "study simulated in {:.1}s: {} study users, {} homes detected, {} KPI records",
         t0.elapsed().as_secs_f64(),
         ds.study_population,
         ds.homes_detected,
         ds.kpi.len()
     );
+    let t1 = Instant::now();
+    let figs = figures::build_all(&ds, config.threads);
+    println!("figures built in {:.2}s\n", t1.elapsed().as_secs_f64());
 
     // ---- Table 1 ----
     println!("-- Table 1: geodemographic clusters --");
-    for row in figures::table1(&ds) {
+    for row in &figs.table1 {
         println!("  {:<28} cells={:<5} {}", row.name, row.cells, row.definition);
     }
 
     // ---- Fig 2 ----
-    let f2 = figures::fig2(&ds);
+    let f2 = &figs.fig2;
     println!("\n-- Fig 2: home detection vs census --");
     if let Some(fit) = f2.fit {
         println!(
@@ -122,14 +139,14 @@ fn main() {
     }
 
     // ---- Fig 3 ----
-    let f3 = figures::fig3(&ds);
+    let f3 = &figs.fig3;
     println!("\n-- Fig 3: national mobility (weekly mean of daily deltas) --");
     for (w, g, e) in &f3.weekly {
         println!("  w{w:02}: gyration {:>8}  entropy {:>8}", fmt_pct(*g), fmt_pct(*e));
     }
 
     // ---- Fig 4 ----
-    let f4 = figures::fig4(&ds);
+    let f4 = &figs.fig4;
     println!("\n-- Fig 4: entropy vs cumulative cases --");
     println!(
         "  {} points; pre-declaration Pearson r = {} (paper: no correlation); cases at declaration = {:.0}",
@@ -142,7 +159,7 @@ fn main() {
 
     // ---- Fig 5 ----
     println!("\n-- Fig 5: regional mobility (weekly, vs national wk9) --");
-    for gm in figures::fig5(&ds) {
+    for gm in &figs.fig5 {
         let gy: Vec<(u8, Option<f64>)> =
             gm.weekly.iter().map(|(w, g, _)| (*w, *g)).collect();
         let en: Vec<(u8, Option<f64>)> =
@@ -153,7 +170,7 @@ fn main() {
 
     // ---- Fig 6 ----
     println!("\n-- Fig 6: geodemographic mobility (weekly, vs national wk9) --");
-    for gm in figures::fig6(&ds) {
+    for gm in &figs.fig6 {
         let gy: Vec<(u8, Option<f64>)> =
             gm.weekly.iter().map(|(w, g, _)| (*w, *g)).collect();
         println!("  {:<28} gyr {}", gm.group, fmt_weekly(&gy));
@@ -163,7 +180,7 @@ fn main() {
     }
 
     // ---- Fig 7 ----
-    let f7 = figures::fig7(&ds);
+    let f7 = &figs.fig7;
     println!("\n-- Fig 7: Inner-London mobility matrix (weekly mean of daily deltas) --");
     for (county, row) in &f7.rows {
         // Compact: weekly means.
@@ -182,12 +199,12 @@ fn main() {
 
     // ---- Fig 8 ----
     println!("\n-- Fig 8: network KPIs (weekly medians vs national wk9 median) --");
-    for panel in figures::fig8(&ds) {
-        print_panel(&panel);
+    for panel in &figs.fig8 {
+        print_panel(panel);
     }
 
     // ---- Fig 9 ----
-    let f9 = figures::fig9(&ds);
+    let f9 = &figs.fig9;
     println!("\n-- Fig 9: 4G voice (QCI 1) --");
     for panel in &f9.panels {
         print_panel(panel);
@@ -195,7 +212,7 @@ fn main() {
     println!("  [Voice Volume p90] {}", fmt_weekly(&f9.volume_p90_weekly_pct));
 
     // ---- Fig 10 ----
-    let f10 = figures::fig10(&ds);
+    let f10 = &figs.fig10;
     println!("\n-- Fig 10: KPIs per geodemographic cluster --");
     for panel in &f10.panels {
         print_panel(panel);
@@ -211,18 +228,18 @@ fn main() {
 
     // ---- Fig 11 ----
     println!("\n-- Fig 11: Inner-London postal districts --");
-    for panel in figures::fig11(&ds) {
-        print_panel(&panel);
+    for panel in &figs.fig11 {
+        print_panel(panel);
     }
 
     // ---- Fig 12 ----
     println!("\n-- Fig 12: London clusters --");
-    for panel in figures::fig12(&ds) {
-        print_panel(&panel);
+    for panel in &figs.fig12 {
+        print_panel(panel);
     }
 
     // ---- Supplementary: per-bin mobility ----
-    let bins = figures::bin_profile(&ds);
+    let bins = &figs.bin_profile;
     println!("\n-- Supplementary: gyration by 4-hour bin (wk9 -> wk15) --");
     for (bin, base, lock, delta) in &bins.bins {
         println!(
@@ -235,7 +252,7 @@ fn main() {
     }
 
     // ---- Headline ----
-    let h = figures::headline(&ds);
+    let h = &figs.headline;
     println!("\n-- Headline: paper vs measured --");
     let rows: Vec<(&str, String, String)> = vec![
         ("national gyration trough", "≈ -50%".into(), fmt_pct(h.gyration_trough_pct)),
@@ -263,19 +280,19 @@ fn main() {
             std::fs::write(&path, serde_json::to_string_pretty(&v).unwrap())
                 .expect("write json");
         };
-        write("table1", serde_json::to_value(figures::table1(&ds)).unwrap());
-        write("fig2", serde_json::to_value(&f2).unwrap());
-        write("fig3", serde_json::to_value(&f3).unwrap());
-        write("fig4", serde_json::to_value(&f4).unwrap());
-        write("fig5", serde_json::to_value(figures::fig5(&ds)).unwrap());
-        write("fig6", serde_json::to_value(figures::fig6(&ds)).unwrap());
-        write("fig7", serde_json::to_value(&f7).unwrap());
-        write("fig8", serde_json::to_value(figures::fig8(&ds)).unwrap());
-        write("fig9", serde_json::to_value(&f9).unwrap());
-        write("fig10", serde_json::to_value(&f10).unwrap());
-        write("fig11", serde_json::to_value(figures::fig11(&ds)).unwrap());
-        write("fig12", serde_json::to_value(figures::fig12(&ds)).unwrap());
-        write("headline", serde_json::to_value(&h).unwrap());
+        write("table1", serde_json::to_value(&figs.table1).unwrap());
+        write("fig2", serde_json::to_value(f2).unwrap());
+        write("fig3", serde_json::to_value(f3).unwrap());
+        write("fig4", serde_json::to_value(f4).unwrap());
+        write("fig5", serde_json::to_value(&figs.fig5).unwrap());
+        write("fig6", serde_json::to_value(&figs.fig6).unwrap());
+        write("fig7", serde_json::to_value(f7).unwrap());
+        write("fig8", serde_json::to_value(&figs.fig8).unwrap());
+        write("fig9", serde_json::to_value(f9).unwrap());
+        write("fig10", serde_json::to_value(f10).unwrap());
+        write("fig11", serde_json::to_value(&figs.fig11).unwrap());
+        write("fig12", serde_json::to_value(&figs.fig12).unwrap());
+        write("headline", serde_json::to_value(h).unwrap());
         println!("\nJSON series written to {dir}/");
     }
 
@@ -331,5 +348,41 @@ fn run_roundtrip(config: &ScenarioConfig, label: &str, dir: &Path) {
             eprintln!("DIVERGENCE: replayed dataset differs in `{field}`");
             std::process::exit(1);
         }
+    }
+}
+
+/// `--bench-summary`: run the columnar-aggregation microbenchmark at
+/// the standard 100k-record scale and write the JSON summary.
+fn run_bench_summary(path: &Path) {
+    use cellscope_bench::aggbench::{run, AggBenchConfig};
+    let cfg = AggBenchConfig::standard();
+    println!(
+        "== cellscope aggregation bench: {} cells x {} days = {} records, best of {} ==",
+        cfg.num_cells,
+        cfg.num_days,
+        cfg.num_cells * cfg.num_days,
+        cfg.iters
+    );
+    let summary = run(cfg);
+    println!(
+        "index build:      {:>8.2} ms\n\
+         daily medians:    {:>8.2} ms naive -> {:>7.2} ms columnar ({:.1}x)\n\
+         daily p90:        {:>8.2} ms naive -> {:>7.2} ms columnar ({:.1}x)\n\
+         bit-identical:    {}",
+        summary.index_build_ms,
+        summary.median_naive_ms,
+        summary.median_columnar_ms,
+        summary.median_speedup,
+        summary.percentile_naive_ms,
+        summary.percentile_columnar_ms,
+        summary.percentile_speedup,
+        summary.bit_identical
+    );
+    cellscope_bench::aggbench::write_json(path, &summary)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("summary written to {}", path.display());
+    if !summary.bit_identical {
+        eprintln!("DIVERGENCE: columnar aggregation differs from the naive path");
+        std::process::exit(1);
     }
 }

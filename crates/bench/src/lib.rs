@@ -1,5 +1,6 @@
 //! Shared helpers for the benchmark harness and the `repro` binary.
 
+pub mod aggbench;
 pub mod csv;
 
 use cellscope_scenario::figures::KpiPanel;

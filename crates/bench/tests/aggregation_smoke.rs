@@ -1,0 +1,36 @@
+//! Tier-1 smoke test for the aggregation benchmark: keeps the kernel
+//! comparison compiling on every change and asserts the columnar and
+//! naive paths stay bit-identical at bench scale (the timings
+//! themselves are machine-dependent and only sanity-checked).
+
+use cellscope_bench::aggbench::{run, write_json, AggBenchConfig};
+
+#[test]
+fn bench_kernels_agree_and_summary_serializes() {
+    let summary = run(AggBenchConfig::smoke());
+    assert_eq!(summary.records, 60 * 20);
+    assert!(
+        summary.bit_identical,
+        "columnar aggregation diverged from the naive path: {summary:?}"
+    );
+    assert!(summary.median_naive_ms > 0.0 && summary.median_columnar_ms > 0.0);
+    assert!(summary.median_speedup.is_finite() && summary.median_speedup > 0.0);
+    assert!(summary.percentile_speedup.is_finite() && summary.percentile_speedup > 0.0);
+
+    // The JSON writer produces a parseable file with the headline keys.
+    let path = std::env::temp_dir().join("cellscope_bench_aggregation_smoke.json");
+    write_json(&path, &summary).expect("write summary");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let value: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+    for key in [
+        "records",
+        "median_naive_ms",
+        "median_columnar_ms",
+        "median_speedup",
+        "percentile_speedup",
+        "bit_identical",
+    ] {
+        assert!(value.get(key).is_some(), "summary missing `{key}`");
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -19,12 +19,21 @@ pub fn delta_pct(value: f64, baseline: f64) -> Option<f64> {
 }
 
 /// A daily series over the study window with a baseline week.
+///
+/// The baseline-week mean and median are memoized at construction: the
+/// figure builders read them once per delta view, and recomputing them
+/// per call meant re-collecting and re-aggregating the baseline window
+/// on every weekly query.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DeltaSeries {
     clock: SimClock,
     /// One value per simulation day; `None` = no observation.
     values: Vec<Option<f64>>,
     baseline_week: IsoWeek,
+    /// Memoized mean of the baseline week's observed daily values.
+    baseline_mean: Option<f64>,
+    /// Memoized median of the baseline week's observed daily values.
+    baseline_median: Option<f64>,
 }
 
 impl DeltaSeries {
@@ -39,7 +48,13 @@ impl DeltaSeries {
             clock.num_days(),
             "one value per simulation day"
         );
+        let base_days: Vec<f64> = clock
+            .days_in_week(baseline_week)
+            .filter_map(|d| values.get(d as usize).copied().flatten())
+            .collect();
         DeltaSeries {
+            baseline_mean: crate::stats::mean(&base_days),
+            baseline_median: crate::stats::median(&base_days),
             clock,
             values,
             baseline_week,
@@ -53,22 +68,12 @@ impl DeltaSeries {
 
     /// Baseline: the mean of the baseline week's observed daily values.
     pub fn baseline_mean(&self) -> Option<f64> {
-        let days: Vec<f64> = self
-            .clock
-            .days_in_week(self.baseline_week)
-            .filter_map(|d| self.value(d))
-            .collect();
-        crate::stats::mean(&days)
+        self.baseline_mean
     }
 
     /// Baseline: the median of the baseline week's observed values.
     pub fn baseline_median(&self) -> Option<f64> {
-        let days: Vec<f64> = self
-            .clock
-            .days_in_week(self.baseline_week)
-            .filter_map(|d| self.value(d))
-            .collect();
-        crate::stats::median(&days)
+        self.baseline_median
     }
 
     /// Daily Δ% vs the baseline-week mean (the mobility figures).
@@ -103,12 +108,22 @@ impl DeltaSeries {
             .collect()
     }
 
-    /// The Δ% of one specific week (None if unobserved).
+    /// The Δ% of one specific week (None if unobserved). Computes just
+    /// that week directly rather than materializing the whole weekly
+    /// series to read one entry.
     pub fn week_delta_pct(&self, week: u8) -> Option<f64> {
-        self.weekly_delta_pct()
+        let base = self.baseline_median?;
+        let week = self
+            .clock
+            .weeks()
             .into_iter()
-            .find(|(w, _)| w.week == week)
-            .and_then(|(_, d)| d)
+            .find(|w| w.week == week)?;
+        let days: Vec<f64> = self
+            .clock
+            .days_in_week(week)
+            .filter_map(|d| self.value(d))
+            .collect();
+        crate::stats::median(&days).and_then(|m| delta_pct(m, base))
     }
 
     /// The clock backing this series.
@@ -199,5 +214,31 @@ mod tests {
     #[should_panic(expected = "one value per simulation day")]
     fn wrong_length_rejected() {
         DeltaSeries::new(SimClock::study(), vec![Some(1.0); 3], week(9));
+    }
+
+    /// The direct single-week path must agree with reading the same
+    /// week out of the full weekly series, including unobserved weeks.
+    #[test]
+    fn week_delta_matches_weekly_series() {
+        let s = series(|d| {
+            if d % 3 == 0 {
+                Some(10.0 + (d % 7) as f64)
+            } else {
+                None
+            }
+        });
+        let weekly = s.weekly_delta_pct();
+        for w in 1..=25u8 {
+            let from_series = weekly
+                .iter()
+                .find(|(iw, _)| iw.week == w)
+                .and_then(|(_, d)| *d);
+            assert_eq!(s.week_delta_pct(w), from_series, "week {w}");
+        }
+        // An all-None baseline week still yields None everywhere.
+        let empty = series(|_| None);
+        assert_eq!(empty.week_delta_pct(10), None);
+        assert_eq!(empty.baseline_mean(), None);
+        assert_eq!(empty.baseline_median(), None);
     }
 }

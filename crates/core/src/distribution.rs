@@ -40,13 +40,11 @@ impl<K: Ord + Clone> DailyGroupSamples<K> {
     }
 
     /// Percentile of a (group, day)'s samples; `None` when unobserved.
+    /// Selection-based (one widening pass, no sort) — bit-identical to
+    /// widening into `f64` and sorting, see [`crate::stats`].
     pub fn percentile(&self, group: &K, day: u16, p: f64) -> Option<f64> {
         let values = self.samples.get(group)?.get(day as usize)?;
-        if values.is_empty() {
-            return None;
-        }
-        let as_f64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
-        crate::stats::percentile(&as_f64, p)
+        crate::stats::percentile_f32(values, p)
     }
 
     /// Number of samples for a (group, day).

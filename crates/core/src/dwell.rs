@@ -44,9 +44,27 @@ pub fn dwell_in_bin(
 }
 
 /// Collapse binned dwell to the 24-hour window (summing per tower).
+///
+/// One stable sort by tower id, then an adjacent merge — no rank sort:
+/// callers of the whole-day collapse (entropy, gyration) don't care
+/// about dwell-duration order, so the second sort the old
+/// `top_n_towers(…, usize::MAX)` round-trip paid was pure waste.
+/// Output is in ascending tower-id order; per-tower sums accumulate in
+/// input order (stable sort), matching the old path bit-for-bit.
 pub fn dwell_whole_day(binned: &[BinnedTowerDwell]) -> Vec<TowerDwell> {
-    let all: Vec<TowerDwell> = binned.iter().map(|b| b.dwell).collect();
-    top_n_towers(&all, usize::MAX)
+    let mut sorted: Vec<TowerDwell> = binned.iter().map(|b| b.dwell).collect();
+    sorted.sort_by_key(|d| d.tower);
+    let mut merged: Vec<TowerDwell> = Vec::with_capacity(sorted.len());
+    for d in sorted {
+        if d.seconds <= 0.0 {
+            continue;
+        }
+        match merged.last_mut() {
+            Some(last) if last.tower == d.tower => last.seconds += d.seconds,
+            _ => merged.push(d),
+        }
+    }
+    merged
 }
 
 /// Keep the `n` towers with the longest dwell, merging duplicates first.
@@ -128,6 +146,30 @@ mod tests {
     #[test]
     fn empty_input_empty_output() {
         assert!(top_n_towers(&[], 20).is_empty());
+    }
+
+    /// The direct collapse must produce the same tower→seconds map as
+    /// the old `top_n_towers(…, usize::MAX)` round-trip (which returns
+    /// rank order; the collapse returns tower-id order).
+    #[test]
+    fn whole_day_collapse_matches_top_n_roundtrip() {
+        use cellscope_time::DayBin;
+        let binned: Vec<BinnedTowerDwell> = [
+            (DayBin::Night, 5u32, 100.0),
+            (DayBin::Morning, 2, 40.0),
+            (DayBin::Morning, 5, 60.0),
+            (DayBin::Evening, 2, 0.0), // dropped
+            (DayBin::Evening, 9, 10.0),
+        ]
+        .into_iter()
+        .map(|(bin, tower, seconds)| BinnedTowerDwell { bin, dwell: d(tower, seconds) })
+        .collect();
+        let direct = dwell_whole_day(&binned);
+        let all: Vec<TowerDwell> = binned.iter().map(|b| b.dwell).collect();
+        let mut via_rank = top_n_towers(&all, usize::MAX);
+        via_rank.sort_by_key(|t| t.tower);
+        assert_eq!(direct, via_rank);
+        assert!(direct.windows(2).all(|w| w[0].tower < w[1].tower));
     }
 
     #[test]

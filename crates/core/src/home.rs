@@ -32,13 +32,21 @@ impl NightDwellLog {
     /// `night`. Records may arrive in any per-user order across towers,
     /// but nights must be fed in non-decreasing order per user (the
     /// natural feed order).
+    ///
+    /// Same-night dwell ties break toward the **lower tower id** (the
+    /// same rule as [`crate::top_n_towers`]), so the night's winner is
+    /// independent of the order tower records arrive in — in-memory
+    /// runs and feed replays that interleave records differently must
+    /// detect identical homes.
     pub fn record(&mut self, user: u64, night: u16, tower: u32, minutes: u16) {
         if minutes == 0 {
             return;
         }
         match self.current_night.get_mut(&user) {
             Some((cur_night, best_tower, best_minutes)) if *cur_night == night => {
-                if minutes > *best_minutes {
+                if minutes > *best_minutes
+                    || (minutes == *best_minutes && tower < *best_tower)
+                {
                     *best_tower = tower;
                     *best_minutes = minutes;
                 }
@@ -238,6 +246,43 @@ mod tests {
         let homes = HomeDetector::default().detect_all(&log);
         assert_eq!(homes.len(), 1);
         assert_eq!(homes.get(&1), Some(&5));
+    }
+
+    /// Regression: same-night dwell ties must resolve to the lower
+    /// tower id regardless of arrival order. Before the fix, the first
+    /// arrival kept the night, so interleaving records differently
+    /// (e.g. feed replay vs in-memory) flipped detected homes.
+    #[test]
+    fn same_night_ties_ignore_arrival_order() {
+        // Towers 5 and 9 tie every night; one run always feeds 9
+        // first, the other always feeds 5 first. Before the fix the
+        // first arrival won every night, so the two runs inferred
+        // different homes (9 vs 5).
+        let mut homes = Vec::new();
+        for order in [[9u32, 5], [5, 9]] {
+            let mut log = NightDwellLog::new();
+            for night in 0..20u16 {
+                for tower in order {
+                    log.record(1, night, tower, 300);
+                }
+            }
+            log.finish();
+            homes.push(HomeDetector::default().detect(&log, 1));
+        }
+        assert_eq!(homes[0], homes[1], "home depends on arrival order");
+        assert_eq!(homes[0], Some(5), "tie must break to the lower id");
+    }
+
+    /// A strictly longer dwell still beats a lower tower id.
+    #[test]
+    fn longer_dwell_beats_lower_id() {
+        let mut log = NightDwellLog::new();
+        for night in 0..20 {
+            log.record(1, night, 2, 200);
+            log.record(1, night, 7, 201);
+        }
+        log.finish();
+        assert_eq!(HomeDetector::default().detect(&log, 1), Some(7));
     }
 
     #[test]

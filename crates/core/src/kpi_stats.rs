@@ -6,11 +6,31 @@
 //! is that per-cell-day record; [`KpiTable`] holds the study's worth of
 //! them and answers the questions the network-performance figures ask:
 //! median across a set of cells per day/week, as Δ% vs week 9.
+//!
+//! # The columnar aggregation engine
+//!
+//! Every figure query groups by day and then selects one field across a
+//! cell subset. The row-oriented record vector answers that by
+//! rescanning all records per (field, cell-set, day) query — the
+//! dominant analysis cost at scale. [`KpiColumns`] is a day-sharded,
+//! column-per-field index built lazily from the records: shard `d`
+//! holds day `d`'s cell ids plus one contiguous `f32` column per
+//! [`KpiField`]. Queries walk one shard per day, evaluate the cell
+//! filter **once** per record (not once per field), and compute order
+//! statistics by O(n) selection. Results are bit-identical to the
+//! naive scan (`daily_median_naive`/`daily_percentile_naive`, kept as
+//! the reference) because the per-(day, filter) value multisets are
+//! equal and medians/percentiles are order-invariant under `total_cmp`.
+//!
+//! The index lives behind a [`OnceLock`] and is invalidated by every
+//! `&mut` access (`push`, `merge`, `records_mut`), so callers never see
+//! a stale view; concurrent figure builders share one build.
 
 use crate::baseline::DeltaSeries;
 use crate::stats;
 use cellscope_time::{IsoWeek, SimClock};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// One hourly KPI sample, generator-agnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -83,8 +103,11 @@ pub enum KpiField {
 }
 
 impl KpiField {
+    /// Number of fields (= columns per day shard).
+    pub const COUNT: usize = 10;
+
     /// All fields, in Fig. 8/9 order.
-    pub const ALL: [KpiField; 10] = [
+    pub const ALL: [KpiField; KpiField::COUNT] = [
         KpiField::DlVolume,
         KpiField::UlVolume,
         KpiField::ActiveDlUsers,
@@ -96,6 +119,22 @@ impl KpiField {
         KpiField::VoiceUlLoss,
         KpiField::VoiceDlLoss,
     ];
+
+    /// Dense column index, `0..COUNT`, in [`KpiField::ALL`] order.
+    pub fn index(self) -> usize {
+        match self {
+            KpiField::DlVolume => 0,
+            KpiField::UlVolume => 1,
+            KpiField::ActiveDlUsers => 2,
+            KpiField::ConnectedUsers => 3,
+            KpiField::UserDlThroughput => 4,
+            KpiField::TtiUtilization => 5,
+            KpiField::VoiceVolume => 6,
+            KpiField::VoiceUsers => 7,
+            KpiField::VoiceUlLoss => 8,
+            KpiField::VoiceDlLoss => 9,
+        }
+    }
 
     /// Plot title as used in the paper's figures.
     pub fn title(self) -> &'static str {
@@ -123,7 +162,7 @@ impl CellDayMetrics {
         }
         let med = |f: fn(&HourlyKpiSample) -> f64| -> f32 {
             let vals: Vec<f64> = hours.iter().map(f).collect();
-            stats::median(&vals).expect("non-empty") as f32
+            stats::median(&vals).expect("non-empty, NaN-free hourly samples") as f32
         };
         Some(CellDayMetrics {
             cell,
@@ -143,7 +182,12 @@ impl CellDayMetrics {
 
     /// Read one metric.
     pub fn get(&self, field: KpiField) -> f64 {
-        (match field {
+        self.get_f32(field) as f64
+    }
+
+    /// Read one metric at storage precision.
+    pub fn get_f32(&self, field: KpiField) -> f32 {
+        match field {
             KpiField::DlVolume => self.dl_volume_mb,
             KpiField::UlVolume => self.ul_volume_mb,
             KpiField::ActiveDlUsers => self.active_dl_users,
@@ -154,14 +198,95 @@ impl CellDayMetrics {
             KpiField::VoiceUsers => self.voice_users,
             KpiField::VoiceUlLoss => self.voice_ul_loss,
             KpiField::VoiceDlLoss => self.voice_dl_loss,
-        }) as f64
+        }
+    }
+}
+
+/// One day's slice of the columnar index: the cell ids observed that
+/// day plus one contiguous value column per [`KpiField`], all parallel.
+#[derive(Debug, Clone, Default)]
+struct DayShard {
+    cells: Vec<u32>,
+    columns: [Vec<f32>; KpiField::COUNT],
+}
+
+/// The day-sharded, column-per-field index over a [`KpiTable`].
+///
+/// Built once (lazily) per table state; see the module docs for the
+/// layout and the bit-identity argument.
+#[derive(Debug, Clone, Default)]
+pub struct KpiColumns {
+    shards: Vec<DayShard>,
+}
+
+impl KpiColumns {
+    fn build(records: &[CellDayMetrics]) -> KpiColumns {
+        let num_days = records.iter().map(|r| r.day as usize + 1).max().unwrap_or(0);
+        let mut counts = vec![0usize; num_days];
+        for r in records {
+            counts[r.day as usize] += 1;
+        }
+        let mut shards: Vec<DayShard> = counts
+            .into_iter()
+            .map(|n| DayShard {
+                cells: Vec::with_capacity(n),
+                columns: std::array::from_fn(|_| Vec::with_capacity(n)),
+            })
+            .collect();
+        for r in records {
+            let shard = &mut shards[r.day as usize];
+            shard.cells.push(r.cell);
+            for field in KpiField::ALL {
+                shard.columns[field.index()].push(r.get_f32(field));
+            }
+        }
+        KpiColumns { shards }
+    }
+
+    /// Days covered (max record day + 1).
+    pub fn num_days(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records in one day's shard.
+    pub fn day_len(&self, day: usize) -> usize {
+        self.shards.get(day).map_or(0, |s| s.cells.len())
     }
 }
 
 /// The study's per-cell-day KPI table.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Row storage (`records`) is canonical — it is what serializes and
+/// compares — with the columnar index attached lazily for queries.
+#[derive(Debug, Clone, Default)]
 pub struct KpiTable {
     records: Vec<CellDayMetrics>,
+    index: OnceLock<KpiColumns>,
+}
+
+/// Equality is over the canonical records; the lazy index is a cache.
+impl PartialEq for KpiTable {
+    fn eq(&self, other: &KpiTable) -> bool {
+        self.records == other.records
+    }
+}
+
+/// Serializes exactly like the former `#[derive(Serialize)]` on a
+/// records-only struct, so feed/JSON compatibility is unchanged.
+impl Serialize for KpiTable {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Struct(vec![("records", self.records.to_content())])
+    }
+}
+
+impl Deserialize for KpiTable {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let fields = serde::de::fields(content)?;
+        Ok(KpiTable {
+            records: serde::de::field(&fields, "records")?,
+            index: OnceLock::new(),
+        })
+    }
 }
 
 impl KpiTable {
@@ -172,6 +297,7 @@ impl KpiTable {
 
     /// Append one record.
     pub fn push(&mut self, record: CellDayMetrics) {
+        self.index.take();
         self.records.push(record);
     }
 
@@ -181,13 +307,16 @@ impl KpiTable {
     }
 
     /// Mutable access to all records (post-processing passes, e.g.
-    /// applying a network-wide daily loss component).
+    /// applying a network-wide daily loss component). Drops the
+    /// columnar index; it rebuilds on the next query.
     pub fn records_mut(&mut self) -> &mut [CellDayMetrics] {
+        self.index.take();
         &mut self.records
     }
 
     /// Append every record of another table (parallel-fold merge).
     pub fn merge(&mut self, other: KpiTable) {
+        self.index.take();
         self.records.extend(other.records);
     }
 
@@ -201,24 +330,102 @@ impl KpiTable {
         self.records.is_empty()
     }
 
+    /// The columnar index for the current records, building it on first
+    /// use. Thread-safe: concurrent figure builders share one build.
+    pub fn columns(&self) -> &KpiColumns {
+        self.index.get_or_init(|| KpiColumns::build(&self.records))
+    }
+
     /// Daily median of `field` across the cells selected by `filter`.
+    ///
+    /// `filter` is evaluated once per record in day-shard order; it
+    /// must be a pure predicate of the cell id.
     pub fn daily_median(
         &self,
         field: KpiField,
         num_days: usize,
-        mut filter: impl FnMut(u32) -> bool,
+        filter: impl FnMut(u32) -> bool,
     ) -> Vec<Option<f64>> {
-        let mut per_day: Vec<Vec<f64>> = vec![Vec::new(); num_days];
-        for r in &self.records {
-            if (r.day as usize) < num_days && filter(r.cell) {
-                per_day[r.day as usize].push(r.get(field));
-            }
-        }
-        per_day.into_iter().map(|v| stats::median(&v)).collect()
+        self.daily_percentile(field, 50.0, num_days, filter)
     }
 
     /// Daily percentile variant (for the 90th-percentile voice series).
     pub fn daily_percentile(
+        &self,
+        field: KpiField,
+        p: f64,
+        num_days: usize,
+        mut filter: impl FnMut(u32) -> bool,
+    ) -> Vec<Option<f64>> {
+        let cols = self.columns();
+        let mut out = vec![None; num_days];
+        let mut buf: Vec<f64> = Vec::new();
+        for (day, slot) in out.iter_mut().enumerate().take(cols.shards.len()) {
+            let shard = &cols.shards[day];
+            let column = &shard.columns[field.index()];
+            buf.clear();
+            for (i, &cell) in shard.cells.iter().enumerate() {
+                if filter(cell) {
+                    buf.push(column[i] as f64);
+                }
+            }
+            *slot = stats::percentile_unstable(&mut buf, p);
+        }
+        out
+    }
+
+    /// One-pass multi-field daily medians: evaluates `filter` once per
+    /// record per day and reads every requested field's column off that
+    /// single row selection. Returns `out[field_idx][day]`, where
+    /// `field_idx` indexes `fields`. Bit-identical to calling
+    /// [`KpiTable::daily_median`] per field.
+    pub fn daily_medians_multi(
+        &self,
+        fields: &[KpiField],
+        num_days: usize,
+        mut filter: impl FnMut(u32) -> bool,
+    ) -> Vec<Vec<Option<f64>>> {
+        let cols = self.columns();
+        let mut out = vec![vec![None; num_days]; fields.len()];
+        let mut keep: Vec<u32> = Vec::new();
+        let mut buf: Vec<f64> = Vec::new();
+        for day in 0..num_days.min(cols.shards.len()) {
+            let shard = &cols.shards[day];
+            keep.clear();
+            for (i, &cell) in shard.cells.iter().enumerate() {
+                if filter(cell) {
+                    keep.push(i as u32);
+                }
+            }
+            if keep.is_empty() {
+                continue;
+            }
+            for (fi, field) in fields.iter().enumerate() {
+                let column = &shard.columns[field.index()];
+                buf.clear();
+                buf.extend(keep.iter().map(|&i| column[i as usize] as f64));
+                out[fi][day] = stats::median_unstable(&mut buf);
+            }
+        }
+        out
+    }
+
+    /// Reference implementation of [`KpiTable::daily_median`]: the
+    /// original full-table rescan with clone-and-sort medians. Used by
+    /// the equivalence property tests and as the baseline side of the
+    /// aggregation benches.
+    pub fn daily_median_naive(
+        &self,
+        field: KpiField,
+        num_days: usize,
+        filter: impl FnMut(u32) -> bool,
+    ) -> Vec<Option<f64>> {
+        self.daily_percentile_naive(field, 50.0, num_days, filter)
+    }
+
+    /// Reference implementation of [`KpiTable::daily_percentile`]; see
+    /// [`KpiTable::daily_median_naive`].
+    pub fn daily_percentile_naive(
         &self,
         field: KpiField,
         p: f64,
@@ -233,7 +440,7 @@ impl KpiTable {
         }
         per_day
             .into_iter()
-            .map(|v| stats::percentile(&v, p))
+            .map(|v| stats::percentile_ref(&v, p))
             .collect()
     }
 
@@ -286,8 +493,9 @@ mod tests {
         assert_eq!(day.get(KpiField::DlVolume), 100.0);
         assert_eq!(day.get(KpiField::UlVolume), 10.0);
         assert_eq!(day.get(KpiField::TtiUtilization) as f32, 0.2);
-        for f in KpiField::ALL {
+        for (i, f) in KpiField::ALL.into_iter().enumerate() {
             assert!(!f.title().is_empty());
+            assert_eq!(f.index(), i, "ALL order must match index()");
             let _ = day.get(f);
         }
     }
@@ -315,5 +523,88 @@ mod tests {
         }
         let p90 = table.daily_percentile(KpiField::DlVolume, 90.0, 1, |_| true);
         assert_eq!(p90[0], Some(81.0));
+    }
+
+    #[test]
+    fn columnar_matches_naive_and_survives_mutation() {
+        let mut table = KpiTable::new();
+        for day in 0..5u16 {
+            for cell in 0..7u32 {
+                table.push(
+                    CellDayMetrics::from_hourly(
+                        cell,
+                        day,
+                        &[sample((cell * 13 + day as u32 * 3) as f64)],
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+        for field in KpiField::ALL {
+            assert_eq!(
+                table.daily_median(field, 6, |c| c % 2 == 0),
+                table.daily_median_naive(field, 6, |c| c % 2 == 0),
+            );
+        }
+        // Mutating the records invalidates the index.
+        let before = table.daily_median(KpiField::VoiceDlLoss, 5, |_| true);
+        for rec in table.records_mut() {
+            rec.voice_dl_loss += 1.0;
+        }
+        let after = table.daily_median(KpiField::VoiceDlLoss, 5, |_| true);
+        for (b, a) in before.iter().zip(&after) {
+            assert!((a.unwrap() - b.unwrap() - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(
+            after,
+            table.daily_median_naive(KpiField::VoiceDlLoss, 5, |_| true)
+        );
+    }
+
+    #[test]
+    fn multi_field_kernel_matches_single_field_queries() {
+        let mut table = KpiTable::new();
+        for day in 0..4u16 {
+            for cell in 0..9u32 {
+                table.push(
+                    CellDayMetrics::from_hourly(
+                        cell,
+                        day,
+                        &[sample((cell + 1) as f64 * (day + 1) as f64)],
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+        let fields = [KpiField::DlVolume, KpiField::UlVolume, KpiField::VoiceUsers];
+        let multi = table.daily_medians_multi(&fields, 5, |c| c != 4);
+        for (fi, field) in fields.iter().enumerate() {
+            assert_eq!(multi[fi], table.daily_median(*field, 5, |c| c != 4));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_records() {
+        let mut table = KpiTable::new();
+        table.push(CellDayMetrics::from_hourly(3, 1, &[sample(42.0)]).unwrap());
+        let _ = table.columns(); // a built index must not leak into the wire form
+        let json = serde_json::to_string(&table).unwrap();
+        let back: KpiTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, table);
+        assert_eq!(back.records(), table.records());
+    }
+
+    #[test]
+    fn columns_shape_matches_records() {
+        let mut table = KpiTable::new();
+        for (cell, day) in [(1u32, 0u16), (2, 0), (9, 2)] {
+            table.push(CellDayMetrics::from_hourly(cell, day, &[sample(1.0)]).unwrap());
+        }
+        let cols = table.columns();
+        assert_eq!(cols.num_days(), 3);
+        assert_eq!(cols.day_len(0), 2);
+        assert_eq!(cols.day_len(1), 0);
+        assert_eq!(cols.day_len(2), 1);
+        assert_eq!(cols.day_len(99), 0);
     }
 }

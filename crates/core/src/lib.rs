@@ -20,7 +20,10 @@
 //! * [`correlate`] — Pearson correlation and linear regression
 //!   (Fig. 2's r², Fig. 4's non-correlation, Section 4.4's
 //!   users-vs-volume correlations);
-//! * [`kpi_stats`] — per-cell daily KPI records and their group medians;
+//! * [`kpi_stats`] — per-cell daily KPI records and their group
+//!   medians, served by a columnar day-sharded index
+//!   ([`kpi_stats::KpiColumns`]) with a one-pass multi-field median
+//!   kernel and O(n) selection percentiles;
 //! * [`study`] — the assembled streaming methodology
 //!   ([`study::MobilityStudy`]): the object a downstream user drives
 //!   with their own operator feeds.
@@ -46,6 +49,6 @@ pub use dwell::{top_n_towers, TowerDwell};
 pub use entropy::mobility_entropy;
 pub use gyration::radius_of_gyration;
 pub use home::{HomeDetector, NightDwellLog};
-pub use kpi_stats::{CellDayMetrics, KpiField, KpiTable};
+pub use kpi_stats::{CellDayMetrics, KpiColumns, KpiField, KpiTable};
 pub use matrix::MobilityMatrix;
 pub use study::{MobilityStudy, StudyConfig, UserDayDwell};

@@ -5,6 +5,18 @@
 //! cell") and reports distribution width through percentiles (e.g. the
 //! 90th percentile of voice volume in Fig. 9). These helpers are the
 //! single implementation the whole workspace uses.
+//!
+//! Percentiles are computed by O(n) selection
+//! ([`slice::select_nth_unstable_by`]) rather than a full sort; the
+//! result is bit-identical to sorting because the k-th order statistic
+//! under `total_cmp` (a total order on bit patterns) is a unique bit
+//! pattern. [`percentile_ref`] keeps the clone-and-sort implementation
+//! as the reference the equivalence tests and benches compare against.
+//!
+//! NaN handling is explicit: a NaN anywhere in the input makes every
+//! percentile/median return `None`, in **all** build profiles. (An
+//! earlier version only `debug_assert`ed, so a release-mode NaN
+//! silently poisoned the sort and propagated into every figure.)
 
 /// Arithmetic mean; `None` for an empty slice.
 pub fn mean(values: &[f64]) -> Option<f64> {
@@ -15,19 +27,76 @@ pub fn mean(values: &[f64]) -> Option<f64> {
     }
 }
 
-/// Median (interpolated for even lengths); `None` for an empty slice.
+/// Median (interpolated for even lengths); `None` for an empty slice or
+/// NaN-bearing input.
 pub fn median(values: &[f64]) -> Option<f64> {
     percentile(values, 50.0)
 }
 
 /// Percentile in [0, 100] with linear interpolation between order
-/// statistics; `None` for an empty slice. NaNs are rejected by
-/// debug-assert (feeds never produce them).
+/// statistics; `None` for an empty slice. Any NaN in the input yields
+/// `None` — explicitly, not by debug-assert, so a poisoned feed shows
+/// up as a gap instead of a garbage number in release builds too.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    debug_assert!(values.iter().all(|v| !v.is_nan()), "NaN in percentile input");
+    let mut scratch = values.to_vec();
+    percentile_unstable(&mut scratch, p)
+}
+
+/// In-place, allocation-free percentile kernel: O(n) selection instead
+/// of a full sort. Reorders `values` arbitrarily. Same contract as
+/// [`percentile`] (empty or NaN-bearing input → `None`).
+pub fn percentile_unstable(values: &mut [f64], p: f64) -> Option<f64> {
+    debug_assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let rank = p / 100.0 * (values.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let frac = rank - lo as f64;
+    let (_, lo_val, above) = values.select_nth_unstable_by(lo, |a, b| a.total_cmp(b));
+    let lo_val = *lo_val;
+    if frac == 0.0 {
+        Some(lo_val)
+    } else {
+        // The (lo+1)-th order statistic is the minimum of the partition
+        // above the pivot — no second selection pass needed.
+        let hi_val = above
+            .iter()
+            .copied()
+            .min_by(|a, b| a.total_cmp(b))
+            .expect("rank.ceil() < len");
+        Some(lo_val * (1.0 - frac) + hi_val * frac)
+    }
+}
+
+/// In-place median over a scratch buffer (see [`percentile_unstable`]).
+pub fn median_unstable(values: &mut [f64]) -> Option<f64> {
+    percentile_unstable(values, 50.0)
+}
+
+/// Percentile of an `f32` sample store, widening through one scratch
+/// buffer (the per-(group, day) distributions keep samples as `f32`).
+/// Bit-identical to widening the slice yourself and calling
+/// [`percentile`].
+pub fn percentile_f32(values: &[f32], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut scratch: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    percentile_unstable(&mut scratch, p)
+}
+
+/// Reference percentile: clone + full `total_cmp` sort, the original
+/// implementation. Kept for the equivalence property tests and as the
+/// "naive" side of the aggregation benches. Same NaN contract as
+/// [`percentile`].
+pub fn percentile_ref(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
     debug_assert!((0.0..=100.0).contains(&p), "percentile out of range");
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
@@ -64,6 +133,9 @@ mod tests {
         assert_eq!(mean(&[]), None);
         assert_eq!(median(&[]), None);
         assert_eq!(percentile(&[], 90.0), None);
+        assert_eq!(percentile_unstable(&mut [], 90.0), None);
+        assert_eq!(percentile_f32(&[], 50.0), None);
+        assert_eq!(percentile_ref(&[], 50.0), None);
         assert_eq!(median_sorted(&[]), None);
     }
 
@@ -95,11 +167,65 @@ mod tests {
         }
     }
 
+    /// Selection-based percentile matches the sort-based reference
+    /// bit-for-bit, including with duplicates and signed zeros.
+    #[test]
+    fn selection_matches_reference_bitwise() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![1.0],
+            vec![2.0, 2.0, 2.0],
+            vec![5.0, 1.0, 9.0, 3.0, 3.0, 9.0, -2.5],
+            vec![0.0, -0.0, 1.0, -1.0],
+            vec![1e300, -1e300, 1e-300, 0.1 + 0.2, 1.0 / 3.0],
+        ];
+        for v in &cases {
+            for p in [0.0, 7.0, 10.0, 25.0, 33.3, 50.0, 66.6, 90.0, 99.0, 100.0] {
+                let sel = percentile(v, p);
+                let srt = percentile_ref(v, p);
+                assert_eq!(
+                    sel.map(f64::to_bits),
+                    srt.map(f64::to_bits),
+                    "p={p} over {v:?}"
+                );
+            }
+        }
+    }
+
+    /// NaN-bearing input is rejected with `None` in *every* build
+    /// profile — this test passes identically under `cargo test` and
+    /// `cargo test --release` because the rejection is an explicit
+    /// branch, not a debug_assert.
+    #[test]
+    fn nan_input_returns_none_in_all_profiles() {
+        let poisoned = [1.0, f64::NAN, 3.0];
+        assert_eq!(percentile(&poisoned, 50.0), None);
+        assert_eq!(percentile_ref(&poisoned, 50.0), None);
+        assert_eq!(median(&poisoned), None);
+        assert_eq!(percentile_unstable(&mut poisoned.to_vec(), 90.0), None);
+        assert_eq!(percentile_f32(&[1.0, f32::NAN], 50.0), None);
+        // A lone NaN too.
+        assert_eq!(median(&[f64::NAN]), None);
+        // Infinities are *not* NaN and stay orderable.
+        assert_eq!(median(&[f64::INFINITY, 0.0, f64::NEG_INFINITY]), Some(0.0));
+    }
+
     #[test]
     fn median_sorted_matches_median() {
         let mut v = vec![7.0, 3.0, 9.0, 1.0, 4.0, 4.0];
         let m = median(&v);
         v.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(median_sorted(&v), m);
+    }
+
+    #[test]
+    fn f32_widening_matches_manual_widening() {
+        let vals = [1.5f32, -0.25, 7.125, 7.125, 0.0];
+        let widened: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+        for p in [0.0, 10.0, 50.0, 90.0, 100.0] {
+            assert_eq!(
+                percentile_f32(&vals, p).map(f64::to_bits),
+                percentile(&widened, p).map(f64::to_bits)
+            );
+        }
     }
 }

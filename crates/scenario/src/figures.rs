@@ -351,20 +351,9 @@ pub struct KpiPanel {
     pub lines: Vec<KpiLine>,
 }
 
-/// Weekly Δ% of `field` medians over `cells` (None = all cells), against
-/// the line's own week-9 median. The paper's Figs. 8–12 normalize each
-/// line so week 9 sits at 0 (all regions' DL volume starts in the same
-/// +9…+17% band in week 10), which requires per-line baselines.
-fn kpi_weekly(
-    ds: &StudyDataset,
-    field: KpiField,
-    cells: Option<&HashSet<u32>>,
-) -> Vec<(u8, Option<f64>)> {
-    let num_days = ds.clock.num_days();
-    let daily = match cells {
-        None => ds.kpi.daily_median(field, num_days, |_| true),
-        Some(set) => ds.kpi.daily_median(field, num_days, |c| set.contains(&c)),
-    };
+/// Collapse a daily series into the paper's weekly Δ% view: median of
+/// each figure week's observed days vs the week-9 median.
+fn weekly_from_daily(ds: &StudyDataset, daily: &[Option<f64>]) -> Vec<(u8, Option<f64>)> {
     let baseline = {
         let wk9: Vec<f64> = ds
             .clock
@@ -390,22 +379,58 @@ fn kpi_weekly(
         .collect()
 }
 
-fn panel(
+/// Weekly Δ% of `field` medians over `cells` (None = all cells), against
+/// the line's own week-9 median. The paper's Figs. 8–12 normalize each
+/// line so week 9 sits at 0 (all regions' DL volume starts in the same
+/// +9…+17% band in week 10), which requires per-line baselines.
+fn kpi_weekly(
     ds: &StudyDataset,
     field: KpiField,
+    cells: Option<&HashSet<u32>>,
+) -> Vec<(u8, Option<f64>)> {
+    let num_days = ds.clock.num_days();
+    let daily = match cells {
+        None => ds.kpi.daily_median(field, num_days, |_| true),
+        Some(set) => ds.kpi.daily_median(field, num_days, |c| set.contains(&c)),
+    };
+    weekly_from_daily(ds, &daily)
+}
+
+/// Build one figure's worth of KPI panels through the columnar engine's
+/// one-pass multi-field kernel: each line's cell filter runs **once**
+/// per record, with every panel's field read off that single row
+/// selection — instead of one full-table rescan per (field, line).
+/// Output is bit-identical to building each panel independently.
+fn panels_multi(
+    ds: &StudyDataset,
+    fields: &[KpiField],
     lines: &[(String, Option<HashSet<u32>>)],
-) -> KpiPanel {
-    KpiPanel {
-        field,
-        title: field.title().to_string(),
-        lines: lines
-            .iter()
-            .map(|(label, cells)| KpiLine {
+) -> Vec<KpiPanel> {
+    let num_days = ds.clock.num_days();
+    let mut panels: Vec<KpiPanel> = fields
+        .iter()
+        .map(|&field| KpiPanel {
+            field,
+            title: field.title().to_string(),
+            lines: Vec::with_capacity(lines.len()),
+        })
+        .collect();
+    for (label, cells) in lines {
+        let dailies = match cells {
+            None => ds.kpi.daily_medians_multi(fields, num_days, |_| true),
+            Some(set) => {
+                ds.kpi
+                    .daily_medians_multi(fields, num_days, |c| set.contains(&c))
+            }
+        };
+        for (panel, daily) in panels.iter_mut().zip(&dailies) {
+            panel.lines.push(KpiLine {
                 label: label.clone(),
-                weekly_pct: kpi_weekly(ds, field, cells.as_ref()),
-            })
-            .collect(),
+                weekly_pct: weekly_from_daily(ds, daily),
+            });
+        }
     }
+    panels
 }
 
 /// Fig. 8: the all-traffic KPI panels for the UK plus the five regions.
@@ -418,17 +443,18 @@ pub fn fig8(ds: &StudyDataset) -> Vec<KpiPanel> {
             Some(ds.cells_in_county(county).into_iter().collect()),
         ));
     }
-    [
-        KpiField::DlVolume,
-        KpiField::UlVolume,
-        KpiField::ActiveDlUsers,
-        KpiField::UserDlThroughput,
-        KpiField::TtiUtilization,
-        KpiField::ConnectedUsers,
-    ]
-    .into_iter()
-    .map(|f| panel(ds, f, &lines))
-    .collect()
+    panels_multi(
+        ds,
+        &[
+            KpiField::DlVolume,
+            KpiField::UlVolume,
+            KpiField::ActiveDlUsers,
+            KpiField::UserDlThroughput,
+            KpiField::TtiUtilization,
+            KpiField::ConnectedUsers,
+        ],
+        &lines,
+    )
 }
 
 /// Fig. 9: the 4G voice (QCI 1) panels, UK-wide, plus the 90th
@@ -444,15 +470,16 @@ pub struct Fig9 {
 /// Build Fig. 9.
 pub fn fig9(ds: &StudyDataset) -> Fig9 {
     let uk: Vec<(String, Option<HashSet<u32>>)> = vec![("UK".to_string(), None)];
-    let panels = [
-        KpiField::VoiceVolume,
-        KpiField::VoiceUsers,
-        KpiField::VoiceUlLoss,
-        KpiField::VoiceDlLoss,
-    ]
-    .into_iter()
-    .map(|f| panel(ds, f, &uk))
-    .collect();
+    let panels = panels_multi(
+        ds,
+        &[
+            KpiField::VoiceVolume,
+            KpiField::VoiceUsers,
+            KpiField::VoiceUlLoss,
+            KpiField::VoiceDlLoss,
+        ],
+        &uk,
+    );
 
     // p90 series vs its own week-9 baseline.
     let num_days = ds.clock.num_days();
@@ -509,30 +536,30 @@ pub fn fig10(ds: &StudyDataset) -> Fig10 {
             )
         })
         .collect();
-    let panels = [
-        KpiField::DlVolume,
-        KpiField::ConnectedUsers,
-        KpiField::UlVolume,
-        KpiField::ActiveDlUsers,
-    ]
-    .into_iter()
-    .map(|f| panel(ds, f, &lines))
-    .collect();
+    let panels = panels_multi(
+        ds,
+        &[
+            KpiField::DlVolume,
+            KpiField::ConnectedUsers,
+            KpiField::UlVolume,
+            KpiField::ActiveDlUsers,
+        ],
+        &lines,
+    );
 
     let num_days = ds.clock.num_days();
+    let corr_fields = [KpiField::ConnectedUsers, KpiField::DlVolume];
     let user_volume_correlation = OacCluster::ALL
         .iter()
         .map(|&cluster| {
             let set: HashSet<u32> = ds.cells_in_cluster(cluster).into_iter().collect();
-            let users: Vec<Option<f64>> =
-                ds.kpi
-                    .daily_median(KpiField::ConnectedUsers, num_days, |c| set.contains(&c));
-            let dl: Vec<Option<f64>> =
-                ds.kpi
-                    .daily_median(KpiField::DlVolume, num_days, |c| set.contains(&c));
+            let both = ds
+                .kpi
+                .daily_medians_multi(&corr_fields, num_days, |c| set.contains(&c));
+            let (users, dl) = (&both[0], &both[1]);
             let pairs: Vec<(f64, f64)> = users
                 .iter()
-                .zip(&dl)
+                .zip(dl)
                 .filter_map(|(u, d)| Some((u.as_ref().copied()?, d.as_ref().copied()?)))
                 .collect();
             let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
@@ -557,16 +584,17 @@ pub fn fig11(ds: &StudyDataset) -> Vec<KpiPanel> {
             )
         })
         .collect();
-    [
-        KpiField::DlVolume,
-        KpiField::UlVolume,
-        KpiField::ConnectedUsers,
-        KpiField::ActiveDlUsers,
-        KpiField::TtiUtilization,
-    ]
-    .into_iter()
-    .map(|f| panel(ds, f, &lines))
-    .collect()
+    panels_multi(
+        ds,
+        &[
+            KpiField::DlVolume,
+            KpiField::UlVolume,
+            KpiField::ConnectedUsers,
+            KpiField::ActiveDlUsers,
+            KpiField::TtiUtilization,
+        ],
+        &lines,
+    )
 }
 
 /// Fig. 12: KPI panels per OAC cluster *within Inner London*.
@@ -591,15 +619,16 @@ pub fn fig12(ds: &StudyDataset) -> Vec<KpiPanel> {
             (cl.name().to_string(), Some(set))
         })
         .collect();
-    [
-        KpiField::DlVolume,
-        KpiField::UlVolume,
-        KpiField::ActiveDlUsers,
-        KpiField::UserDlThroughput,
-    ]
-    .into_iter()
-    .map(|f| panel(ds, f, &lines))
-    .collect()
+    panels_multi(
+        ds,
+        &[
+            KpiField::DlVolume,
+            KpiField::UlVolume,
+            KpiField::ActiveDlUsers,
+            KpiField::UserDlThroughput,
+        ],
+        &lines,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -718,6 +747,149 @@ pub fn table1(ds: &StudyDataset) -> Vec<Table1Row> {
             cells: ds.cells_in_cluster(c).len(),
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// The full figure set, built in parallel
+// ---------------------------------------------------------------------
+
+/// Every table/figure of the paper's evaluation, built from one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureSet {
+    /// Table 1 — the OAC cluster roster.
+    pub table1: Vec<Table1Row>,
+    /// Fig. 2 — home-detection validation.
+    pub fig2: Fig2,
+    /// Fig. 3 — national mobility.
+    pub fig3: Fig3,
+    /// Fig. 4 — mobility vs cases.
+    pub fig4: Fig4,
+    /// Fig. 5 — regional mobility.
+    pub fig5: Vec<GroupMobility>,
+    /// Fig. 6 — geodemographic mobility.
+    pub fig6: Vec<GroupMobility>,
+    /// Fig. 7 — the Inner-London matrix.
+    pub fig7: Fig7,
+    /// Fig. 8 — all-traffic KPI panels.
+    pub fig8: Vec<KpiPanel>,
+    /// Fig. 9 — 4G voice panels.
+    pub fig9: Fig9,
+    /// Fig. 10 — KPI panels per OAC cluster.
+    pub fig10: Fig10,
+    /// Fig. 11 — Inner-London district panels.
+    pub fig11: Vec<KpiPanel>,
+    /// Fig. 12 — Inner-London cluster panels.
+    pub fig12: Vec<KpiPanel>,
+    /// Supplementary per-bin mobility profile.
+    pub bin_profile: BinProfile,
+    /// Headline statistics.
+    pub headline: Headline,
+}
+
+/// One built figure, tagged for the fixed-slot merge in [`build_all`].
+enum Built {
+    Table1(Vec<Table1Row>),
+    F2(Fig2),
+    F3(Fig3),
+    F4(Fig4),
+    F5(Vec<GroupMobility>),
+    F6(Vec<GroupMobility>),
+    F7(Fig7),
+    F8(Vec<KpiPanel>),
+    F9(Fig9),
+    F10(Fig10),
+    F11(Vec<KpiPanel>),
+    F12(Vec<KpiPanel>),
+    Bins(BinProfile),
+    Head(Headline),
+}
+
+/// Build every figure, fanning the per-figure builders across up to
+/// `threads` workers (`0` = all available cores).
+///
+/// Determinism contract (same as the scenario's phase A): the work is
+/// split into fixed tasks — one per figure — that do not depend on the
+/// thread count, task `i` is owned by worker `i % workers`, and results
+/// are merged into fixed slots. Each builder reads the shared dataset
+/// immutably, so the output is bit-identical for any `threads` value,
+/// including the sequential `threads == 1` path.
+pub fn build_all(ds: &StudyDataset, threads: usize) -> FigureSet {
+    type Builder = fn(&StudyDataset) -> Built;
+    const BUILDERS: [Builder; 14] = [
+        |ds| Built::Table1(table1(ds)),
+        |ds| Built::F2(fig2(ds)),
+        |ds| Built::F3(fig3(ds)),
+        |ds| Built::F4(fig4(ds)),
+        |ds| Built::F5(fig5(ds)),
+        |ds| Built::F6(fig6(ds)),
+        |ds| Built::F7(fig7(ds)),
+        |ds| Built::F8(fig8(ds)),
+        |ds| Built::F9(fig9(ds)),
+        |ds| Built::F10(fig10(ds)),
+        |ds| Built::F11(fig11(ds)),
+        |ds| Built::F12(fig12(ds)),
+        |ds| Built::Bins(bin_profile(ds)),
+        |ds| Built::Head(headline(ds)),
+    ];
+    // Warm the columnar KPI index before fanning out so the builders
+    // share one ready index instead of racing on the lazy build.
+    ds.kpi.columns();
+
+    let workers = crate::run::resolve_threads(threads).clamp(1, BUILDERS.len());
+    let mut slots: Vec<Option<Built>> = (0..BUILDERS.len()).map(|_| None).collect();
+    if workers == 1 {
+        for (slot, build) in slots.iter_mut().zip(BUILDERS) {
+            *slot = Some(build(ds));
+        }
+    } else {
+        let built = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move |_| -> Vec<(usize, Built)> {
+                        (w..BUILDERS.len())
+                            .step_by(workers)
+                            .map(|i| (i, BUILDERS[i](ds)))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("figure builder panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("figure build scope");
+        for (i, fig) in built {
+            slots[i] = Some(fig);
+        }
+    }
+
+    let mut slots = slots.into_iter().map(|s| s.expect("all slots built"));
+    let mut next = move || slots.next().expect("slot count matches builders");
+    macro_rules! take {
+        ($variant:ident) => {
+            match next() {
+                Built::$variant(v) => v,
+                _ => unreachable!("slot order is fixed"),
+            }
+        };
+    }
+    FigureSet {
+        table1: take!(Table1),
+        fig2: take!(F2),
+        fig3: take!(F3),
+        fig4: take!(F4),
+        fig5: take!(F5),
+        fig6: take!(F6),
+        fig7: take!(F7),
+        fig8: take!(F8),
+        fig9: take!(F9),
+        fig10: take!(F10),
+        fig11: take!(F11),
+        fig12: take!(F12),
+        bin_profile: take!(Bins),
+        headline: take!(Head),
+    }
 }
 
 #[cfg(test)]
@@ -878,6 +1050,56 @@ mod tests {
             delta("Morning"),
             delta("Night")
         );
+    }
+
+    #[test]
+    fn build_all_identical_across_thread_counts() {
+        // The parallel figure pass must be bit-identical to the
+        // sequential one, for any worker count. JSON serialization
+        // preserves every f64 bit pattern we emit, so value equality
+        // here is bitwise equality of the figures.
+        let d = ds();
+        let sequential = serde_json::to_value(build_all(d, 1)).unwrap();
+        for threads in [2, 8] {
+            let parallel = serde_json::to_value(build_all(d, threads)).unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn multi_field_panels_match_naive_path() {
+        // The one-pass multi-field kernel behind panels_multi must
+        // reproduce the naive per-(field, line) rescan bit for bit.
+        let d = ds();
+        let num_days = d.clock.num_days();
+        let f8 = fig8(d);
+        for panel in &f8 {
+            for line in &panel.lines {
+                let daily = if line.label == "UK - all regions" {
+                    d.kpi.daily_median_naive(panel.field, num_days, |_| true)
+                } else {
+                    let county = County::STUDY_REGIONS
+                        .iter()
+                        .find(|c| c.name() == line.label)
+                        .copied()
+                        .expect("line label is a study region");
+                    let set: HashSet<u32> = d.cells_in_county(county).into_iter().collect();
+                    d.kpi
+                        .daily_median_naive(panel.field, num_days, |c| set.contains(&c))
+                };
+                let naive = weekly_from_daily(d, &daily);
+                let bits = |s: &[(u8, Option<f64>)]| -> Vec<(u8, Option<u64>)> {
+                    s.iter().map(|(w, v)| (*w, v.map(f64::to_bits))).collect()
+                };
+                assert_eq!(
+                    bits(&line.weekly_pct),
+                    bits(&naive),
+                    "{} / {}",
+                    panel.title,
+                    line.label
+                );
+            }
+        }
     }
 
     #[test]

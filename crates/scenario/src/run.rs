@@ -726,6 +726,9 @@ pub(crate) fn assemble(
     for rec in kpi.records_mut() {
         rec.voice_dl_loss += interconnect_daily[rec.day as usize].dl_loss_rate as f32;
     }
+    // The KPI table is final from here on: build its columnar index now
+    // so downstream figure builders (possibly parallel) find it ready.
+    kpi.columns();
 
     // --- RAT dwell shares ----------------------------------------------
     let total_rat: u64 = phase_a.rat_minutes.iter().sum();
