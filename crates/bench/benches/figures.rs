@@ -15,7 +15,7 @@ use std::sync::OnceLock;
 
 fn dataset() -> &'static StudyDataset {
     static DATASET: OnceLock<StudyDataset> = OnceLock::new();
-    DATASET.get_or_init(|| run_study(&ScenarioConfig::small(2020)))
+    DATASET.get_or_init(|| run_study(&ScenarioConfig::small(2020)).expect("study"))
 }
 
 fn week(series: &[(u8, Option<f64>)], w: u8) -> f64 {

@@ -12,7 +12,7 @@ fn bench_full_study(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_study");
     group.sample_size(10);
     group.bench_function("tiny_2k_subscribers_100_days", |b| {
-        b.iter(|| run_study(black_box(&ScenarioConfig::tiny(3))))
+        b.iter(|| run_study(black_box(&ScenarioConfig::tiny(3))).expect("study"))
     });
     group.finish();
 }

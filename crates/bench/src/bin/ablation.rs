@@ -29,7 +29,7 @@ struct Row {
 
 fn run(name: &'static str, config: &ScenarioConfig) -> Row {
     eprintln!("running ablation arm: {name}…");
-    let ds = run_study(config);
+    let ds = run_study(config).expect("study");
     Row {
         name,
         headline: figures::headline(&ds),

@@ -4,11 +4,17 @@
 //! Usage:
 //! `repro [--scale full|small|tiny] [--seed N] [--json DIR] [--csv DIR]
 //!        [--config FILE] [--dump-config FILE] [--roundtrip DIR]
-//!        [--bench-summary PATH]`
+//!        [--bench-summary PATH] [--metrics PATH]`
 //!
 //! `--dump-config` writes the resolved scenario configuration as JSON;
 //! `--config` loads one back (every knob of the study is a plain
 //! serializable field, so experiments are fully file-reproducible).
+//!
+//! `--metrics PATH` writes the run's per-stage execution metrics (the
+//! [`cellscope_exec::RunMetrics`] tree: wall time, task count, items
+//! and counters per stage) as JSON, conventionally
+//! `results/METRICS_run.json`. Works with both the figure pipeline and
+//! `--roundtrip`.
 //!
 //! `--roundtrip DIR` exercises the feed-replay engine instead of the
 //! figure pipeline: run the study in memory, export its feeds to DIR,
@@ -22,10 +28,11 @@
 //! (conventionally `BENCH_aggregation.json`).
 
 use cellscope_bench::{fmt_pct, fmt_weekly, print_panel};
+use cellscope_exec::{Executor, RunMetrics};
 use cellscope_scenario::replay::{
-    dataset_divergence, export_feeds, replay_study, ReplayConfig,
+    dataset_divergence, export_feeds, replay_study_with, ReplayConfig,
 };
-use cellscope_scenario::{figures, run_study, ScenarioConfig};
+use cellscope_scenario::{figures, run_study_with, ScenarioConfig, World};
 use std::path::Path;
 use std::time::Instant;
 
@@ -38,11 +45,15 @@ fn main() {
     let mut dump_config: Option<String> = None;
     let mut roundtrip: Option<String> = None;
     let mut bench_summary: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--bench-summary" => {
                 bench_summary = Some(args.next().expect("--bench-summary needs a path"))
+            }
+            "--metrics" => {
+                metrics_path = Some(args.next().expect("--metrics needs a path"))
             }
             "--scale" => scale = args.next().expect("--scale needs a value"),
             "--seed" => {
@@ -100,15 +111,21 @@ fn main() {
         format!("{scale}, seed={seed}")
     };
     if let Some(dir) = roundtrip {
-        run_roundtrip(&config, &label, Path::new(&dir));
+        run_roundtrip(&config, &label, Path::new(&dir), metrics_path.as_deref());
         return;
     }
     println!(
         "== cellscope repro: {label}, subscribers={} ==",
         config.population.num_subscribers
     );
+    let mut exec = Executor::new(config.threads);
     let t0 = Instant::now();
-    let ds = run_study(&config);
+    let world = exec.time_stage("build_world", || World::build(&config));
+    let ds = run_study_with(&config, &world, &mut exec).unwrap_or_else(|e| {
+        eprintln!("study failed: {e}");
+        std::process::exit(1);
+    });
+    let study_metrics = exec.take_metrics("study");
     println!(
         "study simulated in {:.1}s: {} study users, {} homes detected, {} KPI records",
         t0.elapsed().as_secs_f64(),
@@ -117,8 +134,17 @@ fn main() {
         ds.kpi.len()
     );
     let t1 = Instant::now();
-    let figs = figures::build_all(&ds, config.threads);
+    let figs = figures::build_all_with(&ds, &mut exec).unwrap_or_else(|e| {
+        eprintln!("figure build failed: {e}");
+        std::process::exit(1);
+    });
     println!("figures built in {:.2}s\n", t1.elapsed().as_secs_f64());
+    if let Some(path) = &metrics_path {
+        let tree = RunMetrics::new("repro")
+            .with_child(study_metrics)
+            .with_child(exec.take_metrics("figures"));
+        write_metrics(path, &tree);
+    }
 
     // ---- Table 1 ----
     println!("-- Table 1: geodemographic clusters --");
@@ -304,16 +330,34 @@ fn main() {
     }
 }
 
+/// Write a [`RunMetrics`] tree as pretty JSON.
+fn write_metrics(path: &str, tree: &RunMetrics) {
+    std::fs::write(path, serde_json::to_string_pretty(tree).unwrap())
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("execution metrics written to {path}");
+}
+
 /// `--roundtrip`: in-memory run → feed export → streamed replay →
 /// bit-for-bit comparison, with the replay report as the evidence.
-fn run_roundtrip(config: &ScenarioConfig, label: &str, dir: &Path) {
+fn run_roundtrip(
+    config: &ScenarioConfig,
+    label: &str,
+    dir: &Path,
+    metrics_path: Option<&str>,
+) {
     println!(
         "== cellscope feed round-trip: {label}, subscribers={} ==",
         config.population.num_subscribers
     );
 
+    let mut exec = Executor::new(config.threads);
     let t0 = Instant::now();
-    let in_memory = run_study(config);
+    let world = exec.time_stage("build_world", || World::build(config));
+    let in_memory = run_study_with(config, &world, &mut exec).unwrap_or_else(|e| {
+        eprintln!("study failed: {e}");
+        std::process::exit(1);
+    });
+    let study_metrics = exec.take_metrics("study");
     println!("in-memory study:  {:>8.1}s", t0.elapsed().as_secs_f64());
 
     let t1 = Instant::now();
@@ -328,14 +372,22 @@ fn run_roundtrip(config: &ScenarioConfig, label: &str, dir: &Path) {
     );
 
     let t2 = Instant::now();
-    let (replayed, report) = match replay_study(config, dir, &ReplayConfig::default()) {
-        Ok(out) => out,
-        Err(e) => {
-            eprintln!("replay failed: {e}");
-            std::process::exit(1);
-        }
-    };
+    let rcfg = ReplayConfig::default();
+    let (replayed, report) =
+        match replay_study_with(config, &world, dir, &rcfg, &mut exec) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("replay failed: {e}");
+                std::process::exit(1);
+            }
+        };
     println!("streamed replay:  {:>8.1}s\n", t2.elapsed().as_secs_f64());
+    if let Some(path) = metrics_path {
+        let tree = RunMetrics::new("roundtrip")
+            .with_child(study_metrics)
+            .with_child(exec.take_metrics("replay"));
+        write_metrics(path, &tree);
+    }
 
     println!("-- replay report --\n{report}");
     if !report.lines_balance() || !report.events_balance() {

@@ -8,7 +8,7 @@ use cellscope_scenario::{run_study, ScenarioConfig};
 fn exported_csvs_are_wellformed_and_complete() {
     let mut cfg = ScenarioConfig::tiny(23);
     cfg.population.num_subscribers = 800;
-    let ds = run_study(&cfg);
+    let ds = run_study(&cfg).expect("study");
     let dir = std::env::temp_dir().join("cellscope_csv_test");
     std::fs::create_dir_all(&dir).unwrap();
     export_all(&dir, &ds).unwrap();

@@ -1,0 +1,39 @@
+//! Deterministic scoped-thread execution layer.
+//!
+//! Every parallel site of the cellscope pipeline used to hand-roll the
+//! same three things: a fixed task decomposition merged in task order
+//! (so results are bit-identical across thread counts), a
+//! `.expect("worker panicked")` on every join, and no visibility into
+//! where wall time goes. This crate centralizes all three:
+//!
+//! * [`Executor::run_stage`] — fixed-ownership fan-out. The caller
+//!   decomposes the work into `num_tasks` indexed tasks whose count
+//!   never depends on the thread count; task `i` is owned by worker
+//!   `i % workers`; the layer returns the task results **in task
+//!   order**. Determinism across thread counts is therefore guaranteed
+//!   by construction rather than by per-site convention.
+//! * [`Executor::run_pipeline`] — a bounded-channel producer/worker
+//!   pipeline (the streaming-replay shape): the producer runs on the
+//!   calling thread and yields indexed items in order, workers fold
+//!   them concurrently, and results come back merged in production
+//!   order.
+//! * **Panic capture** — a panicking task is caught with
+//!   `catch_unwind`, its payload drained into a typed [`ExecError`]
+//!   naming the stage and the task index, and surfaced as a `Result`
+//!   to the caller. Sibling workers finish their current tasks and
+//!   exit cleanly; their partials are dropped. Nothing hangs, nothing
+//!   aborts, nothing is poisoned.
+//! * **Per-stage instrumentation** — every stage records wall time,
+//!   task count, items processed and user-defined counters into a
+//!   [`StageMetrics`] entry; [`Executor::take_metrics`] packages the
+//!   run as a serializable [`RunMetrics`] tree. All counters are merged
+//!   in task order and never depend on the thread count, so metrics
+//!   (minus timings) are themselves deterministic.
+
+pub mod metrics;
+pub mod panic;
+pub mod scheduler;
+
+pub use metrics::{CounterSummary, RunMetrics, StageMetrics, TaskCtx, WorkerMetrics};
+pub use panic::ExecError;
+pub use scheduler::{resolve_threads, Executor};

@@ -1,0 +1,195 @@
+//! Per-stage instrumentation collected by the executor.
+//!
+//! Two kinds of numbers live here and must not be confused:
+//!
+//! * **counters** (task count, items, user-defined counters) are merged
+//!   in task order and are bit-identical for any thread count — tests
+//!   assert on them;
+//! * **timings** (`wall_seconds`, per-worker `seconds`) describe the
+//!   machine and the moment, and are excluded from every determinism
+//!   comparison ([`RunMetrics::counter_summary`] strips them).
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Handed to every task; the task records what it processed.
+#[derive(Debug, Default, Clone)]
+pub struct TaskCtx {
+    pub(crate) items: u64,
+    pub(crate) counters: BTreeMap<String, u64>,
+}
+
+impl TaskCtx {
+    /// Record `n` processed items (the stage's natural unit of work:
+    /// user-days, cell-days, figure slots…).
+    pub fn add_items(&mut self, n: u64) {
+        self.items += n;
+    }
+
+    /// Bump a user-defined counter by `n`.
+    pub fn count(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+}
+
+/// One worker thread's share of a pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct WorkerMetrics {
+    /// Tasks this worker processed.
+    pub tasks: u64,
+    /// Items (as counted by the tasks via [`TaskCtx::add_items`]).
+    pub items: u64,
+    /// Wall-clock seconds spent inside task closures.
+    pub seconds: f64,
+}
+
+/// One stage's aggregate metrics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct StageMetrics {
+    /// Stage name, unique within its [`RunMetrics`] node.
+    pub stage: String,
+    /// Wall-clock seconds for the whole stage (fan-out to merge).
+    pub wall_seconds: f64,
+    /// Number of tasks the stage ran.
+    pub tasks: u64,
+    /// Items processed, summed over tasks in task order.
+    pub items: u64,
+    /// User-defined counters, summed over tasks.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl StageMetrics {
+    pub(crate) fn new(stage: &str) -> StageMetrics {
+        StageMetrics {
+            stage: stage.to_string(),
+            ..StageMetrics::default()
+        }
+    }
+
+    /// Fold one task's context in (called in task order).
+    pub(crate) fn absorb(&mut self, ctx: &TaskCtx) {
+        self.tasks += 1;
+        self.items += ctx.items;
+        for (k, v) in &ctx.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+/// The metrics tree of one run: a labelled node holding the stages an
+/// executor ran, plus nested trees for sub-phases driven by their own
+/// executors (e.g. `study` and `figures` under a `repro` root).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct RunMetrics {
+    /// Node label.
+    pub label: String,
+    /// Stages, in execution order.
+    pub stages: Vec<StageMetrics>,
+    /// Child nodes, in execution order.
+    pub children: Vec<RunMetrics>,
+}
+
+/// Timing-free flattened view of a metrics tree, suitable for
+/// determinism assertions: `(path, tasks, items, counters)` per stage.
+pub type CounterSummary = Vec<(String, u64, u64, Vec<(String, u64)>)>;
+
+impl RunMetrics {
+    /// An empty node.
+    pub fn new(label: &str) -> RunMetrics {
+        RunMetrics {
+            label: label.to_string(),
+            stages: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Append a child node (builder-style).
+    pub fn with_child(mut self, child: RunMetrics) -> RunMetrics {
+        self.children.push(child);
+        self
+    }
+
+    /// Find a stage by name, searching this node then its children
+    /// depth-first.
+    pub fn stage(&self, name: &str) -> Option<&StageMetrics> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == name)
+            .or_else(|| self.children.iter().find_map(|c| c.stage(name)))
+    }
+
+    /// Flatten to the timing-free [`CounterSummary`]: every stage as
+    /// `label/stage` with its counters, timings stripped. Two runs of
+    /// the same work must produce equal summaries regardless of thread
+    /// count.
+    pub fn counter_summary(&self) -> CounterSummary {
+        let mut out = Vec::new();
+        self.flatten_into("", &mut out);
+        out
+    }
+
+    fn flatten_into(&self, prefix: &str, out: &mut CounterSummary) {
+        let path = if prefix.is_empty() {
+            self.label.clone()
+        } else {
+            format!("{prefix}/{}", self.label)
+        };
+        for s in &self.stages {
+            out.push((
+                format!("{path}/{}", s.stage),
+                s.tasks,
+                s.items,
+                s.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            ));
+        }
+        for c in &self.children {
+            c.flatten_into(&path, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        let mut ctx = TaskCtx::default();
+        ctx.add_items(5);
+        ctx.count("events", 2);
+        let mut stage = StageMetrics::new("phase_a");
+        stage.absorb(&ctx);
+        stage.absorb(&ctx);
+        stage.wall_seconds = 1.25;
+        let mut root = RunMetrics::new("study");
+        root.stages.push(stage);
+        root
+    }
+
+    #[test]
+    fn absorb_sums_in_task_order() {
+        let m = sample();
+        let s = m.stage("phase_a").unwrap();
+        assert_eq!(s.tasks, 2);
+        assert_eq!(s.items, 10);
+        assert_eq!(s.counters.get("events"), Some(&4));
+    }
+
+    #[test]
+    fn counter_summary_strips_timings_and_paths_stages() {
+        let root = RunMetrics::new("repro").with_child(sample());
+        let summary = root.counter_summary();
+        assert_eq!(summary.len(), 1);
+        let (path, tasks, items, counters) = &summary[0];
+        assert_eq!(path, "repro/study/phase_a");
+        assert_eq!((*tasks, *items), (2, 10));
+        assert_eq!(counters, &vec![("events".to_string(), 4)]);
+    }
+
+    #[test]
+    fn metrics_serialize_to_json() {
+        let root = RunMetrics::new("repro").with_child(sample());
+        let text = serde_json::to_string(&root).unwrap();
+        assert!(text.contains("\"phase_a\""));
+        assert!(text.contains("\"wall_seconds\""));
+    }
+}

@@ -1,0 +1,82 @@
+//! Panic capture: turning a task's unwind payload into a typed error.
+
+use std::any::Any;
+use std::fmt;
+
+/// A task of a stage panicked. The panic was caught at the task
+/// boundary (`catch_unwind`), so the process did not abort, sibling
+/// workers were not poisoned, and the payload is preserved as text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// The stage the task belonged to (e.g. `"phase_a"`).
+    pub stage: String,
+    /// The index of the panicking task within its stage.
+    pub task: usize,
+    /// The panic payload, rendered to text (`panic!` message, or the
+    /// payload's type when it was not a string).
+    pub payload: String,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stage `{}` task {} panicked: {}",
+            self.stage, self.task, self.payload
+        )
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl ExecError {
+    /// Build an error from a caught unwind payload.
+    pub fn from_payload(
+        stage: &str,
+        task: usize,
+        payload: Box<dyn Any + Send + 'static>,
+    ) -> ExecError {
+        ExecError {
+            stage: stage.to_string(),
+            task,
+            payload: payload_to_string(payload.as_ref()),
+        }
+    }
+}
+
+/// Render a panic payload the way the default hook does: `&str` and
+/// `String` payloads verbatim, anything else as an opaque marker.
+pub(crate) fn payload_to_string(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_and_string_payloads_render_verbatim() {
+        let e = ExecError::from_payload("s", 3, Box::new("boom"));
+        assert_eq!(e.payload, "boom");
+        let e = ExecError::from_payload("s", 3, Box::new("boom".to_string()));
+        assert_eq!(e.payload, "boom");
+        let e = ExecError::from_payload("s", 3, Box::new(42u32));
+        assert_eq!(e.payload, "non-string panic payload");
+    }
+
+    #[test]
+    fn display_names_stage_and_task() {
+        let e = ExecError {
+            stage: "phase_a".into(),
+            task: 7,
+            payload: "oops".into(),
+        };
+        assert_eq!(e.to_string(), "stage `phase_a` task 7 panicked: oops");
+    }
+}

@@ -1,0 +1,512 @@
+//! The executor: fixed-ownership fan-out and the producer/worker
+//! pipeline, both panic-safe and instrumented.
+
+use crate::metrics::{RunMetrics, StageMetrics, TaskCtx, WorkerMetrics};
+use crate::panic::ExecError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Resolve a thread-count knob (0 = machine parallelism).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+}
+
+/// A deterministic scoped-thread executor.
+///
+/// One executor drives one run (or one phase of a run): every
+/// [`run_stage`](Executor::run_stage) /
+/// [`run_pipeline`](Executor::run_pipeline) /
+/// [`time_stage`](Executor::time_stage) call appends a
+/// [`StageMetrics`] entry, and [`take_metrics`](Executor::take_metrics)
+/// packages them as a [`RunMetrics`] node.
+///
+/// # Determinism contract
+///
+/// Callers decompose work into tasks whose **count and content never
+/// depend on the thread count**. The executor assigns task `i` to
+/// worker `i % workers` and returns results in task index order, so
+/// any merge the caller performs over the returned `Vec` is identical
+/// for 1 and N threads by construction.
+///
+/// # Panic semantics
+///
+/// Each task runs under `catch_unwind`. On panic the payload is
+/// captured into an [`ExecError`] naming the stage and task; the
+/// worker that caught it stops taking new tasks (pipeline workers keep
+/// draining their channel so the producer never blocks on a dead
+/// stage), sibling workers run to completion, every completed partial
+/// is dropped, and the error — the one with the **lowest task index**,
+/// so the report does not depend on scheduling — is returned.
+pub struct Executor {
+    threads: usize,
+    stages: Vec<StageMetrics>,
+    inject: Option<(String, usize)>,
+}
+
+impl Executor {
+    /// An executor with `threads` workers (0 = machine parallelism).
+    pub fn new(threads: usize) -> Executor {
+        Executor {
+            threads: resolve_threads(threads).max(1),
+            stages: Vec::new(),
+            inject: None,
+        }
+    }
+
+    /// The worker count stages will fan out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Testing aid: make task `task` of every subsequent stage named
+    /// `stage` panic before its closure runs. Lets integration tests
+    /// exercise the panic path of real stages without test-only
+    /// branches in pipeline code.
+    pub fn inject_panic(&mut self, stage: &str, task: usize) {
+        self.inject = Some((stage.to_string(), task));
+    }
+
+    fn injected_task(&self, stage: &str) -> Option<usize> {
+        match &self.inject {
+            Some((s, task)) if s == stage => Some(*task),
+            _ => None,
+        }
+    }
+
+    /// Drain the metrics collected so far into a [`RunMetrics`] node.
+    pub fn take_metrics(&mut self, label: &str) -> RunMetrics {
+        RunMetrics {
+            label: label.to_string(),
+            stages: std::mem::take(&mut self.stages),
+            children: Vec::new(),
+        }
+    }
+
+    /// Time a sequential section as a single-task stage.
+    pub fn time_stage<T>(&mut self, stage: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let value = f();
+        let mut metrics = StageMetrics::new(stage);
+        metrics.tasks = 1;
+        metrics.wall_seconds = t0.elapsed().as_secs_f64();
+        self.stages.push(metrics);
+        value
+    }
+
+    /// Run `num_tasks` indexed tasks across the workers and return the
+    /// results in task order. See the type-level docs for the
+    /// determinism and panic contracts.
+    pub fn run_stage<T, F>(
+        &mut self,
+        stage: &str,
+        num_tasks: usize,
+        task: F,
+    ) -> Result<Vec<T>, ExecError>
+    where
+        T: Send,
+        F: Fn(usize, &mut TaskCtx) -> T + Sync,
+    {
+        let t0 = Instant::now();
+        let inject = self.injected_task(stage);
+        let workers = self.threads.min(num_tasks.max(1));
+        let mut slots: Vec<Option<(T, TaskCtx)>> =
+            (0..num_tasks).map(|_| None).collect();
+
+        if workers <= 1 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(run_one(stage, i, inject, &task)?);
+            }
+        } else {
+            let outputs: Vec<WorkerOutput<(T, TaskCtx)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let task = &task;
+                            scope.spawn(move || {
+                                let mut out = WorkerOutput::default();
+                                let mut i = w;
+                                while i < num_tasks {
+                                    match run_one(stage, i, inject, task) {
+                                        Ok(v) => out.done.push((i, v)),
+                                        Err(e) => {
+                                            out.error = Some(e);
+                                            break;
+                                        }
+                                    }
+                                    i += workers;
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(join_worker).collect()
+                });
+            if let Some(e) = first_error(&outputs) {
+                return Err(e);
+            }
+            for out in outputs {
+                for (i, v) in out.done {
+                    slots[i] = Some(v);
+                }
+            }
+        }
+
+        let mut metrics = StageMetrics::new(stage);
+        let mut results = Vec::with_capacity(num_tasks);
+        for slot in slots {
+            let (value, ctx) =
+                slot.unwrap_or_else(|| unreachable!("every task owned by one worker"));
+            metrics.absorb(&ctx);
+            results.push(value);
+        }
+        metrics.wall_seconds = t0.elapsed().as_secs_f64();
+        self.stages.push(metrics);
+        Ok(results)
+    }
+
+    /// Stream items from `produce` (called on this thread, in order,
+    /// until it returns `None`) through a bounded channel into the
+    /// worker pool, and return the per-item results in production
+    /// order plus per-worker throughput metrics.
+    ///
+    /// Backpressure: at most `capacity` items are buffered; `produce`
+    /// blocks while the buffer is full. A panicking worker switches to
+    /// draining the channel, so the producer is never left blocked on a
+    /// dead stage (no deadlock on failure).
+    pub fn run_pipeline<S, T, P, F>(
+        &mut self,
+        stage: &str,
+        capacity: usize,
+        mut produce: P,
+        worker: F,
+    ) -> Result<(Vec<T>, Vec<WorkerMetrics>), ExecError>
+    where
+        S: Send,
+        T: Send,
+        P: FnMut() -> Option<S>,
+        F: Fn(usize, S, &mut TaskCtx) -> T + Sync,
+    {
+        let t0 = Instant::now();
+        let inject = self.injected_task(stage);
+        let workers = self.threads;
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, S)>(capacity.max(1));
+
+        let (num_produced, outputs) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let worker = &worker;
+                    scope.spawn(move || {
+                        let mut out = WorkerOutput::default();
+                        let mut stats = WorkerMetrics::default();
+                        for (i, item) in rx.iter() {
+                            if out.error.is_some() {
+                                continue; // drain: keep the producer unblocked
+                            }
+                            let t = Instant::now();
+                            let r = run_one(stage, i, inject, |i, ctx| {
+                                worker(i, item, ctx)
+                            });
+                            stats.seconds += t.elapsed().as_secs_f64();
+                            stats.tasks += 1;
+                            match r {
+                                Ok((v, ctx)) => {
+                                    stats.items += ctx.items;
+                                    out.done.push((i, (v, ctx)));
+                                }
+                                Err(e) => out.error = Some(e),
+                            }
+                        }
+                        (out, stats)
+                    })
+                })
+                .collect();
+            drop(rx);
+
+            let mut produced = 0usize;
+            while let Some(item) = produce() {
+                if tx.send((produced, item)).is_err() {
+                    break; // all workers gone (cannot happen: they drain)
+                }
+                produced += 1;
+            }
+            drop(tx);
+
+            let outputs: Vec<(WorkerOutput<(T, TaskCtx)>, WorkerMetrics)> =
+                handles.into_iter().map(join_pipeline_worker).collect();
+            (produced, outputs)
+        });
+
+        let worker_metrics: Vec<WorkerMetrics> =
+            outputs.iter().map(|(_, s)| *s).collect();
+        let worker_outputs: Vec<&WorkerOutput<_>> =
+            outputs.iter().map(|(o, _)| o).collect();
+        if let Some(e) = worker_outputs
+            .iter()
+            .filter_map(|o| o.error.clone())
+            .min_by_key(|e| e.task)
+        {
+            return Err(e);
+        }
+
+        let mut slots: Vec<Option<(T, TaskCtx)>> =
+            (0..num_produced).map(|_| None).collect();
+        for (out, _) in outputs {
+            for (i, v) in out.done {
+                slots[i] = Some(v);
+            }
+        }
+        let mut metrics = StageMetrics::new(stage);
+        let mut results = Vec::with_capacity(num_produced);
+        for slot in slots {
+            let (value, ctx) = slot
+                .unwrap_or_else(|| unreachable!("every produced item is processed"));
+            metrics.absorb(&ctx);
+            results.push(value);
+        }
+        metrics.wall_seconds = t0.elapsed().as_secs_f64();
+        self.stages.push(metrics);
+        Ok((results, worker_metrics))
+    }
+}
+
+/// One worker's accumulated results plus its first error, if any.
+struct WorkerOutput<V> {
+    done: Vec<(usize, V)>,
+    error: Option<ExecError>,
+}
+
+impl<V> Default for WorkerOutput<V> {
+    fn default() -> WorkerOutput<V> {
+        WorkerOutput {
+            done: Vec::new(),
+            error: None,
+        }
+    }
+}
+
+/// Run one task under `catch_unwind`, honouring fault injection.
+fn run_one<T>(
+    stage: &str,
+    task_idx: usize,
+    inject: Option<usize>,
+    task: impl FnOnce(usize, &mut TaskCtx) -> T,
+) -> Result<(T, TaskCtx), ExecError> {
+    let mut ctx = TaskCtx::default();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if inject == Some(task_idx) {
+            panic!("injected panic (Executor::inject_panic)");
+        }
+        task(task_idx, &mut ctx)
+    }));
+    match result {
+        Ok(value) => Ok((value, ctx)),
+        Err(payload) => Err(ExecError::from_payload(stage, task_idx, payload)),
+    }
+}
+
+/// The deterministic error of a failed stage: the lowest failing task
+/// index wins, independent of which worker hit it first.
+fn first_error<V>(outputs: &[WorkerOutput<V>]) -> Option<ExecError> {
+    outputs
+        .iter()
+        .filter_map(|o| o.error.clone())
+        .min_by_key(|e| e.task)
+}
+
+/// Join a fan-out worker. Tasks run under `catch_unwind`, so the
+/// thread itself can only die if a panic payload's own drop panics;
+/// surface even that as a structured error instead of propagating.
+fn join_worker<V>(
+    handle: std::thread::ScopedJoinHandle<'_, WorkerOutput<V>>,
+) -> WorkerOutput<V> {
+    handle.join().unwrap_or_else(|payload| WorkerOutput {
+        done: Vec::new(),
+        error: Some(ExecError::from_payload("worker", usize::MAX, payload)),
+    })
+}
+
+/// Join a pipeline worker (same contract as [`join_worker`]).
+fn join_pipeline_worker<V>(
+    handle: std::thread::ScopedJoinHandle<'_, (WorkerOutput<V>, WorkerMetrics)>,
+) -> (WorkerOutput<V>, WorkerMetrics) {
+    handle.join().unwrap_or_else(|payload| {
+        (
+            WorkerOutput {
+                done: Vec::new(),
+                error: Some(ExecError::from_payload("worker", usize::MAX, payload)),
+            },
+            WorkerMetrics::default(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quiet the default panic hook for a closure so deliberate panics
+    /// don't spam test output.
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn stage_results_come_back_in_task_order() {
+        for threads in [1, 2, 7] {
+            let mut exec = Executor::new(threads);
+            let out = exec
+                .run_stage("square", 23, |i, ctx| {
+                    ctx.add_items(1);
+                    i * i
+                })
+                .unwrap();
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+            let m = exec.take_metrics("t");
+            assert_eq!(m.stages[0].tasks, 23);
+            assert_eq!(m.stages[0].items, 23);
+        }
+    }
+
+    #[test]
+    fn stage_counters_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut exec = Executor::new(threads);
+            exec.run_stage("work", 17, |i, ctx| {
+                ctx.add_items(i as u64);
+                ctx.count("odd", (i % 2) as u64);
+            })
+            .unwrap();
+            exec.take_metrics("run").counter_summary()
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn stage_panic_is_captured_not_propagated() {
+        with_quiet_panics(|| {
+            for threads in [1, 4] {
+                let mut exec = Executor::new(threads);
+                let err = exec
+                    .run_stage("explode", 9, |i, _| {
+                        if i == 5 {
+                            panic!("task {i} blew up");
+                        }
+                        i
+                    })
+                    .unwrap_err();
+                assert_eq!(err.stage, "explode");
+                assert_eq!(err.task, 5);
+                assert_eq!(err.payload, "task 5 blew up");
+            }
+        });
+    }
+
+    #[test]
+    fn lowest_failing_task_wins_deterministically() {
+        with_quiet_panics(|| {
+            for _ in 0..20 {
+                let mut exec = Executor::new(8);
+                let err = exec
+                    .run_stage("multi", 16, |i, _| {
+                        if i % 3 == 1 {
+                            panic!("boom {i}");
+                        }
+                    })
+                    .unwrap_err();
+                assert_eq!(err.task, 1, "error choice must not depend on scheduling");
+            }
+        });
+    }
+
+    #[test]
+    fn injected_panic_fires_only_for_named_stage_and_task() {
+        with_quiet_panics(|| {
+            let mut exec = Executor::new(2);
+            exec.inject_panic("second", 3);
+            exec.run_stage("first", 8, |_, _| ()).unwrap();
+            let err = exec.run_stage("second", 8, |_, _| ()).unwrap_err();
+            assert_eq!((err.stage.as_str(), err.task), ("second", 3));
+        });
+    }
+
+    #[test]
+    fn pipeline_preserves_production_order() {
+        for threads in [1, 3, 8] {
+            let mut exec = Executor::new(threads);
+            let mut next = 0u32;
+            let (out, workers) = exec
+                .run_pipeline(
+                    "pipe",
+                    2,
+                    || {
+                        if next < 50 {
+                            next += 1;
+                            Some(next - 1)
+                        } else {
+                            None
+                        }
+                    },
+                    |_, item, ctx| {
+                        ctx.add_items(1);
+                        item * 10
+                    },
+                )
+                .unwrap();
+            assert_eq!(out, (0..50).map(|i| i * 10).collect::<Vec<_>>());
+            assert_eq!(workers.len(), exec.threads());
+            assert_eq!(workers.iter().map(|w| w.tasks).sum::<u64>(), 50);
+        }
+    }
+
+    #[test]
+    fn pipeline_panic_drains_without_deadlock() {
+        with_quiet_panics(|| {
+            // Tiny buffer + many items: if the panicking worker stopped
+            // receiving, the producer would block forever.
+            let mut exec = Executor::new(2);
+            let mut next = 0u32;
+            let err = exec
+                .run_pipeline(
+                    "pipe",
+                    1,
+                    || {
+                        if next < 200 {
+                            next += 1;
+                            Some(next - 1)
+                        } else {
+                            None
+                        }
+                    },
+                    |i, _, _| {
+                        if i == 3 {
+                            panic!("item 3 poisoned");
+                        }
+                    },
+                )
+                .unwrap_err();
+            assert_eq!((err.stage.as_str(), err.task), ("pipe", 3));
+            assert_eq!(err.payload, "item 3 poisoned");
+        });
+    }
+
+    #[test]
+    fn time_stage_records_single_task() {
+        let mut exec = Executor::new(1);
+        let v = exec.time_stage("calibrate", || 7);
+        assert_eq!(v, 7);
+        let m = exec.take_metrics("run");
+        assert_eq!(m.stages[0].stage, "calibrate");
+        assert_eq!(m.stages[0].tasks, 1);
+    }
+}

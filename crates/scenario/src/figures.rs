@@ -8,6 +8,7 @@
 
 use crate::dataset::{MetricGroup, StudyDataset};
 use cellscope_core::{delta_pct, linear_fit, pearson, KpiField, LinearFit};
+use cellscope_exec::{ExecError, Executor};
 use cellscope_geo::{County, LondonDistrict, OacCluster};
 use cellscope_time::{Date, IsoWeek};
 use serde::Serialize;
@@ -807,13 +808,25 @@ enum Built {
 /// Build every figure, fanning the per-figure builders across up to
 /// `threads` workers (`0` = all available cores).
 ///
-/// Determinism contract (same as the scenario's phase A): the work is
-/// split into fixed tasks — one per figure — that do not depend on the
-/// thread count, task `i` is owned by worker `i % workers`, and results
-/// are merged into fixed slots. Each builder reads the shared dataset
-/// immutably, so the output is bit-identical for any `threads` value,
-/// including the sequential `threads == 1` path.
-pub fn build_all(ds: &StudyDataset, threads: usize) -> FigureSet {
+/// Determinism contract (inherited from [`cellscope_exec`]): the work
+/// is split into fixed tasks — one per figure — that do not depend on
+/// the thread count, task `i` is owned by worker `i % workers`, and
+/// results come back in task order. Each builder reads the shared
+/// dataset immutably, so the output is bit-identical for any `threads`
+/// value, including the sequential `threads == 1` path. A panicking
+/// builder surfaces as an [`ExecError`] naming the `figures` stage and
+/// the builder's slot index.
+pub fn build_all(ds: &StudyDataset, threads: usize) -> Result<FigureSet, ExecError> {
+    let mut exec = Executor::new(threads);
+    build_all_with(ds, &mut exec)
+}
+
+/// [`build_all`] over a caller-supplied [`Executor`] (records a
+/// `figures` stage in the executor's metrics).
+pub fn build_all_with(
+    ds: &StudyDataset,
+    exec: &mut Executor,
+) -> Result<FigureSet, ExecError> {
     type Builder = fn(&StudyDataset) -> Built;
     const BUILDERS: [Builder; 14] = [
         |ds| Built::Table1(table1(ds)),
@@ -835,37 +848,13 @@ pub fn build_all(ds: &StudyDataset, threads: usize) -> FigureSet {
     // share one ready index instead of racing on the lazy build.
     ds.kpi.columns();
 
-    let workers = crate::run::resolve_threads(threads).clamp(1, BUILDERS.len());
-    let mut slots: Vec<Option<Built>> = (0..BUILDERS.len()).map(|_| None).collect();
-    if workers == 1 {
-        for (slot, build) in slots.iter_mut().zip(BUILDERS) {
-            *slot = Some(build(ds));
-        }
-    } else {
-        let built = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    scope.spawn(move |_| -> Vec<(usize, Built)> {
-                        (w..BUILDERS.len())
-                            .step_by(workers)
-                            .map(|i| (i, BUILDERS[i](ds)))
-                            .collect()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("figure builder panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("figure build scope");
-        for (i, fig) in built {
-            slots[i] = Some(fig);
-        }
-    }
+    let built = exec.run_stage("figures", BUILDERS.len(), |i, ctx| {
+        ctx.add_items(1); // one figure slot
+        BUILDERS[i](ds)
+    })?;
 
-    let mut slots = slots.into_iter().map(|s| s.expect("all slots built"));
-    let mut next = move || slots.next().expect("slot count matches builders");
+    let mut slots = built.into_iter();
+    let mut next = move || slots.next().unwrap_or_else(|| unreachable!("slot count matches builders"));
     macro_rules! take {
         ($variant:ident) => {
             match next() {
@@ -874,7 +863,7 @@ pub fn build_all(ds: &StudyDataset, threads: usize) -> FigureSet {
             }
         };
     }
-    FigureSet {
+    Ok(FigureSet {
         table1: take!(Table1),
         fig2: take!(F2),
         fig3: take!(F3),
@@ -889,7 +878,7 @@ pub fn build_all(ds: &StudyDataset, threads: usize) -> FigureSet {
         fig12: take!(F12),
         bin_profile: take!(Bins),
         headline: take!(Head),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -900,7 +889,7 @@ mod tests {
 
     fn ds() -> &'static StudyDataset {
         static DS: OnceLock<StudyDataset> = OnceLock::new();
-        DS.get_or_init(|| run_study(&ScenarioConfig::tiny(5)))
+        DS.get_or_init(|| run_study(&ScenarioConfig::tiny(5)).expect("study"))
     }
 
     #[test]
@@ -1059,9 +1048,10 @@ mod tests {
         // preserves every f64 bit pattern we emit, so value equality
         // here is bitwise equality of the figures.
         let d = ds();
-        let sequential = serde_json::to_value(build_all(d, 1)).unwrap();
+        let sequential = serde_json::to_value(build_all(d, 1).expect("figures")).unwrap();
         for threads in [2, 8] {
-            let parallel = serde_json::to_value(build_all(d, threads)).unwrap();
+            let parallel =
+                serde_json::to_value(build_all(d, threads).expect("figures")).unwrap();
             assert_eq!(sequential, parallel, "threads = {threads}");
         }
     }

@@ -32,5 +32,5 @@ pub use replay::{
     dataset_divergence, export_feeds, replay_study, FeedManifest, ReplayConfig,
     ReplayError, ReplayReport,
 };
-pub use run::run_study;
+pub use run::{run_study, run_study_in, run_study_with};
 pub use world::World;

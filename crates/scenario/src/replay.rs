@@ -13,17 +13,19 @@
 //!
 //! # Pipeline
 //!
-//! Replay is a bounded-channel, multi-worker pipeline:
+//! Replay runs on [`cellscope_exec`]'s bounded-channel pipeline
+//! ([`Executor::run_pipeline`]):
 //!
-//! * a **reader stage** streams the per-day feed files in day order and
-//!   sends one task per day into a bounded channel — when workers fall
-//!   behind, `send` blocks, so the reader can never balloon memory;
+//! * a **reader stage** (the pipeline's producer, on the calling
+//!   thread) streams the per-day feed files in day order into a bounded
+//!   channel — when workers fall behind, production blocks, so the
+//!   reader can never balloon memory;
 //! * **worker threads** parse each day's feeds (via the streaming
 //!   [`EventReader`], honouring a [`MalformedPolicy`]) and fold them
 //!   into per-day partials using the same ingestion helpers as the
 //!   in-memory phase A;
-//! * the main thread merges the partials **in day order** and reuses
-//!   the runner's assembly step.
+//! * the execution layer hands the partials back **in day order** and
+//!   the runner's assembly step is reused.
 //!
 //! Determinism follows from day ownership (see [`crate::run`]): each
 //! accumulator bucket is produced by exactly one day's worker, so the
@@ -38,7 +40,10 @@
 //! with its file and 1-based line number; under
 //! [`MalformedPolicy::SkipAndCount`] bad lines are dropped and counted
 //! while the analysis degrades gracefully, the way the paper's own
-//! probes drop records.
+//! probes drop records. A worker panic does not abort or hang the
+//! pipeline: the execution layer captures it (draining the channel so
+//! the reader is never left blocked) and [`replay_study`] returns
+//! [`ReplayError::Exec`] naming the stage and day task.
 
 use crate::config::ScenarioConfig;
 use crate::dataset::StudyDataset;
@@ -46,6 +51,7 @@ use crate::run::{self, IngestScratch, PhaseABlock, SiteDwell, StudyRoster};
 use crate::world::World;
 use cellscope_core::kpi_stats::{CellDayMetrics, HourlyKpiSample};
 use cellscope_core::KpiTable;
+use cellscope_exec::{ExecError, Executor};
 use cellscope_mobility::TrajectoryGenerator;
 use cellscope_radio::{Scheduler, SchedulerConfig};
 use cellscope_signaling::{
@@ -59,7 +65,6 @@ use std::fmt;
 use std::fs;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::time::Instant;
 
 /// Feed-set metadata, written next to the feeds as `manifest.json`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -112,6 +117,14 @@ pub fn kpi_file_name(day: u16) -> String {
 pub const VOICE_FILE: &str = "voice_daily.jsonl";
 /// The feed-set manifest.
 pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Serialize one feed record to its JSONL line, mapping a (pathological
+/// but possible) serializer failure into `io::Error` so the export
+/// write path returns instead of panicking mid-export.
+fn to_json_line<T: Serialize>(record: &T) -> io::Result<String> {
+    serde_json::to_string(record)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
 
 /// Export a configuration's feeds: per-day signaling events (every
 /// subscriber — probe-faithful; the study filter is the *consumer's*
@@ -187,12 +200,12 @@ pub fn export_feeds_in(
                         hour: hour as u8,
                         sample: *sample,
                     };
-                    let line =
-                        serde_json::to_string(&rec).expect("serialize KPI record");
-                    if let Err(e) = kpi_out
-                        .write_all(line.as_bytes())
-                        .and_then(|()| kpi_out.write_all(b"\n"))
-                    {
+                    let write = to_json_line(&rec).and_then(|line| {
+                        kpi_out
+                            .write_all(line.as_bytes())
+                            .and_then(|()| kpi_out.write_all(b"\n"))
+                    });
+                    if let Err(e) = write {
                         write_err = Some(e);
                         return;
                     }
@@ -205,7 +218,7 @@ pub fn export_feeds_in(
         kpi_out.flush()?;
 
         let vrec = VoiceDayRecord { day, off_net_voice_mb: voice };
-        let line = serde_json::to_string(&vrec).expect("serialize voice record");
+        let line = to_json_line(&vrec)?;
         voice_out.write_all(line.as_bytes())?;
         voice_out.write_all(b"\n")?;
     }
@@ -218,10 +231,9 @@ pub fn export_feeds_in(
         num_subscribers: world.population.len() as u64,
         traffic_scale: scale,
     };
-    fs::write(
-        dir.join(MANIFEST_FILE),
-        serde_json::to_string_pretty(&manifest).expect("serialize manifest"),
-    )?;
+    let manifest_json = serde_json::to_string_pretty(&manifest)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::write(dir.join(MANIFEST_FILE), manifest_json)?;
     Ok(manifest)
 }
 
@@ -368,6 +380,9 @@ pub enum ReplayError {
     /// Manifest missing/invalid, or feeds incompatible with the
     /// configuration being replayed into.
     Manifest(String),
+    /// A panic in a replay worker, captured by the execution layer;
+    /// carries the stage and day-task index.
+    Exec(ExecError),
 }
 
 impl fmt::Display for ReplayError {
@@ -376,6 +391,7 @@ impl fmt::Display for ReplayError {
             ReplayError::Io(e) => write!(f, "replay I/O error: {e}"),
             ReplayError::Feed { file, source } => write!(f, "{file}: {source}"),
             ReplayError::Manifest(msg) => write!(f, "feed manifest: {msg}"),
+            ReplayError::Exec(e) => write!(f, "replay worker: {e}"),
         }
     }
 }
@@ -385,6 +401,12 @@ impl std::error::Error for ReplayError {}
 impl From<io::Error> for ReplayError {
     fn from(e: io::Error) -> ReplayError {
         ReplayError::Io(e)
+    }
+}
+
+impl From<ExecError> for ReplayError {
+    fn from(e: ExecError) -> ReplayError {
+        ReplayError::Exec(e)
     }
 }
 
@@ -445,6 +467,19 @@ pub fn replay_study_in(
     dir: &Path,
     rcfg: &ReplayConfig,
 ) -> Result<(StudyDataset, ReplayReport), ReplayError> {
+    let mut exec = Executor::new(rcfg.threads);
+    replay_study_with(config, world, dir, rcfg, &mut exec)
+}
+
+/// [`replay_study_in`] on a caller-supplied [`Executor`], so the
+/// replay's stage metrics land in the caller's [`RunMetrics`] tree.
+pub fn replay_study_with(
+    config: &ScenarioConfig,
+    world: &World,
+    dir: &Path,
+    rcfg: &ReplayConfig,
+    exec: &mut Executor,
+) -> Result<(StudyDataset, ReplayReport), ReplayError> {
     if !config.use_event_reconstruction {
         return Err(ReplayError::Manifest(
             "replay requires use_event_reconstruction".to_string(),
@@ -475,9 +510,8 @@ pub fn replay_study_in(
         )));
     }
 
-    let threads = run::resolve_threads(rcfg.threads).max(1);
     let capacity = if rcfg.channel_capacity == 0 {
-        threads * 2
+        exec.threads() * 2
     } else {
         rcfg.channel_capacity
     };
@@ -497,111 +531,86 @@ pub fn replay_study_in(
     let mut report = ReplayReport::default();
     let mut read_err: Option<ReplayError> = None;
 
-    let (tx, rx) = crossbeam::channel::bounded::<DayTask>(capacity);
-    let worker_results: Vec<(Vec<(u16, Result<DayOutput, ReplayError>)>, WorkerStats)> =
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..threads {
-                let rx = rx.clone();
-                let roster = &roster;
-                let anon_index = &anon_index;
-                let feb_set = &feb_set;
-                let policy = rcfg.policy;
-                handles.push(scope.spawn(move |_| {
-                    let mut results = Vec::new();
-                    let mut wstats = WorkerStats::default();
-                    let mut failed = false;
-                    let mut scratch = IngestScratch::default();
-                    for task in rx.iter() {
-                        if failed {
-                            continue; // drain: keep the reader unblocked
-                        }
-                        let day = task.day;
-                        let t0 = Instant::now();
-                        let r = replay_day(
-                            world, roster, anon_index, feb_set, policy, bounds,
-                            task, &mut scratch,
-                        );
-                        wstats.seconds += t0.elapsed().as_secs_f64();
-                        wstats.days_processed += 1;
-                        match &r {
-                            Ok(out) => wstats.events_ingested += out.stats.ingested,
-                            Err(_) => failed = true,
-                        }
-                        results.push((day, r));
-                    }
-                    wstats.events_per_sec = if wstats.seconds > 0.0 {
-                        wstats.events_ingested as f64 / wstats.seconds
-                    } else {
-                        0.0
-                    };
-                    (results, wstats)
-                }));
+    // Reader stage: the pipeline's producer streams the per-day feed
+    // files through the bounded channel in day order, so the pipeline's
+    // task index *is* the day and its result order is day order.
+    let mut days = world.clock.days();
+    let policy = rcfg.policy;
+    let roster_ref = &roster;
+    let anon_ref = &anon_index;
+    let feb_ref = &feb_set;
+    let (outputs, worker_metrics) = exec.run_pipeline(
+        "replay_days",
+        capacity,
+        || {
+            if read_err.is_some() {
+                return None;
             }
-            drop(rx);
-
-            // Reader stage: stream the per-day feed files, in day
-            // order, through the bounded channel.
-            for day in world.clock.days() {
-                let events_name = events_file_name(day);
-                let kpi_name = kpi_file_name(day);
-                let events_text = match fs::read_to_string(dir.join(&events_name)) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        read_err = Some(ReplayError::Io(e));
-                        break;
-                    }
-                };
-                let kpi_text = match fs::read_to_string(dir.join(&kpi_name)) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        read_err = Some(ReplayError::Io(e));
-                        break;
-                    }
-                };
-                report.files_read += 2;
-                report.bytes_read += (events_text.len() + kpi_text.len()) as u64;
-                let task = DayTask { day, events_name, events_text, kpi_name, kpi_text };
-                if tx.send(task).is_err() {
-                    break; // every worker died; their errors surface below
+            let day = days.next()?;
+            let events_name = events_file_name(day);
+            let kpi_name = kpi_file_name(day);
+            let events_text = match fs::read_to_string(dir.join(&events_name)) {
+                Ok(t) => t,
+                Err(e) => {
+                    read_err = Some(ReplayError::Io(e));
+                    return None;
                 }
+            };
+            let kpi_text = match fs::read_to_string(dir.join(&kpi_name)) {
+                Ok(t) => t,
+                Err(e) => {
+                    read_err = Some(ReplayError::Io(e));
+                    return None;
+                }
+            };
+            report.files_read += 2;
+            report.bytes_read += (events_text.len() + kpi_text.len()) as u64;
+            Some(DayTask { day, events_name, events_text, kpi_name, kpi_text })
+        },
+        |_, task, ctx| {
+            let mut scratch = IngestScratch::default();
+            let r = replay_day(
+                world, roster_ref, anon_ref, feb_ref, policy, bounds, task,
+                &mut scratch,
+            );
+            if let Ok(out) = &r {
+                ctx.add_items(out.stats.ingested);
             }
-            drop(tx);
-
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("replay worker panicked"))
-                .collect()
-        })
-        .expect("replay scope");
+            r
+        },
+    )?;
 
     if let Some(e) = read_err {
         return Err(e);
     }
 
-    let mut day_slots: Vec<Option<Result<DayOutput, ReplayError>>> =
-        (0..num_days).map(|_| None).collect();
-    for (results, wstats) in worker_results {
-        report.workers.push(wstats);
-        for (day, r) in results {
-            day_slots[day as usize] = Some(r);
-        }
+    report.workers = worker_metrics
+        .iter()
+        .map(|w| WorkerStats {
+            days_processed: w.tasks,
+            events_ingested: w.items,
+            seconds: w.seconds,
+            events_per_sec: if w.seconds > 0.0 {
+                w.items as f64 / w.seconds
+            } else {
+                0.0
+            },
+        })
+        .collect();
+
+    if outputs.len() != num_days {
+        return Err(ReplayError::Manifest(format!(
+            "replayed {} of {num_days} days",
+            outputs.len()
+        )));
     }
 
     // Merge in day order; the earliest day's failure wins, so the
     // reported error does not depend on worker scheduling.
     let mut blocks = Vec::with_capacity(num_days);
     let mut kpi = KpiTable::new();
-    for (day, slot) in day_slots.into_iter().enumerate() {
-        let out = match slot {
-            Some(Ok(out)) => out,
-            Some(Err(e)) => return Err(e),
-            None => {
-                return Err(ReplayError::Manifest(format!(
-                    "day {day} was never replayed"
-                )))
-            }
-        };
+    for out in outputs {
+        let out = out?;
         add_stats(&mut report.events, out.stats.events);
         add_stats(&mut report.kpi, out.stats.kpi);
         report.events_out_of_order += out.stats.out_of_order;

@@ -19,14 +19,19 @@
 //! # Determinism by day ownership
 //!
 //! Both phases partition work into **fixed day blocks** whose size does
-//! not depend on the thread count, assigned to workers round-robin and
-//! merged back in block order. Every per-(group, day) accumulator
-//! bucket is therefore filled entirely by the one worker that owns the
-//! day, with users ingested in subscriber order; merging partials only
-//! ever adds zero contributions from non-owning blocks. The result:
-//! studies are **bit-identical across thread counts**, and identical to
-//! a [`crate::replay`] run that streams the same days back from
-//! serialized feeds.
+//! not depend on the thread count and run them on the
+//! [`cellscope_exec`] execution layer, which assigns tasks to workers
+//! round-robin and merges results back in task order. Every per-(group,
+//! day) accumulator bucket is therefore filled entirely by the one
+//! worker that owns the day, with users ingested in subscriber order;
+//! merging partials only ever adds zero contributions from non-owning
+//! blocks. The result: studies are **bit-identical across thread
+//! counts**, and identical to a [`crate::replay`] run that streams the
+//! same days back from serialized feeds.
+//!
+//! A panicking worker no longer aborts the process: the execution layer
+//! captures it and [`run_study`] returns a structured
+//! [`ExecError`](cellscope_exec::ExecError) naming the stage and task.
 
 use crate::config::ScenarioConfig;
 use crate::dataset::{HomeValidationPoint, MetricGroup, StudyDataset, UserInfo};
@@ -34,6 +39,7 @@ use crate::world::World;
 use cellscope_core::kpi_stats::{CellDayMetrics, HourlyKpiSample};
 use cellscope_core::study::{MobilityStudy, StudyConfig, UserDayDwell};
 use cellscope_core::{top_n_towers, DailyGroupMean, KpiTable, MobilityMatrix, TowerDwell};
+use cellscope_exec::{ExecError, Executor, TaskCtx};
 use cellscope_geo::County;
 use cellscope_mobility::TrajectoryGenerator;
 use cellscope_radio::{
@@ -49,31 +55,45 @@ use cellscope_traffic::{DayLoadGrid, DemandModel, LoadGenerator, ThrottlePolicy,
 /// replay-equivalence guarantees rest on.
 pub(crate) const PHASE_A_BLOCK_DAYS: usize = 4;
 
+/// Days per phase-B work block; fixed for the same reason as
+/// [`PHASE_A_BLOCK_DAYS`].
+pub(crate) const PHASE_B_BLOCK_DAYS: usize = 4;
+
 /// Run the full study for a configuration.
-pub fn run_study(config: &ScenarioConfig) -> StudyDataset {
+///
+/// A worker panic inside either parallel phase is captured by the
+/// execution layer and returned as an [`ExecError`] naming the stage
+/// and task; the process neither aborts nor hangs.
+pub fn run_study(config: &ScenarioConfig) -> Result<StudyDataset, ExecError> {
     let world = World::build(config);
     run_study_in(config, &world)
 }
 
-/// Resolve a thread-count knob (0 = machine parallelism).
-pub(crate) fn resolve_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        threads
-    }
-}
-
 /// Run the study over a pre-built world (lets callers keep the world
 /// for further interrogation).
-pub fn run_study_in(config: &ScenarioConfig, world: &World) -> StudyDataset {
-    let threads = resolve_threads(config.threads);
-    let phase_a = run_phase_a(config, world, threads);
-    let scale = calibrate_traffic_scale(config, world);
-    let (kpi, voice_daily) = run_phase_b(config, world, threads, scale);
-    assemble(config, world, phase_a, kpi, voice_daily)
+pub fn run_study_in(
+    config: &ScenarioConfig,
+    world: &World,
+) -> Result<StudyDataset, ExecError> {
+    let mut exec = Executor::new(config.threads);
+    run_study_with(config, world, &mut exec)
+}
+
+/// [`run_study_in`] over a caller-supplied [`Executor`] — the executor
+/// collects per-stage [`RunMetrics`](cellscope_exec::RunMetrics)
+/// (`phase_a`, `calibrate`, `phase_b`, `assemble`) the caller can drain
+/// with [`Executor::take_metrics`] after the run.
+pub fn run_study_with(
+    config: &ScenarioConfig,
+    world: &World,
+    exec: &mut Executor,
+) -> Result<StudyDataset, ExecError> {
+    let phase_a = run_phase_a(config, world, exec)?;
+    let scale = exec.time_stage("calibrate", || calibrate_traffic_scale(config, world));
+    let (kpi, voice_daily) = run_phase_b(config, world, exec, scale)?;
+    Ok(exec.time_stage("assemble", || {
+        assemble(config, world, phase_a, kpi, voice_daily)
+    }))
 }
 
 /// Phase A output, merged over all day blocks.
@@ -262,41 +282,23 @@ pub(crate) fn ingest_user_day(
     out.county_masks[local_day * num_subs + sub_idx] = mask;
 }
 
-fn run_phase_a(config: &ScenarioConfig, world: &World, threads: usize) -> PhaseA {
+fn run_phase_a(
+    config: &ScenarioConfig,
+    world: &World,
+    exec: &mut Executor,
+) -> Result<PhaseA, ExecError> {
     let roster = build_roster(config, world);
     let days: Vec<u16> = world.clock.days().collect();
     let blocks: Vec<&[u16]> = days.chunks(PHASE_A_BLOCK_DAYS).collect();
-    let threads = threads.max(1);
 
-    let mut partials: Vec<Option<PhaseABlock>> = (0..blocks.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..threads.min(blocks.len()) {
-            let blocks = &blocks;
-            let roster = &roster;
-            handles.push(scope.spawn(move |_| {
-                let mut out = Vec::new();
-                let mut i = w;
-                while i < blocks.len() {
-                    out.push((i, phase_a_block(config, world, roster, blocks[i])));
-                    i += threads;
-                }
-                out
-            }));
-        }
-        for h in handles {
-            for (i, p) in h.join().expect("phase A worker panicked") {
-                partials[i] = Some(p);
-            }
-        }
-    })
-    .expect("phase A scope");
-
-    merge_phase_a(
+    let partials = exec.run_stage("phase_a", blocks.len(), |i, ctx| {
+        phase_a_block(config, world, &roster, blocks[i], ctx)
+    })?;
+    Ok(merge_phase_a(
         world.num_days(),
         world.population.len(),
-        partials.into_iter().map(|p| p.expect("phase A block missing")),
-    )
+        partials,
+    ))
 }
 
 /// Merge phase-A block partials, **in block order**, into the global
@@ -339,6 +341,7 @@ fn phase_a_block(
     world: &World,
     roster: &StudyRoster,
     block: &[u16],
+    ctx: &mut TaskCtx,
 ) -> PhaseABlock {
     let trajgen =
         TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
@@ -354,6 +357,7 @@ fn phase_a_block(
 
     let mut out = PhaseABlock::new(world.num_days(), block.to_vec(), num_subs);
     let mut scratch = IngestScratch::default();
+    ctx.count("days", block.len() as u64);
 
     // Day-major, subscriber order within each day — the exact order a
     // replay of the per-day feeds ingests in.
@@ -394,6 +398,7 @@ fn phase_a_block(
                 world, &mut out, &mut scratch, sub_idx, num_subs, local_day, day,
                 feb_night, anon, &groups,
             );
+            ctx.add_items(1); // one user-day folded in
         }
     }
     out
@@ -500,24 +505,19 @@ pub fn load_generator(config: &ScenarioConfig, scale: f64) -> LoadGenerator {
 fn run_phase_b(
     config: &ScenarioConfig,
     world: &World,
-    threads: usize,
+    exec: &mut Executor,
     scale: f64,
-) -> (KpiTable, Vec<f64>) {
+) -> Result<(KpiTable, Vec<f64>), ExecError> {
     let num_days = world.num_days();
     let days: Vec<u16> = world.clock.days().collect();
-    let chunk_size = days.len().div_ceil(threads.max(1));
+    let blocks: Vec<&[u16]> = days.chunks(PHASE_B_BLOCK_DAYS).collect();
 
-    let partials: Vec<(KpiTable, Vec<(u16, f64)>)> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in days.chunks(chunk_size.max(1)) {
-            handles.push(scope.spawn(move |_| phase_b_chunk(config, world, chunk, scale)));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("phase B worker panicked"))
-            .collect()
-    })
-    .expect("phase B scope");
+    // Fixed day blocks merged in block order: blocks are consecutive
+    // day ranges, so the merged KPI record order is day-major exactly
+    // as a sequential pass would produce it, for any thread count.
+    let partials = exec.run_stage("phase_b", blocks.len(), |i, ctx| {
+        phase_b_chunk(config, world, blocks[i], scale, ctx)
+    })?;
 
     let mut kpi = KpiTable::new();
     let mut voice_daily = vec![0.0; num_days];
@@ -527,7 +527,7 @@ fn run_phase_b(
             voice_daily[day as usize] = v;
         }
     }
-    (kpi, voice_daily)
+    Ok((kpi, voice_daily))
 }
 
 fn phase_b_chunk(
@@ -535,6 +535,7 @@ fn phase_b_chunk(
     world: &World,
     days: &[u16],
     scale: f64,
+    ctx: &mut TaskCtx,
 ) -> (KpiTable, Vec<(u16, f64)>) {
     let trajgen =
         TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
@@ -562,6 +563,8 @@ fn phase_b_chunk(
         );
         voices.push((day, voice));
     }
+    ctx.count("days", days.len() as u64);
+    ctx.add_items(kpi.len() as u64); // cell-days produced
     (kpi, voices)
 }
 

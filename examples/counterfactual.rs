@@ -22,9 +22,9 @@ fn main() {
     counter_cfg.timeline = Timeline::no_intervention();
 
     println!("simulating the factual (lockdown) arm…");
-    let factual = run_study(&factual_cfg);
+    let factual = run_study(&factual_cfg).expect("study");
     println!("simulating the counterfactual (no intervention) arm…\n");
-    let counterfactual = run_study(&counter_cfg);
+    let counterfactual = run_study(&counter_cfg).expect("study");
 
     let summarize = |ds: &cellscope::scenario::StudyDataset| -> (f64, f64, f64, f64) {
         let f3 = figures::fig3(ds);

@@ -27,7 +27,7 @@ fn sparkline(series: &[Option<f64>]) -> String {
 }
 
 fn main() {
-    let dataset = run_study(&ScenarioConfig::small(2020));
+    let dataset = run_study(&ScenarioConfig::small(2020)).expect("study");
     let clock = dataset.clock;
 
     let f3 = figures::fig3(&dataset);

@@ -28,7 +28,7 @@ fn print_panel(panel: &KpiPanel) {
 }
 
 fn main() {
-    let dataset = run_study(&ScenarioConfig::small(2020));
+    let dataset = run_study(&ScenarioConfig::small(2020)).expect("study");
 
     println!("== Fig 8: all-traffic KPIs, weekly Δ% vs own week-9 median ==");
     for panel in figures::fig8(&dataset) {

@@ -20,7 +20,7 @@ fn main() {
         "simulating {} subscribers over {} days…",
         config.population.num_subscribers, 100
     );
-    let dataset = run_study(&config);
+    let dataset = run_study(&config).expect("study");
 
     println!(
         "study population: {} subscribers ({} with detected homes)\n",

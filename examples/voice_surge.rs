@@ -64,14 +64,14 @@ fn main() {
     // a link dimensioned with normal growth headroom, and provisioning
     // more capacity takes nearly three weeks.
     let config = ScenarioConfig::small(2020);
-    let dataset = run_study(&config);
+    let dataset = run_study(&config).expect("study");
     println!("== as measured (ops response ≈ 3 weeks) ==\n");
     print_voice(&dataset, "voice KPIs, weekly Δ% vs week 9");
 
     // What-if: a one-week provisioning turnaround.
     let mut fast = ScenarioConfig::small(2020);
     fast.interconnect.response_delay_days = 7;
-    let fast_ds = run_study(&fast);
+    let fast_ds = run_study(&fast).expect("study");
     println!("== what-if: ops responds within a week ==\n");
     print_voice(&fast_ds, "voice KPIs, weekly Δ% vs week 9");
 

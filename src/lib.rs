@@ -15,10 +15,13 @@
 //! * [`signaling`] — control-plane event generation and feeds;
 //! * [`traffic`] — data/voice traffic demand;
 //! * [`analysis`] — the paper's measurement methodology (the core);
+//! * [`exec`] — deterministic execution layer (scheduling, panic
+//!   capture, per-stage metrics);
 //! * [`scenario`] — end-to-end study runner and per-figure builders.
 
 pub use cellscope_core as analysis;
 pub use cellscope_epidemic as epidemic;
+pub use cellscope_exec as exec;
 pub use cellscope_geo as geo;
 pub use cellscope_mobility as mobility;
 pub use cellscope_radio as radio;

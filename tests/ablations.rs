@@ -11,7 +11,7 @@ fn base() -> ScenarioConfig {
 
 #[test]
 fn no_interventions_erases_every_effect() {
-    let control = run_study(&variants::no_interventions(&base()));
+    let control = run_study(&variants::no_interventions(&base())).expect("study");
     let h = figures::headline(&control);
     assert!(
         h.gyration_trough_pct.unwrap() > -12.0,
@@ -42,8 +42,8 @@ fn no_interventions_erases_every_effect() {
 
 #[test]
 fn removing_relocation_keeps_everything_but_the_london_absence() {
-    let baseline = run_study(&base());
-    let ablated = run_study(&variants::no_relocation(&base()));
+    let baseline = run_study(&base()).expect("study");
+    let ablated = run_study(&variants::no_relocation(&base())).expect("study");
     let hb = figures::headline(&baseline);
     let ha = figures::headline(&ablated);
     // The Inner-London absence collapses…
@@ -64,8 +64,8 @@ fn removing_relocation_keeps_everything_but_the_london_absence() {
 
 #[test]
 fn interconnect_dimensioning_controls_the_loss_incident() {
-    let baseline = run_study(&base());
-    let generous = run_study(&variants::interconnect_headroom(&base(), 4.0));
+    let baseline = run_study(&base()).expect("study");
+    let generous = run_study(&variants::interconnect_headroom(&base(), 4.0)).expect("study");
     let hb = figures::headline(&baseline);
     let hg = figures::headline(&generous);
     assert!(hb.voice_dl_loss_peak_pct.unwrap() > 100.0);
@@ -83,7 +83,7 @@ fn interconnect_dimensioning_controls_the_loss_incident() {
 
 #[test]
 fn throttling_alone_explains_the_throughput_drop() {
-    let unthrottled = run_study(&variants::no_content_throttling(&base()));
+    let unthrottled = run_study(&variants::no_content_throttling(&base())).expect("study");
     let panels = figures::fig8(&unthrottled);
     let tput = panels
         .iter()

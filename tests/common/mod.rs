@@ -12,7 +12,7 @@ static DATASET: OnceLock<StudyDataset> = OnceLock::new();
 
 /// The shared small-scale study dataset.
 pub fn dataset() -> &'static StudyDataset {
-    DATASET.get_or_init(|| run_study(&ScenarioConfig::small(42)))
+    DATASET.get_or_init(|| run_study(&ScenarioConfig::small(42)).expect("study"))
 }
 
 /// Value of a specific week in a weekly series; panics if unobserved

@@ -30,8 +30,8 @@ fn national_gyration(ds: &StudyDataset) -> Vec<Option<f64>> {
 #[test]
 fn identical_seeds_identical_studies() {
     let cfg = micro(11);
-    let a = run_study(&cfg);
-    let b = run_study(&cfg);
+    let a = run_study(&cfg).expect("study");
+    let b = run_study(&cfg).expect("study");
     assert_eq!(a.users.len(), b.users.len());
     assert_eq!(a.kpi.records(), b.kpi.records());
     assert_eq!(a.home_validation, b.home_validation);
@@ -42,8 +42,8 @@ fn identical_seeds_identical_studies() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = run_study(&micro(11));
-    let b = run_study(&micro(12));
+    let a = run_study(&micro(11)).expect("study");
+    let b = run_study(&micro(12)).expect("study");
     assert_ne!(a.national_voice_daily, b.national_voice_daily);
     assert_ne!(national_gyration(&a), national_gyration(&b));
 }
@@ -58,8 +58,8 @@ fn thread_count_does_not_change_results() {
     one.threads = 1;
     let mut many = micro(13);
     many.threads = 8;
-    let a = run_study(&one);
-    let b = run_study(&many);
+    let a = run_study(&one).expect("study");
+    let b = run_study(&many).expect("study");
     assert_eq!(sorted_kpi(&a), sorted_kpi(&b));
     assert_eq!(a.kpi.records(), b.kpi.records(), "KPI order itself is deterministic");
     assert_eq!(national_gyration(&a), national_gyration(&b));
@@ -86,7 +86,7 @@ fn replay_is_deterministic_and_matches_in_memory() {
     std::fs::remove_dir_all(&dir).ok();
 
     assert_eq!(dataset_divergence(&replayed_one, &replayed_many), None);
-    let in_memory = run_study(&cfg);
+    let in_memory = run_study(&cfg).expect("study");
     assert_eq!(dataset_divergence(&in_memory, &replayed_many), None);
 
     // Line and ingest accounting are themselves thread-independent.

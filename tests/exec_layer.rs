@@ -1,0 +1,107 @@
+//! The execution layer in situ: a deliberately panicking task in each
+//! refactored parallel stage (`phase_a`, `phase_b`, `figures`,
+//! `replay_days`) must surface as a structured [`ExecError`] naming the
+//! stage and task — no process abort, no deadlock — and the per-stage
+//! RunMetrics counters (never the timings) must be bit-identical
+//! across thread counts.
+
+use cellscope::exec::Executor;
+use cellscope::scenario::replay::{
+    export_feeds, replay_study_with, ReplayConfig, ReplayError,
+};
+use cellscope::scenario::{figures, run_study_with, ScenarioConfig, World};
+use std::path::PathBuf;
+
+fn micro(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::tiny(seed);
+    cfg.population.num_subscribers = 500;
+    cfg
+}
+
+/// Quiet the default panic hook while the deliberate panics fire, so
+/// the test log is not spammed with expected backtraces. One test owns
+/// all injections, so no other test races on the global hook.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+#[test]
+fn injected_panics_surface_as_structured_errors() {
+    let cfg = micro(23);
+    let world = World::build(&cfg);
+
+    with_quiet_panics(|| {
+        // Study fan-out stages: phase A and phase B.
+        for stage in ["phase_a", "phase_b"] {
+            let mut exec = Executor::new(4);
+            exec.inject_panic(stage, 1);
+            let err = match run_study_with(&cfg, &world, &mut exec) {
+                Err(e) => e,
+                Ok(_) => panic!("injected panic must fail the study"),
+            };
+            assert_eq!(err.stage, stage);
+            assert_eq!(err.task, 1);
+            assert!(err.payload.contains("injected panic"), "{}", err.payload);
+        }
+
+        // Figure builder fan-out.
+        let ds = run_study_with(&cfg, &world, &mut Executor::new(4))
+            .expect("clean study");
+        let mut exec = Executor::new(4);
+        exec.inject_panic("figures", 3);
+        let err = match figures::build_all_with(&ds, &mut exec) {
+            Err(e) => e,
+            Ok(_) => panic!("injected panic must fail the figure build"),
+        };
+        assert_eq!((err.stage.as_str(), err.task), ("figures", 3));
+
+        // Replay pipeline: a panicking worker must not leave the
+        // reader blocked on the bounded channel (capacity 1 would hang
+        // forever if the dead worker stopped draining).
+        let dir = scratch_dir("exec_layer");
+        export_feeds(&cfg, &dir).expect("export feeds");
+        let mut rcfg = ReplayConfig::default();
+        rcfg.threads = 2;
+        rcfg.channel_capacity = 1;
+        let mut exec = Executor::new(rcfg.threads);
+        exec.inject_panic("replay_days", 2);
+        let err = match replay_study_with(&cfg, &world, &dir, &rcfg, &mut exec) {
+            Err(e) => e,
+            Ok(_) => panic!("injected panic must fail the replay"),
+        };
+        std::fs::remove_dir_all(&dir).ok();
+        match err {
+            ReplayError::Exec(e) => {
+                assert_eq!((e.stage.as_str(), e.task), ("replay_days", 2));
+            }
+            other => panic!("expected ReplayError::Exec, got: {other}"),
+        }
+    });
+}
+
+#[test]
+fn stage_counters_identical_across_thread_counts() {
+    let cfg = micro(29);
+    let world = World::build(&cfg);
+    let summary = |threads: usize| {
+        let mut exec = Executor::new(threads);
+        let ds = run_study_with(&cfg, &world, &mut exec).expect("study");
+        figures::build_all_with(&ds, &mut exec).expect("figures");
+        exec.take_metrics("run").counter_summary()
+    };
+    let one = summary(1);
+    let many = summary(8);
+    assert!(!one.is_empty());
+    assert_eq!(one, many, "counters must not depend on the thread count");
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cellscope_feeds_{tag}_{}",
+        std::process::id()
+    ))
+}

@@ -8,7 +8,7 @@ use cellscope::scenario::{run_study, ScenarioConfig};
 fn minuscule_population_runs_to_completion() {
     let mut cfg = ScenarioConfig::tiny(17);
     cfg.population.num_subscribers = 40;
-    let ds = run_study(&cfg);
+    let ds = run_study(&cfg).expect("study");
     assert_eq!(ds.users.len(), 40);
     // Most figures degrade to sparse/None values but never panic.
     let _ = cellscope::scenario::figures::fig3(&ds);
@@ -23,7 +23,7 @@ fn single_thread_and_sparse_deployment() {
     cfg.population.num_subscribers = 300;
     cfg.threads = 1;
     cfg.deployment.residents_per_site = 200_000; // very sparse network
-    let ds = run_study(&cfg);
+    let ds = run_study(&cfg).expect("study");
     assert!(ds.kpi.len() > 0, "sparse network still reports KPIs");
     let h = cellscope::scenario::figures::headline(&ds);
     // The lockdown signal survives even a skeleton network.
@@ -37,7 +37,7 @@ fn zero_relocation_and_zero_m2m() {
     cfg.population.m2m_rate = 0.0;
     cfg.population.roamer_rate = 0.0;
     cfg.population.relocation_uptake = 0.0;
-    let ds = run_study(&cfg);
+    let ds = run_study(&cfg).expect("study");
     // Everyone is in the study population now.
     assert_eq!(ds.study_population, 500);
 }
