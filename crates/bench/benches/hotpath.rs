@@ -1,0 +1,83 @@
+//! Subscriber-day hot-path benchmark with allocation accounting.
+//!
+//! Run with `cargo bench -p cellscope-bench --bench hotpath`.
+//!
+//! Times one phase-A day block and one phase-B day block end-to-end —
+//! the unit of work one executor task processes — and asserts the
+//! steady-state allocation budget: after the arena's buffers reach
+//! their high-water capacity, the per-(subscriber, day) loop must not
+//! go back to the allocator, so a block's allocations amortize to
+//! (near) zero per item. The budget below is deliberately loose-ish
+//! against today's measured numbers (see `results/BENCH_hotpath.json`)
+//! so noise does not flake tier-1, but tight enough that reintroducing
+//! a single fresh `Vec` per subscriber-day (+1.0 allocs/item) fails
+//! loudly.
+
+use cellscope_bench::alloc_count::{self, CountingAllocator};
+use cellscope_bench::hotbench;
+use cellscope_scenario::hotpath::HotpathHarness;
+use cellscope_scenario::{ScenarioConfig, World};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Amortized allocations per item a block may make in steady state.
+/// Today's measured figures are ~0.37 for phase A (per-user study
+/// output state — night logs, dwell snapshots — amortized over only
+/// the block's 4 days; over a full study it tends to zero) and ~0.01
+/// for phase B; one fresh Vec per subscriber-day costs +1.0.
+const PHASE_A_BUDGET: f64 = 0.6;
+const PHASE_B_BUDGET: f64 = 0.3;
+
+fn assert_steady_state_budget() {
+    assert!(
+        alloc_count::installed(),
+        "counting allocator not routing this process's allocations"
+    );
+    let config = ScenarioConfig::tiny(42);
+    let summary = hotbench::run(&config, "tiny", 2);
+    let a = summary
+        .phase_a
+        .allocs_per_item
+        .expect("phase A allocation count");
+    let b = summary
+        .phase_b
+        .allocs_per_item
+        .expect("phase B allocation count");
+    println!(
+        "steady-state allocs/item: phase_a {a:.4} (budget {PHASE_A_BUDGET}), \
+         phase_b {b:.4} (budget {PHASE_B_BUDGET})"
+    );
+    assert!(
+        a <= PHASE_A_BUDGET,
+        "phase A steady-state allocations regressed: {a:.4} allocs/item > {PHASE_A_BUDGET}"
+    );
+    assert!(
+        b <= PHASE_B_BUDGET,
+        "phase B steady-state allocations regressed: {b:.4} allocs/item > {PHASE_B_BUDGET}"
+    );
+}
+
+fn bench_phase_blocks(c: &mut Criterion) {
+    assert_steady_state_budget();
+
+    let config = ScenarioConfig::tiny(42);
+    let world = World::build(&config);
+    let harness = HotpathHarness::new(&config, &world);
+    let a_days = harness.phase_a_days();
+    let b_days = harness.phase_b_days();
+
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(5);
+    group.bench_function("phase_a_day_block", |bench| {
+        bench.iter(|| harness.run_phase_a_block(&a_days))
+    });
+    group.bench_function("phase_b_day_block", |bench| {
+        bench.iter(|| harness.run_phase_b_block(&b_days))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase_blocks);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! A counting global allocator for steady-state allocation budgets.
+//!
+//! The hot-path work of this PR-series is driving the per-(subscriber,
+//! day) loop to amortized-zero heap traffic; a regression there is
+//! invisible to wall-clock benches on a fast allocator. The counter
+//! makes it visible: binaries that want allocation counts install the
+//! allocator at their crate root —
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: cellscope_bench::alloc_count::CountingAllocator =
+//!     cellscope_bench::alloc_count::CountingAllocator;
+//! ```
+//!
+//! — and diff [`allocations`] around the region of interest. The count
+//! is process-global and monotonic; it includes every allocation and
+//! every growth `realloc`, not bytes (churn is what hurts, and a count
+//! is exactly reproducible where byte totals drift with capacity
+//! doubling). Shared measurement code runs in binaries with and
+//! without the allocator installed, so [`installed`] probes at runtime
+//! and callers degrade to reporting "not measured".
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to [`System`], counting `alloc`/`alloc_zeroed`/`realloc`
+/// calls. Frees are not counted: the budget tracks how often the hot
+/// path asks the allocator for memory.
+pub struct CountingAllocator;
+
+// SAFETY: pure pass-through to `System`; the counter has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Heap allocations made by the process so far. Stays 0 forever unless
+/// the binary installed [`CountingAllocator`] as its global allocator.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runtime probe: does this process route allocations through the
+/// counter?
+pub fn installed() -> bool {
+    let before = allocations();
+    std::hint::black_box(Vec::<u8>::with_capacity(1));
+    allocations() != before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The unit-test binary does not install the allocator, so the
+    // counter must stay flat and the probe must say so.
+    #[test]
+    fn probe_reports_not_installed_without_global_allocator() {
+        assert!(!installed());
+        let before = allocations();
+        std::hint::black_box(vec![1u8, 2, 3]);
+        assert_eq!(allocations(), before);
+    }
+}

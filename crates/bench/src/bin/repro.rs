@@ -23,10 +23,13 @@
 //! Exits non-zero on any divergence.
 //!
 //! `--bench-summary PATH` skips the study entirely and runs the
-//! columnar-aggregation microbenchmark instead, writing the measured
-//! naive-vs-columnar speedups to PATH as JSON
-//! (conventionally `BENCH_aggregation.json`).
+//! benchmark baselines instead: the columnar-aggregation
+//! microbenchmark, written to PATH as JSON (conventionally
+//! `BENCH_aggregation.json`), and the subscriber-day hot-path
+//! measurement (phase block wall seconds + steady-state allocation
+//! counts), written to `BENCH_hotpath.json` next to it.
 
+use cellscope_bench::alloc_count::CountingAllocator;
 use cellscope_bench::{fmt_pct, fmt_weekly, print_panel};
 use cellscope_exec::{Executor, RunMetrics};
 use cellscope_scenario::replay::{
@@ -35,6 +38,11 @@ use cellscope_scenario::replay::{
 use cellscope_scenario::{figures, run_study_with, ScenarioConfig, World};
 use std::path::Path;
 use std::time::Instant;
+
+// Counting allocator so `--bench-summary` reports real steady-state
+// allocation figures; a pass-through to the system allocator otherwise.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 fn main() {
     let mut scale = "small".to_string();
@@ -437,4 +445,39 @@ fn run_bench_summary(path: &Path) {
         eprintln!("DIVERGENCE: columnar aggregation differs from the naive path");
         std::process::exit(1);
     }
+
+    run_hotpath_summary(&path.with_file_name("BENCH_hotpath.json"));
+}
+
+/// Second half of `--bench-summary`: measure one phase-A and one
+/// phase-B day block (wall seconds + steady-state allocations) at the
+/// default small scale and write `BENCH_hotpath.json`.
+fn run_hotpath_summary(path: &Path) {
+    use cellscope_bench::hotbench;
+    let config = ScenarioConfig::small(42);
+    println!(
+        "\n== cellscope hot-path bench: small, subscribers={}, best of 2 ==",
+        config.population.num_subscribers
+    );
+    let summary = hotbench::run(&config, "small", 2);
+    let alloc_figure = |p: &hotbench::PhaseBench| {
+        p.allocs_per_item
+            .map(|a| format!("{a:.4} allocs/item"))
+            .unwrap_or_else(|| "allocs not measured".into())
+    };
+    println!(
+        "phase A block:    {:>8.2} s  ({} days, {} user-days, {})\n\
+         phase B block:    {:>8.2} s  ({} days, {} cell-days, {})",
+        summary.phase_a.wall_seconds,
+        summary.phase_a.days,
+        summary.phase_a.items,
+        alloc_figure(&summary.phase_a),
+        summary.phase_b.wall_seconds,
+        summary.phase_b.days,
+        summary.phase_b.items,
+        alloc_figure(&summary.phase_b),
+    );
+    hotbench::write_json(path, &summary)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("summary written to {}", path.display());
 }

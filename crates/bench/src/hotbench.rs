@@ -1,0 +1,110 @@
+//! Phase-level measurement of the subscriber-day hot path.
+//!
+//! Runs one phase-A day block and one phase-B day block through
+//! [`cellscope_scenario::hotpath::HotpathHarness`] — the same code the
+//! executor's workers run — and reports wall seconds plus, when the
+//! binary installed [`crate::alloc_count::CountingAllocator`], the
+//! heap allocations the block made and the amortized
+//! allocations-per-item. Used two ways:
+//!
+//! * `cargo bench -p cellscope-bench --bench hotpath` — criterion
+//!   timings plus a hard steady-state allocation-budget assertion;
+//! * `repro --bench-summary DIR_OR_PATH` — writes the JSON baseline
+//!   `BENCH_hotpath.json` next to `BENCH_aggregation.json`.
+
+use cellscope_scenario::hotpath::HotpathHarness;
+use cellscope_scenario::{ScenarioConfig, World};
+use serde::Serialize;
+use std::time::Instant;
+
+use crate::alloc_count;
+
+/// One phase's measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseBench {
+    /// Days in the measured block.
+    pub days: usize,
+    /// Items the block processed (phase A: user-days folded in;
+    /// phase B: cell-days produced).
+    pub items: u64,
+    /// Best-of wall seconds for the block.
+    pub wall_seconds: f64,
+    /// Heap allocations during the best-timed run; `None` when the
+    /// binary did not install the counting allocator.
+    pub allocations: Option<u64>,
+    /// `allocations / items`, the steady-state budget figure.
+    pub allocs_per_item: Option<f64>,
+}
+
+/// The measured summary, serialized to `BENCH_hotpath.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct HotpathSummary {
+    /// Scenario scale label (`small`, `tiny`, …).
+    pub scale: String,
+    /// Subscribers at that scale.
+    pub subscribers: u32,
+    /// Whether allocation counts were measured (counting allocator
+    /// installed in this binary).
+    pub counting_allocator: bool,
+    /// Timing repetitions (best-of is reported).
+    pub iters: usize,
+    pub phase_a: PhaseBench,
+    pub phase_b: PhaseBench,
+}
+
+fn measure_block(
+    iters: usize,
+    days: usize,
+    run: impl Fn() -> u64,
+) -> PhaseBench {
+    let counting = alloc_count::installed();
+    // One warm-up run: lets lazily-built world state and the first
+    // block's output buffers settle so the timed runs see the steady
+    // state a long study converges to.
+    let mut items = run();
+    let mut wall_seconds = f64::INFINITY;
+    let mut allocations = None;
+    for _ in 0..iters.max(1) {
+        let before = alloc_count::allocations();
+        let t = Instant::now();
+        items = run();
+        let elapsed = t.elapsed().as_secs_f64();
+        if elapsed < wall_seconds {
+            wall_seconds = elapsed;
+            if counting {
+                allocations = Some(alloc_count::allocations() - before);
+            }
+        }
+    }
+    PhaseBench {
+        days,
+        items,
+        wall_seconds,
+        allocations,
+        allocs_per_item: allocations.map(|a| a as f64 / items.max(1) as f64),
+    }
+}
+
+/// Build the world at `config`'s scale and measure both phase blocks.
+pub fn run(config: &ScenarioConfig, scale_label: &str, iters: usize) -> HotpathSummary {
+    let world = World::build(config);
+    let harness = HotpathHarness::new(config, &world);
+    let a_days = harness.phase_a_days();
+    let b_days = harness.phase_b_days();
+    let phase_a = measure_block(iters, a_days.len(), || harness.run_phase_a_block(&a_days));
+    let phase_b = measure_block(iters, b_days.len(), || harness.run_phase_b_block(&b_days));
+    HotpathSummary {
+        scale: scale_label.to_string(),
+        subscribers: config.population.num_subscribers,
+        counting_allocator: alloc_count::installed(),
+        iters,
+        phase_a,
+        phase_b,
+    }
+}
+
+/// Write the summary as pretty-printed JSON.
+pub fn write_json(path: &std::path::Path, summary: &HotpathSummary) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(summary).expect("summary serializes");
+    std::fs::write(path, json + "\n")
+}

@@ -1,7 +1,9 @@
 //! Shared helpers for the benchmark harness and the `repro` binary.
 
 pub mod aggbench;
+pub mod alloc_count;
 pub mod csv;
+pub mod hotbench;
 
 use cellscope_scenario::figures::KpiPanel;
 

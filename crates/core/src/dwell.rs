@@ -72,25 +72,61 @@ pub fn dwell_whole_day(binned: &[BinnedTowerDwell]) -> Vec<TowerDwell> {
 /// Ties break toward the lower tower id so the selection is
 /// deterministic. Zero- and negative-duration entries are dropped.
 pub fn top_n_towers(dwell: &[TowerDwell], n: usize) -> Vec<TowerDwell> {
-    let mut merged: Vec<TowerDwell> = Vec::with_capacity(dwell.len());
-    let mut sorted = dwell.to_vec();
-    sorted.sort_by_key(|d| d.tower);
-    for d in sorted {
+    let mut out = Vec::new();
+    top_n_towers_into(dwell, n, &mut out);
+    out
+}
+
+/// [`top_n_towers`] into a caller-owned buffer: no allocation once
+/// `out`'s capacity covers the input. `out` is cleared first, so a
+/// dirty buffer from a previous user-day is fine.
+///
+/// Bit-identical to [`top_n_towers`]: the tower sort is stable (the
+/// per-tower `f64` sums accumulate in input order — addition order
+/// matters), and the final rank sort compares on (seconds, tower),
+/// which is a strict total order once towers are unique, so an unstable
+/// sort yields the same unique permutation a stable one would.
+pub fn top_n_towers_into(dwell: &[TowerDwell], n: usize, out: &mut Vec<TowerDwell>) {
+    out.clear();
+    out.extend_from_slice(dwell);
+    insertion_sort_by_tower(out);
+    // In-place adjacent merge with a write index, dropping non-positive
+    // entries — the same += sequence the collecting path performed.
+    let mut w = 0usize;
+    for i in 0..out.len() {
+        let d = out[i];
         if d.seconds <= 0.0 {
             continue;
         }
-        match merged.last_mut() {
-            Some(last) if last.tower == d.tower => last.seconds += d.seconds,
-            _ => merged.push(d),
+        if w > 0 && out[w - 1].tower == d.tower {
+            out[w - 1].seconds += d.seconds;
+        } else {
+            out[w] = d;
+            w += 1;
         }
     }
-    merged.sort_by(|a, b| {
+    out.truncate(w);
+    out.sort_unstable_by(|a, b| {
         b.seconds
             .total_cmp(&a.seconds)
             .then(a.tower.cmp(&b.tower))
     });
-    merged.truncate(n);
-    merged
+    out.truncate(n);
+}
+
+/// Stable, allocation-free insertion sort by tower id. A user-day
+/// touches a handful of towers, so O(n²) never bites; stability is
+/// load-bearing (see [`top_n_towers_into`]).
+fn insertion_sort_by_tower(v: &mut [TowerDwell]) {
+    for i in 1..v.len() {
+        let x = v[i];
+        let mut j = i;
+        while j > 0 && v[j - 1].tower > x.tower {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
+    }
 }
 
 #[cfg(test)]

@@ -160,9 +160,23 @@ impl CellDayMetrics {
         if hours.is_empty() {
             return None;
         }
+        // A cell-day has at most 24 hourly samples, so the median can
+        // run on a stack buffer — `median_unstable` selects in place
+        // and is bit-identical to the allocating `median`. The Vec
+        // fallback keeps callers with denser-than-hourly samples (or
+        // tests feeding synthetic rows) working.
         let med = |f: fn(&HourlyKpiSample) -> f64| -> f32 {
-            let vals: Vec<f64> = hours.iter().map(f).collect();
-            stats::median(&vals).expect("non-empty, NaN-free hourly samples") as f32
+            let m = if hours.len() <= 24 {
+                let mut buf = [0.0f64; 24];
+                for (slot, h) in buf.iter_mut().zip(hours) {
+                    *slot = f(h);
+                }
+                stats::median_unstable(&mut buf[..hours.len()])
+            } else {
+                let mut vals: Vec<f64> = hours.iter().map(f).collect();
+                stats::median_unstable(&mut vals)
+            };
+            m.expect("non-empty, NaN-free hourly samples") as f32
         };
         Some(CellDayMetrics {
             cell,

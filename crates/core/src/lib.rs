@@ -45,7 +45,7 @@ pub use aggregate::DailyGroupMean;
 pub use baseline::{delta_pct, DeltaSeries};
 pub use correlate::{linear_fit, pearson, LinearFit};
 pub use distribution::DailyGroupSamples;
-pub use dwell::{top_n_towers, TowerDwell};
+pub use dwell::{top_n_towers, top_n_towers_into, TowerDwell};
 pub use entropy::mobility_entropy;
 pub use gyration::radius_of_gyration;
 pub use home::{HomeDetector, NightDwellLog};

@@ -20,7 +20,7 @@
 
 use crate::aggregate::DailyGroupMean;
 use crate::distribution::DailyGroupSamples;
-use crate::dwell::{top_n_towers, TowerDwell};
+use crate::dwell::{top_n_towers_into, TowerDwell};
 use crate::entropy::mobility_entropy;
 use crate::gyration::radius_of_gyration;
 use crate::home::{HomeDetector, NightDwellLog};
@@ -94,10 +94,25 @@ impl<G: Ord + Clone> MobilityStudy<G> {
     /// `[National, County(X), Cluster(Y)]`). Returns the metrics that
     /// were computed, so callers can reuse them (for matrices, masks…).
     pub fn ingest(&mut self, input: UserDayDwell<'_>, groups: &[G]) -> Option<(f64, f64)> {
+        let mut top = Vec::new();
+        self.ingest_with(input, groups, &mut top)
+    }
+
+    /// [`ingest`](Self::ingest) with a caller-owned scratch buffer for
+    /// the top-N selection — the hot-loop form: after warm-up no
+    /// allocation happens per user-day. `top_scratch` is cleared on
+    /// entry and holds the selected towers on return.
+    pub fn ingest_with(
+        &mut self,
+        input: UserDayDwell<'_>,
+        groups: &[G],
+        top_scratch: &mut Vec<TowerDwell>,
+    ) -> Option<(f64, f64)> {
         assert!(!self.finished, "ingest after finish");
-        let top = top_n_towers(input.dwell, self.config.top_n_towers);
-        let entropy = mobility_entropy(&top);
-        let gyration = radius_of_gyration(&top);
+        top_n_towers_into(input.dwell, self.config.top_n_towers, top_scratch);
+        let top = &*top_scratch;
+        let entropy = mobility_entropy(top);
+        let gyration = radius_of_gyration(top);
         if let Some(e) = entropy {
             for g in groups {
                 self.entropy.add(g.clone(), input.day, e);

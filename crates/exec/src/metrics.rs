@@ -30,6 +30,12 @@ impl TaskCtx {
     pub fn count(&mut self, name: &str, n: u64) {
         *self.counters.entry(name.to_string()).or_insert(0) += n;
     }
+
+    /// Items recorded so far — lets harnesses that drive stage
+    /// functions directly (benches) read back the work count.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
 }
 
 /// One worker thread's share of a pipeline stage.

@@ -183,7 +183,7 @@ impl Executor {
         &mut self,
         stage: &str,
         capacity: usize,
-        mut produce: P,
+        produce: P,
         worker: F,
     ) -> Result<(Vec<T>, Vec<WorkerMetrics>), ExecError>
     where
@@ -191,6 +191,38 @@ impl Executor {
         T: Send,
         P: FnMut() -> Option<S>,
         F: Fn(usize, S, &mut TaskCtx) -> T + Sync,
+    {
+        self.run_pipeline_with(stage, capacity, produce, || (), |_, i, item, ctx| {
+            worker(i, item, ctx)
+        })
+    }
+
+    /// [`run_pipeline`](Executor::run_pipeline) with **per-worker
+    /// state**: `init` runs once on each worker thread before it starts
+    /// draining the channel, and the resulting value is passed (by
+    /// `&mut`) to every task that worker processes. The intended use is
+    /// a scratch arena that amortizes to zero allocations per item —
+    /// per-*task* scratch (built inside `worker`) resets its high-water
+    /// capacity on every item and defeats the reuse.
+    ///
+    /// State is per-thread and never migrates, so task results must not
+    /// depend on it (the determinism contract is unchanged: results
+    /// come back in production order and must be a pure function of the
+    /// item).
+    pub fn run_pipeline_with<S, T, W, P, I, F>(
+        &mut self,
+        stage: &str,
+        capacity: usize,
+        mut produce: P,
+        init: I,
+        worker: F,
+    ) -> Result<(Vec<T>, Vec<WorkerMetrics>), ExecError>
+    where
+        S: Send,
+        T: Send,
+        P: FnMut() -> Option<S>,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, usize, S, &mut TaskCtx) -> T + Sync,
     {
         let t0 = Instant::now();
         let inject = self.injected_task(stage);
@@ -202,16 +234,18 @@ impl Executor {
                 .map(|_| {
                     let rx = rx.clone();
                     let worker = &worker;
+                    let init = &init;
                     scope.spawn(move || {
                         let mut out = WorkerOutput::default();
                         let mut stats = WorkerMetrics::default();
+                        let mut state = init();
                         for (i, item) in rx.iter() {
                             if out.error.is_some() {
                                 continue; // drain: keep the producer unblocked
                             }
                             let t = Instant::now();
                             let r = run_one(stage, i, inject, |i, ctx| {
-                                worker(i, item, ctx)
+                                worker(&mut state, i, item, ctx)
                             });
                             stats.seconds += t.elapsed().as_secs_f64();
                             stats.tasks += 1;

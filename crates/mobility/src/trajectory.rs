@@ -64,6 +64,19 @@ pub struct DayTrajectory {
     pub visits: Vec<BinVisit>,
 }
 
+impl Default for DayTrajectory {
+    /// An empty placeholder day — the natural seed for a reusable
+    /// buffer handed to [`TrajectoryGenerator::generate_into`], which
+    /// overwrites every field.
+    fn default() -> DayTrajectory {
+        DayTrajectory {
+            subscriber: SubscriberId(0),
+            day: 0,
+            visits: Vec::new(),
+        }
+    }
+}
+
 impl DayTrajectory {
     /// Total minutes across all visits (1440 for a present device).
     pub fn total_minutes(&self) -> u32 {
@@ -79,21 +92,34 @@ impl DayTrajectory {
     }
 }
 
-/// Mutable per-bin allocation used while building a day.
-struct DayAlloc {
+/// Reusable per-bin build buffers. Owned by the generator (or a stack
+/// temporary in the allocating path) and cleared per day, so the
+/// steady-state cost of building a trajectory is zero allocations.
+#[derive(Default)]
+struct TrajScratch {
     bins: [Vec<(SiteId, u16, VisitKind)>; 6],
 }
 
-impl DayAlloc {
-    fn all_at(site: SiteId, kind: VisitKind) -> DayAlloc {
-        DayAlloc {
-            bins: std::array::from_fn(|_| vec![(site, BIN_MINUTES, kind)]),
+/// Mutable per-bin allocation used while building a day — a view over
+/// the scratch buffers.
+struct DayAlloc<'s> {
+    bins: &'s mut [Vec<(SiteId, u16, VisitKind)>; 6],
+}
+
+impl<'s> DayAlloc<'s> {
+    fn all_at(scratch: &'s mut TrajScratch, site: SiteId, kind: VisitKind) -> DayAlloc<'s> {
+        for slots in scratch.bins.iter_mut() {
+            slots.clear();
+            slots.push((site, BIN_MINUTES, kind));
         }
+        DayAlloc { bins: &mut scratch.bins }
     }
 
     /// Replace the entire bin with one site.
     fn set_bin(&mut self, bin: DayBin, site: SiteId, kind: VisitKind) {
-        self.bins[bin.index()] = vec![(site, BIN_MINUTES, kind)];
+        let slots = &mut self.bins[bin.index()];
+        slots.clear();
+        slots.push((site, BIN_MINUTES, kind));
     }
 
     /// Move `minutes` from the currently-largest allocation in `bin` to
@@ -123,39 +149,64 @@ impl DayAlloc {
             .unwrap_or(0)
     }
 
-    fn into_visits(self) -> Vec<BinVisit> {
-        let mut out = Vec::new();
+    /// Append the finished day to `out` (bins in [`DayBin::ALL`] order,
+    /// duplicate (site, kind) pairs merged within each bin). Sorting
+    /// happens in place with a stable insertion sort, so nothing
+    /// allocates — output order is bit-identical to the old
+    /// clone-and-stable-sort path.
+    fn write_visits(self, out: &mut Vec<BinVisit>) {
         for (i, bin) in DayBin::ALL.iter().enumerate() {
-            // Merge duplicate (site, kind) pairs within the bin.
-            let mut slots = self.bins[i].clone();
+            let slots = &mut self.bins[i];
             slots.retain(|&(_, m, _)| m > 0);
-            slots.sort_by_key(|&(s, _, k)| (s, k));
-            let mut merged: Vec<(SiteId, u16, VisitKind)> = Vec::with_capacity(slots.len());
-            for (s, m, k) in slots {
-                match merged.last_mut() {
-                    Some((ls, lm, lk)) if *ls == s && *lk == k => *lm += m,
-                    _ => merged.push((s, m, k)),
+            insertion_sort_by_key(slots, |&(s, _, k)| (s, k));
+            let bin_start = out.len();
+            for &(site, minutes, kind) in slots.iter() {
+                let merge = out.len() > bin_start && {
+                    let last = out.last().expect("non-empty past bin_start");
+                    last.site == site && last.kind == kind
+                };
+                if merge {
+                    out.last_mut().expect("checked").minutes += minutes;
+                } else {
+                    out.push(BinVisit {
+                        bin: *bin,
+                        site,
+                        minutes,
+                        kind,
+                    });
                 }
             }
-            for (site, minutes, kind) in merged {
-                out.push(BinVisit {
-                    bin: *bin,
-                    site,
-                    minutes,
-                    kind,
-                });
-            }
         }
-        out
     }
 }
 
-/// Generates trajectories for any (subscriber, day) pair, statelessly.
+/// Stable, allocation-free insertion sort (only strictly-greater
+/// elements shift, so equal keys keep their input order). The slot
+/// lists hold a handful of entries, well inside insertion sort's sweet
+/// spot.
+fn insertion_sort_by_key<T: Copy, K: Ord>(v: &mut [T], key: impl Fn(&T) -> K) {
+    for i in 1..v.len() {
+        let x = v[i];
+        let k = key(&x);
+        let mut j = i;
+        while j > 0 && key(&v[j - 1]) > k {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+/// Generates trajectories for any (subscriber, day) pair. Logically
+/// stateless — outputs depend only on (seed, subscriber, day) — but it
+/// owns reusable build buffers, which is what makes
+/// [`generate_into`](Self::generate_into) allocation-free.
 pub struct TrajectoryGenerator<'a> {
     geo: &'a Geography,
     behavior: &'a BehaviorModel,
     clock: SimClock,
     seed: u64,
+    scratch: TrajScratch,
 }
 
 impl<'a> TrajectoryGenerator<'a> {
@@ -171,6 +222,7 @@ impl<'a> TrajectoryGenerator<'a> {
             behavior,
             clock,
             seed,
+            scratch: TrajScratch::default(),
         }
     }
 
@@ -182,31 +234,55 @@ impl<'a> TrajectoryGenerator<'a> {
     /// Generate one subscriber-day. Deterministic in
     /// (generator seed, subscriber id, day).
     pub fn generate(&self, sub: &Subscriber, day: SimDay) -> DayTrajectory {
+        let mut scratch = TrajScratch::default();
+        let mut out = DayTrajectory::default();
+        self.generate_with(sub, day, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`generate`](Self::generate) into a caller-owned trajectory,
+    /// reusing the generator's internal build buffers — the hot-loop
+    /// form: after warm-up, no allocation happens per subscriber-day.
+    /// `out` is fully overwritten (a dirty buffer from a previous day
+    /// is fine). Bit-identical to the allocating path.
+    pub fn generate_into(&mut self, sub: &Subscriber, day: SimDay, out: &mut DayTrajectory) {
+        // Take the scratch out so the `&self` core can borrow freely.
+        // `TrajScratch::default()` holds six empty Vecs — no allocation.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.generate_with(sub, day, &mut scratch, out);
+        self.scratch = scratch;
+    }
+
+    fn generate_with(
+        &self,
+        sub: &Subscriber,
+        day: SimDay,
+        scratch: &mut TrajScratch,
+        out: &mut DayTrajectory,
+    ) {
+        out.subscriber = sub.id;
+        out.day = day;
+        out.visits.clear();
+
         let mut rng = rng::rng_for(self.seed, sub.id.0, day, 0x7247);
         let date = self.clock.date(day);
         let home_site = sub.anchors.home().site;
 
         // M2M devices are static: the whole day on the home site.
         if sub.device == DeviceClass::M2m {
-            return DayTrajectory {
-                subscriber: sub.id,
-                day,
-                visits: DayAlloc::all_at(home_site, VisitKind::Home).into_visits(),
-            };
+            DayAlloc::all_at(scratch, home_site, VisitKind::Home).write_visits(&mut out.visits);
+            return;
         }
 
         // Relocated subscribers.
         if sub.is_relocated(day) {
             if sub.segment == Segment::Tourist || sub.anchors.second_home.is_none() {
-                // Left the country: the device disappears from the network.
-                return DayTrajectory {
-                    subscriber: sub.id,
-                    day,
-                    visits: Vec::new(),
-                };
+                // Left the country: the device disappears from the
+                // network (visits stay empty).
+                return;
             }
             let second = sub.anchors.second_home.as_ref().expect("checked above");
-            let mut alloc = DayAlloc::all_at(second.site, VisitKind::SecondHome);
+            let mut alloc = DayAlloc::all_at(scratch, second.site, VisitKind::SecondHome);
             // Local wandering around the second home.
             let n = poisson(&mut rng, 1.4).min(sub.anchors.second_neighborhood.len());
             for i in 0..n {
@@ -215,11 +291,8 @@ impl<'a> TrajectoryGenerator<'a> {
                     [rng.gen_range(0..3)];
                 alloc.carve(bin, a.site, 30 + rng.gen_range(0..30), VisitKind::Wander);
             }
-            return DayTrajectory {
-                subscriber: sub.id,
-                day,
-                visits: alloc.into_visits(),
-            };
+            alloc.write_visits(&mut out.visits);
+            return;
         }
 
         let home_zone = self.geo.zone(sub.home_zone);
@@ -236,7 +309,7 @@ impl<'a> TrajectoryGenerator<'a> {
             .behavior
             .day_plan(date, sub, cluster, county, weekend_dest);
 
-        let mut alloc = DayAlloc::all_at(home_site, VisitKind::Home);
+        let mut alloc = DayAlloc::all_at(scratch, home_site, VisitKind::Home);
 
         // Weekend trip: the day bins at the distant anchor.
         let mut on_trip = false;
@@ -310,11 +383,7 @@ impl<'a> TrajectoryGenerator<'a> {
             }
         }
 
-        DayTrajectory {
-            subscriber: sub.id,
-            day,
-            visits: alloc.into_visits(),
-        }
+        alloc.write_visits(&mut out.visits);
     }
 }
 

@@ -1,0 +1,82 @@
+//! Bench-facing drivers for the subscriber-day hot path.
+//!
+//! The phase internals (`phase_a_block`, `phase_b_chunk`, the roster)
+//! are crate-private by design — the public API of this crate is the
+//! study, not its plumbing. The allocation-counting bench and the
+//! `repro --bench-summary` baseline writer still need to run exactly
+//! one phase-A day block and one phase-B day block outside the
+//! executor, so they can time the block and diff a process-global
+//! allocation counter around it. [`HotpathHarness`] is that minimal
+//! surface: it drives the real phase functions unchanged (same RNG
+//! streams, same ingest order) and reports the item count back from
+//! the task context, nothing more.
+
+use crate::config::ScenarioConfig;
+use crate::run::{self, StudyRoster, PHASE_A_BLOCK_DAYS, PHASE_B_BLOCK_DAYS};
+use crate::world::World;
+use cellscope_exec::TaskCtx;
+
+/// Drives single phase-A / phase-B day blocks for benchmarking.
+pub struct HotpathHarness<'w> {
+    config: &'w ScenarioConfig,
+    world: &'w World,
+    roster: StudyRoster,
+}
+
+impl<'w> HotpathHarness<'w> {
+    /// Build the feed-side roster once; block runs reuse it, exactly
+    /// like the executor's workers do.
+    pub fn new(config: &'w ScenarioConfig, world: &'w World) -> HotpathHarness<'w> {
+        HotpathHarness {
+            config,
+            world,
+            roster: run::build_roster(config, world),
+        }
+    }
+
+    /// The first phase-A day block of the study (the unit of work one
+    /// executor task processes).
+    pub fn phase_a_days(&self) -> Vec<u16> {
+        self.world.clock.days().take(PHASE_A_BLOCK_DAYS).collect()
+    }
+
+    /// The first phase-B day block of the study.
+    pub fn phase_b_days(&self) -> Vec<u16> {
+        self.world.clock.days().take(PHASE_B_BLOCK_DAYS).collect()
+    }
+
+    /// Run one phase-A block over `days`; returns the user-days folded
+    /// in (the stage's item count).
+    pub fn run_phase_a_block(&self, days: &[u16]) -> u64 {
+        let mut ctx = TaskCtx::default();
+        let block = run::phase_a_block(self.config, self.world, &self.roster, days, &mut ctx);
+        std::hint::black_box(&block);
+        ctx.items()
+    }
+
+    /// Run one phase-B block over `days` at population scale 1.0 (the
+    /// scale factor multiplies loads, it does not change the work);
+    /// returns the cell-days produced.
+    pub fn run_phase_b_block(&self, days: &[u16]) -> u64 {
+        let mut ctx = TaskCtx::default();
+        let out = run::phase_b_chunk(self.config, self.world, days, 1.0, &mut ctx);
+        std::hint::black_box(&out);
+        ctx.items()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_both_phases_and_counts_items() {
+        let config = ScenarioConfig::tiny(7);
+        let world = World::build(&config);
+        let harness = HotpathHarness::new(&config, &world);
+        let a = harness.run_phase_a_block(&harness.phase_a_days());
+        let b = harness.run_phase_b_block(&harness.phase_b_days());
+        assert!(a > 0, "phase A folded no user-days");
+        assert!(b > 0, "phase B produced no cell-days");
+    }
+}

@@ -21,6 +21,7 @@
 pub mod config;
 pub mod dataset;
 pub mod figures;
+pub mod hotpath;
 pub mod replay;
 pub mod run;
 pub mod variants;

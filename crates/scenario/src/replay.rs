@@ -52,10 +52,10 @@ use crate::world::World;
 use cellscope_core::kpi_stats::{CellDayMetrics, HourlyKpiSample};
 use cellscope_core::KpiTable;
 use cellscope_exec::{ExecError, Executor};
-use cellscope_mobility::TrajectoryGenerator;
+use cellscope_mobility::{DayTrajectory, TrajectoryGenerator};
 use cellscope_radio::{Scheduler, SchedulerConfig};
 use cellscope_signaling::{
-    reconstruct_dwell, write_events_jsonl, EventGenerator, EventReader, FeedBounds,
+    reconstruct_dwell_into, write_events_jsonl, EventGenerator, EventReader, FeedBounds,
     FeedError, FeedStats, MalformedPolicy, SignalingEvent,
 };
 use cellscope_traffic::DayLoadGrid;
@@ -149,9 +149,9 @@ pub fn export_feeds_in(
         ));
     }
     fs::create_dir_all(dir)?;
-    let trajgen =
+    let mut trajgen =
         TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
-    let eventgen = EventGenerator::new(
+    let mut eventgen = EventGenerator::new(
         &world.topo,
         &world.catalog,
         world.anonymizer,
@@ -161,6 +161,8 @@ pub fn export_feeds_in(
     let loadgen = run::load_generator(config, scale);
     let scheduler = Scheduler::new(SchedulerConfig::default());
     let mut grid = DayLoadGrid::new(world.topo.cells().len());
+    let mut traj_buf = DayTrajectory::default();
+    let mut events_buf: Vec<SignalingEvent> = Vec::new();
     let mut hours_buf: Vec<HourlyKpiSample> = Vec::with_capacity(24);
     let mut voice_out = BufWriter::new(fs::File::create(dir.join(VOICE_FILE))?);
 
@@ -170,9 +172,9 @@ pub fn export_feeds_in(
         let mut ev_out =
             BufWriter::new(fs::File::create(dir.join(events_file_name(day)))?);
         for sub in world.population.subscribers() {
-            let traj = trajgen.generate(sub, day);
-            let events = eventgen.generate(sub, &traj);
-            write_events_jsonl(&mut ev_out, &events)?;
+            trajgen.generate_into(sub, day, &mut traj_buf);
+            eventgen.generate_into(sub, &traj_buf, &mut events_buf);
+            write_events_jsonl(&mut ev_out, &events_buf)?;
         }
         ev_out.flush()?;
 
@@ -183,11 +185,12 @@ pub fn export_feeds_in(
         let mut write_err: Option<io::Error> = None;
         let voice = run::simulate_day_kpi(
             world,
-            &trajgen,
+            &mut trajgen,
             &loadgen,
             &scheduler,
             &mut grid,
             day,
+            &mut traj_buf,
             &mut hours_buf,
             |cell, hours| {
                 if write_err.is_some() {
@@ -539,7 +542,7 @@ pub fn replay_study_with(
     let roster_ref = &roster;
     let anon_ref = &anon_index;
     let feb_ref = &feb_set;
-    let (outputs, worker_metrics) = exec.run_pipeline(
+    let (outputs, worker_metrics) = exec.run_pipeline_with(
         "replay_days",
         capacity,
         || {
@@ -567,11 +570,10 @@ pub fn replay_study_with(
             report.bytes_read += (events_text.len() + kpi_text.len()) as u64;
             Some(DayTask { day, events_name, events_text, kpi_name, kpi_text })
         },
-        |_, task, ctx| {
-            let mut scratch = IngestScratch::default();
+        ReplayScratch::default,
+        |scratch, _, task, ctx| {
             let r = replay_day(
-                world, roster_ref, anon_ref, feb_ref, policy, bounds, task,
-                &mut scratch,
+                world, roster_ref, anon_ref, feb_ref, policy, bounds, task, scratch,
             );
             if let Ok(out) = &r {
                 ctx.add_items(out.stats.ingested);
@@ -629,6 +631,19 @@ pub fn replay_study_with(
     Ok((dataset, report))
 }
 
+/// Per-worker scratch of the replay pipeline: the shared ingest arena
+/// plus the day-level buffers (event stream, duplicate-run set, per-cell
+/// KPI hours). One instance lives on each worker thread for the whole
+/// replay — day after day reuses the same high-water capacity, so the
+/// steady-state loop allocates nothing.
+#[derive(Default)]
+struct ReplayScratch {
+    ingest: IngestScratch,
+    events: Vec<SignalingEvent>,
+    seen: HashSet<u64>,
+    hours: Vec<HourlyKpiSample>,
+}
+
 /// Replay one day's feeds into a per-day phase-A partial and KPI table.
 #[allow(clippy::too_many_arguments)]
 fn replay_day(
@@ -639,7 +654,7 @@ fn replay_day(
     policy: MalformedPolicy,
     bounds: FeedBounds,
     task: DayTask,
-    scratch: &mut IngestScratch,
+    scratch: &mut ReplayScratch,
 ) -> Result<DayOutput, ReplayError> {
     let DayTask { day, events_name, events_text, kpi_name, kpi_text } = task;
     let mut stats = DayStats::default();
@@ -649,10 +664,10 @@ fn replay_day(
     let mut reader = EventReader::new(events_text.as_bytes())
         .with_policy(policy)
         .with_bounds(bounds);
-    let mut events: Vec<SignalingEvent> = Vec::new();
+    scratch.events.clear();
     for item in &mut reader {
         match item {
-            Ok(ev) => events.push(ev),
+            Ok(ev) => scratch.events.push(ev),
             Err(source) => {
                 return Err(ReplayError::Feed { file: events_name, source })
             }
@@ -666,7 +681,9 @@ fn replay_day(
     // Segment into per-subscriber runs (the exporter writes one
     // contiguous run per subscriber, in subscriber order) and drive the
     // identical ingestion the in-memory phase A uses.
-    let mut seen: HashSet<u64> = HashSet::new();
+    let events = &scratch.events;
+    let seen = &mut scratch.seen;
+    seen.clear();
     let mut i = 0usize;
     while i < events.len() {
         let anon = events[i].anon_id;
@@ -726,10 +743,11 @@ fn replay_day(
         stats.ingested += run_slice.len() as u64;
         stats.user_days += 1;
 
-        scratch.segments.clear();
-        for rec in reconstruct_dwell(run_slice) {
+        scratch.ingest.segments.clear();
+        reconstruct_dwell_into(run_slice, &mut scratch.ingest.dwell_records);
+        for rec in &scratch.ingest.dwell_records {
             let cell = world.topo.cell(rec.cell);
-            scratch.segments.push(SiteDwell {
+            scratch.ingest.segments.push(SiteDwell {
                 bin: rec.bin,
                 site: cell.site.0,
                 minutes: rec.minutes,
@@ -737,20 +755,33 @@ fn replay_day(
             });
         }
         run::ingest_user_day(
-            world, &mut block, scratch, sub_idx, num_subs, 0, day, feb_night,
-            anon, &groups,
+            world, &mut block, &mut scratch.ingest, sub_idx, num_subs, 0, day,
+            feb_night, anon, &groups,
         );
     }
 
     // --- KPI feed → per-day KPI table ----------------------------------
+    // One reused hours buffer tracks the current cell's samples (the
+    // exporter writes each cell's 24 lines consecutively); rejection
+    // causes stay unformatted unless FailFast surfaces them.
+    enum KpiReject {
+        Parse(serde_json::Error),
+        DayOutOfRange(u16),
+        CellOutOfRange(u32),
+        WrongFile(u16),
+    }
     let mut kpi = KpiTable::new();
-    let mut current: Option<(u32, Vec<HourlyKpiSample>)> = None;
-    let flush = |current: &mut Option<(u32, Vec<HourlyKpiSample>)>,
+    let mut current_cell: Option<u32> = None;
+    let hours = &mut scratch.hours;
+    hours.clear();
+    let flush = |current_cell: &mut Option<u32>,
+                 hours: &mut Vec<HourlyKpiSample>,
                  kpi: &mut KpiTable| {
-        if let Some((cell, hours)) = current.take() {
-            if let Some(rec) = CellDayMetrics::from_hourly(cell, day, &hours) {
+        if let Some(cell) = current_cell.take() {
+            if let Some(rec) = CellDayMetrics::from_hourly(cell, day, hours) {
                 kpi.push(rec);
             }
+            hours.clear();
         }
     };
     for (idx, line) in kpi_text.lines().enumerate() {
@@ -760,54 +791,63 @@ fn replay_day(
             stats.kpi.blank += 1;
             continue;
         }
-        let parsed: Result<KpiHourRecord, String> =
-            serde_json::from_str(trimmed).map_err(|e| e.to_string());
-        let checked = parsed.and_then(|r| {
-            if r.day >= bounds.num_days {
-                Err(format!(
-                    "day {} out of range (study has {} days)",
-                    r.day, bounds.num_days
-                ))
-            } else if r.cell >= bounds.num_cells {
-                Err(format!(
-                    "cell {} out of range (topology has {} cells)",
-                    r.cell, bounds.num_cells
-                ))
-            } else if r.day != day {
-                Err(format!("day {} in the feed file of day {day}", r.day))
-            } else {
-                Ok(r)
-            }
-        });
+        let checked = serde_json::from_str::<KpiHourRecord>(trimmed)
+            .map_err(KpiReject::Parse)
+            .and_then(|r| {
+                if r.day >= bounds.num_days {
+                    Err(KpiReject::DayOutOfRange(r.day))
+                } else if r.cell >= bounds.num_cells {
+                    Err(KpiReject::CellOutOfRange(r.cell))
+                } else if r.day != day {
+                    Err(KpiReject::WrongFile(r.day))
+                } else {
+                    Ok(r)
+                }
+            });
         match checked {
             Ok(r) => {
                 stats.kpi.parsed += 1;
-                match &mut current {
-                    Some((cell, hours)) if *cell == r.cell => hours.push(r.sample),
+                match current_cell {
+                    Some(cell) if cell == r.cell => hours.push(r.sample),
                     _ => {
-                        flush(&mut current, &mut kpi);
-                        current = Some((r.cell, vec![r.sample]));
+                        flush(&mut current_cell, &mut *hours, &mut kpi);
+                        current_cell = Some(r.cell);
+                        hours.push(r.sample);
                     }
                 }
             }
-            Err(reason) => {
+            Err(reject) => {
                 stats.kpi.malformed += 1;
                 match policy {
                     MalformedPolicy::SkipAndCount => continue,
                     MalformedPolicy::FailFast => {
+                        let reason = match reject {
+                            KpiReject::Parse(e) => e.to_string(),
+                            KpiReject::DayOutOfRange(d) => format!(
+                                "day {d} out of range (study has {} days)",
+                                bounds.num_days
+                            ),
+                            KpiReject::CellOutOfRange(c) => format!(
+                                "cell {c} out of range (topology has {} cells)",
+                                bounds.num_cells
+                            ),
+                            KpiReject::WrongFile(d) => {
+                                format!("day {d} in the feed file of day {day}")
+                            }
+                        };
                         return Err(ReplayError::Feed {
                             file: kpi_name,
                             source: FeedError::Malformed {
                                 line: idx as u64 + 1,
                                 reason,
                             },
-                        })
+                        });
                     }
                 }
             }
         }
     }
-    flush(&mut current, &mut kpi);
+    flush(&mut current_cell, &mut *hours, &mut kpi);
     stats.cell_days = kpi.len() as u64;
 
     Ok(DayOutput { block, kpi, stats })
@@ -832,26 +872,34 @@ fn read_voice_feed(
             report.voice.blank += 1;
             continue;
         }
-        let parsed: Result<VoiceDayRecord, String> =
-            serde_json::from_str(trimmed).map_err(|e| e.to_string());
-        let checked = parsed.and_then(|r| {
-            if r.day >= num_days {
-                Err(format!(
-                    "day {} out of range (study has {num_days} days)",
-                    r.day
-                ))
-            } else {
-                Ok(r)
-            }
-        });
+        // Rejection causes stay unformatted; only FailFast renders them.
+        enum VoiceReject {
+            Parse(serde_json::Error),
+            DayOutOfRange(u16),
+        }
+        let checked = serde_json::from_str::<VoiceDayRecord>(trimmed)
+            .map_err(VoiceReject::Parse)
+            .and_then(|r| {
+                if r.day >= num_days {
+                    Err(VoiceReject::DayOutOfRange(r.day))
+                } else {
+                    Ok(r)
+                }
+            });
         match checked {
             Ok(r) => {
                 report.voice.parsed += 1;
                 voice[r.day as usize] = Some(r.off_net_voice_mb);
             }
-            Err(reason) => {
+            Err(reject) => {
                 report.voice.malformed += 1;
                 if policy == MalformedPolicy::FailFast {
+                    let reason = match reject {
+                        VoiceReject::Parse(e) => e.to_string(),
+                        VoiceReject::DayOutOfRange(d) => {
+                            format!("day {d} out of range (study has {num_days} days)")
+                        }
+                    };
                     return Err(ReplayError::Feed {
                         file: VOICE_FILE.to_string(),
                         source: FeedError::Malformed {

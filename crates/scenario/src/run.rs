@@ -38,14 +38,16 @@ use crate::dataset::{HomeValidationPoint, MetricGroup, StudyDataset, UserInfo};
 use crate::world::World;
 use cellscope_core::kpi_stats::{CellDayMetrics, HourlyKpiSample};
 use cellscope_core::study::{MobilityStudy, StudyConfig, UserDayDwell};
-use cellscope_core::{top_n_towers, DailyGroupMean, KpiTable, MobilityMatrix, TowerDwell};
+use cellscope_core::{top_n_towers_into, DailyGroupMean, KpiTable, MobilityMatrix, TowerDwell};
 use cellscope_exec::{ExecError, Executor, TaskCtx};
 use cellscope_geo::County;
-use cellscope_mobility::TrajectoryGenerator;
+use cellscope_mobility::{DayTrajectory, TrajectoryGenerator};
 use cellscope_radio::{
     CellHourKpi, Interconnect, InterconnectConfig, Rat, Scheduler, SchedulerConfig,
 };
-use cellscope_signaling::{reconstruct_dwell, EventGenerator};
+use cellscope_signaling::{
+    reconstruct_dwell_into, DwellRecord, EventGenerator, SignalingEvent,
+};
 use cellscope_time::DayBin;
 use cellscope_traffic::{DayLoadGrid, DemandModel, LoadGenerator, ThrottlePolicy, VoiceModel};
 
@@ -184,16 +186,29 @@ pub(crate) struct SiteDwell {
     pub(crate) rat: Rat,
 }
 
-/// Reusable per-worker scratch for [`ingest_user_day`].
+/// The per-worker scratch arena of the subscriber-day hot path. One
+/// instance lives per worker (block task or replay thread) and owns
+/// every buffer the pipeline touches per user-day — trajectory, event
+/// stream, reconstructed dwell, tower aggregation, top-N selection —
+/// so the steady-state loop allocates nothing: each buffer is cleared
+/// and refilled in place once its high-water capacity is reached.
 #[derive(Default)]
 pub(crate) struct IngestScratch {
     /// Caller fills this with the user-day's segments before calling
     /// [`ingest_user_day`].
     pub(crate) segments: Vec<SiteDwell>,
+    /// Trajectory buffer for [`TrajectoryGenerator::generate_into`].
+    pub(crate) traj: DayTrajectory,
+    /// Event buffer for [`EventGenerator::generate_into`].
+    pub(crate) events: Vec<SignalingEvent>,
+    /// Dwell buffer for [`reconstruct_dwell_into`].
+    pub(crate) dwell_records: Vec<DwellRecord>,
     site_minutes: Vec<(u32, u16, u16)>, // (site, mins, night mins)
     dwell: Vec<TowerDwell>,
     bin_dwell: Vec<TowerDwell>,
     night_pairs: Vec<(u32, u16)>,
+    /// Top-N output of the study ingest and the county-mask selection.
+    top: Vec<TowerDwell>,
 }
 
 /// Fold one user-day (its segments sitting in `scratch.segments`) into
@@ -241,7 +256,7 @@ pub(crate) fn ingest_user_day(
                 .map(|&(site, _, night)| (site, night)),
         );
     }
-    out.study.ingest(
+    out.study.ingest_with(
         UserDayDwell {
             user: anon,
             day,
@@ -249,6 +264,7 @@ pub(crate) fn ingest_user_day(
             night_minutes: &scratch.night_pairs,
         },
         groups,
+        &mut scratch.top,
     );
 
     // Per-bin gyration (Section 2.3 computes the metrics over the six
@@ -272,10 +288,12 @@ pub(crate) fn ingest_user_day(
     }
 
     // County presence mask (for the mobility matrix), over the same
-    // top-20 tower set the metrics use.
-    let top = top_n_towers(&scratch.dwell, 20);
+    // top-20 tower set the metrics use. Recomputed into the reused
+    // scratch buffer so the mask stays decoupled from the study's
+    // configured top-N (both are 20 today).
+    top_n_towers_into(&scratch.dwell, 20, &mut scratch.top);
     let mut mask = 0u32;
-    for t in &top {
+    for t in &scratch.top {
         let zone = world.topo.site(cellscope_radio::SiteId(t.tower)).zone;
         mask |= 1 << world.geo.zone(zone).county.index();
     }
@@ -336,16 +354,16 @@ pub(crate) fn merge_phase_a(
     merged
 }
 
-fn phase_a_block(
+pub(crate) fn phase_a_block(
     config: &ScenarioConfig,
     world: &World,
     roster: &StudyRoster,
     block: &[u16],
     ctx: &mut TaskCtx,
 ) -> PhaseABlock {
-    let trajgen =
+    let mut trajgen =
         TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
-    let eventgen = EventGenerator::new(
+    let mut eventgen = EventGenerator::new(
         &world.topo,
         &world.catalog,
         world.anonymizer,
@@ -367,14 +385,15 @@ fn phase_a_block(
             let Some((anon, groups)) = roster.members[sub_idx] else {
                 continue;
             };
-            let traj = trajgen.generate(sub, day);
+            trajgen.generate_into(sub, day, &mut scratch.traj);
             scratch.segments.clear();
             if config.use_event_reconstruction {
-                let events = eventgen.generate(sub, &traj);
-                if events.is_empty() {
+                eventgen.generate_into(sub, &scratch.traj, &mut scratch.events);
+                if scratch.events.is_empty() {
                     continue; // device unreachable today
                 }
-                for rec in reconstruct_dwell(&events) {
+                reconstruct_dwell_into(&scratch.events, &mut scratch.dwell_records);
+                for rec in &scratch.dwell_records {
                     let cell = world.topo.cell(rec.cell);
                     scratch.segments.push(SiteDwell {
                         bin: rec.bin,
@@ -384,15 +403,17 @@ fn phase_a_block(
                     });
                 }
             } else {
-                if traj.visits.is_empty() {
+                if scratch.traj.visits.is_empty() {
                     continue;
                 }
-                scratch.segments.extend(traj.visits.iter().map(|v| SiteDwell {
-                    bin: v.bin,
-                    site: v.site.0,
-                    minutes: v.minutes,
-                    rat: Rat::G4,
-                }));
+                scratch
+                    .segments
+                    .extend(scratch.traj.visits.iter().map(|v| SiteDwell {
+                        bin: v.bin,
+                        site: v.site.0,
+                        minutes: v.minutes,
+                        rat: Rat::G4,
+                    }));
             }
             ingest_user_day(
                 world, &mut out, &mut scratch, sub_idx, num_subs, local_day, day,
@@ -436,12 +457,13 @@ pub(crate) fn calibrate_traffic_scale(config: &ScenarioConfig, world: &World) ->
         .day_of(cellscope_time::Date::ymd(2020, 2, 25))
         .expect("baseline Tuesday inside study window");
     let date = world.clock.date(day);
-    let trajgen =
+    let mut trajgen =
         TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
     let loadgen = load_generator(config, 1.0);
     let mut grid = DayLoadGrid::new(world.topo.cells().len());
+    let mut traj = DayTrajectory::default();
     for sub in world.population.subscribers() {
-        let traj = trajgen.generate(sub, day);
+        trajgen.generate_into(sub, day, &mut traj);
         loadgen.accumulate(sub, &traj, date, 0.0, 0.0, &world.topo, &mut grid);
     }
     let usable = SchedulerConfig::default().usable_capacity_fraction;
@@ -530,30 +552,32 @@ fn run_phase_b(
     Ok((kpi, voice_daily))
 }
 
-fn phase_b_chunk(
+pub(crate) fn phase_b_chunk(
     config: &ScenarioConfig,
     world: &World,
     days: &[u16],
     scale: f64,
     ctx: &mut TaskCtx,
 ) -> (KpiTable, Vec<(u16, f64)>) {
-    let trajgen =
+    let mut trajgen =
         TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
     let loadgen = load_generator(config, scale);
     let scheduler = Scheduler::new(SchedulerConfig::default());
     let mut grid = DayLoadGrid::new(world.topo.cells().len());
     let mut kpi = KpiTable::new();
     let mut voices = Vec::with_capacity(days.len());
+    let mut traj_buf = DayTrajectory::default();
     let mut hours_buf: Vec<HourlyKpiSample> = Vec::with_capacity(24);
 
     for &day in days {
         let voice = simulate_day_kpi(
             world,
-            &trajgen,
+            &mut trajgen,
             &loadgen,
             &scheduler,
             &mut grid,
             day,
+            &mut traj_buf,
             &mut hours_buf,
             |cell_id, hours| {
                 if let Some(rec) = CellDayMetrics::from_hourly(cell_id, day, hours) {
@@ -578,11 +602,12 @@ fn phase_b_chunk(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn simulate_day_kpi(
     world: &World,
-    trajgen: &TrajectoryGenerator<'_>,
+    trajgen: &mut TrajectoryGenerator<'_>,
     loadgen: &LoadGenerator,
     scheduler: &Scheduler,
     grid: &mut DayLoadGrid,
     day: u16,
+    traj_buf: &mut DayTrajectory,
     hours_buf: &mut Vec<HourlyKpiSample>,
     mut sink: impl FnMut(u32, &[HourlyKpiSample]),
 ) -> f64 {
@@ -597,8 +622,8 @@ pub(crate) fn simulate_day_kpi(
     };
     grid.clear();
     for sub in world.population.subscribers() {
-        let traj = trajgen.generate(sub, day);
-        loadgen.accumulate(sub, &traj, date, intensity, confinement, &world.topo, grid);
+        trajgen.generate_into(sub, day, traj_buf);
+        loadgen.accumulate(sub, traj_buf, date, intensity, confinement, &world.topo, grid);
     }
     let voice = loadgen.off_net_voice_mb(grid);
 

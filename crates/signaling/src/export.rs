@@ -117,22 +117,63 @@ pub struct FeedBounds {
 
 impl FeedBounds {
     /// Validate an event against the bounds.
-    pub fn check(&self, event: &SignalingEvent) -> Result<(), String> {
+    ///
+    /// Returns a [`BoundsViolation`] — a `Copy` value, no allocation —
+    /// so the replay hot path can reject millions of events without
+    /// formatting a `String` per rejection. Format (via `Display`) only
+    /// when the error is actually surfaced.
+    pub fn check(&self, event: &SignalingEvent) -> Result<(), BoundsViolation> {
         if event.day >= self.num_days {
-            return Err(format!(
-                "day {} out of range (study has {} days)",
-                event.day, self.num_days
-            ));
+            return Err(BoundsViolation::DayOutOfRange {
+                day: event.day,
+                num_days: self.num_days,
+            });
         }
         if event.cell.0 >= self.num_cells {
-            return Err(format!(
-                "cell {} out of range (topology has {} cells)",
-                event.cell.0, self.num_cells
-            ));
+            return Err(BoundsViolation::CellOutOfRange {
+                cell: event.cell.0,
+                num_cells: self.num_cells,
+            });
         }
         Ok(())
     }
 }
+
+/// Why an event failed [`FeedBounds::check`]. Carries the raw ids so
+/// the message can be produced lazily; `Display` renders exactly the
+/// strings the old `Result<(), String>` API formatted eagerly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundsViolation {
+    /// `event.day` is not `< num_days`.
+    DayOutOfRange {
+        /// Offending day.
+        day: u16,
+        /// Study length in days.
+        num_days: u16,
+    },
+    /// `event.cell.0` is not `< num_cells`.
+    CellOutOfRange {
+        /// Offending cell id.
+        cell: u32,
+        /// Topology cell count.
+        num_cells: u32,
+    },
+}
+
+impl fmt::Display for BoundsViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundsViolation::DayOutOfRange { day, num_days } => {
+                write!(f, "day {day} out of range (study has {num_days} days)")
+            }
+            BoundsViolation::CellOutOfRange { cell, num_cells } => {
+                write!(f, "cell {cell} out of range (topology has {num_cells} cells)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoundsViolation {}
 
 /// Streaming JSONL event reader: an iterator over
 /// `Result<SignalingEvent, FeedError>`.
@@ -184,29 +225,43 @@ impl<R: BufRead> EventReader<R> {
     }
 
     /// Classify the current buffer; `None` means "skip, keep reading".
+    ///
+    /// Error *formatting* is deferred until the error is surfaced:
+    /// under [`MalformedPolicy::SkipAndCount`] a bad line costs one
+    /// counter bump, not a `String` render — on a replay of a damaged
+    /// multi-million-line feed that difference is the hot path.
     fn take_line(&mut self) -> Option<Result<SignalingEvent, FeedError>> {
         let line = self.buf.trim();
         if line.is_empty() {
             self.stats.blank += 1;
             return None;
         }
-        let parsed: Result<SignalingEvent, String> =
-            serde_json::from_str(line).map_err(|e| e.to_string());
-        let checked = parsed.and_then(|ev| match &self.bounds {
-            Some(b) => b.check(&ev).map(|()| ev),
-            None => Ok(ev),
-        });
+        // Unformatted rejection cause, rendered only under FailFast.
+        enum Reject {
+            Parse(serde_json::Error),
+            Bounds(BoundsViolation),
+        }
+        let checked = serde_json::from_str::<SignalingEvent>(line)
+            .map_err(Reject::Parse)
+            .and_then(|ev| match &self.bounds {
+                Some(b) => b.check(&ev).map(|()| ev).map_err(Reject::Bounds),
+                None => Ok(ev),
+            });
         match checked {
             Ok(ev) => {
                 self.stats.parsed += 1;
                 Some(Ok(ev))
             }
-            Err(reason) => {
+            Err(reject) => {
                 self.stats.malformed += 1;
                 match self.policy {
                     MalformedPolicy::SkipAndCount => None,
                     MalformedPolicy::FailFast => {
                         self.done = true;
+                        let reason = match reject {
+                            Reject::Parse(e) => e.to_string(),
+                            Reject::Bounds(v) => v.to_string(),
+                        };
                         Some(Err(FeedError::Malformed {
                             line: self.stats.lines_read,
                             reason,
@@ -372,9 +427,15 @@ mod tests {
         let mut ev = sample(1)[0];
         assert!(bounds.check(&ev).is_ok());
         ev.day = 20;
-        assert!(bounds.check(&ev).unwrap_err().contains("day 20"));
+        assert_eq!(
+            bounds.check(&ev).unwrap_err().to_string(),
+            "day 20 out of range (study has 20 days)"
+        );
         ev.day = 5;
         ev.cell = CellId(7);
-        assert!(bounds.check(&ev).unwrap_err().contains("cell 7"));
+        assert_eq!(
+            bounds.check(&ev).unwrap_err().to_string(),
+            "cell 7 out of range (topology has 7 cells)"
+        );
     }
 }

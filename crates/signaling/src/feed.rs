@@ -44,8 +44,24 @@ pub struct DwellRecord {
 ///
 /// Returns an empty vector for an empty event list (device unreachable).
 pub fn reconstruct_dwell(events: &[SignalingEvent]) -> Vec<DwellRecord> {
+    let mut out = Vec::new();
+    reconstruct_dwell_into(events, &mut out);
+    out
+}
+
+/// [`reconstruct_dwell`] into a caller-owned buffer: zero allocation
+/// once `out`'s capacity covers a user-day's records. `out` is cleared
+/// first, so a dirty buffer from the previous user-day is fine.
+///
+/// Bit-identical to the map-based path: records land sorted by
+/// (cell, bin) with unique keys — exactly a `BTreeMap<(CellId, DayBin),
+/// u16>`'s ascending iteration order — because the `u16` minute sums
+/// commute, so sorting the per-chunk records unstably before the
+/// adjacent merge reproduces the map's accumulation.
+pub fn reconstruct_dwell_into(events: &[SignalingEvent], out: &mut Vec<DwellRecord>) {
+    out.clear();
     let Some(first) = events.first() else {
-        return Vec::new();
+        return;
     };
     debug_assert!(
         events.windows(2).all(|w| w[0].minute <= w[1].minute),
@@ -58,45 +74,51 @@ pub fn reconstruct_dwell(events: &[SignalingEvent]) -> Vec<DwellRecord> {
         "events must belong to one (user, day)"
     );
 
-    // Build camping intervals [start, end) on the minute line.
-    let mut intervals: Vec<(CellId, u16, u16)> = Vec::new();
-    let mut current_cell = first.cell;
-    let mut start = 0u16;
-    for ev in events {
-        if ev.cell != current_cell {
-            if ev.minute > start {
-                intervals.push((current_cell, start, ev.minute));
-            }
-            current_cell = ev.cell;
-            start = ev.minute;
-        }
-    }
-    intervals.push((current_cell, start, 1440));
-
-    // Split each interval across 4-hour bins and accumulate per
-    // (cell, bin).
-    let mut acc: std::collections::BTreeMap<(CellId, DayBin), u16> =
-        std::collections::BTreeMap::new();
-    for (cell, s, e) in intervals {
+    // Walk camping intervals [start, end) on the minute line, pushing
+    // one record per (interval, bin) chunk — no interval Vec, no map.
+    let mut push_interval = |cell: CellId, s: u16, e: u16| {
         let mut cursor = s;
         while cursor < e {
             let bin = DayBin::of_hour((cursor / 60) as u8);
             let bin_end = (bin.start_hour() as u16 + 4) * 60;
             let chunk_end = e.min(bin_end);
-            *acc.entry((cell, bin)).or_default() += chunk_end - cursor;
+            out.push(DwellRecord {
+                anon_id: first.anon_id,
+                day: first.day,
+                cell,
+                bin,
+                minutes: chunk_end - cursor,
+            });
             cursor = chunk_end;
         }
+    };
+    let mut current_cell = first.cell;
+    let mut start = 0u16;
+    for ev in events {
+        if ev.cell != current_cell {
+            if ev.minute > start {
+                push_interval(current_cell, start, ev.minute);
+            }
+            current_cell = ev.cell;
+            start = ev.minute;
+        }
     }
+    push_interval(current_cell, start, 1440);
 
-    acc.into_iter()
-        .map(|((cell, bin), minutes)| DwellRecord {
-            anon_id: first.anon_id,
-            day: first.day,
-            cell,
-            bin,
-            minutes,
-        })
-        .collect()
+    // Group chunks by (cell, bin) and merge adjacent duplicates in
+    // place, summing minutes.
+    out.sort_unstable_by_key(|r| (r.cell, r.bin));
+    let mut w = 0usize;
+    for i in 0..out.len() {
+        let r = out[i];
+        if w > 0 && out[w - 1].cell == r.cell && out[w - 1].bin == r.bin {
+            out[w - 1].minutes += r.minutes;
+        } else {
+            out[w] = r;
+            w += 1;
+        }
+    }
+    out.truncate(w);
 }
 
 /// Share of dwell minutes spent on each RAT — the Section 2.4 statistic

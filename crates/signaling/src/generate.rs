@@ -51,6 +51,9 @@ pub struct EventGenerator<'a> {
     catalog: &'a TacCatalog,
     anonymizer: Anonymizer,
     config: EventGenConfig,
+    /// Reusable candidate-cell buffer for [`pick_cell`](Self::pick_cell)
+    /// — the only per-visit allocation the generator used to make.
+    cells_buf: Vec<(CellId, Rat)>,
 }
 
 impl<'a> EventGenerator<'a> {
@@ -66,6 +69,7 @@ impl<'a> EventGenerator<'a> {
             catalog,
             anonymizer,
             config,
+            cells_buf: Vec::new(),
         }
     }
 
@@ -89,8 +93,37 @@ impl<'a> EventGenerator<'a> {
     /// Generate the day's event stream, chronologically ordered.
     pub fn generate(&self, sub: &Subscriber, trajectory: &DayTrajectory) -> Vec<SignalingEvent> {
         let mut events = Vec::new();
+        let mut cells = Vec::new();
+        self.generate_with(sub, trajectory, &mut cells, &mut events);
+        events
+    }
+
+    /// [`generate`](Self::generate) into a caller-owned buffer, reusing
+    /// the generator's internal candidate-cell scratch — the hot-loop
+    /// form: after warm-up, no allocation happens per subscriber-day.
+    /// `out` is cleared first, so a dirty buffer is fine. Bit-identical
+    /// to the allocating path.
+    pub fn generate_into(
+        &mut self,
+        sub: &Subscriber,
+        trajectory: &DayTrajectory,
+        out: &mut Vec<SignalingEvent>,
+    ) {
+        let mut cells = std::mem::take(&mut self.cells_buf);
+        self.generate_with(sub, trajectory, &mut cells, out);
+        self.cells_buf = cells;
+    }
+
+    fn generate_with(
+        &self,
+        sub: &Subscriber,
+        trajectory: &DayTrajectory,
+        cells: &mut Vec<(CellId, Rat)>,
+        events: &mut Vec<SignalingEvent>,
+    ) {
+        events.clear();
         if trajectory.visits.is_empty() {
-            return events; // device unreachable (abroad / powered off)
+            return; // device unreachable (abroad / powered off)
         }
         let mut rng = simrng::rng_for(self.config.seed, sub.id.0, trajectory.day, 0xE7E);
         let anon_id = self.anonymizer.anon_id(sub.id.0);
@@ -124,15 +157,16 @@ impl<'a> EventGenerator<'a> {
             for visit in trajectory.visits.iter().filter(|v| v.bin == bin) {
                 let start = cursor;
                 cursor += visit.minutes;
-                let Some(cell) = self.pick_cell(visit.site, sub.device, day, &mut rng) else {
+                let Some(cell) = self.pick_cell(visit.site, sub.device, day, &mut rng, cells)
+                else {
                     continue;
                 };
 
                 if first {
-                    push(&mut events, &mut rng, start, cell, EventType::Attach);
-                    push(&mut events, &mut rng, start, cell, EventType::Authentication);
+                    push(&mut *events, &mut rng, start, cell, EventType::Attach);
+                    push(&mut *events, &mut rng, start, cell, EventType::Authentication);
                     push(
-                        &mut events,
+                        &mut *events,
                         &mut rng,
                         start,
                         cell,
@@ -147,7 +181,7 @@ impl<'a> EventGenerator<'a> {
                     } else {
                         EventType::TrackingAreaUpdate
                     };
-                    push(&mut events, &mut rng, start, cell, ev);
+                    push(&mut *events, &mut rng, start, cell, ev);
                 }
                 prev_cell = Some(cell);
 
@@ -164,14 +198,14 @@ impl<'a> EventGenerator<'a> {
                         let offset =
                             (visit.minutes as u64 * (2 * i as u64 + 1) / (2 * n as u64)) as u16;
                         push(
-                            &mut events,
+                            &mut *events,
                             &mut rng,
                             (start + offset).min(last),
                             cell,
                             EventType::ServiceRequest,
                         );
                         push(
-                            &mut events,
+                            &mut *events,
                             &mut rng,
                             (start + offset + 2).min(last),
                             cell,
@@ -184,14 +218,14 @@ impl<'a> EventGenerator<'a> {
                     for _ in 0..calls {
                         let at = start + rng.gen_range(0..visit.minutes.max(1));
                         push(
-                            &mut events,
+                            &mut *events,
                             &mut rng,
                             at.min(last),
                             cell,
                             EventType::DedicatedBearerEstablish,
                         );
                         push(
-                            &mut events,
+                            &mut *events,
                             &mut rng,
                             at.saturating_add(3).min(last),
                             cell,
@@ -201,41 +235,58 @@ impl<'a> EventGenerator<'a> {
                 } else {
                     // M2M: sparse keep-alive traffic.
                     let last = start + visit.minutes.saturating_sub(1);
-                    push(&mut events, &mut rng, (start + 5).min(last), cell, EventType::ServiceRequest);
-                    push(&mut events, &mut rng, (start + 7).min(last), cell, EventType::IdleTransition);
+                    push(&mut *events, &mut rng, (start + 5).min(last), cell, EventType::ServiceRequest);
+                    push(&mut *events, &mut rng, (start + 7).min(last), cell, EventType::IdleTransition);
                 }
             }
         }
 
         if let Some(cell) = prev_cell {
-            push(&mut events, &mut rng, 1439, cell, EventType::Detach);
+            push(&mut *events, &mut rng, 1439, cell, EventType::Detach);
         }
-        events.sort_by_key(|e| e.minute);
-        events
+        // Events are emitted almost in order (only intra-visit activity
+        // interleaves), so a stable insertion sort finishes in O(n +
+        // inversions) without the temp buffer `slice::sort_by_key`
+        // takes — and, being stable, yields the identical permutation.
+        insertion_sort_by_minute(events);
     }
 
     /// Pick the serving cell at a site: RAT by dwell share among the
     /// RATs the site actually hosts (and that are active on `day`);
     /// M2M modules prefer 2G where available (real deployments do).
+    /// `available` is caller scratch (cleared and refilled here).
     fn pick_cell(
         &self,
         site: cellscope_radio::SiteId,
         device: DeviceClass,
         day: u16,
         rng: &mut StdRng,
+        available: &mut Vec<(CellId, Rat)>,
     ) -> Option<CellId> {
         let site = self.topo.site(site);
-        let mut available: Vec<(CellId, Rat)> = site
-            .cells
-            .iter()
-            .map(|&c| (c, self.topo.cell(c).rat))
-            .filter(|&(c, _)| self.topo.cell(c).is_active(day))
-            .collect();
+        available.clear();
+        available.extend(
+            site.cells
+                .iter()
+                .map(|&c| (c, self.topo.cell(c).rat))
+                .filter(|&(c, _)| self.topo.cell(c).is_active(day)),
+        );
         if available.is_empty() {
             return None;
         }
         if device == DeviceClass::M2m {
-            available.sort_by_key(|&(_, rat)| rat); // G2 first
+            // Stable insertion sort by RAT (G2 first) — a site hosts a
+            // handful of cells, and stability keeps the pick identical
+            // to the old stable `sort_by_key`.
+            for i in 1..available.len() {
+                let x = available[i];
+                let mut j = i;
+                while j > 0 && available[j - 1].1 > x.1 {
+                    available[j] = available[j - 1];
+                    j -= 1;
+                }
+                available[j] = x;
+            }
             return Some(available[0].0);
         }
         let total: f64 = available
@@ -243,7 +294,7 @@ impl<'a> EventGenerator<'a> {
             .map(|&(_, rat)| rat.typical_dwell_share())
             .sum();
         let mut draw = rng.gen_range(0.0..total);
-        for &(cell, rat) in &available {
+        for &(cell, rat) in available.iter() {
             let w = rat.typical_dwell_share();
             if draw < w {
                 return Some(cell);
@@ -251,6 +302,20 @@ impl<'a> EventGenerator<'a> {
             draw -= w;
         }
         Some(available.last().expect("non-empty").0)
+    }
+}
+
+/// Stable insertion sort by minute: equal minutes keep emission order,
+/// matching `slice::sort_by_key` bit-for-bit, with zero allocation.
+fn insertion_sort_by_minute(events: &mut [SignalingEvent]) {
+    for i in 1..events.len() {
+        let x = events[i];
+        let mut j = i;
+        while j > 0 && events[j - 1].minute > x.minute {
+            events[j] = events[j - 1];
+            j -= 1;
+        }
+        events[j] = x;
     }
 }
 

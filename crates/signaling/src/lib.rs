@@ -31,9 +31,9 @@ pub mod tac;
 pub use anonymize::Anonymizer;
 pub use event::{EventType, SignalingEvent};
 pub use export::{
-    read_events_jsonl, write_events_jsonl, EventReader, FeedBounds, FeedError,
-    FeedStats, MalformedPolicy,
+    read_events_jsonl, write_events_jsonl, BoundsViolation, EventReader, FeedBounds,
+    FeedError, FeedStats, MalformedPolicy,
 };
-pub use feed::{event_type_histogram, reconstruct_dwell, DwellRecord};
+pub use feed::{event_type_histogram, reconstruct_dwell, reconstruct_dwell_into, DwellRecord};
 pub use generate::{EventGenerator, EventGenConfig};
 pub use tac::{DeviceInfo, TacCatalog, TacCode};

@@ -1,0 +1,174 @@
+//! Property tests for the hot-path `_into` APIs: every buffer-reuse
+//! entry point must be bit-identical to its allocating counterpart on
+//! random subscriber-days, and a dirty reused buffer must produce the
+//! same output as a fresh one — the two guarantees the zero-allocation
+//! steady state rests on.
+
+use cellscope_core::{top_n_towers, top_n_towers_into, TowerDwell};
+use cellscope_epidemic::Timeline;
+use cellscope_geo::{Geography, Point, SynthConfig};
+use cellscope_mobility::{
+    BehaviorModel, DayTrajectory, Population, PopulationConfig, TrajectoryGenerator,
+};
+use cellscope_radio::{DeployConfig, Topology};
+use cellscope_signaling::{
+    reconstruct_dwell, reconstruct_dwell_into, Anonymizer, EventGenConfig, EventGenerator,
+    TacCatalog,
+};
+use cellscope_time::SimClock;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+struct Fixture {
+    geo: Geography,
+    topo: Topology,
+    pop: Population,
+    behavior: BehaviorModel,
+    catalog: TacCatalog,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let geo = SynthConfig::small(77).build();
+        let topo = DeployConfig::small(77).build(&geo);
+        let pop = Population::synthesize(
+            &PopulationConfig {
+                num_subscribers: 1_000,
+                seed: 77,
+                ..PopulationConfig::default()
+            },
+            &geo,
+            &topo,
+        );
+        Fixture {
+            geo,
+            topo,
+            pop,
+            behavior: BehaviorModel::new(Timeline::uk_2020()),
+            catalog: TacCatalog::synthetic(),
+        }
+    })
+}
+
+fn trajgen(seed: u64) -> TrajectoryGenerator<'static> {
+    let f = fixture();
+    TrajectoryGenerator::new(&f.geo, &f.behavior, SimClock::study(), seed)
+}
+
+fn eventgen(seed: u64) -> EventGenerator<'static> {
+    let f = fixture();
+    let config = EventGenConfig {
+        seed,
+        ..EventGenConfig::default()
+    };
+    EventGenerator::new(&f.topo, &f.catalog, Anonymizer::new(seed ^ 0xA11CE), config)
+}
+
+/// Random tower-dwell list, including zero and negative durations the
+/// top-N selection must drop.
+fn dwell_strategy() -> impl Strategy<Value = Vec<TowerDwell>> {
+    prop::collection::vec(
+        (0u32..40, -2i32..600).prop_map(|(tower, secs)| TowerDwell {
+            tower,
+            location: Point::new(tower as f64 * 0.01, tower as f64 * -0.02),
+            seconds: secs as f64 * 7.5,
+        }),
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `TrajectoryGenerator::generate_into` == `generate`, even when
+    /// the output buffer is dirty with another subscriber-day.
+    #[test]
+    fn trajectory_into_matches_allocating(
+        user in 0usize..1000,
+        dirty_user in 0usize..1000,
+        day in 0u16..100,
+        seed in 0u64..8,
+    ) {
+        let f = fixture();
+        let sub = &f.pop.subscribers()[user];
+        let fresh = trajgen(seed).generate(sub, day);
+
+        let mut gen = trajgen(seed);
+        let mut buf = DayTrajectory::default();
+        // Dirty the buffer (and the generator's internal scratch) with
+        // an unrelated subscriber-day first.
+        gen.generate_into(&f.pop.subscribers()[dirty_user], 99 - day % 99, &mut buf);
+        gen.generate_into(sub, day, &mut buf);
+        prop_assert_eq!(buf, fresh);
+    }
+
+    /// `EventGenerator::generate_into` == `generate` on the trajectory
+    /// of a random subscriber-day, dirty buffer included.
+    #[test]
+    fn events_into_matches_allocating(
+        user in 0usize..1000,
+        dirty_user in 0usize..1000,
+        day in 0u16..100,
+        seed in 0u64..8,
+    ) {
+        let f = fixture();
+        let sub = &f.pop.subscribers()[user];
+        let traj = trajgen(seed).generate(sub, day);
+        let fresh = eventgen(seed).generate(sub, &traj);
+
+        let mut gen = eventgen(seed);
+        let mut buf = Vec::new();
+        let dirty_sub = &f.pop.subscribers()[dirty_user];
+        let dirty_traj = trajgen(seed).generate(dirty_sub, 99 - day % 99);
+        gen.generate_into(dirty_sub, &dirty_traj, &mut buf);
+        gen.generate_into(sub, &traj, &mut buf);
+        prop_assert_eq!(buf, fresh);
+    }
+
+    /// `reconstruct_dwell_into` == `reconstruct_dwell` on generated
+    /// event streams, dirty buffer included.
+    #[test]
+    fn reconstruction_into_matches_allocating(
+        user in 0usize..1000,
+        dirty_user in 0usize..1000,
+        day in 0u16..100,
+        seed in 0u64..8,
+    ) {
+        let f = fixture();
+        let sub = &f.pop.subscribers()[user];
+        let traj = trajgen(seed).generate(sub, day);
+        let events = eventgen(seed).generate(sub, &traj);
+        let fresh = reconstruct_dwell(&events);
+
+        let dirty_sub = &f.pop.subscribers()[dirty_user];
+        let dirty_traj = trajgen(seed).generate(dirty_sub, 99 - day % 99);
+        let dirty_events = eventgen(seed).generate(dirty_sub, &dirty_traj);
+        let mut buf = Vec::new();
+        reconstruct_dwell_into(&dirty_events, &mut buf);
+        reconstruct_dwell_into(&events, &mut buf);
+        prop_assert_eq!(buf, fresh);
+    }
+
+    /// `top_n_towers_into` == `top_n_towers` on arbitrary dwell lists
+    /// (duplicates, zero and negative durations), dirty buffer included.
+    #[test]
+    fn top_n_into_matches_allocating(
+        dwell in dwell_strategy(),
+        dirty in dwell_strategy(),
+        n in 0usize..25,
+    ) {
+        let fresh = top_n_towers(&dwell, n);
+        let mut buf = Vec::new();
+        top_n_towers_into(&dirty, n, &mut buf);
+        top_n_towers_into(&dwell, n, &mut buf);
+        // TowerDwell is f64-valued: compare exact bits, not epsilon.
+        prop_assert_eq!(buf.len(), fresh.len());
+        for (a, b) in buf.iter().zip(&fresh) {
+            prop_assert_eq!(a.tower, b.tower);
+            prop_assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+            prop_assert_eq!(a.location.x.to_bits(), b.location.x.to_bits());
+            prop_assert_eq!(a.location.y.to_bits(), b.location.y.to_bits());
+        }
+    }
+}
