@@ -4,7 +4,7 @@
 //! Usage:
 //! `repro [--scale full|small|tiny] [--seed N] [--json DIR] [--csv DIR]
 //!        [--config FILE] [--dump-config FILE] [--roundtrip DIR]
-//!        [--bench-summary PATH] [--metrics PATH]`
+//!        [--convert SRC DST] [--bench-summary PATH] [--metrics PATH]`
 //!
 //! `--dump-config` writes the resolved scenario configuration as JSON;
 //! `--config` loads one back (every knob of the study is a plain
@@ -22,12 +22,20 @@
 //! replay report, and verify the replayed dataset is bit-identical.
 //! Exits non-zero on any divergence.
 //!
+//! `--convert SRC DST` converts a feed directory between JSONL and the
+//! binary columnar format (direction auto-detected from SRC; see
+//! [`cellscope_scenario::feedfmt`]). The conversion is lossless —
+//! converting back reproduces the original files byte for byte — and
+//! `replay`/`--roundtrip` accept either format transparently.
+//!
 //! `--bench-summary PATH` skips the study entirely and runs the
 //! benchmark baselines instead: the columnar-aggregation
 //! microbenchmark, written to PATH as JSON (conventionally
-//! `BENCH_aggregation.json`), and the subscriber-day hot-path
-//! measurement (phase block wall seconds + steady-state allocation
-//! counts), written to `BENCH_hotpath.json` next to it.
+//! `BENCH_aggregation.json`), the subscriber-day hot-path measurement
+//! (phase block wall seconds + steady-state allocation counts),
+//! written to `BENCH_hotpath.json` next to it, and the feed-format
+//! read-path comparison (JSONL parse vs binary decode), written to
+//! `BENCH_feedfmt.json`.
 
 use cellscope_bench::alloc_count::CountingAllocator;
 use cellscope_bench::{fmt_pct, fmt_weekly, print_panel};
@@ -52,6 +60,7 @@ fn main() {
     let mut config_file: Option<String> = None;
     let mut dump_config: Option<String> = None;
     let mut roundtrip: Option<String> = None;
+    let mut convert: Option<(String, String)> = None;
     let mut bench_summary: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -59,6 +68,11 @@ fn main() {
         match arg.as_str() {
             "--bench-summary" => {
                 bench_summary = Some(args.next().expect("--bench-summary needs a path"))
+            }
+            "--convert" => {
+                let src = args.next().expect("--convert needs SRC and DST dirs");
+                let dst = args.next().expect("--convert needs SRC and DST dirs");
+                convert = Some((src, dst));
             }
             "--metrics" => {
                 metrics_path = Some(args.next().expect("--metrics needs a path"))
@@ -85,6 +99,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some((src, dst)) = convert {
+        run_convert(Path::new(&src), Path::new(&dst));
+        return;
     }
     if let Some(path) = bench_summary {
         run_bench_summary(Path::new(&path));
@@ -411,6 +429,33 @@ fn run_roundtrip(
     }
 }
 
+/// `--convert SRC DST`: convert a feed directory between formats.
+fn run_convert(src: &Path, dst: &Path) {
+    use cellscope_scenario::feedfmt::convert_feed_dir;
+    let t0 = Instant::now();
+    match convert_feed_dir(src, dst) {
+        Ok(summary) => {
+            println!(
+                "converted {} feed files {} -> {} in {:.1}s\n\
+                 {} -> {} ({:.2} MB -> {:.2} MB, {:.1}x)",
+                summary.files,
+                summary.from,
+                summary.to,
+                t0.elapsed().as_secs_f64(),
+                src.display(),
+                dst.display(),
+                summary.src_bytes as f64 / 1e6,
+                summary.dst_bytes as f64 / 1e6,
+                summary.src_bytes as f64 / summary.dst_bytes.max(1) as f64,
+            );
+        }
+        Err(e) => {
+            eprintln!("conversion failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `--bench-summary`: run the columnar-aggregation microbenchmark at
 /// the standard 100k-record scale and write the JSON summary.
 fn run_bench_summary(path: &Path) {
@@ -480,4 +525,47 @@ fn run_hotpath_summary(path: &Path) {
     hotbench::write_json(path, &summary)
         .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     println!("summary written to {}", path.display());
+
+    run_feedfmt_summary(&path.with_file_name("BENCH_feedfmt.json"));
+}
+
+/// Third part of `--bench-summary`: measure the two feed read paths
+/// (JSONL parse vs binary columnar decode) on one replay-realistic day
+/// of events and write `BENCH_feedfmt.json`.
+fn run_feedfmt_summary(path: &Path) {
+    use cellscope_bench::feedbench;
+    let config = ScenarioConfig::tiny(42);
+    println!(
+        "\n== cellscope feed-format bench: tiny, subscribers={}, best of 3 ==",
+        config.population.num_subscribers
+    );
+    let summary = feedbench::run(&config, "tiny", 3);
+    println!(
+        "day feed:         {:>8} events  ({:.2} MB jsonl, {:.2} MB binary, {:.1}x smaller)\n\
+         jsonl parse:      {:>8.1} ms  ({:.2} Mrec/s)\n\
+         binary decode:    {:>8.1} ms  ({:.2} Mrec/s, {:.1}x)\n\
+         steady-state decode allocations: {}\n\
+         bit-identical:    {}",
+        summary.records,
+        summary.jsonl_bytes as f64 / 1e6,
+        summary.binary_bytes as f64 / 1e6,
+        summary.compression_ratio,
+        summary.jsonl_parse_seconds * 1e3,
+        summary.jsonl_mrec_per_sec,
+        summary.binary_decode_seconds * 1e3,
+        summary.binary_mrec_per_sec,
+        summary.decode_speedup,
+        summary
+            .decode_steady_allocs
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "not measured".into()),
+        summary.bit_identical,
+    );
+    feedbench::write_json(path, &summary)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("summary written to {}", path.display());
+    if !summary.bit_identical {
+        eprintln!("DIVERGENCE: binary decode differs from the JSONL parse");
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,160 @@
+//! Feed-format benchmark: JSONL parse vs binary columnar decode.
+//!
+//! Generates one replay-realistic day of signaling events (every
+//! subscriber of the configured scale, the exact stream `export_feeds`
+//! writes for day 0), materializes it in both on-disk formats, and
+//! measures the cost of turning each back into `Vec<SignalingEvent>` —
+//! the work the replay pipeline's workers do per day task. Used two
+//! ways:
+//!
+//! * `cargo bench -p cellscope-bench --bench feedfmt` — criterion
+//!   timings plus hard assertions: the decode must be bit-identical to
+//!   the parse and allocation-free in steady state, and the measured
+//!   speedup must clear the floor the PR promised;
+//! * `repro --bench-summary DIR_OR_PATH` — writes the JSON baseline
+//!   `BENCH_feedfmt.json` next to the other bench summaries.
+
+use cellscope_mobility::{DayTrajectory, TrajectoryGenerator};
+use cellscope_scenario::{ScenarioConfig, World};
+use cellscope_signaling::columnar::{self, DecodeScratch};
+use cellscope_signaling::{write_events_jsonl, EventGenerator, EventReader, SignalingEvent};
+use serde::Serialize;
+use std::time::Instant;
+
+use crate::alloc_count;
+
+/// The measured summary, serialized to `BENCH_feedfmt.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FeedFmtSummary {
+    /// Scenario scale label (`tiny`, `small`, …).
+    pub scale: String,
+    /// Events in the measured day feed.
+    pub records: u64,
+    /// JSONL representation size.
+    pub jsonl_bytes: u64,
+    /// Binary segment size.
+    pub binary_bytes: u64,
+    /// `jsonl_bytes / binary_bytes`.
+    pub compression_ratio: f64,
+    /// Timing repetitions (best-of is reported).
+    pub iters: usize,
+    /// Best-of seconds to parse the JSONL feed into events.
+    pub jsonl_parse_seconds: f64,
+    /// Best-of seconds to decode the binary segment into events.
+    pub binary_decode_seconds: f64,
+    /// `jsonl_parse_seconds / binary_decode_seconds`.
+    pub decode_speedup: f64,
+    /// Parse throughput, million events per second.
+    pub jsonl_mrec_per_sec: f64,
+    /// Decode throughput, million events per second.
+    pub binary_mrec_per_sec: f64,
+    /// Decoded events equal parsed events equal the generated stream.
+    pub bit_identical: bool,
+    /// Whether allocation counts were measured (counting allocator
+    /// installed in this binary).
+    pub counting_allocator: bool,
+    /// Heap allocations of one decode into warm buffers; the format's
+    /// zero-steady-state-allocation claim, measured. `None` when the
+    /// binary did not install the counting allocator.
+    pub decode_steady_allocs: Option<u64>,
+}
+
+/// Generate the day-0 event stream of `config`'s world — the same
+/// stream `export_feeds` serializes — as one in-memory `Vec`.
+pub fn day0_events(config: &ScenarioConfig, world: &World) -> Vec<SignalingEvent> {
+    let mut trajgen = TrajectoryGenerator::new(
+        &world.geo,
+        &world.behavior,
+        world.clock,
+        config.seed,
+    );
+    let mut eventgen = EventGenerator::new(
+        &world.topo,
+        &world.catalog,
+        world.anonymizer,
+        config.events,
+    );
+    let mut traj = DayTrajectory::default();
+    let mut per_sub = Vec::new();
+    let mut events = Vec::new();
+    for sub in world.population.subscribers() {
+        trajgen.generate_into(sub, 0, &mut traj);
+        eventgen.generate_into(sub, &traj, &mut per_sub);
+        events.extend_from_slice(&per_sub);
+    }
+    events
+}
+
+fn best_of(iters: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        run();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Build the world at `config`'s scale and measure both read paths.
+pub fn run(config: &ScenarioConfig, scale_label: &str, iters: usize) -> FeedFmtSummary {
+    let world = World::build(config);
+    let events = day0_events(config, &world);
+
+    let mut jsonl = Vec::new();
+    write_events_jsonl(&mut jsonl, &events).expect("events serialize");
+    let binary = columnar::encode_events(0, &events);
+
+    // Reused output buffers for both paths: the comparison is the
+    // per-record transformation cost, not first-call `Vec` growth.
+    let mut parsed: Vec<SignalingEvent> = Vec::new();
+    let mut decoded: Vec<SignalingEvent> = Vec::new();
+    let mut scratch = DecodeScratch::default();
+
+    let jsonl_parse_seconds = best_of(iters, || {
+        parsed.clear();
+        for item in EventReader::new(jsonl.as_slice()) {
+            parsed.push(item.expect("clean feed parses"));
+        }
+    });
+    let binary_decode_seconds = best_of(iters, || {
+        columnar::decode_events_into(&binary, &mut scratch, &mut decoded)
+            .expect("clean segment decodes");
+    });
+
+    // Steady-state allocation count of one decode into the now-warm
+    // buffers. Probe `installed()` first — the probe itself allocates.
+    let counting = alloc_count::installed();
+    let before = alloc_count::allocations();
+    columnar::decode_events_into(&binary, &mut scratch, &mut decoded)
+        .expect("clean segment decodes");
+    let decode_steady_allocs = if counting {
+        Some(alloc_count::allocations() - before)
+    } else {
+        None
+    };
+
+    let bit_identical = parsed == events && decoded == events;
+    let n = events.len() as f64;
+    FeedFmtSummary {
+        scale: scale_label.to_string(),
+        records: events.len() as u64,
+        jsonl_bytes: jsonl.len() as u64,
+        binary_bytes: binary.len() as u64,
+        compression_ratio: jsonl.len() as f64 / binary.len().max(1) as f64,
+        iters,
+        jsonl_parse_seconds,
+        binary_decode_seconds,
+        decode_speedup: jsonl_parse_seconds / binary_decode_seconds.max(f64::MIN_POSITIVE),
+        jsonl_mrec_per_sec: n / jsonl_parse_seconds.max(f64::MIN_POSITIVE) / 1e6,
+        binary_mrec_per_sec: n / binary_decode_seconds.max(f64::MIN_POSITIVE) / 1e6,
+        bit_identical,
+        counting_allocator: counting,
+        decode_steady_allocs,
+    }
+}
+
+/// Write the summary as pretty-printed JSON.
+pub fn write_json(path: &std::path::Path, summary: &FeedFmtSummary) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(summary).expect("summary serializes");
+    std::fs::write(path, json + "\n")
+}

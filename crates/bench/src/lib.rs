@@ -3,6 +3,7 @@
 pub mod aggbench;
 pub mod alloc_count;
 pub mod csv;
+pub mod feedbench;
 pub mod hotbench;
 
 use cellscope_scenario::figures::KpiPanel;

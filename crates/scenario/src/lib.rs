@@ -16,10 +16,13 @@
 //!   plus the headline statistics of the abstract/conclusions;
 //! * [`replay`] — serialize a run's feeds to disk and stream them back
 //!   through the identical analysis (fault-tolerant, multi-worker);
+//! * [`feedfmt`] — the binary columnar feed format: KPI/voice segment
+//!   codecs and the lossless JSONL⇄binary directory converter;
 //! * [`variants`] — the canonical counterfactual/ablation arms.
 
 pub mod config;
 pub mod dataset;
+pub mod feedfmt;
 pub mod figures;
 pub mod hotpath;
 pub mod replay;
@@ -29,9 +32,10 @@ pub mod world;
 
 pub use config::ScenarioConfig;
 pub use dataset::StudyDataset;
+pub use feedfmt::{convert_feed_dir, detect_format, ConvertSummary, FeedFormat};
 pub use replay::{
-    dataset_divergence, export_feeds, replay_study, FeedManifest, ReplayConfig,
-    ReplayError, ReplayReport,
+    dataset_divergence, export_feeds, replay_study, FeedManifest, MalformedAt,
+    ReplayConfig, ReplayError, ReplayReport, MAX_MALFORMED_LOCATIONS,
 };
 pub use run::{run_study, run_study_in, run_study_with};
 pub use world::World;

@@ -32,21 +32,39 @@
 //! merged result does not depend on the number of workers or on which
 //! worker processed which day.
 //!
+//! # Feed formats
+//!
+//! The reader stage accepts either on-disk representation per file:
+//! JSONL (`*.jsonl`) or binary columnar segments (`*.csb`, see
+//! [`cellscope_signaling::columnar`] and [`crate::feedfmt`]). For each
+//! feed it prefers the `.csb` file when both exist, and sniffs the
+//! *content* by magic — a binary segment stored under a `.jsonl` name
+//! still decodes. Binary decode fills the same worker-owned scratch
+//! arenas the JSONL path uses, so the steady-state loop allocates
+//! nothing either way, and the two paths produce bit-identical
+//! datasets (pinned by `tests/feedfmt_equivalence.rs`).
+//!
 //! # Fault tolerance
 //!
 //! Every feed line lands in exactly one accounting bucket of
 //! [`ReplayReport`] (`parsed + blank + malformed == lines_read`, per
-//! feed). Under [`MalformedPolicy::FailFast`] the first bad line aborts
-//! with its file and 1-based line number; under
-//! [`MalformedPolicy::SkipAndCount`] bad lines are dropped and counted
+//! feed; for binary segments the header's record count plays the role
+//! of the line count). Under [`MalformedPolicy::FailFast`] the first
+//! bad line aborts with its file and 1-based line number — a damaged
+//! segment aborts with a typed [`SegmentError`] carried by
+//! [`FeedError::Segment`] — and under
+//! [`MalformedPolicy::SkipAndCount`] bad input is dropped and counted
 //! while the analysis degrades gracefully, the way the paper's own
-//! probes drop records. A worker panic does not abort or hang the
-//! pipeline: the execution layer captures it (draining the channel so
-//! the reader is never left blocked) and [`replay_study`] returns
-//! [`ReplayError::Exec`] naming the stage and day task.
+//! probes drop records; the first [`MAX_MALFORMED_LOCATIONS`] damage
+//! positions are kept in [`ReplayReport::malformed_at`]. A worker
+//! panic does not abort or hang the pipeline: the execution layer
+//! captures it (draining the channel so the reader is never left
+//! blocked) and [`replay_study`] returns [`ReplayError::Exec`] naming
+//! the stage and day task.
 
 use crate::config::ScenarioConfig;
 use crate::dataset::StudyDataset;
+use crate::feedfmt::{self, events_bin_name, kpi_bin_name, VOICE_BIN_FILE};
 use crate::run::{self, IngestScratch, PhaseABlock, SiteDwell, StudyRoster};
 use crate::world::World;
 use cellscope_core::kpi_stats::{CellDayMetrics, HourlyKpiSample};
@@ -54,6 +72,7 @@ use cellscope_core::KpiTable;
 use cellscope_exec::{ExecError, Executor};
 use cellscope_mobility::{DayTrajectory, TrajectoryGenerator};
 use cellscope_radio::{Scheduler, SchedulerConfig};
+use cellscope_signaling::columnar::{self, DecodeScratch, SegmentError};
 use cellscope_signaling::{
     reconstruct_dwell_into, write_events_jsonl, EventGenerator, EventReader, FeedBounds,
     FeedError, FeedStats, MalformedPolicy, SignalingEvent,
@@ -276,6 +295,23 @@ pub struct WorkerStats {
     pub events_per_sec: f64,
 }
 
+/// Most malformed-input positions a [`ReplayReport`] records. The
+/// malformed *counts* stay exact past the cap; the recorded positions
+/// are the first witnesses, so a feed damaged in millions of places
+/// cannot turn the report into an unbounded allocation.
+pub const MAX_MALFORMED_LOCATIONS: usize = 64;
+
+/// Where one malformed input unit sat: feed file plus 1-based line
+/// number (JSONL) or 1-based record index (binary segments; `line == 0`
+/// means the segment envelope itself — header or checksum — was bad).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedAt {
+    /// Feed file, relative to the feed directory.
+    pub file: String,
+    /// 1-based line/record position; 0 for a whole-segment failure.
+    pub line: u64,
+}
+
 /// Per-stage counters of one replay run. Invariants (asserted by the
 /// robustness tests): per feed, `parsed + blank + malformed ==
 /// lines_read`; and `events.parsed == events_ingested + events_filtered
@@ -307,11 +343,21 @@ pub struct ReplayReport {
     pub user_days: u64,
     /// Cell-day KPI records rebuilt.
     pub cell_days: u64,
+    /// Positions of the first [`MAX_MALFORMED_LOCATIONS`] malformed
+    /// input units, in day order (voice last). Under skip-and-count
+    /// these are the only trace of *where* the feeds were damaged.
+    pub malformed_at: Vec<MalformedAt>,
     /// Per-worker throughput.
     pub workers: Vec<WorkerStats>,
 }
 
 impl ReplayReport {
+    /// Record a malformed-input position, honouring the cap.
+    fn note_malformed(&mut self, file: &str, line: u64) {
+        if self.malformed_at.len() < MAX_MALFORMED_LOCATIONS {
+            self.malformed_at.push(MalformedAt { file: file.to_string(), line });
+        }
+    }
     /// Per-feed line accounting closes: every line read landed in
     /// exactly one of parsed/blank/malformed.
     pub fn lines_balance(&self) -> bool {
@@ -346,6 +392,16 @@ impl fmt::Display for ReplayReport {
         writeln!(f, "{}", feed("events", &self.events))?;
         writeln!(f, "{}", feed("kpi   ", &self.kpi))?;
         writeln!(f, "{}", feed("voice ", &self.voice))?;
+        if !self.malformed_at.is_empty() {
+            write!(f, "malformed at:")?;
+            for loc in self.malformed_at.iter().take(8) {
+                write!(f, " {}:{}", loc.file, loc.line)?;
+            }
+            if self.malformed_at.len() > 8 {
+                write!(f, " (+{} more)", self.malformed_at.len() - 8)?;
+            }
+            writeln!(f)?;
+        }
         writeln!(
             f,
             "ingest: {} ingested + {} filtered + {} unknown-user + {} out-of-order; \
@@ -413,13 +469,56 @@ impl From<ExecError> for ReplayError {
     }
 }
 
+/// One feed file's raw content, classified by the reader stage.
+enum DayFeed {
+    /// UTF-8 text, one JSON record per line.
+    Jsonl(String),
+    /// A binary columnar segment (recognised by magic).
+    Binary(Vec<u8>),
+}
+
+impl DayFeed {
+    fn len(&self) -> usize {
+        match self {
+            DayFeed::Jsonl(text) => text.len(),
+            DayFeed::Binary(bytes) => bytes.len(),
+        }
+    }
+}
+
+/// Read one per-day feed, preferring the binary file when both exist
+/// and sniffing the content by magic so a segment stored under the
+/// JSONL name still decodes. Invalid-UTF-8 text is an I/O-level error,
+/// exactly as it was when the reader used `read_to_string`.
+fn read_day_feed(
+    dir: &Path,
+    bin_name: String,
+    jsonl_name: String,
+) -> io::Result<(String, DayFeed)> {
+    let bin_path = dir.join(&bin_name);
+    if bin_path.exists() {
+        return Ok((bin_name, DayFeed::Binary(fs::read(bin_path)?)));
+    }
+    let bytes = fs::read(dir.join(&jsonl_name))?;
+    if columnar::looks_like_segment(&bytes) {
+        return Ok((jsonl_name, DayFeed::Binary(bytes)));
+    }
+    match String::from_utf8(bytes) {
+        Ok(text) => Ok((jsonl_name, DayFeed::Jsonl(text))),
+        Err(e) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{jsonl_name}: not UTF-8 and not a binary segment: {e}"),
+        )),
+    }
+}
+
 /// One day's work unit, produced by the reader stage.
 struct DayTask {
     day: u16,
     events_name: String,
-    events_text: String,
+    events_feed: DayFeed,
     kpi_name: String,
-    kpi_text: String,
+    kpi_feed: DayFeed,
 }
 
 /// One day's replay product.
@@ -433,6 +532,7 @@ struct DayOutput {
 struct DayStats {
     events: FeedStats,
     kpi: FeedStats,
+    malformed_at: Vec<MalformedAt>,
     out_of_order: u64,
     unknown_user: u64,
     filtered: u64,
@@ -441,11 +541,35 @@ struct DayStats {
     cell_days: u64,
 }
 
+impl DayStats {
+    /// Record a malformed-input position (same cap as the report: the
+    /// merge step re-caps across days, so per-day lists never need
+    /// more entries than the report can keep).
+    fn note_malformed(&mut self, file: &str, line: u64) {
+        if self.malformed_at.len() < MAX_MALFORMED_LOCATIONS {
+            self.malformed_at.push(MalformedAt { file: file.to_string(), line });
+        }
+    }
+}
+
 fn add_stats(a: &mut FeedStats, b: FeedStats) {
     a.lines_read += b.lines_read;
     a.parsed += b.parsed;
     a.blank += b.blank;
     a.malformed += b.malformed;
+}
+
+/// Wrap a damaged-segment cause in the feed error chain.
+fn segment_feed_error(file: String, cause: SegmentError) -> ReplayError {
+    ReplayError::Feed { file, source: FeedError::Segment(cause) }
+}
+
+/// How many records a damaged segment claims — the amount its
+/// `lines_read`/`malformed` accounting is charged under skip-and-count.
+/// A segment too damaged to even peek a header counts as one bad unit,
+/// as does one claiming zero records (the damage itself is the unit).
+fn claimed_records(bytes: &[u8]) -> u64 {
+    columnar::peek_records(bytes).map_or(1, |n| n.max(1)) as u64
 }
 
 /// Replay exported feeds into a [`StudyDataset`].
@@ -550,25 +674,25 @@ pub fn replay_study_with(
                 return None;
             }
             let day = days.next()?;
-            let events_name = events_file_name(day);
-            let kpi_name = kpi_file_name(day);
-            let events_text = match fs::read_to_string(dir.join(&events_name)) {
-                Ok(t) => t,
-                Err(e) => {
-                    read_err = Some(ReplayError::Io(e));
-                    return None;
-                }
-            };
-            let kpi_text = match fs::read_to_string(dir.join(&kpi_name)) {
-                Ok(t) => t,
-                Err(e) => {
-                    read_err = Some(ReplayError::Io(e));
-                    return None;
-                }
-            };
+            let (events_name, events_feed) =
+                match read_day_feed(dir, events_bin_name(day), events_file_name(day)) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        read_err = Some(ReplayError::Io(e));
+                        return None;
+                    }
+                };
+            let (kpi_name, kpi_feed) =
+                match read_day_feed(dir, kpi_bin_name(day), kpi_file_name(day)) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        read_err = Some(ReplayError::Io(e));
+                        return None;
+                    }
+                };
             report.files_read += 2;
-            report.bytes_read += (events_text.len() + kpi_text.len()) as u64;
-            Some(DayTask { day, events_name, events_text, kpi_name, kpi_text })
+            report.bytes_read += (events_feed.len() + kpi_feed.len()) as u64;
+            Some(DayTask { day, events_name, events_feed, kpi_name, kpi_feed })
         },
         ReplayScratch::default,
         |scratch, _, task, ctx| {
@@ -615,6 +739,12 @@ pub fn replay_study_with(
         let out = out?;
         add_stats(&mut report.events, out.stats.events);
         add_stats(&mut report.kpi, out.stats.kpi);
+        for loc in out.stats.malformed_at {
+            if report.malformed_at.len() >= MAX_MALFORMED_LOCATIONS {
+                break;
+            }
+            report.malformed_at.push(loc);
+        }
         report.events_out_of_order += out.stats.out_of_order;
         report.events_unknown_user += out.stats.unknown_user;
         report.events_filtered += out.stats.filtered;
@@ -642,6 +772,10 @@ struct ReplayScratch {
     events: Vec<SignalingEvent>,
     seen: HashSet<u64>,
     hours: Vec<HourlyKpiSample>,
+    /// Binary-decode scratch (cell-id dictionary), reused per segment.
+    dict: DecodeScratch,
+    /// Decoded KPI records of the day being replayed (binary path).
+    kpi_records: Vec<KpiHourRecord>,
 }
 
 /// Replay one day's feeds into a per-day phase-A partial and KPI table.
@@ -656,24 +790,76 @@ fn replay_day(
     task: DayTask,
     scratch: &mut ReplayScratch,
 ) -> Result<DayOutput, ReplayError> {
-    let DayTask { day, events_name, events_text, kpi_name, kpi_text } = task;
+    let DayTask { day, events_name, events_feed, kpi_name, kpi_feed } = task;
     let mut stats = DayStats::default();
     let num_subs = roster.members.len();
 
     // --- Event feed → phase-A partial ----------------------------------
-    let mut reader = EventReader::new(events_text.as_bytes())
-        .with_policy(policy)
-        .with_bounds(bounds);
-    scratch.events.clear();
-    for item in &mut reader {
-        match item {
-            Ok(ev) => scratch.events.push(ev),
-            Err(source) => {
-                return Err(ReplayError::Feed { file: events_name, source })
+    match &events_feed {
+        DayFeed::Jsonl(text) => {
+            let mut reader = EventReader::new(text.as_bytes())
+                .with_policy(policy)
+                .with_bounds(bounds);
+            scratch.events.clear();
+            for item in &mut reader {
+                match item {
+                    Ok(ev) => scratch.events.push(ev),
+                    Err(source) => {
+                        return Err(ReplayError::Feed { file: events_name, source })
+                    }
+                }
+            }
+            stats.events = reader.stats();
+            for &line in reader.malformed_lines() {
+                stats.note_malformed(&events_name, line);
             }
         }
+        DayFeed::Binary(bytes) => {
+            // Decode the whole segment, then run the same bounds check
+            // the JSONL reader applies per line: the decoder validates
+            // the *encoding*, the bounds validate the *domain*. The
+            // header's record count is the binary analogue of
+            // `lines_read`, so the accounting invariant still closes.
+            match columnar::decode_events_into(bytes, &mut scratch.dict, &mut scratch.events)
+            {
+                Ok(header) => stats.events.lines_read += header.records as u64,
+                Err(cause) => {
+                    let claimed = claimed_records(bytes);
+                    stats.events.lines_read += claimed;
+                    stats.events.malformed += claimed;
+                    stats.note_malformed(&events_name, 0);
+                    if policy == MalformedPolicy::FailFast {
+                        return Err(segment_feed_error(events_name, cause));
+                    }
+                }
+            }
+            let mut kept = 0usize;
+            for i in 0..scratch.events.len() {
+                let ev = scratch.events[i];
+                match bounds.check(&ev) {
+                    Ok(()) => {
+                        scratch.events[kept] = ev;
+                        kept += 1;
+                        stats.events.parsed += 1;
+                    }
+                    Err(violation) => {
+                        stats.events.malformed += 1;
+                        stats.note_malformed(&events_name, i as u64 + 1);
+                        if policy == MalformedPolicy::FailFast {
+                            return Err(ReplayError::Feed {
+                                file: events_name,
+                                source: FeedError::Malformed {
+                                    line: i as u64 + 1,
+                                    reason: violation.to_string(),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+            scratch.events.truncate(kept);
+        }
     }
-    stats.events = reader.stats();
 
     let mut block = PhaseABlock::new(world.num_days(), vec![day], num_subs);
     let feb_night = feb_set[day as usize];
@@ -763,13 +949,40 @@ fn replay_day(
     // --- KPI feed → per-day KPI table ----------------------------------
     // One reused hours buffer tracks the current cell's samples (the
     // exporter writes each cell's 24 lines consecutively); rejection
-    // causes stay unformatted unless FailFast surfaces them.
+    // causes stay unformatted unless FailFast surfaces them. Both
+    // formats run the identical semantic checks and grouping — the
+    // text path adds only JSON parsing in front.
     enum KpiReject {
         Parse(serde_json::Error),
         DayOutOfRange(u16),
         CellOutOfRange(u32),
         WrongFile(u16),
     }
+    let check_kpi = |r: &KpiHourRecord| -> Result<(), KpiReject> {
+        if r.day >= bounds.num_days {
+            Err(KpiReject::DayOutOfRange(r.day))
+        } else if r.cell >= bounds.num_cells {
+            Err(KpiReject::CellOutOfRange(r.cell))
+        } else if r.day != day {
+            Err(KpiReject::WrongFile(r.day))
+        } else {
+            Ok(())
+        }
+    };
+    let reject_reason = |reject: &KpiReject| -> String {
+        match reject {
+            KpiReject::Parse(e) => e.to_string(),
+            KpiReject::DayOutOfRange(d) => {
+                format!("day {d} out of range (study has {} days)", bounds.num_days)
+            }
+            KpiReject::CellOutOfRange(c) => {
+                format!("cell {c} out of range (topology has {} cells)", bounds.num_cells)
+            }
+            KpiReject::WrongFile(d) => {
+                format!("day {d} in the feed file of day {day}")
+            }
+        }
+    };
     let mut kpi = KpiTable::new();
     let mut current_cell: Option<u32> = None;
     let hours = &mut scratch.hours;
@@ -784,64 +997,88 @@ fn replay_day(
             hours.clear();
         }
     };
-    for (idx, line) in kpi_text.lines().enumerate() {
-        stats.kpi.lines_read += 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            stats.kpi.blank += 1;
-            continue;
+    let fold = |r: &KpiHourRecord,
+                current_cell: &mut Option<u32>,
+                hours: &mut Vec<HourlyKpiSample>,
+                kpi: &mut KpiTable| {
+        match *current_cell {
+            Some(cell) if cell == r.cell => hours.push(r.sample),
+            _ => {
+                flush(current_cell, hours, kpi);
+                *current_cell = Some(r.cell);
+                hours.push(r.sample);
+            }
         }
-        let checked = serde_json::from_str::<KpiHourRecord>(trimmed)
-            .map_err(KpiReject::Parse)
-            .and_then(|r| {
-                if r.day >= bounds.num_days {
-                    Err(KpiReject::DayOutOfRange(r.day))
-                } else if r.cell >= bounds.num_cells {
-                    Err(KpiReject::CellOutOfRange(r.cell))
-                } else if r.day != day {
-                    Err(KpiReject::WrongFile(r.day))
-                } else {
-                    Ok(r)
+    };
+    match &kpi_feed {
+        DayFeed::Jsonl(text) => {
+            for (idx, line) in text.lines().enumerate() {
+                stats.kpi.lines_read += 1;
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    stats.kpi.blank += 1;
+                    continue;
                 }
-            });
-        match checked {
-            Ok(r) => {
-                stats.kpi.parsed += 1;
-                match current_cell {
-                    Some(cell) if cell == r.cell => hours.push(r.sample),
-                    _ => {
-                        flush(&mut current_cell, &mut *hours, &mut kpi);
-                        current_cell = Some(r.cell);
-                        hours.push(r.sample);
+                let checked = serde_json::from_str::<KpiHourRecord>(trimmed)
+                    .map_err(KpiReject::Parse)
+                    .and_then(|r| match check_kpi(&r) {
+                        Ok(()) => Ok(r),
+                        Err(reject) => Err(reject),
+                    });
+                match checked {
+                    Ok(r) => {
+                        stats.kpi.parsed += 1;
+                        fold(&r, &mut current_cell, &mut *hours, &mut kpi);
+                    }
+                    Err(reject) => {
+                        stats.kpi.malformed += 1;
+                        stats.note_malformed(&kpi_name, idx as u64 + 1);
+                        if policy == MalformedPolicy::FailFast {
+                            return Err(ReplayError::Feed {
+                                file: kpi_name,
+                                source: FeedError::Malformed {
+                                    line: idx as u64 + 1,
+                                    reason: reject_reason(&reject),
+                                },
+                            });
+                        }
                     }
                 }
             }
-            Err(reject) => {
-                stats.kpi.malformed += 1;
-                match policy {
-                    MalformedPolicy::SkipAndCount => continue,
-                    MalformedPolicy::FailFast => {
-                        let reason = match reject {
-                            KpiReject::Parse(e) => e.to_string(),
-                            KpiReject::DayOutOfRange(d) => format!(
-                                "day {d} out of range (study has {} days)",
-                                bounds.num_days
-                            ),
-                            KpiReject::CellOutOfRange(c) => format!(
-                                "cell {c} out of range (topology has {} cells)",
-                                bounds.num_cells
-                            ),
-                            KpiReject::WrongFile(d) => {
-                                format!("day {d} in the feed file of day {day}")
-                            }
-                        };
-                        return Err(ReplayError::Feed {
-                            file: kpi_name,
-                            source: FeedError::Malformed {
-                                line: idx as u64 + 1,
-                                reason,
-                            },
-                        });
+        }
+        DayFeed::Binary(bytes) => {
+            match feedfmt::decode_kpi_into(bytes, &mut scratch.dict, &mut scratch.kpi_records)
+            {
+                Ok(header) => stats.kpi.lines_read += header.records as u64,
+                Err(cause) => {
+                    let claimed = claimed_records(bytes);
+                    stats.kpi.lines_read += claimed;
+                    stats.kpi.malformed += claimed;
+                    stats.note_malformed(&kpi_name, 0);
+                    if policy == MalformedPolicy::FailFast {
+                        return Err(segment_feed_error(kpi_name, cause));
+                    }
+                }
+            }
+            for idx in 0..scratch.kpi_records.len() {
+                let r = scratch.kpi_records[idx];
+                match check_kpi(&r) {
+                    Ok(()) => {
+                        stats.kpi.parsed += 1;
+                        fold(&r, &mut current_cell, &mut *hours, &mut kpi);
+                    }
+                    Err(reject) => {
+                        stats.kpi.malformed += 1;
+                        stats.note_malformed(&kpi_name, idx as u64 + 1);
+                        if policy == MalformedPolicy::FailFast {
+                            return Err(ReplayError::Feed {
+                                file: kpi_name,
+                                source: FeedError::Malformed {
+                                    line: idx as u64 + 1,
+                                    reason: reject_reason(&reject),
+                                },
+                            });
+                        }
                     }
                 }
             }
@@ -861,10 +1098,60 @@ fn read_voice_feed(
     policy: MalformedPolicy,
     report: &mut ReplayReport,
 ) -> Result<Vec<f64>, ReplayError> {
-    let text = fs::read_to_string(dir.join(VOICE_FILE))?;
+    let bin_path = dir.join(VOICE_BIN_FILE);
+    let (file_name, bytes) = if bin_path.exists() {
+        (VOICE_BIN_FILE, fs::read(bin_path)?)
+    } else {
+        (VOICE_FILE, fs::read(dir.join(VOICE_FILE))?)
+    };
     report.files_read += 1;
-    report.bytes_read += text.len() as u64;
+    report.bytes_read += bytes.len() as u64;
     let mut voice: Vec<Option<f64>> = vec![None; num_days as usize];
+
+    if columnar::looks_like_segment(&bytes) {
+        let mut records = Vec::new();
+        match feedfmt::decode_voice_into(&bytes, &mut records) {
+            Ok(header) => report.voice.lines_read += header.records as u64,
+            Err(cause) => {
+                let claimed = claimed_records(&bytes);
+                report.voice.lines_read += claimed;
+                report.voice.malformed += claimed;
+                report.note_malformed(file_name, 0);
+                if policy == MalformedPolicy::FailFast {
+                    return Err(segment_feed_error(file_name.to_string(), cause));
+                }
+            }
+        }
+        for (idx, r) in records.iter().enumerate() {
+            if r.day >= num_days {
+                report.voice.malformed += 1;
+                report.note_malformed(file_name, idx as u64 + 1);
+                if policy == MalformedPolicy::FailFast {
+                    return Err(ReplayError::Feed {
+                        file: file_name.to_string(),
+                        source: FeedError::Malformed {
+                            line: idx as u64 + 1,
+                            reason: format!(
+                                "day {} out of range (study has {num_days} days)",
+                                r.day
+                            ),
+                        },
+                    });
+                }
+                continue;
+            }
+            report.voice.parsed += 1;
+            voice[r.day as usize] = Some(r.off_net_voice_mb);
+        }
+        return finish_voice(voice);
+    }
+
+    let text = String::from_utf8(bytes).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{file_name}: not UTF-8 and not a binary segment: {e}"),
+        )
+    })?;
     for (idx, line) in text.lines().enumerate() {
         report.voice.lines_read += 1;
         let trimmed = line.trim();
@@ -893,6 +1180,7 @@ fn read_voice_feed(
             }
             Err(reject) => {
                 report.voice.malformed += 1;
+                report.note_malformed(file_name, idx as u64 + 1);
                 if policy == MalformedPolicy::FailFast {
                     let reason = match reject {
                         VoiceReject::Parse(e) => e.to_string(),
@@ -911,6 +1199,11 @@ fn read_voice_feed(
             }
         }
     }
+    finish_voice(voice)
+}
+
+/// Every study day must be present after policy handling.
+fn finish_voice(voice: Vec<Option<f64>>) -> Result<Vec<f64>, ReplayError> {
     voice
         .into_iter()
         .enumerate()

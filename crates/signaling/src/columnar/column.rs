@@ -1,0 +1,288 @@
+//! Little-endian column primitives shared by every segment codec.
+//!
+//! A payload is a sequence of fixed-width columns, each `n` records
+//! long, plus one optional dictionary block for id columns with few
+//! distinct values. Writers append to a `Vec<u8>`; readers walk a
+//! bounds-checked [`Cursor`] over the payload slice and then index the
+//! returned column slices directly — decoding pivots columns back into
+//! row structs without any intermediate per-column `Vec`, which is what
+//! lets the replay decode path hit zero steady-state allocations.
+//!
+//! Every read failure is a typed, `Copy` [`SegmentError`] naming the
+//! column, so a crafted or damaged payload can never make a decoder
+//! panic, wrap, or slice out of bounds.
+
+use super::format::SegmentError;
+
+// ---------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------
+
+/// Append a `u16` little-endian.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its little-endian bit pattern — encoding is a
+/// bijection on bits, so NaN payloads and signed zeros survive exactly.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Column slice accessors (caller guarantees `i < n`; the slice length
+// was bounds-checked once by `Cursor::take`)
+// ---------------------------------------------------------------------
+
+/// `i`-th `u8` of a 1-byte-wide column.
+pub fn u8_at(col: &[u8], i: usize) -> u8 {
+    col[i]
+}
+
+/// `i`-th `u16` of a 2-byte-wide column.
+pub fn u16_at(col: &[u8], i: usize) -> u16 {
+    u16::from_le_bytes([col[2 * i], col[2 * i + 1]])
+}
+
+/// `i`-th `u32` of a 4-byte-wide column.
+pub fn u32_at(col: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([col[4 * i], col[4 * i + 1], col[4 * i + 2], col[4 * i + 3]])
+}
+
+/// `i`-th `u64` of an 8-byte-wide column.
+pub fn u64_at(col: &[u8], i: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&col[8 * i..8 * i + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// `i`-th `f64` of an 8-byte-wide column, reconstructed from bits.
+pub fn f64_at(col: &[u8], i: usize) -> f64 {
+    f64::from_bits(u64_at(col, i))
+}
+
+// ---------------------------------------------------------------------
+// Reader cursor
+// ---------------------------------------------------------------------
+
+/// Bounds-checked forward cursor over a payload slice.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Cursor at the start of a payload.
+    pub fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    /// Unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Take the next `len` bytes as `column`'s storage, or fail with a
+    /// [`SegmentError::ColumnOverrun`] naming it.
+    pub fn take(
+        &mut self,
+        len: usize,
+        column: &'static str,
+    ) -> Result<&'a [u8], SegmentError> {
+        if self.remaining() < len {
+            return Err(SegmentError::ColumnOverrun {
+                column,
+                needed: len,
+                have: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Take a single byte (width markers, flags).
+    pub fn take_u8(&mut self, column: &'static str) -> Result<u8, SegmentError> {
+        Ok(self.take(1, column)?[0])
+    }
+
+    /// Take a single little-endian `u32` (lengths, counts).
+    pub fn take_u32(&mut self, column: &'static str) -> Result<u32, SegmentError> {
+        let b = self.take(4, column)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Assert the payload is fully consumed: leftover bytes mean the
+    /// record count and the columns disagree.
+    pub fn finish(&self) -> Result<(), SegmentError> {
+        if self.remaining() != 0 {
+            return Err(SegmentError::ColumnUnderrun { extra: self.remaining() });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dictionary-coded u32 column
+// ---------------------------------------------------------------------
+
+/// On-wire layout of a dictionary-coded `u32` column:
+///
+/// ```text
+/// dict_len  u32
+/// dict      [u32; dict_len]      distinct values, first-appearance order
+/// width     u8                   2 or 4 (index byte width)
+/// indices   [u16|u32; records]   positions into dict
+/// ```
+///
+/// Cell/tower ids are the textbook case: a day shard references a few
+/// thousand distinct cells across millions of events, so each reference
+/// shrinks from 4 bytes to 2 while staying losslessly `u32`-valued.
+/// First-appearance order makes the encoding a pure function of the
+/// record sequence — byte-identical output for byte-identical input,
+/// which the equivalence proptests rely on.
+pub fn encode_dict_u32<I>(values: I, records: usize, out: &mut Vec<u8>)
+where
+    I: Iterator<Item = u32> + Clone,
+{
+    // First pass: the dictionary, in first-appearance order.
+    let mut dict: Vec<u32> = Vec::new();
+    let mut map: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for v in values.clone() {
+        map.entry(v).or_insert_with(|| {
+            dict.push(v);
+            dict.len() as u32 - 1
+        });
+    }
+    put_u32(out, dict.len() as u32);
+    for &v in &dict {
+        put_u32(out, v);
+    }
+    // Second pass: indices, at the narrowest width that fits.
+    let width: u8 = if dict.len() <= u16::MAX as usize + 1 { 2 } else { 4 };
+    out.push(width);
+    let mut n = 0usize;
+    for v in values {
+        let idx = map[&v];
+        if width == 2 {
+            put_u16(out, idx as u16);
+        } else {
+            put_u32(out, idx);
+        }
+        n += 1;
+    }
+    debug_assert_eq!(n, records);
+}
+
+/// Decoded dictionary column: the dictionary lives in caller scratch,
+/// the index column stays a borrowed payload slice.
+pub struct DictColumn<'a> {
+    width: u8,
+    indices: &'a [u8],
+    dict_len: u32,
+}
+
+impl DictColumn<'_> {
+    /// Dictionary-decode the `i`-th value via the scratch dictionary
+    /// filled by [`read_dict_u32`]. Fails typed on an index past the
+    /// dictionary (only possible on crafted/corrupt payloads — the CRC
+    /// already vouched for transport integrity, not for semantics).
+    pub fn get(&self, dict: &[u32], i: usize) -> Result<u32, SegmentError> {
+        let idx = if self.width == 2 {
+            u16_at(self.indices, i) as u32
+        } else {
+            u32_at(self.indices, i)
+        };
+        dict.get(idx as usize).copied().ok_or(SegmentError::BadDictIndex {
+            index: idx,
+            dict_len: self.dict_len,
+        })
+    }
+}
+
+/// Read a dictionary-coded `u32` column written by [`encode_dict_u32`]:
+/// fills `dict` (reused scratch — cleared, then extended in place) and
+/// returns the index column view.
+pub fn read_dict_u32<'a>(
+    cur: &mut Cursor<'a>,
+    records: usize,
+    dict: &mut Vec<u32>,
+    column: &'static str,
+) -> Result<DictColumn<'a>, SegmentError> {
+    let dict_len = cur.take_u32(column)?;
+    let dict_bytes = cur.take(dict_len as usize * 4, column)?;
+    dict.clear();
+    dict.reserve(dict_len as usize);
+    for i in 0..dict_len as usize {
+        dict.push(u32_at(dict_bytes, i));
+    }
+    let width = cur.take_u8(column)?;
+    if width != 2 && width != 4 {
+        return Err(SegmentError::BadIndexWidth { found: width });
+    }
+    let indices = cur.take(records * width as usize, column)?;
+    Ok(DictColumn { width, indices, dict_len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dict_column_roundtrips() {
+        let values = [7u32, 7, 900_000, 7, 3, 900_000, 3, 3];
+        let mut buf = Vec::new();
+        encode_dict_u32(values.iter().copied(), values.len(), &mut buf);
+
+        let mut cur = Cursor::new(&buf);
+        let mut dict = vec![0xDEAD_BEEF]; // dirty scratch
+        let col = read_dict_u32(&mut cur, values.len(), &mut dict, "cell").unwrap();
+        cur.finish().unwrap();
+        assert_eq!(dict, vec![7, 900_000, 3], "first-appearance order");
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(col.get(&dict, i).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn cursor_overrun_names_the_column() {
+        let mut cur = Cursor::new(&[1, 2, 3]);
+        let err = cur.take(8, "anon_id").unwrap_err();
+        assert_eq!(
+            err,
+            SegmentError::ColumnOverrun { column: "anon_id", needed: 8, have: 3 }
+        );
+    }
+
+    #[test]
+    fn cursor_finish_rejects_leftovers() {
+        let bytes = [0u8; 6];
+        let mut cur = Cursor::new(&bytes);
+        cur.take(4, "x").unwrap();
+        assert_eq!(cur.finish(), Err(SegmentError::ColumnUnderrun { extra: 2 }));
+        cur.take(2, "y").unwrap();
+        assert_eq!(cur.finish(), Ok(()));
+    }
+
+    #[test]
+    fn f64_columns_are_bit_exact() {
+        let values = [0.1 + 0.2, -0.0, f64::INFINITY, f64::from_bits(0x7FF8_0000_0000_0001)];
+        let mut buf = Vec::new();
+        for v in values {
+            put_f64(&mut buf, v);
+        }
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(f64_at(&buf, i).to_bits(), v.to_bits());
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Segment envelope: magic, version, kind, record count, CRC32.
+//!
+//! Every binary feed file is exactly one *segment*: a fixed
+//! [`HEADER_LEN`]-byte little-endian header followed by a columnar
+//! payload. The header carries everything a reader needs to decide
+//! whether the payload is worth touching — format magic, version,
+//! segment kind, the day shard, the record count, the payload length
+//! and a CRC32 of the payload — so damage of any kind surfaces as a
+//! typed [`SegmentError`] *before* the decoder dereferences a single
+//! column, and surfaces identically whether the file was truncated,
+//! bit-flipped, or written by a future incompatible version.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        "CSCF"
+//!      4     2  version      u16 LE (readers reject != SEGMENT_VERSION)
+//!      6     1  kind         1 = events, 2 = kpi, 3 = voice
+//!      7     1  reserved     0
+//!      8     2  day          u16 LE day shard (ALL_DAYS for voice)
+//!     10     2  reserved     0
+//!     12     4  records      u32 LE record count
+//!     16     4  payload_len  u32 LE bytes after the header
+//!     20     4  payload_crc  u32 LE CRC32 (IEEE) of the payload
+//!     24     …  payload      columns, see `events`/the scenario codecs
+//! ```
+//!
+//! All multi-byte values in header and payload are little-endian;
+//! [`SegmentError`] is `Copy` and carries raw values only, so the
+//! replay hot path can reject a damaged segment without allocating —
+//! the same discipline as [`crate::export::BoundsViolation`].
+
+use std::fmt;
+
+/// File magic of a columnar feed segment ("CellScope Columnar Feed").
+pub const SEGMENT_MAGIC: [u8; 4] = *b"CSCF";
+
+/// Format version this build writes and accepts. Bump on any layout
+/// change; readers reject every other version rather than guess.
+pub const SEGMENT_VERSION: u16 = 1;
+
+/// Fixed header size in bytes; the payload starts here.
+pub const HEADER_LEN: usize = 24;
+
+/// `day` value of segments that are not day-sharded (the voice feed
+/// spans the whole study).
+pub const ALL_DAYS: u16 = u16::MAX;
+
+/// What a segment holds. The kind byte keeps a KPI file from being
+/// decoded with the events schema even when both have valid checksums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SegmentKind {
+    /// Per-day signaling events ([`crate::SignalingEvent`]).
+    Events = 1,
+    /// Per-day hourly cell KPI samples.
+    Kpi = 2,
+    /// Whole-study daily voice volumes.
+    Voice = 3,
+}
+
+impl SegmentKind {
+    fn from_u8(v: u8) -> Option<SegmentKind> {
+        match v {
+            1 => Some(SegmentKind::Events),
+            2 => Some(SegmentKind::Kpi),
+            3 => Some(SegmentKind::Voice),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SegmentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SegmentKind::Events => "events",
+            SegmentKind::Kpi => "kpi",
+            SegmentKind::Voice => "voice",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Parsed segment header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Segment kind.
+    pub kind: SegmentKind,
+    /// Day shard ([`ALL_DAYS`] when not day-sharded).
+    pub day: u16,
+    /// Records in the payload.
+    pub records: u32,
+    /// Payload bytes after the header.
+    pub payload_len: u32,
+    /// CRC32 (IEEE) of the payload bytes.
+    pub payload_crc: u32,
+}
+
+/// Why a segment could not be decoded. `Copy`, carries raw values
+/// only: rejecting a damaged multi-million-record segment costs no
+/// allocation, and the message is rendered only when the error is
+/// actually surfaced (fail-fast), mirroring `BoundsViolation`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentError {
+    /// Fewer than [`HEADER_LEN`] bytes: not even a header survives.
+    HeaderTruncated {
+        /// Bytes present.
+        len: usize,
+    },
+    /// The first four bytes are not [`SEGMENT_MAGIC`].
+    BadMagic {
+        /// Bytes found.
+        found: [u8; 4],
+    },
+    /// A version this build does not read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The kind byte names no known segment kind.
+    BadKind {
+        /// Kind byte found.
+        found: u8,
+    },
+    /// A valid segment of the wrong kind for this decoder.
+    WrongKind {
+        /// Kind found in the header.
+        found: SegmentKind,
+        /// Kind the decoder expected.
+        expected: SegmentKind,
+    },
+    /// The file ends before the payload the header declares.
+    Truncated {
+        /// Payload bytes the header promises.
+        needed: usize,
+        /// Payload bytes actually present.
+        have: usize,
+    },
+    /// Bytes beyond the declared payload (a concatenation or overwrite
+    /// artifact — one file is one segment, nothing may follow).
+    TrailingBytes {
+        /// Surplus byte count.
+        extra: usize,
+    },
+    /// The payload does not hash to the checksum the header stored.
+    ChecksumMismatch {
+        /// CRC32 stored in the header.
+        stored: u32,
+        /// CRC32 computed over the payload.
+        computed: u32,
+    },
+    /// A column needs more payload bytes than remain — the record
+    /// count and the payload disagree (mid-column EOF).
+    ColumnOverrun {
+        /// Column being read.
+        column: &'static str,
+        /// Bytes the column needs.
+        needed: usize,
+        /// Bytes remaining in the payload.
+        have: usize,
+    },
+    /// Payload bytes left over after the last column — the record
+    /// count and the payload disagree in the other direction.
+    ColumnUnderrun {
+        /// Unconsumed payload bytes.
+        extra: usize,
+    },
+    /// An enum-coded column holds a value outside its domain.
+    BadEnum {
+        /// Column with the bad value.
+        column: &'static str,
+        /// Value found.
+        value: u8,
+    },
+    /// A dictionary index points past the dictionary.
+    BadDictIndex {
+        /// Index found.
+        index: u32,
+        /// Dictionary length.
+        dict_len: u32,
+    },
+    /// The dictionary index-width byte is neither 2 nor 4.
+    BadIndexWidth {
+        /// Width byte found.
+        found: u8,
+    },
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::HeaderTruncated { len } => {
+                write!(f, "segment truncated inside the header ({len} of {HEADER_LEN} bytes)")
+            }
+            SegmentError::BadMagic { found } => {
+                write!(f, "bad segment magic {found:02x?} (expected {SEGMENT_MAGIC:02x?})")
+            }
+            SegmentError::UnsupportedVersion { found } => {
+                write!(f, "unsupported segment version {found} (this build reads {SEGMENT_VERSION})")
+            }
+            SegmentError::BadKind { found } => {
+                write!(f, "unknown segment kind byte {found}")
+            }
+            SegmentError::WrongKind { found, expected } => {
+                write!(f, "segment holds {found} records, decoder expected {expected}")
+            }
+            SegmentError::Truncated { needed, have } => {
+                write!(f, "segment truncated: header declares {needed} payload bytes, {have} present")
+            }
+            SegmentError::TrailingBytes { extra } => {
+                write!(f, "{extra} bytes beyond the declared payload")
+            }
+            SegmentError::ChecksumMismatch { stored, computed } => {
+                write!(f, "payload checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            SegmentError::ColumnOverrun { column, needed, have } => {
+                write!(f, "column `{column}` overruns the payload ({needed} bytes needed, {have} left)")
+            }
+            SegmentError::ColumnUnderrun { extra } => {
+                write!(f, "{extra} payload bytes left after the last column")
+            }
+            SegmentError::BadEnum { column, value } => {
+                write!(f, "column `{column}` holds out-of-domain value {value}")
+            }
+            SegmentError::BadDictIndex { index, dict_len } => {
+                write!(f, "dictionary index {index} out of range (dictionary has {dict_len} entries)")
+            }
+            SegmentError::BadIndexWidth { found } => {
+                write!(f, "dictionary index width {found} (must be 2 or 4)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+// CRC32 (IEEE 802.3, the zlib/PNG polynomial), table-driven. Vendored
+// rather than pulled in: the build is registry-free, and the whole
+// algorithm is smaller than a dependency line.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn u16_le(b: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([b[at], b[at + 1]])
+}
+
+fn u32_le(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+impl SegmentHeader {
+    /// Parse the fixed header. Checks structure only (length, magic,
+    /// version, kind); payload length and checksum are the job of
+    /// [`check_segment`], which needs the full byte run.
+    pub fn parse(bytes: &[u8]) -> Result<SegmentHeader, SegmentError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SegmentError::HeaderTruncated { len: bytes.len() });
+        }
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&bytes[..4]);
+        if magic != SEGMENT_MAGIC {
+            return Err(SegmentError::BadMagic { found: magic });
+        }
+        let version = u16_le(bytes, 4);
+        if version != SEGMENT_VERSION {
+            return Err(SegmentError::UnsupportedVersion { found: version });
+        }
+        let kind = SegmentKind::from_u8(bytes[6])
+            .ok_or(SegmentError::BadKind { found: bytes[6] })?;
+        Ok(SegmentHeader {
+            kind,
+            day: u16_le(bytes, 8),
+            records: u32_le(bytes, 12),
+            payload_len: u32_le(bytes, 16),
+            payload_crc: u32_le(bytes, 20),
+        })
+    }
+}
+
+/// Whether a byte run even claims to be a segment — the sniff the
+/// dual-format replay reader uses to pick its decode path. Deliberately
+/// magic-only: a truncated or corrupt segment must still be *routed* to
+/// the binary decoder so its damage surfaces as a typed
+/// [`SegmentError`], not as a JSON parse error.
+pub fn looks_like_segment(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == SEGMENT_MAGIC
+}
+
+/// Record count a damaged segment *claims*, when the header is intact
+/// enough to say. Lenient replay uses this to account a corrupt
+/// segment's records as malformed instead of silently dropping an
+/// unknown number of them.
+pub fn peek_records(bytes: &[u8]) -> Option<u32> {
+    SegmentHeader::parse(bytes).ok().map(|h| h.records)
+}
+
+/// Validate the envelope and return the parsed header plus the payload
+/// slice: header structure, exact payload length (no truncation, no
+/// trailing bytes) and checksum, in that order — so the caller learns
+/// the *first* structural problem, stated in its own terms.
+pub fn check_segment(
+    bytes: &[u8],
+    expected: SegmentKind,
+) -> Result<(SegmentHeader, &[u8]), SegmentError> {
+    let header = SegmentHeader::parse(bytes)?;
+    if header.kind != expected {
+        return Err(SegmentError::WrongKind { found: header.kind, expected });
+    }
+    let have = bytes.len() - HEADER_LEN;
+    let needed = header.payload_len as usize;
+    if have < needed {
+        return Err(SegmentError::Truncated { needed, have });
+    }
+    if have > needed {
+        return Err(SegmentError::TrailingBytes { extra: have - needed });
+    }
+    let payload = &bytes[HEADER_LEN..];
+    let computed = crc32(payload);
+    if computed != header.payload_crc {
+        return Err(SegmentError::ChecksumMismatch {
+            stored: header.payload_crc,
+            computed,
+        });
+    }
+    Ok((header, payload))
+}
+
+/// Open a segment being encoded: reserve the header bytes at the front
+/// of `out` (the payload is appended after them; [`seal_segment`]
+/// backpatches the header once the payload is complete).
+pub fn begin_segment(out: &mut Vec<u8>) {
+    out.clear();
+    out.resize(HEADER_LEN, 0);
+}
+
+/// Finish a segment started with [`begin_segment`]: compute the payload
+/// length and CRC over everything appended since, and write the header.
+pub fn seal_segment(out: &mut [u8], kind: SegmentKind, day: u16, records: u32) {
+    debug_assert!(out.len() >= HEADER_LEN);
+    let payload_len = (out.len() - HEADER_LEN) as u32;
+    let crc = crc32(&out[HEADER_LEN..]);
+    out[..4].copy_from_slice(&SEGMENT_MAGIC);
+    out[4..6].copy_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out[6] = kind as u8;
+    out[7] = 0;
+    out[8..10].copy_from_slice(&day.to_le_bytes());
+    out[10..12].copy_from_slice(&0u16.to_le_bytes());
+    out[12..16].copy_from_slice(&records.to_le_bytes());
+    out[16..20].copy_from_slice(&payload_len.to_le_bytes());
+    out[20..24].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE CRC32 check value ("123456789" -> 0xCBF43926).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"\x00"), 0xD202_EF8D);
+    }
+
+    #[test]
+    fn seal_then_check_roundtrips() {
+        let mut buf = Vec::new();
+        begin_segment(&mut buf);
+        buf.extend_from_slice(b"payload bytes");
+        seal_segment(&mut buf, SegmentKind::Events, 7, 3);
+        let (header, payload) =
+            check_segment(&buf, SegmentKind::Events).expect("valid segment");
+        assert_eq!(header.kind, SegmentKind::Events);
+        assert_eq!(header.day, 7);
+        assert_eq!(header.records, 3);
+        assert_eq!(payload, b"payload bytes");
+        assert!(looks_like_segment(&buf));
+        assert_eq!(peek_records(&buf), Some(3));
+    }
+
+    #[test]
+    fn envelope_damage_is_typed() {
+        let mut buf = Vec::new();
+        begin_segment(&mut buf);
+        buf.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        seal_segment(&mut buf, SegmentKind::Kpi, 0, 2);
+
+        // Header truncation.
+        assert!(matches!(
+            check_segment(&buf[..10], SegmentKind::Kpi),
+            Err(SegmentError::HeaderTruncated { len: 10 })
+        ));
+        // Payload truncation.
+        assert!(matches!(
+            check_segment(&buf[..buf.len() - 3], SegmentKind::Kpi),
+            Err(SegmentError::Truncated { needed: 8, have: 5 })
+        ));
+        // Trailing bytes.
+        let mut long = buf.clone();
+        long.push(0xAB);
+        assert!(matches!(
+            check_segment(&long, SegmentKind::Kpi),
+            Err(SegmentError::TrailingBytes { extra: 1 })
+        ));
+        // Bit flip in the payload.
+        let mut flipped = buf.clone();
+        *flipped.last_mut().unwrap() ^= 0x40;
+        assert!(matches!(
+            check_segment(&flipped, SegmentKind::Kpi),
+            Err(SegmentError::ChecksumMismatch { .. })
+        ));
+        // Bad magic.
+        let mut magic = buf.clone();
+        magic[0] ^= 0xFF;
+        assert!(matches!(
+            check_segment(&magic, SegmentKind::Kpi),
+            Err(SegmentError::BadMagic { .. })
+        ));
+        assert!(!looks_like_segment(&magic));
+        // Future version.
+        let mut vers = buf.clone();
+        vers[4..6].copy_from_slice(&99u16.to_le_bytes());
+        assert!(matches!(
+            check_segment(&vers, SegmentKind::Kpi),
+            Err(SegmentError::UnsupportedVersion { found: 99 })
+        ));
+        // Unknown kind byte.
+        let mut kind = buf.clone();
+        kind[6] = 200;
+        assert!(matches!(
+            check_segment(&kind, SegmentKind::Kpi),
+            Err(SegmentError::BadKind { found: 200 })
+        ));
+        // Valid segment, wrong decoder.
+        assert!(matches!(
+            check_segment(&buf, SegmentKind::Events),
+            Err(SegmentError::WrongKind {
+                found: SegmentKind::Kpi,
+                expected: SegmentKind::Events
+            })
+        ));
+    }
+
+    #[test]
+    fn errors_render_without_panicking() {
+        let errors: [SegmentError; 5] = [
+            SegmentError::BadMagic { found: [0, 1, 2, 3] },
+            SegmentError::ChecksumMismatch { stored: 1, computed: 2 },
+            SegmentError::ColumnOverrun { column: "anon_id", needed: 80, have: 3 },
+            SegmentError::BadDictIndex { index: 9, dict_len: 2 },
+            SegmentError::BadEnum { column: "event", value: 77 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

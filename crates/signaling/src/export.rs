@@ -62,6 +62,11 @@ pub enum FeedError {
     /// A specific line could not be parsed or failed validation.
     /// `line` is 1-based, matching what `sed -n '<line>p'` shows.
     Malformed { line: u64, reason: String },
+    /// A binary columnar segment failed envelope or column validation
+    /// (truncation, bad magic/version, checksum mismatch, mid-column
+    /// EOF…). Carries the typed, `Copy` cause — no allocation happens
+    /// until the error is actually rendered.
+    Segment(crate::columnar::SegmentError),
 }
 
 impl fmt::Display for FeedError {
@@ -71,6 +76,7 @@ impl fmt::Display for FeedError {
             FeedError::Malformed { line, reason } => {
                 write!(f, "line {line}: {reason}")
             }
+            FeedError::Segment(cause) => write!(f, "binary segment: {cause}"),
         }
     }
 }
@@ -81,7 +87,7 @@ impl From<FeedError> for io::Error {
     fn from(e: FeedError) -> io::Error {
         match e {
             FeedError::Io(io_err) => io_err,
-            FeedError::Malformed { .. } => {
+            FeedError::Malformed { .. } | FeedError::Segment(_) => {
                 io::Error::new(io::ErrorKind::InvalidData, e.to_string())
             }
         }
@@ -175,6 +181,12 @@ impl fmt::Display for BoundsViolation {
 
 impl std::error::Error for BoundsViolation {}
 
+/// Most malformed-line positions an [`EventReader`] records. A damaged
+/// multi-million-line feed must not turn the reader's accounting into
+/// an unbounded allocation; the *count* in [`FeedStats::malformed`] is
+/// always exact, the recorded positions are the first few witnesses.
+pub const MAX_MALFORMED_LINES: usize = 16;
+
 /// Streaming JSONL event reader: an iterator over
 /// `Result<SignalingEvent, FeedError>`.
 ///
@@ -182,13 +194,20 @@ impl std::error::Error for BoundsViolation {}
 /// no per-line buffer allocation (the per-event work is just the JSON
 /// parse). Configure with [`with_policy`](EventReader::with_policy) and
 /// [`with_bounds`](EventReader::with_bounds); inspect accounting at any
-/// point with [`stats`](EventReader::stats).
+/// point with [`stats`](EventReader::stats) and the positions of the
+/// first rejected lines with
+/// [`malformed_lines`](EventReader::malformed_lines) — under
+/// [`MalformedPolicy::SkipAndCount`] those numbers are the only record
+/// of *where* a feed was damaged.
 pub struct EventReader<R: BufRead> {
     reader: R,
     buf: String,
     policy: MalformedPolicy,
     bounds: Option<FeedBounds>,
     stats: FeedStats,
+    /// 1-based positions of the first [`MAX_MALFORMED_LINES`] rejected
+    /// lines. Empty on a clean feed, so the happy path never allocates.
+    malformed_lines: Vec<u64>,
     /// Set after a fatal error (I/O, or malformed under fail-fast) so
     /// the iterator fuses instead of re-reading a broken stream.
     done: bool,
@@ -203,6 +222,7 @@ impl<R: BufRead> EventReader<R> {
             policy: MalformedPolicy::FailFast,
             bounds: None,
             stats: FeedStats::default(),
+            malformed_lines: Vec::new(),
             done: false,
         }
     }
@@ -222,6 +242,14 @@ impl<R: BufRead> EventReader<R> {
     /// Accounting so far (final once the iterator returns `None`).
     pub fn stats(&self) -> FeedStats {
         self.stats
+    }
+
+    /// 1-based line numbers of the first [`MAX_MALFORMED_LINES`]
+    /// rejected lines, in feed order. Under skip-and-count these are
+    /// the only trace of where the damage sat; under fail-fast the
+    /// single entry matches the error's line.
+    pub fn malformed_lines(&self) -> &[u64] {
+        &self.malformed_lines
     }
 
     /// Classify the current buffer; `None` means "skip, keep reading".
@@ -254,6 +282,9 @@ impl<R: BufRead> EventReader<R> {
             }
             Err(reject) => {
                 self.stats.malformed += 1;
+                if self.malformed_lines.len() < MAX_MALFORMED_LINES {
+                    self.malformed_lines.push(self.stats.lines_read);
+                }
                 match self.policy {
                     MalformedPolicy::SkipAndCount => None,
                     MalformedPolicy::FailFast => {
@@ -405,6 +436,39 @@ mod tests {
             stats.parsed + stats.blank + stats.malformed,
             stats.lines_read
         );
+    }
+
+    #[test]
+    fn malformed_line_positions_are_recorded() {
+        let mut buffer = Vec::new();
+        write_events_jsonl(&mut buffer, &sample(2)).unwrap();
+        buffer.extend_from_slice(b"{bad}\n");
+        write_events_jsonl(&mut buffer, &sample(1)).unwrap();
+        buffer.extend_from_slice(b"also bad\n");
+
+        let mut reader = EventReader::new(buffer.as_slice())
+            .with_policy(MalformedPolicy::SkipAndCount);
+        assert_eq!((&mut reader).filter_map(Result::ok).count(), 3);
+        assert_eq!(reader.stats().malformed, 2);
+        assert_eq!(reader.malformed_lines(), &[3, 5]);
+    }
+
+    #[test]
+    fn malformed_line_recording_is_capped() {
+        let mut buffer = Vec::new();
+        for _ in 0..(MAX_MALFORMED_LINES + 10) {
+            buffer.extend_from_slice(b"{nope}\n");
+        }
+        let mut reader = EventReader::new(buffer.as_slice())
+            .with_policy(MalformedPolicy::SkipAndCount);
+        assert_eq!((&mut reader).count(), 0);
+        assert_eq!(
+            reader.stats().malformed,
+            (MAX_MALFORMED_LINES + 10) as u64,
+            "the count stays exact past the cap"
+        );
+        assert_eq!(reader.malformed_lines().len(), MAX_MALFORMED_LINES);
+        assert_eq!(reader.malformed_lines()[0], 1);
     }
 
     #[test]

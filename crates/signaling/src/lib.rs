@@ -19,9 +19,12 @@
 //!   calibrated to the 75%-of-time-on-4G observation, and a small
 //!   failure rate on result codes);
 //! * [`feed`] — event stream → per-user per-day dwell (site, minutes,
-//!   4-hour bin), the input of every mobility metric.
+//!   4-hour bin), the input of every mobility metric;
+//! * [`columnar`] — the binary columnar segment format the replay
+//!   engine decodes at memory speed (JSONL stays the interchange form).
 
 pub mod anonymize;
+pub mod columnar;
 pub mod event;
 pub mod export;
 pub mod feed;
@@ -29,10 +32,11 @@ pub mod generate;
 pub mod tac;
 
 pub use anonymize::Anonymizer;
+pub use columnar::{SegmentError, SegmentKind};
 pub use event::{EventType, SignalingEvent};
 pub use export::{
     read_events_jsonl, write_events_jsonl, BoundsViolation, EventReader, FeedBounds,
-    FeedError, FeedStats, MalformedPolicy,
+    FeedError, FeedStats, MalformedPolicy, MAX_MALFORMED_LINES,
 };
 pub use feed::{event_type_histogram, reconstruct_dwell, reconstruct_dwell_into, DwellRecord};
 pub use generate::{EventGenerator, EventGenConfig};

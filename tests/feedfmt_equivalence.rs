@@ -1,0 +1,200 @@
+//! Feed-format equivalence (the tentpole acceptance tests): the binary
+//! columnar format must be a *lossless twin* of the JSONL feeds —
+//! converting JSONL → binary → JSONL reproduces the original files byte
+//! for byte — and replaying binary feeds must land on the exact dataset
+//! the JSONL replay and the in-memory run produce, independent of
+//! worker count.
+
+use cellscope::scenario::feedfmt::{convert_feed_dir, detect_format, FeedFormat};
+use cellscope::scenario::replay::{
+    dataset_divergence, export_feeds, replay_study, ReplayConfig,
+};
+use cellscope::scenario::{run_study, ScenarioConfig};
+use cellscope::signaling::columnar::{
+    decode_events_into, encode_events, DecodeScratch,
+};
+use cellscope::signaling::event::EventType;
+use cellscope::signaling::{
+    read_events_jsonl, write_events_jsonl, SignalingEvent, TacCode,
+};
+use cellscope::radio::CellId;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cellscope_feedfmt_{tag}_{}", std::process::id()))
+}
+
+/// Tiny-but-real scenario: small enough that exporting + three replays
+/// stay fast, big enough that every feed has real content.
+fn micro(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::tiny(seed);
+    cfg.population.num_subscribers = 500;
+    cfg
+}
+
+/// Arbitrary event over the full field ranges (same strategy as the
+/// JSONL property tests — the binary format must carry anything the
+/// record type can hold, not just what the generator emits).
+fn arb_event() -> impl Strategy<Value = SignalingEvent> {
+    (
+        0u64..u64::MAX,
+        0u16..1000,
+        0u8..100,
+        (0u32..100_000_000, 0u32..10_000, 0u16..400, 0u16..1440),
+        0usize..EventType::ALL.len(),
+        0u8..2,
+    )
+        .prop_map(|(anon_id, mcc, mnc, (tac, cell, day, minute), ev, success)| {
+            SignalingEvent {
+                anon_id,
+                mcc,
+                mnc,
+                tac: TacCode(tac),
+                cell: CellId(cell),
+                day,
+                minute,
+                event: EventType::ALL[ev],
+                success: success == 1,
+            }
+        })
+}
+
+proptest! {
+    /// encode → decode is the identity for any event vector, including
+    /// into dirty (previously used) scratch and output buffers — the
+    /// state replay workers are always in after day one.
+    #[test]
+    fn binary_roundtrip_is_identity_with_dirty_buffers(
+        first in prop::collection::vec(arb_event(), 0..40),
+        second in prop::collection::vec(arb_event(), 0..40),
+        day in 0u16..200,
+    ) {
+        let mut scratch = DecodeScratch::default();
+        let mut out = Vec::new();
+        let bytes_first = encode_events(day, &first);
+        decode_events_into(&bytes_first, &mut scratch, &mut out).expect("decode");
+        prop_assert_eq!(&out, &first);
+
+        // Same buffers, different segment: no residue may leak through.
+        let bytes_second = encode_events(day, &second);
+        let header =
+            decode_events_into(&bytes_second, &mut scratch, &mut out).expect("decode");
+        prop_assert_eq!(header.records as usize, second.len());
+        prop_assert_eq!(&out, &second);
+    }
+
+    /// JSONL → binary → JSONL is byte-lossless: parsing a feed, encoding
+    /// it as a segment, decoding the segment and re-serializing with the
+    /// exporter's writer reproduces the original bytes exactly.
+    #[test]
+    fn jsonl_binary_jsonl_is_byte_lossless(
+        events in prop::collection::vec(arb_event(), 0..40),
+    ) {
+        let mut original = Vec::new();
+        write_events_jsonl(&mut original, &events).expect("write");
+
+        let parsed = read_events_jsonl(original.as_slice()).expect("parse");
+        let segment = encode_events(0, &parsed);
+        let mut decoded = Vec::new();
+        decode_events_into(&segment, &mut DecodeScratch::default(), &mut decoded)
+            .expect("decode");
+
+        let mut back = Vec::new();
+        write_events_jsonl(&mut back, &decoded).expect("rewrite");
+        prop_assert_eq!(back, original);
+    }
+
+    /// Binary encoding is a pure function of the event sequence: equal
+    /// inputs give byte-identical segments (the property that makes the
+    /// directory-level byte-lossless check meaningful).
+    #[test]
+    fn binary_encoding_is_deterministic(
+        events in prop::collection::vec(arb_event(), 0..40),
+        day in 0u16..200,
+    ) {
+        prop_assert_eq!(encode_events(day, &events), encode_events(day, &events));
+    }
+}
+
+/// Whole-feed-set round trip plus replay equivalence, on real exported
+/// feeds: JSONL dir → binary dir → JSONL dir reproduces every file byte
+/// for byte, and all three read paths (in-memory, JSONL replay, binary
+/// replay at 1 and 8 workers) land on bit-identical datasets.
+#[test]
+fn converted_feeds_are_byte_lossless_and_replay_bit_identically() {
+    let cfg = micro(42);
+    let jsonl_dir = scratch_dir("jsonl");
+    let bin_dir = scratch_dir("bin");
+    let back_dir = scratch_dir("back");
+
+    let in_memory = run_study(&cfg).expect("in-memory study");
+    let manifest = export_feeds(&cfg, &jsonl_dir).expect("export feeds");
+
+    // --- JSONL -> binary -> JSONL, byte for byte ------------------------
+    let to_bin = convert_feed_dir(&jsonl_dir, &bin_dir).expect("convert to binary");
+    assert_eq!(to_bin.from, FeedFormat::Jsonl);
+    assert_eq!(to_bin.to, FeedFormat::Binary);
+    assert_eq!(to_bin.files, 2 * manifest.num_days as u64 + 1);
+    assert_eq!(detect_format(&bin_dir).expect("detect"), FeedFormat::Binary);
+    assert!(
+        to_bin.dst_bytes < to_bin.src_bytes,
+        "binary feeds should be smaller: {} vs {}",
+        to_bin.dst_bytes,
+        to_bin.src_bytes
+    );
+
+    let to_jsonl = convert_feed_dir(&bin_dir, &back_dir).expect("convert back");
+    assert_eq!(to_jsonl.from, FeedFormat::Binary);
+    assert_eq!(to_jsonl.files, to_bin.files);
+    let mut originals: Vec<String> = std::fs::read_dir(&jsonl_dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").file_name().into_string().expect("name"))
+        .collect();
+    originals.sort();
+    assert!(originals.len() as u64 > to_bin.files, "manifest plus feeds");
+    for name in &originals {
+        let a = std::fs::read(jsonl_dir.join(name)).expect("original");
+        let b = std::fs::read(back_dir.join(name)).expect("converted-back");
+        assert_eq!(a, b, "{name} not reproduced byte-for-byte");
+    }
+
+    // --- replay equivalence, both formats, 1 and 8 workers --------------
+    let replay_at = |dir: &PathBuf, threads: usize| {
+        let rcfg = ReplayConfig { threads, ..ReplayConfig::default() };
+        replay_study(&cfg, dir, &rcfg).expect("replay")
+    };
+    let (from_jsonl, report_jsonl) = replay_at(&jsonl_dir, 1);
+    let (from_bin_1, report_bin_1) = replay_at(&bin_dir, 1);
+    let (from_bin_8, report_bin_8) = replay_at(&bin_dir, 8);
+
+    assert_eq!(dataset_divergence(&in_memory, &from_jsonl), None);
+    assert_eq!(dataset_divergence(&in_memory, &from_bin_1), None);
+    assert_eq!(dataset_divergence(&in_memory, &from_bin_8), None);
+
+    for (label, report) in [
+        ("jsonl", &report_jsonl),
+        ("binary x1", &report_bin_1),
+        ("binary x8", &report_bin_8),
+    ] {
+        assert!(report.lines_balance(), "{label} line accounting leaks:\n{report}");
+        assert!(report.events_balance(), "{label} event accounting leaks:\n{report}");
+        assert_eq!(report.events.malformed, 0, "{label}: clean feeds");
+        assert_eq!(report.kpi.malformed, 0, "{label}");
+        assert_eq!(report.voice.malformed, 0, "{label}");
+        assert!(report.malformed_at.is_empty(), "{label}: no damage locations");
+    }
+    // The two binary replays see the identical stream; the JSONL replay
+    // parses the same records from text. Parsed counts must agree.
+    assert_eq!(report_bin_1.events.parsed, report_jsonl.events.parsed);
+    assert_eq!(report_bin_8.events.parsed, report_jsonl.events.parsed);
+    assert_eq!(report_bin_1.kpi.parsed, report_jsonl.kpi.parsed);
+    assert_eq!(report_bin_1.voice.parsed, report_jsonl.voice.parsed);
+    // Binary segments have no blank lines; per-feed reads count records.
+    assert_eq!(report_bin_1.events.blank, 0);
+    assert_eq!(report_bin_1.events.lines_read, report_bin_1.events.parsed);
+
+    std::fs::remove_dir_all(&jsonl_dir).ok();
+    std::fs::remove_dir_all(&bin_dir).ok();
+    std::fs::remove_dir_all(&back_dir).ok();
+}

@@ -11,6 +11,7 @@ use cellscope_mobility::{
     BehaviorModel, DayTrajectory, Population, PopulationConfig, TrajectoryGenerator,
 };
 use cellscope_radio::{DeployConfig, Topology};
+use cellscope_signaling::columnar::{decode_events_into, encode_events, DecodeScratch};
 use cellscope_signaling::{
     reconstruct_dwell, reconstruct_dwell_into, Anonymizer, EventGenConfig, EventGenerator,
     TacCatalog,
@@ -147,6 +148,40 @@ proptest! {
         let mut buf = Vec::new();
         reconstruct_dwell_into(&dirty_events, &mut buf);
         reconstruct_dwell_into(&events, &mut buf);
+        prop_assert_eq!(buf, fresh);
+    }
+
+    /// Binary segment decode into a dirty arena (scratch dictionary and
+    /// output vector already holding another day's records) == a fresh
+    /// decode — the buffer-reuse guarantee the zero-allocation binary
+    /// replay path rests on.
+    #[test]
+    fn binary_decode_into_matches_fresh(
+        user in 0usize..1000,
+        dirty_user in 0usize..1000,
+        day in 0u16..100,
+        seed in 0u64..8,
+    ) {
+        let f = fixture();
+        let sub = &f.pop.subscribers()[user];
+        let traj = trajgen(seed).generate(sub, day);
+        let events = eventgen(seed).generate(sub, &traj);
+        let segment = encode_events(day, &events);
+
+        let mut fresh = Vec::new();
+        decode_events_into(&segment, &mut DecodeScratch::default(), &mut fresh)
+            .expect("fresh decode");
+        prop_assert_eq!(&fresh, &events);
+
+        let dirty_sub = &f.pop.subscribers()[dirty_user];
+        let dirty_traj = trajgen(seed).generate(dirty_sub, 99 - day % 99);
+        let dirty_events = eventgen(seed).generate(dirty_sub, &dirty_traj);
+        let dirty_day = 99 - day % 99;
+        let mut scratch = DecodeScratch::default();
+        let mut buf = Vec::new();
+        decode_events_into(&encode_events(dirty_day, &dirty_events), &mut scratch, &mut buf)
+            .expect("dirtying decode");
+        decode_events_into(&segment, &mut scratch, &mut buf).expect("reused decode");
         prop_assert_eq!(buf, fresh);
     }
 
