@@ -2,9 +2,17 @@
 //! paper-vs-measured summary. This is the source of EXPERIMENTS.md.
 //!
 //! Usage:
-//! `repro [--scale full|small|tiny] [--seed N] [--json DIR] [--csv DIR]
+//! `repro [--scale full|small|tiny|large] [--sharded] [--seed N]
+//!        [--json DIR] [--csv DIR]
 //!        [--config FILE] [--dump-config FILE] [--roundtrip DIR]
 //!        [--convert SRC DST] [--bench-summary PATH] [--metrics PATH]`
+//!
+//! `--scale large` is the paper-scale preset (500k subscribers): it
+//! runs through the sharded, memory-bounded runner
+//! ([`cellscope_scenario::run_study_sharded`]) so peak memory is set
+//! by the shard size, not the population. `--sharded` forces the
+//! sharded runner at any scale (the output is bit-identical to the
+//! in-memory runner by construction).
 //!
 //! `--dump-config` writes the resolved scenario configuration as JSON;
 //! `--config` loads one back (every knob of the study is a plain
@@ -39,11 +47,13 @@
 
 use cellscope_bench::alloc_count::CountingAllocator;
 use cellscope_bench::{fmt_pct, fmt_weekly, print_panel};
-use cellscope_exec::{Executor, RunMetrics};
+use cellscope_exec::{peak_rss_bytes, Executor, RunMetrics};
 use cellscope_scenario::replay::{
     dataset_divergence, export_feeds, replay_study_with, ReplayConfig,
 };
-use cellscope_scenario::{figures, run_study_with, ScenarioConfig, World};
+use cellscope_scenario::{
+    figures, run_study_sharded, run_study_with, ScenarioConfig, ShardPlan, World,
+};
 use std::path::Path;
 use std::time::Instant;
 
@@ -63,9 +73,11 @@ fn main() {
     let mut convert: Option<(String, String)> = None;
     let mut bench_summary: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut force_sharded = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--sharded" => force_sharded = true,
             "--bench-summary" => {
                 bench_summary = Some(args.next().expect("--bench-summary needs a path"))
             }
@@ -119,12 +131,16 @@ fn main() {
             "full" => ScenarioConfig::full(seed),
             "small" => ScenarioConfig::small(seed),
             "tiny" => ScenarioConfig::tiny(seed),
+            "large" => ScenarioConfig::large(seed),
             other => {
                 eprintln!("unknown scale: {other}");
                 std::process::exit(2);
             }
         },
     };
+    // The paper-scale preset always runs memory-bounded; `--sharded`
+    // opts any other scale in (the result is bit-identical either way).
+    let sharded = force_sharded || (!from_file && scale == "large");
     if let Some(path) = dump_config {
         std::fs::write(&path, serde_json::to_string_pretty(&config).unwrap())
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -147,10 +163,28 @@ fn main() {
     let mut exec = Executor::new(config.threads);
     let t0 = Instant::now();
     let world = exec.time_stage("build_world", || World::build(&config));
-    let ds = run_study_with(&config, &world, &mut exec).unwrap_or_else(|e| {
-        eprintln!("study failed: {e}");
-        std::process::exit(1);
-    });
+    let ds = if sharded {
+        // Memory-bounded path: shard by (day, subscriber-range), spill
+        // the per-(subscriber, day) mask matrix for the big preset.
+        let plan = if config.population.num_subscribers >= 100_000 {
+            ShardPlan::large()
+        } else {
+            ShardPlan::default()
+        };
+        println!(
+            "sharded runner: {} subscribers/shard, {} day(s)/shard, spill_masks={}",
+            plan.subs_per_shard, plan.days_per_shard, plan.spill_masks
+        );
+        run_study_sharded(&config, &world, &mut exec, &plan).unwrap_or_else(|e| {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        run_study_with(&config, &world, &mut exec).unwrap_or_else(|e| {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        })
+    };
     let study_metrics = exec.take_metrics("study");
     println!(
         "study simulated in {:.1}s: {} study users, {} homes detected, {} KPI records",
@@ -164,11 +198,17 @@ fn main() {
         eprintln!("figure build failed: {e}");
         std::process::exit(1);
     });
-    println!("figures built in {:.2}s\n", t1.elapsed().as_secs_f64());
+    println!("figures built in {:.2}s", t1.elapsed().as_secs_f64());
+    if let Some(rss) = peak_rss_bytes() {
+        println!("peak RSS {:.1} MB\n", rss as f64 / 1e6);
+    } else {
+        println!();
+    }
     if let Some(path) = &metrics_path {
         let tree = RunMetrics::new("repro")
             .with_child(study_metrics)
-            .with_child(exec.take_metrics("figures"));
+            .with_child(exec.take_metrics("figures"))
+            .with_peak_rss();
         write_metrics(path, &tree);
     }
 
@@ -411,7 +451,8 @@ fn run_roundtrip(
     if let Some(path) = metrics_path {
         let tree = RunMetrics::new("roundtrip")
             .with_child(study_metrics)
-            .with_child(exec.take_metrics("replay"));
+            .with_child(exec.take_metrics("replay"))
+            .with_peak_rss();
         write_metrics(path, &tree);
     }
 

@@ -5,6 +5,7 @@ pub mod alloc_count;
 pub mod csv;
 pub mod feedbench;
 pub mod hotbench;
+pub mod scalebench;
 
 use cellscope_scenario::figures::KpiPanel;
 

@@ -1,0 +1,98 @@
+//! Scale benchmark: subscribers vs wall time vs peak RSS through the
+//! sharded, memory-bounded runner.
+//!
+//! Each point builds a world, runs the full study through
+//! [`cellscope_scenario::run_study_sharded`], and records wall seconds
+//! plus the process peak RSS for that run. The kernel's high-water
+//! mark is reset (best effort) before every point so a long-lived
+//! bench process attributes memory to the point that allocated it; the
+//! `peak_rss_reset` flag records whether that worked — when it did
+//! not, the figure is the process-lifetime maximum and points must be
+//! read in ascending-size order. Used two ways:
+//!
+//! * `cargo bench -p cellscope-bench --bench scale` — writes the JSON
+//!   baseline `results/BENCH_scale.json` and asserts the small-preset
+//!   peak-memory budget (`-- --test` does the same minus the criterion
+//!   timing loop, which is how tier-1 runs it);
+//! * larger sweeps call [`measure`] directly with their own configs
+//!   (e.g. the `large` preset, minutes of runtime).
+
+use cellscope_exec::{peak_rss_bytes, reset_peak_rss, Executor};
+use cellscope_scenario::{run_study_sharded, ScenarioConfig, ShardPlan, World};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured (config, plan) point.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalePoint {
+    /// Scale label (`tiny`, `small`, `small-spill`, `large`, …).
+    pub scale: String,
+    /// Subscribers in the scenario.
+    pub subscribers: u32,
+    /// Days in the study window.
+    pub days: usize,
+    /// Subscribers per shard (the unit of parallel derivation).
+    pub subs_per_shard: usize,
+    /// Days per shard.
+    pub days_per_shard: usize,
+    /// Whether the county-mask matrix was spilled to disk.
+    pub spill_masks: bool,
+    /// End-to-end wall seconds (world build + sharded study).
+    pub wall_seconds: f64,
+    /// KPI records the study produced — a size sanity check.
+    pub kpi_records: usize,
+    /// Peak RSS over the run; `None` without procfs.
+    pub peak_rss_bytes: Option<u64>,
+    /// Whether the high-water mark was reset before this point.
+    pub peak_rss_reset: bool,
+}
+
+/// The measured sweep, serialized to `BENCH_scale.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleSummary {
+    pub points: Vec<ScalePoint>,
+}
+
+/// Run one sharded study and measure it.
+pub fn measure(label: &str, config: &ScenarioConfig, plan: &ShardPlan) -> ScalePoint {
+    let reset = reset_peak_rss();
+    let t0 = Instant::now();
+    let world = World::build(config);
+    let mut exec = Executor::new(config.threads);
+    let ds = run_study_sharded(config, &world, &mut exec, plan)
+        .unwrap_or_else(|e| panic!("sharded study at scale {label}: {e}"));
+    ScalePoint {
+        scale: label.to_string(),
+        subscribers: config.population.num_subscribers,
+        days: world.num_days(),
+        subs_per_shard: plan.subs_per_shard,
+        days_per_shard: plan.days_per_shard,
+        spill_masks: plan.spill_masks,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        kpi_records: ds.kpi.len(),
+        peak_rss_bytes: peak_rss_bytes(),
+        peak_rss_reset: reset,
+    }
+}
+
+/// The standard sweep behind `results/BENCH_scale.json`: tiny and
+/// small presets (ascending, so lifetime high-water marks still read
+/// correctly when the reset is unavailable), with the small preset run
+/// both in-memory and spilling — the spill path is exactly what the
+/// `large` preset depends on, exercised at a size tier-1 can afford.
+pub fn standard() -> ScaleSummary {
+    let mut spill = ShardPlan::default();
+    spill.spill_masks = true;
+    let points = vec![
+        measure("tiny", &ScenarioConfig::tiny(42), &ShardPlan::default()),
+        measure("small", &ScenarioConfig::small(42), &ShardPlan::default()),
+        measure("small-spill", &ScenarioConfig::small(42), &spill),
+    ];
+    ScaleSummary { points }
+}
+
+/// Write the summary as pretty-printed JSON.
+pub fn write_json(path: &std::path::Path, summary: &ScaleSummary) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(summary).expect("summary serializes");
+    std::fs::write(path, json + "\n")
+}

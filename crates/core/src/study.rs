@@ -108,28 +108,47 @@ impl<G: Ord + Clone> MobilityStudy<G> {
         groups: &[G],
         top_scratch: &mut Vec<TowerDwell>,
     ) -> Option<(f64, f64)> {
-        assert!(!self.finished, "ingest after finish");
         top_n_towers_into(input.dwell, self.config.top_n_towers, top_scratch);
         let top = &*top_scratch;
         let entropy = mobility_entropy(top);
         let gyration = radius_of_gyration(top);
+        self.apply_derived(input.user, input.day, entropy, gyration, input.night_minutes, groups);
+        entropy.zip(gyration)
+    }
+
+    /// Apply the already-computed per-user-day metrics to the
+    /// accumulators. This is the second half of
+    /// [`ingest_with`](Self::ingest_with), split out so a sharded
+    /// pipeline can compute the metrics in parallel and replay the
+    /// accumulator adds sequentially in canonical (day, user) order —
+    /// the `f64` sums are order-sensitive, so bit-identity with the
+    /// unsharded path requires applying in exactly the same sequence.
+    pub fn apply_derived(
+        &mut self,
+        user: u64,
+        day: u16,
+        entropy: Option<f64>,
+        gyration: Option<f64>,
+        night_minutes: &[(u32, u16)],
+        groups: &[G],
+    ) {
+        assert!(!self.finished, "ingest after finish");
         if let Some(e) = entropy {
             for g in groups {
-                self.entropy.add(g.clone(), input.day, e);
+                self.entropy.add(g.clone(), day, e);
             }
         }
         if let Some(g_km) = gyration {
             for g in groups {
-                self.gyration.add(g.clone(), input.day, g_km);
-                self.gyration_dist.add(g.clone(), input.day, g_km);
+                self.gyration.add(g.clone(), day, g_km);
+                self.gyration_dist.add(g.clone(), day, g_km);
             }
         }
-        for &(tower, minutes) in input.night_minutes {
+        for &(tower, minutes) in night_minutes {
             if minutes > 0 {
-                self.night.record(input.user, input.day, tower, minutes);
+                self.night.record(user, day, tower, minutes);
             }
         }
-        entropy.zip(gyration)
     }
 
     /// Close the night log (must be called once before home detection).

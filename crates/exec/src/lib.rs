@@ -17,6 +17,11 @@
 //!   calling thread and yields indexed items in order, workers fold
 //!   them concurrently, and results come back merged in production
 //!   order.
+//! * [`Executor::run_pipeline_fold`] — the memory-bounded variant:
+//!   results are folded on the calling thread in production order
+//!   *while the pipeline runs*, so peak memory is set by the channel
+//!   depths, never by the item count (the large-scale sharded-study
+//!   shape).
 //! * **Panic capture** — a panicking task is caught with
 //!   `catch_unwind`, its payload drained into a typed [`ExecError`]
 //!   naming the stage and the task index, and surfaced as a `Result`
@@ -34,6 +39,9 @@ pub mod metrics;
 pub mod panic;
 pub mod scheduler;
 
-pub use metrics::{CounterSummary, RunMetrics, StageMetrics, TaskCtx, WorkerMetrics};
+pub use metrics::{
+    peak_rss_bytes, reset_peak_rss, CounterSummary, RunMetrics, StageMetrics, TaskCtx,
+    WorkerMetrics,
+};
 pub use panic::ExecError;
 pub use scheduler::{resolve_threads, Executor};

@@ -93,11 +93,56 @@ pub struct RunMetrics {
     pub stages: Vec<StageMetrics>,
     /// Child nodes, in execution order.
     pub children: Vec<RunMetrics>,
+    /// Peak resident set size at the time this node was stamped (see
+    /// [`peak_rss_bytes`]); `None` until stamped or on platforms
+    /// without procfs. Observability only — like wall time, it is
+    /// stripped from [`RunMetrics::counter_summary`].
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// Timing-free flattened view of a metrics tree, suitable for
 /// determinism assertions: `(path, tasks, items, counters)` per stage.
 pub type CounterSummary = Vec<(String, u64, u64, Vec<(String, u64)>)>;
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`). `None` on platforms without procfs — callers
+/// treat the number as observability, never as logic. Like wall time,
+/// it describes the machine and the moment: it is excluded from every
+/// determinism comparison.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Best-effort reset of the kernel's peak-RSS high-water mark (writing
+/// `5` to `/proc/self/clear_refs`), so a long-lived process can
+/// attribute a high-water mark to one phase instead of the process
+/// lifetime. Returns whether the reset took; when it did not, a
+/// subsequent [`peak_rss_bytes`] still reads the process-lifetime
+/// maximum.
+pub fn reset_peak_rss() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::write("/proc/self/clear_refs", "5").is_ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
 
 impl RunMetrics {
     /// An empty node.
@@ -106,12 +151,21 @@ impl RunMetrics {
             label: label.to_string(),
             stages: Vec::new(),
             children: Vec::new(),
+            peak_rss_bytes: None,
         }
     }
 
     /// Append a child node (builder-style).
     pub fn with_child(mut self, child: RunMetrics) -> RunMetrics {
         self.children.push(child);
+        self
+    }
+
+    /// Stamp the current process peak RSS onto this node
+    /// (builder-style). Call at the end of the run so the high-water
+    /// mark covers all of it.
+    pub fn with_peak_rss(mut self) -> RunMetrics {
+        self.peak_rss_bytes = peak_rss_bytes();
         self
     }
 

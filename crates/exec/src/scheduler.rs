@@ -85,6 +85,7 @@ impl Executor {
             label: label.to_string(),
             stages: std::mem::take(&mut self.stages),
             children: Vec::new(),
+            peak_rss_bytes: None,
         }
     }
 
@@ -307,6 +308,133 @@ impl Executor {
         metrics.wall_seconds = t0.elapsed().as_secs_f64();
         self.stages.push(metrics);
         Ok((results, worker_metrics))
+    }
+
+    /// The memory-bounded sibling of
+    /// [`run_pipeline_with`](Executor::run_pipeline_with): instead of
+    /// collecting every result before returning, results are **folded
+    /// on the calling thread, in production order, while the pipeline
+    /// is still running**. At most `capacity` unprocessed items and
+    /// `capacity + workers` unfolded results are in flight, so peak
+    /// memory is bounded by the channel depths — never by the total
+    /// number of items. This is what lets a phase over millions of
+    /// subscriber-day shards run in constant memory.
+    ///
+    /// `produce` runs on its own thread (hence `Send`); `fold` runs on
+    /// the calling thread and sees results strictly in production
+    /// order, so order-sensitive accumulation (f64 sums, sample pushes)
+    /// is bit-identical to a sequential pass for any thread count — the
+    /// same determinism contract as the collecting primitives.
+    ///
+    /// On a worker panic the error with the lowest task index is
+    /// returned and the fold stops at the last contiguous prefix of
+    /// results before it; the accumulator is left partially folded and
+    /// must be discarded by the caller. Workers drain both channels on
+    /// failure, so neither the producer nor the folder can deadlock.
+    pub fn run_pipeline_fold<S, T, W, A, P, I, F, Fold>(
+        &mut self,
+        stage: &str,
+        capacity: usize,
+        produce: P,
+        init: I,
+        worker: F,
+        acc: &mut A,
+        mut fold: Fold,
+    ) -> Result<(), ExecError>
+    where
+        S: Send,
+        T: Send,
+        P: FnMut() -> Option<S> + Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, usize, S, &mut TaskCtx) -> T + Sync,
+        Fold: FnMut(&mut A, usize, T),
+    {
+        let t0 = Instant::now();
+        let inject = self.injected_task(stage);
+        let workers = self.threads;
+        let depth = capacity.max(1);
+        let (task_tx, task_rx) = crossbeam::channel::bounded::<(usize, S)>(depth);
+        let (res_tx, res_rx) =
+            crossbeam::channel::bounded::<(usize, Result<(T, TaskCtx), ExecError>)>(depth);
+
+        let mut metrics = StageMetrics::new(stage);
+        let mut first_err: Option<ExecError> = None;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let task_rx = task_rx.clone();
+                let res_tx = res_tx.clone();
+                let worker = &worker;
+                let init = &init;
+                scope.spawn(move || {
+                    let mut state = init();
+                    for (i, item) in task_rx.iter() {
+                        let r = run_one(stage, i, inject, |i, ctx| {
+                            worker(&mut state, i, item, ctx)
+                        });
+                        // A closed result channel means the folder is
+                        // gone (fold panic unwinding the scope): keep
+                        // draining tasks so the producer never blocks.
+                        let _ = res_tx.send((i, r));
+                    }
+                });
+            }
+            drop(task_rx);
+            drop(res_tx);
+
+            let mut produce = produce;
+            scope.spawn(move || {
+                let mut produced = 0usize;
+                while let Some(item) = produce() {
+                    if task_tx.send((produced, item)).is_err() {
+                        break; // all workers gone (cannot happen: they drain)
+                    }
+                    produced += 1;
+                }
+            });
+
+            // Fold in production order via a reorder buffer; bounded by
+            // the result-channel depth plus one out-of-order result per
+            // worker. `res_rx` must be OWNED by this closure: if `fold`
+            // panics, the unwind drops it and disconnects the result
+            // channel, which is what unblocks workers parked on a full
+            // `res_tx.send` so the scope's join can finish (captured by
+            // reference it would outlive the unwind and deadlock).
+            let res_rx = res_rx;
+            let mut pending: std::collections::BTreeMap<usize, (T, TaskCtx)> =
+                std::collections::BTreeMap::new();
+            let mut next = 0usize;
+            for (i, r) in res_rx.iter() {
+                match r {
+                    Ok(v) => {
+                        if first_err.is_some() {
+                            continue; // failed stage: results are void
+                        }
+                        pending.insert(i, v);
+                        while let Some((value, ctx)) = pending.remove(&next) {
+                            metrics.absorb(&ctx);
+                            fold(acc, next, value);
+                            next += 1;
+                        }
+                    }
+                    Err(e) => {
+                        // Lowest failing task wins, independent of
+                        // arrival order.
+                        if !first_err.as_ref().is_some_and(|f| f.task < e.task) {
+                            first_err = Some(e);
+                        }
+                        pending.clear();
+                    }
+                }
+            }
+        });
+
+        metrics.wall_seconds = t0.elapsed().as_secs_f64();
+        self.stages.push(metrics);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -531,6 +659,110 @@ mod tests {
                 .unwrap_err();
             assert_eq!((err.stage.as_str(), err.task), ("pipe", 3));
             assert_eq!(err.payload, "item 3 poisoned");
+        });
+    }
+
+    #[test]
+    fn pipeline_fold_applies_in_production_order() {
+        for threads in [1, 3, 8] {
+            let mut exec = Executor::new(threads);
+            let mut next = 0u32;
+            let mut acc: Vec<u32> = Vec::new();
+            exec.run_pipeline_fold(
+                "fold",
+                2,
+                || {
+                    if next < 50 {
+                        next += 1;
+                        Some(next - 1)
+                    } else {
+                        None
+                    }
+                },
+                || (),
+                |_, _, item: u32, ctx| {
+                    ctx.add_items(1);
+                    item * 10
+                },
+                &mut acc,
+                |acc, i, v| {
+                    assert_eq!(acc.len(), i, "fold must see production order");
+                    acc.push(v);
+                },
+            )
+            .unwrap();
+            assert_eq!(acc, (0..50).map(|i| i * 10).collect::<Vec<_>>());
+            let m = exec.take_metrics("t");
+            assert_eq!(m.stages[0].tasks, 50);
+            assert_eq!(m.stages[0].items, 50);
+        }
+    }
+
+    #[test]
+    fn pipeline_fold_panic_keeps_contiguous_prefix_and_lowest_task() {
+        with_quiet_panics(|| {
+            let mut exec = Executor::new(2);
+            let mut next = 0u32;
+            let mut acc: Vec<u32> = Vec::new();
+            let err = exec
+                .run_pipeline_fold(
+                    "fold",
+                    1,
+                    || {
+                        if next < 200 {
+                            next += 1;
+                            Some(next - 1)
+                        } else {
+                            None
+                        }
+                    },
+                    || (),
+                    |_, i, item: u32, _| {
+                        if i == 3 {
+                            panic!("item 3 poisoned");
+                        }
+                        item
+                    },
+                    &mut acc,
+                    |acc, _, v| acc.push(v),
+                )
+                .unwrap_err();
+            assert_eq!((err.stage.as_str(), err.task), ("fold", 3));
+            assert!(acc.len() <= 3, "nothing past the failed task is folded");
+            let expect: Vec<u32> = (0..acc.len() as u32).collect();
+            assert_eq!(acc, expect, "folded prefix must be contiguous from 0");
+        });
+    }
+
+    #[test]
+    fn pipeline_fold_fold_panic_unwinds_without_deadlock() {
+        with_quiet_panics(|| {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                let mut exec = Executor::new(2);
+                let mut next = 0u32;
+                let mut acc = 0u64;
+                let _ = exec.run_pipeline_fold(
+                    "fold",
+                    1,
+                    || {
+                        if next < 100 {
+                            next += 1;
+                            Some(next - 1)
+                        } else {
+                            None
+                        }
+                    },
+                    || (),
+                    |_, _, item: u32, _| item,
+                    &mut acc,
+                    |_, i, _| {
+                        if i == 2 {
+                            panic!("fold blew up");
+                        }
+                    },
+                );
+            }));
+            assert!(caught.is_err(), "fold panic must propagate, not hang");
         });
     }
 

@@ -5,11 +5,16 @@ use cellscope_geo::SynthConfig;
 use cellscope_mobility::PopulationConfig;
 use cellscope_radio::{DeployConfig, InterconnectConfig};
 use cellscope_signaling::EventGenConfig;
+use cellscope_time::{Date, STUDY_END, STUDY_START};
 use serde::{Deserialize, Serialize};
 
 /// Everything that defines one study run. All randomness derives from
 /// the seeds below: two runs with equal configs are bit-identical.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (see below) so configs serialized
+/// before the study window became configurable still load: a missing
+/// `study_start`/`study_end` falls back to the paper's window.
+#[derive(Debug, Clone, Serialize)]
 pub struct ScenarioConfig {
     /// Master seed, mixed into every component seed.
     pub seed: u64,
@@ -45,6 +50,37 @@ pub struct ScenarioConfig {
     pub use_event_reconstruction: bool,
     /// Worker threads for the day loop (`0` = all available cores).
     pub threads: usize,
+    /// First day of the study window (paper: Feb 1 2020). Figure
+    /// builders clamp their calendar anchors to the window, so shorter
+    /// windows narrow the analysis instead of aborting it.
+    pub study_start: Date,
+    /// Last day of the study window, inclusive (paper: May 10 2020).
+    pub study_end: Date,
+}
+
+impl Deserialize for ScenarioConfig {
+    fn from_content(c: &serde::Content) -> Result<ScenarioConfig, serde::DeError> {
+        let f = serde::de::fields(c)?;
+        Ok(ScenarioConfig {
+            seed: serde::de::field(&f, "seed")?,
+            geography: serde::de::field(&f, "geography")?,
+            deployment: serde::de::field(&f, "deployment")?,
+            population: serde::de::field(&f, "population")?,
+            events: serde::de::field(&f, "events")?,
+            timeline: serde::de::field(&f, "timeline")?,
+            interconnect_headroom: serde::de::field(&f, "interconnect_headroom")?,
+            target_peak_utilization: serde::de::field(&f, "target_peak_utilization")?,
+            interconnect: serde::de::field(&f, "interconnect")?,
+            content_throttling: serde::de::field(&f, "content_throttling")?,
+            use_event_reconstruction: serde::de::field(&f, "use_event_reconstruction")?,
+            threads: serde::de::field(&f, "threads")?,
+            // Absent in pre-window configs: the paper's study window.
+            study_start: serde::de::field::<Option<Date>>(&f, "study_start")?
+                .unwrap_or(STUDY_START),
+            study_end: serde::de::field::<Option<Date>>(&f, "study_end")?
+                .unwrap_or(STUDY_END),
+        })
+    }
 }
 
 impl ScenarioConfig {
@@ -77,6 +113,8 @@ impl ScenarioConfig {
             content_throttling: true,
             use_event_reconstruction: true,
             threads: 0,
+            study_start: STUDY_START,
+            study_end: STUDY_END,
         }
     }
 
@@ -88,6 +126,19 @@ impl ScenarioConfig {
         cfg.geography.residents_per_zone = 120_000;
         cfg.deployment.residents_per_site = 24_000;
         cfg.population.num_subscribers = 12_000;
+        cfg
+    }
+
+    /// The paper-scale preset: half a million subscribers over the
+    /// outbreak-to-lockdown window (Feb 1 – Mar 15 2020). Run it
+    /// through the sharded, memory-bounded runner
+    /// ([`crate::shard::run_sharded`] with
+    /// [`crate::shard::ShardPlan::large`]) — the in-memory runner
+    /// handles it too, but peak memory grows with subscribers × days.
+    pub fn large(seed: u64) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::full(seed);
+        cfg.population.num_subscribers = 500_000;
+        cfg.study_end = Date::ymd(2020, 3, 15);
         cfg
     }
 
@@ -109,12 +160,69 @@ mod tests {
 
     #[test]
     fn presets_scale_down_monotonically() {
+        let large = ScenarioConfig::large(1);
         let full = ScenarioConfig::full(1);
         let small = ScenarioConfig::small(1);
         let tiny = ScenarioConfig::tiny(1);
+        assert!(large.population.num_subscribers > full.population.num_subscribers);
         assert!(full.population.num_subscribers > small.population.num_subscribers);
         assert!(small.population.num_subscribers > tiny.population.num_subscribers);
         assert!(tiny.use_event_reconstruction, "tests must use the real path");
+        // The large preset trades window length for population.
+        assert!(large.study_end < full.study_end);
+        assert_eq!(large.study_start, full.study_start);
+    }
+
+    #[test]
+    fn study_window_defaults_survive_serde() {
+        // Configs serialized before the window became configurable
+        // (no `study_start`/`study_end` keys) deserialize to the
+        // paper's window. The legacy mirror below is exactly the old
+        // field set.
+        #[derive(Serialize)]
+        struct LegacyConfig {
+            seed: u64,
+            geography: SynthConfig,
+            deployment: DeployConfig,
+            population: PopulationConfig,
+            events: EventGenConfig,
+            timeline: Timeline,
+            interconnect_headroom: f64,
+            target_peak_utilization: f64,
+            interconnect: InterconnectConfig,
+            content_throttling: bool,
+            use_event_reconstruction: bool,
+            threads: usize,
+        }
+        let cur = ScenarioConfig::tiny(7);
+        let legacy = LegacyConfig {
+            seed: cur.seed,
+            geography: cur.geography,
+            deployment: cur.deployment,
+            population: cur.population.clone(),
+            events: cur.events,
+            timeline: cur.timeline,
+            interconnect_headroom: cur.interconnect_headroom,
+            target_peak_utilization: cur.target_peak_utilization,
+            interconnect: cur.interconnect,
+            content_throttling: cur.content_throttling,
+            use_event_reconstruction: cur.use_event_reconstruction,
+            threads: cur.threads,
+        };
+        let text = serde_json::to_string(&legacy).unwrap();
+        let cfg: ScenarioConfig = serde_json::from_str(&text).unwrap();
+        assert_eq!(cfg.study_start, STUDY_START);
+        assert_eq!(cfg.study_end, STUDY_END);
+        assert_eq!(
+            cfg.population.num_subscribers,
+            cur.population.num_subscribers
+        );
+
+        // And the current shape round-trips with the window intact.
+        let large = ScenarioConfig::large(7);
+        let back: ScenarioConfig =
+            serde_json::from_str(&serde_json::to_string(&large).unwrap()).unwrap();
+        assert_eq!(back.study_end, large.study_end);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use cellscope_core::kpi_stats::HourlyKpiSample;
 use cellscope_signaling::columnar::{
     self, column,
     column::Cursor,
-    format::{begin_segment, check_segment, seal_segment},
+    format::{check_segment, seal_segment, split_segments, HEADER_LEN},
     DecodeScratch, SegmentError, SegmentHeader, SegmentKind, ALL_DAYS,
 };
 use cellscope_signaling::{EventReader, FeedError, SignalingEvent};
@@ -100,9 +100,20 @@ pub fn detect_format(dir: &Path) -> io::Result<FeedFormat> {
 // KPI segment codec
 // ---------------------------------------------------------------------
 
-/// Encode one day's KPI records into `out` (cleared first).
-pub fn encode_kpi_into(day: u16, records: &[KpiHourRecord], out: &mut Vec<u8>) {
-    begin_segment(out);
+/// Records per segment the exporters target. Far below the `u32`
+/// ceiling (a segment this size is tens of MB), so day feeds of any
+/// population stay encodable, and the streaming replay reader's peak
+/// buffer stays bounded by one segment.
+pub const SEGMENT_TARGET_RECORDS: usize = 2_000_000;
+
+/// Append one KPI segment to `out` (not cleared).
+fn append_kpi_segment(
+    day: u16,
+    records: &[KpiHourRecord],
+    out: &mut Vec<u8>,
+) -> Result<(), SegmentError> {
+    let start = out.len();
+    out.resize(start + HEADER_LEN, 0);
     let n = records.len();
     column::encode_dict_u32(records.iter().map(|r| r.cell), n, out);
     for r in records {
@@ -129,7 +140,42 @@ pub fn encode_kpi_into(day: u16, records: &[KpiHourRecord], out: &mut Vec<u8>) {
     f64_col!(voice_users);
     f64_col!(voice_ul_loss);
     f64_col!(voice_dl_loss);
-    seal_segment(out, SegmentKind::Kpi, day, n as u32);
+    seal_segment(&mut out[start..], SegmentKind::Kpi, day, n)
+}
+
+/// Encode one day's KPI records into `out` (cleared first) as a single
+/// segment; [`SegmentError::SegmentTooLarge`] past the `u32` ceiling.
+pub fn encode_kpi_into(
+    day: u16,
+    records: &[KpiHourRecord],
+    out: &mut Vec<u8>,
+) -> Result<(), SegmentError> {
+    out.clear();
+    append_kpi_segment(day, records, out)
+}
+
+/// Encode one day's KPI records into `out` (cleared first) as
+/// back-to-back segments of at most `max_records` each (at least one,
+/// so an empty day still produces a well-formed file). Returns the
+/// segment count.
+pub fn encode_kpi_segmented(
+    day: u16,
+    records: &[KpiHourRecord],
+    max_records: usize,
+    out: &mut Vec<u8>,
+) -> Result<usize, SegmentError> {
+    assert!(max_records > 0, "segment capacity must be positive");
+    out.clear();
+    if records.is_empty() {
+        append_kpi_segment(day, records, out)?;
+        return Ok(1);
+    }
+    let mut segments = 0;
+    for chunk in records.chunks(max_records) {
+        append_kpi_segment(day, chunk, out)?;
+        segments += 1;
+    }
+    Ok(segments)
 }
 
 /// Decode a KPI segment into `out` (cleared first); typed errors, zero
@@ -199,15 +245,19 @@ pub fn decode_kpi_into(
 // ---------------------------------------------------------------------
 
 /// Encode the whole-study voice feed into `out` (cleared first).
-pub fn encode_voice_into(records: &[VoiceDayRecord], out: &mut Vec<u8>) {
-    begin_segment(out);
+pub fn encode_voice_into(
+    records: &[VoiceDayRecord],
+    out: &mut Vec<u8>,
+) -> Result<(), SegmentError> {
+    out.clear();
+    out.resize(HEADER_LEN, 0);
     for r in records {
         column::put_u16(out, r.day);
     }
     for r in records {
         column::put_f64(out, r.off_net_voice_mb);
     }
-    seal_segment(out, SegmentKind::Voice, ALL_DAYS, records.len() as u32);
+    seal_segment(out, SegmentKind::Voice, ALL_DAYS, records.len())
 }
 
 /// Decode a voice segment into `out` (cleared first).
@@ -299,7 +349,7 @@ fn convert_file<T, E, D>(
 ) -> Result<(u64, u64), ReplayError>
 where
     T: serde::Serialize,
-    E: FnOnce(&[T], &mut Vec<u8>),
+    E: FnOnce(&[T], &mut Vec<u8>) -> Result<(), SegmentError>,
     D: FnOnce(&[u8]) -> Result<Vec<T>, SegmentError>,
 {
     let bytes = fs::read(src)?;
@@ -315,7 +365,10 @@ where
             })?;
             let records = parse_text(&text)?;
             let mut buf = Vec::new();
-            encode(&records, &mut buf);
+            encode(&records, &mut buf).map_err(|cause| ReplayError::Feed {
+                file: src_name.to_string(),
+                source: FeedError::Segment(cause),
+            })?;
             buf
         }
         FeedFormat::Binary => {
@@ -380,11 +433,12 @@ pub fn convert_feed_dir(src: &Path, dst: &Path) -> Result<ConvertSummary, Replay
             |events, out| columnar::encode_events_into(day, events, out),
             |bytes| {
                 let mut events = Vec::new();
-                columnar::decode_events_into(
-                    bytes,
-                    &mut DecodeScratch::default(),
-                    &mut events,
-                )?;
+                let mut scratch = DecodeScratch::default();
+                let mut seg_out = Vec::new();
+                for seg in split_segments(bytes) {
+                    columnar::decode_events_into(seg?, &mut scratch, &mut seg_out)?;
+                    events.append(&mut seg_out);
+                }
                 Ok(events)
             },
         )?;
@@ -403,7 +457,12 @@ pub fn convert_feed_dir(src: &Path, dst: &Path) -> Result<ConvertSummary, Replay
             |records, out| encode_kpi_into(day, records, out),
             |bytes| {
                 let mut records = Vec::new();
-                decode_kpi_into(bytes, &mut DecodeScratch::default(), &mut records)?;
+                let mut scratch = DecodeScratch::default();
+                let mut seg_out = Vec::new();
+                for seg in split_segments(bytes) {
+                    decode_kpi_into(seg?, &mut scratch, &mut seg_out)?;
+                    records.append(&mut seg_out);
+                }
                 Ok(records)
             },
         )?;
@@ -423,7 +482,11 @@ pub fn convert_feed_dir(src: &Path, dst: &Path) -> Result<ConvertSummary, Replay
         |records, out| encode_voice_into(records, out),
         |bytes| {
             let mut records = Vec::new();
-            decode_voice_into(bytes, &mut records)?;
+            let mut seg_out = Vec::new();
+            for seg in split_segments(bytes) {
+                decode_voice_into(seg?, &mut seg_out)?;
+                records.append(&mut seg_out);
+            }
             Ok(records)
         },
     )?;
@@ -461,7 +524,7 @@ mod tests {
     fn kpi_segment_roundtrips_bit_exact() {
         let records = kpi_records(96);
         let mut bytes = Vec::new();
-        encode_kpi_into(5, &records, &mut bytes);
+        encode_kpi_into(5, &records, &mut bytes).unwrap();
         let mut out = Vec::new();
         let header =
             decode_kpi_into(&bytes, &mut DecodeScratch::default(), &mut out).unwrap();
@@ -476,7 +539,7 @@ mod tests {
             .map(|d| VoiceDayRecord { day: d, off_net_voice_mb: 0.1 + 0.7 * d as f64 })
             .collect();
         let mut bytes = Vec::new();
-        encode_voice_into(&records, &mut bytes);
+        encode_voice_into(&records, &mut bytes).unwrap();
         let mut out = Vec::new();
         let header = decode_voice_into(&bytes, &mut out).unwrap();
         assert_eq!(header.day, ALL_DAYS);

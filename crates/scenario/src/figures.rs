@@ -10,9 +10,10 @@ use crate::dataset::{MetricGroup, StudyDataset};
 use cellscope_core::{delta_pct, linear_fit, pearson, KpiField, LinearFit};
 use cellscope_exec::{ExecError, Executor};
 use cellscope_geo::{County, LondonDistrict, OacCluster};
-use cellscope_time::{Date, IsoWeek};
+use cellscope_time::{Date, IsoWeek, SimClock};
 use serde::Serialize;
 use std::collections::HashSet;
+use std::fmt;
 
 /// The ISO weeks the paper's figures span (weeks 9–19 of 2020).
 pub fn figure_weeks() -> Vec<u8> {
@@ -21,6 +22,52 @@ pub fn figure_weeks() -> Vec<u8> {
 
 fn wk(week: u8) -> IsoWeek {
     IsoWeek { year: 2020, week }
+}
+
+/// The study day of `date`, clamped into the clock's window: a date
+/// before the window maps to day 0, one after it to the last day. The
+/// paper's calendar anchors (Feb 23, Feb 24, May 4 2020…) are fixed,
+/// but the study window is configurable — a shorter window must narrow
+/// the analysis range, not abort the figure fan-out.
+fn clamp_to_window(clock: &SimClock, date: Date) -> u16 {
+    match clock.day_of(date) {
+        Some(d) => d,
+        None if date < clock.date(0) => 0,
+        None => (clock.num_days() - 1) as u16,
+    }
+}
+
+/// A figure-set build failure.
+#[derive(Debug)]
+pub enum FigureError {
+    /// A figure builder panicked; the execution layer names the
+    /// `figures` stage and the builder's slot index.
+    Exec(ExecError),
+    /// The study window shares no days with the paper's analysis weeks
+    /// (ISO weeks 9–19 of 2020): every Δ%-vs-baseline series would be
+    /// empty, so the figure set cannot be built.
+    WindowOutsideStudy,
+}
+
+impl fmt::Display for FigureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FigureError::Exec(e) => write!(f, "figure build: {e}"),
+            FigureError::WindowOutsideStudy => write!(
+                f,
+                "study window contains none of the paper's analysis weeks \
+                 (ISO 2020-W09..W19)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FigureError {}
+
+impl From<ExecError> for FigureError {
+    fn from(e: ExecError) -> FigureError {
+        FigureError::Exec(e)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -182,11 +229,13 @@ pub struct Fig4 {
     pub cases_at_declaration: f64,
 }
 
-/// Build Fig. 4.
+/// Build Fig. 4. The paper's Feb 23 – May 4 range is clamped to the
+/// study window, so shorter windows plot the overlap instead of
+/// panicking.
 pub fn fig4(ds: &StudyDataset) -> Fig4 {
     let entropy_daily = fig3(ds).entropy_daily_pct;
-    let start = ds.clock.day_of(Date::ymd(2020, 2, 23)).expect("in window");
-    let end = ds.clock.day_of(Date::ymd(2020, 5, 4)).expect("in window");
+    let start = clamp_to_window(&ds.clock, Date::ymd(2020, 2, 23));
+    let end = clamp_to_window(&ds.clock, Date::ymd(2020, 5, 4));
     let mut points = Vec::new();
     for day in start..=end {
         let date = ds.clock.date(day);
@@ -675,8 +724,10 @@ pub fn headline(ds: &StudyDataset) -> Headline {
             .copied()
             .min_by(|a, b| a.total_cmp(b))
     };
-    // Only consider the analysis window (week >= 9).
-    let start = ds.clock.day_of(Date::ymd(2020, 2, 24)).unwrap() as usize;
+    // Only consider the analysis range (week >= 9, i.e. from Feb 24),
+    // clamped so non-default study windows narrow it instead of
+    // panicking.
+    let start = clamp_to_window(&ds.clock, Date::ymd(2020, 2, 24)) as usize;
 
     let dl = kpi_weekly(ds, KpiField::DlVolume, None);
     let tti = kpi_weekly(ds, KpiField::TtiUtilization, None);
@@ -701,10 +752,11 @@ pub fn headline(ds: &StudyDataset) -> Headline {
             .min_by(|a, b| a.total_cmp(b))
     };
 
-    // London absence: mean Inner-London row value from week 13 on.
+    // London absence: mean Inner-London row value from week 13 on. A
+    // window ending before lockdown week simply has no absence figure.
     let f7 = fig7(ds);
     let london_absent_pct = f7.rows.first().and_then(|(_, row)| {
-        let week13_start = ds.clock.day_of(Date::ymd(2020, 3, 23)).unwrap() as usize;
+        let week13_start = ds.clock.day_of(Date::ymd(2020, 3, 23))? as usize;
         let vals: Vec<f64> = row[week13_start..].iter().flatten().copied().collect();
         cellscope_core::stats::mean(&vals).map(|v| -v)
     });
@@ -814,9 +866,11 @@ enum Built {
 /// results come back in task order. Each builder reads the shared
 /// dataset immutably, so the output is bit-identical for any `threads`
 /// value, including the sequential `threads == 1` path. A panicking
-/// builder surfaces as an [`ExecError`] naming the `figures` stage and
-/// the builder's slot index.
-pub fn build_all(ds: &StudyDataset, threads: usize) -> Result<FigureSet, ExecError> {
+/// builder surfaces as [`FigureError::Exec`] naming the `figures`
+/// stage and the builder's slot index; a study window with no overlap
+/// with the paper's analysis weeks fails up front with
+/// [`FigureError::WindowOutsideStudy`].
+pub fn build_all(ds: &StudyDataset, threads: usize) -> Result<FigureSet, FigureError> {
     let mut exec = Executor::new(threads);
     build_all_with(ds, &mut exec)
 }
@@ -826,7 +880,13 @@ pub fn build_all(ds: &StudyDataset, threads: usize) -> Result<FigureSet, ExecErr
 pub fn build_all_with(
     ds: &StudyDataset,
     exec: &mut Executor,
-) -> Result<FigureSet, ExecError> {
+) -> Result<FigureSet, FigureError> {
+    if figure_weeks()
+        .iter()
+        .all(|&w| ds.clock.days_in_week(wk(w)).next().is_none())
+    {
+        return Err(FigureError::WindowOutsideStudy);
+    }
     type Builder = fn(&StudyDataset) -> Built;
     const BUILDERS: [Builder; 14] = [
         |ds| Built::Table1(table1(ds)),

@@ -14,6 +14,9 @@
 //! * [`dataset`] — the collected study data;
 //! * [`figures`] — one builder per paper figure (Fig. 2 … Fig. 12)
 //!   plus the headline statistics of the abstract/conclusions;
+//! * [`shard`] — the sharded, memory-bounded large-scale runner:
+//!   (day-block × subscriber-range) derivation with a sequential
+//!   canonical-order fold, bit-identical to [`run`] at any geometry;
 //! * [`replay`] — serialize a run's feeds to disk and stream them back
 //!   through the identical analysis (fault-tolerant, multi-worker);
 //! * [`feedfmt`] — the binary columnar feed format: KPI/voice segment
@@ -27,6 +30,7 @@ pub mod figures;
 pub mod hotpath;
 pub mod replay;
 pub mod run;
+pub mod shard;
 pub mod variants;
 pub mod world;
 
@@ -38,4 +42,5 @@ pub use replay::{
     ReplayConfig, ReplayError, ReplayReport, MAX_MALFORMED_LOCATIONS,
 };
 pub use run::{run_study, run_study_in, run_study_with};
+pub use shard::{run_sharded, run_study_sharded, ShardError, ShardPlan};
 pub use world::World;

@@ -39,10 +39,16 @@
 //! [`cellscope_signaling::columnar`] and [`crate::feedfmt`]). For each
 //! feed it prefers the `.csb` file when both exist, and sniffs the
 //! *content* by magic — a binary segment stored under a `.jsonl` name
-//! still decodes. Binary decode fills the same worker-owned scratch
-//! arenas the JSONL path uses, so the steady-state loop allocates
-//! nothing either way, and the two paths produce bit-identical
-//! datasets (pinned by `tests/feedfmt_equivalence.rs`).
+//! still decodes. A `.csb` file is *opened*, not slurped: the worker
+//! pulls it through a bounded
+//! [`cellscope_signaling::columnar::SegmentBlockReader`] one segment
+//! at a time (files may hold several back-to-back segments — the
+//! encoder splits oversize days), decoding into the same worker-owned
+//! scratch arenas the JSONL path uses, so peak raw-feed memory per
+//! worker is one segment and the steady-state loop allocates nothing
+//! either way. The two paths produce bit-identical datasets (pinned by
+//! `tests/feedfmt_equivalence.rs`); streamed volume is reported as
+//! [`ReplayReport::bytes_streamed`].
 //!
 //! # Fault tolerance
 //!
@@ -72,7 +78,9 @@ use cellscope_core::KpiTable;
 use cellscope_exec::{ExecError, Executor};
 use cellscope_mobility::{DayTrajectory, TrajectoryGenerator};
 use cellscope_radio::{Scheduler, SchedulerConfig};
-use cellscope_signaling::columnar::{self, DecodeScratch, SegmentError};
+use cellscope_signaling::columnar::{
+    self, DecodeScratch, SegmentError, SegmentStreamError,
+};
 use cellscope_signaling::{
     reconstruct_dwell_into, write_events_jsonl, EventGenerator, EventReader, FeedBounds,
     FeedError, FeedStats, MalformedPolicy, SignalingEvent,
@@ -84,6 +92,7 @@ use std::fmt;
 use std::fs;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Feed-set metadata, written next to the feeds as `manifest.json`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -304,10 +313,14 @@ pub const MAX_MALFORMED_LOCATIONS: usize = 64;
 /// Where one malformed input unit sat: feed file plus 1-based line
 /// number (JSONL) or 1-based record index (binary segments; `line == 0`
 /// means the segment envelope itself — header or checksum — was bad).
+///
+/// The file name is interned (`Arc<str>`): a feed damaged in many
+/// places records many positions but shares one name allocation,
+/// instead of cloning the string per hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MalformedAt {
     /// Feed file, relative to the feed directory.
-    pub file: String,
+    pub file: Arc<str>,
     /// 1-based line/record position; 0 for a whole-segment failure.
     pub line: u64,
 }
@@ -320,8 +333,13 @@ pub struct MalformedAt {
 pub struct ReplayReport {
     /// Feed files opened by the reader stage.
     pub files_read: u64,
-    /// Raw bytes handed to the parse stage.
+    /// Raw bytes handed to the parse stage (file sizes: for streamed
+    /// binary feeds this is the on-disk length, counted at open time).
     pub bytes_read: u64,
+    /// Bytes decoded through the bounded segment streamer — binary
+    /// feeds read block by block into worker arenas instead of being
+    /// slurped whole. JSONL feeds do not contribute.
+    pub bytes_streamed: u64,
     /// Event-feed line accounting, merged over all days.
     pub events: FeedStats,
     /// KPI-feed line accounting, merged over all days.
@@ -352,10 +370,11 @@ pub struct ReplayReport {
 }
 
 impl ReplayReport {
-    /// Record a malformed-input position, honouring the cap.
-    fn note_malformed(&mut self, file: &str, line: u64) {
+    /// Record a malformed-input position, honouring the cap. The
+    /// interned name is cloned (refcount bump), never re-allocated.
+    fn note_malformed(&mut self, file: &Arc<str>, line: u64) {
         if self.malformed_at.len() < MAX_MALFORMED_LOCATIONS {
-            self.malformed_at.push(MalformedAt { file: file.to_string(), line });
+            self.malformed_at.push(MalformedAt { file: Arc::clone(file), line });
         }
     }
     /// Per-feed line accounting closes: every line read landed in
@@ -380,8 +399,8 @@ impl fmt::Display for ReplayReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "files {} ({} bytes)",
-            self.files_read, self.bytes_read
+            "files {} ({} bytes, {} streamed)",
+            self.files_read, self.bytes_read, self.bytes_streamed
         )?;
         let feed = |name: &str, s: &FeedStats| {
             format!(
@@ -469,12 +488,18 @@ impl From<ExecError> for ReplayError {
     }
 }
 
-/// One feed file's raw content, classified by the reader stage.
+/// One feed file's content, classified by the reader stage.
 enum DayFeed {
     /// UTF-8 text, one JSON record per line.
     Jsonl(String),
-    /// A binary columnar segment (recognised by magic).
+    /// One or more binary columnar segments, fully in memory (a segment
+    /// stored under a `.jsonl` name, recognised by magic).
     Binary(Vec<u8>),
+    /// An opened `.csb` file plus its on-disk length: the worker
+    /// decodes it segment by segment through a bounded
+    /// [`columnar::SegmentBlockReader`] instead of slurping the file,
+    /// so peak memory per feed is one segment, not the whole day.
+    Stream(fs::File, u64),
 }
 
 impl DayFeed {
@@ -482,14 +507,17 @@ impl DayFeed {
         match self {
             DayFeed::Jsonl(text) => text.len(),
             DayFeed::Binary(bytes) => bytes.len(),
+            DayFeed::Stream(_, len) => *len as usize,
         }
     }
 }
 
 /// Read one per-day feed, preferring the binary file when both exist
 /// and sniffing the content by magic so a segment stored under the
-/// JSONL name still decodes. Invalid-UTF-8 text is an I/O-level error,
-/// exactly as it was when the reader used `read_to_string`.
+/// JSONL name still decodes. The `.csb` path is *opened*, not read:
+/// the worker streams its segments through a bounded reader. Invalid
+/// UTF-8 text is an I/O-level error, exactly as it was when the reader
+/// used `read_to_string`.
 fn read_day_feed(
     dir: &Path,
     bin_name: String,
@@ -497,7 +525,9 @@ fn read_day_feed(
 ) -> io::Result<(String, DayFeed)> {
     let bin_path = dir.join(&bin_name);
     if bin_path.exists() {
-        return Ok((bin_name, DayFeed::Binary(fs::read(bin_path)?)));
+        let file = fs::File::open(bin_path)?;
+        let len = file.metadata()?.len();
+        return Ok((bin_name, DayFeed::Stream(file, len)));
     }
     let bytes = fs::read(dir.join(&jsonl_name))?;
     if columnar::looks_like_segment(&bytes) {
@@ -539,15 +569,17 @@ struct DayStats {
     ingested: u64,
     user_days: u64,
     cell_days: u64,
+    bytes_streamed: u64,
 }
 
 impl DayStats {
     /// Record a malformed-input position (same cap as the report: the
     /// merge step re-caps across days, so per-day lists never need
-    /// more entries than the report can keep).
-    fn note_malformed(&mut self, file: &str, line: u64) {
+    /// more entries than the report can keep). The file name is
+    /// interned — each hit bumps a refcount instead of cloning.
+    fn note_malformed(&mut self, file: &Arc<str>, line: u64) {
         if self.malformed_at.len() < MAX_MALFORMED_LOCATIONS {
-            self.malformed_at.push(MalformedAt { file: file.to_string(), line });
+            self.malformed_at.push(MalformedAt { file: Arc::clone(file), line });
         }
     }
 }
@@ -701,6 +733,7 @@ pub fn replay_study_with(
             );
             if let Ok(out) = &r {
                 ctx.add_items(out.stats.ingested);
+                ctx.count("bytes_streamed", out.stats.bytes_streamed);
             }
             r
         },
@@ -745,6 +778,7 @@ pub fn replay_study_with(
             }
             report.malformed_at.push(loc);
         }
+        report.bytes_streamed += out.stats.bytes_streamed;
         report.events_out_of_order += out.stats.out_of_order;
         report.events_unknown_user += out.stats.unknown_user;
         report.events_filtered += out.stats.filtered;
@@ -757,7 +791,8 @@ pub fn replay_study_with(
     let phase_a = run::merge_phase_a(num_days, world.population.len(), blocks);
     let voice_daily = read_voice_feed(dir, manifest.num_days, rcfg.policy, &mut report)?;
 
-    let dataset = run::assemble(config, world, phase_a, kpi, voice_daily);
+    let dataset = run::assemble(config, world, phase_a, kpi, voice_daily)
+        .expect("in-memory mask store cannot fail");
     Ok((dataset, report))
 }
 
@@ -774,8 +809,11 @@ struct ReplayScratch {
     hours: Vec<HourlyKpiSample>,
     /// Binary-decode scratch (cell-id dictionary), reused per segment.
     dict: DecodeScratch,
-    /// Decoded KPI records of the day being replayed (binary path).
+    /// Decoded KPI records of the segment being replayed (binary path).
     kpi_records: Vec<KpiHourRecord>,
+    /// One segment's decoded events, appended into `events` — decoders
+    /// clear their output, so multi-segment days stage through this.
+    seg_events: Vec<SignalingEvent>,
 }
 
 /// Replay one day's feeds into a per-day phase-A partial and KPI table.
@@ -791,11 +829,20 @@ fn replay_day(
     scratch: &mut ReplayScratch,
 ) -> Result<DayOutput, ReplayError> {
     let DayTask { day, events_name, events_feed, kpi_name, kpi_feed } = task;
+    let events_name: Arc<str> = events_name.into();
+    let kpi_name: Arc<str> = kpi_name.into();
     let mut stats = DayStats::default();
     let num_subs = roster.members.len();
 
     // --- Event feed → phase-A partial ----------------------------------
-    match &events_feed {
+    // Binary feeds hold one or more back-to-back segments; each decodes
+    // into the day arena in turn, then the same bounds check the JSONL
+    // reader applies per line runs over the whole day: the decoder
+    // validates the *encoding*, the bounds validate the *domain*. The
+    // headers' record counts are the binary analogue of `lines_read`,
+    // so the accounting invariant still closes.
+    let mut binary_events = false;
+    match events_feed {
         DayFeed::Jsonl(text) => {
             let mut reader = EventReader::new(text.as_bytes())
                 .with_policy(policy)
@@ -805,7 +852,10 @@ fn replay_day(
                 match item {
                     Ok(ev) => scratch.events.push(ev),
                     Err(source) => {
-                        return Err(ReplayError::Feed { file: events_name, source })
+                        return Err(ReplayError::Feed {
+                            file: events_name.to_string(),
+                            source,
+                        })
                     }
                 }
             }
@@ -815,50 +865,133 @@ fn replay_day(
             }
         }
         DayFeed::Binary(bytes) => {
-            // Decode the whole segment, then run the same bounds check
-            // the JSONL reader applies per line: the decoder validates
-            // the *encoding*, the bounds validate the *domain*. The
-            // header's record count is the binary analogue of
-            // `lines_read`, so the accounting invariant still closes.
-            match columnar::decode_events_into(bytes, &mut scratch.dict, &mut scratch.events)
-            {
-                Ok(header) => stats.events.lines_read += header.records as u64,
-                Err(cause) => {
-                    let claimed = claimed_records(bytes);
-                    stats.events.lines_read += claimed;
-                    stats.events.malformed += claimed;
-                    stats.note_malformed(&events_name, 0);
-                    if policy == MalformedPolicy::FailFast {
-                        return Err(segment_feed_error(events_name, cause));
-                    }
-                }
-            }
-            let mut kept = 0usize;
-            for i in 0..scratch.events.len() {
-                let ev = scratch.events[i];
-                match bounds.check(&ev) {
-                    Ok(()) => {
-                        scratch.events[kept] = ev;
-                        kept += 1;
-                        stats.events.parsed += 1;
-                    }
-                    Err(violation) => {
-                        stats.events.malformed += 1;
-                        stats.note_malformed(&events_name, i as u64 + 1);
-                        if policy == MalformedPolicy::FailFast {
-                            return Err(ReplayError::Feed {
-                                file: events_name,
-                                source: FeedError::Malformed {
-                                    line: i as u64 + 1,
-                                    reason: violation.to_string(),
-                                },
-                            });
+            binary_events = true;
+            scratch.events.clear();
+            let mut consumed = 0usize;
+            for seg in columnar::split_segments(&bytes) {
+                match seg {
+                    Ok(seg) => {
+                        consumed += seg.len();
+                        match columnar::decode_events_into(
+                            seg,
+                            &mut scratch.dict,
+                            &mut scratch.seg_events,
+                        ) {
+                            Ok(header) => {
+                                stats.events.lines_read += header.records as u64;
+                                scratch.events.extend_from_slice(&scratch.seg_events);
+                            }
+                            Err(cause) => {
+                                let claimed = claimed_records(seg);
+                                stats.events.lines_read += claimed;
+                                stats.events.malformed += claimed;
+                                stats.note_malformed(&events_name, 0);
+                                if policy == MalformedPolicy::FailFast {
+                                    return Err(segment_feed_error(
+                                        events_name.to_string(),
+                                        cause,
+                                    ));
+                                }
+                            }
                         }
                     }
+                    Err(cause) => {
+                        // Damaged envelope: nothing past this point in
+                        // the file can be framed, so the rest of the
+                        // feed is charged as one claim and the walk
+                        // stops (the splitter fuses anyway).
+                        let claimed = claimed_records(&bytes[consumed..]);
+                        stats.events.lines_read += claimed;
+                        stats.events.malformed += claimed;
+                        stats.note_malformed(&events_name, 0);
+                        if policy == MalformedPolicy::FailFast {
+                            return Err(segment_feed_error(
+                                events_name.to_string(),
+                                cause,
+                            ));
+                        }
+                        break;
+                    }
                 }
             }
-            scratch.events.truncate(kept);
         }
+        DayFeed::Stream(file, _) => {
+            binary_events = true;
+            scratch.events.clear();
+            let mut reader = columnar::SegmentBlockReader::new(file);
+            loop {
+                match reader.next_segment() {
+                    Ok(Some(seg)) => match columnar::decode_events_into(
+                        seg,
+                        &mut scratch.dict,
+                        &mut scratch.seg_events,
+                    ) {
+                        Ok(header) => {
+                            stats.events.lines_read += header.records as u64;
+                            scratch.events.extend_from_slice(&scratch.seg_events);
+                        }
+                        Err(cause) => {
+                            let claimed = claimed_records(seg);
+                            stats.events.lines_read += claimed;
+                            stats.events.malformed += claimed;
+                            stats.note_malformed(&events_name, 0);
+                            if policy == MalformedPolicy::FailFast {
+                                return Err(segment_feed_error(
+                                    events_name.to_string(),
+                                    cause,
+                                ));
+                            }
+                        }
+                    },
+                    Ok(None) => break,
+                    Err(SegmentStreamError::Io(e)) => return Err(ReplayError::Io(e)),
+                    Err(SegmentStreamError::Format(cause)) => {
+                        // The streamer cannot frame the rest of the
+                        // file; without the bytes in hand there is no
+                        // header claim to charge, so the damage itself
+                        // is one bad unit.
+                        stats.events.lines_read += 1;
+                        stats.events.malformed += 1;
+                        stats.note_malformed(&events_name, 0);
+                        if policy == MalformedPolicy::FailFast {
+                            return Err(segment_feed_error(
+                                events_name.to_string(),
+                                cause,
+                            ));
+                        }
+                        break;
+                    }
+                }
+            }
+            stats.bytes_streamed += reader.bytes_read();
+        }
+    }
+    if binary_events {
+        let mut kept = 0usize;
+        for i in 0..scratch.events.len() {
+            let ev = scratch.events[i];
+            match bounds.check(&ev) {
+                Ok(()) => {
+                    scratch.events[kept] = ev;
+                    kept += 1;
+                    stats.events.parsed += 1;
+                }
+                Err(violation) => {
+                    stats.events.malformed += 1;
+                    stats.note_malformed(&events_name, i as u64 + 1);
+                    if policy == MalformedPolicy::FailFast {
+                        return Err(ReplayError::Feed {
+                            file: events_name.to_string(),
+                            source: FeedError::Malformed {
+                                line: i as u64 + 1,
+                                reason: violation.to_string(),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        scratch.events.truncate(kept);
     }
 
     let mut block = PhaseABlock::new(world.num_days(), vec![day], num_subs);
@@ -1010,7 +1143,38 @@ fn replay_day(
             }
         }
     };
-    match &kpi_feed {
+    // One record counter runs across segments, so malformed positions
+    // stay 1-based over the whole feed regardless of how the encoder
+    // split it (a single-segment file numbers exactly as before).
+    let mut rec_no = 0u64;
+    macro_rules! fold_kpi_records {
+        () => {
+            for idx in 0..scratch.kpi_records.len() {
+                let r = scratch.kpi_records[idx];
+                rec_no += 1;
+                match check_kpi(&r) {
+                    Ok(()) => {
+                        stats.kpi.parsed += 1;
+                        fold(&r, &mut current_cell, &mut *hours, &mut kpi);
+                    }
+                    Err(reject) => {
+                        stats.kpi.malformed += 1;
+                        stats.note_malformed(&kpi_name, rec_no);
+                        if policy == MalformedPolicy::FailFast {
+                            return Err(ReplayError::Feed {
+                                file: kpi_name.to_string(),
+                                source: FeedError::Malformed {
+                                    line: rec_no,
+                                    reason: reject_reason(&reject),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        };
+    }
+    match kpi_feed {
         DayFeed::Jsonl(text) => {
             for (idx, line) in text.lines().enumerate() {
                 stats.kpi.lines_read += 1;
@@ -1035,7 +1199,7 @@ fn replay_day(
                         stats.note_malformed(&kpi_name, idx as u64 + 1);
                         if policy == MalformedPolicy::FailFast {
                             return Err(ReplayError::Feed {
-                                file: kpi_name,
+                                file: kpi_name.to_string(),
                                 source: FeedError::Malformed {
                                     line: idx as u64 + 1,
                                     reason: reject_reason(&reject),
@@ -1047,41 +1211,87 @@ fn replay_day(
             }
         }
         DayFeed::Binary(bytes) => {
-            match feedfmt::decode_kpi_into(bytes, &mut scratch.dict, &mut scratch.kpi_records)
-            {
-                Ok(header) => stats.kpi.lines_read += header.records as u64,
-                Err(cause) => {
-                    let claimed = claimed_records(bytes);
-                    stats.kpi.lines_read += claimed;
-                    stats.kpi.malformed += claimed;
-                    stats.note_malformed(&kpi_name, 0);
-                    if policy == MalformedPolicy::FailFast {
-                        return Err(segment_feed_error(kpi_name, cause));
-                    }
-                }
-            }
-            for idx in 0..scratch.kpi_records.len() {
-                let r = scratch.kpi_records[idx];
-                match check_kpi(&r) {
-                    Ok(()) => {
-                        stats.kpi.parsed += 1;
-                        fold(&r, &mut current_cell, &mut *hours, &mut kpi);
-                    }
-                    Err(reject) => {
-                        stats.kpi.malformed += 1;
-                        stats.note_malformed(&kpi_name, idx as u64 + 1);
-                        if policy == MalformedPolicy::FailFast {
-                            return Err(ReplayError::Feed {
-                                file: kpi_name,
-                                source: FeedError::Malformed {
-                                    line: idx as u64 + 1,
-                                    reason: reject_reason(&reject),
-                                },
-                            });
+            let mut consumed = 0usize;
+            for seg in columnar::split_segments(&bytes) {
+                match seg {
+                    Ok(seg) => {
+                        consumed += seg.len();
+                        match feedfmt::decode_kpi_into(
+                            seg,
+                            &mut scratch.dict,
+                            &mut scratch.kpi_records,
+                        ) {
+                            Ok(header) => {
+                                stats.kpi.lines_read += header.records as u64;
+                                fold_kpi_records!();
+                            }
+                            Err(cause) => {
+                                let claimed = claimed_records(seg);
+                                stats.kpi.lines_read += claimed;
+                                stats.kpi.malformed += claimed;
+                                stats.note_malformed(&kpi_name, 0);
+                                if policy == MalformedPolicy::FailFast {
+                                    return Err(segment_feed_error(
+                                        kpi_name.to_string(),
+                                        cause,
+                                    ));
+                                }
+                            }
                         }
                     }
+                    Err(cause) => {
+                        let claimed = claimed_records(&bytes[consumed..]);
+                        stats.kpi.lines_read += claimed;
+                        stats.kpi.malformed += claimed;
+                        stats.note_malformed(&kpi_name, 0);
+                        if policy == MalformedPolicy::FailFast {
+                            return Err(segment_feed_error(kpi_name.to_string(), cause));
+                        }
+                        break;
+                    }
                 }
             }
+        }
+        DayFeed::Stream(file, _) => {
+            let mut reader = columnar::SegmentBlockReader::new(file);
+            loop {
+                match reader.next_segment() {
+                    Ok(Some(seg)) => match feedfmt::decode_kpi_into(
+                        seg,
+                        &mut scratch.dict,
+                        &mut scratch.kpi_records,
+                    ) {
+                        Ok(header) => {
+                            stats.kpi.lines_read += header.records as u64;
+                            fold_kpi_records!();
+                        }
+                        Err(cause) => {
+                            let claimed = claimed_records(seg);
+                            stats.kpi.lines_read += claimed;
+                            stats.kpi.malformed += claimed;
+                            stats.note_malformed(&kpi_name, 0);
+                            if policy == MalformedPolicy::FailFast {
+                                return Err(segment_feed_error(
+                                    kpi_name.to_string(),
+                                    cause,
+                                ));
+                            }
+                        }
+                    },
+                    Ok(None) => break,
+                    Err(SegmentStreamError::Io(e)) => return Err(ReplayError::Io(e)),
+                    Err(SegmentStreamError::Format(cause)) => {
+                        stats.kpi.lines_read += 1;
+                        stats.kpi.malformed += 1;
+                        stats.note_malformed(&kpi_name, 0);
+                        if policy == MalformedPolicy::FailFast {
+                            return Err(segment_feed_error(kpi_name.to_string(), cause));
+                        }
+                        break;
+                    }
+                }
+            }
+            stats.bytes_streamed += reader.bytes_read();
         }
     }
     flush(&mut current_cell, &mut *hours, &mut kpi);
@@ -1099,49 +1309,125 @@ fn read_voice_feed(
     report: &mut ReplayReport,
 ) -> Result<Vec<f64>, ReplayError> {
     let bin_path = dir.join(VOICE_BIN_FILE);
-    let (file_name, bytes) = if bin_path.exists() {
-        (VOICE_BIN_FILE, fs::read(bin_path)?)
-    } else {
-        (VOICE_FILE, fs::read(dir.join(VOICE_FILE))?)
-    };
-    report.files_read += 1;
-    report.bytes_read += bytes.len() as u64;
     let mut voice: Vec<Option<f64>> = vec![None; num_days as usize];
 
-    if columnar::looks_like_segment(&bytes) {
+    // Shared record fold: bounds-check one decoded segment's records
+    // under the policy, with a feed-wide running record number.
+    let mut rec_no = 0u64;
+    macro_rules! fold_voice_records {
+        ($records:expr, $file_name:expr) => {
+            for r in $records.iter() {
+                rec_no += 1;
+                if r.day >= num_days {
+                    report.voice.malformed += 1;
+                    report.note_malformed($file_name, rec_no);
+                    if policy == MalformedPolicy::FailFast {
+                        return Err(ReplayError::Feed {
+                            file: $file_name.to_string(),
+                            source: FeedError::Malformed {
+                                line: rec_no,
+                                reason: format!(
+                                    "day {} out of range (study has {num_days} days)",
+                                    r.day
+                                ),
+                            },
+                        });
+                    }
+                    continue;
+                }
+                report.voice.parsed += 1;
+                voice[r.day as usize] = Some(r.off_net_voice_mb);
+            }
+        };
+    }
+
+    if bin_path.exists() {
+        // Stream the binary feed segment by segment, never holding the
+        // whole file.
+        let file_name: Arc<str> = Arc::from(VOICE_BIN_FILE);
+        let file = fs::File::open(&bin_path)?;
+        report.files_read += 1;
+        report.bytes_read += file.metadata()?.len();
         let mut records = Vec::new();
-        match feedfmt::decode_voice_into(&bytes, &mut records) {
-            Ok(header) => report.voice.lines_read += header.records as u64,
-            Err(cause) => {
-                let claimed = claimed_records(&bytes);
-                report.voice.lines_read += claimed;
-                report.voice.malformed += claimed;
-                report.note_malformed(file_name, 0);
-                if policy == MalformedPolicy::FailFast {
-                    return Err(segment_feed_error(file_name.to_string(), cause));
+        let mut reader = columnar::SegmentBlockReader::new(file);
+        loop {
+            match reader.next_segment() {
+                Ok(Some(seg)) => match feedfmt::decode_voice_into(seg, &mut records) {
+                    Ok(header) => {
+                        report.voice.lines_read += header.records as u64;
+                        fold_voice_records!(records, &file_name);
+                    }
+                    Err(cause) => {
+                        let claimed = claimed_records(seg);
+                        report.voice.lines_read += claimed;
+                        report.voice.malformed += claimed;
+                        report.note_malformed(&file_name, 0);
+                        if policy == MalformedPolicy::FailFast {
+                            return Err(segment_feed_error(file_name.to_string(), cause));
+                        }
+                    }
+                },
+                Ok(None) => break,
+                Err(SegmentStreamError::Io(e)) => return Err(ReplayError::Io(e)),
+                Err(SegmentStreamError::Format(cause)) => {
+                    report.voice.lines_read += 1;
+                    report.voice.malformed += 1;
+                    report.note_malformed(&file_name, 0);
+                    if policy == MalformedPolicy::FailFast {
+                        return Err(segment_feed_error(file_name.to_string(), cause));
+                    }
+                    break;
                 }
             }
         }
-        for (idx, r) in records.iter().enumerate() {
-            if r.day >= num_days {
-                report.voice.malformed += 1;
-                report.note_malformed(file_name, idx as u64 + 1);
-                if policy == MalformedPolicy::FailFast {
-                    return Err(ReplayError::Feed {
-                        file: file_name.to_string(),
-                        source: FeedError::Malformed {
-                            line: idx as u64 + 1,
-                            reason: format!(
-                                "day {} out of range (study has {num_days} days)",
-                                r.day
-                            ),
-                        },
-                    });
+        report.bytes_streamed += reader.bytes_read();
+        return finish_voice(voice);
+    }
+
+    let file_name: Arc<str> = Arc::from(VOICE_FILE);
+    let bytes = fs::read(dir.join(VOICE_FILE))?;
+    report.files_read += 1;
+    report.bytes_read += bytes.len() as u64;
+
+    if columnar::looks_like_segment(&bytes) {
+        // A binary feed stored under the JSONL name: walk its segments
+        // in memory.
+        let mut records = Vec::new();
+        let mut consumed = 0usize;
+        for seg in columnar::split_segments(&bytes) {
+            match seg {
+                Ok(seg) => {
+                    consumed += seg.len();
+                    match feedfmt::decode_voice_into(seg, &mut records) {
+                        Ok(header) => {
+                            report.voice.lines_read += header.records as u64;
+                            fold_voice_records!(records, &file_name);
+                        }
+                        Err(cause) => {
+                            let claimed = claimed_records(seg);
+                            report.voice.lines_read += claimed;
+                            report.voice.malformed += claimed;
+                            report.note_malformed(&file_name, 0);
+                            if policy == MalformedPolicy::FailFast {
+                                return Err(segment_feed_error(
+                                    file_name.to_string(),
+                                    cause,
+                                ));
+                            }
+                        }
+                    }
                 }
-                continue;
+                Err(cause) => {
+                    let claimed = claimed_records(&bytes[consumed..]);
+                    report.voice.lines_read += claimed;
+                    report.voice.malformed += claimed;
+                    report.note_malformed(&file_name, 0);
+                    if policy == MalformedPolicy::FailFast {
+                        return Err(segment_feed_error(file_name.to_string(), cause));
+                    }
+                    break;
+                }
             }
-            report.voice.parsed += 1;
-            voice[r.day as usize] = Some(r.off_net_voice_mb);
         }
         return finish_voice(voice);
     }
@@ -1180,7 +1466,7 @@ fn read_voice_feed(
             }
             Err(reject) => {
                 report.voice.malformed += 1;
-                report.note_malformed(file_name, idx as u64 + 1);
+                report.note_malformed(&file_name, idx as u64 + 1);
                 if policy == MalformedPolicy::FailFast {
                     let reason = match reject {
                         VoiceReject::Parse(e) => e.to_string(),

@@ -35,9 +35,10 @@
 
 use crate::config::ScenarioConfig;
 use crate::dataset::{HomeValidationPoint, MetricGroup, StudyDataset, UserInfo};
+use crate::shard::MaskStore;
 use crate::world::World;
 use cellscope_core::kpi_stats::{CellDayMetrics, HourlyKpiSample};
-use cellscope_core::study::{MobilityStudy, StudyConfig, UserDayDwell};
+use cellscope_core::study::{MobilityStudy, StudyConfig};
 use cellscope_core::{top_n_towers_into, DailyGroupMean, KpiTable, MobilityMatrix, TowerDwell};
 use cellscope_exec::{ExecError, Executor, TaskCtx};
 use cellscope_geo::County;
@@ -93,9 +94,11 @@ pub fn run_study_with(
     let phase_a = run_phase_a(config, world, exec)?;
     let scale = exec.time_stage("calibrate", || calibrate_traffic_scale(config, world));
     let (kpi, voice_daily) = run_phase_b(config, world, exec, scale)?;
-    Ok(exec.time_stage("assemble", || {
-        assemble(config, world, phase_a, kpi, voice_daily)
-    }))
+    Ok(exec
+        .time_stage("assemble", || {
+            assemble(config, world, phase_a, kpi, voice_daily)
+        })
+        .expect("in-memory mask store cannot fail"))
 }
 
 /// Phase A output, merged over all day blocks.
@@ -105,9 +108,10 @@ pub(crate) struct PhaseA {
     pub(crate) study: MobilityStudy<MetricGroup>,
     pub(crate) gyration_by_bin: DailyGroupMean<DayBin>,
     /// County-presence bitmask per (subscriber, day), county-index bit
-    /// set when the user's top-20 towers touch that county; row-major
-    /// `[subscriber * num_days + day]` over the full population.
-    pub(crate) county_masks: Vec<u32>,
+    /// set when the user's top-20 towers touch that county. In-memory
+    /// runs hold the full `[subscriber * num_days + day]` matrix; the
+    /// sharded large-scale path may have spilled it to disk day-major.
+    pub(crate) county_masks: MaskStore,
     pub(crate) rat_minutes: [u64; 3],
 }
 
@@ -206,38 +210,51 @@ pub(crate) struct IngestScratch {
     site_minutes: Vec<(u32, u16, u16)>, // (site, mins, night mins)
     dwell: Vec<TowerDwell>,
     bin_dwell: Vec<TowerDwell>,
-    night_pairs: Vec<(u32, u16)>,
+    /// Night-window (tower, minutes) pairs of the last derived
+    /// user-day — left in place for the caller to apply (or ship).
+    pub(crate) night_pairs: Vec<(u32, u16)>,
     /// Top-N output of the study ingest and the county-mask selection.
     top: Vec<TowerDwell>,
 }
 
-/// Fold one user-day (its segments sitting in `scratch.segments`) into
-/// a phase-A block: RAT minutes, tower dwell → the study object
-/// (top-20 filter, entropy, gyration, night log), per-bin gyration, and
-/// the county-presence mask.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn ingest_user_day(
+/// The order-free half of one user-day ingest: every metric the phase-A
+/// accumulators need, computed from the segments alone, with no
+/// accumulator touched. The night-window pairs stay in
+/// `scratch.night_pairs` (order preserved) — the one piece whose apply
+/// order matters but whose derivation does not.
+///
+/// Splitting derivation from application is what makes the sharded
+/// large-scale path possible: shards derive these records in parallel,
+/// and a sequential fold applies them in canonical (day, subscriber)
+/// order, reproducing the unsharded accumulator sequences bit for bit.
+pub(crate) struct DerivedMetrics {
+    pub(crate) entropy: Option<f64>,
+    pub(crate) gyration: Option<f64>,
+    /// Per-bin gyration in [`DayBin::ALL`] order.
+    pub(crate) bin_gyration: [Option<f64>; DayBin::ALL.len()],
+    pub(crate) county_mask: u32,
+    pub(crate) rat_minutes: [u64; 3],
+}
+
+/// Derive one user-day's metrics from `scratch.segments`. `top_n` is
+/// the study's configured top-N tower count (the metrics half);
+/// the county mask always uses the paper's fixed top-20.
+pub(crate) fn derive_user_day(
     world: &World,
-    out: &mut PhaseABlock,
     scratch: &mut IngestScratch,
-    sub_idx: usize,
-    num_subs: usize,
-    local_day: usize,
-    day: u16,
     feb_night: bool,
-    anon: u64,
-    groups: &[MetricGroup; 3],
-) {
+    top_n: usize,
+) -> DerivedMetrics {
+    let mut rat_minutes = [0u64; 3];
     scratch.site_minutes.clear();
     for s in &scratch.segments {
-        out.rat_minutes[s.rat as usize] += s.minutes as u64;
+        rat_minutes[s.rat as usize] += s.minutes as u64;
         let night = if s.bin.is_night_window() { s.minutes } else { 0 };
         push_site_minutes(&mut scratch.site_minutes, s.site, s.minutes, night);
     }
 
-    // Tower dwell -> the paper's methodology (top-20 filter, entropy,
-    // gyration, distributions, night log) — all inside MobilityStudy,
-    // the same object a real-data consumer drives.
+    // Tower dwell -> the paper's methodology (top-N filter, entropy,
+    // gyration) — the exact arithmetic of `MobilityStudy::ingest_with`.
     scratch.dwell.clear();
     scratch
         .dwell
@@ -256,20 +273,14 @@ pub(crate) fn ingest_user_day(
                 .map(|&(site, _, night)| (site, night)),
         );
     }
-    out.study.ingest_with(
-        UserDayDwell {
-            user: anon,
-            day,
-            dwell: &scratch.dwell,
-            night_minutes: &scratch.night_pairs,
-        },
-        groups,
-        &mut scratch.top,
-    );
+    top_n_towers_into(&scratch.dwell, top_n, &mut scratch.top);
+    let entropy = cellscope_core::mobility_entropy(&scratch.top);
+    let gyration = cellscope_core::radius_of_gyration(&scratch.top);
 
     // Per-bin gyration (Section 2.3 computes the metrics over the six
     // 4-hour bins too) — national aggregate only.
-    for bin in DayBin::ALL {
+    let mut bin_gyration = [None; DayBin::ALL.len()];
+    for (slot, bin) in bin_gyration.iter_mut().zip(DayBin::ALL) {
         scratch.bin_dwell.clear();
         scratch.bin_dwell.extend(
             scratch
@@ -282,9 +293,7 @@ pub(crate) fn ingest_user_day(
                     seconds: s.minutes as f64 * 60.0,
                 }),
         );
-        if let Some(g_bin) = cellscope_core::radius_of_gyration(&scratch.bin_dwell) {
-            out.gyration_by_bin.add(bin, day, g_bin);
-        }
+        *slot = cellscope_core::radius_of_gyration(&scratch.bin_dwell);
     }
 
     // County presence mask (for the mobility matrix), over the same
@@ -297,7 +306,53 @@ pub(crate) fn ingest_user_day(
         let zone = world.topo.site(cellscope_radio::SiteId(t.tower)).zone;
         mask |= 1 << world.geo.zone(zone).county.index();
     }
-    out.county_masks[local_day * num_subs + sub_idx] = mask;
+
+    DerivedMetrics {
+        entropy,
+        gyration,
+        bin_gyration,
+        county_mask: mask,
+        rat_minutes,
+    }
+}
+
+/// Fold one user-day (its segments sitting in `scratch.segments`) into
+/// a phase-A block: RAT minutes, tower dwell → the study object
+/// (top-20 filter, entropy, gyration, night log), per-bin gyration, and
+/// the county-presence mask. Derive + apply in one step — the shape the
+/// in-memory and feed-replay paths use.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ingest_user_day(
+    world: &World,
+    out: &mut PhaseABlock,
+    scratch: &mut IngestScratch,
+    sub_idx: usize,
+    num_subs: usize,
+    local_day: usize,
+    day: u16,
+    feb_night: bool,
+    anon: u64,
+    groups: &[MetricGroup; 3],
+) {
+    let top_n = out.study.config().top_n_towers;
+    let d = derive_user_day(world, scratch, feb_night, top_n);
+    for (a, b) in out.rat_minutes.iter_mut().zip(d.rat_minutes) {
+        *a += b;
+    }
+    out.study.apply_derived(
+        anon,
+        day,
+        d.entropy,
+        d.gyration,
+        &scratch.night_pairs,
+        groups,
+    );
+    for (bin, g) in DayBin::ALL.iter().zip(d.bin_gyration) {
+        if let Some(g) = g {
+            out.gyration_by_bin.add(*bin, day, g);
+        }
+    }
+    out.county_masks[local_day * num_subs + sub_idx] = d.county_mask;
 }
 
 fn run_phase_a(
@@ -329,10 +384,11 @@ pub(crate) fn merge_phase_a(
 ) -> PhaseA {
     let mut study = MobilityStudy::new(StudyConfig::default(), num_days);
     study.finish(); // empty shell, ready to absorb finished partials
+    let mut masks = vec![0u32; num_subs * num_days];
     let mut merged = PhaseA {
         study,
         gyration_by_bin: DailyGroupMean::new(num_days),
-        county_masks: vec![0u32; num_subs * num_days],
+        county_masks: MaskStore::Mem(Vec::new()),
         rat_minutes: [0; 3],
     };
     for mut p in partials {
@@ -343,7 +399,7 @@ pub(crate) fn merge_phase_a(
             for sub in 0..num_subs {
                 let mask = p.county_masks[local_day * num_subs + sub];
                 if mask != 0 {
-                    merged.county_masks[sub * num_days + day as usize] = mask;
+                    masks[sub * num_days + day as usize] = mask;
                 }
             }
         }
@@ -351,6 +407,7 @@ pub(crate) fn merge_phase_a(
             *a += b;
         }
     }
+    merged.county_masks = MaskStore::Mem(masks);
     merged
 }
 
@@ -452,10 +509,20 @@ fn push_site_minutes(acc: &mut Vec<(u32, u16, u16)>, site: u32, minutes: u16, ni
 /// target. Without this, a subsampled population would leave realistic
 /// cell capacities idle and flatten every load-derived KPI.
 pub(crate) fn calibrate_traffic_scale(config: &ScenarioConfig, world: &World) -> f64 {
+    // The paper's baseline weekday is Tuesday Feb 25 2020; a window
+    // that does not contain it calibrates on its first Tuesday (any
+    // pre-lockdown weekday works — the calibration replays one day at
+    // scale 1), falling back to day 0 for sub-week windows.
     let day = world
         .clock
         .day_of(cellscope_time::Date::ymd(2020, 2, 25))
-        .expect("baseline Tuesday inside study window");
+        .or_else(|| {
+            world
+                .clock
+                .days()
+                .find(|&d| world.clock.weekday(d) == cellscope_time::Weekday::Tuesday)
+        })
+        .unwrap_or(0);
     let date = world.clock.date(day);
     let mut trajgen =
         TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed);
@@ -609,7 +676,7 @@ pub(crate) fn simulate_day_kpi(
     day: u16,
     traj_buf: &mut DayTrajectory,
     hours_buf: &mut Vec<HourlyKpiSample>,
-    mut sink: impl FnMut(u32, &[HourlyKpiSample]),
+    sink: impl FnMut(u32, &[HourlyKpiSample]),
 ) -> f64 {
     let date = world.clock.date(day);
     let timeline = world.behavior.timeline();
@@ -626,7 +693,23 @@ pub(crate) fn simulate_day_kpi(
         loadgen.accumulate(sub, traj_buf, date, intensity, confinement, &world.topo, grid);
     }
     let voice = loadgen.off_net_voice_mb(grid);
+    day_kpi_from_grid(world, scheduler, grid, day, hours_buf, sink);
+    voice
+}
 
+/// The scheduler half of one traffic day: run the radio scheduler over
+/// an already-accumulated load grid and emit each reporting cell's 24
+/// post-scheduler hourly samples. Split from [`simulate_day_kpi`] so
+/// the sharded path — which accumulates the grid from shard-derived
+/// trajectories — shares the exact per-cell pass.
+pub(crate) fn day_kpi_from_grid(
+    world: &World,
+    scheduler: &Scheduler,
+    grid: &DayLoadGrid,
+    day: u16,
+    hours_buf: &mut Vec<HourlyKpiSample>,
+    mut sink: impl FnMut(u32, &[HourlyKpiSample]),
+) {
     for cell in world.topo.cells() {
         if cell.rat != Rat::G4 || !cell.is_active(day) {
             continue;
@@ -659,16 +742,18 @@ pub(crate) fn simulate_day_kpi(
             sink(cell.id.0, hours_buf);
         }
     }
-    voice
 }
 
+/// Assemble the final dataset. The only fallible step is reading a
+/// disk-spilled county-mask store back (the sharded large-scale path);
+/// with in-memory masks this never errors.
 pub(crate) fn assemble(
     config: &ScenarioConfig,
     world: &World,
-    phase_a: PhaseA,
+    mut phase_a: PhaseA,
     mut kpi: KpiTable,
     voice_daily: Vec<f64>,
-) -> StudyDataset {
+) -> Result<StudyDataset, std::io::Error> {
     let num_days = world.num_days();
 
     // --- Home detection & validation -----------------------------------
@@ -715,19 +800,44 @@ pub(crate) fn assemble(
         .collect();
 
     // --- Mobility matrix over inferred Inner-London residents ----------
+    // The matrix is pure per-(county, day) counting, so the traversal
+    // order over (user, day) is free: the in-memory store walks
+    // user-major, a disk spill walks day-major (one row resident at a
+    // time) — identical counts either way.
     let mut matrix: MobilityMatrix<County> = MobilityMatrix::new(num_days);
-    for (idx, info) in users.iter().enumerate() {
-        if info.inferred_home_county != Some(County::InnerLondon) {
-            continue;
-        }
-        for day in 0..num_days {
-            let mask = phase_a.county_masks[idx * num_days + day];
-            if mask == 0 {
-                continue;
+    let record_mask = |mask: u32, day: usize, matrix: &mut MobilityMatrix<County>| {
+        for c in County::ALL {
+            if mask & (1 << c.index()) != 0 {
+                matrix.record(c, day as u16);
             }
-            for c in County::ALL {
-                if mask & (1 << c.index()) != 0 {
-                    matrix.record(c, day as u16);
+        }
+    };
+    match &mut phase_a.county_masks {
+        MaskStore::Mem(masks) => {
+            for (idx, info) in users.iter().enumerate() {
+                if info.inferred_home_county != Some(County::InnerLondon) {
+                    continue;
+                }
+                for day in 0..num_days {
+                    let mask = masks[idx * num_days + day];
+                    if mask != 0 {
+                        record_mask(mask, day, &mut matrix);
+                    }
+                }
+            }
+        }
+        MaskStore::Spill(spill) => {
+            let mut row = Vec::new();
+            for day in 0..num_days {
+                spill.read_day(day, &mut row)?;
+                for (idx, info) in users.iter().enumerate() {
+                    if info.inferred_home_county != Some(County::InnerLondon) {
+                        continue;
+                    }
+                    let mask = row[idx];
+                    if mask != 0 {
+                        record_mask(mask, day, &mut matrix);
+                    }
                 }
             }
         }
@@ -739,8 +849,13 @@ pub(crate) fn assemble(
         .days_in_week(cellscope_time::IsoWeek { year: 2020, week: 9 })
         .map(|d| voice_daily[d as usize])
         .collect();
-    let baseline_load =
-        cellscope_core::stats::mean(&week9).expect("week 9 observed");
+    // Windows that miss week 9 entirely calibrate on the first (up to)
+    // seven observed days instead — a baseline from the window's own
+    // pre-lockdown head, never a panic.
+    let baseline_load = cellscope_core::stats::mean(&week9).unwrap_or_else(|| {
+        let head = &voice_daily[..voice_daily.len().min(7)];
+        cellscope_core::stats::mean(head).unwrap_or(0.0)
+    });
     let ic_config = InterconnectConfig {
         capacity: baseline_load * config.interconnect_headroom,
         ..config.interconnect
@@ -774,7 +889,7 @@ pub(crate) fn assemble(
     let homes_detected = homes.len();
     let (gyration, entropy, gyration_dist, _night) = phase_a.study.into_parts();
 
-    StudyDataset {
+    Ok(StudyDataset {
         clock: world.clock,
         users,
         gyration,
@@ -791,5 +906,5 @@ pub(crate) fn assemble(
         rat_dwell_share,
         study_population,
         homes_detected,
-    }
+    })
 }

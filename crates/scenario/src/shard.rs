@@ -1,0 +1,683 @@
+//! Sharded, memory-bounded large-scale execution.
+//!
+//! The in-memory runner ([`crate::run`]) parallelizes over **day
+//! blocks**: every worker walks the full population, and every block
+//! holds a full-population mask slab. That is the right shape up to a
+//! few tens of thousands of subscribers; at paper scale (hundreds of
+//! thousands to millions) it is memory-quadratic in the wrong places.
+//!
+//! This module reshapes both phases into **(day-block × subscriber-
+//! range) shards** on top of [`Executor::run_pipeline_fold`]:
+//!
+//! * **derive** (parallel): each shard walks its subscriber range for
+//!   its days and produces compact *derived records* — per-user-day
+//!   mobility metrics in phase A, packed visit lists in phase B. No
+//!   shard ever touches an accumulator.
+//! * **fold** (sequential, streaming): the calling thread applies the
+//!   derived records to a single global accumulator in canonical
+//!   **(day ascending, subscriber ascending)** order — exactly the
+//!   order the unsharded runner uses. Because every floating-point
+//!   accumulation happens in the same sequence, the sharded dataset is
+//!   **bit-identical** to the unsharded one for any shard geometry and
+//!   any thread count.
+//!
+//! Peak memory is bounded by *channel depth × shard size*, not by the
+//! population: the pipeline holds at most `capacity` undelivered shard
+//! results, plus one day-block of buffered records in the fold. The one
+//! remaining population-sized structure — the per-(subscriber, day)
+//! county-mask matrix — can be spilled to a temporary file day-major
+//! ([`MaskStore::Spill`]) and read back one day-row at a time during
+//! assembly.
+
+use crate::config::ScenarioConfig;
+use crate::dataset::{MetricGroup, StudyDataset};
+use crate::run::{
+    self, build_roster, derive_user_day, february_set, load_generator, DerivedMetrics,
+    IngestScratch, SiteDwell, StudyRoster,
+};
+use crate::world::World;
+use cellscope_core::kpi_stats::{CellDayMetrics, HourlyKpiSample};
+use cellscope_core::study::{MobilityStudy, StudyConfig};
+use cellscope_core::{DailyGroupMean, KpiTable};
+use cellscope_exec::{ExecError, Executor, TaskCtx};
+use cellscope_mobility::{BinVisit, DayTrajectory, TrajectoryGenerator};
+use cellscope_radio::{Rat, Scheduler, SchedulerConfig};
+use cellscope_signaling::{reconstruct_dwell_into, EventGenerator};
+use cellscope_time::DayBin;
+use cellscope_traffic::DayLoadGrid;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shard geometry for a large-scale run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Days per shard (the fold applies one day-block at a time; 1
+    /// minimizes fold buffering).
+    pub days_per_shard: usize,
+    /// Subscribers per shard — the unit of parallel derivation.
+    pub subs_per_shard: usize,
+    /// Spill the per-(subscriber, day) county-mask matrix to a
+    /// temporary file instead of holding it in memory (the matrix is
+    /// the one population × days structure assembly needs).
+    pub spill_masks: bool,
+    /// Maximum undelivered shard results in flight (bounds peak
+    /// memory); `0` means twice the worker count.
+    pub capacity: usize,
+}
+
+impl ShardPlan {
+    /// The geometry `repro --scale large` uses: single-day blocks,
+    /// 50k-subscriber ranges, masks spilled.
+    pub fn large() -> ShardPlan {
+        ShardPlan {
+            days_per_shard: 1,
+            subs_per_shard: 50_000,
+            spill_masks: true,
+            capacity: 0,
+        }
+    }
+}
+
+impl Default for ShardPlan {
+    fn default() -> ShardPlan {
+        ShardPlan {
+            days_per_shard: 1,
+            subs_per_shard: 8_192,
+            spill_masks: false,
+            capacity: 0,
+        }
+    }
+}
+
+/// Why a sharded run failed: a captured worker panic, or an I/O error
+/// in the mask spill.
+#[derive(Debug)]
+pub enum ShardError {
+    /// A worker panicked; the execution layer names the stage and task.
+    Exec(ExecError),
+    /// The county-mask spill file could not be written or read back.
+    Spill(io::Error),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Exec(e) => write!(f, "sharded run failed: {e}"),
+            ShardError::Spill(e) => write!(f, "county-mask spill failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Exec(e) => Some(e),
+            ShardError::Spill(e) => Some(e),
+        }
+    }
+}
+
+impl From<ExecError> for ShardError {
+    fn from(e: ExecError) -> ShardError {
+        ShardError::Exec(e)
+    }
+}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> ShardError {
+        ShardError::Spill(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// County-mask storage: in-memory slab or day-major disk spill.
+// ---------------------------------------------------------------------
+
+/// Where the per-(subscriber, day) county-presence masks live.
+pub(crate) enum MaskStore {
+    /// Dense `[subscriber * num_days + day]` slab (the in-memory runner
+    /// and small sharded runs).
+    Mem(Vec<u32>),
+    /// Day-major rows in a temporary file (large sharded runs); read
+    /// back one day-row at a time during assembly, deleted on drop.
+    Spill(SpillMasks),
+}
+
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn spill_path() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cellscope-masks-{}-{}.bin",
+        std::process::id(),
+        SPILL_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A completed day-major mask spill, ready for day-row reads.
+pub(crate) struct SpillMasks {
+    file: File,
+    path: PathBuf,
+    num_subs: usize,
+}
+
+impl SpillMasks {
+    /// Read day `day`'s row (`num_subs` little-endian u32 masks) into
+    /// `row`.
+    pub(crate) fn read_day(&mut self, day: usize, row: &mut Vec<u32>) -> io::Result<()> {
+        let bytes_per_row = self.num_subs * 4;
+        self.file
+            .seek(SeekFrom::Start((day * bytes_per_row) as u64))?;
+        let mut bytes = vec![0u8; bytes_per_row];
+        self.file.read_exact(&mut bytes)?;
+        row.clear();
+        row.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+        Ok(())
+    }
+}
+
+impl Drop for SpillMasks {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Write-side of the mask store: the phase-A fold sets masks for the
+/// current day and seals each day-row in ascending day order.
+enum MaskSink {
+    Mem { masks: Vec<u32>, num_days: usize },
+    Spill { file: File, path: PathBuf, row: Vec<u32> },
+}
+
+impl MaskSink {
+    fn new(num_subs: usize, num_days: usize, spill: bool) -> io::Result<MaskSink> {
+        if spill {
+            let path = spill_path();
+            let file = File::options()
+                .read(true)
+                .write(true)
+                .create_new(true)
+                .open(&path)?;
+            Ok(MaskSink::Spill {
+                file,
+                path,
+                row: vec![0u32; num_subs],
+            })
+        } else {
+            Ok(MaskSink::Mem {
+                masks: vec![0u32; num_subs * num_days],
+                num_days,
+            })
+        }
+    }
+
+    fn set(&mut self, sub: usize, day: usize, mask: u32) {
+        match self {
+            MaskSink::Mem { masks, num_days } => masks[sub * *num_days + day] = mask,
+            MaskSink::Spill { row, .. } => row[sub] = mask,
+        }
+    }
+
+    /// Seal one day (called for every day, ascending).
+    fn end_day(&mut self) -> io::Result<()> {
+        if let MaskSink::Spill { file, row, .. } = self {
+            let mut bytes = Vec::with_capacity(row.len() * 4);
+            for &m in row.iter() {
+                bytes.extend_from_slice(&m.to_le_bytes());
+            }
+            file.write_all(&bytes)?;
+            row.iter_mut().for_each(|m| *m = 0);
+        }
+        Ok(())
+    }
+
+    fn finish(self, num_subs: usize) -> io::Result<MaskStore> {
+        match self {
+            MaskSink::Mem { masks, .. } => Ok(MaskStore::Mem(masks)),
+            MaskSink::Spill { mut file, path, .. } => {
+                file.flush()?;
+                file.seek(SeekFrom::Start(0))?;
+                Ok(MaskStore::Spill(SpillMasks {
+                    file,
+                    path,
+                    num_subs,
+                }))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard enumeration (shared by both phases).
+// ---------------------------------------------------------------------
+
+/// One shard: a block of days × a range of subscriber indices.
+#[derive(Debug, Clone)]
+struct Shard {
+    days: Vec<u16>,
+    lo: usize,
+    hi: usize,
+}
+
+/// Enumerate shards block-major then range-minor — the production order
+/// the fold relies on: all ranges of day-block 0, then all ranges of
+/// day-block 1, …
+fn shards(days: &[u16], num_subs: usize, plan: &ShardPlan) -> (Vec<Shard>, usize) {
+    let days_per = plan.days_per_shard.max(1);
+    let subs_per = plan.subs_per_shard.max(1);
+    let ranges: Vec<(usize, usize)> = (0..num_subs)
+        .step_by(subs_per)
+        .map(|lo| (lo, (lo + subs_per).min(num_subs)))
+        .collect();
+    let mut out = Vec::new();
+    for block in days.chunks(days_per) {
+        for &(lo, hi) in &ranges {
+            out.push(Shard {
+                days: block.to_vec(),
+                lo,
+                hi,
+            });
+        }
+    }
+    (out, ranges.len().max(1))
+}
+
+fn fold_capacity(plan: &ShardPlan, exec: &Executor) -> usize {
+    if plan.capacity > 0 {
+        plan.capacity
+    } else {
+        exec.threads().saturating_mul(2).max(2)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase A, sharded.
+// ---------------------------------------------------------------------
+
+/// One derived user-day: everything the phase-A accumulators need,
+/// detached from any accumulator.
+struct DerivedA {
+    sub_idx: u32,
+    metrics: DerivedMetrics,
+    /// Night-window (tower, minutes) pairs — empty outside February.
+    night_pairs: Vec<(u32, u16)>,
+}
+
+/// A phase-A shard result: derived records per local day, subscriber
+/// ascending within each day.
+type ShardAOut = Vec<Vec<DerivedA>>;
+
+fn phase_a_sharded(
+    config: &ScenarioConfig,
+    world: &World,
+    exec: &mut Executor,
+    plan: &ShardPlan,
+) -> Result<run::PhaseA, ShardError> {
+    let roster = build_roster(config, world);
+    let days: Vec<u16> = world.clock.days().collect();
+    let num_days = world.num_days();
+    let num_subs = world.population.len();
+    let (tasks, num_ranges) = shards(&days, num_subs, plan);
+    let feb_set = february_set(world);
+    let top_n = StudyConfig::default().top_n_towers;
+    let capacity = fold_capacity(plan, exec);
+
+    struct AccA {
+        study: MobilityStudy<MetricGroup>,
+        gyration_by_bin: DailyGroupMean<DayBin>,
+        masks: MaskSink,
+        rat_minutes: [u64; 3],
+        /// Buffered results of the current day-block, range ascending.
+        buf: Vec<(Vec<u16>, ShardAOut)>,
+        io_err: Option<io::Error>,
+    }
+
+    let mut acc = AccA {
+        study: MobilityStudy::new(StudyConfig::default(), num_days),
+        gyration_by_bin: DailyGroupMean::new(num_days),
+        masks: MaskSink::new(num_subs, num_days, plan.spill_masks)?,
+        rat_minutes: [0; 3],
+        buf: Vec::with_capacity(num_ranges),
+        io_err: None,
+    };
+
+    let mut task_iter = tasks.into_iter();
+    let roster_ref = &roster;
+    let feb_ref = &feb_set;
+
+    exec.run_pipeline_fold(
+        "phase_a_shards",
+        capacity,
+        move || task_iter.next(),
+        || {
+            (
+                TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed),
+                EventGenerator::new(&world.topo, &world.catalog, world.anonymizer, config.events),
+                IngestScratch::default(),
+            )
+        },
+        |(trajgen, eventgen, scratch), _i, shard: Shard, ctx| {
+            derive_shard_a(
+                config, world, roster_ref, feb_ref, top_n, trajgen, eventgen, scratch, &shard,
+                ctx,
+            )
+        },
+        &mut acc,
+        |acc, _i, (shard_days, out)| {
+            acc.buf.push((shard_days, out));
+            if acc.buf.len() == num_ranges {
+                // The block is complete: apply day-major, range-minor,
+                // subscriber ascending — the canonical order.
+                let block_days = acc.buf[0].0.clone();
+                for (local_day, &day) in block_days.iter().enumerate() {
+                    for (_, shard_out) in &acc.buf {
+                        for rec in &shard_out[local_day] {
+                            let (anon, groups) = roster_ref.members[rec.sub_idx as usize]
+                                .expect("derive only emits roster members");
+                            for (a, b) in
+                                acc.rat_minutes.iter_mut().zip(rec.metrics.rat_minutes)
+                            {
+                                *a += b;
+                            }
+                            acc.study.apply_derived(
+                                anon,
+                                day,
+                                rec.metrics.entropy,
+                                rec.metrics.gyration,
+                                &rec.night_pairs,
+                                &groups,
+                            );
+                            for (bin, g) in DayBin::ALL.iter().zip(rec.metrics.bin_gyration) {
+                                if let Some(g) = g {
+                                    acc.gyration_by_bin.add(*bin, day, g);
+                                }
+                            }
+                            acc.masks.set(rec.sub_idx as usize, day as usize, rec.metrics.county_mask);
+                        }
+                    }
+                    if acc.io_err.is_none() {
+                        if let Err(e) = acc.masks.end_day() {
+                            acc.io_err = Some(e);
+                        }
+                    }
+                }
+                acc.buf.clear();
+            }
+        },
+    )?;
+
+    if let Some(e) = acc.io_err {
+        return Err(ShardError::Spill(e));
+    }
+    debug_assert!(acc.buf.is_empty(), "every day-block must have been folded");
+    acc.study.finish();
+    Ok(run::PhaseA {
+        study: acc.study,
+        gyration_by_bin: acc.gyration_by_bin,
+        county_masks: acc.masks.finish(num_subs)?,
+        rat_minutes: acc.rat_minutes,
+    })
+}
+
+/// Derive one phase-A shard: walk the shard's subscriber range for each
+/// of its days and compute every per-user-day metric. Pure with respect
+/// to accumulators.
+#[allow(clippy::too_many_arguments)]
+fn derive_shard_a(
+    config: &ScenarioConfig,
+    world: &World,
+    roster: &StudyRoster,
+    feb_set: &[bool],
+    top_n: usize,
+    trajgen: &mut TrajectoryGenerator<'_>,
+    eventgen: &mut EventGenerator<'_>,
+    scratch: &mut IngestScratch,
+    shard: &Shard,
+    ctx: &mut TaskCtx,
+) -> (Vec<u16>, ShardAOut) {
+    let subs = world.population.subscribers();
+    let mut out: ShardAOut = shard.days.iter().map(|_| Vec::new()).collect();
+    for (local_day, &day) in shard.days.iter().enumerate() {
+        let feb_night = feb_set[day as usize];
+        for sub_idx in shard.lo..shard.hi {
+            if roster.members[sub_idx].is_none() {
+                continue;
+            }
+            let sub = &subs[sub_idx];
+            trajgen.generate_into(sub, day, &mut scratch.traj);
+            scratch.segments.clear();
+            if config.use_event_reconstruction {
+                eventgen.generate_into(sub, &scratch.traj, &mut scratch.events);
+                if scratch.events.is_empty() {
+                    continue; // device unreachable today
+                }
+                reconstruct_dwell_into(&scratch.events, &mut scratch.dwell_records);
+                for rec in &scratch.dwell_records {
+                    let cell = world.topo.cell(rec.cell);
+                    scratch.segments.push(SiteDwell {
+                        bin: rec.bin,
+                        site: cell.site.0,
+                        minutes: rec.minutes,
+                        rat: cell.rat,
+                    });
+                }
+            } else {
+                if scratch.traj.visits.is_empty() {
+                    continue;
+                }
+                scratch
+                    .segments
+                    .extend(scratch.traj.visits.iter().map(|v| SiteDwell {
+                        bin: v.bin,
+                        site: v.site.0,
+                        minutes: v.minutes,
+                        rat: Rat::G4,
+                    }));
+            }
+            let metrics = derive_user_day(world, scratch, feb_night, top_n);
+            out[local_day].push(DerivedA {
+                sub_idx: sub_idx as u32,
+                metrics,
+                night_pairs: scratch.night_pairs.clone(),
+            });
+            ctx.add_items(1);
+        }
+    }
+    ctx.count("days", shard.days.len() as u64);
+    (shard.days.clone(), out)
+}
+
+// ---------------------------------------------------------------------
+// Phase B, sharded.
+// ---------------------------------------------------------------------
+
+/// One day's packed trajectories for a subscriber range: flat visit
+/// storage with per-subscriber spans, subscriber ascending.
+#[derive(Default)]
+struct PackedVisits {
+    subs: Vec<u32>,
+    /// Exclusive end offset into `visits` per entry of `subs`.
+    ends: Vec<u32>,
+    visits: Vec<BinVisit>,
+}
+
+impl PackedVisits {
+    fn push(&mut self, sub: u32, visits: &[BinVisit]) {
+        self.subs.push(sub);
+        self.visits.extend_from_slice(visits);
+        self.ends.push(self.visits.len() as u32);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u32, &[BinVisit])> {
+        self.subs.iter().zip(self.ends.iter()).scan(0u32, |start, (&sub, &end)| {
+            let s = *start as usize;
+            *start = end;
+            Some((sub, &self.visits[s..end as usize]))
+        })
+    }
+}
+
+type ShardBOut = Vec<PackedVisits>;
+
+fn phase_b_sharded(
+    config: &ScenarioConfig,
+    world: &World,
+    exec: &mut Executor,
+    plan: &ShardPlan,
+    scale: f64,
+) -> Result<(KpiTable, Vec<f64>), ShardError> {
+    let days: Vec<u16> = world.clock.days().collect();
+    let num_days = world.num_days();
+    let num_subs = world.population.len();
+    let (tasks, num_ranges) = shards(&days, num_subs, plan);
+    let capacity = fold_capacity(plan, exec);
+    let loadgen = load_generator(config, scale);
+    let scheduler = Scheduler::new(SchedulerConfig::default());
+    let subs = world.population.subscribers();
+
+    struct AccB {
+        kpi: KpiTable,
+        voice_daily: Vec<f64>,
+        grid: DayLoadGrid,
+        traj_buf: DayTrajectory,
+        hours_buf: Vec<HourlyKpiSample>,
+        buf: Vec<(Vec<u16>, ShardBOut)>,
+    }
+
+    let mut acc = AccB {
+        kpi: KpiTable::new(),
+        voice_daily: vec![0.0; num_days],
+        grid: DayLoadGrid::new(world.topo.cells().len()),
+        traj_buf: DayTrajectory::default(),
+        hours_buf: Vec::with_capacity(24),
+        buf: Vec::with_capacity(num_ranges),
+    };
+
+    let mut task_iter = tasks.into_iter();
+    let loadgen_ref = &loadgen;
+    let scheduler_ref = &scheduler;
+
+    exec.run_pipeline_fold(
+        "phase_b_shards",
+        capacity,
+        move || task_iter.next(),
+        || {
+            (
+                TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed),
+                DayTrajectory::default(),
+            )
+        },
+        |(trajgen, traj), _i, shard: Shard, ctx| {
+            let mut out: ShardBOut = shard.days.iter().map(|_| PackedVisits::default()).collect();
+            for (local_day, &day) in shard.days.iter().enumerate() {
+                for sub_idx in shard.lo..shard.hi {
+                    trajgen.generate_into(&subs[sub_idx], day, traj);
+                    // `LoadGenerator::accumulate` is a no-op on empty
+                    // visit lists, so skipping them here is exact.
+                    if !traj.visits.is_empty() {
+                        out[local_day].push(sub_idx as u32, &traj.visits);
+                        ctx.add_items(1);
+                    }
+                }
+            }
+            ctx.count("days", shard.days.len() as u64);
+            (shard.days.clone(), out)
+        },
+        &mut acc,
+        |acc, _i, (shard_days, out)| {
+            acc.buf.push((shard_days, out));
+            if acc.buf.len() == num_ranges {
+                let block_days = acc.buf[0].0.clone();
+                for (local_day, &day) in block_days.iter().enumerate() {
+                    let date = world.clock.date(day);
+                    let timeline = world.behavior.timeline();
+                    let intensity = timeline.intensity(date);
+                    // Ratchet: at-home WiFi settling does not unwind
+                    // after lockdown (mirrors `simulate_day_kpi`).
+                    let confinement = if date >= timeline.lockdown {
+                        1.0
+                    } else {
+                        intensity
+                    };
+                    acc.grid.clear();
+                    for (_, shard_out) in &acc.buf {
+                        for (sub_idx, visits) in shard_out[local_day].iter() {
+                            let sub = &subs[sub_idx as usize];
+                            acc.traj_buf.subscriber = sub.id;
+                            acc.traj_buf.day = day;
+                            acc.traj_buf.visits.clear();
+                            acc.traj_buf.visits.extend_from_slice(visits);
+                            loadgen_ref.accumulate(
+                                sub,
+                                &acc.traj_buf,
+                                date,
+                                intensity,
+                                confinement,
+                                &world.topo,
+                                &mut acc.grid,
+                            );
+                        }
+                    }
+                    acc.voice_daily[day as usize] = loadgen_ref.off_net_voice_mb(&acc.grid);
+                    let kpi = &mut acc.kpi;
+                    run::day_kpi_from_grid(
+                        world,
+                        scheduler_ref,
+                        &acc.grid,
+                        day,
+                        &mut acc.hours_buf,
+                        |cell_id, hours| {
+                            if let Some(rec) = CellDayMetrics::from_hourly(cell_id, day, hours) {
+                                kpi.push(rec);
+                            }
+                        },
+                    );
+                }
+                acc.buf.clear();
+            }
+        },
+    )?;
+
+    debug_assert!(acc.buf.is_empty(), "every day-block must have been folded");
+    Ok((acc.kpi, acc.voice_daily))
+}
+
+// ---------------------------------------------------------------------
+// The sharded runner.
+// ---------------------------------------------------------------------
+
+/// Run the full study sharded by (day-block × subscriber-range).
+///
+/// Bit-identical to [`run::run_study_with`] for any [`ShardPlan`] and
+/// any thread count; peak memory is bounded by the shard geometry
+/// rather than the population (with [`ShardPlan::spill_masks`], no
+/// structure of size `population × days` is ever resident).
+pub fn run_study_sharded(
+    config: &ScenarioConfig,
+    world: &World,
+    exec: &mut Executor,
+    plan: &ShardPlan,
+) -> Result<StudyDataset, ShardError> {
+    let phase_a = phase_a_sharded(config, world, exec, plan)?;
+    let scale = exec.time_stage("calibrate", || run::calibrate_traffic_scale(config, world));
+    let (kpi, voice_daily) = phase_b_sharded(config, world, exec, plan, scale)?;
+    exec.time_stage("assemble", || {
+        run::assemble(config, world, phase_a, kpi, voice_daily)
+    })
+    .map_err(ShardError::Spill)
+}
+
+/// [`run_study_sharded`] over a fresh world and executor.
+pub fn run_sharded(
+    config: &ScenarioConfig,
+    plan: &ShardPlan,
+) -> Result<StudyDataset, ShardError> {
+    let world = World::build(config);
+    let mut exec = Executor::new(config.threads);
+    run_study_sharded(config, &world, &mut exec, plan)
+}

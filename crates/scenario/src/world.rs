@@ -43,7 +43,7 @@ impl World {
         population_config.timeline = config.timeline;
         let population = Population::synthesize(&population_config, &geo, &topo);
         let behavior = BehaviorModel::new(config.timeline);
-        let clock = SimClock::study();
+        let clock = SimClock::new(config.study_start, config.study_end);
         let cell_geo = topo
             .cells()
             .iter()

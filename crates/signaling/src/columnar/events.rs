@@ -28,8 +28,8 @@
 
 use super::column::{self, Cursor};
 use super::format::{
-    begin_segment, check_segment, seal_segment, SegmentError, SegmentHeader,
-    SegmentKind,
+    check_segment, seal_segment, SegmentError, SegmentHeader, SegmentKind,
+    HEADER_LEN,
 };
 use crate::event::{EventType, SignalingEvent};
 use crate::tac::TacCode;
@@ -43,12 +43,15 @@ pub struct DecodeScratch {
     pub dict: Vec<u32>,
 }
 
-/// Encode one day shard of events into `out` (cleared first). The
-/// segment records `day` in its header; each event's own `day` field is
-/// stored too, so the encoding is lossless for any event sequence, not
-/// only well-formed shards.
-pub fn encode_events_into(day: u16, events: &[SignalingEvent], out: &mut Vec<u8>) {
-    begin_segment(out);
+/// Append one events segment to `out` (not cleared — the multi-segment
+/// writer's building block).
+fn append_events_segment(
+    day: u16,
+    events: &[SignalingEvent],
+    out: &mut Vec<u8>,
+) -> Result<(), SegmentError> {
+    let start = out.len();
+    out.resize(start + HEADER_LEN, 0);
     let n = events.len();
     column::encode_dict_u32(events.iter().map(|e| e.cell.0), n, out);
     for e in events {
@@ -75,13 +78,54 @@ pub fn encode_events_into(day: u16, events: &[SignalingEvent], out: &mut Vec<u8>
     for e in events {
         out.push(e.success as u8);
     }
-    seal_segment(out, SegmentKind::Events, day, n as u32);
+    seal_segment(&mut out[start..], SegmentKind::Events, day, n)
+}
+
+/// Encode one day shard of events into `out` (cleared first) as a
+/// single segment. The segment records `day` in its header; each
+/// event's own `day` field is stored too, so the encoding is lossless
+/// for any event sequence, not only well-formed shards. Fails with
+/// [`SegmentError::SegmentTooLarge`] past the format's `u32` ceilings —
+/// use [`encode_events_segmented`] for days that may exceed them.
+pub fn encode_events_into(
+    day: u16,
+    events: &[SignalingEvent],
+    out: &mut Vec<u8>,
+) -> Result<(), SegmentError> {
+    out.clear();
+    append_events_segment(day, events, out)
+}
+
+/// Encode one day shard as back-to-back segments of at most
+/// `max_records` events each (cleared first; at least one segment, so
+/// an empty day still produces a well-formed file). Returns the
+/// segment count. Splitting keeps arbitrarily large days encodable
+/// under the header's `u32` payload/record ceilings.
+pub fn encode_events_segmented(
+    day: u16,
+    events: &[SignalingEvent],
+    max_records: usize,
+    out: &mut Vec<u8>,
+) -> Result<usize, SegmentError> {
+    assert!(max_records > 0, "segment capacity must be positive");
+    out.clear();
+    if events.is_empty() {
+        append_events_segment(day, events, out)?;
+        return Ok(1);
+    }
+    let mut segments = 0;
+    for chunk in events.chunks(max_records) {
+        append_events_segment(day, chunk, out)?;
+        segments += 1;
+    }
+    Ok(segments)
 }
 
 /// [`encode_events_into`] into a fresh buffer.
 pub fn encode_events(day: u16, events: &[SignalingEvent]) -> Vec<u8> {
     let mut out = Vec::new();
-    encode_events_into(day, events, &mut out);
+    encode_events_into(day, events, &mut out)
+        .expect("in-memory event segment under the u32 ceiling");
     out
 }
 
@@ -194,6 +238,34 @@ mod tests {
     }
 
     #[test]
+    fn segmented_encoding_splits_and_concatenates_losslessly() {
+        use super::super::format::split_segments;
+        let events = sample(100);
+        let mut bytes = Vec::new();
+        let segments = encode_events_segmented(9, &events, 30, &mut bytes).unwrap();
+        assert_eq!(segments, 4); // 30+30+30+10
+        let mut scratch = DecodeScratch::default();
+        let mut seg_out = Vec::new();
+        let mut all = Vec::new();
+        for seg in split_segments(&bytes) {
+            let header = decode_events_into(seg.unwrap(), &mut scratch, &mut seg_out).unwrap();
+            assert_eq!(header.day, 9);
+            all.extend(seg_out.iter().copied());
+        }
+        assert_eq!(all, events);
+    }
+
+    #[test]
+    fn segmented_encoding_with_one_chunk_matches_single_segment() {
+        let events = sample(40);
+        let mut single = Vec::new();
+        encode_events_into(3, &events, &mut single).unwrap();
+        let mut multi = Vec::new();
+        assert_eq!(encode_events_segmented(3, &events, 1000, &mut multi).unwrap(), 1);
+        assert_eq!(single, multi, "legacy one-segment files stay byte-identical");
+    }
+
+    #[test]
     fn dirty_scratch_and_output_do_not_leak() {
         let a = sample(50);
         let b: Vec<SignalingEvent> =
@@ -237,7 +309,7 @@ mod tests {
         bytes[len - 2 * 4] = 250; // first event byte
         // Re-seal so the CRC passes and the decoder reaches the column.
         let records = 4;
-        seal_segment(&mut bytes, SegmentKind::Events, 0, records);
+        seal_segment(&mut bytes, SegmentKind::Events, 0, records).unwrap();
         let err = decode_events_into(
             &bytes,
             &mut DecodeScratch::default(),

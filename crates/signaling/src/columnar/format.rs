@@ -28,8 +28,17 @@
 //! [`SegmentError`] is `Copy` and carries raw values only, so the
 //! replay hot path can reject a damaged segment without allocating —
 //! the same discipline as [`crate::export::BoundsViolation`].
+//!
+//! A feed *file* holds one or more segments back to back. Writers that
+//! might exceed the header's `u32` ceilings split a day into multiple
+//! segments ([`seal_segment`] refuses oversize payloads with
+//! [`SegmentError::SegmentTooLarge`] instead of silently truncating);
+//! readers either slice an in-memory byte run with [`split_segments`]
+//! or stream a file segment-at-a-time through [`SegmentBlockReader`],
+//! whose peak memory is one segment, not one file.
 
 use std::fmt;
+use std::io::Read;
 
 /// File magic of a columnar feed segment ("CellScope Columnar Feed").
 pub const SEGMENT_MAGIC: [u8; 4] = *b"CSCF";
@@ -183,6 +192,14 @@ pub enum SegmentError {
         /// Width byte found.
         found: u8,
     },
+    /// The payload or record count exceeds the header's `u32` ceiling —
+    /// the segment must be split, never silently truncated.
+    SegmentTooLarge {
+        /// Payload bytes the encoder produced.
+        payload_len: u64,
+        /// Records the encoder produced.
+        records: u64,
+    },
 }
 
 impl fmt::Display for SegmentError {
@@ -226,6 +243,12 @@ impl fmt::Display for SegmentError {
             }
             SegmentError::BadIndexWidth { found } => {
                 write!(f, "dictionary index width {found} (must be 2 or 4)")
+            }
+            SegmentError::SegmentTooLarge { payload_len, records } => {
+                write!(
+                    f,
+                    "segment exceeds the format's u32 ceiling ({payload_len} payload bytes, {records} records) — split it into multiple segments"
+                )
             }
         }
     }
@@ -358,9 +381,28 @@ pub fn begin_segment(out: &mut Vec<u8>) {
 
 /// Finish a segment started with [`begin_segment`]: compute the payload
 /// length and CRC over everything appended since, and write the header.
-pub fn seal_segment(out: &mut [u8], kind: SegmentKind, day: u16, records: u32) {
+///
+/// Both the payload length and the record count are checked against the
+/// header's `u32` fields; an oversize segment returns
+/// [`SegmentError::SegmentTooLarge`] (with the header left unwritten)
+/// instead of silently truncating past 4 GiB — encoders split such days
+/// into multiple segments.
+pub fn seal_segment(
+    out: &mut [u8],
+    kind: SegmentKind,
+    day: u16,
+    records: usize,
+) -> Result<(), SegmentError> {
     debug_assert!(out.len() >= HEADER_LEN);
-    let payload_len = (out.len() - HEADER_LEN) as u32;
+    let payload = out.len() - HEADER_LEN;
+    let (Ok(payload_len), Ok(records_u32)) =
+        (u32::try_from(payload), u32::try_from(records))
+    else {
+        return Err(SegmentError::SegmentTooLarge {
+            payload_len: payload as u64,
+            records: records as u64,
+        });
+    };
     let crc = crc32(&out[HEADER_LEN..]);
     out[..4].copy_from_slice(&SEGMENT_MAGIC);
     out[4..6].copy_from_slice(&SEGMENT_VERSION.to_le_bytes());
@@ -368,9 +410,200 @@ pub fn seal_segment(out: &mut [u8], kind: SegmentKind, day: u16, records: u32) {
     out[7] = 0;
     out[8..10].copy_from_slice(&day.to_le_bytes());
     out[10..12].copy_from_slice(&0u16.to_le_bytes());
-    out[12..16].copy_from_slice(&records.to_le_bytes());
+    out[12..16].copy_from_slice(&records_u32.to_le_bytes());
     out[16..20].copy_from_slice(&payload_len.to_le_bytes());
     out[20..24].copy_from_slice(&crc.to_le_bytes());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Multi-segment files
+// ---------------------------------------------------------------------
+
+/// Iterator over the back-to-back segments of an in-memory byte run.
+/// Each item is the exact byte slice of one segment (header included),
+/// ready for a `decode_*_into` call; a malformed header or a trailing
+/// partial segment surfaces as one final `Err`.
+pub struct SegmentSplitter<'a> {
+    rest: &'a [u8],
+    failed: bool,
+}
+
+impl<'a> Iterator for SegmentSplitter<'a> {
+    type Item = Result<&'a [u8], SegmentError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.rest.is_empty() {
+            return None;
+        }
+        let header = match SegmentHeader::parse(self.rest) {
+            Ok(h) => h,
+            Err(e) => {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        };
+        let total = HEADER_LEN + header.payload_len as usize;
+        if self.rest.len() < total {
+            self.failed = true;
+            return Some(Err(SegmentError::Truncated {
+                needed: header.payload_len as usize,
+                have: self.rest.len() - HEADER_LEN,
+            }));
+        }
+        let (seg, rest) = self.rest.split_at(total);
+        self.rest = rest;
+        Some(Ok(seg))
+    }
+}
+
+/// Split an in-memory byte run into its back-to-back segments. A file
+/// holding one segment yields exactly one slice — the legacy
+/// one-segment-per-file layout is the 1-iteration case.
+pub fn split_segments(bytes: &[u8]) -> SegmentSplitter<'_> {
+    SegmentSplitter { rest: bytes, failed: false }
+}
+
+/// Total records a (possibly multi-segment) byte run *claims* across
+/// every header that can still be parsed. Lenient replay uses this to
+/// account a corrupt file's records as malformed instead of silently
+/// dropping an unknown number of them. `None` when not even the first
+/// header survives.
+pub fn peek_total_records(bytes: &[u8]) -> Option<u64> {
+    let mut rest = bytes;
+    let mut total = 0u64;
+    let mut any = false;
+    while !rest.is_empty() {
+        // A truncated tail still claims its header's records.
+        let Ok(h) = SegmentHeader::parse(rest) else { break };
+        total += u64::from(h.records);
+        any = true;
+        let seg_len = HEADER_LEN + h.payload_len as usize;
+        if rest.len() < seg_len {
+            break;
+        }
+        rest = &rest[seg_len..];
+    }
+    any.then_some(total)
+}
+
+/// A streaming-read failure: either the underlying I/O or the segment
+/// structure.
+#[derive(Debug)]
+pub enum SegmentStreamError {
+    /// The reader failed.
+    Io(std::io::Error),
+    /// The byte stream is not a well-formed segment sequence.
+    Format(SegmentError),
+}
+
+impl fmt::Display for SegmentStreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentStreamError::Io(e) => write!(f, "segment stream I/O error: {e}"),
+            SegmentStreamError::Format(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SegmentStreamError {}
+
+impl From<std::io::Error> for SegmentStreamError {
+    fn from(e: std::io::Error) -> Self {
+        SegmentStreamError::Io(e)
+    }
+}
+
+impl From<SegmentError> for SegmentStreamError {
+    fn from(e: SegmentError) -> Self {
+        SegmentStreamError::Format(e)
+    }
+}
+
+/// Bounded block reader over a segment stream: reads one segment at a
+/// time into a reused internal buffer, so peak memory is the largest
+/// *segment*, not the file. The buffer grows in bounded chunks while
+/// real bytes arrive — a corrupt header claiming a 4 GiB payload on a
+/// 1 KiB file fails with [`SegmentError::Truncated`] after one chunk
+/// instead of attempting a 4 GiB allocation.
+pub struct SegmentBlockReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    bytes_read: u64,
+    done: bool,
+}
+
+/// Growth step of the streaming read buffer.
+const READ_CHUNK: usize = 8 << 20;
+
+/// Read until `out` is full or EOF; returns the bytes filled.
+fn read_full<R: Read>(inner: &mut R, out: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < out.len() {
+        match inner.read(&mut out[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+impl<R: Read> SegmentBlockReader<R> {
+    /// Wrap a reader positioned at the first segment.
+    pub fn new(inner: R) -> SegmentBlockReader<R> {
+        SegmentBlockReader { inner, buf: Vec::new(), bytes_read: 0, done: false }
+    }
+
+    /// Bytes consumed from the underlying reader so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Read the next segment into the internal buffer and return its
+    /// exact byte slice (header included), or `None` at a clean EOF.
+    /// The slice is valid until the next call.
+    pub fn next_segment(&mut self) -> Result<Option<&[u8]>, SegmentStreamError> {
+        if self.done {
+            return Ok(None);
+        }
+        self.buf.clear();
+        self.buf.resize(HEADER_LEN, 0);
+        let got = read_full(&mut self.inner, &mut self.buf[..HEADER_LEN])?;
+        self.bytes_read += got as u64;
+        if got == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        if got < HEADER_LEN {
+            self.done = true;
+            return Err(SegmentError::HeaderTruncated { len: got }.into());
+        }
+        let header = match SegmentHeader::parse(&self.buf) {
+            Ok(h) => h,
+            Err(e) => {
+                self.done = true;
+                return Err(e.into());
+            }
+        };
+        let needed = header.payload_len as usize;
+        let mut have = 0;
+        while have < needed {
+            let chunk = (needed - have).min(READ_CHUNK);
+            let old = self.buf.len();
+            self.buf.resize(old + chunk, 0);
+            let got = read_full(&mut self.inner, &mut self.buf[old..])?;
+            self.bytes_read += got as u64;
+            have += got;
+            if got < chunk {
+                self.buf.truncate(HEADER_LEN + have);
+                self.done = true;
+                return Err(SegmentError::Truncated { needed, have }.into());
+            }
+        }
+        Ok(Some(&self.buf))
+    }
 }
 
 #[cfg(test)]
@@ -390,7 +623,7 @@ mod tests {
         let mut buf = Vec::new();
         begin_segment(&mut buf);
         buf.extend_from_slice(b"payload bytes");
-        seal_segment(&mut buf, SegmentKind::Events, 7, 3);
+        seal_segment(&mut buf, SegmentKind::Events, 7, 3).unwrap();
         let (header, payload) =
             check_segment(&buf, SegmentKind::Events).expect("valid segment");
         assert_eq!(header.kind, SegmentKind::Events);
@@ -406,7 +639,7 @@ mod tests {
         let mut buf = Vec::new();
         begin_segment(&mut buf);
         buf.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
-        seal_segment(&mut buf, SegmentKind::Kpi, 0, 2);
+        seal_segment(&mut buf, SegmentKind::Kpi, 0, 2).unwrap();
 
         // Header truncation.
         assert!(matches!(
@@ -466,15 +699,109 @@ mod tests {
 
     #[test]
     fn errors_render_without_panicking() {
-        let errors: [SegmentError; 5] = [
+        let errors: [SegmentError; 6] = [
             SegmentError::BadMagic { found: [0, 1, 2, 3] },
             SegmentError::ChecksumMismatch { stored: 1, computed: 2 },
             SegmentError::ColumnOverrun { column: "anon_id", needed: 80, have: 3 },
             SegmentError::BadDictIndex { index: 9, dict_len: 2 },
             SegmentError::BadEnum { column: "event", value: 77 },
+            SegmentError::SegmentTooLarge { payload_len: 5_000_000_000, records: 7 },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    /// An oversize *record count* already trips the checked seal — the
+    /// cheapest way to exercise the u32-ceiling path without building a
+    /// 4 GiB payload.
+    #[test]
+    fn seal_rejects_oversize_record_counts() {
+        let mut buf = Vec::new();
+        begin_segment(&mut buf);
+        buf.extend_from_slice(b"xy");
+        let err = seal_segment(&mut buf, SegmentKind::Events, 0, u32::MAX as usize + 1)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SegmentError::SegmentTooLarge { payload_len: 2, records } if records == u32::MAX as u64 + 1
+        ));
+    }
+
+    fn two_segments() -> (Vec<u8>, usize) {
+        let mut a = Vec::new();
+        begin_segment(&mut a);
+        a.extend_from_slice(b"first");
+        seal_segment(&mut a, SegmentKind::Events, 1, 2).unwrap();
+        let first_len = a.len();
+        let mut b = Vec::new();
+        begin_segment(&mut b);
+        b.extend_from_slice(b"second-payload");
+        seal_segment(&mut b, SegmentKind::Events, 1, 5).unwrap();
+        a.extend_from_slice(&b);
+        (a, first_len)
+    }
+
+    #[test]
+    fn splitter_yields_back_to_back_segments() {
+        let (bytes, first_len) = two_segments();
+        let segs: Vec<_> = split_segments(&bytes).collect::<Result<_, _>>().unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].len(), first_len);
+        check_segment(segs[0], SegmentKind::Events).unwrap();
+        check_segment(segs[1], SegmentKind::Events).unwrap();
+        assert_eq!(peek_total_records(&bytes), Some(7));
+    }
+
+    #[test]
+    fn splitter_reports_truncated_tail() {
+        let (bytes, first_len) = two_segments();
+        let cut = &bytes[..bytes.len() - 4];
+        let mut it = split_segments(cut);
+        assert_eq!(it.next().unwrap().unwrap().len(), first_len);
+        assert!(matches!(it.next(), Some(Err(SegmentError::Truncated { .. }))));
+        assert!(it.next().is_none());
+        // Both headers parse, so both claims count.
+        assert_eq!(peek_total_records(cut), Some(7));
+    }
+
+    #[test]
+    fn block_reader_streams_segments_and_counts_bytes() {
+        let (bytes, first_len) = two_segments();
+        let mut reader = SegmentBlockReader::new(&bytes[..]);
+        let seg = reader.next_segment().unwrap().unwrap();
+        assert_eq!(seg.len(), first_len);
+        let (h, payload) = check_segment(seg, SegmentKind::Events).unwrap();
+        assert_eq!((h.records, payload), (2, &b"first"[..]));
+        let seg = reader.next_segment().unwrap().unwrap();
+        check_segment(seg, SegmentKind::Events).unwrap();
+        assert!(reader.next_segment().unwrap().is_none());
+        assert_eq!(reader.bytes_read(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn block_reader_types_truncation_and_garbage() {
+        let (bytes, _) = two_segments();
+        let mut reader = SegmentBlockReader::new(&bytes[..bytes.len() - 4]);
+        reader.next_segment().unwrap().unwrap();
+        assert!(matches!(
+            reader.next_segment(),
+            Err(SegmentStreamError::Format(SegmentError::Truncated { .. }))
+        ));
+        // After an error the stream is done, not looping.
+        assert!(reader.next_segment().unwrap().is_none());
+
+        // A full header's worth of garbage is a magic failure; anything
+        // shorter is typed as header truncation instead.
+        let mut reader = SegmentBlockReader::new(&b"definitely not a segment at all"[..]);
+        assert!(matches!(
+            reader.next_segment(),
+            Err(SegmentStreamError::Format(SegmentError::BadMagic { .. }))
+        ));
+        let mut reader = SegmentBlockReader::new(&b"short garbage"[..]);
+        assert!(matches!(
+            reader.next_segment(),
+            Err(SegmentStreamError::Format(SegmentError::HeaderTruncated { len: 13 }))
+        ));
     }
 }

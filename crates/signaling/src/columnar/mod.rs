@@ -34,10 +34,11 @@ pub mod events;
 pub mod format;
 
 pub use events::{
-    decode_events_into, encode_events, encode_events_into, DecodeScratch,
+    decode_events_into, encode_events, encode_events_into, encode_events_segmented,
+    DecodeScratch,
 };
 pub use format::{
-    check_segment, crc32, looks_like_segment, peek_records, SegmentError,
-    SegmentHeader, SegmentKind, ALL_DAYS, HEADER_LEN, SEGMENT_MAGIC,
-    SEGMENT_VERSION,
+    check_segment, crc32, looks_like_segment, peek_records, peek_total_records,
+    split_segments, SegmentBlockReader, SegmentError, SegmentHeader, SegmentKind,
+    SegmentStreamError, ALL_DAYS, HEADER_LEN, SEGMENT_MAGIC, SEGMENT_VERSION,
 };

@@ -90,6 +90,7 @@ fn fail_fast_reports_first_bad_line_one_based() {
             assert!(!reason.is_empty());
         }
         FeedError::Io(e) => panic!("unexpected I/O error: {e}"),
+        FeedError::Segment(e) => panic!("unexpected segment error: {e}"),
     }
     assert!(reader.next().is_none(), "reader fuses after a fatal error");
 

@@ -8,7 +8,7 @@ mod common;
 use cellscope::geo::County;
 use cellscope::scenario::figures;
 use cellscope::time::Date;
-use common::{at_week, dataset};
+use common::dataset;
 
 #[test]
 fn fig2_home_detection_validates_against_census() {

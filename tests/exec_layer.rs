@@ -54,7 +54,8 @@ fn injected_panics_surface_as_structured_errors() {
         let mut exec = Executor::new(4);
         exec.inject_panic("figures", 3);
         let err = match figures::build_all_with(&ds, &mut exec) {
-            Err(e) => e,
+            Err(figures::FigureError::Exec(e)) => e,
+            Err(other) => panic!("expected an exec failure, got: {other}"),
             Ok(_) => panic!("injected panic must fail the figure build"),
         };
         assert_eq!((err.stage.as_str(), err.task), ("figures", 3));

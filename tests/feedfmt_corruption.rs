@@ -111,7 +111,7 @@ fn assert_skip_and_count(dir: &Path) {
         .expect("skip-and-count must survive a damaged segment");
     assert!(report.events.malformed > 0, "damage must be counted:\n{report}");
     assert!(report.lines_balance(), "accounting must still close:\n{report}");
-    let marker = MalformedAt { file: events_bin_name(0), line: 0 };
+    let marker = MalformedAt { file: events_bin_name(0).into(), line: 0 };
     assert!(
         report.malformed_at.contains(&marker),
         "damage location missing from {:?}",
@@ -245,7 +245,7 @@ fn jsonl_malformed_line_numbers_are_recorded() {
     assert_eq!(report.events.malformed, 2, "both bad lines counted:\n{report}");
     assert!(report.lines_balance(), "{report}");
     for offset in 1..=2 {
-        let marker = MalformedAt { file: events_file_name(0), line: lines + offset };
+        let marker = MalformedAt { file: events_file_name(0).into(), line: lines + offset };
         assert!(
             report.malformed_at.contains(&marker),
             "missing {}:{} in {:?}",
@@ -254,5 +254,18 @@ fn jsonl_malformed_line_numbers_are_recorded() {
             report.malformed_at
         );
     }
+    // The file name is interned: every malformed location in one feed
+    // shares one `Arc<str>` allocation instead of cloning the path per
+    // bad line (a damaged multi-GB feed must not also blow up memory).
+    let hits: Vec<_> = report
+        .malformed_at
+        .iter()
+        .filter(|m| &*m.file == events_file_name(0).as_str())
+        .collect();
+    assert_eq!(hits.len(), 2);
+    assert!(
+        std::sync::Arc::ptr_eq(&hits[0].file, &hits[1].file),
+        "malformed locations in one file must share the interned name"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,176 @@
+//! Scale-axis acceptance tests: the sharded, memory-bounded runner and
+//! the streaming feed reader must be *invisible* — any shard geometry,
+//! spill mode, thread count, or segment framing lands on the dataset
+//! the in-memory runner produces, bit for bit. Plus the two scale
+//! bugfix regressions: figure anchors clamp to non-default study
+//! windows instead of panicking, and a window with none of the paper's
+//! analysis weeks is a typed error, not a crash.
+
+use cellscope::exec::Executor;
+use cellscope::scenario::feedfmt::{convert_feed_dir, events_bin_name};
+use cellscope::scenario::replay::{
+    dataset_divergence, export_feeds, replay_study, ReplayConfig,
+};
+use cellscope::scenario::{
+    figures, run_study, run_study_sharded, run_study_with, ScenarioConfig, ShardPlan,
+    StudyDataset, World,
+};
+use cellscope::signaling::columnar::{
+    decode_events_into, encode_events, DecodeScratch,
+};
+use cellscope::time::Date;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Tiny-but-real scenario (same shape as the determinism suite).
+fn micro(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::tiny(seed);
+    cfg.population.num_subscribers = 500;
+    cfg
+}
+
+/// The unsharded reference dataset, built once and shared by every
+/// proptest case (the baseline is the expensive half of each check).
+fn baseline() -> &'static StudyDataset {
+    static BASELINE: OnceLock<StudyDataset> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let cfg = micro(47);
+        let world = World::build(&cfg);
+        run_study_with(&cfg, &world, &mut Executor::new(4)).expect("in-memory study")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Shard-geometry equivalence: for any (days-per-shard,
+    /// subscriber-range width, spill mode, thread count), the sharded
+    /// runner's dataset is bit-identical to the in-memory runner's.
+    /// The widths straddle the population (500): ranges that split it
+    /// unevenly, a range boundary exactly at the population size, and
+    /// one range covering everything.
+    #[test]
+    fn sharded_run_is_bit_identical_for_any_plan(
+        days_idx in 0usize..3,
+        subs_idx in 0usize..4,
+        spill_idx in 0usize..2,
+        threads_idx in 0usize..2,
+    ) {
+        let days_per_shard = [1usize, 3, 7][days_idx];
+        let subs_per_shard = [64usize, 171, 500, 10_000][subs_idx];
+        let spill = spill_idx == 1;
+        let threads = [1usize, 8][threads_idx];
+
+        let cfg = micro(47);
+        let world = World::build(&cfg);
+        let plan = ShardPlan {
+            days_per_shard,
+            subs_per_shard,
+            spill_masks: spill,
+            capacity: 0,
+        };
+        let mut exec = Executor::new(threads);
+        let sharded = run_study_sharded(&cfg, &world, &mut exec, &plan)
+            .expect("sharded study");
+        prop_assert_eq!(
+            dataset_divergence(baseline(), &sharded),
+            None,
+            "plan {:?} at {} threads diverged",
+            plan,
+            threads
+        );
+    }
+}
+
+/// Streaming replay vs whole-file framing: re-framing a day's events
+/// into many small segments (the shape the oversize-segment splitter
+/// produces at the 4 GiB ceiling) must not change the replayed dataset
+/// — and the report must show the bytes went through the streaming
+/// reader.
+#[test]
+fn multi_segment_feeds_replay_bit_identically() {
+    let cfg = micro(42);
+    let base = scratch_dir("multiseg");
+    let jsonl_dir = base.join("jsonl");
+    let bin_dir = base.join("bin");
+
+    let in_memory = run_study(&cfg).expect("in-memory study");
+    export_feeds(&cfg, &jsonl_dir).expect("export");
+    convert_feed_dir(&jsonl_dir, &bin_dir).expect("convert");
+
+    // Reference replay on the single-segment-per-day files.
+    let rcfg = ReplayConfig::default();
+    let (from_single, report_single) =
+        replay_study(&cfg, &bin_dir, &rcfg).expect("single-segment replay");
+    assert_eq!(dataset_divergence(&in_memory, &from_single), None);
+    assert!(
+        report_single.bytes_streamed > 0,
+        "binary feeds must go through the streaming reader:\n{report_single}"
+    );
+
+    // Re-frame the first two days into ~5 segments each.
+    let mut scratch = DecodeScratch::default();
+    let mut events = Vec::new();
+    for day in 0..2u16 {
+        let path = bin_dir.join(events_bin_name(day));
+        let bytes = std::fs::read(&path).expect("read day feed");
+        let header =
+            decode_events_into(&bytes, &mut scratch, &mut events).expect("decode");
+        let chunk = (events.len() / 5).max(1);
+        let mut reframed = Vec::new();
+        for part in events.chunks(chunk) {
+            reframed.extend_from_slice(&encode_events(header.day, part));
+        }
+        assert_ne!(reframed, bytes, "day {day} must actually be re-framed");
+        std::fs::write(&path, &reframed).expect("write re-framed feed");
+    }
+
+    let (from_multi, report_multi) =
+        replay_study(&cfg, &bin_dir, &rcfg).expect("multi-segment replay");
+    assert_eq!(
+        dataset_divergence(&in_memory, &from_multi),
+        None,
+        "segment framing leaked into the dataset"
+    );
+    assert_eq!(report_multi.events.malformed, 0, "{report_multi}");
+    assert_eq!(report_multi.events.parsed, report_single.events.parsed);
+    assert!(report_multi.lines_balance(), "{report_multi}");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Regression (hard-coded-date panics): a study window shorter than
+/// the paper's must run end to end — the figure builders clamp their
+/// calendar anchors (Feb 23 / May 4 / Feb 24 / Mar 23) to the window
+/// instead of indexing past the clock.
+#[test]
+fn short_study_window_runs_end_to_end() {
+    let mut cfg = micro(11);
+    cfg.study_end = Date::ymd(2020, 3, 15); // the `large` preset's window
+    let ds = run_study(&cfg).expect("short-window study");
+    assert_eq!(ds.clock.num_days(), 44);
+    let figs = figures::build_all(&ds, 4).expect("short-window figures");
+    // Weeks past the window are simply unobserved, not fabricated.
+    assert!(figs.headline.dl_volume_week17_pct.is_none());
+    assert!(figs.headline.gyration_trough_pct.is_some());
+}
+
+/// Regression (typed figure errors): a window containing none of the
+/// paper's analysis weeks (ISO 2020-W09..W19) is a structured
+/// [`figures::FigureError`], not a panic deep in a builder.
+#[test]
+fn window_outside_analysis_weeks_is_a_typed_error() {
+    let mut cfg = micro(13);
+    cfg.study_end = Date::ymd(2020, 2, 15); // ISO weeks 5–7 only
+    let ds = run_study(&cfg).expect("pre-analysis-window study");
+    match figures::build_all(&ds, 4) {
+        Err(figures::FigureError::WindowOutsideStudy) => {}
+        Err(other) => panic!("expected WindowOutsideStudy, got: {other}"),
+        Ok(_) => panic!("figures cannot cover weeks the window excludes"),
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cellscope_scale_{tag}_{}", std::process::id()))
+}
