@@ -90,7 +90,7 @@ fn bench_spatial_index(c: &mut Criterion) {
 }
 
 fn bench_dwell_reconstruction(c: &mut Criterion) {
-    use cellscope_epidemic::Timeline;
+    use cellscope_epidemic::PhaseSchedule;
     use cellscope_mobility::{
         BehaviorModel, Population, PopulationConfig, TrajectoryGenerator,
     };
@@ -107,10 +107,11 @@ fn bench_dwell_reconstruction(c: &mut Criterion) {
             seed: 9,
             ..PopulationConfig::default()
         },
+        &PhaseSchedule::uk_2020().relocation_waves,
         &geo,
         &topo,
     );
-    let behavior = BehaviorModel::new(Timeline::uk_2020());
+    let behavior = BehaviorModel::new(PhaseSchedule::uk_2020());
     let trajgen = TrajectoryGenerator::new(&geo, &behavior, SimClock::study(), 9);
     let catalog = TacCatalog::synthetic();
     let eventgen =

@@ -129,9 +129,9 @@ fn main() {
         }
 
         // Hourly KPIs.
-        let timeline = world.behavior.timeline();
-        let intensity = timeline.intensity(date);
-        let confinement = if date >= timeline.lockdown { 1.0 } else { intensity };
+        let schedule = world.behavior.schedule();
+        let intensity = schedule.intensity(date);
+        let confinement = schedule.confinement(date);
         grid.clear();
         for sub in world.population.subscribers() {
             let traj = trajgen.generate(sub, day);

@@ -4,8 +4,22 @@
 //! Usage:
 //! `repro [--scale full|small|tiny|large] [--sharded] [--seed N]
 //!        [--json DIR] [--csv DIR]
+//!        [--scenario NAME|PATH] [--list-scenarios] [--matrix]
+//!        [--scenario-dir DIR] [--out DIR]
 //!        [--config FILE] [--dump-config FILE] [--roundtrip DIR]
 //!        [--convert SRC DST] [--bench-summary PATH] [--metrics PATH]`
+//!
+//! `--scenario NAME|PATH` overlays a declarative scenario file (see
+//! `scenarios/`) on the base configuration: a bare NAME resolves to
+//! `<scenario-dir>/NAME.toml`, anything with a path separator or a
+//! `.toml` suffix is taken as a path. Invalid files are rejected with
+//! a typed validation error and exit code 2. `--list-scenarios` prints
+//! the library (name + description) and exits. `--matrix` runs every
+//! scenario of the library through the full generate → replay →
+//! aggregate → figures pipeline, writing one figure set plus a
+//! `summary.json` per scenario under `--out` (default
+//! `results/matrix`); the matrix defaults to `--scale tiny` unless a
+//! scale is given explicitly.
 //!
 //! `--scale large` is the paper-scale preset (500k subscribers): it
 //! runs through the sharded, memory-bounded runner
@@ -52,7 +66,8 @@ use cellscope_scenario::replay::{
     dataset_divergence, export_feeds, replay_study_with, ReplayConfig,
 };
 use cellscope_scenario::{
-    figures, run_study_sharded, run_study_with, ScenarioConfig, ShardPlan, World,
+    figures, run_matrix, run_study_sharded, run_study_with, scenario_files,
+    ScenarioConfig, ScenarioDoc, ShardPlan, World,
 };
 use std::path::Path;
 use std::time::Instant;
@@ -74,10 +89,25 @@ fn main() {
     let mut bench_summary: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut force_sharded = false;
+    let mut scenario: Option<String> = None;
+    let mut scenario_dir = "scenarios".to_string();
+    let mut list_scenarios = false;
+    let mut matrix = false;
+    let mut out_dir: Option<String> = None;
+    let mut scale_explicit = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sharded" => force_sharded = true,
+            "--scenario" => {
+                scenario = Some(args.next().expect("--scenario needs NAME or PATH"))
+            }
+            "--scenario-dir" => {
+                scenario_dir = args.next().expect("--scenario-dir needs a dir")
+            }
+            "--list-scenarios" => list_scenarios = true,
+            "--matrix" => matrix = true,
+            "--out" => out_dir = Some(args.next().expect("--out needs a dir")),
             "--bench-summary" => {
                 bench_summary = Some(args.next().expect("--bench-summary needs a path"))
             }
@@ -89,7 +119,10 @@ fn main() {
             "--metrics" => {
                 metrics_path = Some(args.next().expect("--metrics needs a path"))
             }
-            "--scale" => scale = args.next().expect("--scale needs a value"),
+            "--scale" => {
+                scale = args.next().expect("--scale needs a value");
+                scale_explicit = true;
+            }
             "--seed" => {
                 seed = args
                     .next()
@@ -120,7 +153,16 @@ fn main() {
         run_bench_summary(Path::new(&path));
         return;
     }
+    if list_scenarios {
+        run_list_scenarios(Path::new(&scenario_dir));
+        return;
+    }
     let from_file = config_file.is_some();
+    // The matrix is a many-runs sweep; keep it cheap unless a scale was
+    // asked for explicitly.
+    if matrix && !scale_explicit && !from_file {
+        scale = "tiny".to_string();
+    }
     let config: ScenarioConfig = match config_file {
         Some(path) => {
             let text = std::fs::read_to_string(&path)
@@ -141,17 +183,29 @@ fn main() {
     // The paper-scale preset always runs memory-bounded; `--sharded`
     // opts any other scale in (the result is bit-identical either way).
     let sharded = force_sharded || (!from_file && scale == "large");
+    if matrix {
+        run_matrix_cli(&config, Path::new(&scenario_dir), out_dir.as_deref(), sharded);
+        return;
+    }
+    let scenario_doc = scenario.map(|spec| load_scenario(&spec, Path::new(&scenario_dir)));
+    let config = match &scenario_doc {
+        Some(doc) => doc.apply(&config),
+        None => config,
+    };
     if let Some(path) = dump_config {
         std::fs::write(&path, serde_json::to_string_pretty(&config).unwrap())
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("scenario configuration written to {path}");
     }
 
-    let label = if from_file {
+    let mut label = if from_file {
         "config-file".to_string()
     } else {
         format!("{scale}, seed={seed}")
     };
+    if let Some(doc) = &scenario_doc {
+        label = format!("{label}, scenario={}", doc.name);
+    }
     if let Some(dir) = roundtrip {
         run_roundtrip(&config, &label, Path::new(&dir), metrics_path.as_deref());
         return;
@@ -394,6 +448,85 @@ fn main() {
         cellscope_bench::csv::export_all(&dir, &ds).expect("write csv");
         println!("CSV series written to {dir}/");
     }
+}
+
+/// Resolve `--scenario NAME|PATH`, load and validate it; typed errors
+/// go to stderr with exit code 2.
+fn load_scenario(spec: &str, dir: &Path) -> ScenarioDoc {
+    let path = if spec.contains(std::path::MAIN_SEPARATOR) || spec.ends_with(".toml") {
+        std::path::PathBuf::from(spec)
+    } else {
+        dir.join(format!("{spec}.toml"))
+    };
+    let doc = ScenarioDoc::load(&path)
+        .and_then(|doc| doc.validate().map(|()| doc))
+        .unwrap_or_else(|e| {
+            eprintln!("scenario {}: {e}", path.display());
+            std::process::exit(2);
+        });
+    doc
+}
+
+/// `--list-scenarios`: print the scenario library, one line per file.
+fn run_list_scenarios(dir: &Path) {
+    let files = scenario_files(dir).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", dir.display());
+        std::process::exit(2);
+    });
+    if files.is_empty() {
+        eprintln!("no scenario files (*.toml) in {}", dir.display());
+        std::process::exit(2);
+    }
+    println!("== scenario library: {} ==", dir.display());
+    for path in files {
+        match ScenarioDoc::load(&path).and_then(|doc| doc.validate().map(|()| doc)) {
+            Ok(doc) => println!("  {:<28} {}", doc.name, doc.description),
+            Err(e) => println!(
+                "  {:<28} INVALID: {e}",
+                path.file_stem().and_then(|s| s.to_str()).unwrap_or("?")
+            ),
+        }
+    }
+}
+
+/// `--matrix`: run the whole scenario library end to end, one output
+/// directory per scenario.
+fn run_matrix_cli(base: &ScenarioConfig, dir: &Path, out: Option<&str>, sharded: bool) {
+    let out = Path::new(out.unwrap_or("results/matrix"));
+    println!(
+        "== cellscope scenario matrix: {} -> {}, subscribers={}, {} runner ==",
+        dir.display(),
+        out.display(),
+        base.population.num_subscribers,
+        if sharded { "sharded" } else { "in-memory" }
+    );
+    let t0 = Instant::now();
+    let outcomes = run_matrix(base, dir, out, sharded).unwrap_or_else(|e| {
+        eprintln!("matrix failed: {e}");
+        std::process::exit(1);
+    });
+    for o in &outcomes {
+        println!(
+            "  {:<28} {:>3} days, {:>6} users, {:>8} KPI records, \
+             study {:>6.1}s, replay {:>5.1}s ({} lines), \
+             gyration trough {}, voice peak {}",
+            o.name,
+            o.num_days,
+            o.study_population,
+            o.kpi_records,
+            o.study_seconds,
+            o.replay_seconds,
+            o.replay_lines,
+            fmt_pct(o.gyration_trough_pct),
+            fmt_pct(o.voice_volume_peak_pct),
+        );
+    }
+    println!(
+        "{} scenarios, every replay bit-identical, {:.1}s total; figures under {}",
+        outcomes.len(),
+        t0.elapsed().as_secs_f64(),
+        out.display()
+    );
 }
 
 /// Write a [`RunMetrics`] tree as pretty JSON.

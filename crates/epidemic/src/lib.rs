@@ -1,8 +1,8 @@
-//! UK COVID-19 context: the policy timeline and case curves.
+//! Epidemic-side inputs: the behavioural-shock schedule and case curves.
 //!
 //! Two inputs of the study are epidemiological rather than network-side:
 //!
-//! * the **intervention timeline** — the paper dates every behavioural
+//! * the **behavioural schedule** — the paper dates every behavioural
 //!   shift against government actions (pandemic declared Mar 11 / week
 //!   11, work-from-home advice Mar 16 / week 12, venue closures Mar 20,
 //!   full lockdown Mar 23 / week 13, and a slow relaxation from week 15);
@@ -10,12 +10,20 @@
 //!   entropy against Public Health England's lab-confirmed case counts to
 //!   show mobility tracked *policy*, not case counts.
 //!
-//! [`timeline`] encodes the former, [`cases`] synthesizes the latter
+//! [`schedule`] encodes the former as declarative data — an ordered list
+//! of dated phases plus the demand/voice/regional/relocation events the
+//! consumers read — with [`PhaseSchedule::uk_2020`] reproducing the
+//! paper's arc and arbitrary scenarios loadable from TOML files (the
+//! scenario crate's `desc` module). [`cases`] synthesizes the latter
 //! (logistic growth calibrated to the paper's anchors: ≈1,000 confirmed
 //! cases on declaration day; ≈27k cases in London by end of May).
 
 pub mod cases;
-pub mod timeline;
+pub mod schedule;
 
 pub use cases::CaseCurve;
-pub use timeline::{PolicyPhase, Timeline};
+pub use schedule::{
+    IntensityProfile, Milestones, NewsWindow, Phase, PhaseSchedule, RegionalGroup,
+    RegionalWindow, RelocationWave, ScheduleError, SurgeSegment, SurgeShape, WeekendBoost,
+    LONDON_DESTINATION_WEIGHTS,
+};

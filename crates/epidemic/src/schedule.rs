@@ -1,0 +1,1111 @@
+//! The generalized behavioural-shock schedule.
+//!
+//! The paper's analysis is one instance of a general methodology:
+//! measure how a behavioural shock reshapes operator traffic. This
+//! module factors the shock itself — restriction phases, demand/news
+//! multipliers, voice surges, regional modulation, dated trip events,
+//! relocation waves, content throttling — into declarative data that
+//! every consumer (mobility, traffic, the study runner) reads through
+//! a small set of accessors, so new scenarios are data, not code.
+//!
+//! [`PhaseSchedule::uk_2020`] reproduces the paper's 2020 UK lockdown
+//! arc bit-for-bit against the formerly hard-coded timeline;
+//! [`PhaseSchedule::from_milestones`] converts the legacy six-date
+//! [`Milestones`] shape (the old `Timeline`) into an equivalent
+//! schedule, preserving the exact behaviour of configs serialized
+//! before the schedule existed.
+
+use cellscope_geo::County;
+use cellscope_time::{Date, Weekday};
+use serde::{Deserialize, Serialize};
+
+/// How restriction intensity evolves within one phase.
+///
+/// Evaluation is anchored on the phase's own start date; a phase ends
+/// where the next one begins.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IntensityProfile {
+    /// Constant level across the phase.
+    Level(f64),
+    /// Linear build-up across the phase: `base + delta * d / span`,
+    /// where `d` counts days since the phase start and `span` is the
+    /// phase length in days (bounded below by one day). Requires a
+    /// successor phase to define the span.
+    Ramp {
+        /// Intensity on the phase's first day.
+        base: f64,
+        /// Total intensity gained across the phase.
+        delta: f64,
+    },
+    /// Linear daily decay, floored: `max(from - step * d, floor)`.
+    Decay {
+        /// Intensity on the phase's first day.
+        from: f64,
+        /// Intensity lost per day.
+        step: f64,
+        /// Never decays below this.
+        floor: f64,
+    },
+}
+
+/// One dated phase of the schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Human-readable phase name (appears in validation errors).
+    pub name: String,
+    /// First day the phase is in force. The phase lasts until the next
+    /// phase's start (or forever, for the last phase).
+    pub start: Date,
+    /// Restriction intensity across the phase.
+    pub intensity: IntensityProfile,
+    /// Whether schools are closed (students stop attending).
+    pub schools_closed: bool,
+    /// Once this phase has *started*, confinement never drops below
+    /// this floor again — the paper's households settled onto home
+    /// broadband during lockdown and did not come back even as
+    /// mobility crept up. 0 = no ratchet contribution.
+    pub confinement_floor: f64,
+}
+
+/// A dated window multiplying data demand (the "news bump").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NewsWindow {
+    /// First day of the window.
+    pub start: Date,
+    /// Last day, inclusive.
+    pub end: Date,
+    /// Demand multiplier inside the window.
+    pub multiplier: f64,
+}
+
+/// Shape of the voice-surge multiplier within one segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SurgeShape {
+    /// Constant multiplier.
+    Level(f64),
+    /// Builds across each week: `base + delta * w / 7`, where `w` is
+    /// the ISO weekday number (Monday 1 .. Sunday 7).
+    WeekdayRamp {
+        /// Multiplier "at weekday zero".
+        base: f64,
+        /// Gain across a full week.
+        delta: f64,
+    },
+    /// Decays week over week: `max(anchor - step * (k + offset), floor)`
+    /// where `k` counts whole Monday-aligned weeks since the segment
+    /// start.
+    WeeklyDecay {
+        /// Starting point of the decay line.
+        anchor: f64,
+        /// Multiplier lost per week.
+        step: f64,
+        /// Weeks already elapsed when the segment begins (shifts the
+        /// decay line without moving the segment).
+        offset_weeks: i64,
+        /// Never decays below this.
+        floor: f64,
+    },
+}
+
+/// One dated segment of the voice-surge curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurgeSegment {
+    /// First day of the segment.
+    pub start: Date,
+    /// Last day, inclusive; `None` = open-ended.
+    pub end: Option<Date>,
+    /// Multiplier shape inside the segment.
+    pub shape: SurgeShape,
+}
+
+/// A group of counties sharing one regional modulation factor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionalGroup {
+    /// The counties the factor applies to.
+    pub counties: Vec<County>,
+    /// Multiplier on restriction intensity (<1 relaxes, >1 tightens).
+    pub factor: f64,
+}
+
+/// A dated window of regional divergence from the national schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionalWindow {
+    /// First day of the window.
+    pub start: Date,
+    /// Last day, inclusive.
+    pub end: Date,
+    /// Factor for counties not named in any group.
+    pub default_factor: f64,
+    /// County groups with their own factors (first match wins).
+    pub groups: Vec<RegionalGroup>,
+}
+
+/// A dated boost on weekend-trip probability toward one county.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeekendBoost {
+    /// Destination county the boost applies to.
+    pub county: County,
+    /// First day of the boost window.
+    pub start: Date,
+    /// Last day, inclusive.
+    pub end: Date,
+    /// Multiplier on the weekend-trip probability.
+    pub factor: f64,
+    /// Restrict the boost to Saturdays/Sundays inside the window.
+    pub weekends_only: bool,
+}
+
+/// A wave of temporary relocations out of one county.
+///
+/// Candidates are smartphone-owning natives whose home county matches;
+/// whether an individual candidate holds a usable second residence and
+/// takes it up stays a property of the population model
+/// (`PopulationConfig`'s second-home and uptake rates).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelocationWave {
+    /// Home county the wave empties.
+    pub from_county: County,
+    /// First possible departure date.
+    pub start: Date,
+    /// Length of the departure window in days (departures are uniform
+    /// across it).
+    pub days: i64,
+    /// Probability a departed subscriber stays away beyond the study
+    /// window.
+    pub stay_away_prob: f64,
+    /// Shortest stay before returning, days (when they do return).
+    pub return_min_days: u16,
+    /// Exclusive upper bound on the stay length, days.
+    pub return_max_days: u16,
+    /// Destination counties with relative weights.
+    pub destinations: Vec<(County, f64)>,
+}
+
+impl RelocationWave {
+    /// Draw a destination county from the wave's weights given a
+    /// uniform sample in [0, 1).
+    pub fn sample_destination(&self, u: f64) -> County {
+        let total: f64 = self.destinations.iter().map(|&(_, w)| w).sum();
+        let mut draw = u.clamp(0.0, 1.0 - f64::EPSILON) * total;
+        for &(county, w) in &self.destinations {
+            if draw < w {
+                return county;
+            }
+            draw -= w;
+        }
+        self.destinations.last().expect("non-empty").0
+    }
+}
+
+/// Relative popularity of relocation destinations for Inner-London
+/// residents, calibrated to Fig. 7's ordering (Hampshire the largest
+/// sustained recipient, then Kent; East Sussex prominent in the
+/// pre-lockdown weekend wave).
+pub const LONDON_DESTINATION_WEIGHTS: [(County, f64); 10] = [
+    (County::Hampshire, 0.26),
+    (County::Kent, 0.17),
+    (County::EastSussex, 0.11),
+    (County::Essex, 0.09),
+    (County::Surrey, 0.09),
+    (County::WestSussex, 0.07),
+    (County::Hertfordshire, 0.06),
+    (County::Oxfordshire, 0.06),
+    (County::Berkshire, 0.05),
+    (County::Buckinghamshire, 0.04),
+];
+
+/// The legacy six-date intervention timeline (the old `Timeline`
+/// struct). Kept as a named shape so configs serialized before the
+/// schedule existed still load, and so tests can build schedules from
+/// arbitrary milestone dates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Milestones {
+    /// First confirmed UK cases (Jan 31, York).
+    pub first_cases: Date,
+    /// WHO pandemic declaration (Mar 11, week 11).
+    pub pandemic_declared: Date,
+    /// Government work-from-home recommendation (Mar 16, week 12).
+    pub wfh_recommended: Date,
+    /// Closure of venues and schools (Mar 20, week 12).
+    pub closures: Date,
+    /// Nationwide stay-at-home order (Mar 23, week 13).
+    pub lockdown: Date,
+    /// Start of the slow, unofficial relaxation (Monday of week 15).
+    pub relaxation_onset: Date,
+}
+
+impl Milestones {
+    /// The 2020 UK milestone dates used throughout the paper.
+    pub fn uk_2020() -> Milestones {
+        Milestones {
+            first_cases: Date::ymd(2020, 1, 31),
+            pandemic_declared: Date::ymd(2020, 3, 11),
+            wfh_recommended: Date::ymd(2020, 3, 16),
+            closures: Date::ymd(2020, 3, 20),
+            lockdown: Date::ymd(2020, 3, 23),
+            relaxation_onset: Date::ymd(2020, 4, 6),
+        }
+    }
+}
+
+/// The full declarative schedule of one behavioural scenario.
+///
+/// An empty schedule is a valid scenario: normal life, no surges, no
+/// relocations, no throttling — the control arm of what-if studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSchedule {
+    /// Restriction phases, ordered by start date.
+    pub phases: Vec<Phase>,
+    /// Demand-multiplier windows.
+    pub news_windows: Vec<NewsWindow>,
+    /// Voice-surge segments (first match wins; 1.0 outside all).
+    pub voice_segments: Vec<SurgeSegment>,
+    /// Regional divergence windows.
+    pub regional_windows: Vec<RegionalWindow>,
+    /// Dated weekend-trip boosts.
+    pub weekend_boosts: Vec<WeekendBoost>,
+    /// Relocation waves.
+    pub relocation_waves: Vec<RelocationWave>,
+    /// First day content providers throttle streaming quality; `None`
+    /// = never.
+    pub throttle_from: Option<Date>,
+}
+
+impl PhaseSchedule {
+    /// The paper's 2020 UK schedule — bit-identical, through every
+    /// consumer, to the formerly hard-coded timeline.
+    pub fn uk_2020() -> PhaseSchedule {
+        PhaseSchedule::from_milestones(&Milestones::uk_2020())
+    }
+
+    /// The empty schedule: every date reads as normal life. The control
+    /// arm of counterfactual studies.
+    pub fn no_intervention() -> PhaseSchedule {
+        PhaseSchedule {
+            phases: Vec::new(),
+            news_windows: Vec::new(),
+            voice_segments: Vec::new(),
+            regional_windows: Vec::new(),
+            weekend_boosts: Vec::new(),
+            relocation_waves: Vec::new(),
+            throttle_from: None,
+        }
+    }
+
+    /// Expand the legacy six-date milestone shape into a schedule.
+    ///
+    /// Reproduces the old hard-coded semantics exactly for *any*
+    /// milestone set: the intensity curve keyed on the six dates, the
+    /// news bump and voice surge keyed on the declaration week, the
+    /// relocation window keyed on WFH-advice/lockdown, throttling the
+    /// day before closures — plus the calendar-dated 2020 regional
+    /// relaxation and escape-weekend events, which the old code applied
+    /// regardless of the milestones.
+    pub fn from_milestones(m: &Milestones) -> PhaseSchedule {
+        let declared_monday = m.pandemic_declared.previous_or_same(Weekday::Monday);
+        let week = |rel: i64| declared_monday.add_days(7 * rel);
+        let phases = vec![
+            Phase {
+                name: "pre-covid".into(),
+                start: m.first_cases,
+                intensity: IntensityProfile::Level(0.0),
+                schools_closed: false,
+                confinement_floor: 0.0,
+            },
+            Phase {
+                name: "voluntary-distancing".into(),
+                start: m.pandemic_declared,
+                intensity: IntensityProfile::Ramp {
+                    base: 0.05,
+                    delta: 0.20,
+                },
+                schools_closed: false,
+                confinement_floor: 0.0,
+            },
+            Phase {
+                name: "wfh-advice".into(),
+                start: m.wfh_recommended,
+                intensity: IntensityProfile::Level(0.40),
+                schools_closed: false,
+                confinement_floor: 0.0,
+            },
+            Phase {
+                name: "closures".into(),
+                start: m.closures,
+                intensity: IntensityProfile::Level(0.60),
+                schools_closed: true,
+                confinement_floor: 0.0,
+            },
+            Phase {
+                name: "lockdown".into(),
+                start: m.lockdown,
+                intensity: IntensityProfile::Level(1.0),
+                schools_closed: true,
+                confinement_floor: 1.0,
+            },
+            Phase {
+                name: "relaxation".into(),
+                start: m.relaxation_onset,
+                intensity: IntensityProfile::Decay {
+                    from: 1.0,
+                    step: 0.004,
+                    floor: 0.80,
+                },
+                schools_closed: true,
+                confinement_floor: 0.0,
+            },
+        ];
+        let news_windows = vec![
+            NewsWindow {
+                start: week(-1),
+                end: week(0).add_days(-1),
+                multiplier: 1.08,
+            },
+            NewsWindow {
+                start: week(0),
+                end: week(1).add_days(-1),
+                multiplier: 1.05,
+            },
+        ];
+        let voice_segments = vec![
+            SurgeSegment {
+                start: week(-1),
+                end: Some(week(0).add_days(-1)),
+                shape: SurgeShape::Level(1.06),
+            },
+            SurgeSegment {
+                start: week(0),
+                end: Some(week(1).add_days(-1)),
+                shape: SurgeShape::WeekdayRamp {
+                    base: 1.0,
+                    delta: 0.8,
+                },
+            },
+            SurgeSegment {
+                start: week(1),
+                end: Some(week(2).add_days(-1)),
+                shape: SurgeShape::Level(2.4),
+            },
+            SurgeSegment {
+                start: week(2),
+                end: Some(week(3).add_days(-1)),
+                shape: SurgeShape::Level(2.35),
+            },
+            SurgeSegment {
+                start: week(3),
+                end: Some(week(4).add_days(-1)),
+                shape: SurgeShape::Level(2.15),
+            },
+            SurgeSegment {
+                start: week(4),
+                end: None,
+                shape: SurgeShape::WeeklyDecay {
+                    anchor: 2.1,
+                    step: 0.1,
+                    offset_weeks: 1,
+                    floor: 1.6,
+                },
+            },
+        ];
+        // Calendar-dated 2020 events the old code applied regardless of
+        // the milestones: the weeks-18/19 regional divergence and the
+        // escape weekends of Fig. 7.
+        let regional_windows = vec![RegionalWindow {
+            start: Date::ymd(2020, 4, 27), // Monday of ISO week 18
+            end: Date::ymd(2020, 5, 10),   // Sunday of ISO week 19
+            default_factor: 0.95,
+            groups: vec![
+                RegionalGroup {
+                    counties: vec![
+                        County::InnerLondon,
+                        County::OuterLondon,
+                        County::WestYorkshire,
+                    ],
+                    factor: 0.78,
+                },
+                RegionalGroup {
+                    counties: vec![County::GreaterManchester, County::WestMidlands],
+                    factor: 1.02,
+                },
+            ],
+        }];
+        let weekend_boosts = vec![
+            WeekendBoost {
+                county: County::EastSussex,
+                start: Date::ymd(2020, 3, 21),
+                end: Date::ymd(2020, 3, 22),
+                factor: 9.0,
+                weekends_only: false,
+            },
+            WeekendBoost {
+                county: County::Hampshire,
+                start: Date::ymd(2020, 4, 24),
+                end: Date::ymd(2020, 5, 4),
+                factor: 3.0,
+                weekends_only: true,
+            },
+            WeekendBoost {
+                county: County::Kent,
+                start: Date::ymd(2020, 4, 24),
+                end: Date::ymd(2020, 5, 4),
+                factor: 1.8,
+                weekends_only: true,
+            },
+        ];
+        // Departures start two days before the WFH advice and trail
+        // into the first lockdown days (2020: Mar 14 – Mar 25).
+        let window_start = m.wfh_recommended.add_days(-2);
+        let relocation_waves = vec![RelocationWave {
+            from_county: County::InnerLondon,
+            start: window_start,
+            days: (m.lockdown.days_since(window_start) + 3).max(1),
+            stay_away_prob: 0.85,
+            return_min_days: 21,
+            return_max_days: 45,
+            destinations: LONDON_DESTINATION_WEIGHTS.to_vec(),
+        }];
+        PhaseSchedule {
+            phases,
+            news_windows,
+            voice_segments,
+            regional_windows,
+            weekend_boosts,
+            relocation_waves,
+            throttle_from: Some(m.closures.add_days(-1)),
+        }
+    }
+
+    /// The phase in force on `date` (the latest phase whose start is
+    /// not after `date`; later list positions win ties) plus its
+    /// successor in the list, if any.
+    pub fn active_phase(&self, date: Date) -> Option<(&Phase, Option<&Phase>)> {
+        let mut found = None;
+        for (i, p) in self.phases.iter().enumerate() {
+            if p.start <= date {
+                found = Some(i);
+            }
+        }
+        found.map(|i| (&self.phases[i], self.phases.get(i + 1)))
+    }
+
+    /// Restriction intensity on `date`, 0 (normal life) to 1 (full
+    /// lockdown). Dates before the first phase (or an empty schedule)
+    /// read 0.
+    ///
+    /// This is the *national* schedule; regional and per-subscriber
+    /// compliance modulation belongs to the mobility model.
+    pub fn intensity(&self, date: Date) -> f64 {
+        let Some((phase, next)) = self.active_phase(date) else {
+            return 0.0;
+        };
+        let v = match phase.intensity {
+            IntensityProfile::Level(v) => v,
+            IntensityProfile::Ramp { base, delta } => {
+                let span = next
+                    .map(|n| n.start.days_since(phase.start))
+                    .unwrap_or(1) as f64;
+                let t = date.days_since(phase.start) as f64 / span.max(1.0);
+                base + delta * t
+            }
+            IntensityProfile::Decay { from, step, floor } => {
+                let days = date.days_since(phase.start) as f64;
+                (from - step * days).max(floor)
+            }
+        };
+        v.clamp(0.0, 1.0)
+    }
+
+    /// The ratcheted restriction level: intensity, but never below the
+    /// confinement floor of any phase that has already started — once
+    /// households settled onto home broadband they did not come back.
+    pub fn confinement(&self, date: Date) -> f64 {
+        let mut c = self.intensity(date);
+        for p in &self.phases {
+            if p.start <= date && p.confinement_floor > c {
+                c = p.confinement_floor;
+            }
+        }
+        c
+    }
+
+    /// Whether schools are closed on `date`.
+    pub fn schools_closed(&self, date: Date) -> bool {
+        self.active_phase(date)
+            .map_or(false, |(p, _)| p.schools_closed)
+    }
+
+    /// The demand multiplier of the news bump on `date` (1 outside
+    /// every window; first matching window wins).
+    pub fn news_multiplier(&self, date: Date) -> f64 {
+        for w in &self.news_windows {
+            if w.start <= date && date <= w.end {
+                return w.multiplier;
+            }
+        }
+        1.0
+    }
+
+    /// The national voice-surge multiplier on `date` (1 outside every
+    /// segment; first matching segment wins).
+    pub fn voice_surge(&self, date: Date) -> f64 {
+        for s in &self.voice_segments {
+            let ends_ok = match s.end {
+                Some(e) => date <= e,
+                None => true,
+            };
+            if s.start <= date && ends_ok {
+                return match s.shape {
+                    SurgeShape::Level(v) => v,
+                    SurgeShape::WeekdayRamp { base, delta } => {
+                        let day = date.weekday().iso_number() as f64; // 1..7
+                        base + delta * day / 7.0
+                    }
+                    SurgeShape::WeeklyDecay {
+                        anchor,
+                        step,
+                        offset_weeks,
+                        floor,
+                    } => {
+                        let seg_monday = s.start.previous_or_same(Weekday::Monday);
+                        let weeks = date
+                            .previous_or_same(Weekday::Monday)
+                            .days_since(seg_monday)
+                            / 7;
+                        (anchor - step * (weeks + offset_weeks) as f64).max(floor)
+                    }
+                };
+            }
+        }
+        1.0
+    }
+
+    /// Regional modulation of restriction intensity on `date`: <1 means
+    /// the county relaxes more than the national schedule, >1 stricter.
+    pub fn regional_factor(&self, date: Date, county: County) -> f64 {
+        for w in &self.regional_windows {
+            if w.start <= date && date <= w.end {
+                for g in &w.groups {
+                    if g.counties.contains(&county) {
+                        return g.factor;
+                    }
+                }
+                return w.default_factor;
+            }
+        }
+        1.0
+    }
+
+    /// Dated boost on weekend-trip probability toward a destination
+    /// county (1 when no boost applies).
+    pub fn weekend_boost(&self, date: Date, destination: County) -> f64 {
+        for b in &self.weekend_boosts {
+            if b.county == destination
+                && b.start <= date
+                && date <= b.end
+                && (!b.weekends_only || date.is_weekend())
+            {
+                return b.factor;
+            }
+        }
+        1.0
+    }
+
+    /// The first date any restriction applies (the earliest phase whose
+    /// intensity is not flat zero) — the schedule's analogue of the
+    /// pandemic-declaration anchor the figures annotate.
+    pub fn declaration_date(&self) -> Option<Date> {
+        self.phases
+            .iter()
+            .find(|p| !matches!(p.intensity, IntensityProfile::Level(v) if v == 0.0))
+            .map(|p| p.start)
+    }
+
+    /// The first date of full restriction (the earliest phase whose
+    /// confinement floor reaches 1) — the schedule's analogue of the
+    /// lockdown-start anchor.
+    pub fn full_restriction_date(&self) -> Option<Date> {
+        self.phases
+            .iter()
+            .find(|p| p.confinement_floor >= 1.0)
+            .map(|p| p.start)
+    }
+
+    /// Validate the schedule against a study window. Every violation is
+    /// a typed [`ScheduleError`].
+    ///
+    /// Relocation waves and the throttle date are deliberately *not*
+    /// window-checked: a wave dated past the window simply never fires,
+    /// which is a legitimate way to express "no relocation here".
+    pub fn validate(&self, window_start: Date, window_end: Date) -> Result<(), ScheduleError> {
+        if window_end < window_start {
+            return Err(ScheduleError::EmptyRange {
+                what: "study window".into(),
+            });
+        }
+        for (i, p) in self.phases.iter().enumerate() {
+            if p.start < window_start || p.start > window_end {
+                return Err(ScheduleError::DateOutsideWindow {
+                    what: format!("phase `{}`", p.name),
+                    date: p.start,
+                });
+            }
+            if let Some(prev) = i.checked_sub(1).map(|j| &self.phases[j]) {
+                if p.start <= prev.start {
+                    return Err(ScheduleError::OverlappingPhases {
+                        earlier: prev.name.clone(),
+                        later: p.name.clone(),
+                    });
+                }
+            }
+            match p.intensity {
+                IntensityProfile::Level(v) => {
+                    check_range(&format!("phase `{}` intensity", p.name), v, 0.0, 1.0)?;
+                }
+                IntensityProfile::Ramp { base, delta } => {
+                    if i + 1 == self.phases.len() {
+                        return Err(ScheduleError::RampNeedsSuccessor {
+                            phase: p.name.clone(),
+                        });
+                    }
+                    check_range(&format!("phase `{}` ramp base", p.name), base, 0.0, 1.0)?;
+                    check_range(
+                        &format!("phase `{}` ramp end", p.name),
+                        base + delta,
+                        0.0,
+                        1.0,
+                    )?;
+                }
+                IntensityProfile::Decay { from, step, floor } => {
+                    check_range(&format!("phase `{}` decay from", p.name), from, 0.0, 1.0)?;
+                    check_range(&format!("phase `{}` decay floor", p.name), floor, 0.0, 1.0)?;
+                    check_range(&format!("phase `{}` decay step", p.name), step, 0.0, 1.0)?;
+                }
+            }
+            check_range(
+                &format!("phase `{}` confinement floor", p.name),
+                p.confinement_floor,
+                0.0,
+                1.0,
+            )?;
+        }
+        for (i, w) in self.news_windows.iter().enumerate() {
+            let what = format!("news window {i}");
+            ordered(&what, w.start, w.end)?;
+            in_window(&what, w.start, window_start, window_end)?;
+            check_range(&format!("{what} multiplier"), w.multiplier, 0.0, 10.0)?;
+        }
+        for (i, s) in self.voice_segments.iter().enumerate() {
+            let what = format!("voice segment {i}");
+            if let Some(end) = s.end {
+                ordered(&what, s.start, end)?;
+            }
+            in_window(&what, s.start, window_start, window_end)?;
+            match s.shape {
+                SurgeShape::Level(v) => check_range(&format!("{what} level"), v, 0.0, 50.0)?,
+                SurgeShape::WeekdayRamp { base, delta } => {
+                    check_range(&format!("{what} ramp base"), base, 0.0, 50.0)?;
+                    check_range(&format!("{what} ramp end"), base + delta, 0.0, 50.0)?;
+                }
+                SurgeShape::WeeklyDecay { anchor, floor, .. } => {
+                    check_range(&format!("{what} decay anchor"), anchor, 0.0, 50.0)?;
+                    check_range(&format!("{what} decay floor"), floor, 0.0, 50.0)?;
+                }
+            }
+        }
+        for (i, w) in self.regional_windows.iter().enumerate() {
+            let what = format!("regional window {i}");
+            ordered(&what, w.start, w.end)?;
+            in_window(&what, w.start, window_start, window_end)?;
+            check_range(&format!("{what} default factor"), w.default_factor, 0.0, 10.0)?;
+            for g in &w.groups {
+                check_range(&format!("{what} group factor"), g.factor, 0.0, 10.0)?;
+            }
+        }
+        for (i, b) in self.weekend_boosts.iter().enumerate() {
+            let what = format!("weekend boost {i}");
+            ordered(&what, b.start, b.end)?;
+            in_window(&what, b.start, window_start, window_end)?;
+            check_range(&format!("{what} factor"), b.factor, 0.0, 50.0)?;
+        }
+        for (i, w) in self.relocation_waves.iter().enumerate() {
+            let what = format!("relocation wave {i}");
+            if w.days < 1 {
+                return Err(ScheduleError::BadFieldRange {
+                    field: format!("{what} days"),
+                    value: w.days as f64,
+                    min: 1.0,
+                    max: f64::MAX,
+                });
+            }
+            check_range(&format!("{what} stay-away prob"), w.stay_away_prob, 0.0, 1.0)?;
+            if w.return_min_days >= w.return_max_days {
+                return Err(ScheduleError::EmptyRange {
+                    what: format!("{what} return window"),
+                });
+            }
+            if w.destinations.is_empty()
+                || w.destinations.iter().map(|&(_, x)| x).sum::<f64>() <= 0.0
+            {
+                return Err(ScheduleError::BadFieldRange {
+                    field: format!("{what} destination weight sum"),
+                    value: w.destinations.iter().map(|&(_, x)| x).sum::<f64>(),
+                    min: f64::MIN_POSITIVE,
+                    max: f64::MAX,
+                });
+            }
+            for &(_, x) in &w.destinations {
+                check_range(&format!("{what} destination weight"), x, 0.0, f64::MAX)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn check_range(field: &str, value: f64, min: f64, max: f64) -> Result<(), ScheduleError> {
+    if !value.is_finite() || value < min || value > max {
+        return Err(ScheduleError::BadFieldRange {
+            field: field.to_string(),
+            value,
+            min,
+            max,
+        });
+    }
+    Ok(())
+}
+
+fn ordered(what: &str, start: Date, end: Date) -> Result<(), ScheduleError> {
+    if end < start {
+        return Err(ScheduleError::EmptyRange {
+            what: what.to_string(),
+        });
+    }
+    Ok(())
+}
+
+fn in_window(what: &str, date: Date, start: Date, end: Date) -> Result<(), ScheduleError> {
+    if date < start || date > end {
+        return Err(ScheduleError::DateOutsideWindow {
+            what: what.to_string(),
+            date,
+        });
+    }
+    Ok(())
+}
+
+/// A schedule-semantic validation failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScheduleError {
+    /// Phase starts are not strictly increasing: each phase must begin
+    /// after the previous one ends.
+    OverlappingPhases {
+        /// Name of the earlier-listed phase.
+        earlier: String,
+        /// Name of the phase that starts on or before it.
+        later: String,
+    },
+    /// A dated element starts outside the study window.
+    DateOutsideWindow {
+        /// What carries the offending date.
+        what: String,
+        /// The offending date.
+        date: Date,
+    },
+    /// A numeric field is outside its legal range.
+    BadFieldRange {
+        /// The offending field.
+        field: String,
+        /// Its value.
+        value: f64,
+        /// Smallest legal value.
+        min: f64,
+        /// Largest legal value.
+        max: f64,
+    },
+    /// A ramp phase has no successor to bound its span.
+    RampNeedsSuccessor {
+        /// Name of the ramp phase.
+        phase: String,
+    },
+    /// A start/end pair is reversed (the range holds no days).
+    EmptyRange {
+        /// What carries the reversed range.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::OverlappingPhases { earlier, later } => write!(
+                f,
+                "phase `{later}` starts on or before phase `{earlier}`: \
+                 phase starts must be strictly increasing"
+            ),
+            ScheduleError::DateOutsideWindow { what, date } => {
+                write!(f, "{what} starts on {date}, outside the study window")
+            }
+            ScheduleError::BadFieldRange {
+                field,
+                value,
+                min,
+                max,
+            } => {
+                if *max == f64::MAX {
+                    write!(f, "{field} is {value}, must be at least {min}")
+                } else {
+                    write!(f, "{field} is {value}, must be within [{min}, {max}]")
+                }
+            }
+            ScheduleError::RampNeedsSuccessor { phase } => write!(
+                f,
+                "ramp phase `{phase}` needs a successor phase to bound its span"
+            ),
+            ScheduleError::EmptyRange { what } => {
+                write!(f, "{what} ends before it starts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_week_numbers() {
+        let m = Milestones::uk_2020();
+        assert_eq!(m.pandemic_declared.iso_week().week, 11);
+        assert_eq!(m.wfh_recommended.iso_week().week, 12);
+        assert_eq!(m.closures.iso_week().week, 12);
+        assert_eq!(m.lockdown.iso_week().week, 13);
+        assert_eq!(m.relaxation_onset.iso_week().week, 15);
+    }
+
+    #[test]
+    fn uk_intensity_curve_matches_paper() {
+        let s = PhaseSchedule::uk_2020();
+        // Zero before the declaration.
+        assert_eq!(s.intensity(Date::ymd(2020, 2, 24)), 0.0);
+        assert_eq!(s.intensity(Date::ymd(2020, 3, 10)), 0.0);
+        // Ramp across the declaration-to-WFH window: 0.05 -> 0.25.
+        assert_eq!(s.intensity(Date::ymd(2020, 3, 11)), 0.05);
+        // Flat phases.
+        assert_eq!(s.intensity(Date::ymd(2020, 3, 16)), 0.40);
+        assert_eq!(s.intensity(Date::ymd(2020, 3, 20)), 0.60);
+        assert_eq!(s.intensity(Date::ymd(2020, 3, 23)), 1.0);
+        assert_eq!(s.intensity(Date::ymd(2020, 3, 30)), 1.0);
+        // Non-decreasing from Feb through the first lockdown weeks.
+        let mut prev = -1.0;
+        let mut d = Date::ymd(2020, 2, 1);
+        while d <= Date::ymd(2020, 4, 5) {
+            let i = s.intensity(d);
+            assert!(i >= prev, "intensity dipped on {d}");
+            assert!((0.0..=1.0).contains(&i));
+            prev = i;
+            d = d.add_days(1);
+        }
+        // Eases after week 15 but stays high.
+        let late = s.intensity(Date::ymd(2020, 5, 10));
+        assert!(late < 1.0 && late >= 0.80, "late intensity {late}");
+    }
+
+    #[test]
+    fn confinement_ratchets_at_lockdown() {
+        let s = PhaseSchedule::uk_2020();
+        // Before the order the ratchet tracks intensity.
+        assert_eq!(
+            s.confinement(Date::ymd(2020, 3, 20)),
+            s.intensity(Date::ymd(2020, 3, 20))
+        );
+        // From the order on it pins at 1 even as intensity eases.
+        assert_eq!(s.confinement(Date::ymd(2020, 3, 23)), 1.0);
+        assert_eq!(s.confinement(Date::ymd(2020, 5, 10)), 1.0);
+        assert!(s.intensity(Date::ymd(2020, 5, 10)) < 1.0);
+    }
+
+    #[test]
+    fn schools_close_with_the_closures_phase() {
+        let s = PhaseSchedule::uk_2020();
+        assert!(!s.schools_closed(Date::ymd(2020, 3, 19)));
+        assert!(s.schools_closed(Date::ymd(2020, 3, 20)));
+        assert!(s.schools_closed(Date::ymd(2020, 5, 10)));
+    }
+
+    #[test]
+    fn news_bump_weeks_10_and_11() {
+        let s = PhaseSchedule::uk_2020();
+        assert_eq!(s.news_multiplier(Date::ymd(2020, 3, 4)), 1.08); // wk 10
+        assert_eq!(s.news_multiplier(Date::ymd(2020, 3, 11)), 1.05); // wk 11
+        assert_eq!(s.news_multiplier(Date::ymd(2020, 2, 25)), 1.0); // wk 9
+        assert_eq!(s.news_multiplier(Date::ymd(2020, 4, 1)), 1.0); // wk 14
+    }
+
+    #[test]
+    fn voice_surge_curve_matches_paper() {
+        let s = PhaseSchedule::uk_2020();
+        assert_eq!(s.voice_surge(Date::ymd(2020, 2, 25)), 1.0); // wk 9
+        assert_eq!(s.voice_surge(Date::ymd(2020, 3, 4)), 1.06); // wk 10
+        // Week 12 peak (+140% = 2.4x) is the global maximum.
+        let peak = s.voice_surge(Date::ymd(2020, 3, 18));
+        assert!((2.3..=2.5).contains(&peak), "peak {peak}");
+        let mut d = Date::ymd(2020, 2, 1);
+        let mut prev = 0.0;
+        while d <= Date::ymd(2020, 5, 10) {
+            let v = s.voice_surge(d);
+            assert!(v <= peak + 1e-9, "surge exceeds peak on {d}");
+            if d <= Date::ymd(2020, 3, 18) {
+                assert!(v >= prev, "surge dipped on {d} during the build-up");
+                prev = v;
+            } else {
+                assert!(v >= 1.6, "surge {v} on {d}");
+            }
+            d = d.add_days(1);
+        }
+    }
+
+    #[test]
+    fn regional_factors_weeks_18_19() {
+        let s = PhaseSchedule::uk_2020();
+        let date = Date::ymd(2020, 4, 29); // week 18
+        assert_eq!(s.regional_factor(date, County::InnerLondon), 0.78);
+        assert_eq!(s.regional_factor(date, County::WestYorkshire), 0.78);
+        assert_eq!(s.regional_factor(date, County::GreaterManchester), 1.02);
+        assert_eq!(s.regional_factor(date, County::Kent), 0.95);
+        assert_eq!(
+            s.regional_factor(Date::ymd(2020, 4, 10), County::InnerLondon),
+            1.0
+        );
+    }
+
+    #[test]
+    fn weekend_boosts_match_fig_7_events() {
+        let s = PhaseSchedule::uk_2020();
+        assert_eq!(s.weekend_boost(Date::ymd(2020, 3, 21), County::EastSussex), 9.0);
+        assert_eq!(s.weekend_boost(Date::ymd(2020, 3, 22), County::EastSussex), 9.0);
+        assert_eq!(s.weekend_boost(Date::ymd(2020, 3, 28), County::EastSussex), 1.0);
+        // Hampshire/Kent late-April weekends only.
+        assert_eq!(s.weekend_boost(Date::ymd(2020, 4, 25), County::Hampshire), 3.0);
+        assert_eq!(s.weekend_boost(Date::ymd(2020, 4, 25), County::Kent), 1.8);
+        assert_eq!(s.weekend_boost(Date::ymd(2020, 4, 27), County::Hampshire), 1.0); // Monday
+        assert_eq!(s.weekend_boost(Date::ymd(2020, 4, 25), County::Surrey), 1.0);
+    }
+
+    #[test]
+    fn uk_relocation_wave_matches_section_3_4() {
+        let s = PhaseSchedule::uk_2020();
+        assert_eq!(s.relocation_waves.len(), 1);
+        let w = &s.relocation_waves[0];
+        assert_eq!(w.from_county, County::InnerLondon);
+        assert_eq!(w.start, Date::ymd(2020, 3, 14));
+        assert_eq!(w.days, 12); // Mar 14 – Mar 25
+        assert_eq!(w.destinations.len(), 10);
+        // Hampshire is the heaviest destination.
+        for i in 0..10_000 {
+            let _ = w.sample_destination(i as f64 / 10_000.0);
+        }
+        assert_eq!(w.sample_destination(0.0), County::Hampshire);
+    }
+
+    #[test]
+    fn throttling_starts_the_day_before_closures() {
+        let s = PhaseSchedule::uk_2020();
+        assert_eq!(s.throttle_from, Some(Date::ymd(2020, 3, 19)));
+    }
+
+    #[test]
+    fn anchors_derive_from_phases() {
+        let s = PhaseSchedule::uk_2020();
+        assert_eq!(s.declaration_date(), Some(Date::ymd(2020, 3, 11)));
+        assert_eq!(s.full_restriction_date(), Some(Date::ymd(2020, 3, 23)));
+        let none = PhaseSchedule::no_intervention();
+        assert_eq!(none.declaration_date(), None);
+        assert_eq!(none.full_restriction_date(), None);
+    }
+
+    #[test]
+    fn no_intervention_is_always_normal() {
+        let s = PhaseSchedule::no_intervention();
+        let mut d = Date::ymd(2020, 2, 1);
+        while d <= Date::ymd(2020, 5, 10) {
+            assert_eq!(s.intensity(d), 0.0);
+            assert_eq!(s.confinement(d), 0.0);
+            assert_eq!(s.voice_surge(d), 1.0);
+            assert_eq!(s.news_multiplier(d), 1.0);
+            assert!(!s.schools_closed(d));
+            d = d.add_days(1);
+        }
+        assert!(s.relocation_waves.is_empty());
+        assert_eq!(s.throttle_from, None);
+    }
+
+    #[test]
+    fn uk_schedule_validates_against_paper_window() {
+        let s = PhaseSchedule::uk_2020();
+        s.validate(Date::ymd(2020, 1, 1), Date::ymd(2020, 5, 10))
+            .expect("uk schedule is valid");
+        // The empty schedule validates trivially.
+        PhaseSchedule::no_intervention()
+            .validate(Date::ymd(2020, 2, 1), Date::ymd(2020, 5, 10))
+            .expect("empty schedule is valid");
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_phases() {
+        let mut s = PhaseSchedule::uk_2020();
+        s.phases[2].start = s.phases[1].start;
+        match s.validate(Date::ymd(2020, 1, 1), Date::ymd(2020, 5, 10)) {
+            Err(ScheduleError::OverlappingPhases { earlier, later }) => {
+                assert_eq!(earlier, "voluntary-distancing");
+                assert_eq!(later, "wfh-advice");
+            }
+            other => panic!("expected OverlappingPhases, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_out_of_window_dates() {
+        let s = PhaseSchedule::uk_2020();
+        match s.validate(Date::ymd(2020, 2, 1), Date::ymd(2020, 5, 10)) {
+            Err(ScheduleError::DateOutsideWindow { what, date }) => {
+                assert!(what.contains("pre-covid"), "{what}");
+                assert_eq!(date, Date::ymd(2020, 1, 31));
+            }
+            other => panic!("expected DateOutsideWindow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_ranges() {
+        let mut s = PhaseSchedule::uk_2020();
+        s.phases[2].intensity = IntensityProfile::Level(1.7);
+        match s.validate(Date::ymd(2020, 1, 1), Date::ymd(2020, 5, 10)) {
+            Err(ScheduleError::BadFieldRange { field, value, .. }) => {
+                assert!(field.contains("wfh-advice"), "{field}");
+                assert_eq!(value, 1.7);
+            }
+            other => panic!("expected BadFieldRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_trailing_ramp() {
+        let mut s = PhaseSchedule::uk_2020();
+        s.phases.truncate(2); // voluntary-distancing ramp is now last
+        match s.validate(Date::ymd(2020, 1, 1), Date::ymd(2020, 5, 10)) {
+            Err(ScheduleError::RampNeedsSuccessor { phase }) => {
+                assert_eq!(phase, "voluntary-distancing");
+            }
+            other => panic!("expected RampNeedsSuccessor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_round_trips_through_json() {
+        let s = PhaseSchedule::uk_2020();
+        let text = serde_json::to_string(&s).unwrap();
+        let back: PhaseSchedule = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,7 +1,7 @@
 //! Property tests for the epidemic layer: the logistic case curve and
-//! the policy timeline behave sanely for arbitrary calibrations.
+//! the phase schedule behave sanely for arbitrary calibrations.
 
-use cellscope_epidemic::{CaseCurve, Timeline};
+use cellscope_epidemic::{CaseCurve, Milestones, PhaseSchedule};
 use cellscope_time::Date;
 use proptest::prelude::*;
 
@@ -43,10 +43,10 @@ proptest! {
         prop_assert!((regional.cumulative(d) - expected).abs() < 1e-6);
     }
 
-    /// Timeline intensity is always within [0, 1] and zero before the
-    /// declaration, for arbitrary (ordered) intervention dates.
+    /// Schedule intensity is always within [0, 1] and zero before the
+    /// declaration, for arbitrary (ordered) milestone dates.
     #[test]
-    fn intensity_bounded_for_arbitrary_timelines(
+    fn intensity_bounded_for_arbitrary_milestones(
         declared_offset in 0i64..40,
         wfh_gap in 1i64..10,
         closures_gap in 1i64..5,
@@ -58,22 +58,29 @@ proptest! {
         let wfh = declared.add_days(wfh_gap);
         let closures = wfh.add_days(closures_gap);
         let lockdown = closures.add_days(lockdown_gap);
-        let timeline = Timeline {
+        let schedule = PhaseSchedule::from_milestones(&Milestones {
             first_cases: Date::ymd(2020, 1, 31),
             pandemic_declared: declared,
             wfh_recommended: wfh,
             closures,
             lockdown,
             relaxation_onset: lockdown.add_days(relax_gap),
-        };
+        });
         let probe = Date::ymd(2020, 1, 1).add_days(probe_offset);
-        let i = timeline.intensity(probe);
+        let i = schedule.intensity(probe);
         prop_assert!((0.0..=1.0).contains(&i), "intensity {i} on {probe}");
         if probe < declared {
             prop_assert_eq!(i, 0.0);
         }
         if probe >= lockdown {
             prop_assert!(i >= 0.6, "lockdown intensity {i}");
+        }
+        // The confinement ratchet never reads below intensity and pins
+        // at 1 from the lockdown milestone on.
+        let c = schedule.confinement(probe);
+        prop_assert!(c >= i);
+        if probe >= lockdown {
+            prop_assert_eq!(c, 1.0);
         }
     }
 }

@@ -15,7 +15,7 @@
 //! * **dated events** — the East Sussex escape weekend of Mar 21–22 and
 //!   the Hampshire/Kent weekend trips at the end of April (Section 3.4).
 
-use cellscope_epidemic::Timeline;
+use cellscope_epidemic::PhaseSchedule;
 use cellscope_geo::{County, OacCluster};
 use cellscope_time::Date;
 use serde::{Deserialize, Serialize};
@@ -134,21 +134,21 @@ pub struct DayPlanParams {
     pub outing_duration_factor: f64,
 }
 
-/// The behaviour model: timeline plus regional/event modulation.
+/// The behaviour model: a phase schedule plus regional/event modulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BehaviorModel {
-    timeline: Timeline,
+    schedule: PhaseSchedule,
 }
 
 impl BehaviorModel {
-    /// Build over a policy timeline.
-    pub fn new(timeline: Timeline) -> BehaviorModel {
-        BehaviorModel { timeline }
+    /// Build over a behavioural schedule.
+    pub fn new(schedule: PhaseSchedule) -> BehaviorModel {
+        BehaviorModel { schedule }
     }
 
-    /// The timeline in use.
-    pub fn timeline(&self) -> &Timeline {
-        &self.timeline
+    /// The schedule in use.
+    pub fn schedule(&self) -> &PhaseSchedule {
+        &self.schedule
     }
 
     /// Regional modulation of restriction intensity: <1 means the county
@@ -156,46 +156,19 @@ impl BehaviorModel {
     /// stricter. Section 3.2: London and West Yorkshire relax in weeks
     /// 18–19; Greater Manchester and the West Midlands do not.
     pub fn regional_relaxation(&self, date: Date, county: County) -> f64 {
-        let week = date.iso_week().week;
-        if (18..=19).contains(&week) {
-            match county {
-                County::InnerLondon | County::OuterLondon | County::WestYorkshire => 0.78,
-                County::GreaterManchester | County::WestMidlands => 1.02,
-                _ => 0.95,
-            }
-        } else {
-            1.0
-        }
+        self.schedule.regional_factor(date, county)
     }
 
     /// Dated boost on weekend-trip probability toward a destination
     /// county. Reproduces the Mar 21–22 East Sussex escape weekend and
     /// the late-April Hampshire (and, less so, Kent) weekends of Fig. 7.
     pub fn weekend_destination_boost(&self, date: Date, destination: County) -> f64 {
-        let d = (date.year(), date.month().number(), date.day());
-        match destination {
-            County::EastSussex if d == (2020, 3, 21) || d == (2020, 3, 22) => 9.0,
-            County::Hampshire
-                if date >= Date::ymd(2020, 4, 24)
-                    && date <= Date::ymd(2020, 5, 4)
-                    && date.is_weekend() =>
-            {
-                3.0
-            }
-            County::Kent
-                if date >= Date::ymd(2020, 4, 24)
-                    && date <= Date::ymd(2020, 5, 4)
-                    && date.is_weekend() =>
-            {
-                1.8
-            }
-            _ => 1.0,
-        }
+        self.schedule.weekend_boost(date, destination)
     }
 
     /// Effective restriction felt by a subscriber on a date.
     pub fn effective_intensity(&self, date: Date, subscriber: &Subscriber, county: County) -> f64 {
-        (self.timeline.intensity(date)
+        (self.schedule.intensity(date)
             * self.regional_relaxation(date, county)
             * subscriber.compliance)
             .clamp(0.0, 1.0)
@@ -229,8 +202,8 @@ impl BehaviorModel {
                 }
             }
             Segment::Student if !weekend => {
-                // Schools closed outright on Mar 20.
-                if date >= self.timeline.closures {
+                // Schools closed outright while a closure phase is on.
+                if self.schedule.schools_closed(date) {
                     0.0
                 } else {
                     1.0 - 0.3 * trip_restriction
@@ -288,7 +261,7 @@ mod tests {
     }
 
     fn model() -> BehaviorModel {
-        BehaviorModel::new(Timeline::uk_2020())
+        BehaviorModel::new(PhaseSchedule::uk_2020())
     }
 
     #[test]

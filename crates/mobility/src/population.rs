@@ -7,10 +7,10 @@
 
 use crate::anchors::{Anchor, AnchorKind, AnchorSet};
 use crate::behavior::ClusterProfile;
-use crate::relocation::{sample_destination, Relocation};
+use crate::relocation::Relocation;
 use crate::rng;
 use crate::subscriber::{DeviceClass, Segment, Subscriber, SubscriberId};
-use cellscope_epidemic::Timeline;
+use cellscope_epidemic::RelocationWave;
 use cellscope_geo::{County, Geography, Point, ZoneId};
 use cellscope_radio::{SiteId, Topology};
 use cellscope_time::Date;
@@ -39,10 +39,6 @@ pub struct PopulationConfig {
     pub relocation_uptake: f64,
     /// First study day of the simulation window (for converting dates).
     pub study_start: Date,
-    /// The policy timeline relocation reacts to: departures happen
-    /// between the WFH advice and the first lockdown days. A
-    /// counterfactual timeline produces no relocation wave.
-    pub timeline: Timeline,
 }
 
 impl Default for PopulationConfig {
@@ -55,7 +51,6 @@ impl Default for PopulationConfig {
             london_second_home_rate: 0.14,
             relocation_uptake: 0.80,
             study_start: cellscope_time::STUDY_START,
-            timeline: Timeline::uk_2020(),
         }
     }
 }
@@ -88,8 +83,15 @@ impl Population {
     }
 
     /// Synthesize a population.
+    ///
+    /// `waves` are the schedule's relocation waves: each subscriber
+    /// whose home county a wave empties may draw a relocation plan (an
+    /// empty slice means nobody ever leaves). The waves participate in
+    /// the single RNG stream, so two runs with equal configs and waves
+    /// are bit-identical.
     pub fn synthesize(
         config: &PopulationConfig,
+        waves: &[RelocationWave],
         geo: &Geography,
         topo: &Topology,
     ) -> Population {
@@ -241,40 +243,33 @@ impl Population {
                     .collect();
             }
 
-            // Relocation plans: Inner-London smartphones only.
+            // Relocation plans: smartphone natives in a wave's county.
             let mut relocation = None;
-            if device == DeviceClass::Smartphone
-                && native
-                && zone.county == County::InnerLondon
-            {
+            for wave in waves {
+                if relocation.is_some()
+                    || device != DeviceClass::Smartphone
+                    || !native
+                    || zone.county != wave.from_county
+                {
+                    continue;
+                }
                 let has_secondary = match segment {
                     Segment::Tourist => true, // long-stay base abroad
                     Segment::Student => rng.gen_bool(0.45), // family homes
                     _ => rng.gen_bool(config.london_second_home_rate),
                 };
                 if has_secondary && rng.gen_bool(config.relocation_uptake) {
-                    let destination = sample_destination(rng.gen());
-                    // Departures start two days before the WFH advice
-                    // and trail into the first lockdown days (in the
-                    // 2020 timeline: Mar 14 – Mar 25).
-                    let window_start = config.timeline.wfh_recommended.add_days(-2);
-                    let window_days = (config
-                        .timeline
-                        .lockdown
-                        .days_since(window_start)
-                        + 3)
-                        .max(1);
+                    let destination = wave.sample_destination(rng.gen());
                     let depart_date =
-                        window_start.add_days(rng.gen_range(0..window_days));
+                        wave.start.add_days(rng.gen_range(0..wave.days.max(1)));
                     let depart_day = depart_date
                         .days_since(config.study_start)
                         .clamp(0, u16::MAX as i64)
                         as u16;
-                    // 85% stay away beyond the study window.
-                    let return_day = if rng.gen_bool(0.85) {
+                    let return_day = if rng.gen_bool(wave.stay_away_prob) {
                         u16::MAX
                     } else {
-                        depart_day + rng.gen_range(21..45)
+                        depart_day + rng.gen_range(wave.return_min_days..wave.return_max_days)
                     };
                     relocation = Some(Relocation {
                         destination,
@@ -469,6 +464,10 @@ mod tests {
         (geo, topo)
     }
 
+    fn uk_waves() -> Vec<RelocationWave> {
+        cellscope_epidemic::PhaseSchedule::uk_2020().relocation_waves
+    }
+
     fn population(n: u32) -> (Geography, Topology, Population) {
         let (geo, topo) = world();
         let cfg = PopulationConfig {
@@ -476,7 +475,7 @@ mod tests {
             seed: 99,
             ..PopulationConfig::default()
         };
-        let pop = Population::synthesize(&cfg, &geo, &topo);
+        let pop = Population::synthesize(&cfg, &uk_waves(), &geo, &topo);
         (geo, topo, pop)
     }
 
@@ -488,8 +487,8 @@ mod tests {
             seed: 1,
             ..PopulationConfig::default()
         };
-        let a = Population::synthesize(&cfg, &geo, &topo);
-        let b = Population::synthesize(&cfg, &geo, &topo);
+        let a = Population::synthesize(&cfg, &uk_waves(), &geo, &topo);
+        let b = Population::synthesize(&cfg, &uk_waves(), &geo, &topo);
         assert_eq!(a.subscribers(), b.subscribers());
     }
 
@@ -593,26 +592,48 @@ mod tests {
     }
 
     #[test]
-    fn counterfactual_timeline_means_no_departures_in_window() {
-        // With a no-intervention timeline the relocation window sits far
-        // beyond the study; nobody is ever away during the 100 days.
-        let (_, _, pop) = {
-            let geo = SynthConfig::small(5).build();
-            let topo = DeployConfig::small(5).build(&geo);
-            let cfg = PopulationConfig {
-                num_subscribers: 5_000,
-                seed: 99,
-                timeline: cellscope_epidemic::Timeline::no_intervention(),
-                ..PopulationConfig::default()
-            };
-            let pop = Population::synthesize(&cfg, &geo, &topo);
-            (geo, topo, pop)
+    fn no_waves_means_no_departures() {
+        // A schedule without relocation waves (e.g. the no-intervention
+        // control) synthesizes a population in which nobody ever leaves.
+        let (geo, topo) = world();
+        let cfg = PopulationConfig {
+            num_subscribers: 5_000,
+            seed: 99,
+            ..PopulationConfig::default()
         };
+        let pop = Population::synthesize(&cfg, &[], &geo, &topo);
         for sub in pop.subscribers() {
+            assert!(sub.relocation.is_none(), "{} has a plan", sub.id);
             for day in [0u16, 40, 70, 99] {
                 assert!(!sub.is_relocated(day), "{} away on {day}", sub.id);
             }
         }
+    }
+
+    #[test]
+    fn waves_can_empty_any_county() {
+        // The wave's county is data, not code: point one at Greater
+        // Manchester and its residents (not London's) draw plans.
+        let (geo, topo) = world();
+        let cfg = PopulationConfig {
+            num_subscribers: 8_000,
+            seed: 99,
+            ..PopulationConfig::default()
+        };
+        let mut wave = uk_waves().remove(0);
+        wave.from_county = County::GreaterManchester;
+        let pop = Population::synthesize(&cfg, &[wave], &geo, &topo);
+        let mut plans = 0;
+        for s in pop.subscribers() {
+            if s.relocation.is_some() {
+                assert_eq!(
+                    geo.zone(s.home_zone).county,
+                    County::GreaterManchester
+                );
+                plans += 1;
+            }
+        }
+        assert!(plans > 0, "no Greater Manchester departures drawn");
     }
 
     #[test]

@@ -32,24 +32,12 @@ impl Relocation {
 }
 
 /// Relative popularity of relocation destinations for Inner-London
-/// residents, calibrated to Fig. 7's ordering (Hampshire the largest
-/// sustained recipient, then Kent; East Sussex prominent in the
-/// pre-lockdown weekend wave).
-pub const LONDON_DESTINATION_WEIGHTS: [(County, f64); 10] = [
-    (County::Hampshire, 0.26),
-    (County::Kent, 0.17),
-    (County::EastSussex, 0.11),
-    (County::Essex, 0.09),
-    (County::Surrey, 0.09),
-    (County::WestSussex, 0.07),
-    (County::Hertfordshire, 0.06),
-    (County::Oxfordshire, 0.06),
-    (County::Berkshire, 0.05),
-    (County::Buckinghamshire, 0.04),
-];
+/// residents, calibrated to Fig. 7's ordering. The canonical table
+/// lives with the schedule types so scenario files can default to it.
+pub use cellscope_epidemic::schedule::LONDON_DESTINATION_WEIGHTS;
 
-/// Draw a destination county from the calibrated weights given a
-/// uniform sample in [0, 1).
+/// Draw a destination county from the calibrated London weights given
+/// a uniform sample in [0, 1).
 pub fn sample_destination(u: f64) -> County {
     let total: f64 = LONDON_DESTINATION_WEIGHTS.iter().map(|&(_, w)| w).sum();
     let mut draw = u.clamp(0.0, 1.0 - f64::EPSILON) * total;

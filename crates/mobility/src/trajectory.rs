@@ -409,7 +409,7 @@ mod tests {
     use super::*;
     use crate::behavior::BehaviorModel;
     use crate::population::{Population, PopulationConfig};
-    use cellscope_epidemic::Timeline;
+    use cellscope_epidemic::PhaseSchedule;
     use cellscope_geo::SynthConfig;
     use cellscope_radio::DeployConfig;
     use cellscope_time::Date;
@@ -430,13 +430,14 @@ mod tests {
                 seed: 4,
                 ..PopulationConfig::default()
             },
+            &PhaseSchedule::uk_2020().relocation_waves,
             &geo,
             &topo,
         );
         World {
             geo,
             pop,
-            behavior: BehaviorModel::new(Timeline::uk_2020()),
+            behavior: BehaviorModel::new(PhaseSchedule::uk_2020()),
             clock: SimClock::study(),
         }
     }

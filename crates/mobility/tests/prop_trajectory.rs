@@ -2,7 +2,7 @@
 //! accounting, determinism, and behavioural monotonicity hold for every
 //! (subscriber, day) pair, not just the ones unit tests pick.
 
-use cellscope_epidemic::Timeline;
+use cellscope_epidemic::PhaseSchedule;
 use cellscope_geo::{Geography, SynthConfig};
 use cellscope_mobility::{
     BehaviorModel, DeviceClass, Population, PopulationConfig, TrajectoryGenerator,
@@ -29,13 +29,14 @@ fn fixture() -> &'static Fixture {
                 seed: 77,
                 ..PopulationConfig::default()
             },
+            &PhaseSchedule::uk_2020().relocation_waves,
             &geo,
             &topo,
         );
         Fixture {
             geo,
             pop,
-            behavior: BehaviorModel::new(Timeline::uk_2020()),
+            behavior: BehaviorModel::new(PhaseSchedule::uk_2020()),
         }
     })
 }

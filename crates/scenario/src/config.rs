@@ -1,6 +1,6 @@
 //! Scenario configuration and scale presets.
 
-use cellscope_epidemic::Timeline;
+use cellscope_epidemic::{Milestones, PhaseSchedule};
 use cellscope_geo::SynthConfig;
 use cellscope_mobility::PopulationConfig;
 use cellscope_radio::{DeployConfig, InterconnectConfig};
@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 ///
 /// `Deserialize` is hand-written (see below) so configs serialized
 /// before the study window became configurable still load: a missing
-/// `study_start`/`study_end` falls back to the paper's window.
+/// `study_start`/`study_end` falls back to the paper's window, and a
+/// legacy six-date `timeline` key expands into the equivalent
+/// [`PhaseSchedule`].
 #[derive(Debug, Clone, Serialize)]
 pub struct ScenarioConfig {
     /// Master seed, mixed into every component seed.
@@ -26,11 +28,12 @@ pub struct ScenarioConfig {
     pub population: PopulationConfig,
     /// Signaling event generation.
     pub events: EventGenConfig,
-    /// The policy timeline driving behaviour. The default is the UK's
-    /// 2020 intervention sequence; swap in
-    /// [`Timeline::no_intervention`] (or a custom one) for
+    /// The phase schedule driving behaviour: dated phases, news and
+    /// voice-surge windows, regional factors and relocation waves. The
+    /// default is the UK's 2020 intervention sequence; swap in
+    /// [`PhaseSchedule::no_intervention`] (or a scenario file) for
     /// counterfactual studies.
-    pub timeline: Timeline,
+    pub schedule: PhaseSchedule,
     /// Voice-interconnect head-room over the baseline daily off-net
     /// load (capacity = headroom × measured week-9 load).
     pub interconnect_headroom: f64,
@@ -67,7 +70,16 @@ impl Deserialize for ScenarioConfig {
             deployment: serde::de::field(&f, "deployment")?,
             population: serde::de::field(&f, "population")?,
             events: serde::de::field(&f, "events")?,
-            timeline: serde::de::field(&f, "timeline")?,
+            // Current configs carry a full `schedule`; configs from
+            // before the scenario engine carry a six-date `timeline`
+            // (exactly the `Milestones` shape) instead.
+            schedule: match serde::de::field::<Option<PhaseSchedule>>(&f, "schedule")? {
+                Some(s) => s,
+                None => {
+                    let m: Milestones = serde::de::field(&f, "timeline")?;
+                    PhaseSchedule::from_milestones(&m)
+                }
+            },
             interconnect_headroom: serde::de::field(&f, "interconnect_headroom")?,
             target_peak_utilization: serde::de::field(&f, "target_peak_utilization")?,
             interconnect: serde::de::field(&f, "interconnect")?,
@@ -106,7 +118,7 @@ impl ScenarioConfig {
                 seed: seed ^ 0xE0E,
                 ..EventGenConfig::default()
             },
-            timeline: Timeline::uk_2020(),
+            schedule: PhaseSchedule::uk_2020(),
             interconnect_headroom: 1.15,
             target_peak_utilization: 0.35,
             interconnect: InterconnectConfig::default(),
@@ -186,7 +198,7 @@ mod tests {
             deployment: DeployConfig,
             population: PopulationConfig,
             events: EventGenConfig,
-            timeline: Timeline,
+            timeline: Milestones,
             interconnect_headroom: f64,
             target_peak_utilization: f64,
             interconnect: InterconnectConfig,
@@ -201,7 +213,7 @@ mod tests {
             deployment: cur.deployment,
             population: cur.population.clone(),
             events: cur.events,
-            timeline: cur.timeline,
+            timeline: Milestones::uk_2020(),
             interconnect_headroom: cur.interconnect_headroom,
             target_peak_utilization: cur.target_peak_utilization,
             interconnect: cur.interconnect,
@@ -213,6 +225,9 @@ mod tests {
         let cfg: ScenarioConfig = serde_json::from_str(&text).unwrap();
         assert_eq!(cfg.study_start, STUDY_START);
         assert_eq!(cfg.study_end, STUDY_END);
+        // The legacy six-date timeline expands to the equivalent
+        // schedule.
+        assert_eq!(cfg.schedule, PhaseSchedule::uk_2020());
         assert_eq!(
             cfg.population.num_subscribers,
             cur.population.num_subscribers

@@ -10,7 +10,7 @@ use cellscope_epidemic::CaseCurve;
 use cellscope_core::{DailyGroupMean, DailyGroupSamples, KpiTable, MobilityMatrix};
 use cellscope_geo::{County, LadId, LondonDistrict, OacCluster, ZoneId};
 use cellscope_radio::DayOutcome;
-use cellscope_time::{DayBin, SimClock};
+use cellscope_time::{Date, DayBin, SimClock};
 use serde::{Deserialize, Serialize};
 
 /// Grouping key for mobility-metric aggregation.
@@ -96,6 +96,15 @@ pub struct StudyDataset {
     pub study_population: usize,
     /// Number of users with a detected home.
     pub homes_detected: usize,
+    /// The scenario's pandemic-declaration anchor (first scheduled
+    /// behaviour change); `None` when the schedule never intervenes.
+    /// Figure builders split "before/after the announcement" here
+    /// instead of hard-coding the UK's Mar 11.
+    pub declaration: Option<Date>,
+    /// The scenario's full-restriction anchor (first phase whose
+    /// confinement floor reaches 1.0); `None` without a stay-home
+    /// order. Replaces the hard-coded Mar 23 lockdown date.
+    pub full_restriction: Option<Date>,
 }
 
 impl StudyDataset {

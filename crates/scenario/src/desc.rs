@@ -1,0 +1,781 @@
+//! Declarative scenario descriptions.
+//!
+//! A scenario file is a TOML document (read by [`crate::tomlite`])
+//! that names a scenario, declares its [`PhaseSchedule`] — phases,
+//! news windows, voice-surge segments, regional windows, weekend
+//! boosts, relocation waves, throttling — and optionally a sparse
+//! [`ScenarioDelta`] of config overrides. [`ScenarioDoc::apply`] turns
+//! a base [`ScenarioConfig`] (which fixes seeds and scale) into the
+//! scenario's runnable configuration.
+//!
+//! Parsing denies unknown fields: a typo'd key is a typed
+//! [`ScenarioError::UnknownField`] naming the table and the key, not a
+//! silently ignored setting. Validation goes through
+//! [`PhaseSchedule::validate`], so overlapping phases, out-of-window
+//! dates and out-of-range values fail with the schedule's own typed
+//! errors.
+
+use crate::config::ScenarioConfig;
+use crate::tomlite::{self, Table, TomlValue};
+use crate::variants::ScenarioDelta;
+use cellscope_epidemic::{
+    IntensityProfile, NewsWindow, Phase, PhaseSchedule, RegionalGroup, RegionalWindow,
+    RelocationWave, ScheduleError, SurgeSegment, SurgeShape, WeekendBoost,
+    LONDON_DESTINATION_WEIGHTS,
+};
+use cellscope_geo::County;
+use cellscope_time::{Date, STUDY_END, STUDY_START};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Days before the study window a scheduled date may legitimately sit
+/// (lead-in context such as the first-cases phase); anything earlier is
+/// rejected as a typo'd date.
+const LEAD_IN_DAYS: i64 = 90;
+
+/// What can go wrong loading a scenario file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The TOML text itself failed to parse.
+    Toml {
+        /// 1-based source line.
+        line: usize,
+        /// Reader message.
+        msg: String,
+    },
+    /// A table carries a key the schema does not know — almost always
+    /// a typo'd field name.
+    UnknownField {
+        /// The table the key appeared in.
+        table: String,
+        /// The offending key.
+        key: String,
+    },
+    /// A required key is absent.
+    MissingField {
+        /// The table the key was expected in.
+        table: String,
+        /// The missing key.
+        key: String,
+    },
+    /// A key holds a value of the wrong shape.
+    BadType {
+        /// The table the key appeared in.
+        table: String,
+        /// The key.
+        key: String,
+        /// What the schema wanted there.
+        expected: String,
+    },
+    /// A county name no county matches.
+    UnknownCounty {
+        /// The unmatched name.
+        value: String,
+    },
+    /// Mutually exclusive keys appeared together (or neither did).
+    ConflictingFields {
+        /// The table.
+        table: String,
+        /// Description of the exclusive set.
+        detail: String,
+    },
+    /// The assembled schedule failed [`PhaseSchedule::validate`].
+    Schedule(ScheduleError),
+    /// Reading the file failed.
+    Io(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Toml { line, msg } => write!(f, "toml line {line}: {msg}"),
+            ScenarioError::UnknownField { table, key } => {
+                write!(f, "unknown field `{key}` in `{table}`")
+            }
+            ScenarioError::MissingField { table, key } => {
+                write!(f, "missing field `{key}` in `{table}`")
+            }
+            ScenarioError::BadType { table, key, expected } => {
+                write!(f, "field `{key}` in `{table}` must be {expected}")
+            }
+            ScenarioError::UnknownCounty { value } => {
+                write!(f, "unknown county `{value}`")
+            }
+            ScenarioError::ConflictingFields { table, detail } => {
+                write!(f, "conflicting fields in `{table}`: {detail}")
+            }
+            ScenarioError::Schedule(e) => write!(f, "invalid schedule: {e}"),
+            ScenarioError::Io(e) => write!(f, "reading scenario file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ScheduleError> for ScenarioError {
+    fn from(e: ScheduleError) -> ScenarioError {
+        ScenarioError::Schedule(e)
+    }
+}
+
+/// A parsed scenario file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDoc {
+    /// Scenario name (used for output directories and `--scenario`).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// Study-window start override.
+    pub study_start: Option<Date>,
+    /// Study-window end override.
+    pub study_end: Option<Date>,
+    /// The declared phase schedule.
+    pub schedule: PhaseSchedule,
+    /// Sparse config overrides from the `[overrides]` table (the
+    /// `schedule` slot stays `None` here; [`ScenarioDoc::delta`] fills
+    /// it from the declared schedule).
+    pub overrides: ScenarioDelta,
+}
+
+impl ScenarioDoc {
+    /// Parse a scenario document from TOML text.
+    pub fn parse(text: &str) -> Result<ScenarioDoc, ScenarioError> {
+        let root = tomlite::parse(text)
+            .map_err(|e| ScenarioError::Toml { line: e.line, msg: e.msg })?;
+        let scope = Fields::new("scenario", &root);
+        scope.deny_unknown(&[
+            "name",
+            "description",
+            "study-start",
+            "study-end",
+            "phase",
+            "news",
+            "voice-surge",
+            "regional",
+            "weekend-boost",
+            "relocation",
+            "traffic",
+            "overrides",
+        ])?;
+
+        let mut schedule = PhaseSchedule {
+            phases: Vec::new(),
+            news_windows: Vec::new(),
+            voice_segments: Vec::new(),
+            regional_windows: Vec::new(),
+            weekend_boosts: Vec::new(),
+            relocation_waves: Vec::new(),
+            throttle_from: None,
+        };
+        for (i, t) in scope.tables("phase")? {
+            schedule.phases.push(parse_phase(&Fields::new(&format!("phase[{i}]"), t))?);
+        }
+        for (i, t) in scope.tables("news")? {
+            schedule
+                .news_windows
+                .push(parse_news(&Fields::new(&format!("news[{i}]"), t))?);
+        }
+        for (i, t) in scope.tables("voice-surge")? {
+            schedule
+                .voice_segments
+                .push(parse_surge(&Fields::new(&format!("voice-surge[{i}]"), t))?);
+        }
+        for (i, t) in scope.tables("regional")? {
+            schedule
+                .regional_windows
+                .push(parse_regional(&Fields::new(&format!("regional[{i}]"), t))?);
+        }
+        for (i, t) in scope.tables("weekend-boost")? {
+            schedule
+                .weekend_boosts
+                .push(parse_weekend_boost(&Fields::new(&format!("weekend-boost[{i}]"), t))?);
+        }
+        for (i, t) in scope.tables("relocation")? {
+            schedule
+                .relocation_waves
+                .push(parse_relocation(&Fields::new(&format!("relocation[{i}]"), t))?);
+        }
+        if let Some(t) = scope.opt_table("traffic")? {
+            let traffic = Fields::new("traffic", t);
+            traffic.deny_unknown(&["throttle-from"])?;
+            schedule.throttle_from = traffic.opt_date("throttle-from")?;
+        }
+        let overrides = match scope.opt_table("overrides")? {
+            Some(t) => parse_overrides(&Fields::new("overrides", t))?,
+            None => ScenarioDelta::default(),
+        };
+
+        Ok(ScenarioDoc {
+            name: scope.req_str("name")?,
+            description: scope.req_str("description")?,
+            study_start: scope.opt_date("study-start")?,
+            study_end: scope.opt_date("study-end")?,
+            schedule,
+            overrides,
+        })
+    }
+
+    /// Read and parse a scenario file.
+    pub fn load(path: &Path) -> Result<ScenarioDoc, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
+        ScenarioDoc::parse(&text)
+    }
+
+    /// The study window the scenario runs over (file override, else
+    /// the paper's window).
+    pub fn window(&self) -> (Date, Date) {
+        (
+            self.study_start.unwrap_or(STUDY_START),
+            self.study_end.unwrap_or(STUDY_END),
+        )
+    }
+
+    /// Validate the declared schedule against the scenario's study
+    /// window (with a [`LEAD_IN_DAYS`] grace before it: the UK arc
+    /// anchors its first phase on the Jan 31 first cases, a month
+    /// before the Feb 1 window).
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let (start, end) = self.window();
+        if end < start {
+            return Err(ScenarioError::Schedule(ScheduleError::EmptyRange {
+                what: "study window".into(),
+            }));
+        }
+        self.schedule.validate(start.add_days(-LEAD_IN_DAYS), end)?;
+        Ok(())
+    }
+
+    /// The scenario as a [`ScenarioDelta`]: the declared schedule plus
+    /// the `[overrides]` knobs — the same delta shape the canonical
+    /// ablation arms in [`crate::variants`] use.
+    pub fn delta(&self) -> ScenarioDelta {
+        ScenarioDelta {
+            schedule: Some(self.schedule.clone()),
+            ..self.overrides.clone()
+        }
+    }
+
+    /// Apply the scenario to a base configuration (which fixes seeds
+    /// and scale): delta overrides plus the study window.
+    pub fn apply(&self, base: &ScenarioConfig) -> ScenarioConfig {
+        let mut cfg = self.delta().apply(base);
+        if let Some(start) = self.study_start {
+            cfg.study_start = start;
+        }
+        if let Some(end) = self.study_end {
+            cfg.study_end = end;
+        }
+        cfg
+    }
+}
+
+/// List the `.toml` scenario files of a directory, sorted by file name.
+pub fn scenario_files(dir: &Path) -> Result<Vec<PathBuf>, ScenarioError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| ScenarioError::Io(format!("{}: {e}", dir.display())))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+// ---------------------------------------------------------------------
+// Field access with deny-unknown-fields
+// ---------------------------------------------------------------------
+
+/// A view over one table with typed, error-reporting accessors.
+struct Fields<'a> {
+    name: String,
+    table: &'a Table,
+}
+
+impl<'a> Fields<'a> {
+    fn new(name: &str, table: &'a Table) -> Fields<'a> {
+        Fields { name: name.to_string(), table }
+    }
+
+    fn get(&self, key: &str) -> Option<&'a TomlValue> {
+        self.table.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn deny_unknown(&self, allowed: &[&str]) -> Result<(), ScenarioError> {
+        for (k, _) in self.table {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ScenarioError::UnknownField {
+                    table: self.name.clone(),
+                    key: k.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn missing(&self, key: &str) -> ScenarioError {
+        ScenarioError::MissingField { table: self.name.clone(), key: key.to_string() }
+    }
+
+    fn bad(&self, key: &str, expected: &str) -> ScenarioError {
+        ScenarioError::BadType {
+            table: self.name.clone(),
+            key: key.to_string(),
+            expected: expected.to_string(),
+        }
+    }
+
+    fn req_str(&self, key: &str) -> Result<String, ScenarioError> {
+        match self.get(key) {
+            Some(TomlValue::Str(s)) => Ok(s.clone()),
+            Some(_) => Err(self.bad(key, "a string")),
+            None => Err(self.missing(key)),
+        }
+    }
+
+    fn req_date(&self, key: &str) -> Result<Date, ScenarioError> {
+        self.opt_date(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    fn opt_date(&self, key: &str) -> Result<Option<Date>, ScenarioError> {
+        match self.get(key) {
+            Some(TomlValue::Date(d)) => Ok(Some(*d)),
+            Some(_) => Err(self.bad(key, "a YYYY-MM-DD date")),
+            None => Ok(None),
+        }
+    }
+
+    fn req_f64(&self, key: &str) -> Result<f64, ScenarioError> {
+        self.opt_f64(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    fn opt_f64(&self, key: &str) -> Result<Option<f64>, ScenarioError> {
+        match self.get(key) {
+            Some(TomlValue::Float(f)) => Ok(Some(*f)),
+            Some(TomlValue::Int(i)) => Ok(Some(*i as f64)),
+            Some(_) => Err(self.bad(key, "a number")),
+            None => Ok(None),
+        }
+    }
+
+    fn req_i64(&self, key: &str) -> Result<i64, ScenarioError> {
+        match self.get(key) {
+            Some(TomlValue::Int(i)) => Ok(*i),
+            Some(_) => Err(self.bad(key, "an integer")),
+            None => Err(self.missing(key)),
+        }
+    }
+
+    fn opt_i64(&self, key: &str) -> Result<Option<i64>, ScenarioError> {
+        match self.get(key) {
+            Some(TomlValue::Int(i)) => Ok(Some(*i)),
+            Some(_) => Err(self.bad(key, "an integer")),
+            None => Ok(None),
+        }
+    }
+
+    fn opt_bool(&self, key: &str) -> Result<Option<bool>, ScenarioError> {
+        match self.get(key) {
+            Some(TomlValue::Bool(b)) => Ok(Some(*b)),
+            Some(_) => Err(self.bad(key, "a boolean")),
+            None => Ok(None),
+        }
+    }
+
+    fn req_county(&self, key: &str) -> Result<County, ScenarioError> {
+        match self.get(key) {
+            Some(TomlValue::Str(s)) => county_from_name(s),
+            Some(_) => Err(self.bad(key, "a county name")),
+            None => Err(self.missing(key)),
+        }
+    }
+
+    fn req_counties(&self, key: &str) -> Result<Vec<County>, ScenarioError> {
+        match self.get(key) {
+            Some(TomlValue::Array(items)) => items
+                .iter()
+                .map(|v| match v {
+                    TomlValue::Str(s) => county_from_name(s),
+                    _ => Err(self.bad(key, "an array of county names")),
+                })
+                .collect(),
+            Some(_) => Err(self.bad(key, "an array of county names")),
+            None => Err(self.missing(key)),
+        }
+    }
+
+    /// A `[a, b, ...]` array of exactly `n` numbers.
+    fn opt_f64_tuple(&self, key: &str, n: usize) -> Result<Option<Vec<f64>>, ScenarioError> {
+        let Some(v) = self.get(key) else { return Ok(None) };
+        let expected = format!("an array of {n} numbers");
+        let TomlValue::Array(items) = v else {
+            return Err(self.bad(key, &expected));
+        };
+        if items.len() != n {
+            return Err(self.bad(key, &expected));
+        }
+        items
+            .iter()
+            .map(|v| match v {
+                TomlValue::Float(f) => Ok(*f),
+                TomlValue::Int(i) => Ok(*i as f64),
+                _ => Err(self.bad(key, &expected)),
+            })
+            .collect::<Result<Vec<f64>, _>>()
+            .map(Some)
+    }
+
+    /// An array-of-tables key (absent = empty).
+    fn tables(&self, key: &str) -> Result<Vec<(usize, &'a Table)>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(Vec::new()),
+            Some(TomlValue::Array(items)) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| match v {
+                    TomlValue::Table(t) => Ok((i, t)),
+                    _ => Err(self.bad(key, "an array of tables (`[[...]]`)")),
+                })
+                .collect(),
+            Some(_) => Err(self.bad(key, "an array of tables (`[[...]]`)")),
+        }
+    }
+
+    fn opt_table(&self, key: &str) -> Result<Option<&'a Table>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(TomlValue::Table(t)) => Ok(Some(t)),
+            Some(_) => Err(self.bad(key, "a table (`[...]`)")),
+        }
+    }
+}
+
+/// Match a kebab-case county name (`"east-sussex"`); display names
+/// (`"East Sussex"`) are accepted too.
+fn county_from_name(s: &str) -> Result<County, ScenarioError> {
+    County::ALL
+        .iter()
+        .copied()
+        .find(|c| county_key(*c) == s || c.name() == s)
+        .ok_or_else(|| ScenarioError::UnknownCounty { value: s.to_string() })
+}
+
+/// The kebab-case form scenario files use.
+pub fn county_key(c: County) -> String {
+    c.name().to_lowercase().replace(' ', "-")
+}
+
+// ---------------------------------------------------------------------
+// Section parsers
+// ---------------------------------------------------------------------
+
+fn parse_phase(f: &Fields<'_>) -> Result<Phase, ScenarioError> {
+    f.deny_unknown(&[
+        "name",
+        "start",
+        "intensity",
+        "ramp",
+        "decay",
+        "schools-closed",
+        "confinement-floor",
+    ])?;
+    let shapes = [
+        f.get("intensity").is_some(),
+        f.get("ramp").is_some(),
+        f.get("decay").is_some(),
+    ];
+    if shapes.iter().filter(|&&p| p).count() != 1 {
+        return Err(ScenarioError::ConflictingFields {
+            table: f.name.clone(),
+            detail: "exactly one of `intensity`, `ramp`, `decay` is required".into(),
+        });
+    }
+    let intensity = if f.get("intensity").is_some() {
+        IntensityProfile::Level(f.req_f64("intensity")?)
+    } else if let Some(pair) = f.opt_f64_tuple("ramp", 2)? {
+        IntensityProfile::Ramp { base: pair[0], delta: pair[1] }
+    } else {
+        let triple = f.opt_f64_tuple("decay", 3)?.expect("checked present");
+        IntensityProfile::Decay { from: triple[0], step: triple[1], floor: triple[2] }
+    };
+    Ok(Phase {
+        name: f.req_str("name")?,
+        start: f.req_date("start")?,
+        intensity,
+        schools_closed: f.opt_bool("schools-closed")?.unwrap_or(false),
+        confinement_floor: f.opt_f64("confinement-floor")?.unwrap_or(0.0),
+    })
+}
+
+fn parse_news(f: &Fields<'_>) -> Result<NewsWindow, ScenarioError> {
+    f.deny_unknown(&["start", "end", "multiplier"])?;
+    Ok(NewsWindow {
+        start: f.req_date("start")?,
+        end: f.req_date("end")?,
+        multiplier: f.req_f64("multiplier")?,
+    })
+}
+
+fn parse_surge(f: &Fields<'_>) -> Result<SurgeSegment, ScenarioError> {
+    f.deny_unknown(&["start", "end", "level", "weekday-ramp", "weekly-decay", "offset-weeks"])?;
+    let shapes = [
+        f.get("level").is_some(),
+        f.get("weekday-ramp").is_some(),
+        f.get("weekly-decay").is_some(),
+    ];
+    if shapes.iter().filter(|&&p| p).count() != 1 {
+        return Err(ScenarioError::ConflictingFields {
+            table: f.name.clone(),
+            detail: "exactly one of `level`, `weekday-ramp`, `weekly-decay` is required"
+                .into(),
+        });
+    }
+    if f.get("offset-weeks").is_some() && f.get("weekly-decay").is_none() {
+        return Err(ScenarioError::ConflictingFields {
+            table: f.name.clone(),
+            detail: "`offset-weeks` only applies to `weekly-decay`".into(),
+        });
+    }
+    let shape = if f.get("level").is_some() {
+        SurgeShape::Level(f.req_f64("level")?)
+    } else if let Some(pair) = f.opt_f64_tuple("weekday-ramp", 2)? {
+        SurgeShape::WeekdayRamp { base: pair[0], delta: pair[1] }
+    } else {
+        let triple = f.opt_f64_tuple("weekly-decay", 3)?.expect("checked present");
+        SurgeShape::WeeklyDecay {
+            anchor: triple[0],
+            step: triple[1],
+            offset_weeks: f.opt_i64("offset-weeks")?.unwrap_or(0),
+            floor: triple[2],
+        }
+    };
+    Ok(SurgeSegment { start: f.req_date("start")?, end: f.opt_date("end")?, shape })
+}
+
+fn parse_regional(f: &Fields<'_>) -> Result<RegionalWindow, ScenarioError> {
+    f.deny_unknown(&["start", "end", "default-factor", "group"])?;
+    let mut groups = Vec::new();
+    for (i, t) in f.tables("group")? {
+        let g = Fields::new(&format!("{}.group[{i}]", f.name), t);
+        g.deny_unknown(&["counties", "factor"])?;
+        groups.push(RegionalGroup {
+            counties: g.req_counties("counties")?,
+            factor: g.req_f64("factor")?,
+        });
+    }
+    Ok(RegionalWindow {
+        start: f.req_date("start")?,
+        end: f.req_date("end")?,
+        default_factor: f.req_f64("default-factor")?,
+        groups,
+    })
+}
+
+fn parse_weekend_boost(f: &Fields<'_>) -> Result<WeekendBoost, ScenarioError> {
+    f.deny_unknown(&["county", "start", "end", "factor", "weekends-only"])?;
+    Ok(WeekendBoost {
+        county: f.req_county("county")?,
+        start: f.req_date("start")?,
+        end: f.req_date("end")?,
+        factor: f.req_f64("factor")?,
+        weekends_only: f.opt_bool("weekends-only")?.unwrap_or(true),
+    })
+}
+
+fn parse_relocation(f: &Fields<'_>) -> Result<RelocationWave, ScenarioError> {
+    f.deny_unknown(&[
+        "from",
+        "start",
+        "days",
+        "stay-away-prob",
+        "return-after-days",
+        "destinations",
+    ])?;
+    let returns = f
+        .opt_f64_tuple("return-after-days", 2)?
+        .ok_or_else(|| f.missing("return-after-days"))?;
+    let destinations = match f.get("destinations") {
+        None => LONDON_DESTINATION_WEIGHTS.to_vec(),
+        Some(TomlValue::Array(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                let TomlValue::Array(pair) = item else {
+                    return Err(f.bad("destinations", "an array of [county, weight] pairs"));
+                };
+                let [TomlValue::Str(name), weight] = pair.as_slice() else {
+                    return Err(f.bad("destinations", "an array of [county, weight] pairs"));
+                };
+                let w = match weight {
+                    TomlValue::Float(v) => *v,
+                    TomlValue::Int(v) => *v as f64,
+                    _ => {
+                        return Err(
+                            f.bad("destinations", "an array of [county, weight] pairs")
+                        )
+                    }
+                };
+                out.push((county_from_name(name)?, w));
+            }
+            out
+        }
+        Some(_) => return Err(f.bad("destinations", "an array of [county, weight] pairs")),
+    };
+    Ok(RelocationWave {
+        from_county: f.req_county("from")?,
+        start: f.req_date("start")?,
+        days: f.req_i64("days")?,
+        stay_away_prob: f.req_f64("stay-away-prob")?,
+        return_min_days: returns[0] as u16,
+        return_max_days: returns[1] as u16,
+        destinations,
+    })
+}
+
+fn parse_overrides(f: &Fields<'_>) -> Result<ScenarioDelta, ScenarioError> {
+    f.deny_unknown(&[
+        "relocation-uptake",
+        "response-delay-days",
+        "content-throttling",
+        "interconnect-headroom",
+    ])?;
+    Ok(ScenarioDelta {
+        schedule: None,
+        relocation_uptake: f.opt_f64("relocation-uptake")?,
+        response_delay_days: f.opt_i64("response-delay-days")?.map(|d| d as u16),
+        content_throttling: f.opt_bool("content-throttling")?,
+        interconnect_headroom: f.opt_f64("interconnect-headroom")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "\
+name = \"minimal\"
+description = \"one quiet phase\"
+
+[[phase]]
+name = \"calm\"
+start = 2020-02-03
+intensity = 0.0
+";
+
+    #[test]
+    fn minimal_scenario_parses_and_validates() {
+        let doc = ScenarioDoc::parse(MINIMAL).unwrap();
+        assert_eq!(doc.name, "minimal");
+        assert_eq!(doc.schedule.phases.len(), 1);
+        assert!(doc.overrides.is_empty());
+        doc.validate().unwrap();
+        assert_eq!(doc.window(), (STUDY_START, STUDY_END));
+    }
+
+    #[test]
+    fn typod_field_is_a_typed_error() {
+        let text = MINIMAL.replace("intensity", "intensty");
+        match ScenarioDoc::parse(&text) {
+            Err(ScenarioError::UnknownField { table, key }) => {
+                assert_eq!(table, "phase[0]");
+                assert_eq!(key, "intensty");
+            }
+            other => panic!("expected UnknownField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top_level_typo_names_the_scenario_table() {
+        // Top-level keys must precede the first section header.
+        let text = MINIMAL.replace("\n[[phase]]", "study-stat = 2020-02-01\n\n[[phase]]");
+        match ScenarioDoc::parse(&text) {
+            Err(ScenarioError::UnknownField { table, key }) => {
+                assert_eq!(table, "scenario");
+                assert_eq!(key, "study-stat");
+            }
+            other => panic!("expected UnknownField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn phase_needs_exactly_one_shape() {
+        let text = format!("{MINIMAL}ramp = [0.0, 0.5]\n");
+        assert!(matches!(
+            ScenarioDoc::parse(&text),
+            Err(ScenarioError::ConflictingFields { .. })
+        ));
+        let text = MINIMAL.replace("intensity = 0.0\n", "");
+        assert!(matches!(
+            ScenarioDoc::parse(&text),
+            Err(ScenarioError::ConflictingFields { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_county_is_reported_by_name() {
+        let text = format!(
+            "{MINIMAL}\n[[weekend-boost]]\ncounty = \"atlantis\"\n\
+             start = 2020-03-21\nend = 2020-03-22\nfactor = 2.0\n"
+        );
+        match ScenarioDoc::parse(&text) {
+            Err(ScenarioError::UnknownCounty { value }) => assert_eq!(value, "atlantis"),
+            other => panic!("expected UnknownCounty, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn county_names_accept_kebab_and_display_forms() {
+        assert_eq!(county_from_name("east-sussex").unwrap(), County::EastSussex);
+        assert_eq!(county_from_name("East Sussex").unwrap(), County::EastSussex);
+        assert_eq!(county_key(County::GreaterManchester), "greater-manchester");
+    }
+
+    #[test]
+    fn overrides_flow_into_the_delta() {
+        let text = format!(
+            "{MINIMAL}\n[overrides]\nrelocation-uptake = 0.0\ninterconnect-headroom = 4.0\n"
+        );
+        let doc = ScenarioDoc::parse(&text).unwrap();
+        let delta = doc.delta();
+        assert_eq!(delta.relocation_uptake, Some(0.0));
+        assert_eq!(delta.interconnect_headroom, Some(4.0));
+        assert!(delta.schedule.is_some());
+        let base = ScenarioConfig::tiny(5);
+        let cfg = doc.apply(&base);
+        assert_eq!(cfg.population.relocation_uptake, 0.0);
+        assert_eq!(cfg.interconnect_headroom, 4.0);
+        assert_eq!(cfg.schedule, doc.schedule);
+        assert_eq!(cfg.seed, base.seed);
+    }
+
+    #[test]
+    fn study_window_overrides_apply() {
+        let text = MINIMAL.replace(
+            "\n[[phase]]",
+            "study-start = 2020-02-03\nstudy-end = 2020-03-29\n\n[[phase]]",
+        );
+        let doc = ScenarioDoc::parse(&text).unwrap();
+        let cfg = doc.apply(&ScenarioConfig::tiny(5));
+        assert_eq!(cfg.study_start, Date::ymd(2020, 2, 3));
+        assert_eq!(cfg.study_end, Date::ymd(2020, 3, 29));
+        doc.validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_window_phase_is_a_schedule_error() {
+        let text = MINIMAL.replace("2020-02-03", "2021-02-03");
+        let doc = ScenarioDoc::parse(&text).unwrap();
+        match doc.validate() {
+            Err(ScenarioError::Schedule(ScheduleError::DateOutsideWindow { .. })) => {}
+            other => panic!("expected DateOutsideWindow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn toml_syntax_errors_carry_lines() {
+        match ScenarioDoc::parse("name = \"x\"\noops\n") {
+            Err(ScenarioError::Toml { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Toml error, got {other:?}"),
+        }
+    }
+}

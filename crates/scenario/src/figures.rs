@@ -249,17 +249,19 @@ pub fn fig4(ds: &StudyDataset) -> Fig4 {
         }
     }
     // Pre-announcement range: before the pandemic declaration mobility
-    // should ignore the (already growing) case counts.
-    let declaration = Date::ymd(2020, 3, 11);
+    // should ignore the (already growing) case counts. A scenario that
+    // never declares leaves every point "pre" and anchors the vertical
+    // line at zero cases.
+    let declaration = ds.declaration;
     let pre: Vec<&Fig4Point> = points
         .iter()
-        .filter(|p| ds.clock.date(p.day) < declaration)
+        .filter(|p| declaration.map_or(true, |d| ds.clock.date(p.day) < d))
         .collect();
     let xs: Vec<f64> = pre.iter().map(|p| p.cumulative_cases).collect();
     let ys: Vec<f64> = pre.iter().map(|p| p.entropy_delta_pct).collect();
     Fig4 {
         pre_lockdown_pearson: pearson(&xs, &ys),
-        cases_at_declaration: ds.cases.cumulative(declaration),
+        cases_at_declaration: declaration.map_or(0.0, |d| ds.cases.cumulative(d)),
         points,
     }
 }
@@ -752,11 +754,12 @@ pub fn headline(ds: &StudyDataset) -> Headline {
             .min_by(|a, b| a.total_cmp(b))
     };
 
-    // London absence: mean Inner-London row value from week 13 on. A
-    // window ending before lockdown week simply has no absence figure.
+    // London absence: mean Inner-London row value from the first fully
+    // restricted day on. A window ending before that week — or a
+    // scenario with no stay-home order — has no absence figure.
     let f7 = fig7(ds);
     let london_absent_pct = f7.rows.first().and_then(|(_, row)| {
-        let week13_start = ds.clock.day_of(Date::ymd(2020, 3, 23))? as usize;
+        let week13_start = ds.clock.day_of(ds.full_restriction?)? as usize;
         let vals: Vec<f64> = row[week13_start..].iter().flatten().copied().collect();
         cellscope_core::stats::mean(&vals).map(|v| -v)
     });

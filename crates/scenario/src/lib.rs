@@ -21,21 +21,32 @@
 //!   through the identical analysis (fault-tolerant, multi-worker);
 //! * [`feedfmt`] — the binary columnar feed format: KPI/voice segment
 //!   codecs and the lossless JSONL⇄binary directory converter;
-//! * [`variants`] — the canonical counterfactual/ablation arms.
+//! * [`variants`] — the canonical counterfactual/ablation arms as
+//!   sparse [`variants::ScenarioDelta`] overrides;
+//! * [`tomlite`] — the self-contained TOML reader scenario files use;
+//! * [`desc`] — declarative scenario documents: parse, validate
+//!   (deny-unknown-fields, typed errors), apply to a base config;
+//! * [`matrix`] — the scenario matrix runner: every scenario of a
+//!   library directory through generate → replay → figures.
 
 pub mod config;
 pub mod dataset;
+pub mod desc;
 pub mod feedfmt;
 pub mod figures;
 pub mod hotpath;
+pub mod matrix;
 pub mod replay;
 pub mod run;
 pub mod shard;
+pub mod tomlite;
 pub mod variants;
 pub mod world;
 
 pub use config::ScenarioConfig;
 pub use dataset::StudyDataset;
+pub use desc::{scenario_files, ScenarioDoc, ScenarioError};
+pub use matrix::{run_matrix, MatrixError, MatrixOutcome};
 pub use feedfmt::{convert_feed_dir, detect_format, ConvertSummary, FeedFormat};
 pub use replay::{
     dataset_divergence, export_feeds, replay_study, FeedManifest, MalformedAt,
@@ -43,4 +54,5 @@ pub use replay::{
 };
 pub use run::{run_study, run_study_in, run_study_with};
 pub use shard::{run_sharded, run_study_sharded, ShardError, ShardPlan};
+pub use variants::ScenarioDelta;
 pub use world::World;

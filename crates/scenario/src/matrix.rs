@@ -1,0 +1,241 @@
+//! The scenario matrix runner.
+//!
+//! [`run_matrix`] drives every scenario file of a directory through the
+//! full pipeline — apply the scenario to a base configuration, build
+//! the world, export the signaling/KPI/voice feeds, stream them back
+//! through the replay engine, verify the replayed dataset is
+//! bit-identical to the in-memory run, and write the complete figure
+//! set — one output directory per scenario. The feeds are deleted after
+//! a successful replay (they are the largest artifact and fully
+//! regenerable); the figure JSONs and a per-scenario summary stay.
+
+use crate::config::ScenarioConfig;
+use crate::desc::{scenario_files, ScenarioDoc, ScenarioError};
+use crate::figures::{self, FigureSet};
+use crate::replay::{
+    dataset_divergence, export_feeds_in, replay_study_with, ReplayConfig,
+};
+use crate::run::run_study_with;
+use crate::shard::{run_study_sharded, ShardPlan};
+use crate::world::World;
+use cellscope_exec::Executor;
+use serde::Serialize;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// What one scenario's matrix run produced.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixOutcome {
+    /// Scenario name (also the output subdirectory).
+    pub name: String,
+    /// The scenario's one-line description.
+    pub description: String,
+    /// Simulated days.
+    pub num_days: usize,
+    /// Users kept by the study filter.
+    pub study_population: usize,
+    /// Per-cell-day KPI records.
+    pub kpi_records: usize,
+    /// Replay accounting: feed lines read back.
+    pub replay_lines: u64,
+    /// Wall seconds: in-memory study.
+    pub study_seconds: f64,
+    /// Wall seconds: feed export.
+    pub export_seconds: f64,
+    /// Wall seconds: streamed replay.
+    pub replay_seconds: f64,
+    /// Wall seconds: figure build + write.
+    pub figures_seconds: f64,
+    /// Headline gyration trough (Δ% vs baseline), if the window shows
+    /// one — the one-glance "did this scenario move mobility" figure.
+    pub gyration_trough_pct: Option<f64>,
+    /// Headline voice peak (Δ% vs baseline).
+    pub voice_volume_peak_pct: Option<f64>,
+}
+
+/// A matrix failure, tagged with the scenario that caused it.
+#[derive(Debug)]
+pub enum MatrixError {
+    /// Loading or validating a scenario file failed.
+    Scenario {
+        /// The offending file.
+        file: PathBuf,
+        /// The typed load/validation error.
+        error: ScenarioError,
+    },
+    /// A pipeline stage failed.
+    Stage {
+        /// The scenario being run.
+        scenario: String,
+        /// Stage label (`study`, `export`, `replay`, `figures`).
+        stage: &'static str,
+        /// Error text.
+        error: String,
+    },
+    /// The replayed dataset diverged from the in-memory run.
+    Divergence {
+        /// The scenario being run.
+        scenario: String,
+        /// First diverging dataset field.
+        field: &'static str,
+    },
+    /// The scenario directory held no `.toml` files.
+    EmptyLibrary(PathBuf),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::Scenario { file, error } => {
+                write!(f, "{}: {error}", file.display())
+            }
+            MatrixError::Stage { scenario, stage, error } => {
+                write!(f, "scenario `{scenario}`, {stage}: {error}")
+            }
+            MatrixError::Divergence { scenario, field } => {
+                write!(
+                    f,
+                    "scenario `{scenario}`: replayed dataset diverges in `{field}`"
+                )
+            }
+            MatrixError::EmptyLibrary(dir) => {
+                write!(f, "no scenario files (*.toml) in {}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// Run every scenario of `dir` through generate → replay → aggregate →
+/// figures, writing per-scenario outputs under `out/<name>/`. `base`
+/// fixes seeds and scale; `sharded` routes the study through the
+/// memory-bounded sharded runner (bit-identical by construction).
+/// Scenarios run in file-name order; the first failure aborts.
+pub fn run_matrix(
+    base: &ScenarioConfig,
+    dir: &Path,
+    out: &Path,
+    sharded: bool,
+) -> Result<Vec<MatrixOutcome>, MatrixError> {
+    let files = scenario_files(dir)
+        .map_err(|error| MatrixError::Scenario { file: dir.to_path_buf(), error })?;
+    if files.is_empty() {
+        return Err(MatrixError::EmptyLibrary(dir.to_path_buf()));
+    }
+    let mut outcomes = Vec::with_capacity(files.len());
+    for file in files {
+        let doc = ScenarioDoc::load(&file)
+            .and_then(|doc| doc.validate().map(|()| doc))
+            .map_err(|error| MatrixError::Scenario { file: file.clone(), error })?;
+        outcomes.push(run_one(base, &doc, out, sharded)?);
+    }
+    Ok(outcomes)
+}
+
+/// Run one scenario document through the full pipeline.
+pub fn run_one(
+    base: &ScenarioConfig,
+    doc: &ScenarioDoc,
+    out: &Path,
+    sharded: bool,
+) -> Result<MatrixOutcome, MatrixError> {
+    let stage_err = |stage: &'static str| {
+        let scenario = doc.name.clone();
+        move |e: String| MatrixError::Stage { scenario, stage, error: e }
+    };
+    let config = doc.apply(base);
+    let scenario_dir = out.join(&doc.name);
+    let feeds_dir = scenario_dir.join("feeds");
+    std::fs::create_dir_all(&scenario_dir)
+        .map_err(|e| stage_err("study")(e.to_string()))?;
+
+    let mut exec = Executor::new(config.threads);
+    let world = World::build(&config);
+
+    // Generate: the in-memory study is the reference dataset.
+    let t0 = Instant::now();
+    let ds = if sharded {
+        run_study_sharded(&config, &world, &mut exec, &ShardPlan::default())
+            .map_err(|e| stage_err("study")(e.to_string()))?
+    } else {
+        run_study_with(&config, &world, &mut exec)
+            .map_err(|e| stage_err("study")(e.to_string()))?
+    };
+    let study_seconds = t0.elapsed().as_secs_f64();
+
+    // Export the feeds, then stream them back through the replay
+    // engine — the paper's actual "operator hands you feeds" path.
+    let t1 = Instant::now();
+    export_feeds_in(&config, &world, &feeds_dir)
+        .map_err(|e| stage_err("export")(e.to_string()))?;
+    let export_seconds = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let (replayed, report) =
+        replay_study_with(&config, &world, &feeds_dir, &ReplayConfig::default(), &mut exec)
+            .map_err(|e| stage_err("replay")(e.to_string()))?;
+    let replay_seconds = t2.elapsed().as_secs_f64();
+    if let Some(field) = dataset_divergence(&ds, &replayed) {
+        return Err(MatrixError::Divergence { scenario: doc.name.clone(), field });
+    }
+
+    // Aggregate + figures from the replayed dataset (it just proved
+    // bit-identical; using it keeps the replay path load-bearing).
+    let t3 = Instant::now();
+    let figs = figures::build_all_with(&replayed, &mut exec)
+        .map_err(|e| stage_err("figures")(e.to_string()))?;
+    write_figures(&scenario_dir, &figs).map_err(|e| stage_err("figures")(e.to_string()))?;
+    let figures_seconds = t3.elapsed().as_secs_f64();
+
+    // Feeds are the big regenerable artifact; drop them once verified.
+    let _ = std::fs::remove_dir_all(&feeds_dir);
+
+    let outcome = MatrixOutcome {
+        name: doc.name.clone(),
+        description: doc.description.clone(),
+        num_days: world.num_days(),
+        study_population: ds.study_population,
+        kpi_records: ds.kpi.len(),
+        replay_lines: report.events.lines_read
+            + report.kpi.lines_read
+            + report.voice.lines_read,
+        study_seconds,
+        export_seconds,
+        replay_seconds,
+        figures_seconds,
+        gyration_trough_pct: figs.headline.gyration_trough_pct,
+        voice_volume_peak_pct: figs.headline.voice_volume_peak_pct,
+    };
+    let summary = serde_json::to_string_pretty(&outcome).expect("serialize outcome");
+    std::fs::write(scenario_dir.join("summary.json"), summary)
+        .map_err(|e| stage_err("figures")(e.to_string()))?;
+    Ok(outcome)
+}
+
+/// Write every figure of a set as `<dir>/<figure>.json`.
+fn write_figures(dir: &Path, figs: &FigureSet) -> Result<(), String> {
+    let write = |name: &str, v: serde_json::Value| -> Result<(), String> {
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, serde_json::to_string_pretty(&v).map_err(|e| e.to_string())?)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    };
+    write("table1", serde_json::to_value(&figs.table1).map_err(|e| e.to_string())?)?;
+    write("fig2", serde_json::to_value(&figs.fig2).map_err(|e| e.to_string())?)?;
+    write("fig3", serde_json::to_value(&figs.fig3).map_err(|e| e.to_string())?)?;
+    write("fig4", serde_json::to_value(&figs.fig4).map_err(|e| e.to_string())?)?;
+    write("fig5", serde_json::to_value(&figs.fig5).map_err(|e| e.to_string())?)?;
+    write("fig6", serde_json::to_value(&figs.fig6).map_err(|e| e.to_string())?)?;
+    write("fig7", serde_json::to_value(&figs.fig7).map_err(|e| e.to_string())?)?;
+    write("fig8", serde_json::to_value(&figs.fig8).map_err(|e| e.to_string())?)?;
+    write("fig9", serde_json::to_value(&figs.fig9).map_err(|e| e.to_string())?)?;
+    write("fig10", serde_json::to_value(&figs.fig10).map_err(|e| e.to_string())?)?;
+    write("fig11", serde_json::to_value(&figs.fig11).map_err(|e| e.to_string())?)?;
+    write("fig12", serde_json::to_value(&figs.fig12).map_err(|e| e.to_string())?)?;
+    write(
+        "bin_profile",
+        serde_json::to_value(&figs.bin_profile).map_err(|e| e.to_string())?,
+    )?;
+    write("headline", serde_json::to_value(&figs.headline).map_err(|e| e.to_string())?)
+}

@@ -1527,6 +1527,8 @@ pub fn dataset_divergence(a: &StudyDataset, b: &StudyDataset) -> Option<&'static
     check!(rat_dwell_share);
     check!(study_population);
     check!(homes_detected);
+    check!(declaration);
+    check!(full_restriction);
     None
 }
 

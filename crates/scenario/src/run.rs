@@ -49,7 +49,7 @@ use cellscope_radio::{
 use cellscope_signaling::{
     reconstruct_dwell_into, DwellRecord, EventGenerator, SignalingEvent,
 };
-use cellscope_time::DayBin;
+use cellscope_time::{Date, DayBin};
 use cellscope_traffic::{DayLoadGrid, DemandModel, LoadGenerator, ThrottlePolicy, VoiceModel};
 
 /// Days per phase-A work block. Fixed (never derived from the thread
@@ -562,24 +562,28 @@ pub(crate) fn calibrate_traffic_scale(config: &ScenarioConfig, world: &World) ->
 }
 
 /// The load generator for a configuration: all policy-reactive traffic
-/// models follow the scenario's timeline. `scale` is the population
+/// models follow the scenario's schedule. `scale` is the population
 /// weight (1.0 = raw per-subscriber loads; the runner calibrates it via
 /// [`run_study_in`]'s calibration pass).
 pub fn load_generator(config: &ScenarioConfig, scale: f64) -> LoadGenerator {
     LoadGenerator {
         demand: DemandModel {
-            timeline: config.timeline,
+            schedule: config.schedule.clone(),
             ..DemandModel::default()
         },
         voice: VoiceModel {
-            timeline: config.timeline,
+            schedule: config.schedule.clone(),
             ..VoiceModel::default()
         },
         // Content providers reduced quality as venues closed (the EU
-        // request of Mar 19, the day before the closures).
+        // request of Mar 19, the day before the closures). A schedule
+        // with no throttle date means providers never degrade.
         throttle: {
             let mut throttle = ThrottlePolicy {
-                effective_from: config.timeline.closures.add_days(-1),
+                effective_from: config
+                    .schedule
+                    .throttle_from
+                    .unwrap_or(Date::ymd(9999, 1, 1)),
                 ..ThrottlePolicy::default()
             };
             if !config.content_throttling {
@@ -679,14 +683,11 @@ pub(crate) fn simulate_day_kpi(
     sink: impl FnMut(u32, &[HourlyKpiSample]),
 ) -> f64 {
     let date = world.clock.date(day);
-    let timeline = world.behavior.timeline();
-    let intensity = timeline.intensity(date);
-    // Ratchet: at-home WiFi settling does not unwind after lockdown.
-    let confinement = if date >= timeline.lockdown {
-        1.0
-    } else {
-        intensity
-    };
+    let schedule = world.behavior.schedule();
+    let intensity = schedule.intensity(date);
+    // Ratchet: at-home WiFi settling does not unwind once a full
+    // confinement phase has started.
+    let confinement = schedule.confinement(date);
     grid.clear();
     for sub in world.population.subscribers() {
         trajgen.generate_into(sub, day, traj_buf);
@@ -906,5 +907,7 @@ pub(crate) fn assemble(
         rat_dwell_share,
         study_population,
         homes_detected,
+        declaration: world.behavior.schedule().declaration_date(),
+        full_restriction: world.behavior.schedule().full_restriction_date(),
     })
 }

@@ -595,15 +595,12 @@ fn phase_b_sharded(
                 let block_days = acc.buf[0].0.clone();
                 for (local_day, &day) in block_days.iter().enumerate() {
                     let date = world.clock.date(day);
-                    let timeline = world.behavior.timeline();
-                    let intensity = timeline.intensity(date);
+                    let schedule = world.behavior.schedule();
+                    let intensity = schedule.intensity(date);
                     // Ratchet: at-home WiFi settling does not unwind
-                    // after lockdown (mirrors `simulate_day_kpi`).
-                    let confinement = if date >= timeline.lockdown {
-                        1.0
-                    } else {
-                        intensity
-                    };
+                    // once confinement starts (mirrors
+                    // `simulate_day_kpi`).
+                    let confinement = schedule.confinement(date);
                     acc.grid.clear();
                     for (_, shard_out) in &acc.buf {
                         for (sub_idx, visits) in shard_out[local_day].iter() {

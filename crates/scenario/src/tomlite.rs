@@ -1,0 +1,536 @@
+//! A minimal TOML reader for scenario files.
+//!
+//! The container ships no TOML dependency, so the scenario engine
+//! carries its own reader for the subset scenario files actually use:
+//!
+//! * `[table]` and nested `[a.b]` headers;
+//! * `[[array-of-tables]]`, including nested (`[[a.b]]` appends to the
+//!   array `b` of the *latest* element of `a`);
+//! * `key = value` with bare (`a-z A-Z 0-9 _ -`) or `"quoted"` keys;
+//! * values: basic strings, integers, floats, booleans, bare
+//!   `YYYY-MM-DD` dates, and (possibly multi-line) arrays;
+//! * `#` comments and blank lines.
+//!
+//! Order is preserved — tables are `Vec<(String, TomlValue)>` — and
+//! floats go through Rust's correctly-rounded `f64` parser, so a value
+//! written as `0.85` loads as exactly the `0.85` literal a Rust source
+//! would produce. Errors carry the 1-based source line.
+
+use cellscope_time::Date;
+use std::fmt;
+
+/// One parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// Basic string.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Bare local date (`YYYY-MM-DD`).
+    Date(Date),
+    /// Array of values.
+    Array(Vec<TomlValue>),
+    /// Table (order-preserving).
+    Table(Table),
+}
+
+/// An order-preserving table.
+pub type Table = Vec<(String, TomlValue)>;
+
+impl TomlValue {
+    /// A short name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::Str(_) => "string",
+            TomlValue::Int(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::Date(_) => "date",
+            TomlValue::Array(_) => "array",
+            TomlValue::Table(_) => "table",
+        }
+    }
+}
+
+/// A parse failure, anchored to its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlError {
+    /// 1-based line the failure was detected on.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, TomlError> {
+    Err(TomlError { line, msg: msg.into() })
+}
+
+/// Parse a TOML document into its root table.
+pub fn parse(text: &str) -> Result<Table, TomlError> {
+    let mut root: Table = Vec::new();
+    // Path of the table subsequent `key = value` lines land in. Each
+    // segment names a key; traversal descends through tables and into
+    // the *last* element of arrays-of-tables.
+    let mut current: Vec<String> = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(inner) = rest.strip_suffix("]]") else {
+                return err(lineno, "unterminated `[[` header");
+            };
+            let path = parse_key_path(inner.trim(), lineno)?;
+            if path.is_empty() {
+                return err(lineno, "empty `[[ ]]` header");
+            }
+            let (parent, leaf) = path.split_at(path.len() - 1);
+            let table = open_path(&mut root, parent, lineno)?;
+            match table.iter_mut().find(|(k, _)| *k == leaf[0]) {
+                None => {
+                    table.push((leaf[0].clone(), TomlValue::Array(vec![TomlValue::Table(
+                        Vec::new(),
+                    )])));
+                }
+                Some((_, TomlValue::Array(items))) => {
+                    items.push(TomlValue::Table(Vec::new()));
+                }
+                Some((_, other)) => {
+                    return err(
+                        lineno,
+                        format!("`{}` is a {}, not an array of tables", leaf[0], other.type_name()),
+                    );
+                }
+            }
+            current = path;
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let Some(inner) = rest.strip_suffix(']') else {
+                return err(lineno, "unterminated `[` header");
+            };
+            let path = parse_key_path(inner.trim(), lineno)?;
+            if path.is_empty() {
+                return err(lineno, "empty `[ ]` header");
+            }
+            let (parent, leaf) = path.split_at(path.len() - 1);
+            let table = open_path(&mut root, parent, lineno)?;
+            match table.iter_mut().find(|(k, _)| *k == leaf[0]) {
+                None => table.push((leaf[0].clone(), TomlValue::Table(Vec::new()))),
+                Some((_, TomlValue::Table(_))) => {
+                    return err(lineno, format!("table `{}` defined twice", path.join(".")));
+                }
+                Some((_, other)) => {
+                    return err(
+                        lineno,
+                        format!("`{}` is a {}, not a table", leaf[0], other.type_name()),
+                    );
+                }
+            }
+            current = path;
+        } else {
+            // key = value — possibly spilling over following lines when
+            // an array stays open.
+            let Some(eq) = find_unquoted(line, '=') else {
+                return err(lineno, format!("expected `key = value`, got `{line}`"));
+            };
+            let key = parse_single_key(line[..eq].trim(), lineno)?;
+            let mut value_text = line[eq + 1..].trim().to_string();
+            if value_text.is_empty() {
+                return err(lineno, format!("`{key}` has no value"));
+            }
+            while bracket_balance(&value_text) > 0 {
+                let Some((_, cont)) = lines.next() else {
+                    return err(lineno, format!("unterminated array in `{key}`"));
+                };
+                value_text.push(' ');
+                value_text.push_str(strip_comment(cont).trim());
+            }
+            let mut cur = Cursor::new(&value_text, lineno);
+            let value = cur.parse_value()?;
+            cur.skip_ws();
+            if !cur.at_end() {
+                return err(lineno, format!("trailing characters after the value of `{key}`"));
+            }
+            let table = open_path(&mut root, &current, lineno)?;
+            if table.iter().any(|(k, _)| *k == key) {
+                return err(lineno, format!("key `{key}` set twice"));
+            }
+            table.push((key, value));
+        }
+    }
+    Ok(root)
+}
+
+/// Walk `path` from `root`, creating missing tables, descending into
+/// the last element of arrays-of-tables.
+fn open_path<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut Table, TomlError> {
+    let mut cur = root;
+    for seg in path {
+        if !cur.iter().any(|(k, _)| k == seg) {
+            cur.push((seg.clone(), TomlValue::Table(Vec::new())));
+        }
+        let entry = cur
+            .iter_mut()
+            .find(|(k, _)| k == seg)
+            .expect("just ensured");
+        cur = match &mut entry.1 {
+            TomlValue::Table(t) => t,
+            TomlValue::Array(items) => match items.last_mut() {
+                Some(TomlValue::Table(t)) => t,
+                _ => return err(line, format!("array `{seg}` holds no table to extend")),
+            },
+            other => {
+                return err(
+                    line,
+                    format!("`{seg}` is a {}, not a table", other.type_name()),
+                )
+            }
+        };
+    }
+    Ok(cur)
+}
+
+/// Strip a `#` comment, respecting basic strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Find `needle` outside of basic strings.
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            c2 if c2 == needle && !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Net `[`-depth of a line fragment, outside basic strings.
+fn bracket_balance(s: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+fn is_bare_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Parse a dotted header path (`a.b.c`).
+fn parse_key_path(text: &str, line: usize) -> Result<Vec<String>, TomlError> {
+    text.split('.')
+        .map(|seg| parse_single_key(seg.trim(), line))
+        .collect()
+}
+
+/// Parse one key: bare or quoted.
+fn parse_single_key(text: &str, line: usize) -> Result<String, TomlError> {
+    if let Some(rest) = text.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return err(line, format!("unterminated quoted key `{text}`"));
+        };
+        return Ok(inner.to_string());
+    }
+    if text.is_empty() || !text.chars().all(is_bare_key_char) {
+        return err(line, format!("invalid key `{text}`"));
+    }
+    Ok(text.to_string())
+}
+
+/// Character cursor over one logical value.
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str, line: usize) -> Cursor<'a> {
+        Cursor { chars: text.chars().peekable(), line }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.chars.peek().is_none()
+    }
+
+    fn parse_value(&mut self) -> Result<TomlValue, TomlError> {
+        self.skip_ws();
+        match self.chars.peek() {
+            None => err(self.line, "missing value"),
+            Some('"') => self.parse_string(),
+            Some('[') => self.parse_array(),
+            Some('{') => err(self.line, "inline tables are not supported"),
+            Some(_) => self.parse_scalar(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<TomlValue, TomlError> {
+        self.chars.next(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return err(self.line, "unterminated string"),
+                Some('"') => return Ok(TomlValue::Str(out)),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    other => {
+                        return err(
+                            self.line,
+                            format!("unsupported escape `\\{}`", other.unwrap_or(' ')),
+                        )
+                    }
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<TomlValue, TomlError> {
+        self.chars.next(); // `[`
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                None => return err(self.line, "unterminated array"),
+                Some(']') => {
+                    self.chars.next();
+                    return Ok(TomlValue::Array(items));
+                }
+                Some(',') => {
+                    self.chars.next();
+                }
+                Some(_) => items.push(self.parse_value()?),
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<TomlValue, TomlError> {
+        let mut token = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == ',' || c == ']' || c.is_whitespace() {
+                break;
+            }
+            token.push(c);
+            self.chars.next();
+        }
+        scalar_from_token(&token, self.line)
+    }
+}
+
+/// Classify a bare token: bool, date, integer, or float.
+fn scalar_from_token(token: &str, line: usize) -> Result<TomlValue, TomlError> {
+    match token {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    if let Some(date) = parse_date(token) {
+        return Ok(TomlValue::Date(date));
+    }
+    let numeric = token.replace('_', "");
+    if numeric.chars().all(|c| c.is_ascii_digit() || c == '-' || c == '+')
+        && numeric.chars().any(|c| c.is_ascii_digit())
+    {
+        if let Ok(i) = numeric.parse::<i64>() {
+            return Ok(TomlValue::Int(i));
+        }
+    }
+    if let Ok(f) = numeric.parse::<f64>() {
+        if numeric.contains('.') || numeric.contains('e') || numeric.contains('E') {
+            return Ok(TomlValue::Float(f));
+        }
+    }
+    err(line, format!("cannot parse value `{token}`"))
+}
+
+/// Parse and range-check a bare `YYYY-MM-DD` date.
+fn parse_date(token: &str) -> Option<Date> {
+    let bytes = token.as_bytes();
+    if bytes.len() != 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let year: i32 = token[..4].parse().ok()?;
+    let month: u8 = token[5..7].parse().ok()?;
+    let day: u8 = token[8..10].parse().ok()?;
+    if !(1..=12).contains(&month) {
+        return None;
+    }
+    let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    let max_day = match month {
+        2 if leap => 29,
+        2 => 28,
+        4 | 6 | 9 | 11 => 30,
+        _ => 31,
+    };
+    if day == 0 || day > max_day {
+        return None;
+    }
+    Some(Date::ymd(year, month, day))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(t: &'a Table, key: &str) -> &'a TomlValue {
+        &t.iter().find(|(k, _)| k == key).expect(key).1
+    }
+
+    #[test]
+    fn scalars_and_order() {
+        let t = parse(
+            "name = \"x\"\ncount = 3\nshare = 0.85\nflag = true\nwhen = 2020-03-23\n",
+        )
+        .unwrap();
+        assert_eq!(
+            t.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            ["name", "count", "share", "flag", "when"]
+        );
+        assert_eq!(get(&t, "name"), &TomlValue::Str("x".into()));
+        assert_eq!(get(&t, "count"), &TomlValue::Int(3));
+        assert_eq!(get(&t, "share"), &TomlValue::Float(0.85));
+        assert_eq!(get(&t, "flag"), &TomlValue::Bool(true));
+        assert_eq!(get(&t, "when"), &TomlValue::Date(Date::ymd(2020, 3, 23)));
+    }
+
+    #[test]
+    fn floats_parse_to_the_literal_bits() {
+        let t = parse("a = 0.1\nb = 2.4\nc = 1.0e-3\n").unwrap();
+        assert_eq!(get(&t, "a"), &TomlValue::Float(0.1));
+        assert_eq!(get(&t, "b"), &TomlValue::Float(2.4));
+        assert_eq!(get(&t, "c"), &TomlValue::Float(1.0e-3));
+    }
+
+    #[test]
+    fn tables_and_arrays_of_tables() {
+        let text = "\
+top = 1
+
+[traffic]
+throttle = 2020-03-19
+
+[[phase]]
+name = \"a\"
+
+[[phase]]
+name = \"b\"
+
+[[regional]]
+factor = 0.95
+[[regional.group]]
+counties = [\"kent\", \"essex\"]
+";
+        let t = parse(text).unwrap();
+        let TomlValue::Table(traffic) = get(&t, "traffic") else { panic!() };
+        assert_eq!(get(traffic, "throttle"), &TomlValue::Date(Date::ymd(2020, 3, 19)));
+        let TomlValue::Array(phases) = get(&t, "phase") else { panic!() };
+        assert_eq!(phases.len(), 2);
+        let TomlValue::Table(second) = &phases[1] else { panic!() };
+        assert_eq!(get(second, "name"), &TomlValue::Str("b".into()));
+        let TomlValue::Array(regional) = get(&t, "regional") else { panic!() };
+        let TomlValue::Table(win) = &regional[0] else { panic!() };
+        let TomlValue::Array(groups) = get(win, "group") else { panic!() };
+        assert_eq!(groups.len(), 1);
+    }
+
+    #[test]
+    fn multi_line_arrays_and_comments() {
+        let text = "\
+# leading comment
+weights = [ # trailing comment
+    [\"hampshire\", 0.26],
+    [\"kent\", 0.17],
+]
+";
+        let t = parse(text).unwrap();
+        let TomlValue::Array(rows) = get(&t, "weights") else { panic!() };
+        assert_eq!(rows.len(), 2);
+        let TomlValue::Array(first) = &rows[0] else { panic!() };
+        assert_eq!(first[0], TomlValue::Str("hampshire".into()));
+        assert_eq!(first[1], TomlValue::Float(0.26));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = 1\nbroken\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("a = 1\na = 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("twice"));
+        let e = parse("d = 2020-13-01\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse("[t]\nx = 1\n[t]\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let t = parse("s = \"a # b\"\n").unwrap();
+        assert_eq!(get(&t, "s"), &TomlValue::Str("a # b".into()));
+    }
+}

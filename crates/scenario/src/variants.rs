@@ -1,52 +1,115 @@
 //! Canonical scenario variants: the counterfactual and ablation arms.
 //!
-//! Each function takes a base configuration and removes (or alters) one
-//! modelled mechanism, leaving everything else — including every seed —
-//! untouched, so differences between runs are attributable to that
-//! mechanism alone. The `ablation` binary and the integration tests both
-//! build their arms from here.
+//! A variant is a [`ScenarioDelta`] — a sparse set of overrides applied
+//! on top of a base configuration, leaving everything else (including
+//! every seed) untouched, so differences between runs are attributable
+//! to the overridden mechanisms alone. Scenario files express the same
+//! deltas in their `[overrides]` table, so the ablation binary, the
+//! integration tests, and the scenario library all share one source of
+//! truth for "what a variant may change".
 
 use crate::config::ScenarioConfig;
-use cellscope_epidemic::Timeline;
+use cellscope_epidemic::PhaseSchedule;
+use serde::{Deserialize, Serialize};
+
+/// A sparse override set over a [`ScenarioConfig`]. Every field is
+/// optional; [`ScenarioDelta::apply`] copies only the present ones onto
+/// a clone of the base. The closed field set is deliberate: a delta can
+/// swap the behavioural schedule or the handful of ablation knobs, but
+/// never seeds or population scale — those would silently break
+/// attributability.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioDelta {
+    /// Replace the behavioural phase schedule.
+    pub schedule: Option<PhaseSchedule>,
+    /// Override the share of eligible residents acting on a relocation
+    /// wave (0.0 disables relocation entirely).
+    pub relocation_uptake: Option<f64>,
+    /// Override how quickly network operations provision interconnect
+    /// capacity after sustained congestion (days).
+    pub response_delay_days: Option<u16>,
+    /// Enable/disable content-provider quality reduction.
+    pub content_throttling: Option<bool>,
+    /// Override interconnect head-room over the baseline off-net load.
+    pub interconnect_headroom: Option<f64>,
+}
+
+impl ScenarioDelta {
+    /// Apply the present overrides to a clone of `base`.
+    pub fn apply(&self, base: &ScenarioConfig) -> ScenarioConfig {
+        let mut cfg = base.clone();
+        if let Some(schedule) = &self.schedule {
+            cfg.schedule = schedule.clone();
+        }
+        if let Some(uptake) = self.relocation_uptake {
+            cfg.population.relocation_uptake = uptake;
+        }
+        if let Some(days) = self.response_delay_days {
+            cfg.interconnect.response_delay_days = days;
+        }
+        if let Some(throttling) = self.content_throttling {
+            cfg.content_throttling = throttling;
+        }
+        if let Some(headroom) = self.interconnect_headroom {
+            cfg.interconnect_headroom = headroom;
+        }
+        cfg
+    }
+
+    /// Whether the delta overrides anything at all.
+    pub fn is_empty(&self) -> bool {
+        *self == ScenarioDelta::default()
+    }
+}
 
 /// The control arm: no pandemic interventions ever happen. Mobility,
-/// demand, voice, relocation and throttling all read a quiet timeline.
+/// demand, voice, relocation and throttling all read an empty schedule.
 pub fn no_interventions(base: &ScenarioConfig) -> ScenarioConfig {
-    let mut cfg = base.clone();
-    cfg.timeline = Timeline::no_intervention();
-    cfg
+    ScenarioDelta {
+        schedule: Some(PhaseSchedule::no_intervention()),
+        ..ScenarioDelta::default()
+    }
+    .apply(base)
 }
 
 /// Remove the Inner-London relocation wave (nobody acts on their
 /// secondary residence); everything else proceeds as in the base.
 pub fn no_relocation(base: &ScenarioConfig) -> ScenarioConfig {
-    let mut cfg = base.clone();
-    cfg.population.relocation_uptake = 0.0;
-    cfg
+    ScenarioDelta {
+        relocation_uptake: Some(0.0),
+        ..ScenarioDelta::default()
+    }
+    .apply(base)
 }
 
 /// Network operations provision interconnect capacity within `days`
 /// of sustained congestion instead of the historical ~3 weeks.
 pub fn fast_ops_response(base: &ScenarioConfig, days: u16) -> ScenarioConfig {
-    let mut cfg = base.clone();
-    cfg.interconnect.response_delay_days = days;
-    cfg
+    ScenarioDelta {
+        response_delay_days: Some(days),
+        ..ScenarioDelta::default()
+    }
+    .apply(base)
 }
 
 /// Content providers never reduce quality: per-user throughput stays at
 /// the unthrottled application ceiling.
 pub fn no_content_throttling(base: &ScenarioConfig) -> ScenarioConfig {
-    let mut cfg = base.clone();
-    cfg.content_throttling = false;
-    cfg
+    ScenarioDelta {
+        content_throttling: Some(false),
+        ..ScenarioDelta::default()
+    }
+    .apply(base)
 }
 
 /// The interconnect is dimensioned with `headroom`× the baseline
 /// off-net voice load (e.g. 4.0 = never congests under the surge).
 pub fn interconnect_headroom(base: &ScenarioConfig, headroom: f64) -> ScenarioConfig {
-    let mut cfg = base.clone();
-    cfg.interconnect_headroom = headroom;
-    cfg
+    ScenarioDelta {
+        interconnect_headroom: Some(headroom),
+        ..ScenarioDelta::default()
+    }
+    .apply(base)
 }
 
 #[cfg(test)]
@@ -58,13 +121,13 @@ mod tests {
         let base = ScenarioConfig::tiny(9);
 
         let v = no_interventions(&base);
-        assert_ne!(v.timeline, base.timeline);
+        assert_ne!(v.schedule, base.schedule);
         assert_eq!(v.population.num_subscribers, base.population.num_subscribers);
         assert_eq!(v.seed, base.seed);
 
         let v = no_relocation(&base);
         assert_eq!(v.population.relocation_uptake, 0.0);
-        assert_eq!(v.timeline, base.timeline);
+        assert_eq!(v.schedule, base.schedule);
 
         let v = fast_ops_response(&base, 5);
         assert_eq!(v.interconnect.response_delay_days, 5);
@@ -79,6 +142,33 @@ mod tests {
     }
 
     #[test]
+    fn empty_delta_is_identity() {
+        let base = ScenarioConfig::tiny(11);
+        let delta = ScenarioDelta::default();
+        assert!(delta.is_empty());
+        let applied = delta.apply(&base);
+        assert_eq!(
+            serde_json::to_string(&applied).unwrap(),
+            serde_json::to_string(&base).unwrap()
+        );
+    }
+
+    #[test]
+    fn delta_round_trips_through_json() {
+        let delta = ScenarioDelta {
+            schedule: Some(PhaseSchedule::no_intervention()),
+            relocation_uptake: Some(0.25),
+            response_delay_days: None,
+            content_throttling: Some(false),
+            interconnect_headroom: Some(2.5),
+        };
+        let json = serde_json::to_string(&delta).unwrap();
+        let back: ScenarioDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, delta);
+        assert!(!back.is_empty());
+    }
+
+    #[test]
     fn config_round_trips_through_json() {
         // The repro binary persists and reloads configurations; every
         // knob must survive serialization.
@@ -88,6 +178,6 @@ mod tests {
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
         assert_eq!(back.seed, base.seed);
         assert_eq!(back.population.num_subscribers, base.population.num_subscribers);
-        assert_eq!(back.timeline, base.timeline);
+        assert_eq!(back.schedule, base.schedule);
     }
 }

@@ -38,11 +38,14 @@ impl World {
     pub fn build(config: &ScenarioConfig) -> World {
         let geo = config.geography.build();
         let topo = config.deployment.build(&geo);
-        // The scenario's timeline governs every policy-reactive model.
-        let mut population_config = config.population.clone();
-        population_config.timeline = config.timeline;
-        let population = Population::synthesize(&population_config, &geo, &topo);
-        let behavior = BehaviorModel::new(config.timeline);
+        // The scenario's schedule governs every policy-reactive model.
+        let population = Population::synthesize(
+            &config.population,
+            &config.schedule.relocation_waves,
+            &geo,
+            &topo,
+        );
+        let behavior = BehaviorModel::new(config.schedule.clone());
         let clock = SimClock::new(config.study_start, config.study_end);
         let cell_geo = topo
             .cells()

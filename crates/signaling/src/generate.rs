@@ -338,7 +338,7 @@ fn poisson(rng: &mut StdRng, mean: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cellscope_epidemic::Timeline;
+    use cellscope_epidemic::PhaseSchedule;
     use cellscope_geo::SynthConfig;
     use cellscope_mobility::{BehaviorModel, Population, PopulationConfig, TrajectoryGenerator};
     use cellscope_radio::DeployConfig;
@@ -359,10 +359,11 @@ mod tests {
                 seed: 8,
                 ..PopulationConfig::default()
             },
+            &PhaseSchedule::uk_2020().relocation_waves,
             &geo,
             &topo,
         );
-        let behavior = BehaviorModel::new(Timeline::uk_2020());
+        let behavior = BehaviorModel::new(PhaseSchedule::uk_2020());
         let generator = TrajectoryGenerator::new(&geo, &behavior, SimClock::study(), 8);
         let trajectories: Vec<_> = pop
             .subscribers()

@@ -9,10 +9,10 @@
 //! central mechanism of the paper's Section 4.1.
 
 use crate::apps::AppMix;
-use cellscope_epidemic::Timeline;
+use cellscope_epidemic::PhaseSchedule;
 use cellscope_geo::OacCluster;
 use cellscope_mobility::{DeviceClass, Segment, Subscriber, VisitKind};
-use cellscope_time::{Date, Weekday};
+use cellscope_time::Date;
 use serde::{Deserialize, Serialize};
 
 /// Diurnal weights: fraction of a day's demand falling in each hour.
@@ -91,14 +91,14 @@ pub struct DayDemand {
 }
 
 /// The demand model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DemandModel {
     /// Tuning.
     pub config: DemandConfig,
     /// App mix (stateless blender).
     pub mix: AppMix,
-    /// The policy timeline the news bump reacts to.
-    pub timeline: Timeline,
+    /// The behavioural schedule the news bump reacts to.
+    pub schedule: PhaseSchedule,
 }
 
 impl Default for DemandModel {
@@ -106,7 +106,7 @@ impl Default for DemandModel {
         DemandModel {
             config: DemandConfig::default(),
             mix: AppMix,
-            timeline: Timeline::uk_2020(),
+            schedule: PhaseSchedule::uk_2020(),
         }
     }
 }
@@ -115,20 +115,10 @@ impl DemandModel {
     /// The week-10–11 news bump: anxiety-driven consumption as the
     /// pandemic dominated headlines, before mobility collapsed. This is
     /// what lifts downlink volume +8% in week 10 (Fig. 8) while
-    /// everything else still looks normal. Keyed to the declaration
-    /// week, so counterfactual timelines produce no bump.
+    /// everything else still looks normal. Driven by the schedule's
+    /// news windows, so counterfactual schedules produce no bump.
     pub fn news_bump(&self, date: Date) -> f64 {
-        let declared_monday = self
-            .timeline
-            .pandemic_declared
-            .previous_or_same(Weekday::Monday);
-        let week_rel =
-            date.previous_or_same(Weekday::Monday).days_since(declared_monday) / 7;
-        match week_rel {
-            -1 => 1.08,
-            0 => 1.05,
-            _ => 1.0,
-        }
+        self.schedule.news_multiplier(date)
     }
 
     /// Segment scaling of data appetite.
@@ -285,9 +275,9 @@ mod tests {
         assert_eq!(m.news_bump(Date::ymd(2020, 3, 11)), 1.05); // wk 11
         assert_eq!(m.news_bump(Date::ymd(2020, 2, 25)), 1.0); // wk 9
         assert_eq!(m.news_bump(Date::ymd(2020, 4, 1)), 1.0); // wk 14
-        // Counterfactual timeline: no bump at all.
+        // Counterfactual schedule: no bump at all.
         let quiet = DemandModel {
-            timeline: Timeline::no_intervention(),
+            schedule: PhaseSchedule::no_intervention(),
             ..DemandModel::default()
         };
         assert_eq!(quiet.news_bump(Date::ymd(2020, 3, 4)), 1.0);

@@ -72,7 +72,7 @@ impl DayLoadGrid {
 }
 
 /// The load generator.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LoadGenerator {
     /// Data-demand model.
     pub demand: DemandModel,
@@ -193,7 +193,7 @@ impl LoadGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cellscope_epidemic::Timeline;
+    use cellscope_epidemic::PhaseSchedule;
     use cellscope_geo::{Geography, SynthConfig};
     use cellscope_mobility::{
         BehaviorModel, Population, PopulationConfig, TrajectoryGenerator,
@@ -217,6 +217,7 @@ mod tests {
                 seed: 6,
                 ..PopulationConfig::default()
             },
+            &PhaseSchedule::uk_2020().relocation_waves,
             &geo,
             &topo,
         );
@@ -224,7 +225,7 @@ mod tests {
             geo,
             topo,
             pop,
-            behavior: BehaviorModel::new(Timeline::uk_2020()),
+            behavior: BehaviorModel::new(PhaseSchedule::uk_2020()),
         }
     }
 
@@ -233,7 +234,7 @@ mod tests {
         let date = clock.date(day);
         let generator = TrajectoryGenerator::new(&w.geo, &w.behavior, clock, 6);
         let lg = LoadGenerator::default();
-        let intensity = w.behavior.timeline().intensity(date);
+        let intensity = w.behavior.schedule().intensity(date);
         let mut grid = DayLoadGrid::new(w.topo.cells().len());
         for sub in w.pop.subscribers() {
             let traj = generator.generate(sub, day);

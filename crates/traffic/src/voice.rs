@@ -7,13 +7,13 @@
 //! per-subscriber call minutes over time and the VoLTE volume they
 //! translate to.
 
-use cellscope_epidemic::Timeline;
+use cellscope_epidemic::PhaseSchedule;
 use cellscope_mobility::Segment;
-use cellscope_time::{Date, Weekday};
+use cellscope_time::Date;
 use serde::{Deserialize, Serialize};
 
 /// Voice demand parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VoiceModel {
     /// Baseline call minutes per subscriber per day (blended).
     pub baseline_minutes_per_day: f64,
@@ -22,10 +22,10 @@ pub struct VoiceModel {
     /// Fraction of voice minutes that terminate off-net (crossing the
     /// inter-MNO interconnect).
     pub off_net_share: f64,
-    /// The policy timeline the surge reacts to — the surge is a response
-    /// to the pandemic events, not to the calendar, so a counterfactual
-    /// timeline produces no surge.
-    pub timeline: Timeline,
+    /// The behavioural schedule the surge reacts to — the surge is a
+    /// response to the scheduled events, not to the calendar, so a
+    /// counterfactual schedule produces no surge.
+    pub schedule: PhaseSchedule,
 }
 
 impl Default for VoiceModel {
@@ -34,43 +34,20 @@ impl Default for VoiceModel {
             baseline_minutes_per_day: 10.0,
             mb_per_minute: 0.16,
             off_net_share: 0.55,
-            timeline: Timeline::uk_2020(),
+            schedule: PhaseSchedule::uk_2020(),
         }
     }
 }
 
 impl VoiceModel {
     /// The national voice surge multiplier on `date`, relative to the
-    /// pre-pandemic baseline. Calibrated to Fig. 9: flat through week
-    /// 10, climbing with the declaration (week 11), peaking ≈2.4× in
-    /// week 12 (+140%), then settling on a high plateau that slowly
-    /// decays — the paper reports the surge "peaked at 150% after
-    /// lockdown" and stayed far above baseline throughout.
+    /// pre-pandemic baseline. The UK schedule calibrates it to Fig. 9:
+    /// flat through week 10, climbing with the declaration (week 11),
+    /// peaking ≈2.4× in week 12 (+140%), then settling on a high
+    /// plateau that slowly decays — the paper reports the surge "peaked
+    /// at 150% after lockdown" and stayed far above baseline throughout.
     pub fn surge(&self, date: Date) -> f64 {
-        // Weeks relative to the declaration week (Mondays compared, so
-        // the bucketing is exact across year boundaries too).
-        let declared_monday = self
-            .timeline
-            .pandemic_declared
-            .previous_or_same(Weekday::Monday);
-        let week_rel =
-            date.previous_or_same(Weekday::Monday).days_since(declared_monday) / 7;
-        match week_rel {
-            i64::MIN..=-2 => 1.0,
-            -1 => 1.06, // first stir as the outbreak dominates the news
-            0 => {
-                // Ramp across the declaration week: 1.0 -> 1.8.
-                let day = date.weekday().iso_number() as f64; // 1..7
-                1.0 + 0.8 * day / 7.0
-            }
-            1 => 2.4,
-            2 => 2.35,
-            3 => 2.15,
-            _ => {
-                // Slow decay from 2.1, floored at 1.6.
-                (2.1 - 0.1 * (week_rel - 3) as f64).max(1.6)
-            }
-        }
+        self.schedule.voice_surge(date)
     }
 
     /// Call minutes of one subscriber on `date`.
@@ -154,7 +131,7 @@ mod tests {
     #[test]
     fn no_intervention_no_surge() {
         let m = VoiceModel {
-            timeline: Timeline::no_intervention(),
+            schedule: PhaseSchedule::no_intervention(),
             ..VoiceModel::default()
         };
         let mut d = Date::ymd(2020, 2, 1);

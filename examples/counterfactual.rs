@@ -5,21 +5,21 @@
 //! ```
 //!
 //! Runs the study twice — once under the UK's 2020 intervention
-//! timeline, once under [`Timeline::no_intervention`] — with identical
+//! schedule, once under [`PhaseSchedule::no_intervention`] — with identical
 //! seeds, so every difference between the two runs is attributable to
 //! policy. This is the cleanest demonstration that the reproduction's
 //! effects are *caused* by the modelled interventions rather than baked
 //! into the data: remove the policy and the paper's findings vanish.
 
 use cellscope::analysis::KpiField;
-use cellscope::epidemic::Timeline;
+use cellscope::epidemic::PhaseSchedule;
 use cellscope::scenario::{figures, run_study, ScenarioConfig};
 
 fn main() {
     let mut factual_cfg = ScenarioConfig::small(2020);
     factual_cfg.population.num_subscribers = 4_000;
     let mut counter_cfg = factual_cfg.clone();
-    counter_cfg.timeline = Timeline::no_intervention();
+    counter_cfg.schedule = PhaseSchedule::no_intervention();
 
     println!("simulating the factual (lockdown) arm…");
     let factual = run_study(&factual_cfg).expect("study");

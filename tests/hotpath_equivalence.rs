@@ -5,7 +5,7 @@
 //! steady state rests on.
 
 use cellscope_core::{top_n_towers, top_n_towers_into, TowerDwell};
-use cellscope_epidemic::Timeline;
+use cellscope_epidemic::PhaseSchedule;
 use cellscope_geo::{Geography, Point, SynthConfig};
 use cellscope_mobility::{
     BehaviorModel, DayTrajectory, Population, PopulationConfig, TrajectoryGenerator,
@@ -39,6 +39,7 @@ fn fixture() -> &'static Fixture {
                 seed: 77,
                 ..PopulationConfig::default()
             },
+            &PhaseSchedule::uk_2020().relocation_waves,
             &geo,
             &topo,
         );
@@ -46,7 +47,7 @@ fn fixture() -> &'static Fixture {
             geo,
             topo,
             pop,
-            behavior: BehaviorModel::new(Timeline::uk_2020()),
+            behavior: BehaviorModel::new(PhaseSchedule::uk_2020()),
             catalog: TacCatalog::synthetic(),
         }
     })

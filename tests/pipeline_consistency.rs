@@ -3,7 +3,7 @@
 //! tests prove the event → dwell reconstruction preserves what the
 //! trajectory generator produced.
 
-use cellscope::epidemic::Timeline;
+use cellscope::epidemic::PhaseSchedule;
 use cellscope::geo::SynthConfig;
 use cellscope::mobility::{
     BehaviorModel, DeviceClass, Population, PopulationConfig, TrajectoryGenerator,
@@ -32,6 +32,7 @@ fn world() -> World {
             seed: 21,
             ..PopulationConfig::default()
         },
+        &PhaseSchedule::uk_2020().relocation_waves,
         &geo,
         &topo,
     );
@@ -39,7 +40,7 @@ fn world() -> World {
         topo,
         geo,
         pop,
-        behavior: BehaviorModel::new(Timeline::uk_2020()),
+        behavior: BehaviorModel::new(PhaseSchedule::uk_2020()),
         catalog: TacCatalog::synthetic(),
     }
 }

@@ -1,0 +1,191 @@
+//! The declarative scenario engine, end to end.
+//!
+//! The load-bearing guarantee: `scenarios/uk-lockdown-2020.toml` is the
+//! *same scenario* as the built-in default — parsing it must yield the
+//! exact `PhaseSchedule::uk_2020()` value, and running the full study
+//! pipeline from the scenario-applied config must be bit-identical to
+//! the default config on both the in-memory and the sharded runner.
+//! Around that: every shipped scenario file parses and validates, and
+//! each validation-error class has a fixture asserting its typed error.
+
+use cellscope::epidemic::{PhaseSchedule, ScheduleError};
+use cellscope::exec::Executor;
+use cellscope::scenario::desc::{scenario_files, ScenarioDoc, ScenarioError};
+use cellscope::scenario::replay::dataset_divergence;
+use cellscope::scenario::run::run_study_with;
+use cellscope::scenario::shard::{run_study_sharded, ShardPlan};
+use cellscope::scenario::{ScenarioConfig, World};
+use std::path::Path;
+
+fn scenario_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios"))
+}
+
+fn load(name: &str) -> ScenarioDoc {
+    let path = scenario_dir().join(name);
+    let doc = ScenarioDoc::load(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    doc.validate()
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    doc
+}
+
+#[test]
+fn uk_lockdown_toml_is_the_builtin_schedule() {
+    let doc = load("uk-lockdown-2020.toml");
+    assert_eq!(
+        doc.schedule,
+        PhaseSchedule::uk_2020(),
+        "scenarios/uk-lockdown-2020.toml drifted from PhaseSchedule::uk_2020()"
+    );
+    assert!(doc.overrides.is_empty());
+    assert!(doc.study_start.is_none() && doc.study_end.is_none());
+}
+
+#[test]
+fn uk_lockdown_scenario_is_bit_identical_to_default() {
+    let base = ScenarioConfig::tiny(11);
+    let from_scenario = load("uk-lockdown-2020.toml").apply(&base);
+    // ScenarioConfig has no PartialEq (nested component configs);
+    // its serialized form is a complete, canonical fingerprint.
+    assert_eq!(
+        serde_json::to_string(&from_scenario).unwrap(),
+        serde_json::to_string(&base).unwrap(),
+        "applying the UK scenario must be a no-op"
+    );
+
+    let world_a = World::build(&base);
+    let world_b = World::build(&from_scenario);
+
+    let mut exec = Executor::new(base.threads);
+    let ds_default = run_study_with(&base, &world_a, &mut exec).expect("default study");
+    let ds_scenario =
+        run_study_with(&from_scenario, &world_b, &mut exec).expect("scenario study");
+    assert_eq!(
+        dataset_divergence(&ds_default, &ds_scenario),
+        None,
+        "in-memory runner diverged"
+    );
+
+    let ds_sharded =
+        run_study_sharded(&from_scenario, &world_b, &mut exec, &ShardPlan::default())
+            .expect("sharded scenario study");
+    assert_eq!(
+        dataset_divergence(&ds_default, &ds_sharded),
+        None,
+        "sharded runner diverged"
+    );
+}
+
+#[test]
+fn every_shipped_scenario_parses_and_validates() {
+    let files = scenario_files(scenario_dir()).expect("list scenarios/");
+    assert!(
+        files.len() >= 5,
+        "scenario library shrank: {} files",
+        files.len()
+    );
+    for path in files {
+        let doc = ScenarioDoc::load(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        doc.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(!doc.name.is_empty() && !doc.description.is_empty());
+        // The file name matches the declared scenario name, so CLI
+        // lookup by name (`--scenario NAME`) finds what it claims.
+        assert_eq!(
+            path.file_stem().and_then(|s| s.to_str()),
+            Some(doc.name.as_str()),
+            "{}: file name != scenario name",
+            path.display()
+        );
+    }
+}
+
+const VALID_HEAD: &str = "\
+name = \"fixture\"
+description = \"error-class fixture\"
+";
+
+#[test]
+fn overlapping_phases_fixture() {
+    let text = format!(
+        "{VALID_HEAD}\
+[[phase]]
+name = \"a\"
+start = 2020-03-09
+intensity = 0.2
+
+[[phase]]
+name = \"b\"
+start = 2020-03-02
+intensity = 0.4
+"
+    );
+    let doc = ScenarioDoc::parse(&text).expect("parses; ordering is a validation error");
+    match doc.validate() {
+        Err(ScenarioError::Schedule(ScheduleError::OverlappingPhases { .. })) => {}
+        other => panic!("expected OverlappingPhases, got {other:?}"),
+    }
+}
+
+#[test]
+fn date_outside_window_fixture() {
+    let text = format!(
+        "{VALID_HEAD}\
+[[phase]]
+name = \"late\"
+start = 2021-03-09
+intensity = 0.2
+"
+    );
+    let doc = ScenarioDoc::parse(&text).expect("parses");
+    match doc.validate() {
+        Err(ScenarioError::Schedule(ScheduleError::DateOutsideWindow { .. })) => {}
+        other => panic!("expected DateOutsideWindow, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_field_range_fixture() {
+    let text = format!(
+        "{VALID_HEAD}\
+[[phase]]
+name = \"over\"
+start = 2020-03-09
+intensity = 1.5
+"
+    );
+    let doc = ScenarioDoc::parse(&text).expect("parses");
+    match doc.validate() {
+        Err(ScenarioError::Schedule(ScheduleError::BadFieldRange { .. })) => {}
+        other => panic!("expected BadFieldRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_field_fixture_names_the_key() {
+    let text = format!(
+        "{VALID_HEAD}\
+[[phase]]
+name = \"typo\"
+start = 2020-03-09
+intensty = 0.2
+"
+    );
+    match ScenarioDoc::parse(&text) {
+        Err(ScenarioError::UnknownField { table, key }) => {
+            assert_eq!(table, "phase[0]");
+            assert_eq!(key, "intensty");
+        }
+        other => panic!("expected UnknownField, got {other:?}"),
+    }
+}
+
+#[test]
+fn toml_syntax_error_fixture_carries_a_line() {
+    match ScenarioDoc::parse("name = \"x\"\ndescription = \"y\"\nnot toml at all\n") {
+        Err(ScenarioError::Toml { line, .. }) => assert_eq!(line, 3),
+        other => panic!("expected Toml error, got {other:?}"),
+    }
+}
