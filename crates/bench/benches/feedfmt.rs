@@ -7,9 +7,11 @@
 //! ships on:
 //!
 //! 1. decoding the binary segment yields bit-identical events to
-//!    parsing the JSONL feed it mirrors;
-//! 2. a decode into warm buffers performs **zero** heap allocations —
-//!    the dirty-arena steady state the replay workers live in;
+//!    parsing the JSONL feed it mirrors — whether the segment bytes
+//!    come from memory or from mmap'ed pages (`SegmentView`);
+//! 2. a decode into warm buffers performs **zero** heap allocations on
+//!    both the in-memory and the mapped path — the dirty-arena steady
+//!    state the replay workers live in;
 //! 3. the decode is at least [`MIN_DECODE_SPEEDUP`]× faster than the
 //!    JSONL parse (the PR's ≥ 3× floor, with headroom for CI noise
 //!    behind it: measured figures are far higher — see
@@ -53,10 +55,19 @@ fn assert_feedfmt_properties() {
         summary.bit_identical,
         "binary decode diverged from the JSONL parse"
     );
+    assert!(
+        summary.mapped_bit_identical,
+        "mapped decode diverged from the generated stream"
+    );
     assert_eq!(
         summary.decode_steady_allocs,
         Some(0),
         "binary decode into warm buffers must not touch the allocator"
+    );
+    assert_eq!(
+        summary.mapped_steady_allocs,
+        Some(0),
+        "mapped (mmap) decode into warm buffers must not touch the allocator"
     );
     assert!(
         summary.decode_speedup >= MIN_DECODE_SPEEDUP,
@@ -96,7 +107,22 @@ fn bench_feed_read_paths(c: &mut Criterion) {
             out.len()
         })
     });
+
+    // The same decode straight out of mmap'ed pages.
+    let tmp = std::env::temp_dir()
+        .join(format!("cellscope_feedfmt_bench_{}.csb", std::process::id()));
+    std::fs::write(&tmp, &binary).expect("write segment file");
+    let view = columnar::SegmentView::open(&tmp).expect("map segment file");
+    group.bench_function("mapped_decode_day", |bench| {
+        bench.iter(|| {
+            columnar::decode_events_into(view.bytes(), &mut scratch, &mut out)
+                .expect("mapped segment decodes");
+            out.len()
+        })
+    });
     group.finish();
+    drop(view);
+    std::fs::remove_file(&tmp).ok();
 }
 
 criterion_group!(benches, bench_feed_read_paths);

@@ -12,7 +12,7 @@
 //! subscriber × day structure at once) fails loudly here before
 //! anyone pays for it at the 500k-subscriber `large` preset.
 
-use cellscope_bench::scalebench;
+use cellscope_bench::{feedbench, scalebench};
 use cellscope_scenario::{ScenarioConfig, ShardPlan};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::path::Path;
@@ -25,7 +25,17 @@ use std::path::Path;
 const SMALL_PEAK_RSS_BUDGET: u64 = 1536 * 1024 * 1024;
 
 fn run_sweep_and_assert_budget() {
-    let summary = scalebench::standard();
+    let mut summary = scalebench::standard();
+
+    // One-off rows (`CELLSCOPE_SCALE_EXTRA=large,paper`): measure the
+    // expensive presets on demand — minutes each, so not part of the
+    // tier-1 sweep; the merge-on-write below keeps them in the JSON
+    // across refreshes of the cheap rows.
+    if let Ok(extra) = std::env::var("CELLSCOPE_SCALE_EXTRA") {
+        for name in extra.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            summary.points.push(scalebench::preset_point(name));
+        }
+    }
     for p in &summary.points {
         println!(
             "scale {:>12}: {:>7} subs x {:>3} days  {:>7.2}s  peak RSS {}",
@@ -38,6 +48,21 @@ fn run_sweep_and_assert_budget() {
                 .unwrap_or_else(|| "--".into()),
         );
     }
+
+    // Streamed-vs-mapped replay at the tiny scale: tier-1's check that
+    // the mmap read path exists and is invisible in the output. The
+    // headline speedup is measured at `small` by `--bench-summary`
+    // (see `results/BENCH_feedfmt.json`).
+    let replay = feedbench::replay_compare(&ScenarioConfig::tiny(42), "tiny", 2);
+    println!(
+        "replay    tiny : {:.2}s streamed -> {:.2}s mapped ({:.2}x)",
+        replay.streamed_seconds, replay.mapped_seconds, replay.mapped_speedup,
+    );
+    assert!(
+        replay.bit_identical,
+        "mapped replay diverged from the streamed replay"
+    );
+    summary.replay = Some(replay);
 
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_scale.json");
     if let Err(e) = scalebench::write_json(&out, &summary) {

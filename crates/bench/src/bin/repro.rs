@@ -2,7 +2,7 @@
 //! paper-vs-measured summary. This is the source of EXPERIMENTS.md.
 //!
 //! Usage:
-//! `repro [--scale full|small|tiny|large] [--sharded] [--seed N]
+//! `repro [--scale tiny|small|full|large|paper] [--sharded] [--seed N]
 //!        [--json DIR] [--csv DIR]
 //!        [--scenario NAME|PATH] [--list-scenarios] [--matrix]
 //!        [--scenario-dir DIR] [--out DIR]
@@ -21,12 +21,14 @@
 //! `results/matrix`); the matrix defaults to `--scale tiny` unless a
 //! scale is given explicitly.
 //!
-//! `--scale large` is the paper-scale preset (500k subscribers): it
-//! runs through the sharded, memory-bounded runner
+//! `--scale large` (500k subscribers, truncated window) and `--scale
+//! paper` (1M subscribers, the paper's full Feb 1 – Apr 17 window) run
+//! through the sharded, memory-bounded runner
 //! ([`cellscope_scenario::run_study_sharded`]) so peak memory is set
 //! by the shard size, not the population. `--sharded` forces the
 //! sharded runner at any scale (the output is bit-identical to the
-//! in-memory runner by construction).
+//! in-memory runner by construction). An unknown `--scale` name is a
+//! typed error listing the valid presets, exit code 2.
 //!
 //! `--dump-config` writes the resolved scenario configuration as JSON;
 //! `--config` loads one back (every knob of the study is a plain
@@ -61,9 +63,9 @@
 
 use cellscope_bench::alloc_count::CountingAllocator;
 use cellscope_bench::{fmt_pct, fmt_weekly, print_panel};
-use cellscope_exec::{peak_rss_bytes, Executor, RunMetrics};
+use cellscope_exec::{file_rss_bytes, peak_rss_bytes, Executor, RunMetrics};
 use cellscope_scenario::replay::{
-    dataset_divergence, export_feeds, replay_study_with, ReplayConfig,
+    dataset_divergence, export_feeds, replay_study_with, ReplayConfig, ReplayOptions,
 };
 use cellscope_scenario::{
     figures, run_matrix, run_study_sharded, run_study_with, scenario_files,
@@ -169,20 +171,15 @@ fn main() {
                 .unwrap_or_else(|e| panic!("reading {path}: {e}"));
             serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
         }
-        None => match scale.as_str() {
-            "full" => ScenarioConfig::full(seed),
-            "small" => ScenarioConfig::small(seed),
-            "tiny" => ScenarioConfig::tiny(seed),
-            "large" => ScenarioConfig::large(seed),
-            other => {
-                eprintln!("unknown scale: {other}");
-                std::process::exit(2);
-            }
-        },
+        None => ScenarioConfig::preset(&scale, seed).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
     };
-    // The paper-scale preset always runs memory-bounded; `--sharded`
-    // opts any other scale in (the result is bit-identical either way).
-    let sharded = force_sharded || (!from_file && scale == "large");
+    // The big presets always run memory-bounded; `--sharded` opts any
+    // other scale in (the result is bit-identical either way).
+    let sharded =
+        force_sharded || (!from_file && (scale == "large" || scale == "paper"));
     if matrix {
         run_matrix_cli(&config, Path::new(&scenario_dir), out_dir.as_deref(), sharded);
         return;
@@ -218,16 +215,23 @@ fn main() {
     let t0 = Instant::now();
     let world = exec.time_stage("build_world", || World::build(&config));
     let ds = if sharded {
-        // Memory-bounded path: shard by (day, subscriber-range), spill
-        // the per-(subscriber, day) mask matrix for the big preset.
-        let plan = if config.population.num_subscribers >= 100_000 {
+        // Memory-bounded path: shard by (day, subscriber-range,
+        // cell-range), spill the per-(subscriber, day) mask matrix for
+        // the big presets.
+        let plan = if config.population.num_subscribers >= 1_000_000 {
+            ShardPlan::paper()
+        } else if config.population.num_subscribers >= 100_000 {
             ShardPlan::large()
         } else {
             ShardPlan::default()
         };
         println!(
-            "sharded runner: {} subscribers/shard, {} day(s)/shard, spill_masks={}",
-            plan.subs_per_shard, plan.days_per_shard, plan.spill_masks
+            "sharded runner: {} subscribers/shard, {} day(s)/shard, \
+             {} cells/shard, spill_masks={}",
+            plan.subs_per_shard,
+            plan.days_per_shard,
+            plan.cells_per_shard,
+            plan.spill_masks
         );
         run_study_sharded(&config, &world, &mut exec, &plan).unwrap_or_else(|e| {
             eprintln!("study failed: {e}");
@@ -253,16 +257,13 @@ fn main() {
         std::process::exit(1);
     });
     println!("figures built in {:.2}s", t1.elapsed().as_secs_f64());
-    if let Some(rss) = peak_rss_bytes() {
-        println!("peak RSS {:.1} MB\n", rss as f64 / 1e6);
-    } else {
-        println!();
-    }
+    print_rss_line();
     if let Some(path) = &metrics_path {
         let tree = RunMetrics::new("repro")
             .with_child(study_metrics)
             .with_child(exec.take_metrics("figures"))
-            .with_peak_rss();
+            .with_peak_rss()
+            .with_file_rss();
         write_metrics(path, &tree);
     }
 
@@ -529,6 +530,21 @@ fn run_matrix_cli(base: &ScenarioConfig, dir: &Path, out: Option<&str>, sharded:
     );
 }
 
+/// One observability line splitting the resident set: the `VmHWM`
+/// high-water mark next to the current file-backed share (`RssFile`) —
+/// mapped feed pages are reclaimable cache, anonymous heap is not.
+fn print_rss_line() {
+    match (peak_rss_bytes(), file_rss_bytes()) {
+        (Some(peak), Some(file)) => println!(
+            "peak RSS {:.1} MB (file-backed now: {:.1} MB)\n",
+            peak as f64 / 1e6,
+            file as f64 / 1e6
+        ),
+        (Some(peak), None) => println!("peak RSS {:.1} MB\n", peak as f64 / 1e6),
+        _ => println!(),
+    }
+}
+
 /// Write a [`RunMetrics`] tree as pretty JSON.
 fn write_metrics(path: &str, tree: &RunMetrics) {
     std::fs::write(path, serde_json::to_string_pretty(tree).unwrap())
@@ -580,25 +596,85 @@ fn run_roundtrip(
                 std::process::exit(1);
             }
         };
-    println!("streamed replay:  {:>8.1}s\n", t2.elapsed().as_secs_f64());
+    println!("jsonl replay:     {:>8.1}s", t2.elapsed().as_secs_f64());
+
+    // Binary twin of the same feeds, replayed through both byte
+    // sources: the streaming segment reader, then zero-copy out of
+    // mmap'ed pages — which must land on the same dataset, faster.
+    let bin_name = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("feeds");
+    let bin_dir = dir.with_file_name(format!("{bin_name}_bin"));
+    let t3 = Instant::now();
+    cellscope_scenario::feedfmt::convert_feed_dir(dir, &bin_dir)
+        .expect("convert feeds to binary");
+    println!("binary convert:   {:>8.1}s", t3.elapsed().as_secs_f64());
+
+    let mut replay_binary = |options: ReplayOptions| {
+        let cfg = ReplayConfig { options, ..ReplayConfig::default() };
+        let t = Instant::now();
+        match replay_study_with(config, &world, &bin_dir, &cfg, &mut exec) {
+            Ok((dataset, report)) => (dataset, report, t.elapsed().as_secs_f64()),
+            Err(e) => {
+                eprintln!("binary replay failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let (streamed, streamed_report, streamed_seconds) =
+        replay_binary(ReplayOptions::streamed());
+    println!("streamed replay:  {streamed_seconds:>8.1}s");
+    let (mapped, mapped_report, mapped_seconds) =
+        replay_binary(ReplayOptions::mapped());
+    println!(
+        "mapped replay:    {mapped_seconds:>8.1}s  ({:.2}x vs streamed)\n",
+        streamed_seconds / mapped_seconds.max(1e-9)
+    );
+    std::fs::remove_dir_all(&bin_dir).ok();
     if let Some(path) = metrics_path {
         let tree = RunMetrics::new("roundtrip")
             .with_child(study_metrics)
             .with_child(exec.take_metrics("replay"))
-            .with_peak_rss();
+            .with_peak_rss()
+            .with_file_rss();
         write_metrics(path, &tree);
     }
 
-    println!("-- replay report --\n{report}");
-    if !report.lines_balance() || !report.events_balance() {
-        eprintln!("ACCOUNTING LEAK: counters above do not balance");
+    println!("-- jsonl replay report --\n{report}");
+    println!("-- streamed binary replay report --\n{streamed_report}");
+    println!("-- mapped binary replay report --\n{mapped_report}");
+    for (label, r) in [
+        ("jsonl", &report),
+        ("streamed", &streamed_report),
+        ("mapped", &mapped_report),
+    ] {
+        if !r.lines_balance() || !r.events_balance() {
+            eprintln!("ACCOUNTING LEAK: {label} counters above do not balance");
+            std::process::exit(1);
+        }
+    }
+    if streamed_report.bytes_streamed == 0 {
+        eprintln!("STREAMED PATH UNUSED: no segment bytes were block-streamed");
         std::process::exit(1);
     }
-    match dataset_divergence(&in_memory, &replayed) {
-        None => println!("replayed dataset is bit-identical to the in-memory run"),
-        Some(field) => {
-            eprintln!("DIVERGENCE: replayed dataset differs in `{field}`");
-            std::process::exit(1);
+    if mapped_report.bytes_mapped == 0 {
+        eprintln!("MAPPED PATH UNUSED: no bytes went through mmap");
+        std::process::exit(1);
+    }
+    for (label, dataset) in [
+        ("jsonl", &replayed),
+        ("streamed binary", &streamed),
+        ("mapped binary", &mapped),
+    ] {
+        match dataset_divergence(&in_memory, dataset) {
+            None => {
+                println!("{label} replay is bit-identical to the in-memory run")
+            }
+            Some(field) => {
+                eprintln!("DIVERGENCE: {label} replay differs in `{field}`");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -713,12 +789,13 @@ fn run_feedfmt_summary(path: &Path) {
         "\n== cellscope feed-format bench: tiny, subscribers={}, best of 3 ==",
         config.population.num_subscribers
     );
-    let summary = feedbench::run(&config, "tiny", 3);
+    let mut summary = feedbench::run(&config, "tiny", 3);
     println!(
         "day feed:         {:>8} events  ({:.2} MB jsonl, {:.2} MB binary, {:.1}x smaller)\n\
          jsonl parse:      {:>8.1} ms  ({:.2} Mrec/s)\n\
          binary decode:    {:>8.1} ms  ({:.2} Mrec/s, {:.1}x)\n\
-         steady-state decode allocations: {}\n\
+         mapped decode:    {:>8.1} ms  ({:.2} Mrec/s)\n\
+         steady-state decode allocations: {} in-memory, {} mapped\n\
          bit-identical:    {}",
         summary.records,
         summary.jsonl_bytes as f64 / 1e6,
@@ -729,17 +806,42 @@ fn run_feedfmt_summary(path: &Path) {
         summary.binary_decode_seconds * 1e3,
         summary.binary_mrec_per_sec,
         summary.decode_speedup,
+        summary.mapped_decode_seconds * 1e3,
+        summary.mapped_mrec_per_sec,
         summary
             .decode_steady_allocs
             .map(|a| a.to_string())
             .unwrap_or_else(|| "not measured".into()),
-        summary.bit_identical,
+        summary
+            .mapped_steady_allocs
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "not measured".into()),
+        summary.bit_identical && summary.mapped_bit_identical,
     );
+
+    // The end-to-end streamed-vs-mapped replay number at the `small`
+    // preset — the scale the zero-copy read path was promised at.
+    let replay_config = ScenarioConfig::small(42);
+    let replay = feedbench::replay_compare(&replay_config, "small", 2);
+    println!(
+        "replay (small):   {:>8.1} s streamed -> {:.1} s mapped ({:.2}x, {:.1} MB feeds)",
+        replay.streamed_seconds,
+        replay.mapped_seconds,
+        replay.mapped_speedup,
+        replay.bytes as f64 / 1e6,
+    );
+    let replay_ok = replay.bit_identical;
+    summary.replay = Some(replay);
+
     feedbench::write_json(path, &summary)
         .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     println!("summary written to {}", path.display());
-    if !summary.bit_identical {
+    if !summary.bit_identical || !summary.mapped_bit_identical {
         eprintln!("DIVERGENCE: binary decode differs from the JSONL parse");
+        std::process::exit(1);
+    }
+    if !replay_ok {
+        eprintln!("DIVERGENCE: mapped replay differs from the streamed replay");
         std::process::exit(1);
     }
 }

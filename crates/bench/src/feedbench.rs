@@ -14,9 +14,13 @@
 //! * `repro --bench-summary DIR_OR_PATH` — writes the JSON baseline
 //!   `BENCH_feedfmt.json` next to the other bench summaries.
 
+use cellscope_exec::Executor;
 use cellscope_mobility::{DayTrajectory, TrajectoryGenerator};
-use cellscope_scenario::{ScenarioConfig, World};
-use cellscope_signaling::columnar::{self, DecodeScratch};
+use cellscope_scenario::replay::{
+    dataset_divergence, export_feeds, replay_study_with, ReplayConfig, ReplayOptions,
+};
+use cellscope_scenario::{convert_feed_dir, ScenarioConfig, World};
+use cellscope_signaling::columnar::{self, DecodeScratch, SegmentView};
 use cellscope_signaling::{write_events_jsonl, EventGenerator, EventReader, SignalingEvent};
 use serde::Serialize;
 use std::time::Instant;
@@ -57,6 +61,41 @@ pub struct FeedFmtSummary {
     /// zero-steady-state-allocation claim, measured. `None` when the
     /// binary did not install the counting allocator.
     pub decode_steady_allocs: Option<u64>,
+    /// Best-of seconds to decode the same segment straight out of
+    /// mmap'ed pages ([`SegmentView`]) — no read, no chunk buffer.
+    pub mapped_decode_seconds: f64,
+    /// Mapped decode throughput, million events per second.
+    pub mapped_mrec_per_sec: f64,
+    /// Steady-state allocations of one mapped decode into warm
+    /// buffers; the zero-copy path's claim, measured.
+    pub mapped_steady_allocs: Option<u64>,
+    /// Mapped decode reproduces the generated stream exactly.
+    pub mapped_bit_identical: bool,
+    /// End-to-end streamed-vs-mapped replay comparison (filled by
+    /// `repro --bench-summary` at the `small` preset; `None` in the
+    /// criterion harness, which measures the decode paths only).
+    pub replay: Option<ReplayCompare>,
+}
+
+/// End-to-end replay timing: the same binary feed directory through
+/// the streaming reader and through mmap'ed [`SegmentView`]s, with the
+/// datasets compared bit for bit.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplayCompare {
+    /// Scenario scale label the feeds were generated at.
+    pub scale: String,
+    /// Timing repetitions (best-of is reported).
+    pub iters: usize,
+    /// Binary feed bytes replayed per pass.
+    pub bytes: u64,
+    /// Best-of seconds for the streamed replay.
+    pub streamed_seconds: f64,
+    /// Best-of seconds for the mapped replay.
+    pub mapped_seconds: f64,
+    /// `streamed_seconds / mapped_seconds`.
+    pub mapped_speedup: f64,
+    /// The two replays produced bit-identical datasets.
+    pub bit_identical: bool,
 }
 
 /// Generate the day-0 event stream of `config`'s world — the same
@@ -134,6 +173,28 @@ pub fn run(config: &ScenarioConfig, scale_label: &str, iters: usize) -> FeedFmtS
     };
 
     let bit_identical = parsed == events && decoded == events;
+
+    // Same decode, straight out of mapped pages: write the segment to
+    // a file, map it, and feed the mapped slice to the decoder.
+    let tmp = std::env::temp_dir()
+        .join(format!("cellscope_feedbench_{}.csb", std::process::id()));
+    std::fs::write(&tmp, &binary).expect("write segment file");
+    let view = SegmentView::open(&tmp).expect("map segment file");
+    let mapped_decode_seconds = best_of(iters, || {
+        columnar::decode_events_into(view.bytes(), &mut scratch, &mut decoded)
+            .expect("mapped segment decodes");
+    });
+    let before = alloc_count::allocations();
+    columnar::decode_events_into(view.bytes(), &mut scratch, &mut decoded)
+        .expect("mapped segment decodes");
+    let mapped_steady_allocs = if counting {
+        Some(alloc_count::allocations() - before)
+    } else {
+        None
+    };
+    let mapped_bit_identical = decoded == events;
+    drop(view);
+    std::fs::remove_file(&tmp).ok();
     let n = events.len() as f64;
     FeedFmtSummary {
         scale: scale_label.to_string(),
@@ -150,6 +211,60 @@ pub fn run(config: &ScenarioConfig, scale_label: &str, iters: usize) -> FeedFmtS
         bit_identical,
         counting_allocator: counting,
         decode_steady_allocs,
+        mapped_decode_seconds,
+        mapped_mrec_per_sec: n / mapped_decode_seconds.max(f64::MIN_POSITIVE) / 1e6,
+        mapped_steady_allocs,
+        mapped_bit_identical,
+        replay: None,
+    }
+}
+
+/// Replay one scale's full binary feed directory twice — streaming
+/// reader vs mmap'ed [`SegmentView`]s — and report the wall-time
+/// ratio. This is the end-to-end number the zero-copy read path is
+/// judged by: same feeds, same workers, only the byte source differs.
+pub fn replay_compare(
+    config: &ScenarioConfig,
+    scale_label: &str,
+    iters: usize,
+) -> ReplayCompare {
+    let world = World::build(config);
+    let base = std::env::temp_dir()
+        .join(format!("cellscope_replaycmp_{}", std::process::id()));
+    let jsonl_dir = base.join("jsonl");
+    let bin_dir = base.join("bin");
+    export_feeds(config, &jsonl_dir).expect("export feeds");
+    let bytes = convert_feed_dir(&jsonl_dir, &bin_dir)
+        .expect("convert feeds")
+        .dst_bytes;
+    // The replays read only the binary dir; drop the (much larger)
+    // JSONL copy immediately so the scratch footprint is one format.
+    std::fs::remove_dir_all(&jsonl_dir).ok();
+
+    let mut exec = Executor::new(config.threads);
+    let mut replay_best = |options: ReplayOptions| {
+        let rcfg = ReplayConfig { options, ..ReplayConfig::default() };
+        let mut out = None;
+        let seconds = best_of(iters, || {
+            out = Some(
+                replay_study_with(config, &world, &bin_dir, &rcfg, &mut exec)
+                    .expect("replay"),
+            );
+        });
+        (seconds, out.expect("at least one iteration").0)
+    };
+    let (streamed_seconds, streamed) = replay_best(ReplayOptions::streamed());
+    let (mapped_seconds, mapped) = replay_best(ReplayOptions::mapped());
+    std::fs::remove_dir_all(&base).ok();
+
+    ReplayCompare {
+        scale: scale_label.to_string(),
+        iters,
+        bytes,
+        streamed_seconds,
+        mapped_seconds,
+        mapped_speedup: streamed_seconds / mapped_seconds.max(f64::MIN_POSITIVE),
+        bit_identical: dataset_divergence(&streamed, &mapped).is_none(),
     }
 }
 

@@ -17,7 +17,8 @@
 //! * larger sweeps call [`measure`] directly with their own configs
 //!   (e.g. the `large` preset, minutes of runtime).
 
-use cellscope_exec::{peak_rss_bytes, reset_peak_rss, Executor};
+use crate::feedbench::ReplayCompare;
+use cellscope_exec::{file_rss_bytes, peak_rss_bytes, reset_peak_rss, Executor};
 use cellscope_scenario::{run_study_sharded, ScenarioConfig, ShardPlan, World};
 use serde::Serialize;
 use std::time::Instant;
@@ -25,7 +26,7 @@ use std::time::Instant;
 /// One measured (config, plan) point.
 #[derive(Debug, Clone, Serialize)]
 pub struct ScalePoint {
-    /// Scale label (`tiny`, `small`, `small-spill`, `large`, …).
+    /// Scale label (`tiny`, `small`, `small-spill`, `large`, `paper`, …).
     pub scale: String,
     /// Subscribers in the scenario.
     pub subscribers: u32,
@@ -35,6 +36,8 @@ pub struct ScalePoint {
     pub subs_per_shard: usize,
     /// Days per shard.
     pub days_per_shard: usize,
+    /// Cells per phase-B KPI task (0 = one task per day).
+    pub cells_per_shard: usize,
     /// Whether the county-mask matrix was spilled to disk.
     pub spill_masks: bool,
     /// End-to-end wall seconds (world build + sharded study).
@@ -43,6 +46,9 @@ pub struct ScalePoint {
     pub kpi_records: usize,
     /// Peak RSS over the run; `None` without procfs.
     pub peak_rss_bytes: Option<u64>,
+    /// File-backed RSS right after the run — the reclaimable,
+    /// mapped-page share of the resident set; `None` without procfs.
+    pub file_rss_bytes: Option<u64>,
     /// Whether the high-water mark was reset before this point.
     pub peak_rss_reset: bool,
 }
@@ -51,6 +57,9 @@ pub struct ScalePoint {
 #[derive(Debug, Clone, Serialize)]
 pub struct ScaleSummary {
     pub points: Vec<ScalePoint>,
+    /// Streamed-vs-mapped replay comparison run alongside the sweep
+    /// (`None` when the caller measured points only).
+    pub replay: Option<ReplayCompare>,
 }
 
 /// Run one sharded study and measure it.
@@ -67,12 +76,30 @@ pub fn measure(label: &str, config: &ScenarioConfig, plan: &ShardPlan) -> ScaleP
         days: world.num_days(),
         subs_per_shard: plan.subs_per_shard,
         days_per_shard: plan.days_per_shard,
+        cells_per_shard: plan.cells_per_shard,
         spill_masks: plan.spill_masks,
         wall_seconds: t0.elapsed().as_secs_f64(),
         kpi_records: ds.kpi.len(),
         peak_rss_bytes: peak_rss_bytes(),
+        file_rss_bytes: file_rss_bytes(),
         peak_rss_reset: reset,
     }
+}
+
+/// The preset-to-plan pairing `repro --scale NAME --sharded` uses,
+/// measured as one point — how one-off rows (`large`, `paper`) get
+/// into `BENCH_scale.json` without joining the tier-1 sweep.
+pub fn preset_point(name: &str) -> ScalePoint {
+    let config = ScenarioConfig::preset(name, 42)
+        .unwrap_or_else(|e| panic!("scale point: {e}"));
+    let plan = if config.population.num_subscribers >= 1_000_000 {
+        ShardPlan::paper()
+    } else if config.population.num_subscribers >= 100_000 {
+        ShardPlan::large()
+    } else {
+        ShardPlan::default()
+    };
+    measure(name, &config, &plan)
 }
 
 /// The standard sweep behind `results/BENCH_scale.json`: tiny and
@@ -88,11 +115,47 @@ pub fn standard() -> ScaleSummary {
         measure("small", &ScenarioConfig::small(42), &ShardPlan::default()),
         measure("small-spill", &ScenarioConfig::small(42), &spill),
     ];
-    ScaleSummary { points }
+    ScaleSummary { points, replay: None }
 }
 
-/// Write the summary as pretty-printed JSON.
+/// Write the summary as pretty-printed JSON, merging with the file
+/// already at `path`: existing points whose `scale` label was not
+/// re-measured survive, so one-off rows (the `large` and `paper`
+/// presets, minutes of runtime each) are not erased every time tier-1
+/// refreshes the cheap sweep. Re-measured labels are replaced; new
+/// points come first in sweep order, retained rows keep their old
+/// relative order after them.
 pub fn write_json(path: &std::path::Path, summary: &ScaleSummary) -> std::io::Result<()> {
-    let json = serde_json::to_string_pretty(summary).expect("summary serializes");
+    use serde_json::Value;
+    let mut value = serde_json::to_value(summary).expect("summary serializes");
+    let old: Option<Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok());
+    if let (Some(old), Value::Object(entries)) = (old, &mut value) {
+        let fresh: Vec<&str> = summary.points.iter().map(|p| p.scale.as_str()).collect();
+        for (key, v) in entries.iter_mut() {
+            if key == "points" {
+                if let (Value::Array(new_points), Some(old_points)) =
+                    (&mut *v, old.get("points").and_then(|o| o.as_array()))
+                {
+                    for row in old_points {
+                        let label = row.get("scale").and_then(|s| s.as_str());
+                        if label.is_some_and(|l| !fresh.contains(&l)) {
+                            new_points.push(row.clone());
+                        }
+                    }
+                }
+            } else if key == "replay" && summary.replay.is_none() {
+                // Likewise keep an already-measured replay comparison
+                // when this sweep did not re-run one.
+                if let Some(old_replay) = old.get("replay") {
+                    if !matches!(old_replay, Value::Null) {
+                        *v = old_replay.clone();
+                    }
+                }
+            }
+        }
+    }
+    let json = serde_json::to_string_pretty(&value).expect("summary serializes");
     std::fs::write(path, json + "\n")
 }

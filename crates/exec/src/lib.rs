@@ -40,8 +40,8 @@ pub mod panic;
 pub mod scheduler;
 
 pub use metrics::{
-    peak_rss_bytes, reset_peak_rss, CounterSummary, RunMetrics, StageMetrics, TaskCtx,
-    WorkerMetrics,
+    file_rss_bytes, peak_rss_bytes, reset_peak_rss, CounterSummary, RunMetrics,
+    StageMetrics, TaskCtx, WorkerMetrics,
 };
 pub use panic::ExecError;
 pub use scheduler::{resolve_threads, Executor};

@@ -98,6 +98,13 @@ pub struct RunMetrics {
     /// without procfs. Observability only — like wall time, it is
     /// stripped from [`RunMetrics::counter_summary`].
     pub peak_rss_bytes: Option<u64>,
+    /// File-backed share of the resident set at stamp time (see
+    /// [`file_rss_bytes`]); `None` until stamped or where procfs does
+    /// not report `RssFile`. Splitting this out from the peak matters
+    /// for mmap-heavy runs: mapped feed pages are file-backed and
+    /// reclaimable, anonymous heap is not — a run whose RSS is mostly
+    /// `RssFile` is not actually pressuring memory.
+    pub file_rss_bytes: Option<u64>,
 }
 
 /// Timing-free flattened view of a metrics tree, suitable for
@@ -110,11 +117,28 @@ pub type CounterSummary = Vec<(String, u64, u64, Vec<(String, u64)>)>;
 /// it describes the machine and the moment: it is excluded from every
 /// determinism comparison.
 pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmHWM:")
+}
+
+/// File-backed resident set size of this process in bytes (`RssFile`
+/// from `/proc/self/status`): pages backed by mapped files — for this
+/// workload, chiefly mmap'ed `.csb` feed segments — which the kernel
+/// can drop and re-read under pressure, unlike anonymous heap.
+/// Reported next to [`peak_rss_bytes`] so a mapped-replay run's RSS
+/// can be read as "reclaimable cache" vs "real footprint". `None`
+/// where procfs does not provide it.
+pub fn file_rss_bytes() -> Option<u64> {
+    proc_status_bytes("RssFile:")
+}
+
+/// Parse one `kB`-valued `/proc/self/status` field into bytes.
+#[cfg_attr(not(target_os = "linux"), allow(unused_variables))]
+fn proc_status_bytes(prefix: &str) -> Option<u64> {
     #[cfg(target_os = "linux")]
     {
         let status = std::fs::read_to_string("/proc/self/status").ok()?;
         for line in status.lines() {
-            if let Some(rest) = line.strip_prefix("VmHWM:") {
+            if let Some(rest) = line.strip_prefix(prefix) {
                 let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
                 return Some(kb * 1024);
             }
@@ -152,6 +176,7 @@ impl RunMetrics {
             stages: Vec::new(),
             children: Vec::new(),
             peak_rss_bytes: None,
+            file_rss_bytes: None,
         }
     }
 
@@ -166,6 +191,14 @@ impl RunMetrics {
     /// mark covers all of it.
     pub fn with_peak_rss(mut self) -> RunMetrics {
         self.peak_rss_bytes = peak_rss_bytes();
+        self
+    }
+
+    /// Stamp the current file-backed RSS onto this node
+    /// (builder-style) — the reclaimable, mapped-page share of the
+    /// resident set, next to the peak.
+    pub fn with_file_rss(mut self) -> RunMetrics {
+        self.file_rss_bytes = file_rss_bytes();
         self
     }
 

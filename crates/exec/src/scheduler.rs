@@ -86,6 +86,7 @@ impl Executor {
             stages: std::mem::take(&mut self.stages),
             children: Vec::new(),
             peak_rss_bytes: None,
+            file_rss_bytes: None,
         }
     }
 

@@ -154,6 +154,20 @@ impl ScenarioConfig {
         cfg
     }
 
+    /// The full-window paper preset: one million subscribers over the
+    /// paper's characterization window (Feb 1 – Apr 17 2020). Meant
+    /// exclusively for the sharded, memory-bounded runner
+    /// ([`crate::shard::run_sharded`] with
+    /// [`crate::shard::ShardPlan::paper`]); the in-memory runner's
+    /// population × days structures do not fit a normal machine at
+    /// this scale.
+    pub fn paper(seed: u64) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::full(seed);
+        cfg.population.num_subscribers = 1_000_000;
+        cfg.study_end = Date::ymd(2020, 4, 17);
+        cfg
+    }
+
     /// The tiniest useful scenario (~2k subscribers) for unit tests.
     /// Event reconstruction stays on: tests must cover the real path.
     pub fn tiny(seed: u64) -> ScenarioConfig {
@@ -164,7 +178,44 @@ impl ScenarioConfig {
         cfg.population.num_subscribers = 2_000;
         cfg
     }
+
+    /// Resolve a scale-preset name ([`PRESET_NAMES`]) to its config.
+    /// The error is typed so front-ends can reject an unknown name
+    /// with a proper exit code instead of a panic or a silent default.
+    pub fn preset(name: &str, seed: u64) -> Result<ScenarioConfig, UnknownPresetError> {
+        match name {
+            "tiny" => Ok(ScenarioConfig::tiny(seed)),
+            "small" => Ok(ScenarioConfig::small(seed)),
+            "full" => Ok(ScenarioConfig::full(seed)),
+            "large" => Ok(ScenarioConfig::large(seed)),
+            "paper" => Ok(ScenarioConfig::paper(seed)),
+            other => Err(UnknownPresetError { name: other.to_string() }),
+        }
+    }
 }
+
+/// Every name [`ScenarioConfig::preset`] accepts, smallest first.
+pub const PRESET_NAMES: &[&str] = &["tiny", "small", "full", "large", "paper"];
+
+/// A scale-preset name [`ScenarioConfig::preset`] does not know.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPresetError {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownPresetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scale preset `{}` (valid: {})",
+            self.name,
+            PRESET_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPresetError {}
 
 #[cfg(test)]
 mod tests {
@@ -172,17 +223,37 @@ mod tests {
 
     #[test]
     fn presets_scale_down_monotonically() {
+        let paper = ScenarioConfig::paper(1);
         let large = ScenarioConfig::large(1);
         let full = ScenarioConfig::full(1);
         let small = ScenarioConfig::small(1);
         let tiny = ScenarioConfig::tiny(1);
+        assert!(paper.population.num_subscribers > large.population.num_subscribers);
         assert!(large.population.num_subscribers > full.population.num_subscribers);
         assert!(full.population.num_subscribers > small.population.num_subscribers);
         assert!(small.population.num_subscribers > tiny.population.num_subscribers);
         assert!(tiny.use_event_reconstruction, "tests must use the real path");
-        // The large preset trades window length for population.
+        // The large preset trades window length for population; paper
+        // restores the full characterization window at 2× large.
         assert!(large.study_end < full.study_end);
         assert_eq!(large.study_start, full.study_start);
+        assert!(paper.study_end > large.study_end);
+        assert_eq!(paper.study_end, Date::ymd(2020, 4, 17));
+        assert_eq!(paper.study_start, full.study_start);
+    }
+
+    #[test]
+    fn preset_resolver_is_total_over_its_names() {
+        for &name in PRESET_NAMES {
+            let cfg = ScenarioConfig::preset(name, 9).expect(name);
+            assert_eq!(cfg.seed, 9);
+        }
+        let err = ScenarioConfig::preset("medium", 9).unwrap_err();
+        assert_eq!(err.name, "medium");
+        let msg = err.to_string();
+        for &name in PRESET_NAMES {
+            assert!(msg.contains(name), "{msg} must list `{name}`");
+        }
     }
 
     #[test]

@@ -43,14 +43,14 @@ pub mod tomlite;
 pub mod variants;
 pub mod world;
 
-pub use config::ScenarioConfig;
+pub use config::{ScenarioConfig, UnknownPresetError, PRESET_NAMES};
 pub use dataset::StudyDataset;
 pub use desc::{scenario_files, ScenarioDoc, ScenarioError};
 pub use matrix::{run_matrix, MatrixError, MatrixOutcome};
 pub use feedfmt::{convert_feed_dir, detect_format, ConvertSummary, FeedFormat};
 pub use replay::{
     dataset_divergence, export_feeds, replay_study, FeedManifest, MalformedAt,
-    ReplayConfig, ReplayError, ReplayReport, MAX_MALFORMED_LOCATIONS,
+    ReplayConfig, ReplayError, ReplayOptions, ReplayReport, MAX_MALFORMED_LOCATIONS,
 };
 pub use run::{run_study, run_study_in, run_study_with};
 pub use shard::{run_sharded, run_study_sharded, ShardError, ShardPlan};

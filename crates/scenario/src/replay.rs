@@ -79,7 +79,7 @@ use cellscope_exec::{ExecError, Executor};
 use cellscope_mobility::{DayTrajectory, TrajectoryGenerator};
 use cellscope_radio::{Scheduler, SchedulerConfig};
 use cellscope_signaling::columnar::{
-    self, DecodeScratch, SegmentError, SegmentStreamError,
+    self, DecodeScratch, SegmentError, SegmentStreamError, SegmentView,
 };
 use cellscope_signaling::{
     reconstruct_dwell_into, write_events_jsonl, EventGenerator, EventReader, FeedBounds,
@@ -268,6 +268,38 @@ pub fn export_feeds_in(
     Ok(manifest)
 }
 
+/// How the reader stage gets `.csb` feed bytes to the decoders.
+///
+/// * **Streamed** (the default): each file is pulled through a bounded
+///   [`columnar::SegmentBlockReader`] — one segment resident per
+///   worker, works on any readable file.
+/// * **Mapped**: each file is `mmap`ed via
+///   [`columnar::SegmentView`] and the decoders borrow column bytes
+///   straight from the mapped pages — zero copies, CRC verified once
+///   per segment, resident memory file-backed (the OS reclaims it
+///   under pressure). Truncated or damaged files surface as the same
+///   typed [`SegmentError`]s as the other paths; mapped volume is
+///   reported as [`ReplayReport::bytes_mapped`].
+///
+/// Both paths produce bit-identical datasets and identical accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayOptions {
+    /// Map `.csb` feed files instead of streaming them.
+    pub mmap_segments: bool,
+}
+
+impl ReplayOptions {
+    /// Zero-copy mapped segment reads.
+    pub const fn mapped() -> ReplayOptions {
+        ReplayOptions { mmap_segments: true }
+    }
+
+    /// Bounded streaming segment reads (the default).
+    pub const fn streamed() -> ReplayOptions {
+        ReplayOptions { mmap_segments: false }
+    }
+}
+
 /// Knobs of the replay pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplayConfig {
@@ -279,6 +311,8 @@ pub struct ReplayConfig {
     pub channel_capacity: usize,
     /// What to do with feed lines that fail parsing or validation.
     pub policy: MalformedPolicy,
+    /// How binary feed files reach the decoders (mmap vs streaming).
+    pub options: ReplayOptions,
 }
 
 impl Default for ReplayConfig {
@@ -287,6 +321,7 @@ impl Default for ReplayConfig {
             threads: 0,
             channel_capacity: 0,
             policy: MalformedPolicy::FailFast,
+            options: ReplayOptions::default(),
         }
     }
 }
@@ -340,6 +375,10 @@ pub struct ReplayReport {
     /// feeds read block by block into worker arenas instead of being
     /// slurped whole. JSONL feeds do not contribute.
     pub bytes_streamed: u64,
+    /// Bytes decoded zero-copy through mmap-backed [`columnar::SegmentView`]s
+    /// (the [`ReplayOptions::mmap_segments`] path). Counted at map
+    /// time: the whole file is mapped, the OS pages it in on demand.
+    pub bytes_mapped: u64,
     /// Event-feed line accounting, merged over all days.
     pub events: FeedStats,
     /// KPI-feed line accounting, merged over all days.
@@ -399,8 +438,8 @@ impl fmt::Display for ReplayReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "files {} ({} bytes, {} streamed)",
-            self.files_read, self.bytes_read, self.bytes_streamed
+            "files {} ({} bytes, {} streamed, {} mapped)",
+            self.files_read, self.bytes_read, self.bytes_streamed, self.bytes_mapped
         )?;
         let feed = |name: &str, s: &FeedStats| {
             format!(
@@ -500,6 +539,10 @@ enum DayFeed {
     /// [`columnar::SegmentBlockReader`] instead of slurping the file,
     /// so peak memory per feed is one segment, not the whole day.
     Stream(fs::File, u64),
+    /// An mmap-backed `.csb` file ([`ReplayOptions::mmap_segments`]):
+    /// the worker decodes segments as borrows of the mapped pages —
+    /// zero copies, resident memory file-backed and reclaimable.
+    Mapped(SegmentView),
 }
 
 impl DayFeed {
@@ -508,6 +551,7 @@ impl DayFeed {
             DayFeed::Jsonl(text) => text.len(),
             DayFeed::Binary(bytes) => bytes.len(),
             DayFeed::Stream(_, len) => *len as usize,
+            DayFeed::Mapped(view) => view.len(),
         }
     }
 }
@@ -515,16 +559,22 @@ impl DayFeed {
 /// Read one per-day feed, preferring the binary file when both exist
 /// and sniffing the content by magic so a segment stored under the
 /// JSONL name still decodes. The `.csb` path is *opened*, not read:
-/// the worker streams its segments through a bounded reader. Invalid
-/// UTF-8 text is an I/O-level error, exactly as it was when the reader
-/// used `read_to_string`.
+/// the worker streams its segments through a bounded reader, or —
+/// under [`ReplayOptions::mmap_segments`] — borrows them from an
+/// mmap-backed [`SegmentView`]. Invalid UTF-8 text is an I/O-level
+/// error, exactly as it was when the reader used `read_to_string`.
 fn read_day_feed(
     dir: &Path,
     bin_name: String,
     jsonl_name: String,
+    options: ReplayOptions,
 ) -> io::Result<(String, DayFeed)> {
     let bin_path = dir.join(&bin_name);
     if bin_path.exists() {
+        if options.mmap_segments {
+            let view = SegmentView::open(&bin_path)?;
+            return Ok((bin_name, DayFeed::Mapped(view)));
+        }
         let file = fs::File::open(bin_path)?;
         let len = file.metadata()?.len();
         return Ok((bin_name, DayFeed::Stream(file, len)));
@@ -570,6 +620,7 @@ struct DayStats {
     user_days: u64,
     cell_days: u64,
     bytes_streamed: u64,
+    bytes_mapped: u64,
 }
 
 impl DayStats {
@@ -695,6 +746,7 @@ pub fn replay_study_with(
     // task index *is* the day and its result order is day order.
     let mut days = world.clock.days();
     let policy = rcfg.policy;
+    let options = rcfg.options;
     let roster_ref = &roster;
     let anon_ref = &anon_index;
     let feb_ref = &feb_set;
@@ -706,16 +758,20 @@ pub fn replay_study_with(
                 return None;
             }
             let day = days.next()?;
-            let (events_name, events_feed) =
-                match read_day_feed(dir, events_bin_name(day), events_file_name(day)) {
-                    Ok(v) => v,
-                    Err(e) => {
-                        read_err = Some(ReplayError::Io(e));
-                        return None;
-                    }
-                };
+            let (events_name, events_feed) = match read_day_feed(
+                dir,
+                events_bin_name(day),
+                events_file_name(day),
+                options,
+            ) {
+                Ok(v) => v,
+                Err(e) => {
+                    read_err = Some(ReplayError::Io(e));
+                    return None;
+                }
+            };
             let (kpi_name, kpi_feed) =
-                match read_day_feed(dir, kpi_bin_name(day), kpi_file_name(day)) {
+                match read_day_feed(dir, kpi_bin_name(day), kpi_file_name(day), options) {
                     Ok(v) => v,
                     Err(e) => {
                         read_err = Some(ReplayError::Io(e));
@@ -734,6 +790,7 @@ pub fn replay_study_with(
             if let Ok(out) = &r {
                 ctx.add_items(out.stats.ingested);
                 ctx.count("bytes_streamed", out.stats.bytes_streamed);
+                ctx.count("bytes_mapped", out.stats.bytes_mapped);
             }
             r
         },
@@ -779,6 +836,7 @@ pub fn replay_study_with(
             report.malformed_at.push(loc);
         }
         report.bytes_streamed += out.stats.bytes_streamed;
+        report.bytes_mapped += out.stats.bytes_mapped;
         report.events_out_of_order += out.stats.out_of_order;
         report.events_unknown_user += out.stats.unknown_user;
         report.events_filtered += out.stats.filtered;
@@ -789,7 +847,8 @@ pub fn replay_study_with(
         kpi.merge(out.kpi);
     }
     let phase_a = run::merge_phase_a(num_days, world.population.len(), blocks);
-    let voice_daily = read_voice_feed(dir, manifest.num_days, rcfg.policy, &mut report)?;
+    let voice_daily =
+        read_voice_feed(dir, manifest.num_days, rcfg.policy, options, &mut report)?;
 
     let dataset = run::assemble(config, world, phase_a, kpi, voice_daily)
         .expect("in-memory mask store cannot fail");
@@ -864,11 +923,22 @@ fn replay_day(
                 stats.note_malformed(&events_name, line);
             }
         }
-        DayFeed::Binary(bytes) => {
+        // In-memory bytes and mapped pages share one walk: a
+        // `SegmentView` hands out the same `&[u8]` segments an owned
+        // buffer does, just borrowed from the page cache.
+        feed @ (DayFeed::Binary(_) | DayFeed::Mapped(_)) => {
             binary_events = true;
+            let bytes: &[u8] = match &feed {
+                DayFeed::Binary(bytes) => bytes,
+                DayFeed::Mapped(view) => {
+                    stats.bytes_mapped += view.len() as u64;
+                    view.bytes()
+                }
+                _ => unreachable!("outer match is binary or mapped"),
+            };
             scratch.events.clear();
             let mut consumed = 0usize;
-            for seg in columnar::split_segments(&bytes) {
+            for seg in columnar::split_segments(bytes) {
                 match seg {
                     Ok(seg) => {
                         consumed += seg.len();
@@ -1210,9 +1280,17 @@ fn replay_day(
                 }
             }
         }
-        DayFeed::Binary(bytes) => {
+        feed @ (DayFeed::Binary(_) | DayFeed::Mapped(_)) => {
+            let bytes: &[u8] = match &feed {
+                DayFeed::Binary(bytes) => bytes,
+                DayFeed::Mapped(view) => {
+                    stats.bytes_mapped += view.len() as u64;
+                    view.bytes()
+                }
+                _ => unreachable!("outer match is binary or mapped"),
+            };
             let mut consumed = 0usize;
-            for seg in columnar::split_segments(&bytes) {
+            for seg in columnar::split_segments(bytes) {
                 match seg {
                     Ok(seg) => {
                         consumed += seg.len();
@@ -1306,6 +1384,7 @@ fn read_voice_feed(
     dir: &Path,
     num_days: u16,
     policy: MalformedPolicy,
+    options: ReplayOptions,
     report: &mut ReplayReport,
 ) -> Result<Vec<f64>, ReplayError> {
     let bin_path = dir.join(VOICE_BIN_FILE);
@@ -1339,6 +1418,66 @@ fn read_voice_feed(
                 voice[r.day as usize] = Some(r.off_net_voice_mb);
             }
         };
+    }
+
+    // One in-memory segment walk serves both mapped views and binary
+    // bytes sniffed under the JSONL name: frame, decode, and account
+    // damage under the policy.
+    macro_rules! walk_voice_segments {
+        ($bytes:expr, $file_name:expr) => {{
+            let bytes: &[u8] = $bytes;
+            let mut records = Vec::new();
+            let mut consumed = 0usize;
+            for seg in columnar::split_segments(bytes) {
+                match seg {
+                    Ok(seg) => {
+                        consumed += seg.len();
+                        match feedfmt::decode_voice_into(seg, &mut records) {
+                            Ok(header) => {
+                                report.voice.lines_read += header.records as u64;
+                                fold_voice_records!(records, $file_name);
+                            }
+                            Err(cause) => {
+                                let claimed = claimed_records(seg);
+                                report.voice.lines_read += claimed;
+                                report.voice.malformed += claimed;
+                                report.note_malformed($file_name, 0);
+                                if policy == MalformedPolicy::FailFast {
+                                    return Err(segment_feed_error(
+                                        $file_name.to_string(),
+                                        cause,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    Err(cause) => {
+                        let claimed = claimed_records(&bytes[consumed..]);
+                        report.voice.lines_read += claimed;
+                        report.voice.malformed += claimed;
+                        report.note_malformed($file_name, 0);
+                        if policy == MalformedPolicy::FailFast {
+                            return Err(segment_feed_error(
+                                $file_name.to_string(),
+                                cause,
+                            ));
+                        }
+                        break;
+                    }
+                }
+            }
+        }};
+    }
+
+    if bin_path.exists() && options.mmap_segments {
+        // Zero-copy path: map the file and walk the mapped pages.
+        let file_name: Arc<str> = Arc::from(VOICE_BIN_FILE);
+        let view = SegmentView::open(&bin_path)?;
+        report.files_read += 1;
+        report.bytes_read += view.len() as u64;
+        report.bytes_mapped += view.len() as u64;
+        walk_voice_segments!(view.bytes(), &file_name);
+        return finish_voice(voice);
     }
 
     if bin_path.exists() {
@@ -1392,43 +1531,7 @@ fn read_voice_feed(
     if columnar::looks_like_segment(&bytes) {
         // A binary feed stored under the JSONL name: walk its segments
         // in memory.
-        let mut records = Vec::new();
-        let mut consumed = 0usize;
-        for seg in columnar::split_segments(&bytes) {
-            match seg {
-                Ok(seg) => {
-                    consumed += seg.len();
-                    match feedfmt::decode_voice_into(seg, &mut records) {
-                        Ok(header) => {
-                            report.voice.lines_read += header.records as u64;
-                            fold_voice_records!(records, &file_name);
-                        }
-                        Err(cause) => {
-                            let claimed = claimed_records(seg);
-                            report.voice.lines_read += claimed;
-                            report.voice.malformed += claimed;
-                            report.note_malformed(&file_name, 0);
-                            if policy == MalformedPolicy::FailFast {
-                                return Err(segment_feed_error(
-                                    file_name.to_string(),
-                                    cause,
-                                ));
-                            }
-                        }
-                    }
-                }
-                Err(cause) => {
-                    let claimed = claimed_records(&bytes[consumed..]);
-                    report.voice.lines_read += claimed;
-                    report.voice.malformed += claimed;
-                    report.note_malformed(&file_name, 0);
-                    if policy == MalformedPolicy::FailFast {
-                        return Err(segment_feed_error(file_name.to_string(), cause));
-                    }
-                    break;
-                }
-            }
-        }
+        walk_voice_segments!(&bytes, &file_name);
         return finish_voice(voice);
     }
 

@@ -709,9 +709,30 @@ pub(crate) fn day_kpi_from_grid(
     grid: &DayLoadGrid,
     day: u16,
     hours_buf: &mut Vec<HourlyKpiSample>,
+    sink: impl FnMut(u32, &[HourlyKpiSample]),
+) {
+    let num_cells = world.topo.cells().len();
+    day_kpi_from_grid_range(world, scheduler, grid, day, 0, num_cells, hours_buf, sink);
+}
+
+/// [`day_kpi_from_grid`] restricted to the topology's cells
+/// `lo..hi` (slice order). Each cell's samples depend only on its own
+/// grid rows, so disjoint ranges compute independently; running the
+/// ranges in ascending order reproduces the full pass cell for cell —
+/// this is what lets the sharded phase B parallelize the scheduler
+/// across cell ranges without changing a single emitted record.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn day_kpi_from_grid_range(
+    world: &World,
+    scheduler: &Scheduler,
+    grid: &DayLoadGrid,
+    day: u16,
+    lo: usize,
+    hi: usize,
+    hours_buf: &mut Vec<HourlyKpiSample>,
     mut sink: impl FnMut(u32, &[HourlyKpiSample]),
 ) {
-    for cell in world.topo.cells() {
+    for cell in &world.topo.cells()[lo..hi] {
         if cell.rat != Rat::G4 || !cell.is_active(day) {
             continue;
         }

@@ -21,6 +21,13 @@
 //!   **bit-identical** to the unsharded one for any shard geometry and
 //!   any thread count.
 //!
+//! Phase B adds a third axis: once a day's load grid has been folded,
+//! its radio-scheduler pass fans back out over **(day × cell-range)**
+//! tasks (see [`ShardPlan::cells_per_shard`]) — cells are independent
+//! after accumulation, and folding the per-range KPI records in
+//! production order reproduces the sequential per-cell push order
+//! exactly, so the cell axis changes wall-time, never output.
+//!
 //! Peak memory is bounded by *channel depth × shard size*, not by the
 //! population: the pipeline holds at most `capacity` undelivered shard
 //! results, plus one day-block of buffered records in the fold. The one
@@ -58,6 +65,11 @@ pub struct ShardPlan {
     pub days_per_shard: usize,
     /// Subscribers per shard — the unit of parallel derivation.
     pub subs_per_shard: usize,
+    /// Cells per phase-B scheduler shard — the unit of parallel
+    /// radio-scheduler work over an accumulated day grid. `0` keeps
+    /// each day's scheduler pass in one task (parallelism across days
+    /// only).
+    pub cells_per_shard: usize,
     /// Spill the per-(subscriber, day) county-mask matrix to a
     /// temporary file instead of holding it in memory (the matrix is
     /// the one population × days structure assembly needs).
@@ -69,11 +81,29 @@ pub struct ShardPlan {
 
 impl ShardPlan {
     /// The geometry `repro --scale large` uses: single-day blocks,
-    /// 50k-subscriber ranges, masks spilled.
+    /// 50k-subscriber ranges, 4096-cell scheduler shards, masks
+    /// spilled.
     pub fn large() -> ShardPlan {
         ShardPlan {
             days_per_shard: 1,
             subs_per_shard: 50_000,
+            cells_per_shard: 4_096,
+            spill_masks: true,
+            capacity: 0,
+        }
+    }
+
+    /// The geometry `repro --scale paper` uses: the 1M-subscriber
+    /// full-window preset wants the same single-day blocks and spilled
+    /// masks as `large`, bigger subscriber ranges (fewer, fatter derive
+    /// tasks — per-shard fixed costs amortize over 4× the subscribers),
+    /// and 4096-cell scheduler shards so the phase-B radio pass scales
+    /// with cores instead of serializing on the fold thread.
+    pub fn paper() -> ShardPlan {
+        ShardPlan {
+            days_per_shard: 1,
+            subs_per_shard: 200_000,
+            cells_per_shard: 4_096,
             spill_masks: true,
             capacity: 0,
         }
@@ -85,6 +115,7 @@ impl Default for ShardPlan {
         ShardPlan {
             days_per_shard: 1,
             subs_per_shard: 8_192,
+            cells_per_shard: 0,
             spill_masks: false,
             capacity: 0,
         }
@@ -524,6 +555,35 @@ impl PackedVisits {
 
 type ShardBOut = Vec<PackedVisits>;
 
+/// One scheduler task of the second phase-B pipeline: run the radio
+/// scheduler over cells `lo..hi` of one accumulated day grid.
+struct KpiTask {
+    grid_idx: usize,
+    day: u16,
+    lo: usize,
+    hi: usize,
+}
+
+/// Phase B runs as **two pipelines per group of day-blocks** (one
+/// block per worker thread):
+///
+/// 1. *accumulate* — (day-block × subscriber-range) shards pack their
+///    ranges' visit lists in parallel; the fold applies them to the
+///    group's per-day load grids in canonical (day ascending,
+///    subscriber ascending) order and records each day's off-net voice
+///    volume as its grid completes — bit-identical accumulation, same
+///    as the in-memory runner;
+/// 2. *schedule* — (day × cell-range) tasks run the radio scheduler
+///    over disjoint cell ranges of the finished grids in parallel
+///    (cells are independent post-accumulation); the fold appends each
+///    task's `CellDayMetrics` in production order — day ascending,
+///    cell-range ascending, cells ascending within a range — which is
+///    exactly the unsharded runner's push order, so the KPI table is
+///    bit-identical for any [`ShardPlan::cells_per_shard`].
+///
+/// Peak grid memory is `threads × days_per_shard` grids — the same
+/// bound the in-memory runner's per-worker grids impose; everything
+/// else stays bounded by the pipeline capacity.
 fn phase_b_sharded(
     config: &ScenarioConfig,
     world: &World,
@@ -534,114 +594,187 @@ fn phase_b_sharded(
     let days: Vec<u16> = world.clock.days().collect();
     let num_days = world.num_days();
     let num_subs = world.population.len();
-    let (tasks, num_ranges) = shards(&days, num_subs, plan);
+    let num_cells = world.topo.cells().len();
     let capacity = fold_capacity(plan, exec);
     let loadgen = load_generator(config, scale);
     let scheduler = Scheduler::new(SchedulerConfig::default());
     let subs = world.population.subscribers();
 
-    struct AccB {
-        kpi: KpiTable,
-        voice_daily: Vec<f64>,
-        grid: DayLoadGrid,
-        traj_buf: DayTrajectory,
-        hours_buf: Vec<HourlyKpiSample>,
-        buf: Vec<(Vec<u16>, ShardBOut)>,
-    }
-
-    let mut acc = AccB {
-        kpi: KpiTable::new(),
-        voice_daily: vec![0.0; num_days],
-        grid: DayLoadGrid::new(world.topo.cells().len()),
-        traj_buf: DayTrajectory::default(),
-        hours_buf: Vec::with_capacity(24),
-        buf: Vec::with_capacity(num_ranges),
+    let cells_per = if plan.cells_per_shard == 0 {
+        num_cells.max(1)
+    } else {
+        plan.cells_per_shard
     };
+    let cell_ranges: Vec<(usize, usize)> = (0..num_cells)
+        .step_by(cells_per)
+        .map(|lo| (lo, (lo + cells_per).min(num_cells)))
+        .collect();
 
-    let mut task_iter = tasks.into_iter();
+    let mut kpi = KpiTable::new();
+    let mut voice_daily = vec![0.0; num_days];
+    let mut traj_buf = DayTrajectory::default();
+    let mut grids: Vec<DayLoadGrid> = Vec::new();
+
+    let days_per = plan.days_per_shard.max(1);
+    let group_len = exec.threads().max(1);
+    let blocks: Vec<&[u16]> = days.chunks(days_per).collect();
+
     let loadgen_ref = &loadgen;
     let scheduler_ref = &scheduler;
 
-    exec.run_pipeline_fold(
-        "phase_b_shards",
-        capacity,
-        move || task_iter.next(),
-        || {
-            (
-                TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed),
-                DayTrajectory::default(),
-            )
-        },
-        |(trajgen, traj), _i, shard: Shard, ctx| {
-            let mut out: ShardBOut = shard.days.iter().map(|_| PackedVisits::default()).collect();
-            for (local_day, &day) in shard.days.iter().enumerate() {
-                for sub_idx in shard.lo..shard.hi {
-                    trajgen.generate_into(&subs[sub_idx], day, traj);
-                    // `LoadGenerator::accumulate` is a no-op on empty
-                    // visit lists, so skipping them here is exact.
-                    if !traj.visits.is_empty() {
-                        out[local_day].push(sub_idx as u32, &traj.visits);
-                        ctx.add_items(1);
-                    }
-                }
-            }
-            ctx.count("days", shard.days.len() as u64);
-            (shard.days.clone(), out)
-        },
-        &mut acc,
-        |acc, _i, (shard_days, out)| {
-            acc.buf.push((shard_days, out));
-            if acc.buf.len() == num_ranges {
-                let block_days = acc.buf[0].0.clone();
-                for (local_day, &day) in block_days.iter().enumerate() {
-                    let date = world.clock.date(day);
-                    let schedule = world.behavior.schedule();
-                    let intensity = schedule.intensity(date);
-                    // Ratchet: at-home WiFi settling does not unwind
-                    // once confinement starts (mirrors
-                    // `simulate_day_kpi`).
-                    let confinement = schedule.confinement(date);
-                    acc.grid.clear();
-                    for (_, shard_out) in &acc.buf {
-                        for (sub_idx, visits) in shard_out[local_day].iter() {
-                            let sub = &subs[sub_idx as usize];
-                            acc.traj_buf.subscriber = sub.id;
-                            acc.traj_buf.day = day;
-                            acc.traj_buf.visits.clear();
-                            acc.traj_buf.visits.extend_from_slice(visits);
-                            loadgen_ref.accumulate(
-                                sub,
-                                &acc.traj_buf,
-                                date,
-                                intensity,
-                                confinement,
-                                &world.topo,
-                                &mut acc.grid,
-                            );
+    for group in blocks.chunks(group_len) {
+        let group_days: Vec<u16> =
+            group.iter().flat_map(|b| b.iter().copied()).collect();
+        while grids.len() < group_days.len() {
+            grids.push(DayLoadGrid::new(num_cells));
+        }
+        // Re-chunking the group's flattened days reproduces its blocks:
+        // every block is `days_per` long except possibly the study's
+        // final one, which is also the final chunk here.
+        let (tasks, num_ranges) = shards(&group_days, num_subs, plan);
+
+        struct AccB<'g> {
+            grids: &'g mut [DayLoadGrid],
+            voice_daily: &'g mut [f64],
+            traj_buf: &'g mut DayTrajectory,
+            /// Buffered results of the current day-block, range asc.
+            buf: Vec<(Vec<u16>, ShardBOut)>,
+            /// (grid index, day) of every day folded this group, in
+            /// canonical day order — the schedule pipeline's task list.
+            done: Vec<(usize, u16)>,
+        }
+
+        let mut acc = AccB {
+            grids: &mut grids,
+            voice_daily: &mut voice_daily,
+            traj_buf: &mut traj_buf,
+            buf: Vec::with_capacity(num_ranges),
+            done: Vec::with_capacity(group_days.len()),
+        };
+
+        let mut task_iter = tasks.into_iter();
+        exec.run_pipeline_fold(
+            "phase_b_shards",
+            capacity,
+            move || task_iter.next(),
+            || {
+                (
+                    TrajectoryGenerator::new(&world.geo, &world.behavior, world.clock, config.seed),
+                    DayTrajectory::default(),
+                )
+            },
+            |(trajgen, traj), _i, shard: Shard, ctx| {
+                let mut out: ShardBOut =
+                    shard.days.iter().map(|_| PackedVisits::default()).collect();
+                for (local_day, &day) in shard.days.iter().enumerate() {
+                    for sub_idx in shard.lo..shard.hi {
+                        trajgen.generate_into(&subs[sub_idx], day, traj);
+                        // `LoadGenerator::accumulate` is a no-op on empty
+                        // visit lists, so skipping them here is exact.
+                        if !traj.visits.is_empty() {
+                            out[local_day].push(sub_idx as u32, &traj.visits);
+                            ctx.add_items(1);
                         }
                     }
-                    acc.voice_daily[day as usize] = loadgen_ref.off_net_voice_mb(&acc.grid);
-                    let kpi = &mut acc.kpi;
-                    run::day_kpi_from_grid(
-                        world,
-                        scheduler_ref,
-                        &acc.grid,
-                        day,
-                        &mut acc.hours_buf,
-                        |cell_id, hours| {
-                            if let Some(rec) = CellDayMetrics::from_hourly(cell_id, day, hours) {
-                                kpi.push(rec);
-                            }
-                        },
-                    );
                 }
-                acc.buf.clear();
-            }
-        },
-    )?;
+                ctx.count("days", shard.days.len() as u64);
+                (shard.days.clone(), out)
+            },
+            &mut acc,
+            |acc, _i, (shard_days, out)| {
+                acc.buf.push((shard_days, out));
+                if acc.buf.len() == num_ranges {
+                    let block_days = acc.buf[0].0.clone();
+                    for (local_day, &day) in block_days.iter().enumerate() {
+                        let grid_idx = acc.done.len();
+                        let grid = &mut acc.grids[grid_idx];
+                        let date = world.clock.date(day);
+                        let schedule = world.behavior.schedule();
+                        let intensity = schedule.intensity(date);
+                        // Ratchet: at-home WiFi settling does not unwind
+                        // once confinement starts (mirrors
+                        // `simulate_day_kpi`).
+                        let confinement = schedule.confinement(date);
+                        grid.clear();
+                        for (_, shard_out) in &acc.buf {
+                            for (sub_idx, visits) in shard_out[local_day].iter() {
+                                let sub = &subs[sub_idx as usize];
+                                acc.traj_buf.subscriber = sub.id;
+                                acc.traj_buf.day = day;
+                                acc.traj_buf.visits.clear();
+                                acc.traj_buf.visits.extend_from_slice(visits);
+                                loadgen_ref.accumulate(
+                                    sub,
+                                    acc.traj_buf,
+                                    date,
+                                    intensity,
+                                    confinement,
+                                    &world.topo,
+                                    grid,
+                                );
+                            }
+                        }
+                        acc.voice_daily[day as usize] =
+                            loadgen_ref.off_net_voice_mb(grid);
+                        acc.done.push((grid_idx, day));
+                    }
+                    acc.buf.clear();
+                }
+            },
+        )?;
 
-    debug_assert!(acc.buf.is_empty(), "every day-block must have been folded");
-    Ok((acc.kpi, acc.voice_daily))
+        debug_assert!(acc.buf.is_empty(), "every day-block must have been folded");
+        let done = std::mem::take(&mut acc.done);
+        drop(acc);
+
+        // The schedule pipeline: disjoint (day × cell-range) tasks over
+        // the group's finished grids, folded in production order.
+        let mut kpi_tasks = Vec::with_capacity(done.len() * cell_ranges.len());
+        for &(grid_idx, day) in &done {
+            for &(lo, hi) in &cell_ranges {
+                kpi_tasks.push(KpiTask { grid_idx, day, lo, hi });
+            }
+        }
+        if kpi_tasks.is_empty() {
+            continue;
+        }
+        let grids_ref = &grids;
+        let mut kpi_iter = kpi_tasks.into_iter();
+        exec.run_pipeline_fold(
+            "phase_b_kpi",
+            capacity,
+            move || kpi_iter.next(),
+            || Vec::with_capacity(24),
+            |hours_buf: &mut Vec<HourlyKpiSample>, _i, task: KpiTask, ctx| {
+                let day = task.day;
+                let mut out: Vec<CellDayMetrics> = Vec::new();
+                run::day_kpi_from_grid_range(
+                    world,
+                    scheduler_ref,
+                    &grids_ref[task.grid_idx],
+                    day,
+                    task.lo,
+                    task.hi,
+                    hours_buf,
+                    |cell_id, hours| {
+                        if let Some(rec) = CellDayMetrics::from_hourly(cell_id, day, hours) {
+                            out.push(rec);
+                        }
+                    },
+                );
+                ctx.add_items(out.len() as u64);
+                out
+            },
+            &mut kpi,
+            |kpi, _i, recs| {
+                for rec in recs {
+                    kpi.push(rec);
+                }
+            },
+        )?;
+    }
+
+    Ok((kpi, voice_daily))
 }
 
 // ---------------------------------------------------------------------

@@ -16,7 +16,9 @@
 //!   dictionary-coded u32 column, shared by every segment codec;
 //! * [`events`] — the [`crate::SignalingEvent`] segment codec (the KPI
 //!   and voice codecs live in `cellscope-scenario`, next to the record
-//!   types they serialize).
+//!   types they serialize);
+//! * [`view`] — [`SegmentView`], the mmap-backed zero-copy read path:
+//!   decoders borrow column bytes straight from the mapped pages.
 //!
 //! Three properties the test layer holds the format to:
 //!
@@ -32,6 +34,7 @@
 pub mod column;
 pub mod events;
 pub mod format;
+pub mod view;
 
 pub use events::{
     decode_events_into, encode_events, encode_events_into, encode_events_segmented,
@@ -42,3 +45,4 @@ pub use format::{
     split_segments, SegmentBlockReader, SegmentError, SegmentHeader, SegmentKind,
     SegmentStreamError, ALL_DAYS, HEADER_LEN, SEGMENT_MAGIC, SEGMENT_VERSION,
 };
+pub use view::SegmentView;

@@ -1,0 +1,157 @@
+//! Memory-mapped segment files: the zero-copy read path.
+//!
+//! [`SegmentView`] maps a whole `.csb` file read-only and hands its
+//! segments out as borrows of the mapped pages, so the decoders
+//! ([`super::events::decode_events_into`] and the KPI/voice codecs in
+//! `cellscope-scenario`) read column bytes straight from the page
+//! cache — no chunk buffer, no copy between the kernel and the column
+//! cursors. The streaming twin ([`super::format::SegmentBlockReader`])
+//! stays the right tool for pipes and non-seekable sources; the view
+//! is the right tool for on-disk feeds, where the OS pages data in on
+//! demand and evicts it under pressure, keeping resident memory
+//! file-backed instead of anonymous.
+//!
+//! **Truncation safety.** Every length the format trusts is validated
+//! against the mapped length (captured at map time):
+//! [`super::format::check_segment`] refuses a payload that runs past
+//! the mapping with a typed [`super::format::SegmentError`], exactly
+//! as it does for an in-memory byte run — a file truncated *before*
+//! mapping can never fault. The one hazard mmap adds is a file
+//! truncated *while* mapped (reads past the new EOF raise `SIGBUS`);
+//! feed files are write-once artifacts, so the view documents rather
+//! than defends against that, matching the vendored `memmap2`
+//! contract.
+
+use memmap2::Mmap;
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+use super::format::{SegmentSplitter, split_segments};
+
+/// A read-only memory map of one segment file.
+pub struct SegmentView {
+    map: Mmap,
+}
+
+impl SegmentView {
+    /// Map the file at `path` in its entirety.
+    pub fn open(path: &Path) -> io::Result<SegmentView> {
+        SegmentView::map(&File::open(path)?)
+    }
+
+    /// Map an already-open file.
+    pub fn map(file: &File) -> io::Result<SegmentView> {
+        // SAFETY: feed files are write-once; the replay contract (and
+        // module docs) require them untruncated while a view is alive.
+        let map = unsafe { Mmap::map(file) }?;
+        Ok(SegmentView { map })
+    }
+
+    /// The whole mapped file.
+    pub fn bytes(&self) -> &[u8] {
+        &self.map
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the mapped file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Walk the file's back-to-back segments, borrowing each from the
+    /// mapped pages (the same iterator an in-memory byte run gets).
+    pub fn segments(&self) -> SegmentSplitter<'_> {
+        split_segments(&self.map)
+    }
+}
+
+impl std::fmt::Debug for SegmentView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentView").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::{self, DecodeScratch, SegmentError};
+    use crate::event::{EventType, SignalingEvent};
+    use crate::tac::TacCode;
+    use cellscope_radio::CellId;
+    use std::io::Write;
+
+    fn sample_events(n: u16) -> Vec<SignalingEvent> {
+        (0..n)
+            .map(|i| SignalingEvent {
+                anon_id: 0x1000 + i as u64,
+                cell: CellId(7 + (i as u32 % 3)),
+                mcc: 234,
+                mnc: 15,
+                tac: TacCode(86_000_000 + i as u32),
+                day: 3,
+                minute: i * 2,
+                event: EventType::Attach,
+                success: true,
+            })
+            .collect()
+    }
+
+    fn temp_segment_file(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir()
+            .join(format!("cellscope_view_{tag}_{}.csb", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_segments_decode_like_in_memory_bytes() {
+        let events = sample_events(200);
+        let mut bytes = Vec::new();
+        // Two back-to-back segments, like the oversize splitter writes.
+        columnar::encode_events_segmented(3, &events, 77, &mut bytes).unwrap();
+        let path = temp_segment_file("decode", &bytes);
+
+        let view = SegmentView::open(&path).unwrap();
+        assert_eq!(view.bytes(), bytes.as_slice());
+        let mut scratch = DecodeScratch::default();
+        let mut out = Vec::new();
+        let mut decoded = Vec::new();
+        for seg in view.segments() {
+            columnar::decode_events_into(seg.unwrap(), &mut scratch, &mut out).unwrap();
+            decoded.extend_from_slice(&out);
+        }
+        assert_eq!(decoded, events);
+        drop(view);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_mapping_surfaces_typed_error_not_fault() {
+        let events = sample_events(64);
+        let bytes = columnar::encode_events(3, &events);
+        let cut = bytes.len() - 9; // mid-payload
+        let path = temp_segment_file("trunc", &bytes[..cut]);
+
+        let view = SegmentView::open(&path).unwrap();
+        let err = view.segments().next().unwrap().unwrap_err();
+        assert!(matches!(err, SegmentError::Truncated { .. }), "got {err:?}");
+        drop(view);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_yields_no_segments() {
+        let path = temp_segment_file("empty", &[]);
+        let view = SegmentView::open(&path).unwrap();
+        assert!(view.is_empty());
+        assert!(view.segments().next().is_none());
+        drop(view);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -9,11 +9,17 @@
 //! segment at all, bit rot in the payload, a segment from a future
 //! format version, and a header that lies about its record count
 //! (mid-column EOF).
+//!
+//! Every class runs through **both** binary byte sources — the
+//! streaming reader and the mmap'ed `SegmentView` path — so damage in
+//! a mapped file (including a mid-segment truncation, which shortens
+//! the mapping itself) surfaces as the same typed error, never a
+//! fault.
 
 use cellscope::scenario::feedfmt::{convert_feed_dir, events_bin_name};
 use cellscope::scenario::replay::{
     events_file_name, export_feeds, replay_study, MalformedAt, ReplayConfig,
-    ReplayError, ReplayReport,
+    ReplayError, ReplayOptions, ReplayReport,
 };
 use cellscope::scenario::{run_study, ScenarioConfig, StudyDataset};
 use cellscope::signaling::columnar::SegmentError;
@@ -75,51 +81,66 @@ fn damaged_feeds(tag: &str, damage: impl FnOnce(&mut Vec<u8>)) -> PathBuf {
     dir
 }
 
+/// Both binary byte sources a damaged segment can reach the decoders
+/// through: `read(2)` into chunk buffers, and mmap'ed pages.
+const BYTE_SOURCES: [ReplayOptions; 2] =
+    [ReplayOptions::streamed(), ReplayOptions::mapped()];
+
 fn replay_with(
     dir: &Path,
     policy: MalformedPolicy,
+    options: ReplayOptions,
 ) -> Result<(StudyDataset, ReplayReport), ReplayError> {
     let fx = fixture();
     // One worker: the error that surfaces under fail-fast is then
     // deterministic (day 0 always loses the race when it races no one).
-    let rcfg = ReplayConfig { threads: 1, policy, ..ReplayConfig::default() };
+    let rcfg = ReplayConfig { threads: 1, policy, options, ..ReplayConfig::default() };
     replay_study(&fx.cfg, dir, &rcfg)
 }
 
 /// The FailFast half of a damage-class check: the replay aborts with a
-/// typed [`SegmentError`] from the damaged file, matched by `expect`.
+/// typed [`SegmentError`] from the damaged file, matched by `expect` —
+/// on the streamed and the mapped path alike.
 fn assert_fail_fast(dir: &Path, expect: impl Fn(&SegmentError) -> bool) {
-    let err = replay_with(dir, MalformedPolicy::FailFast)
-        .err()
-        .expect("damaged segment must abort under fail-fast");
-    match &err {
-        ReplayError::Feed { file, source: FeedError::Segment(cause) } => {
-            assert_eq!(file, &events_bin_name(0), "error names the damaged file");
-            assert!(expect(cause), "unexpected segment error: {cause:?}");
+    for options in BYTE_SOURCES {
+        let err = replay_with(dir, MalformedPolicy::FailFast, options)
+            .err()
+            .expect("damaged segment must abort under fail-fast");
+        match &err {
+            ReplayError::Feed { file, source: FeedError::Segment(cause) } => {
+                assert_eq!(file, &events_bin_name(0), "error names the damaged file");
+                assert!(
+                    expect(cause),
+                    "unexpected segment error ({options:?}): {cause:?}"
+                );
+            }
+            other => panic!("expected a typed segment error, got: {other}"),
         }
-        other => panic!("expected a typed segment error, got: {other}"),
     }
 }
 
 /// The SkipAndCount half: the replay completes, the damage is *counted*
 /// (not silently dropped — the accounting identity still closes), and
 /// the damaged file shows up in `malformed_at` with position 0 (the
-/// whole-segment envelope failure marker).
+/// whole-segment envelope failure marker). Checked on both byte
+/// sources.
 fn assert_skip_and_count(dir: &Path) {
     let fx = fixture();
-    let (dataset, report) = replay_with(dir, MalformedPolicy::SkipAndCount)
-        .expect("skip-and-count must survive a damaged segment");
-    assert!(report.events.malformed > 0, "damage must be counted:\n{report}");
-    assert!(report.lines_balance(), "accounting must still close:\n{report}");
-    let marker = MalformedAt { file: events_bin_name(0).into(), line: 0 };
-    assert!(
-        report.malformed_at.contains(&marker),
-        "damage location missing from {:?}",
-        report.malformed_at
-    );
-    // Day 0's events are gone but the study still runs to completion
-    // over the remaining days.
-    assert_eq!(dataset.clock.num_days(), fx.clean.clock.num_days());
+    for options in BYTE_SOURCES {
+        let (dataset, report) = replay_with(dir, MalformedPolicy::SkipAndCount, options)
+            .expect("skip-and-count must survive a damaged segment");
+        assert!(report.events.malformed > 0, "damage must be counted:\n{report}");
+        assert!(report.lines_balance(), "accounting must still close:\n{report}");
+        let marker = MalformedAt { file: events_bin_name(0).into(), line: 0 };
+        assert!(
+            report.malformed_at.contains(&marker),
+            "damage location missing from {:?}",
+            report.malformed_at
+        );
+        // Day 0's events are gone but the study still runs to
+        // completion over the remaining days.
+        assert_eq!(dataset.clock.num_days(), fx.clean.clock.num_days());
+    }
     std::fs::remove_dir_all(dir).ok();
 }
 
@@ -240,8 +261,9 @@ fn jsonl_malformed_line_numbers_are_recorded() {
     text.push_str("also not json\n");
     std::fs::write(&target, &text).expect("write damaged feed");
 
-    let (_, report) = replay_with(&dir, MalformedPolicy::SkipAndCount)
-        .expect("skip-and-count survives bad lines");
+    let (_, report) =
+        replay_with(&dir, MalformedPolicy::SkipAndCount, ReplayOptions::streamed())
+            .expect("skip-and-count survives bad lines");
     assert_eq!(report.events.malformed, 2, "both bad lines counted:\n{report}");
     assert!(report.lines_balance(), "{report}");
     for offset in 1..=2 {

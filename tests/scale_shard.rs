@@ -9,7 +9,7 @@
 use cellscope::exec::Executor;
 use cellscope::scenario::feedfmt::{convert_feed_dir, events_bin_name};
 use cellscope::scenario::replay::{
-    dataset_divergence, export_feeds, replay_study, ReplayConfig,
+    dataset_divergence, export_feeds, replay_study, ReplayConfig, ReplayOptions,
 };
 use cellscope::scenario::{
     figures, run_study, run_study_sharded, run_study_with, ScenarioConfig, ShardPlan,
@@ -45,20 +45,25 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
 
     /// Shard-geometry equivalence: for any (days-per-shard,
-    /// subscriber-range width, spill mode, thread count), the sharded
-    /// runner's dataset is bit-identical to the in-memory runner's.
-    /// The widths straddle the population (500): ranges that split it
-    /// unevenly, a range boundary exactly at the population size, and
-    /// one range covering everything.
+    /// subscriber-range width, cell-range width, spill mode, thread
+    /// count), the sharded runner's dataset is bit-identical to the
+    /// in-memory runner's. The subscriber widths straddle the
+    /// population (500): ranges that split it unevenly, a range
+    /// boundary exactly at the population size, and one range covering
+    /// everything; the cell widths likewise straddle the topology —
+    /// tiny uneven ranges, one range per day (`0`), and a width past
+    /// the cell count.
     #[test]
     fn sharded_run_is_bit_identical_for_any_plan(
         days_idx in 0usize..3,
         subs_idx in 0usize..4,
+        cells_idx in 0usize..4,
         spill_idx in 0usize..2,
         threads_idx in 0usize..2,
     ) {
         let days_per_shard = [1usize, 3, 7][days_idx];
         let subs_per_shard = [64usize, 171, 500, 10_000][subs_idx];
+        let cells_per_shard = [0usize, 16, 57, 100_000][cells_idx];
         let spill = spill_idx == 1;
         let threads = [1usize, 8][threads_idx];
 
@@ -67,6 +72,7 @@ proptest! {
         let plan = ShardPlan {
             days_per_shard,
             subs_per_shard,
+            cells_per_shard,
             spill_masks: spill,
             capacity: 0,
         };
@@ -136,6 +142,58 @@ fn multi_segment_feeds_replay_bit_identically() {
     assert_eq!(report_multi.events.malformed, 0, "{report_multi}");
     assert_eq!(report_multi.events.parsed, report_single.events.parsed);
     assert!(report_multi.lines_balance(), "{report_multi}");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Mapped (mmap) replay must be invisible next to streamed replay and
+/// the in-memory runner: bit-identical dataset and line accounting at
+/// any thread count, with the report showing the bytes went through
+/// mapped pages instead of the streaming reader.
+#[test]
+fn mapped_replay_is_bit_identical_to_streamed() {
+    let cfg = micro(44);
+    let base = scratch_dir("mmap");
+    let jsonl_dir = base.join("jsonl");
+    let bin_dir = base.join("bin");
+
+    let in_memory = run_study(&cfg).expect("in-memory study");
+    export_feeds(&cfg, &jsonl_dir).expect("export");
+    convert_feed_dir(&jsonl_dir, &bin_dir).expect("convert");
+
+    for threads in [1usize, 8] {
+        let streamed_cfg = ReplayConfig { threads, ..ReplayConfig::default() };
+        let (streamed, report_streamed) =
+            replay_study(&cfg, &bin_dir, &streamed_cfg).expect("streamed replay");
+        let mapped_cfg = ReplayConfig {
+            threads,
+            options: ReplayOptions::mapped(),
+            ..ReplayConfig::default()
+        };
+        let (mapped, report_mapped) =
+            replay_study(&cfg, &bin_dir, &mapped_cfg).expect("mapped replay");
+
+        assert_eq!(dataset_divergence(&in_memory, &streamed), None);
+        assert_eq!(
+            dataset_divergence(&streamed, &mapped),
+            None,
+            "the mmap read path leaked into the dataset at {threads} threads"
+        );
+        assert!(
+            report_mapped.bytes_mapped > 0,
+            "binary feeds must go through the mapped path:\n{report_mapped}"
+        );
+        assert_eq!(
+            report_mapped.bytes_streamed, 0,
+            "mapped replay must not touch the streaming reader"
+        );
+        assert_eq!(
+            report_mapped.bytes_mapped, report_streamed.bytes_streamed,
+            "the same feed bytes must reach the decoders either way"
+        );
+        assert_eq!(report_mapped.events.parsed, report_streamed.events.parsed);
+        assert!(report_mapped.lines_balance(), "{report_mapped}");
+    }
 
     std::fs::remove_dir_all(&base).ok();
 }

@@ -1,0 +1,213 @@
+//! Minimal, self-contained stand-in for the `memmap2` crate.
+//!
+//! Covers the one shape this workspace uses: a **read-only, private**
+//! mapping of a whole file ([`Mmap::map`]), dereferencing to `&[u8]`.
+//! On Unix it is a direct wrapper over `mmap(2)`/`munmap(2)` declared
+//! via `extern "C"` (libc is always linked on the supported targets,
+//! so no crate dependency is needed for the no-network build); on
+//! other platforms it degrades to reading the file into a heap buffer,
+//! keeping the API total.
+//!
+//! Fidelity notes vs the real crate:
+//!
+//! * Only `Mmap::map` is provided (no mutable, anonymous, or
+//!   offset/len-restricted mappings);
+//! * `map` is `unsafe` for the same reason as upstream: the underlying
+//!   file must not be truncated while the mapping is alive, or reads
+//!   through the returned slice can fault (`SIGBUS`). Callers are
+//!   expected to treat mapped feed files as immutable for the life of
+//!   the view;
+//! * the `offset` argument of `mmap(2)` is always 0, so the raw
+//!   declaration sidesteps the 32-bit `off_t`/`mmap64` split; the
+//!   wrapper targets the 64-bit Linux build environment.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only memory map of an entire file.
+pub struct Mmap {
+    inner: imp::Inner,
+}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety. An empty file maps to an
+    /// empty slice (mapping zero bytes is an `EINVAL`, not a feature).
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the file is not truncated while the
+    /// mapping is alive; accesses beyond a shrunken file raise
+    /// `SIGBUS`. (Appends and in-place writes do not fault — they make
+    /// the mapped bytes stale, which integrity checks must catch.)
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        Ok(Mmap { inner: imp::Inner::map(file)? })
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.inner.as_slice().len()).finish()
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use core::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    // The two `mmap(2)` flags this crate ever passes.
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// The platform mapping: page-backed on Unix. A zero-length file is
+    /// represented by a null pointer (never handed to `munmap`).
+    pub(crate) struct Inner {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only and owned; concurrent reads of
+    // immutable pages from any thread are fine.
+    unsafe impl Send for Inner {}
+    unsafe impl Sync for Inner {}
+
+    impl Inner {
+        pub(crate) unsafe fn map(file: &File) -> io::Result<Inner> {
+            let len = file.metadata()?.len();
+            let len = usize::try_from(len).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidInput, "file too large to map")
+            })?;
+            if len == 0 {
+                return Ok(Inner { ptr: core::ptr::null_mut(), len: 0 });
+            }
+            let ptr = mmap(
+                core::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            );
+            if ptr as isize == -1 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(Inner { ptr, len })
+            }
+        }
+
+        pub(crate) fn as_slice(&self) -> &[u8] {
+            if self.ptr.is_null() {
+                &[]
+            } else {
+                // SAFETY: ptr/len came from a successful mmap and stay
+                // valid until Drop; the mapping is never written.
+                unsafe { core::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+            }
+        }
+    }
+
+    impl Drop for Inner {
+        fn drop(&mut self) {
+            if !self.ptr.is_null() {
+                // SAFETY: exactly the region a successful mmap returned.
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::fs::File;
+    use std::io::{self, Read};
+
+    /// Heap fallback: no page cache sharing, but the same API, so
+    /// callers need no platform gates of their own.
+    pub(crate) struct Inner {
+        buf: Vec<u8>,
+    }
+
+    impl Inner {
+        pub(crate) unsafe fn map(file: &File) -> io::Result<Inner> {
+            let mut buf = Vec::new();
+            (&*file).read_to_end(&mut buf)?;
+            Ok(Inner { buf })
+        }
+
+        pub(crate) fn as_slice(&self) -> &[u8] {
+            &self.buf
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir()
+            .join(format!("memmap2_test_{tag}_{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_whole_file() {
+        let payload: Vec<u8> = (0..8192u32).flat_map(|i| i.to_le_bytes()).collect();
+        let path = temp_file("whole", &payload);
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert_eq!(&*map, payload.as_slice());
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_file("empty", &[]);
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert!(map.is_empty());
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapping_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mmap>();
+    }
+}
